@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+``pytest benchmarks/ --benchmark-only`` runs one benchmark per
+figure-and-algorithm at CI-friendly sizes (a few thousand points, 50
+weight samples).  The full paper-shaped sweeps — every dataset, every
+parameter value — live in ``repro.bench.figures`` and are run with
+``python -m repro.bench <figN>``; the pytest benchmarks exercise the
+same code paths with stable, comparable timings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentCell, build_workload
+
+BENCH_N = 4_000
+BENCH_D = 3
+BENCH_K = 10
+BENCH_RANK = 51
+BENCH_S = 50
+
+
+def make_query(dataset: str = "independent", **overrides):
+    """A workload for benchmarks (R-tree pre-built)."""
+    params = dict(dataset=dataset, n=BENCH_N, d=BENCH_D, k=BENCH_K,
+                  rank=BENCH_RANK, wm_size=1, sample_size=BENCH_S,
+                  seed=0)
+    params.update(overrides)
+    cell = ExperimentCell(**params)
+    query = build_workload(cell)
+    query.rtree
+    return query
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,53 @@
+"""Ablation benchmarks for the paper's design choices (Section 4).
+
+* reuse: MQWK's single-traversal FindIncom cache vs. re-traversing the
+  R-tree per sample query point;
+* top-k engine: BRS vs. sequential scan inside MQP;
+* RTA vs. naive bichromatic reverse top-k (the substrate the original
+  query runs on).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mqp import modify_query_point
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.data import preference_set
+from repro.rtopk.bichromatic import brtopk_naive, brtopk_rta
+from repro.rtopk.grta import brtopk_grta
+
+from conftest import make_query
+
+
+@pytest.mark.parametrize("use_reuse", [True, False],
+                         ids=["reuse", "no-reuse"])
+def test_mqwk_reuse_ablation(benchmark, use_reuse):
+    query = make_query()
+    result = benchmark(
+        lambda: modify_query_weights_and_k(
+            query, sample_size=20, rng=np.random.default_rng(0),
+            use_reuse=use_reuse))
+    assert 0.0 <= result.penalty <= 1.0
+
+
+@pytest.mark.parametrize("use_rtree", [True, False],
+                         ids=["BRS", "scan"])
+def test_mqp_topk_engine_ablation(benchmark, use_rtree):
+    query = make_query(n=16_000)
+    result = benchmark(
+        lambda: modify_query_point(query, use_rtree=use_rtree))
+    assert 0.0 <= result.penalty <= 1.0
+
+
+@pytest.mark.parametrize("engine", ["rta", "grta", "naive"])
+def test_reverse_topk_engine_ablation(benchmark, engine):
+    query = make_query(n=8_000)
+    weights = preference_set(100, 3, seed=5)
+    if engine == "rta":
+        run = lambda: brtopk_rta(query.rtree, weights, query.q, 10)
+    elif engine == "grta":
+        run = lambda: brtopk_grta(query.rtree, weights, query.q, 10)
+    else:
+        run = lambda: brtopk_naive(query.points, weights, query.q, 10)
+    result = benchmark(run)
+    assert result is not None

@@ -1,0 +1,41 @@
+"""Figure 7 benchmark: WQRTQ cost vs. dimensionality.
+
+The paper sweeps d in {2, 3, 4, 5} on Independent and Anti-correlated
+data and observes all three algorithms degrading with d.  Each
+benchmark here is one (algorithm, d) cell on Independent data; the
+cross-d comparison is read off the pytest-benchmark table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mqp import modify_query_point
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.mwk import modify_weights_and_k
+
+from conftest import make_query
+
+
+@pytest.mark.parametrize("d", [2, 3, 4, 5])
+def test_mqp_vs_dimensionality(benchmark, d):
+    query = make_query(d=d)
+    result = benchmark(lambda: modify_query_point(query))
+    assert 0.0 <= result.penalty <= 1.0
+
+
+@pytest.mark.parametrize("d", [2, 3, 4, 5])
+def test_mwk_vs_dimensionality(benchmark, d):
+    query = make_query(d=d)
+    result = benchmark(
+        lambda: modify_weights_and_k(
+            query, sample_size=50, rng=np.random.default_rng(0)))
+    assert 0.0 <= result.penalty <= 1.0
+
+
+@pytest.mark.parametrize("d", [2, 3, 4, 5])
+def test_mqwk_vs_dimensionality(benchmark, d):
+    query = make_query(d=d)
+    result = benchmark(
+        lambda: modify_query_weights_and_k(
+            query, sample_size=20, rng=np.random.default_rng(0)))
+    assert 0.0 <= result.penalty <= 1.0

@@ -1,0 +1,43 @@
+"""Figure 8 benchmark: WQRTQ cost vs. dataset cardinality.
+
+The paper sweeps |P| from 10K to 1000K and observes near-linear growth
+of all three algorithms (the R-tree traversals dominate).  The sweep
+here uses 1K-16K points so the benchmark suite stays fast; growth
+remains visible across the 16x range.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mqp import modify_query_point
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.mwk import modify_weights_and_k
+
+from conftest import make_query
+
+CARDINALITIES = [1_000, 4_000, 16_000]
+
+
+@pytest.mark.parametrize("n", CARDINALITIES)
+def test_mqp_vs_cardinality(benchmark, n):
+    query = make_query(n=n)
+    result = benchmark(lambda: modify_query_point(query))
+    assert 0.0 <= result.penalty <= 1.0
+
+
+@pytest.mark.parametrize("n", CARDINALITIES)
+def test_mwk_vs_cardinality(benchmark, n):
+    query = make_query(n=n)
+    result = benchmark(
+        lambda: modify_weights_and_k(
+            query, sample_size=50, rng=np.random.default_rng(0)))
+    assert 0.0 <= result.penalty <= 1.0
+
+
+@pytest.mark.parametrize("n", CARDINALITIES)
+def test_mqwk_vs_cardinality(benchmark, n):
+    query = make_query(n=n)
+    result = benchmark(
+        lambda: modify_query_weights_and_k(
+            query, sample_size=20, rng=np.random.default_rng(0)))
+    assert 0.0 <= result.penalty <= 1.0

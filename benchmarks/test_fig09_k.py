@@ -1,0 +1,54 @@
+"""Figure 9 benchmark: WQRTQ cost vs. k.
+
+The paper sweeps k in {10..50} on all four datasets; larger k means a
+deeper k-th-point search for MQP and a larger k'_max for MWK.  The
+rank knob is held above the largest k so every cell remains a valid
+why-not question (as in the paper, whose default rank is 101).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mqp import modify_query_point
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.mwk import modify_weights_and_k
+
+from conftest import make_query
+
+KS = [10, 30, 50]
+
+
+@pytest.mark.parametrize("k", KS)
+def test_mqp_vs_k(benchmark, k):
+    query = make_query(k=k, rank=80)
+    result = benchmark(lambda: modify_query_point(query))
+    assert 0.0 <= result.penalty <= 1.0
+
+
+@pytest.mark.parametrize("k", KS)
+def test_mwk_vs_k(benchmark, k):
+    query = make_query(k=k, rank=80)
+    result = benchmark(
+        lambda: modify_weights_and_k(
+            query, sample_size=50, rng=np.random.default_rng(0)))
+    assert result.k_refined >= k
+
+
+@pytest.mark.parametrize("k", KS)
+def test_mqwk_vs_k(benchmark, k):
+    query = make_query(k=k, rank=80)
+    result = benchmark(
+        lambda: modify_query_weights_and_k(
+            query, sample_size=20, rng=np.random.default_rng(0)))
+    assert 0.0 <= result.penalty <= 1.0
+
+
+@pytest.mark.parametrize("dataset", ["household", "nba"])
+def test_mwk_real_datasets(benchmark, dataset):
+    """The paper's Figure 9(a)-(b) panels (real-data stand-ins)."""
+    d = 6 if dataset == "household" else 13
+    query = make_query(dataset=dataset, n=3_000, d=d)
+    result = benchmark(
+        lambda: modify_weights_and_k(
+            query, sample_size=50, rng=np.random.default_rng(0)))
+    assert 0.0 <= result.penalty <= 1.0

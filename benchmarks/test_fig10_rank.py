@@ -1,0 +1,45 @@
+"""Figure 10 benchmark: WQRTQ cost vs. actual rank of q under Wm.
+
+Deeper ranks stress every algorithm: MQP's progressive search must go
+deeper before finding the k-th point's hyperplane far from q (larger
+L in Theorem 1), and MWK's k'_max — the sample-pruning threshold —
+grows with the rank.  The paper sweeps {11, 101, 501, 1001}; scaled
+here to {11, 51, 201}.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mqp import modify_query_point
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.mwk import modify_weights_and_k
+
+from conftest import make_query
+
+RANKS = [11, 51, 201]
+
+
+@pytest.mark.parametrize("rank", RANKS)
+def test_mqp_vs_rank(benchmark, rank):
+    query = make_query(rank=rank)
+    result = benchmark(lambda: modify_query_point(query))
+    assert 0.0 <= result.penalty <= 1.0
+
+
+@pytest.mark.parametrize("rank", RANKS)
+def test_mwk_vs_rank(benchmark, rank):
+    query = make_query(rank=rank)
+    result = benchmark(
+        lambda: modify_weights_and_k(
+            query, sample_size=50, rng=np.random.default_rng(0)))
+    # k'_max equals the (single) why-not vector's rank here.
+    assert result.k_max == rank
+
+
+@pytest.mark.parametrize("rank", RANKS)
+def test_mqwk_vs_rank(benchmark, rank):
+    query = make_query(rank=rank)
+    result = benchmark(
+        lambda: modify_query_weights_and_k(
+            query, sample_size=20, rng=np.random.default_rng(0)))
+    assert 0.0 <= result.penalty <= 1.0

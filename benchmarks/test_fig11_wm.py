@@ -1,0 +1,42 @@
+"""Figure 11 benchmark: WQRTQ cost vs. |Wm|.
+
+More why-not vectors mean more k-th-point searches and more QP rows
+for MQP, and an |S| x |Wm| distance matrix plus larger candidate
+updates for MWK.  The paper sweeps |Wm| in {1..5}.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mqp import modify_query_point
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.mwk import modify_weights_and_k
+
+from conftest import make_query
+
+WM_SIZES = [1, 3, 5]
+
+
+@pytest.mark.parametrize("wm", WM_SIZES)
+def test_mqp_vs_wm(benchmark, wm):
+    query = make_query(wm_size=wm)
+    result = benchmark(lambda: modify_query_point(query))
+    assert len(result.kth_points) == wm
+
+
+@pytest.mark.parametrize("wm", WM_SIZES)
+def test_mwk_vs_wm(benchmark, wm):
+    query = make_query(wm_size=wm)
+    result = benchmark(
+        lambda: modify_weights_and_k(
+            query, sample_size=50, rng=np.random.default_rng(0)))
+    assert len(result.weights_refined) == wm
+
+
+@pytest.mark.parametrize("wm", WM_SIZES)
+def test_mqwk_vs_wm(benchmark, wm):
+    query = make_query(wm_size=wm)
+    result = benchmark(
+        lambda: modify_query_weights_and_k(
+            query, sample_size=20, rng=np.random.default_rng(0)))
+    assert len(result.weights_refined) == wm

@@ -1,0 +1,57 @@
+"""Figure 12 benchmark: WQRTQ cost vs. sample size.
+
+MWK and MQWK trade time for quality through |S|; MQP ignores it (the
+paper's flat MQP curves).  The penalty-vs-|S| trend is asserted
+directly in the MWK quality check below.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mqp import modify_query_point
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.mwk import modify_weights_and_k
+
+from conftest import make_query
+
+SAMPLE_SIZES = [25, 100, 400]
+
+
+@pytest.mark.parametrize("s", SAMPLE_SIZES)
+def test_mwk_vs_sample_size(benchmark, s):
+    query = make_query()
+    result = benchmark(
+        lambda: modify_weights_and_k(
+            query, sample_size=s, rng=np.random.default_rng(0)))
+    assert result.samples_examined >= 0
+
+
+@pytest.mark.parametrize("s", SAMPLE_SIZES)
+def test_mqwk_vs_sample_size(benchmark, s):
+    query = make_query()
+    result = benchmark(
+        lambda: modify_query_weights_and_k(
+            query, sample_size=s, q_sample_size=20,
+            rng=np.random.default_rng(0)))
+    assert 0.0 <= result.penalty <= 1.0
+
+
+def test_mqp_flat_in_sample_size(benchmark):
+    """MQP does not sample; one cell as the figure's flat line."""
+    query = make_query()
+    result = benchmark(lambda: modify_query_point(query))
+    assert 0.0 <= result.penalty <= 1.0
+
+
+def test_mwk_penalty_improves_with_samples():
+    """Quality check (not a timing benchmark): mean penalty at |S|=400
+    must not exceed mean penalty at |S|=25 across seeds — the paper's
+    downward penalty trend in Figure 12."""
+    query = make_query()
+    small = [modify_weights_and_k(
+        query, sample_size=25,
+        rng=np.random.default_rng(seed)).penalty for seed in range(5)]
+    large = [modify_weights_and_k(
+        query, sample_size=400,
+        rng=np.random.default_rng(seed)).penalty for seed in range(5)]
+    assert np.mean(large) <= np.mean(small) + 1e-9

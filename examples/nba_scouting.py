@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""NBA scouting: which coaching styles would draft this player?
+
+The paper's NBA experiment views each player season as a point in a
+13-dimensional stat space and each "coach" as a weighting vector over
+those stats.  A *reverse top-k* query asks: which coaching styles rank
+our prospect among their k best options?  A *why-not* question asks:
+coach X passed on the prospect — what (minimal) stat improvement, or
+what (minimal) shift in the coach's priorities, would change that?
+
+Uses the NBA-like stand-in dataset (the real file is not
+redistributable; see DESIGN.md §4).  Smaller coordinates = better.
+
+Run:  python examples/nba_scouting.py
+"""
+
+import numpy as np
+
+from repro import WQRTQ
+from repro.data import nba_like, preference_set
+from repro.data.synthetic import query_point_with_rank
+
+SEED = 3
+N_PLAYERS = 5_000     # scaled-down season database
+DIM = 13
+K = 15
+
+rng = np.random.default_rng(SEED)
+
+players = nba_like(n=N_PLAYERS, d=DIM, seed=SEED)
+
+# 50 coaching styles; mildly concentrated (everyone values scoring).
+coaches = preference_set(50, DIM, seed=SEED + 1, concentration=2.0)
+
+# Our prospect: a player ranked ~40th for an all-round coach — solid
+# but not a lock.
+allround = np.full(DIM, 1.0 / DIM)
+prospect = query_point_with_rank(players, allround, 40) * 1.01
+
+engine = WQRTQ(players, prospect, k=K, weights=coaches)
+
+drafting = engine.reverse_topk()
+print(f"{len(drafting)} of 50 coaching styles would draft the "
+      f"prospect at k = {K}")
+
+missing = engine.missing_weights()
+if len(missing) == 0:
+    raise SystemExit("every coach already drafts the prospect")
+
+# The scout cares about one specific sceptical coach.
+target = missing[:1]
+print(f"\nTarget sceptic's priorities (top 3 stats): "
+      f"{np.argsort(target[0])[::-1][:3].tolist()}")
+
+[expl] = engine.explain(target, max_culprits=5)
+print(f"The sceptic ranks the prospect {expl.rank_of_q}"
+      f" (needs <= {K}); {expl.rank_of_q - 1} players stand in the "
+      f"way, e.g. ids {expl.culprit_ids[:5].tolist()}")
+
+print("\nOption 1 — training plan (MQP): improve the stat line")
+mqp = engine.modify_query_point(target)
+delta = prospect - mqp.q_refined
+improved = np.argsort(delta)[::-1][:3]
+print(f"  focus stats {improved.tolist()} "
+      f"(largest required improvements); penalty {mqp.penalty:.4f}")
+
+print("\nOption 2 — pitch deck (MWK): shift the coach's priorities")
+mwk = engine.modify_weights_and_k(target, sample_size=800, rng=rng)
+shift = np.abs(mwk.weights_refined[0] - target[0])
+print(f"  k' = {mwk.k_refined} (Δk = {mwk.delta_k}); "
+      f"biggest priority shifts at stats "
+      f"{np.argsort(shift)[::-1][:3].tolist()}; "
+      f"penalty {mwk.penalty:.4f}")
+
+print("\nOption 3 — both (MQWK)")
+mqwk = engine.modify_all(target, sample_size=200, rng=rng)
+print(f"  penalty {mqwk.penalty:.4f} "
+      f"(q-share {mqwk.q_penalty_share:.4f}, "
+      f"preference-share {mqwk.wk_penalty_share:.4f})")

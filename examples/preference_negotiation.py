@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Preference negotiation: tolerance trade-offs and the mono mode.
+
+Two studies on a 2-D catalogue (price, delivery time):
+
+1. **Monochromatic why-not.**  Without a known customer panel, the
+   reverse top-k result is a *region* of weighting space.  We compute
+   it exactly, pick why-not vectors outside it, and show the exact
+   2-D safe region polygon MQP optimizes over.
+
+2. **Bargaining curve.**  The joint penalty Eq. (5) blends the
+   manufacturer's cost (gamma) and the customers' cost (lambda).
+   Sweeping gamma traces the compromise frontier between "change the
+   product" and "change the customers' minds" — the bargaining model
+   the paper motivates via Goh et al. [13].
+
+Run:  python examples/preference_negotiation.py
+"""
+
+import numpy as np
+
+from repro import WQRTQ
+from repro.core.penalty import PenaltyConfig
+from repro.core.safe_region import safe_region_polygon
+from repro.data import anticorrelated
+
+SEED = 11
+rng = np.random.default_rng(SEED)
+
+catalogue = anticorrelated(400, 2, seed=SEED)
+q = np.array([0.40, 0.40])   # competitive for balanced customers only
+K = 8
+
+engine = WQRTQ(catalogue, q, k=K)
+
+print("== 1. Monochromatic reverse top-8 ==")
+intervals = engine.reverse_topk()
+if intervals:
+    for iv in intervals:
+        print(f"q is a top-{K} choice for w1 in "
+              f"[{iv.lo:.3f}, {iv.hi:.3f}]")
+else:
+    print(f"no weighting vector ranks q in its top-{K}")
+
+# Why-not vectors: just outside the qualifying region (cf. A and D in
+# the paper's Figure 2(b)).
+lo = intervals[0].lo if intervals else 0.5
+hi = intervals[-1].hi if intervals else 0.5
+why_not = np.array([
+    [max(lo - 0.08, 0.01), 1.0 - max(lo - 0.08, 0.01)],
+    [min(hi + 0.08, 0.99), 1.0 - min(hi + 0.08, 0.99)],
+])
+print(f"why-not vectors: {np.round(why_not, 3).tolist()}")
+
+polygon = safe_region_polygon(catalogue, q, why_not, K)
+print(f"\nExact safe region: {len(polygon.vertices)}-gon, "
+      f"area {polygon.area():.4f} "
+      f"(of the {float(np.prod(q)):.4f} box [0, q])")
+
+mqp = engine.modify_query_point(why_not)
+print(f"MQP optimum q' = {np.round(mqp.q_refined, 3)} "
+      f"(penalty {mqp.penalty:.4f}); inside region: "
+      f"{polygon.contains(tuple(mqp.q_refined), atol=1e-6)}")
+
+print("\n== 2. Bargaining curve (gamma = manufacturer tolerance) ==")
+print(f"{'gamma':>6} {'penalty':>9} {'q-share':>9} {'W,k-share':>10}"
+      f" {'interpretation'}")
+for gamma in (0.1, 0.3, 0.5, 0.7, 0.9):
+    config = PenaltyConfig(gamma=gamma, lam=1.0 - gamma)
+    nego = WQRTQ(catalogue, q, K, penalty_config=config)
+    res = nego.modify_all(why_not, sample_size=300,
+                          rng=np.random.default_rng(SEED))
+    if res.q_penalty_share > res.wk_penalty_share * 2:
+        story = "mostly redesign"
+    elif res.wk_penalty_share > res.q_penalty_share * 2:
+        story = "mostly persuasion"
+    else:
+        story = "genuine compromise"
+    print(f"{gamma:>6.1f} {res.penalty:>9.4f} "
+          f"{res.q_penalty_share:>9.4f} {res.wk_penalty_share:>10.4f}"
+          f" {story}")
+
+print("\nReading: a small gamma makes product changes cheap, so the"
+      "\noptimum leans on redesign; a large gamma shifts the burden"
+      "\nto customer persuasion (Wm, k changes).")

@@ -1,0 +1,65 @@
+"""repro — Answering Why-not Questions on Reverse Top-k Queries.
+
+A from-scratch Python reproduction of Gao, Liu, Chen, Zheng, Zhou,
+*Answering Why-not Questions on Reverse Top-k Queries*, PVLDB 8(7),
+2015, including every substrate the paper builds on: an R-tree, the
+BRS branch-and-bound top-k engine, monochromatic and bichromatic
+reverse top-k queries, a convex-QP interior-point solver, and the
+WQRTQ why-not framework itself (MQP / MWK / MQWK).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import WQRTQ
+>>> P = np.array([[2, 1], [6, 3], [1, 9], [9, 3],
+...               [7, 5], [5, 8], [3, 7]], dtype=float)
+>>> W = np.array([[0.9, 0.1], [0.5, 0.5], [0.3, 0.7], [0.1, 0.9]])
+>>> q = np.array([4.0, 4.0])
+>>> engine = WQRTQ(P, q, k=3, weights=W)
+>>> engine.reverse_topk().tolist()      # Tony and Anna like q
+[1, 2]
+>>> missing = engine.missing_weights()  # Julia and Kevin do not...
+>>> result = engine.modify_query_point(missing)
+>>> bool(result.penalty < 0.35)         # ...but a small nudge wins them
+True
+"""
+
+from repro.core import (
+    MQPResult,
+    MQWKResult,
+    MWKResult,
+    PenaltyConfig,
+    WQRTQ,
+    WhyNotExplanation,
+    WhyNotQuery,
+    explain_why_not,
+    modify_query_point,
+    modify_query_weights_and_k,
+    modify_weights_and_k,
+)
+from repro.index import RTree
+from repro.rtopk import brtopk_naive, brtopk_rta, mrtopk_2d
+from repro.topk import BRSEngine, topk_scan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BRSEngine",
+    "MQPResult",
+    "MQWKResult",
+    "MWKResult",
+    "PenaltyConfig",
+    "RTree",
+    "WQRTQ",
+    "WhyNotExplanation",
+    "WhyNotQuery",
+    "brtopk_naive",
+    "brtopk_rta",
+    "explain_why_not",
+    "modify_query_point",
+    "modify_query_weights_and_k",
+    "modify_weights_and_k",
+    "mrtopk_2d",
+    "topk_scan",
+    "__version__",
+]

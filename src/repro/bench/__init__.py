@@ -1,0 +1,25 @@
+"""Benchmark harness for the paper's evaluation (Section 5).
+
+* :mod:`repro.bench.config` — Table 1's parameter grid (paper scale)
+  and the scaled-down defaults used on a laptop / in CI.
+* :mod:`repro.bench.harness` — workload construction and single-cell
+  measurement (one dataset × one parameter setting × three
+  algorithms).
+* :mod:`repro.bench.figures` — one driver per figure (7-12) plus the
+  ablation studies; each prints the same rows the paper plots.
+
+Command line: ``python -m repro.bench fig9 --paper-scale`` (see
+``python -m repro.bench --help``).
+"""
+
+from repro.bench.config import PAPER_PARAMS, SCALED_PARAMS, ParameterGrid
+from repro.bench.harness import CellResult, ExperimentCell, run_cell
+
+__all__ = [
+    "CellResult",
+    "ExperimentCell",
+    "PAPER_PARAMS",
+    "ParameterGrid",
+    "SCALED_PARAMS",
+    "run_cell",
+]

@@ -1,0 +1,42 @@
+"""``python -m repro.bench`` — regenerate the paper's figures.
+
+Examples
+--------
+::
+
+    python -m repro.bench fig7               # scaled grid (fast)
+    python -m repro.bench fig9 --paper-scale # Table 1 sizes (slow!)
+    python -m repro.bench all                # every figure + ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.config import PAPER_PARAMS, SCALED_PARAMS
+from repro.bench.figures import FIGURES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the evaluation figures of 'Answering "
+                    "Why-not Questions on Reverse Top-k Queries'.")
+    parser.add_argument("figure",
+                        choices=sorted(FIGURES) + ["all"],
+                        help="which figure/ablation to run")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use Table 1's original sizes (up to "
+                             "1M points; hours of runtime)")
+    args = parser.parse_args(argv)
+
+    grid = PAPER_PARAMS if args.paper_scale else SCALED_PARAMS
+    targets = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in targets:
+        FIGURES[name](grid)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""Per-figure experiment drivers (Figures 7-12 + ablations).
+
+Each ``figN`` function sweeps exactly the parameter its figure varies,
+holding everything else at the grid's defaults, and returns the rows
+it printed — callers (the CLI, EXPERIMENTS.md regeneration, tests) can
+post-process them.
+
+Datasets per figure follow the paper: Figures 7-8 use the synthetic
+distributions only; Figures 9-12 add the Household and NBA stand-ins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.bench.config import SCALED_PARAMS, ParameterGrid
+from repro.bench.harness import (
+    CellResult,
+    ExperimentCell,
+    print_rows,
+    run_cell,
+)
+
+
+def _default_cell(grid: ParameterGrid, dataset: str,
+                  **overrides) -> ExperimentCell:
+    n = grid.real_sizes.get(dataset, grid.default_cardinality)
+    params = dict(dataset=dataset, n=n, d=grid.default_dim,
+                  k=grid.default_k, rank=grid.default_rank,
+                  wm_size=grid.default_wm_size,
+                  sample_size=grid.default_sample_size, seed=0)
+    params.update(overrides)
+    if dataset in grid.real_sizes:
+        # Real datasets have fixed dimensionality.
+        params["d"] = 13 if dataset == "nba" else 6
+    return ExperimentCell(**params)
+
+
+def _sweep(grid: ParameterGrid, datasets: Iterable[str], vary: str,
+           values: Iterable, **fixed) -> list[CellResult]:
+    results = []
+    for dataset in datasets:
+        for value in values:
+            cell = _default_cell(grid, dataset, **{vary: value},
+                                 **fixed)
+            results.append(run_cell(cell))
+    return results
+
+
+def fig7(grid: ParameterGrid = SCALED_PARAMS, *,
+         quiet: bool = False) -> list[dict]:
+    """Figure 7: cost vs. dimensionality (Independent, Anti-corr.)."""
+    results = _sweep(grid, grid.synthetic_datasets, "d", grid.dims)
+    rows = [r.row() for r in results]
+    if not quiet:
+        print_rows("Figure 7: WQRTQ cost vs. dimensionality", rows, "d")
+    return rows
+
+
+def fig8(grid: ParameterGrid = SCALED_PARAMS, *,
+         quiet: bool = False) -> list[dict]:
+    """Figure 8: cost vs. dataset cardinality."""
+    results = _sweep(grid, grid.synthetic_datasets, "n",
+                     grid.cardinalities)
+    rows = [r.row() for r in results]
+    if not quiet:
+        print_rows("Figure 8: WQRTQ cost vs. dataset cardinality",
+                   rows, "n")
+    return rows
+
+
+def fig9(grid: ParameterGrid = SCALED_PARAMS, *,
+         quiet: bool = False) -> list[dict]:
+    """Figure 9: cost vs. k (all four datasets)."""
+    datasets = grid.real_datasets + grid.synthetic_datasets
+    results = _sweep(grid, datasets, "k", grid.ks)
+    rows = [r.row() for r in results]
+    if not quiet:
+        print_rows("Figure 9: WQRTQ cost vs. k", rows, "k")
+    return rows
+
+
+def fig10(grid: ParameterGrid = SCALED_PARAMS, *,
+          quiet: bool = False) -> list[dict]:
+    """Figure 10: cost vs. actual rank of q under Wm."""
+    datasets = grid.real_datasets + grid.synthetic_datasets
+    results = _sweep(grid, datasets, "rank", grid.ranks)
+    rows = [r.row() for r in results]
+    if not quiet:
+        print_rows("Figure 10: WQRTQ cost vs. actual ranking under Wm",
+                   rows, "rank")
+    return rows
+
+
+def fig11(grid: ParameterGrid = SCALED_PARAMS, *,
+          quiet: bool = False) -> list[dict]:
+    """Figure 11: cost vs. |Wm|."""
+    datasets = grid.real_datasets + grid.synthetic_datasets
+    results = _sweep(grid, datasets, "wm_size", grid.wm_sizes)
+    rows = [r.row() for r in results]
+    if not quiet:
+        print_rows("Figure 11: WQRTQ cost vs. |Wm|", rows, "wm")
+    return rows
+
+
+def fig12(grid: ParameterGrid = SCALED_PARAMS, *,
+          quiet: bool = False) -> list[dict]:
+    """Figure 12: cost vs. sample size."""
+    datasets = grid.real_datasets + grid.synthetic_datasets
+    results = _sweep(grid, datasets, "sample_size", grid.sample_sizes)
+    rows = [r.row() for r in results]
+    if not quiet:
+        print_rows("Figure 12: WQRTQ cost vs. sample size", rows, "S")
+    return rows
+
+
+# ---------------------------------------------------------------------
+# Ablations (design choices of Section 4, beyond the paper's figures)
+# ---------------------------------------------------------------------
+
+def ablation_reuse(grid: ParameterGrid = SCALED_PARAMS, *,
+                   quiet: bool = False) -> list[dict]:
+    """MQWK with vs. without the R-tree reuse cache (Section 4.4)."""
+    import time
+
+    import numpy as np
+
+    from repro.bench.harness import build_workload
+    from repro.core.mqwk import modify_query_weights_and_k
+
+    rows = []
+    for dataset in grid.synthetic_datasets:
+        cell = _default_cell(grid, dataset)
+        query = build_workload(cell)
+        query.rtree
+        for use_reuse in (True, False):
+            start = time.perf_counter()
+            res = modify_query_weights_and_k(
+                query, sample_size=cell.sample_size,
+                rng=np.random.default_rng(0), use_reuse=use_reuse)
+            elapsed = time.perf_counter() - start
+            rows.append({"dataset": dataset, "reuse": use_reuse,
+                         "time": elapsed, "penalty": res.penalty})
+    if not quiet:
+        print("\n=== Ablation: MQWK reuse technique ===")
+        print(f"{'dataset':>16} {'reuse':>6} {'time(s)':>9} "
+              f"{'penalty':>8}")
+        for r in rows:
+            print(f"{r['dataset']:>16} {str(r['reuse']):>6} "
+                  f"{r['time']:>9.3f} {r['penalty']:>8.3f}")
+    return rows
+
+
+def ablation_sampler(grid: ParameterGrid = SCALED_PARAMS, *,
+                     quiet: bool = False) -> list[dict]:
+    """Hyperplane-restricted sampling vs. naive simplex sampling.
+
+    The paper restricts MWK's sample space to the hyperplanes spanned
+    by q and its incomparable points.  This ablation gives a naive
+    sampler the same budget on the whole simplex and compares the
+    achieved penalties.
+    """
+    import numpy as np
+
+    from repro.bench.harness import build_workload
+    from repro.core.incomparable import find_incomparable
+    from repro.core.mwk import modify_weights_and_k
+    from repro.core.penalty import DEFAULT_PENALTY
+    from repro.core.sampling import sample_simplex
+
+    rows = []
+    for dataset in grid.synthetic_datasets:
+        cell = _default_cell(grid, dataset)
+        query = build_workload(cell)
+        hyper = modify_weights_and_k(
+            query, sample_size=cell.sample_size,
+            rng=np.random.default_rng(0), include_originals=False)
+
+        # Naive: same budget, samples from the whole simplex.  Re-run
+        # the scan with pre-drawn samples by monkey-free injection:
+        # emulate by drawing simplex samples and calling the core with
+        # a patched sampler is invasive; instead measure quality as
+        # "best achievable penalty from naive samples" directly.
+        inc = find_incomparable(query.rtree, query.q)
+        naive_samples = sample_simplex(np.random.default_rng(0),
+                                       cell.sample_size, cell.d)
+        from repro.core.penalty import penalty_weights_k
+        from repro.core.sampling import ranks_under_weights
+        inc_pts = query.points[inc.incomparable_ids]
+        ranks = ranks_under_weights(naive_samples, inc_pts,
+                                    inc.n_dominating, query.q)
+        k_max = hyper.k_max
+        best = 0.5  # the pure-k fallback
+        order = np.argsort(ranks)
+        w0 = query.why_not[0]
+        for idx in order:
+            if ranks[idx] > k_max:
+                break
+            cand = naive_samples[idx].reshape(1, -1)
+            pen = penalty_weights_k(
+                query.why_not[:1], cand, cell.k,
+                max(cell.k, int(ranks[idx])), k_max, DEFAULT_PENALTY)
+            best = min(best, pen)
+        rows.append({"dataset": dataset,
+                     "hyperplane_penalty": hyper.penalty,
+                     "naive_penalty": float(best)})
+    if not quiet:
+        print("\n=== Ablation: MWK sample space ===")
+        print(f"{'dataset':>16} {'hyperplane':>11} {'naive':>8}")
+        for r in rows:
+            print(f"{r['dataset']:>16} {r['hyperplane_penalty']:>11.4f}"
+                  f" {r['naive_penalty']:>8.4f}")
+    return rows
+
+
+def ablation_topk(grid: ParameterGrid = SCALED_PARAMS, *,
+                  quiet: bool = False) -> list[dict]:
+    """BRS vs. sequential scan inside MQP's k-th-point phase."""
+    import time
+
+    from repro.bench.harness import build_workload
+    from repro.core.mqp import modify_query_point
+
+    rows = []
+    for dataset in grid.synthetic_datasets:
+        cell = _default_cell(grid, dataset)
+        query = build_workload(cell)
+        query.rtree
+        for use_rtree in (True, False):
+            start = time.perf_counter()
+            res = modify_query_point(query, use_rtree=use_rtree)
+            elapsed = time.perf_counter() - start
+            rows.append({"dataset": dataset, "engine":
+                         "BRS" if use_rtree else "scan",
+                         "time": elapsed, "penalty": res.penalty})
+    if not quiet:
+        print("\n=== Ablation: MQP top-k engine ===")
+        print(f"{'dataset':>16} {'engine':>6} {'time(s)':>9} "
+              f"{'penalty':>8}")
+        for r in rows:
+            print(f"{r['dataset']:>16} {r['engine']:>6} "
+                  f"{r['time']:>9.3f} {r['penalty']:>8.3f}")
+    return rows
+
+
+FIGURES = {
+    "fig7": fig7, "fig8": fig8, "fig9": fig9, "fig10": fig10,
+    "fig11": fig11, "fig12": fig12,
+    "ablation-reuse": ablation_reuse,
+    "ablation-sampler": ablation_sampler,
+    "ablation-topk": ablation_topk,
+}

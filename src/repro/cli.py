@@ -1,0 +1,163 @@
+"""``wqrtq`` — command-line interface to the WQRTQ framework.
+
+Subcommands
+-----------
+
+``query``
+    Run a reverse top-k query on a generated dataset and show the
+    result plus which panel members are missing.
+``refine``
+    Answer a why-not question with MQP / MWK / MQWK on a generated
+    workload (the same workloads the benchmark harness uses).
+``bench``
+    Regenerate a figure of the paper (delegates to
+    :mod:`repro.bench`).
+
+Examples
+--------
+::
+
+    wqrtq query --dataset independent -n 5000 -d 3 -k 10
+    wqrtq refine --algorithm mqwk --rank 101 --sample-size 400
+    wqrtq bench fig9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="independent",
+                        choices=["independent", "anticorrelated",
+                                 "correlated", "nba", "household"])
+    parser.add_argument("-n", "--cardinality", type=int, default=20_000)
+    parser.add_argument("-d", "--dim", type=int, default=3)
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_query(args) -> int:
+    from repro.bench.harness import ExperimentCell, build_workload
+    from repro.rtopk.bichromatic import brtopk_rta
+
+    cell = ExperimentCell(dataset=args.dataset, n=args.cardinality,
+                          d=args.dim, k=args.k, rank=args.rank,
+                          wm_size=1, sample_size=1, seed=args.seed)
+    query = build_workload(cell)
+    panel = np.random.default_rng(args.seed + 5).dirichlet(
+        np.ones(query.dim), size=args.panel)
+    members = brtopk_rta(query.rtree, panel, query.q, args.k)
+    print(f"dataset: {cell.label()}")
+    print(f"q = {np.round(query.q, 4).tolist()}")
+    print(f"reverse top-{args.k}: {len(members)} of {args.panel} panel "
+          f"vectors rank q in their top-{args.k}")
+    if len(members):
+        print("member indices:", members.tolist())
+    return 0
+
+
+def _cmd_refine(args) -> int:
+    from repro.bench.harness import ExperimentCell, build_workload
+    from repro.core.explain import explain_why_not
+    from repro.core.mqp import modify_query_point
+    from repro.core.mqwk import modify_query_weights_and_k
+    from repro.core.mwk import modify_weights_and_k
+
+    cell = ExperimentCell(dataset=args.dataset, n=args.cardinality,
+                          d=args.dim, k=args.k, rank=args.rank,
+                          wm_size=args.wm_size,
+                          sample_size=args.sample_size, seed=args.seed)
+    query = build_workload(cell)
+    print(f"workload: {cell.label()}")
+    print(f"q = {np.round(query.q, 4).tolist()}")
+    print(f"why-not ranks: {query.ranks().tolist()}")
+
+    if args.explain:
+        for expl in explain_why_not(query.rtree, query.q,
+                                    query.why_not, query.k,
+                                    max_culprits=5):
+            print("  " + expl.describe(query.k))
+
+    rng = np.random.default_rng(args.seed + 10)
+    if args.algorithm in ("mqp", "all"):
+        res = modify_query_point(query)
+        print(f"MQP : q' = {np.round(res.q_refined, 4).tolist()} "
+              f"penalty = {res.penalty:.4f}")
+        if args.plot and query.dim == 2:
+            from repro.core.safe_region import safe_region_polygon
+            from repro.viz import render_plane
+
+            polygon = safe_region_polygon(query.points, query.q,
+                                          query.why_not, query.k)
+            print(render_plane(query.points[:300], query.q,
+                               polygon=polygon, width=56, height=18))
+        elif args.plot:
+            print("(--plot requires 2-dimensional data)")
+    if args.algorithm in ("mwk", "all"):
+        res = modify_weights_and_k(query,
+                                   sample_size=args.sample_size,
+                                   rng=rng)
+        print(f"MWK : k' = {res.k_refined} (k_max = {res.k_max}), "
+              f"ΔW = {res.delta_w:.4f}, penalty = {res.penalty:.4f}")
+    if args.algorithm in ("mqwk", "all"):
+        res = modify_query_weights_and_k(
+            query, sample_size=args.sample_size, rng=rng)
+        print(f"MQWK: q' = {np.round(res.q_refined, 4).tolist()}, "
+              f"k' = {res.k_refined}, penalty = {res.penalty:.4f}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    argv = [args.figure]
+    if args.paper_scale:
+        argv.append("--paper-scale")
+    return bench_main(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="wqrtq",
+        description="Why-not questions on reverse top-k queries "
+                    "(Gao et al., VLDB 2015 — reproduction).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_query = sub.add_parser("query", help="run a reverse top-k query")
+    _add_workload_args(p_query)
+    p_query.add_argument("--rank", type=int, default=51,
+                         help="rank of q under the probe vector")
+    p_query.add_argument("--panel", type=int, default=100,
+                         help="size of the customer panel W")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_refine = sub.add_parser("refine",
+                              help="answer a why-not question")
+    _add_workload_args(p_refine)
+    p_refine.add_argument("--rank", type=int, default=51)
+    p_refine.add_argument("--wm-size", type=int, default=1)
+    p_refine.add_argument("--sample-size", type=int, default=200)
+    p_refine.add_argument("--algorithm", default="all",
+                          choices=["mqp", "mwk", "mqwk", "all"])
+    p_refine.add_argument("--explain", action="store_true",
+                          help="also print aspect (i) explanations")
+    p_refine.add_argument("--plot", action="store_true",
+                          help="render the 2-D safe region (d=2 only)")
+    p_refine.set_defaults(func=_cmd_refine)
+
+    p_bench = sub.add_parser("bench", help="regenerate a paper figure")
+    from repro.bench.figures import FIGURES
+    p_bench.add_argument("figure", choices=sorted(FIGURES) + ["all"])
+    p_bench.add_argument("--paper-scale", action="store_true")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

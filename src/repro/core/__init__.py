@@ -1,0 +1,77 @@
+"""WQRTQ core — the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.framework.WQRTQ` — unified framework façade.
+* :class:`~repro.core.types.WhyNotQuery` and the three result types.
+* The three refinement algorithms as free functions
+  (:func:`modify_query_point`, :func:`modify_weights_and_k`,
+  :func:`modify_query_weights_and_k`).
+* The penalty models of Equations 1/3/4/5.
+* :func:`explain_why_not` — aspect (i) of a why-not question.
+"""
+
+from repro.core.audit import (
+    RefinementAudit,
+    audit_refinement,
+    audit_result,
+)
+from repro.core.batch import BatchReport, WhyNotBatch
+from repro.core.exact import ExactMWKResult, exact_mwk_2d
+from repro.core.explain import WhyNotExplanation, explain_why_not
+from repro.core.framework import WQRTQ
+from repro.core.helo import compose_per_vector, modify_single_weight
+from repro.core.incomparable import (
+    IncomparableCache,
+    IncomparableResult,
+    find_incomparable,
+)
+from repro.core.mqp import modify_query_point
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.mwk import modify_weights_and_k
+from repro.core.penalty import (
+    DEFAULT_PENALTY,
+    PenaltyConfig,
+    penalty_joint,
+    penalty_query_point,
+    penalty_weights_k,
+)
+from repro.core.safe_region import (
+    is_safe,
+    safe_region_polygon,
+    safe_region_system,
+)
+from repro.core.types import MQPResult, MQWKResult, MWKResult, WhyNotQuery
+
+__all__ = [
+    "BatchReport",
+    "DEFAULT_PENALTY",
+    "ExactMWKResult",
+    "IncomparableCache",
+    "RefinementAudit",
+    "WhyNotBatch",
+    "audit_refinement",
+    "audit_result",
+    "compose_per_vector",
+    "exact_mwk_2d",
+    "modify_single_weight",
+    "IncomparableResult",
+    "MQPResult",
+    "MQWKResult",
+    "MWKResult",
+    "PenaltyConfig",
+    "WQRTQ",
+    "WhyNotExplanation",
+    "WhyNotQuery",
+    "explain_why_not",
+    "find_incomparable",
+    "is_safe",
+    "modify_query_point",
+    "modify_query_weights_and_k",
+    "modify_weights_and_k",
+    "penalty_joint",
+    "penalty_query_point",
+    "penalty_weights_k",
+    "safe_region_polygon",
+    "safe_region_system",
+]

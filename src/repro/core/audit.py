@@ -1,0 +1,130 @@
+"""Refinement auditing: validate and price *any* proposed refinement.
+
+The three WQRTQ algorithms produce refinements; analysts also want to
+evaluate refinements of their own ("what if we only lower the price?",
+"what if we pitch the customer to care 10% less about heat?").  This
+module prices an arbitrary ``(q', Wm', k')`` proposal under the
+paper's penalty models and checks its validity — whether every
+(refined) why-not vector really ranks the (refined) query point in
+its top-k'.
+
+It is also how the test suite verifies algorithm outputs end-to-end:
+every result type can be fed back through :func:`audit_refinement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.penalty import (
+    DEFAULT_PENALTY,
+    PenaltyConfig,
+    penalty_joint,
+    penalty_query_point,
+    penalty_weights_k,
+)
+from repro.core.types import MQPResult, MQWKResult, MWKResult, WhyNotQuery
+from repro.topk.scan import rank_of_scan
+
+
+@dataclass(frozen=True)
+class RefinementAudit:
+    """Validity + pricing of one proposed refinement.
+
+    Attributes
+    ----------
+    valid:
+        True iff every refined vector ranks the refined query point
+        within the refined k.
+    ranks:
+        The actual rank of the refined query point under each refined
+        vector.
+    penalty:
+        The applicable penalty: Eq. (1) for a pure-q change, Eq. (4)
+        for a pure-(Wm, k) change, Eq. (5) for a joint change.
+    q_changed / weights_changed / k_changed:
+        Which components the proposal touches.
+    """
+
+    valid: bool
+    ranks: np.ndarray
+    penalty: float
+    q_changed: bool
+    weights_changed: bool
+    k_changed: bool
+
+    @property
+    def kind(self) -> str:
+        """``"mqp"``-, ``"mwk"``- or ``"mqwk"``-shaped proposal."""
+        wk = self.weights_changed or self.k_changed
+        if self.q_changed and wk:
+            return "mqwk"
+        if self.q_changed:
+            return "mqp"
+        return "mwk"
+
+
+def audit_refinement(query: WhyNotQuery, *, q_new=None,
+                     weights_new=None, k_new: int | None = None,
+                     config: PenaltyConfig = DEFAULT_PENALTY,
+                     ) -> RefinementAudit:
+    """Price and validate a proposed refinement of ``query``.
+
+    Unspecified components default to the original query's values.
+    ``k'_max`` for the Eq. (4) normalization is the maximum original
+    rank (Lemma 4), exactly as the algorithms use it.
+    """
+    q_ref = (query.q if q_new is None
+             else np.asarray(q_new, dtype=np.float64))
+    w_ref = (query.why_not if weights_new is None
+             else np.atleast_2d(np.asarray(weights_new,
+                                           dtype=np.float64)))
+    if w_ref.shape != query.why_not.shape:
+        raise ValueError("weights_new must match the why-not set's "
+                         "shape")
+    k_ref = query.k if k_new is None else int(k_new)
+    if k_ref < 1:
+        raise ValueError("refined k must be positive")
+
+    q_changed = bool(np.any(q_ref != query.q))
+    w_changed = bool(np.any(w_ref != query.why_not))
+    k_changed = k_ref != query.k
+
+    ranks = np.asarray(
+        [rank_of_scan(query.points, w, q_ref) for w in w_ref],
+        dtype=np.int64)
+    valid = bool(np.all(ranks <= k_ref))
+
+    k_max = int(query.ranks().max())
+    if q_changed and (w_changed or k_changed):
+        penalty = penalty_joint(query.q, q_ref, query.why_not, w_ref,
+                                query.k, k_ref, k_max, config)
+    elif q_changed:
+        penalty = penalty_query_point(query.q, q_ref)
+    else:
+        penalty = penalty_weights_k(query.why_not, w_ref, query.k,
+                                    k_ref, k_max, config)
+    return RefinementAudit(
+        valid=valid, ranks=ranks, penalty=float(penalty),
+        q_changed=q_changed, weights_changed=w_changed,
+        k_changed=k_changed)
+
+
+def audit_result(query: WhyNotQuery, result, *,
+                 config: PenaltyConfig = DEFAULT_PENALTY,
+                 ) -> RefinementAudit:
+    """Audit an algorithm's output object directly."""
+    if isinstance(result, MQPResult):
+        return audit_refinement(query, q_new=result.q_refined,
+                                config=config)
+    if isinstance(result, MWKResult):
+        return audit_refinement(query,
+                                weights_new=result.weights_refined,
+                                k_new=result.k_refined, config=config)
+    if isinstance(result, MQWKResult):
+        return audit_refinement(query, q_new=result.q_refined,
+                                weights_new=result.weights_refined,
+                                k_new=result.k_refined, config=config)
+    raise TypeError(f"unsupported result type: {type(result)}")

@@ -1,0 +1,138 @@
+"""Batch why-not answering over one dataset.
+
+A manufacturer typically asks many why-not questions against the same
+catalogue — one per (product, customer-set) pair.  Answering them
+independently re-pays the R-tree construction and, for MQWK, the
+``FindIncom`` traversal every time.  :class:`WhyNotBatch` shares the
+index across questions, answers them with any of the three
+algorithms, and aggregates the outcomes into a report — the shape a
+market-analysis dashboard would consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.audit import audit_result
+from repro.core.mqp import modify_query_point
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.mwk import modify_weights_and_k
+from repro.core.penalty import DEFAULT_PENALTY, PenaltyConfig
+from repro.core.types import WhyNotQuery
+from repro.index.rtree import RTree
+
+
+@dataclass
+class BatchItem:
+    """One answered question inside a batch."""
+
+    index: int
+    query: WhyNotQuery
+    algorithm: str
+    result: object
+    penalty: float
+    valid: bool
+    error: str | None = None
+
+
+@dataclass
+class BatchReport:
+    """Aggregate view over a batch run."""
+
+    items: list[BatchItem] = field(default_factory=list)
+
+    @property
+    def n_answered(self) -> int:
+        return sum(1 for item in self.items if item.error is None)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for item in self.items if item.error is not None)
+
+    def penalties(self) -> np.ndarray:
+        return np.asarray([item.penalty for item in self.items
+                           if item.error is None])
+
+    def summary(self) -> dict:
+        pens = self.penalties()
+        return {
+            "answered": self.n_answered,
+            "failed": self.n_failed,
+            "mean_penalty": float(pens.mean()) if len(pens) else None,
+            "max_penalty": float(pens.max()) if len(pens) else None,
+            "all_valid": all(item.valid for item in self.items
+                             if item.error is None),
+        }
+
+
+class WhyNotBatch:
+    """Answer many why-not questions against one shared dataset.
+
+    Parameters
+    ----------
+    points:
+        The catalogue ``P``; the R-tree over it is built once.
+    penalty_config:
+        Shared tolerance weights.
+    """
+
+    def __init__(self, points, *,
+                 penalty_config: PenaltyConfig = DEFAULT_PENALTY):
+        self.points = np.atleast_2d(np.asarray(points,
+                                               dtype=np.float64))
+        self.tree = RTree(self.points)
+        self.penalty_config = penalty_config
+        self._questions: list[tuple[np.ndarray, int, np.ndarray]] = []
+
+    def add_question(self, q, k: int, why_not) -> int:
+        """Queue a question; returns its index in the batch."""
+        self._questions.append((
+            np.asarray(q, dtype=np.float64),
+            int(k),
+            np.atleast_2d(np.asarray(why_not, dtype=np.float64)),
+        ))
+        return len(self._questions) - 1
+
+    def __len__(self) -> int:
+        return len(self._questions)
+
+    def run(self, algorithm: str = "mqp", *, sample_size: int = 200,
+            seed: int = 0) -> BatchReport:
+        """Answer every queued question with one algorithm.
+
+        Questions that fail validation (e.g. a vector that is not
+        actually missing) are reported as failed items instead of
+        aborting the batch.
+        """
+        if algorithm not in ("mqp", "mwk", "mqwk"):
+            raise ValueError(f"unknown algorithm: {algorithm!r}")
+        report = BatchReport()
+        for index, (q, k, wm) in enumerate(self._questions):
+            try:
+                query = WhyNotQuery(points=self.points, q=q, k=k,
+                                    why_not=wm, tree=self.tree)
+                rng = np.random.default_rng(seed + index)
+                if algorithm == "mqp":
+                    result = modify_query_point(query)
+                elif algorithm == "mwk":
+                    result = modify_weights_and_k(
+                        query, sample_size=sample_size, rng=rng,
+                        config=self.penalty_config)
+                else:
+                    result = modify_query_weights_and_k(
+                        query, sample_size=sample_size, rng=rng,
+                        config=self.penalty_config)
+                audit = audit_result(query, result,
+                                     config=self.penalty_config)
+                report.items.append(BatchItem(
+                    index=index, query=query, algorithm=algorithm,
+                    result=result, penalty=audit.penalty,
+                    valid=audit.valid))
+            except ValueError as exc:
+                report.items.append(BatchItem(
+                    index=index, query=None, algorithm=algorithm,
+                    result=None, penalty=float("nan"), valid=False,
+                    error=str(exc)))
+        return report

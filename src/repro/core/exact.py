@@ -1,0 +1,141 @@
+"""Exact refinement oracles (2-D) for quality evaluation.
+
+MWK is a sampling approximation; the paper evaluates its quality only
+by its achieved penalty.  In two dimensions the *exact* optimum of the
+(Wm, k) refinement is computable in closed form for a single why-not
+vector, because the weighting space is the segment ``w1 in [0, 1]``
+and the rank of ``q`` is a piecewise-constant function of ``w1`` whose
+breakpoints are the at-most-``n`` solutions of ``f(w, p) = f(w, q)``:
+
+* enumerate the elementary intervals of the rank function;
+* a candidate refinement for an interval with rank ``r <= k'_max`` is
+  the interval's closest point to the original ``w1`` (the penalty is
+  monotone in ``|w1 - w1_orig|``);
+* minimize Eq. (4) over all candidates (plus breakpoint ties).
+
+This module exists for *validation*: tests and the sampler-quality
+ablation compare MWK's sampled answers against :func:`exact_mwk_2d`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.penalty import DEFAULT_PENALTY, PenaltyConfig
+from repro.geometry.vectors import MAX_SIMPLEX_DISTANCE
+from repro.topk.scan import RANK_EPS, rank_of_scan
+
+_ATOL = 1e-12
+
+
+@dataclass(frozen=True)
+class ExactMWKResult:
+    """The provably optimal single-vector (w, k) refinement in 2-D."""
+
+    weight_refined: np.ndarray
+    k_refined: int
+    penalty: float
+    k_max: int
+
+
+def _rank_profile(points, q):
+    """Breakpoints and per-interval beat counts of ``w1 -> rank(q)``.
+
+    Returns ``(bounds, counts)`` where ``bounds`` has length ``m + 1``
+    and ``counts[j]`` is the number of points beating ``q`` anywhere
+    strictly inside ``(bounds[j], bounds[j + 1])``.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    qv = np.asarray(q, dtype=np.float64)
+    delta = pts - qv
+    a = delta[:, 0] - delta[:, 1]
+    b = delta[:, 1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        roots = np.where(np.abs(a) > _ATOL, -b / a, np.nan)
+    inside = np.isfinite(roots) & (roots > _ATOL) & (roots < 1 - _ATOL)
+    bounds = np.concatenate(([0.0], np.unique(roots[inside]), [1.0]))
+    mids = 0.5 * (bounds[:-1] + bounds[1:])
+    g_mid = np.outer(mids, a) + b
+    counts = np.count_nonzero(g_mid < -RANK_EPS, axis=1)
+    return bounds, counts
+
+
+def exact_mwk_2d(points, q, w0, k: int,
+                 config: PenaltyConfig = DEFAULT_PENALTY,
+                 ) -> ExactMWKResult:
+    """Exact optimum of Definition 9 for ``d = 2`` and ``|Wm| = 1``.
+
+    Parameters
+    ----------
+    points:
+        The dataset (2-D).
+    q:
+        The query point.
+    w0:
+        The (single) why-not weighting vector.
+    k:
+        The original top-k parameter.
+    config:
+        The α/β tolerances of Eq. (4).
+
+    Notes
+    -----
+    The Euclidean weight distance in 2-D is ``sqrt(2) * |w1 - w1'|``
+    (both coordinates move in lockstep on the simplex), so the ΔWm
+    term of Eq. (4) reduces to ``beta * |w1 - w1'|`` after the
+    ``sqrt(2)`` normalization cancels.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if pts.shape[1] != 2:
+        raise ValueError("exact_mwk_2d requires 2-dimensional data")
+    w0 = np.asarray(w0, dtype=np.float64)
+    w1_orig = float(w0[0])
+
+    k_max = rank_of_scan(pts, w0, q)
+    if k_max <= k:
+        return ExactMWKResult(w0.copy(), k, 0.0, k_max)
+    dk_max = k_max - k
+
+    def candidate_penalty(rank: int, w1: float) -> float:
+        dk = max(0, max(k, rank) - k)
+        dw = MAX_SIMPLEX_DISTANCE * abs(w1 - w1_orig)
+        return (config.alpha * dk / dk_max
+                + config.beta * dw / MAX_SIMPLEX_DISTANCE)
+
+    bounds, counts = _rank_profile(pts, q)
+
+    # Seed with the pure-k fallback (keep w0, raise k to k_max).
+    best_penalty = config.alpha
+    best_w1, best_rank = w1_orig, k_max
+
+    # Interval candidates: the closest point of each qualifying
+    # interval to the original w1.
+    for j, count in enumerate(counts):
+        rank = int(count) + 1
+        if rank > k_max:
+            continue
+        w1_star = min(max(w1_orig, float(bounds[j])),
+                      float(bounds[j + 1]))
+        penalty = candidate_penalty(rank, w1_star)
+        if penalty < best_penalty - 1e-15:
+            best_penalty, best_w1, best_rank = penalty, w1_star, rank
+
+    # Breakpoint candidates: ties can dip the rank below both
+    # neighbouring intervals.
+    for w1_star in bounds[1:-1]:
+        rank = rank_of_scan(pts, [w1_star, 1 - w1_star], q)
+        if rank > k_max:
+            continue
+        penalty = candidate_penalty(rank, float(w1_star))
+        if penalty < best_penalty - 1e-15:
+            best_penalty, best_w1, best_rank = (penalty,
+                                                float(w1_star), rank)
+
+    return ExactMWKResult(
+        weight_refined=np.array([best_w1, 1.0 - best_w1]),
+        k_refined=max(k, best_rank),
+        penalty=float(best_penalty),
+        k_max=k_max,
+    )

@@ -1,0 +1,112 @@
+"""Why-not explanations — aspect (i) of Definitions 4-5.
+
+A why-not weighting vector ``w`` misses the reverse top-k result
+because more than ``k - 1`` points score strictly below ``q`` under
+``w``.  Those points *are* the explanation: they are exactly what keeps
+``q`` out of ``TOPk(w)``.  This module streams them with a progressive
+ranked search (BRS when an R-tree is available), stopping at the first
+point scoring no better than ``q`` — the paper's "proceed until the
+query point q is contained in the result".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.vectors import score
+from repro.topk.progressive import progressive_topk
+
+
+@dataclass(frozen=True)
+class WhyNotExplanation:
+    """Explanation for one why-not weighting vector.
+
+    Attributes
+    ----------
+    weight:
+        The why-not vector.
+    culprit_ids:
+        Ids of the points outranking ``q`` under the vector, in rank
+        order.  May be truncated to ``max_culprits``; the *true* count
+        is always ``rank - 1``.
+    culprit_scores:
+        Their scores.
+    q_score:
+        ``f(w, q)``.
+    rank:
+        The actual rank of ``q`` under the vector.
+    """
+
+    weight: np.ndarray
+    culprit_ids: np.ndarray
+    culprit_scores: np.ndarray
+    q_score: float
+    rank: int
+
+    @property
+    def rank_of_q(self) -> int:
+        return self.rank
+
+    @property
+    def truncated(self) -> bool:
+        """True when ``culprit_ids`` holds fewer than ``rank - 1``
+        points (a ``max_culprits`` cap was applied)."""
+        return len(self.culprit_ids) < self.rank - 1
+
+    def describe(self, k: int) -> str:
+        """One-line human-readable explanation."""
+        shown = (f" (showing {len(self.culprit_ids)})"
+                 if self.truncated else "")
+        return (
+            f"q ranks {self.rank} under w={np.round(self.weight, 3)}"
+            f" — {self.rank - 1} point(s) score below"
+            f" f(w, q)={self.q_score:.4f}{shown}, so q misses the"
+            f" top-{k}."
+        )
+
+
+def explain_why_not(source, q, why_not, k: int,
+                    *, max_culprits: int | None = None,
+                    ) -> list[WhyNotExplanation]:
+    """Explain why each vector of ``why_not`` excludes ``q``.
+
+    Parameters
+    ----------
+    source:
+        :class:`~repro.index.rtree.RTree` or raw point array.
+    q:
+        Query point.
+    why_not:
+        ``(m, d)`` array of missing weighting vectors.
+    k:
+        The original reverse top-k parameter (used in descriptions).
+    max_culprits:
+        Optional cap on the number of culprits retrieved per vector
+        (rank can be huge; callers often only display a handful).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    qv = np.asarray(q, dtype=np.float64)
+    out: list[WhyNotExplanation] = []
+    for w in np.atleast_2d(np.asarray(why_not, dtype=np.float64)):
+        target = score(w, qv)
+        ids: list[int] = []
+        scores: list[float] = []
+        beaten_by = 0
+        # Stream the full prefix to learn the true rank; the cap only
+        # bounds what is *stored*.
+        for pid, sc in progressive_topk(source, w, until_score=target):
+            beaten_by += 1
+            if max_culprits is None or len(ids) < max_culprits:
+                ids.append(pid)
+                scores.append(sc)
+        out.append(WhyNotExplanation(
+            weight=w.copy(),
+            culprit_ids=np.asarray(ids, dtype=np.int64),
+            culprit_scores=np.asarray(scores, dtype=np.float64),
+            q_score=float(target),
+            rank=beaten_by + 1,
+        ))
+    return out

@@ -1,0 +1,163 @@
+"""WQRTQ — the unified why-not framework (Figure 4 of the paper).
+
+:class:`WQRTQ` is the user-facing façade.  It is constructed from the
+product dataset, a query point, ``k`` and — for the bichromatic mode —
+the preference set ``W``, and exposes:
+
+* :meth:`reverse_topk` — the original query result (a set of ``W``
+  indices, or 2-D weighting-space intervals for the monochromatic
+  mode);
+* :meth:`explain` — aspect (i): the points responsible for excluding
+  each why-not vector;
+* :meth:`modify_query_point` / :meth:`modify_weights_and_k` /
+  :meth:`modify_all` — the three refinement solutions (Algorithms 1-3).
+
+Why-not vectors are validated per Definition 4/5: monochromatic ones
+may be any simplex vector outside the current result, bichromatic ones
+must additionally belong to ``W``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.explain import WhyNotExplanation, explain_why_not
+from repro.core.mqp import modify_query_point as _mqp
+from repro.core.mqwk import modify_query_weights_and_k as _mqwk
+from repro.core.mwk import modify_weights_and_k as _mwk
+from repro.core.penalty import DEFAULT_PENALTY, PenaltyConfig
+from repro.core.types import MQPResult, MQWKResult, MWKResult, WhyNotQuery
+from repro.index.rtree import RTree
+from repro.rtopk.bichromatic import brtopk_rta
+from repro.rtopk.mono import mrtopk_2d
+
+
+class WQRTQ:
+    """Answer why-not questions on reverse top-k queries.
+
+    Parameters
+    ----------
+    points:
+        The product dataset ``P``, shape ``(n, d)``.
+    q:
+        Query point (the product under analysis).
+    k:
+        Reverse top-k parameter.
+    weights:
+        The preference set ``W`` for bichromatic queries; omit for the
+        monochromatic mode.
+    tree:
+        Optional pre-built R-tree over ``points``.
+    penalty_config:
+        Tolerance weights α/β/γ/λ (defaults: all 0.5, as in the paper's
+        experiments).
+    """
+
+    def __init__(self, points, q, k: int, *, weights=None,
+                 tree: RTree | None = None,
+                 penalty_config: PenaltyConfig = DEFAULT_PENALTY):
+        self.points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.q = np.asarray(q, dtype=np.float64).reshape(-1)
+        self.k = int(k)
+        self.weights = (None if weights is None
+                        else np.atleast_2d(np.asarray(weights,
+                                                      dtype=np.float64)))
+        self._tree = tree
+        self.penalty_config = penalty_config
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_bichromatic(self) -> bool:
+        return self.weights is not None
+
+    @property
+    def tree(self) -> RTree:
+        if self._tree is None:
+            self._tree = RTree(self.points)
+        return self._tree
+
+    @property
+    def dim(self) -> int:
+        return int(self.points.shape[1])
+
+    # ------------------------------------------------------------------
+    # The original reverse top-k query
+    # ------------------------------------------------------------------
+
+    def reverse_topk(self):
+        """Result of the original reverse top-k query.
+
+        Bichromatic mode: sorted indices into ``W``.  Monochromatic
+        mode (2-D only): list of qualifying ``w1`` intervals.
+        """
+        if self.is_bichromatic:
+            return brtopk_rta(self.tree, self.weights, self.q, self.k)
+        if self.dim != 2:
+            raise ValueError("monochromatic result enumeration is "
+                             "implemented for 2-D data")
+        return mrtopk_2d(self.points, self.q, self.k)
+
+    def missing_weights(self) -> np.ndarray:
+        """``W \\ BRTOPk(q)`` — the legal why-not vectors (Def. 5)."""
+        if not self.is_bichromatic:
+            raise ValueError("missing_weights requires a bichromatic "
+                             "query (a finite W)")
+        members = set(self.reverse_topk().tolist())
+        keep = [i for i in range(len(self.weights)) if i not in members]
+        return self.weights[keep]
+
+    # ------------------------------------------------------------------
+    # Why-not question construction / validation
+    # ------------------------------------------------------------------
+
+    def make_question(self, why_not) -> WhyNotQuery:
+        """Validate a why-not vector set and bind it to this query.
+
+        Bichromatic mode additionally requires every vector to be a row
+        of ``W`` (Definition 5).
+        """
+        wm = np.atleast_2d(np.asarray(why_not, dtype=np.float64))
+        if self.is_bichromatic:
+            for row in wm:
+                if not np.any(np.all(np.isclose(self.weights, row,
+                                                atol=1e-9), axis=1)):
+                    raise ValueError(
+                        f"bichromatic why-not vector {row} is not in W")
+        return WhyNotQuery(points=self.points, q=self.q, k=self.k,
+                           why_not=wm, tree=self.tree)
+
+    # ------------------------------------------------------------------
+    # Aspect (i): explanation
+    # ------------------------------------------------------------------
+
+    def explain(self, why_not, *, max_culprits: int | None = None,
+                ) -> list[WhyNotExplanation]:
+        """Why is each vector missing?  (The culprit points.)"""
+        question = self.make_question(why_not)
+        return explain_why_not(self.tree, question.q, question.why_not,
+                               question.k, max_culprits=max_culprits)
+
+    # ------------------------------------------------------------------
+    # Aspect (ii): the three refinement solutions
+    # ------------------------------------------------------------------
+
+    def modify_query_point(self, why_not) -> MQPResult:
+        """Solution 1 (Algorithm 1): move the product."""
+        return _mqp(self.make_question(why_not))
+
+    def modify_weights_and_k(self, why_not, *, sample_size: int = 800,
+                             rng=None) -> MWKResult:
+        """Solution 2 (Algorithm 2): nudge the customers."""
+        return _mwk(self.make_question(why_not),
+                    sample_size=sample_size, rng=rng,
+                    config=self.penalty_config)
+
+    def modify_all(self, why_not, *, sample_size: int = 800,
+                   q_sample_size: int | None = None, rng=None,
+                   ) -> MQWKResult:
+        """Solution 3 (Algorithm 3): meet in the middle."""
+        return _mqwk(self.make_question(why_not),
+                     sample_size=sample_size,
+                     q_sample_size=q_sample_size, rng=rng,
+                     config=self.penalty_config)

@@ -1,0 +1,96 @@
+"""MQP — Modifying the Query Point (Algorithm 1).
+
+Given a why-not question, MQP finds the refined product ``q'`` closest
+to ``q`` (Eq. 1) whose reverse top-k result contains every why-not
+vector:
+
+1. For each why-not vector ``w_i``, retrieve its top-k-th point ``p_i``
+   by progressive branch-and-bound search (BRS) on the R-tree.
+2. Solve the quadratic program
+
+       min ||q' - q||²
+       s.t. f(w_i, q') <= f(w_i, p_i)   for every i      (safe region)
+            0 <= q' <= q                                  (shrink only)
+
+   with the interior-point solver of :mod:`repro.qp`.
+
+The QP replaces the explicit (and dimensionally cursed) half-space
+intersection; Lemma 2 guarantees feasibility of any point in the safe
+region, and the region always contains the origin, so the program is
+feasible by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.penalty import penalty_query_point
+from repro.core.safe_region import kth_points_for
+from repro.core.types import MQPResult, WhyNotQuery
+from repro.qp.problems import closest_point_in_halfspaces
+from repro.qp.solver import QPStatus
+
+
+def modify_query_point(query: WhyNotQuery, *,
+                       use_rtree: bool = True) -> MQPResult:
+    """Run Algorithm 1 and return the refined query point.
+
+    Parameters
+    ----------
+    query:
+        The validated why-not question.
+    use_rtree:
+        When False, the k-th points are found by sequential scan
+        instead of BRS (ablation hook; identical results).
+
+    Raises
+    ------
+    RuntimeError
+        If the interior-point solver fails to converge (should not
+        happen: the program is always feasible).
+    """
+    source = query.rtree if use_rtree else query.points
+    kth_ids, kth_scores = kth_points_for(source, query.why_not, query.k)
+
+    result = closest_point_in_halfspaces(
+        query.q,
+        query.why_not,
+        kth_scores,
+        lower=np.zeros(query.dim),
+        upper=query.q,
+    )
+    if result.status is not QPStatus.OPTIMAL:
+        raise RuntimeError(
+            f"MQP quadratic program did not converge: {result.status}")
+
+    q_refined = _polish(result.x, query, kth_scores)
+    return MQPResult(
+        q_refined=q_refined,
+        penalty=penalty_query_point(query.q, q_refined),
+        kth_points=kth_ids,
+        kth_scores=kth_scores,
+        qp_iterations=result.iterations,
+        kkt_residual=result.kkt_residual,
+    )
+
+
+def _polish(x: np.ndarray, query: WhyNotQuery,
+            kth_scores: np.ndarray) -> np.ndarray:
+    """Clamp interior-point round-off so the certificate is exact.
+
+    The IPM returns points a hair inside (or outside) the boundary;
+    we project onto the box and, if any score constraint is violated by
+    float noise, scale toward the origin (which satisfies all
+    constraints strictly whenever the k-th scores are positive).
+    """
+    q_refined = np.clip(x, 0.0, query.q)
+    slack = query.why_not @ q_refined - kth_scores
+    worst = float(np.max(slack, initial=0.0))
+    if worst <= 0.0:
+        return q_refined
+    # Scale down until feasible: scores scale linearly with q_refined.
+    scores = query.why_not @ q_refined
+    with np.errstate(divide="ignore"):
+        ratios = np.where(scores > 0, kth_scores / scores, 1.0)
+    scale = float(np.clip(np.min(ratios), 0.0, 1.0))
+    return q_refined * scale

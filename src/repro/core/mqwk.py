@@ -1,0 +1,125 @@
+"""MQWK — Modifying q, Wm and k simultaneously (Algorithm 3).
+
+MQWK searches the joint refinement space by sampling:
+
+1. Run MQP to obtain ``q_min`` — the closest fully-safe query point.
+   Only query points in the box ``[q_min, q]`` can participate in an
+   optimal joint answer: outside it, either the (Wm, k) part needs no
+   change (and MQP already found the cheapest such point) or the
+   q-penalty alone already exceeds MQP's total (Section 4.4).
+2. Sample ``|Q|`` query points from that box.
+3. For each sample ``q'`` run MWK, *reusing* a single R-tree traversal:
+   the :class:`~repro.core.incomparable.IncomparableCache` collects all
+   points not dominated by ``q`` once, and re-partitions them per
+   sample with two vectorized comparisons.
+4. Return the tuple ``(q', Wm', k')`` with the smallest Eq. (5) joint
+   penalty.
+
+The two box endpoints are always evaluated as candidates — ``(q_min,
+Wm, k)`` (pure MQP) and ``(q, MWK(q))`` (pure MWK) — so MQWK's joint
+penalty is never worse than either single-sided refinement, an
+invariant the test suite checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.incomparable import IncomparableCache, find_incomparable
+from repro.core.mqp import modify_query_point
+from repro.core.mwk import _mwk_core
+from repro.core.penalty import (
+    DEFAULT_PENALTY,
+    PenaltyConfig,
+    penalty_query_point,
+)
+from repro.core.sampling import sample_query_points
+from repro.core.types import MQWKResult, MWKResult, WhyNotQuery
+
+
+def modify_query_weights_and_k(query: WhyNotQuery, *,
+                               sample_size: int = 800,
+                               q_sample_size: int | None = None,
+                               rng: np.random.Generator | None = None,
+                               config: PenaltyConfig = DEFAULT_PENALTY,
+                               include_originals: bool = True,
+                               use_reuse: bool = True) -> MQWKResult:
+    """Run Algorithm 3 and return the best joint refinement.
+
+    Parameters
+    ----------
+    query:
+        The why-not question.
+    sample_size:
+        ``|S|`` — weight samples per MWK invocation.
+    q_sample_size:
+        ``|Q|`` — query-point samples; defaults to ``sample_size``
+        (the paper sets both sizes equal in its experiments).
+    rng:
+        Random generator (fixed default seed for reproducibility).
+    config:
+        Penalty tolerances (α, β, γ, λ).
+    include_originals:
+        Forwarded to MWK (mixed candidates).
+    use_reuse:
+        Disable to re-run the full ``FindIncom`` tree traversal per
+        sample query point (the ablation of the paper's reuse
+        technique).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    q_samples = q_sample_size if q_sample_size is not None else sample_size
+
+    mqp_result = modify_query_point(query)
+    q_min = mqp_result.q_refined
+
+    cache = IncomparableCache(query.rtree, query.q) if use_reuse else None
+
+    def mwk_at(q_prime: np.ndarray) -> MWKResult:
+        if cache is not None:
+            inc = cache.partition(q_prime)
+        else:
+            inc = find_incomparable(query.rtree, q_prime)
+        return _mwk_core(
+            points=query.points, inc=inc, q=q_prime,
+            why_not=query.why_not, k=query.k, sample_size=sample_size,
+            rng=rng, config=config, include_originals=include_originals)
+
+    # Endpoint candidates: pure-MQP and pure-MWK refinements.
+    best_q = q_min
+    best_mwk = MWKResult(
+        weights_refined=query.why_not.copy(), k_refined=query.k,
+        penalty=0.0, delta_k=0, delta_w=0.0, k_max=query.k,
+        samples_examined=0, candidates_evaluated=0)
+    best_penalty = config.gamma * mqp_result.penalty
+    best_shares = (mqp_result.penalty, 0.0)
+
+    pure_mwk = mwk_at(query.q)
+    pure_mwk_joint = config.lam * pure_mwk.penalty
+    if pure_mwk_joint < best_penalty:
+        best_q, best_mwk = query.q.copy(), pure_mwk
+        best_penalty = pure_mwk_joint
+        best_shares = (0.0, pure_mwk.penalty)
+
+    for q_prime in sample_query_points(q_min, query.q, q_samples, rng):
+        pq = penalty_query_point(query.q, q_prime)
+        if config.gamma * pq >= best_penalty:
+            # The q-share alone already loses; MWK cannot go negative.
+            continue
+        mwk_result = mwk_at(q_prime)
+        joint = config.gamma * pq + config.lam * mwk_result.penalty
+        if joint < best_penalty:
+            best_q, best_mwk = q_prime, mwk_result
+            best_penalty = joint
+            best_shares = (pq, mwk_result.penalty)
+
+    return MQWKResult(
+        q_refined=np.asarray(best_q, dtype=np.float64),
+        weights_refined=best_mwk.weights_refined,
+        k_refined=best_mwk.k_refined,
+        penalty=float(best_penalty),
+        q_penalty_share=float(best_shares[0]),
+        wk_penalty_share=float(best_shares[1]),
+        q_samples=q_samples,
+        mqp=mqp_result,
+        mwk=best_mwk,
+    )

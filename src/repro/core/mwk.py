@@ -1,0 +1,197 @@
+"""MWK — Modifying the why-not vectors and k (Algorithm 2).
+
+The exact problem (find ``(Wm', k')`` minimizing Eq. 4 subject to
+``rank(q, w') <= k'`` for every refined vector) would require solving
+``|Wm| · 2^|I|`` quadratic programs in the worst case, so the paper
+trades exactness for a sampling scheme:
+
+1. ``FindIncom``: partition the dataset into points dominating ``q``
+   (``D``), incomparable with it (``I``), and dominated (irrelevant).
+2. Sample ``|S|`` weighting vectors from the hyperplanes spanned by
+   ``q`` and the points of ``I`` (the only places optimal refinements
+   can live, He & Lo [14]).
+3. Compute the rank of ``q`` under every sample *from D and I alone*
+   (dominating points always precede ``q``, dominated ones never do).
+4. Sort samples by rank; scan them once (Lemma 6), maintaining a
+   working candidate ``CW`` that greedily adopts any sample strictly
+   closer to some original vector, and evaluating the blended penalty
+   of each improved candidate with ``k' = max(k, rank)``.
+
+Candidates with rank beyond ``k'_max = max_i rank(q, w_i)`` are
+discarded: the pure-``k`` refinement ``(Wm, k'_max)`` — which the scan
+seeds its minimum with — always beats them (Lemma 4/5).
+
+Deviation from the pseudo-code (documented in DESIGN.md): the original
+why-not vectors are injected into the sample pool with their true ranks
+and zero distance (``include_originals=True``).  This lets the scan form
+*mixed* candidates (modify some vectors, keep others and raise ``k``
+slightly), which the paper's scan cannot represent; it never increases
+the returned penalty.  Disable for strict paper fidelity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.incomparable import IncomparableResult, find_incomparable
+from repro.core.penalty import (
+    DEFAULT_PENALTY,
+    PenaltyConfig,
+    delta_weights,
+    penalty_weights_k,
+)
+from repro.core.sampling import (
+    ranks_under_weights,
+    sample_weights_on_hyperplanes,
+)
+from repro.core.types import MWKResult, WhyNotQuery
+
+
+def modify_weights_and_k(query: WhyNotQuery, *, sample_size: int = 800,
+                         rng: np.random.Generator | None = None,
+                         config: PenaltyConfig = DEFAULT_PENALTY,
+                         include_originals: bool = True,
+                         incomparable: IncomparableResult | None = None,
+                         ) -> MWKResult:
+    """Run Algorithm 2 on a validated why-not question.
+
+    Parameters
+    ----------
+    query:
+        The why-not question (dataset, ``q``, ``k``, ``Wm``).
+    sample_size:
+        ``|S|`` — number of weighting-vector samples.
+    rng:
+        Random generator; defaults to a fixed seed for reproducibility.
+    config:
+        Penalty tolerances (α, β).
+    include_originals:
+        Allow mixed candidates (see module docstring).
+    incomparable:
+        Pre-computed ``FindIncom`` result (the MQWK reuse path).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    inc = incomparable if incomparable is not None else find_incomparable(
+        query.rtree, query.q)
+    return _mwk_core(
+        points=query.points,
+        inc=inc,
+        q=query.q,
+        why_not=query.why_not,
+        k=query.k,
+        sample_size=sample_size,
+        rng=rng,
+        config=config,
+        include_originals=include_originals,
+    )
+
+
+def _mwk_core(*, points: np.ndarray, inc: IncomparableResult,
+              q: np.ndarray, why_not: np.ndarray, k: int,
+              sample_size: int, rng: np.random.Generator,
+              config: PenaltyConfig,
+              include_originals: bool) -> MWKResult:
+    """Algorithm 2 body, reusable with a cached FindIncom partition."""
+    inc_points = points[inc.incomparable_ids]
+    dom_points = points[inc.dominating_ids]
+    m = len(why_not)
+
+    # Ranks of q under the original why-not vectors; Lemma 4.
+    orig_ranks = ranks_under_weights(why_not, inc_points, dom_points, q)
+    k_max = int(orig_ranks.max()) if m else k
+
+    if k_max <= k:
+        # Every vector already admits q (possible for sampled query
+        # points inside MQWK): nothing to modify.
+        return MWKResult(
+            weights_refined=why_not.copy(), k_refined=k, penalty=0.0,
+            delta_k=0, delta_w=0.0, k_max=k_max, samples_examined=0,
+            candidates_evaluated=1)
+
+    # Seed: the pure-k refinement (Wm, k'_max).  Lemma 4 guarantees it
+    # is always a valid candidate.
+    best_weights = why_not.copy()
+    best_k = k_max
+    best_penalty = penalty_weights_k(why_not, why_not, k, k_max, k_max,
+                                     config)
+    candidates = 1
+
+    if inc.n_incomparable == 0:
+        # No incomparable points: every weighting vector ranks q at
+        # |D| + 1, so weight changes cannot help.  k'_max is the answer.
+        return MWKResult(
+            weights_refined=best_weights, k_refined=best_k,
+            penalty=best_penalty, delta_k=k_max - k, delta_w=0.0,
+            k_max=k_max, samples_examined=0, candidates_evaluated=1)
+
+    samples = sample_weights_on_hyperplanes(inc_points, q, sample_size,
+                                            rng, anchors=why_not)
+    sample_ranks = ranks_under_weights(samples, inc_points, dom_points,
+                                       q)
+
+    if include_originals:
+        samples = np.vstack([samples, why_not])
+        sample_ranks = np.concatenate([sample_ranks, orig_ranks])
+
+    # Prune beyond k'_max (Algorithm 2 line 13) and sort by rank.
+    keep = sample_ranks <= k_max
+    samples, sample_ranks = samples[keep], sample_ranks[keep]
+    order = np.argsort(sample_ranks, kind="stable")
+    samples, sample_ranks = samples[order], sample_ranks[order]
+    examined = len(samples)
+
+    if examined:
+        # Distance of every sample to every original vector: (|S|, m).
+        dists = np.linalg.norm(
+            samples[:, None, :] - why_not[None, :, :], axis=2)
+
+        # Working candidate: every original mapped to the first sample.
+        cw = np.repeat(samples[:1], m, axis=0)
+        cw_dist = dists[0].copy()
+        cand_penalty = _candidate_penalty(
+            why_not, cw, k, int(sample_ranks[0]), k_max, config)
+        candidates += 1
+        if cand_penalty < best_penalty:
+            best_penalty = cand_penalty
+            best_weights, best_k = cw.copy(), max(k, int(sample_ranks[0]))
+
+        for s in range(1, examined):
+            improved = dists[s] < cw_dist - 1e-15
+            if not improved.any():
+                continue
+            cw[improved] = samples[s]
+            cw_dist[improved] = dists[s][improved]
+            rank_s = int(sample_ranks[s])
+            cand_penalty = _candidate_penalty(
+                why_not, cw, k, rank_s, k_max, config)
+            candidates += 1
+            if cand_penalty < best_penalty:
+                best_penalty = cand_penalty
+                best_weights, best_k = cw.copy(), max(k, rank_s)
+
+    dw = delta_weights(why_not, best_weights)
+    return MWKResult(
+        weights_refined=best_weights,
+        k_refined=int(best_k),
+        penalty=float(best_penalty),
+        delta_k=max(0, int(best_k) - k),
+        delta_w=dw,
+        k_max=k_max,
+        samples_examined=examined,
+        candidates_evaluated=candidates,
+    )
+
+
+def _candidate_penalty(why_not, cw, k, rank_s, k_max, config) -> float:
+    """Eq. (4) for a scan candidate with ``k' = max(k, rank_s)``.
+
+    When a candidate keeps some original vectors (mixed candidates via
+    ``include_originals``), their ranks may exceed ``rank_s``; the true
+    required ``k'`` is the max over the candidate's per-vector ranks.
+    Using ``rank_s`` here stays faithful to the paper's scan, and is
+    *valid* because originals enter the pool with their own (higher)
+    ranks: a mixed candidate is only evaluated once the scan reaches the
+    original's rank.
+    """
+    return penalty_weights_k(why_not, cw, k, max(k, rank_s), k_max,
+                             config)

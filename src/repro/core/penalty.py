@@ -1,0 +1,114 @@
+"""Penalty models of the WQRTQ framework (Equations 1, 3, 4, 5).
+
+Three nested models quantify how far a refined query drifts from the
+original:
+
+* **Eq. (1)** — query-point modification:
+  ``Penalty(q') = ||q - q'|| / ||q||`` (relative Euclidean distortion;
+  matches the paper's worked example: q(4,4) -> q'(3,2.5) gives 0.318).
+* **Eq. (3)/(4)** — preference modification: ``Δk = max(0, k' - k)``
+  normalized by ``Δk_max = k'_max - k`` (Lemma 4) and
+  ``ΔWm = Σ ||w_i - w_i'||`` normalized by ``|Wm|·√2`` (the maximum
+  Euclidean displacement within the simplex per vector is ``√2``),
+  blended with tolerances ``α + β = 1``.
+* **Eq. (5)** — joint modification: ``γ·Penalty(q') + λ·Penalty(Wm',k')``
+  with ``γ + λ = 1``.
+
+All penalties live in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.vectors import MAX_SIMPLEX_DISTANCE
+
+
+def penalty_query_point(q, q_refined) -> float:
+    """Eq. (1): relative Euclidean modification of the query point.
+
+    >>> round(penalty_query_point([4, 4], [3, 2.5]), 4)
+    0.3187
+    >>> round(penalty_query_point([4, 4], [2.5, 3.5]), 4)
+    0.2795
+    """
+    qv = np.asarray(q, dtype=np.float64)
+    rv = np.asarray(q_refined, dtype=np.float64)
+    norm_q = float(np.linalg.norm(qv))
+    if norm_q == 0.0:
+        raise ValueError("q must be non-zero to normalize Eq. (1)")
+    return float(np.linalg.norm(qv - rv)) / norm_q
+
+
+def delta_weights(weights, weights_refined) -> float:
+    """Eq. (3), ΔWm: summed Euclidean displacement of the vectors."""
+    a = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(weights_refined, dtype=np.float64))
+    if a.shape != b.shape:
+        raise ValueError("Wm and Wm' must have identical shape")
+    return float(np.sum(np.linalg.norm(a - b, axis=1)))
+
+
+def delta_k(k: int, k_refined: int) -> int:
+    """Eq. (3), Δk: increase of k (a decrease costs nothing)."""
+    return max(0, int(k_refined) - int(k))
+
+
+@dataclass(frozen=True)
+class PenaltyConfig:
+    """Tolerance weights of the blended penalty models.
+
+    ``alpha``/``beta`` trade Δk against ΔWm inside Eq. (4);
+    ``gamma``/``lam`` trade the q-penalty against the (Wm, k)-penalty
+    inside Eq. (5).  The paper's experiments fix all four to 0.5.
+    """
+
+    alpha: float = 0.5
+    beta: float = 0.5
+    gamma: float = 0.5
+    lam: float = 0.5
+
+    def __post_init__(self) -> None:
+        if abs(self.alpha + self.beta - 1.0) > 1e-9:
+            raise ValueError("alpha + beta must equal 1")
+        if abs(self.gamma + self.lam - 1.0) > 1e-9:
+            raise ValueError("gamma + lambda must equal 1")
+        if min(self.alpha, self.beta, self.gamma, self.lam) < 0:
+            raise ValueError("tolerance weights must be non-negative")
+
+
+DEFAULT_PENALTY = PenaltyConfig()
+
+
+def penalty_weights_k(weights, weights_refined, k: int, k_refined: int,
+                      k_max: int,
+                      config: PenaltyConfig = DEFAULT_PENALTY) -> float:
+    """Eq. (4): normalized blended penalty of modifying ``(Wm, k)``.
+
+    Parameters
+    ----------
+    k_max:
+        ``k'_max`` of Lemma 4 — the largest rank of ``q`` under any
+        original why-not vector.  When ``k_max == k`` (degenerate) the
+        Δk term is zero by definition.
+    """
+    w_orig = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    dk = delta_k(k, k_refined)
+    dk_max = max(0, int(k_max) - int(k))
+    term_k = (dk / dk_max) if dk_max > 0 else 0.0
+    dw = delta_weights(weights, weights_refined)
+    dw_max = len(w_orig) * MAX_SIMPLEX_DISTANCE
+    term_w = dw / dw_max
+    return config.alpha * term_k + config.beta * term_w
+
+
+def penalty_joint(q, q_refined, weights, weights_refined, k: int,
+                  k_refined: int, k_max: int,
+                  config: PenaltyConfig = DEFAULT_PENALTY) -> float:
+    """Eq. (5): joint penalty of modifying ``q``, ``Wm`` and ``k``."""
+    pq = penalty_query_point(q, q_refined)
+    pwk = penalty_weights_k(weights, weights_refined, k, k_refined,
+                            k_max, config)
+    return config.gamma * pq + config.lam * pwk

@@ -1,0 +1,218 @@
+"""Samplers used by MWK and MQWK (Section 4.3-4.4).
+
+Weight sampling
+---------------
+For a fixed target rank, the optimally-modified weighting vector lies on
+one of the hyperplanes ``{w : w · (p - q) = 0}`` spanned by the query
+point and a point ``p`` incomparable with it (He & Lo [14]).  MWK
+therefore samples from the union of these hyperplanes restricted to the
+simplex.  Each draw works as follows:
+
+1. pick an incomparable point ``p`` uniformly at random;
+2. draw two uniform simplex vectors ``u, v`` (flat Dirichlet);
+3. if ``g(u) = u·(p-q)`` and ``g(v)`` have opposite signs, the convex
+   combination with ``g = 0`` lies on the hyperplane *and* on the
+   simplex (the simplex is convex); otherwise redraw.
+
+Because ``p`` is incomparable with ``q``, ``p - q`` has both positive
+and negative components, so ``g`` attains both signs over the simplex
+and the rejection loop terminates quickly (the two signs each have
+non-vanishing probability).
+
+Query-point sampling
+--------------------
+MQWK samples candidate query points uniformly from the axis-aligned box
+``[q_min, q]`` where ``q_min`` is the MQP optimum — points outside this
+box are provably dominated as candidates (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topk.scan import RANK_EPS
+
+_MAX_ROUNDS = 200
+
+
+def sample_simplex(rng: np.random.Generator, size: int,
+                   dim: int) -> np.ndarray:
+    """Uniform samples from the standard (dim-1)-simplex."""
+    return rng.dirichlet(np.ones(dim), size=size)
+
+
+def sample_weights_on_hyperplanes(incomparable_points, q, size: int,
+                                  rng: np.random.Generator, *,
+                                  anchors=None,
+                                  anchor_fraction: float = 0.5,
+                                  ) -> np.ndarray:
+    """Draw ``size`` weighting vectors from the MWK sample space.
+
+    Parameters
+    ----------
+    incomparable_points:
+        ``(|I|, d)`` array of points incomparable with ``q``.
+    q:
+        The query point.
+    size:
+        Number of samples requested.
+    rng:
+        NumPy random generator (determinism!).
+    anchors:
+        Optional ``(m, d)`` array of weighting vectors (MWK passes the
+        why-not set).  A fraction of the bracketing segments is
+        anchored at a random anchor instead of a random simplex point,
+        and the hyperplane for such a draw is chosen among the
+        anchor's *culprits* — the incomparable points currently
+        beating ``q`` under that anchor.  Walking from the anchor
+        until a culprit's plane is crossed neutralizes exactly the
+        points that keep ``q`` out of the top-k, so crossings
+        concentrate near the vectors the penalty is measured against —
+        the "high quality samples" the paper's Section 4.3 asks for.
+        The remaining fraction stays uniform for exploration.
+    anchor_fraction:
+        Share of anchored draws when ``anchors`` is given.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(size, d)`` array of simplex vectors, each on the hyperplane
+        of some incomparable point.
+
+    Raises
+    ------
+    ValueError
+        If there are no incomparable points (the sample space is empty
+        — then ``q``'s rank is fixed at ``|D| + 1`` for every ``w`` and
+        no weight modification can help).
+    """
+    inc = np.atleast_2d(np.asarray(incomparable_points, dtype=np.float64))
+    if inc.shape[0] == 0:
+        raise ValueError("empty sample space: no incomparable points")
+    qv = np.asarray(q, dtype=np.float64)
+    d = qv.shape[0]
+    diffs = inc - qv          # rows: p - q
+    anchor_arr = (None if anchors is None
+                  else np.atleast_2d(np.asarray(anchors,
+                                                dtype=np.float64)))
+    culprits: list[np.ndarray] = []
+    if anchor_arr is not None:
+        # Culprit planes per anchor: incomparable points scoring below
+        # q under that anchor (g = w . (p - q) < 0).
+        g_anchor = diffs @ anchor_arr.T            # (|I|, m)
+        for j in range(anchor_arr.shape[0]):
+            idx = np.nonzero(g_anchor[:, j] < 0)[0]
+            culprits.append(idx if len(idx) else np.arange(len(diffs)))
+    out = np.empty((size, d))
+    filled = 0
+    for _ in range(_MAX_ROUNDS):
+        need = size - filled
+        if need <= 0:
+            break
+        batch = max(need * 2, 64)
+        plane_idx = rng.integers(0, len(diffs), size=batch)
+        u = sample_simplex(rng, batch, d)
+        v = sample_simplex(rng, batch, d)
+        if anchor_arr is not None and anchor_fraction > 0:
+            anchored = np.nonzero(
+                rng.random(batch) < anchor_fraction)[0]
+            which = rng.integers(0, len(anchor_arr),
+                                 size=len(anchored))
+            u[anchored] = anchor_arr[which]
+            for pos, j in zip(anchored, which):
+                pool = culprits[j]
+                plane_idx[pos] = pool[rng.integers(0, len(pool))]
+        plane = diffs[plane_idx]
+        gu = np.einsum("ij,ij->i", u, plane)
+        gv = np.einsum("ij,ij->i", v, plane)
+        ok = gu * gv < 0
+        if not ok.any():
+            continue
+        # Aim a hair to the *positive* side of the hyperplane
+        # (g = w . (p - q) = +tau > 0, i.e. p scores slightly worse
+        # than q) instead of exactly 0: ties are resolved in q's
+        # favour throughout the library, and an exactly-on-plane
+        # sample would let float noise flip the tie against q when
+        # ranks are recomputed elsewhere.
+        tau = 1e-9 * (np.abs(gu[ok]) + np.abs(gv[ok]))
+        t = (gu[ok] - tau) / (gu[ok] - gv[ok])
+        w = (1.0 - t[:, None]) * u[ok] + t[:, None] * v[ok]
+        # Numerical hygiene: clip and renormalize (both preserve the
+        # sign of g up to a positive scale for non-negative w).
+        w = np.clip(w, 0.0, None)
+        w /= w.sum(axis=1, keepdims=True)
+        g_final = np.einsum("ij,ij->i", w, plane[ok])
+        w = w[g_final >= 0.0]
+        take = min(need, len(w))
+        out[filled:filled + take] = w[:take]
+        filled += take
+    if filled < size:
+        raise RuntimeError("hyperplane sampler failed to converge; "
+                           "sample space may be numerically degenerate")
+    return out
+
+
+def sample_query_points(q_min, q, size: int,
+                        rng: np.random.Generator) -> np.ndarray:
+    """Uniform samples from the box ``[q_min, q]`` (MQWK sample space)."""
+    lo = np.asarray(q_min, dtype=np.float64)
+    hi = np.asarray(q, dtype=np.float64)
+    if lo.shape != hi.shape:
+        raise ValueError("q_min and q must share a shape")
+    if np.any(lo > hi + 1e-12):
+        raise ValueError("q_min must be component-wise <= q")
+    u = rng.random((size, lo.shape[0]))
+    return lo + u * (hi - lo)
+
+
+def ranks_under_weights(weights, incomparable_points, dominating, q, *,
+                        chunk_floats: int = 8_000_000) -> np.ndarray:
+    """Rank of ``q`` under each weighting vector, from a FindIncom
+    partition.
+
+    ``rank(q, w) = 1 + beats(D) + beats(I)`` where ``beats(X)`` counts
+    the points of ``X`` scoring below ``f(w, q) - RANK_EPS`` —
+    dominated points never beat ``q``, so only the partition's D and I
+    sets need scoring (this is why MWK computes ranks "based on D and
+    I").  Fully vectorized and chunked.
+
+    Parameters
+    ----------
+    dominating:
+        Either the ``(|D|, d)`` array of dominating points — scored
+        with the same tie tolerance as everything else, the exact
+        behaviour — or an ``int`` count to trust as-is (cheaper;
+        identical unless a dominating point's score gap to ``q`` is
+        below ``RANK_EPS``, which real-valued data essentially never
+        produces).
+
+    The tie tolerance (``RANK_EPS``) matches
+    :func:`repro.topk.scan.rank_of_scan` exactly, so ranks computed
+    here agree with any later re-validation of a refined answer.
+    """
+    wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    inc = np.atleast_2d(np.asarray(incomparable_points, dtype=np.float64))
+    qv = np.asarray(q, dtype=np.float64)
+    q_scores = wts @ qv
+    if isinstance(dominating, (int, np.integer)):
+        dom_beats = np.full(len(wts), int(dominating), dtype=np.int64)
+    else:
+        dom = np.atleast_2d(np.asarray(dominating, dtype=np.float64))
+        if dom.shape[0] == 0:
+            dom_beats = np.zeros(len(wts), dtype=np.int64)
+        else:
+            dom_beats = np.count_nonzero(
+                wts @ dom.T < q_scores[:, None] - RANK_EPS, axis=1)
+    if inc.shape[0] == 0:
+        return dom_beats + 1
+    chunk = max(1, chunk_floats // max(inc.shape[0], 1))
+    ranks = np.empty(len(wts), dtype=np.int64)
+    for start in range(0, len(wts), chunk):
+        block = wts[start:start + chunk]
+        scores = block @ inc.T                 # (chunk, |I|)
+        beats = np.count_nonzero(
+            scores < q_scores[start:start + chunk, None] - RANK_EPS,
+            axis=1)
+        ranks[start:start + chunk] = dom_beats[start:start + chunk] \
+            + 1 + beats
+    return ranks

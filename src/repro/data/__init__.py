@@ -1,0 +1,30 @@
+"""Dataset generators for the experimental evaluation.
+
+* :mod:`repro.data.synthetic` — the Independent and Anti-correlated
+  distributions the paper generates (plus Correlated, standard in this
+  literature), and simplex-uniform preference sets.
+* :mod:`repro.data.realistic` — statistical stand-ins for the paper's
+  real datasets (NBA 17K×13, Household 127K×6), which are not
+  redistributable; see DESIGN.md §4 for the substitution rationale.
+"""
+
+from repro.data.realistic import household_like, nba_like
+from repro.data.synthetic import (
+    anticorrelated,
+    correlated,
+    independent,
+    make_dataset,
+    preference_set,
+    query_point_with_rank,
+)
+
+__all__ = [
+    "anticorrelated",
+    "correlated",
+    "household_like",
+    "independent",
+    "make_dataset",
+    "nba_like",
+    "preference_set",
+    "query_point_with_rank",
+]

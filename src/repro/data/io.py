@@ -1,0 +1,145 @@
+"""Dataset and result persistence.
+
+Experiments on 100K+ point datasets should not regenerate data on
+every run, and refinement results (which carry NumPy arrays) need a
+stable on-disk form for the EXPERIMENTS.md pipeline and for users
+archiving analyses.  This module provides:
+
+* :func:`save_dataset` / :func:`load_dataset` — ``.npz`` with a
+  metadata header (kind, seed, shape) so a cache hit can be trusted;
+* :func:`dataset_cache` — build-or-load wrapper keyed by the
+  generator parameters;
+* :func:`result_to_dict` / :func:`save_results` /
+  :func:`load_results` — JSON-serializable forms of the three
+  refinement result types and benchmark rows.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.types import MQPResult, MQWKResult, MWKResult
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(path, points, *, kind: str = "unknown",
+                 seed: int | None = None) -> Path:
+    """Persist a point array with provenance metadata (``.npz``)."""
+    path = Path(path)
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path, points=pts,
+        meta=np.array(json.dumps({
+            "version": _FORMAT_VERSION,
+            "kind": kind,
+            "seed": seed,
+            "n": int(pts.shape[0]),
+            "d": int(pts.shape[1]),
+        })))
+    return path
+
+
+def load_dataset(path) -> tuple[np.ndarray, dict]:
+    """Load a dataset saved by :func:`save_dataset`.
+
+    Returns ``(points, metadata)``.  Raises ``ValueError`` on format
+    mismatch so silently-wrong caches cannot be consumed.
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if "points" not in archive or "meta" not in archive:
+            raise ValueError(f"{path} is not a repro dataset archive")
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version: {meta}")
+        points = archive["points"]
+    if points.shape != (meta["n"], meta["d"]):
+        raise ValueError("dataset archive metadata disagrees with "
+                         "its payload")
+    return points, meta
+
+
+def dataset_cache(directory, kind: str, n: int, d: int, *,
+                  seed: int = 0) -> np.ndarray:
+    """Build-or-load a generated dataset, keyed by its parameters."""
+    from repro.data.synthetic import make_dataset
+
+    directory = Path(directory)
+    path = directory / f"{kind}_n{n}_d{d}_s{seed}.npz"
+    if path.exists():
+        points, meta = load_dataset(path)
+        if (meta["kind"], meta["n"], meta["d"],
+                meta["seed"]) == (kind, n, d, seed):
+            return points
+    points = make_dataset(kind, n, d, seed=seed)
+    save_dataset(path, points, kind=kind, seed=seed)
+    return points
+
+
+# ---------------------------------------------------------------------
+# Result serialization
+# ---------------------------------------------------------------------
+
+def _jsonable(value):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def result_to_dict(result) -> dict:
+    """JSON-safe dict for any of the refinement result types."""
+    if isinstance(result, MQPResult):
+        kind = "mqp"
+    elif isinstance(result, MWKResult):
+        kind = "mwk"
+    elif isinstance(result, MQWKResult):
+        kind = "mqwk"
+    else:
+        raise TypeError(f"unsupported result type: {type(result)}")
+    payload = _jsonable(result)
+    if kind == "mqwk":
+        # Nested sub-results are reproducible from the top level.
+        payload.pop("mqp", None)
+        payload.pop("mwk", None)
+    return {"kind": kind, **payload}
+
+
+def save_results(path, results, *, context: dict | None = None) -> Path:
+    """Write refinement results (or bench rows) to a JSON report."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    body = {
+        "version": _FORMAT_VERSION,
+        "context": _jsonable(context or {}),
+        "results": [
+            result_to_dict(r) if is_dataclass(r) and not isinstance(
+                r, type) else _jsonable(r)
+            for r in results
+        ],
+    }
+    path.write_text(json.dumps(body, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path) -> dict:
+    """Load a JSON report written by :func:`save_results`."""
+    body = json.loads(Path(path).read_text())
+    if body.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported results format: {path}")
+    return body

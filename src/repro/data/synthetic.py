@@ -1,0 +1,144 @@
+"""Synthetic dataset generators (Section 5.1 of the paper).
+
+The paper evaluates on *Independent* and *Anti-correlated* synthetic
+data; *Correlated* is included as well since it is standard in the
+reverse top-k literature and exercises the opposite extreme.  All
+generators:
+
+* produce points in ``[0, 1]^d`` (scores assume non-negative
+  coordinates; smaller is better),
+* take an explicit seed / :class:`numpy.random.Generator` for
+  reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.vectors import score_many
+
+
+def _rng_of(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def independent(n: int, d: int, *, seed=0) -> np.ndarray:
+    """Uniform i.i.d. attributes in ``[0, 1]^d``."""
+    if n <= 0 or d <= 0:
+        raise ValueError("n and d must be positive")
+    return _rng_of(seed).random((n, d))
+
+
+def anticorrelated(n: int, d: int, *, seed=0,
+                   spread: float = 0.35) -> np.ndarray:
+    """Anti-correlated attributes (Börzsönyi-style generator).
+
+    Points concentrate around the anti-diagonal hyperplane
+    ``sum(x) = d/2``: a point good in one dimension tends to be bad in
+    the others, producing a large skyline — the hard case for
+    preference queries.  The per-point base varies only slightly
+    (σ = 0.05) while the zero-sum offsets are wide, so pairwise
+    attribute correlations are strongly negative.
+    """
+    if n <= 0 or d <= 0:
+        raise ValueError("n and d must be positive")
+    rng = _rng_of(seed)
+    out = np.empty((n, d))
+    filled = 0
+    while filled < n:
+        batch = (n - filled) * 2 + 16
+        base = rng.normal(0.5, 0.05, size=batch)
+        offsets = rng.uniform(-spread, spread, size=(batch, d))
+        offsets -= offsets.mean(axis=1, keepdims=True)
+        candidate = base[:, None] + offsets
+        ok = np.all((candidate >= 0.0) & (candidate <= 1.0), axis=1)
+        good = candidate[ok]
+        take = min(n - filled, len(good))
+        out[filled:filled + take] = good[:take]
+        filled += take
+    return out
+
+
+def correlated(n: int, d: int, *, seed=0,
+               spread: float = 0.12) -> np.ndarray:
+    """Correlated attributes: good in one dimension, good in all."""
+    if n <= 0 or d <= 0:
+        raise ValueError("n and d must be positive")
+    rng = _rng_of(seed)
+    out = np.empty((n, d))
+    filled = 0
+    while filled < n:
+        batch = (n - filled) * 2 + 16
+        base = rng.random(batch)
+        noise = rng.uniform(-spread, spread, size=(batch, d))
+        candidate = base[:, None] + noise
+        ok = np.all((candidate >= 0.0) & (candidate <= 1.0), axis=1)
+        good = candidate[ok]
+        take = min(n - filled, len(good))
+        out[filled:filled + take] = good[:take]
+        filled += take
+    return out
+
+
+_GENERATORS = {
+    "independent": independent,
+    "anticorrelated": anticorrelated,
+    "correlated": correlated,
+}
+
+
+def make_dataset(kind: str, n: int, d: int, *, seed=0) -> np.ndarray:
+    """Dispatch by name: ``independent`` / ``anticorrelated`` /
+    ``correlated`` (also accepts the realistic stand-ins ``nba`` and
+    ``household``, ignoring ``d``)."""
+    kind = kind.lower()
+    if kind in _GENERATORS:
+        return _GENERATORS[kind](n, d, seed=seed)
+    if kind == "nba":
+        from repro.data.realistic import nba_like
+        return nba_like(n=n, seed=seed)
+    if kind == "household":
+        from repro.data.realistic import household_like
+        return household_like(n=n, seed=seed)
+    raise ValueError(f"unknown dataset kind: {kind!r}")
+
+
+def preference_set(m: int, d: int, *, seed=0,
+                   concentration: float = 1.0) -> np.ndarray:
+    """``m`` weighting vectors drawn from a flat Dirichlet.
+
+    ``concentration`` > 1 pulls the vectors toward the simplex centre
+    (homogeneous customers), < 1 toward the vertices (specialists).
+    """
+    if m <= 0 or d <= 0:
+        raise ValueError("m and d must be positive")
+    rng = _rng_of(seed)
+    return rng.dirichlet(np.full(d, concentration), size=m)
+
+
+def query_point_with_rank(points, w, target_rank: int) -> np.ndarray:
+    """A query point whose rank under ``w`` is (close to) a target.
+
+    The paper's Figure 10 varies "the actual ranking of q under Wm" as
+    an experimental knob.  We realize it by returning a copy of the
+    dataset point ranked ``target_rank`` under ``w``: ties resolve in
+    the query point's favour, so its rank equals ``target_rank`` up to
+    duplicate scores (exact for distinct scores).
+
+    Parameters
+    ----------
+    points:
+        The dataset.
+    w:
+        The (single) why-not weighting vector.
+    target_rank:
+        Desired 1-based rank (``<= len(points)``).
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if not 1 <= target_rank <= len(pts):
+        raise ValueError("target_rank out of range")
+    scores = score_many(w, pts)
+    order = np.argsort(scores, kind="stable")
+    return pts[order[target_rank - 1]].copy()

@@ -1,0 +1,52 @@
+"""Geometric primitives for linear preference queries.
+
+This package provides the low-level vector, dominance, and hyperplane
+machinery that every higher layer (top-k engines, reverse top-k engines,
+and the WQRTQ why-not core) builds on:
+
+* :mod:`repro.geometry.vectors` — weighting-vector validation and linear
+  scoring, ``f(w, p) = sum_i w[i] * p[i]`` with *smaller is better*.
+* :mod:`repro.geometry.dominance` — Pareto dominance and incomparability
+  tests, both scalar and vectorized.
+* :mod:`repro.geometry.hyperplane` — the hyperplane ``H(w, p)`` and
+  half-space ``HS(w, p)`` constructs of Lemma 1 / Definition 8.
+* :mod:`repro.geometry.convex2d` — an exact 2-D convex-polygon engine used
+  to materialize safe regions in the plane (verification and plotting).
+"""
+
+from repro.geometry.convex2d import (
+    Polygon2D,
+    clip_polygon_halfplane,
+    halfplane_intersection,
+)
+from repro.geometry.dominance import (
+    dominates,
+    dominance_partition,
+    incomparable,
+    pareto_front_mask,
+)
+from repro.geometry.hyperplane import Hyperplane, side_of
+from repro.geometry.vectors import (
+    is_valid_weight,
+    normalize_weight,
+    score,
+    score_many,
+    score_matrix,
+)
+
+__all__ = [
+    "Hyperplane",
+    "Polygon2D",
+    "clip_polygon_halfplane",
+    "dominance_partition",
+    "dominates",
+    "halfplane_intersection",
+    "incomparable",
+    "is_valid_weight",
+    "normalize_weight",
+    "pareto_front_mask",
+    "score",
+    "score_many",
+    "score_matrix",
+    "side_of",
+]

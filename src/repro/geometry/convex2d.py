@@ -1,0 +1,190 @@
+"""Exact 2-D convex-polygon engine (half-plane clipping).
+
+The paper illustrates safe regions in the plane (Figure 5): the safe
+region of a query point is the intersection of half-planes
+``w . x <= b`` clipped to the box ``[0, q]``.  In two dimensions this
+intersection can be materialized exactly with Sutherland–Hodgman
+polygon clipping, which this module implements from scratch.  The
+general-dimension path uses quadratic programming instead
+(:mod:`repro.qp`); the 2-D polygon serves as an independent oracle in
+tests and for visualisation in examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Polygon2D:
+    """A convex polygon given by its vertices in counter-clockwise order.
+
+    An empty vertex list represents the empty polygon.
+    """
+
+    vertices: tuple[tuple[float, float], ...]
+
+    @classmethod
+    def from_points(cls, pts) -> "Polygon2D":
+        """Build a polygon from an ``(n, 2)`` array of CCW vertices."""
+        arr = np.atleast_2d(np.asarray(pts, dtype=np.float64))
+        return cls(tuple(map(tuple, arr.tolist())))
+
+    @classmethod
+    def box(cls, lower, upper) -> "Polygon2D":
+        """Axis-aligned rectangle from ``lower`` to ``upper`` corners."""
+        (lx, ly), (ux, uy) = lower, upper
+        if ux < lx or uy < ly:
+            return cls(())
+        return cls(((lx, ly), (ux, ly), (ux, uy), (lx, uy)))
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.vertices) == 0
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.vertices, dtype=np.float64).reshape(-1, 2)
+
+    def area(self) -> float:
+        """Signed shoelace area (>= 0 for CCW polygons)."""
+        if len(self.vertices) < 3:
+            return 0.0
+        pts = self.as_array()
+        x, y = pts[:, 0], pts[:, 1]
+        return 0.5 * float(
+            np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))
+        )
+
+    def contains(self, point, *, atol: float = 1e-9) -> bool:
+        """Point-in-convex-polygon test (boundary counts as inside)."""
+        if self.is_empty:
+            return False
+        px, py = float(point[0]), float(point[1])
+        pts = self.as_array()
+        n = len(pts)
+        if n == 1:
+            return bool(np.allclose(pts[0], (px, py), atol=atol))
+        for i in range(n):
+            ax, ay = pts[i]
+            bx, by = pts[(i + 1) % n]
+            cross = (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+            if cross < -atol:
+                return False
+        return True
+
+    def closest_point_to(self, target) -> tuple[float, float]:
+        """The polygon point nearest (Euclidean) to ``target``.
+
+        Checks interior membership first, then projects onto every edge.
+        This is the 2-D oracle the QP solver is validated against.
+        """
+        if self.is_empty:
+            raise ValueError("empty polygon has no closest point")
+        tx, ty = float(target[0]), float(target[1])
+        if self.contains((tx, ty)):
+            return (tx, ty)
+        pts = self.as_array()
+        n = len(pts)
+        best, best_d2 = None, np.inf
+        for i in range(n):
+            a = pts[i]
+            b = pts[(i + 1) % n] if n > 1 else pts[i]
+            proj = _project_to_segment((tx, ty), a, b)
+            d2 = (proj[0] - tx) ** 2 + (proj[1] - ty) ** 2
+            if d2 < best_d2:
+                best, best_d2 = proj, d2
+        return best
+
+
+def _project_to_segment(p, a, b) -> tuple[float, float]:
+    """Orthogonal projection of ``p`` onto segment ``ab`` (clamped)."""
+    ax, ay = float(a[0]), float(a[1])
+    bx, by = float(b[0]), float(b[1])
+    px, py = p
+    dx, dy = bx - ax, by - ay
+    denom = dx * dx + dy * dy
+    if denom <= _EPS:
+        return (ax, ay)
+    t = ((px - ax) * dx + (py - ay) * dy) / denom
+    t = min(1.0, max(0.0, t))
+    return (ax + t * dx, ay + t * dy)
+
+
+def clip_polygon_halfplane(poly: Polygon2D, normal, offset: float,
+                           *, atol: float = 1e-12) -> Polygon2D:
+    """Clip ``poly`` by the half-plane ``normal . x <= offset``.
+
+    Classic Sutherland–Hodgman step: walk the edge ring, keep inside
+    vertices, and emit edge/boundary intersection points where the ring
+    crosses the clipping line.
+    """
+    if poly.is_empty:
+        return poly
+    nx, ny = float(normal[0]), float(normal[1])
+    pts = poly.as_array()
+    n = len(pts)
+    out: list[tuple[float, float]] = []
+    values = pts[:, 0] * nx + pts[:, 1] * ny - offset
+    for i in range(n):
+        cur, nxt = pts[i], pts[(i + 1) % n]
+        v_cur, v_nxt = values[i], values[(i + 1) % n]
+        cur_in = v_cur <= atol
+        nxt_in = v_nxt <= atol
+        if cur_in:
+            out.append((float(cur[0]), float(cur[1])))
+        if cur_in != nxt_in:
+            denom = v_cur - v_nxt
+            if abs(denom) > _EPS:
+                t = v_cur / denom
+                ix = cur[0] + t * (nxt[0] - cur[0])
+                iy = cur[1] + t * (nxt[1] - cur[1])
+                out.append((float(ix), float(iy)))
+    return Polygon2D(tuple(_dedupe_ring(out)))
+
+
+def _dedupe_ring(ring, *, atol: float = 1e-10):
+    """Drop consecutive (and wrap-around) duplicate vertices."""
+    cleaned: list[tuple[float, float]] = []
+    for pt in ring:
+        if cleaned and (abs(pt[0] - cleaned[-1][0]) <= atol
+                        and abs(pt[1] - cleaned[-1][1]) <= atol):
+            continue
+        cleaned.append(pt)
+    while len(cleaned) > 1 and (
+        abs(cleaned[0][0] - cleaned[-1][0]) <= atol
+        and abs(cleaned[0][1] - cleaned[-1][1]) <= atol
+    ):
+        cleaned.pop()
+    return cleaned
+
+
+def halfplane_intersection(normals, offsets, *, lower,
+                           upper) -> Polygon2D:
+    """Intersect ``normals[i] . x <= offsets[i]`` with the box.
+
+    Parameters
+    ----------
+    normals:
+        ``(m, 2)`` array of half-plane normals.
+    offsets:
+        Length-``m`` array of right-hand sides.
+    lower, upper:
+        Corners of the bounding box the intersection starts from.
+
+    Returns
+    -------
+    Polygon2D
+        Possibly empty when the constraints are infeasible in the box.
+    """
+    poly = Polygon2D.box(tuple(lower), tuple(upper))
+    norm_arr = np.atleast_2d(np.asarray(normals, dtype=np.float64))
+    off_arr = np.asarray(offsets, dtype=np.float64).reshape(-1)
+    for normal, offset in zip(norm_arr, off_arr):
+        poly = clip_polygon_halfplane(poly, normal, float(offset))
+        if poly.is_empty:
+            break
+    return poly

@@ -1,0 +1,134 @@
+"""Hyperplanes and half-spaces of the WQRTQ safe-region construction.
+
+Given a weighting vector ``w`` and a point ``p``, the hyperplane
+``H(w, p) = { x : f(w, x) = f(w, p) }`` is perpendicular to ``w`` and
+passes through ``p``.  Lemma 1 of the paper states that points on /
+below / above the hyperplane score equal / smaller / larger than ``p``
+under ``w``.  The half-space ``HS(w, p)`` (Definition 8) collects the
+points scoring no worse than ``p``:
+
+    HS(w, p) = { x : f(w, x) <= f(w, p) }.
+
+The safe region of a query point (Lemma 3) is the intersection of the
+half-spaces formed by each why-not vector and its top-k-th point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.vectors import score
+
+
+@dataclass(frozen=True)
+class Hyperplane:
+    """The hyperplane ``H(w, p)``: ``{x : w . x = w . p}``.
+
+    Attributes
+    ----------
+    normal:
+        The weighting vector ``w`` (the plane's normal).
+    offset:
+        The score ``f(w, p)`` — the constant term of the plane equation.
+    """
+
+    normal: np.ndarray
+    offset: float
+
+    @classmethod
+    def through(cls, w, p) -> "Hyperplane":
+        """Build ``H(w, p)`` from a weighting vector and a point."""
+        wv = np.asarray(w, dtype=np.float64).copy()
+        wv.setflags(write=False)
+        return cls(normal=wv, offset=score(wv, p))
+
+    @classmethod
+    def separating(cls, p, q) -> "Hyperplane":
+        """The hyperplane ``{w : w . (p - q) = 0}`` in *weighting* space.
+
+        These are the hyperplanes "formed by I and q" that the MWK sampler
+        draws from: a weighting vector on this plane scores ``p`` and ``q``
+        identically, so crossing it flips their relative order.
+        """
+        diff = (np.asarray(p, dtype=np.float64)
+                - np.asarray(q, dtype=np.float64))
+        diff = diff.copy()
+        diff.setflags(write=False)
+        return cls(normal=diff, offset=0.0)
+
+    def evaluate(self, x) -> float:
+        """Signed evaluation ``w . x - offset`` (0 on the plane)."""
+        return score(self.normal, x) - self.offset
+
+    def evaluate_many(self, xs) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over rows of ``xs``."""
+        pts = np.atleast_2d(np.asarray(xs, dtype=np.float64))
+        return pts @ self.normal - self.offset
+
+    def contains(self, x, *, atol: float = 1e-9) -> bool:
+        """True iff ``x`` lies on the hyperplane (within ``atol``)."""
+        return abs(self.evaluate(x)) <= atol
+
+    def halfspace_contains(self, x, *, atol: float = 1e-9) -> bool:
+        """True iff ``x`` is in ``HS(w, p)``, i.e. scores <= the offset."""
+        return self.evaluate(x) <= atol
+
+
+def side_of(w, p, x, *, atol: float = 1e-9) -> int:
+    """Which side of ``H(w, p)`` the point ``x`` falls on.
+
+    Returns ``-1`` (below: strictly better score), ``0`` (on the plane),
+    or ``+1`` (above: strictly worse score) — the three cases of Lemma 1.
+
+    >>> side_of([0.5, 0.5], [1.0, 9.0], [2.0, 1.0])
+    -1
+    """
+    value = score(w, x) - score(w, p)
+    if abs(value) <= atol:
+        return 0
+    return -1 if value < 0 else 1
+
+
+@dataclass
+class HalfspaceSystem:
+    """A conjunction of half-spaces ``A x <= b`` (plus box bounds).
+
+    This is the algebraic form of a safe region that the QP layer
+    consumes directly: each row of ``A`` is a why-not weighting vector,
+    each entry of ``b`` the score of its top-k-th point.
+    """
+
+    a_matrix: np.ndarray
+    b_vector: np.ndarray
+    lower: np.ndarray | None = None
+    upper: np.ndarray | None = None
+    _planes: list[Hyperplane] = field(default_factory=list, repr=False)
+
+    @classmethod
+    def from_constraints(cls, weights, thresholds, *, lower=None,
+                         upper=None) -> "HalfspaceSystem":
+        """Assemble from per-constraint weighting vectors and score caps."""
+        a = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+        b = np.asarray(thresholds, dtype=np.float64).reshape(-1)
+        if a.shape[0] != b.shape[0]:
+            raise ValueError("one threshold per weighting vector required")
+        lo = None if lower is None else np.asarray(lower, dtype=np.float64)
+        hi = None if upper is None else np.asarray(upper, dtype=np.float64)
+        return cls(a_matrix=a, b_vector=b, lower=lo, upper=hi)
+
+    def contains(self, x, *, atol: float = 1e-7) -> bool:
+        """Membership test of ``x`` in the region (within ``atol``)."""
+        xv = np.asarray(x, dtype=np.float64)
+        if np.any(self.a_matrix @ xv - self.b_vector > atol):
+            return False
+        if self.lower is not None and np.any(xv < self.lower - atol):
+            return False
+        if self.upper is not None and np.any(xv > self.upper + atol):
+            return False
+        return True
+
+    def violations(self, x) -> np.ndarray:
+        """Per-constraint slack ``A x - b`` (positive entries violate)."""
+        return self.a_matrix @ np.asarray(x, dtype=np.float64) - self.b_vector

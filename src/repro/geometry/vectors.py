@@ -1,0 +1,147 @@
+"""Weighting vectors and linear scoring.
+
+The paper (and this reproduction) uses the linear scoring function
+
+    f(w, p) = sum_i w[i] * p[i]
+
+over a d-dimensional dataset, where the weighting vector ``w`` satisfies
+``w[i] >= 0`` and ``sum_i w[i] == 1`` (it lives on the standard simplex)
+and *smaller scores are preferable*.
+
+All functions accept plain sequences or NumPy arrays and are tolerant of
+float noise up to ``ATOL``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Absolute tolerance used for simplex-membership checks.
+ATOL = 1e-9
+
+
+def as_array(x, *, name: str = "array") -> np.ndarray:
+    """Convert ``x`` to a float64 NumPy array, validating finiteness.
+
+    Parameters
+    ----------
+    x:
+        Any array-like of numbers.
+    name:
+        Label used in error messages.
+
+    Returns
+    -------
+    numpy.ndarray
+        A float64 array sharing memory with ``x`` when possible.
+
+    Raises
+    ------
+    ValueError
+        If ``x`` contains NaN or infinities.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    return arr
+
+
+def is_valid_weight(w, *, atol: float = ATOL) -> bool:
+    """Return True iff ``w`` is a valid weighting vector.
+
+    A valid weighting vector is non-negative and sums to 1 (within
+    ``atol``), i.e. it lies on the standard (d-1)-simplex.
+
+    >>> is_valid_weight([0.3, 0.7])
+    True
+    >>> is_valid_weight([0.5, 0.6])
+    False
+    >>> is_valid_weight([-0.1, 1.1])
+    False
+    """
+    arr = np.asarray(w, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        return False
+    if not np.all(np.isfinite(arr)):
+        return False
+    if np.any(arr < -atol):
+        return False
+    return bool(abs(float(arr.sum()) - 1.0) <= max(atol, atol * arr.size))
+
+
+def normalize_weight(w) -> np.ndarray:
+    """Project a non-negative vector onto the simplex by L1 normalization.
+
+    Negative components are clipped to zero first.  Raises ``ValueError``
+    when the clipped vector is all-zero (no direction to normalize).
+
+    >>> normalize_weight([2.0, 2.0]).tolist()
+    [0.5, 0.5]
+    """
+    arr = as_array(w, name="weight")
+    arr = np.clip(arr, 0.0, None)
+    total = float(arr.sum())
+    if total <= 0.0:
+        raise ValueError("cannot normalize an all-zero weight vector")
+    return arr / total
+
+
+def score(w, p) -> float:
+    """Score a single point ``p`` under weighting vector ``w``.
+
+    ``f(w, p) = sum_i w[i] * p[i]``; smaller is better.
+
+    >>> score([0.5, 0.5], [4.0, 4.0])
+    4.0
+    """
+    return float(np.dot(np.asarray(w, dtype=np.float64),
+                        np.asarray(p, dtype=np.float64)))
+
+
+def score_many(w, points) -> np.ndarray:
+    """Score every row of ``points`` (shape ``(n, d)``) under one ``w``.
+
+    Returns a length-``n`` float array.  This is the vectorized kernel
+    used by every rank computation in the library.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    wv = np.asarray(w, dtype=np.float64)
+    if pts.ndim == 1:
+        pts = pts.reshape(1, -1)
+    return pts @ wv
+
+
+def score_matrix(weights, points) -> np.ndarray:
+    """Score every point under every weighting vector.
+
+    Parameters
+    ----------
+    weights:
+        Array of shape ``(m, d)``.
+    points:
+        Array of shape ``(n, d)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(m, n)``; entry ``[i, j]`` is ``f(weights[i], points[j])``.
+    """
+    wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    return wts @ pts.T
+
+
+def weight_distance(w1, w2) -> float:
+    """Euclidean distance ``|w1 - w2|`` between two weighting vectors.
+
+    This is the per-vector modification cost used by the MWK penalty
+    model (Eq. 3 of the paper).  Its maximum over the simplex is
+    ``sqrt(2)`` (achieved between two distinct vertices).
+    """
+    a = np.asarray(w1, dtype=np.float64)
+    b = np.asarray(w2, dtype=np.float64)
+    return float(np.linalg.norm(a - b))
+
+
+#: Maximum Euclidean distance between two points of the standard simplex.
+MAX_SIMPLEX_DISTANCE = float(np.sqrt(2.0))

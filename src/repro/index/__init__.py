@@ -1,0 +1,18 @@
+"""Spatial indexing substrate: a from-scratch R-tree.
+
+The paper's algorithms (BRS top-k, ``FindIncom``) are framed as
+branch-and-bound traversals of an R-tree ``RT`` over the product
+dataset ``P``; their cost analyses are stated in terms of ``|RT|``.
+This package provides:
+
+* :mod:`repro.index.mbr` — minimum bounding rectangles and the
+  dominance / score lower-bound predicates the traversals prune with.
+* :mod:`repro.index.rtree` — the R-tree itself, with Sort-Tile-Recursive
+  bulk loading (the default for static datasets), incremental insertion
+  with quadratic split, and node-access statistics.
+"""
+
+from repro.index.mbr import MBR
+from repro.index.rtree import RTree, RTreeStats
+
+__all__ = ["MBR", "RTree", "RTreeStats"]

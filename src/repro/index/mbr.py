@@ -1,0 +1,114 @@
+"""Minimum bounding rectangles (MBRs) and their pruning predicates.
+
+The three predicates the WQRTQ traversals rely on:
+
+* ``min_score(w)`` — a lower bound on the score of any point inside the
+  MBR under a non-negative linear scoring function: for ``w >= 0`` the
+  minimum of ``w . x`` over a box is attained at the lower corner.  BRS
+  uses this as its best-first key.
+* ``dominates(q)`` / ``dominated_by(q)`` — whether *every* point of the
+  box dominates / is dominated by ``q``; ``FindIncom`` prunes subtrees
+  whose MBR is entirely dominated by the query point (no point inside
+  can dominate or be incomparable with it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MBR:
+    """Axis-aligned box ``[lower, upper]`` in d dimensions."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    @classmethod
+    def of_point(cls, p) -> "MBR":
+        arr = np.asarray(p, dtype=np.float64)
+        return cls(arr.copy(), arr.copy())
+
+    @classmethod
+    def of_points(cls, pts) -> "MBR":
+        """Tight box around an ``(n, d)`` point array."""
+        arr = np.atleast_2d(np.asarray(pts, dtype=np.float64))
+        return cls(arr.min(axis=0), arr.max(axis=0))
+
+    @classmethod
+    def union(cls, boxes) -> "MBR":
+        """Smallest box covering every box in ``boxes``."""
+        boxes = list(boxes)
+        if not boxes:
+            raise ValueError("union of zero MBRs is undefined")
+        lo = np.min([b.lower for b in boxes], axis=0)
+        hi = np.max([b.upper for b in boxes], axis=0)
+        return cls(lo, hi)
+
+    @property
+    def dim(self) -> int:
+        return int(self.lower.shape[0])
+
+    def expanded(self, p) -> "MBR":
+        """The box grown to also cover point ``p``."""
+        arr = np.asarray(p, dtype=np.float64)
+        return MBR(np.minimum(self.lower, arr), np.maximum(self.upper, arr))
+
+    def merged(self, other: "MBR") -> "MBR":
+        return MBR(np.minimum(self.lower, other.lower),
+                   np.maximum(self.upper, other.upper))
+
+    def margin(self) -> float:
+        """Sum of side lengths (used by split heuristics)."""
+        return float(np.sum(self.upper - self.lower))
+
+    def volume(self) -> float:
+        return float(np.prod(self.upper - self.lower))
+
+    def enlargement(self, p) -> float:
+        """Volume increase needed to cover ``p`` (insertion heuristic)."""
+        return self.expanded(p).volume() - self.volume()
+
+    def contains_point(self, p, *, atol: float = 0.0) -> bool:
+        arr = np.asarray(p, dtype=np.float64)
+        return bool(np.all(arr >= self.lower - atol)
+                    and np.all(arr <= self.upper + atol))
+
+    def intersects(self, other: "MBR") -> bool:
+        return bool(np.all(self.lower <= other.upper)
+                    and np.all(other.lower <= self.upper))
+
+    # ------------------------------------------------------------------
+    # Pruning predicates for linear-preference traversals
+    # ------------------------------------------------------------------
+
+    def min_score(self, w) -> float:
+        """Lower bound of ``f(w, x)`` over the box (``w`` non-negative)."""
+        return float(np.dot(np.asarray(w, dtype=np.float64), self.lower))
+
+    def max_score(self, w) -> float:
+        """Upper bound of ``f(w, x)`` over the box (``w`` non-negative)."""
+        return float(np.dot(np.asarray(w, dtype=np.float64), self.upper))
+
+    def fully_dominated_by(self, q) -> bool:
+        """True iff every point of the box is dominated by ``q``.
+
+        Holds exactly when the box's *lower* corner is (weakly) worse
+        than ``q`` in all dimensions and strictly worse in one.  Such a
+        subtree can never contain a point dominating or incomparable
+        with ``q`` and is pruned by ``FindIncom``.
+        """
+        qv = np.asarray(q, dtype=np.float64)
+        return bool(np.all(self.lower >= qv) and np.any(self.lower > qv))
+
+    def fully_dominates(self, q) -> bool:
+        """True iff every point of the box dominates ``q``."""
+        qv = np.asarray(q, dtype=np.float64)
+        return bool(np.all(self.upper <= qv) and np.any(self.upper < qv))
+
+    def may_dominate(self, q) -> bool:
+        """True iff *some* point of the box could dominate ``q``."""
+        qv = np.asarray(q, dtype=np.float64)
+        return bool(np.all(self.lower <= qv))

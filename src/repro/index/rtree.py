@@ -1,0 +1,398 @@
+"""A from-scratch R-tree over a static point dataset.
+
+Two construction paths are provided:
+
+* **Sort-Tile-Recursive (STR) bulk loading** (default) — packs the
+  points into fully-utilized leaves by recursively sorting and tiling
+  one dimension at a time, then builds the upper levels the same way.
+  This yields the compact, well-clustered tree the paper's experiments
+  assume (page size 4096 bytes).
+* **Incremental insertion** — classic Guttman insert with
+  least-enlargement subtree choice and quadratic split, used by tests to
+  cross-check that traversal results do not depend on tree shape.
+
+Traversal state (heap ordering, pruning) lives in the *consumers*
+(:mod:`repro.topk.brs`, :mod:`repro.core.incomparable`); the tree only
+exposes its root node, child MBR arrays, and node-access accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.index.mbr import MBR
+
+#: Bytes per R-tree page, mirroring the paper's experimental setup.
+PAGE_SIZE_BYTES = 4096
+#: Bytes per stored coordinate (float64).
+_COORD_BYTES = 8
+#: Per-entry bookkeeping bytes (child pointer / record id).
+_POINTER_BYTES = 8
+
+
+def default_capacity(dim: int, *, page_size: int = PAGE_SIZE_BYTES) -> int:
+    """Entries per node for a given dimensionality and page size.
+
+    An internal entry stores an MBR (2·d coordinates) plus a child
+    pointer; we use the same capacity for leaves for simplicity.  The
+    result is clamped to at least 4 so degenerate dimensionalities still
+    produce a valid tree.
+    """
+    entry_bytes = 2 * dim * _COORD_BYTES + _POINTER_BYTES
+    return max(4, page_size // entry_bytes)
+
+
+@dataclass
+class RTreeStats:
+    """Mutable node-access counters (the paper's I/O proxy)."""
+
+    node_accesses: int = 0
+    leaf_accesses: int = 0
+
+    def reset(self) -> None:
+        self.node_accesses = 0
+        self.leaf_accesses = 0
+
+
+class Node:
+    """One R-tree node.
+
+    Leaves hold ``point_ids`` (indices into the tree's point array);
+    internal nodes hold child ``Node`` objects.  ``child_lowers`` /
+    ``child_uppers`` cache the children's MBR corners as contiguous
+    arrays so consumers can compute pruning keys for all children with
+    one vectorized operation.
+    """
+
+    __slots__ = ("is_leaf", "children", "point_ids", "mbr",
+                 "child_lowers", "child_uppers")
+
+    def __init__(self, *, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.children: list["Node"] = []
+        self.point_ids: list[int] = []
+        self.mbr: MBR | None = None
+        self.child_lowers: np.ndarray | None = None
+        self.child_uppers: np.ndarray | None = None
+
+    def refresh_arrays(self, points: np.ndarray) -> None:
+        """Recompute the cached child-MBR arrays and this node's MBR."""
+        if self.is_leaf:
+            pts = points[self.point_ids]
+            self.child_lowers = pts
+            self.child_uppers = pts
+            self.mbr = MBR.of_points(pts) if len(pts) else None
+        else:
+            self.child_lowers = np.array(
+                [c.mbr.lower for c in self.children])
+            self.child_uppers = np.array(
+                [c.mbr.upper for c in self.children])
+            self.mbr = MBR(self.child_lowers.min(axis=0),
+                           self.child_uppers.max(axis=0))
+
+
+class RTree:
+    """R-tree over an immutable ``(n, d)`` point array.
+
+    Parameters
+    ----------
+    points:
+        The dataset ``P``.  A defensive copy is stored; row index is the
+        point id used throughout the library.
+    capacity:
+        Maximum entries per node.  Defaults to the 4096-byte page
+        heuristic of :func:`default_capacity`.
+    method:
+        ``"str"`` (bulk load, default) or ``"insert"`` (incremental).
+    """
+
+    def __init__(self, points, *, capacity: int | None = None,
+                 method: str = "str"):
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("RTree requires a non-empty (n, d) array")
+        if not np.all(np.isfinite(pts)):
+            raise ValueError("RTree points must be finite")
+        self.points = pts.copy()
+        self.points.setflags(write=False)
+        self.dim = int(pts.shape[1])
+        self.capacity = capacity or default_capacity(self.dim)
+        if self.capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        self.stats = RTreeStats()
+        if method == "str":
+            self.root = self._bulk_load_str()
+        elif method == "insert":
+            self.root = self._build_by_insertion()
+        else:
+            raise ValueError(f"unknown construction method: {method!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes — the ``|RT|`` of the paper's bounds."""
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def height(self) -> int:
+        h, node = 1, self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def iter_nodes(self):
+        """Yield every node, pre-order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(node.children)
+
+    def record_access(self, node: Node) -> None:
+        """Count one node access (consumers call this when expanding)."""
+        self.stats.node_accesses += 1
+        if node.is_leaf:
+            self.stats.leaf_accesses += 1
+
+    # ------------------------------------------------------------------
+    # Queries used directly by tests / examples
+    # ------------------------------------------------------------------
+
+    def knn_query(self, q, k: int) -> np.ndarray:
+        """Ids of the k points nearest (Euclidean) to ``q``.
+
+        Classic best-first kNN [Hjaltason & Samet]: a min-heap keyed
+        by the MBR's minimum distance to ``q``; every popped point is
+        the next nearest.  Used by examples to relate spatial
+        proximity to score proximity, and by tests as another
+        traversal-correctness probe.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        import heapq
+
+        qv = np.asarray(q, dtype=np.float64)
+        k = min(k, len(self))
+        counter = 0
+        heap: list[tuple[float, int, int, object]] = [
+            (0.0, counter, 1, self.root)]
+        out: list[int] = []
+        while heap and len(out) < k:
+            _, _, kind, payload = heapq.heappop(heap)
+            if kind == 0:
+                out.append(int(payload))  # type: ignore[arg-type]
+                continue
+            node: Node = payload  # type: ignore[assignment]
+            self.record_access(node)
+            if node.is_leaf:
+                dists = np.linalg.norm(node.child_lowers - qv, axis=1)
+                for pid, dist in zip(node.point_ids, dists):
+                    counter += 1
+                    heapq.heappush(heap, (float(dist), pid, 0, pid))
+            else:
+                for child in node.children:
+                    gap = np.maximum(
+                        np.maximum(child.mbr.lower - qv,
+                                   qv - child.mbr.upper), 0.0)
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (float(np.linalg.norm(gap)), counter, 1,
+                         child))
+        return np.asarray(out, dtype=np.int64)
+
+    def range_query(self, lower, upper) -> np.ndarray:
+        """Ids of points inside the axis-aligned box ``[lower, upper]``."""
+        box = MBR(np.asarray(lower, dtype=np.float64),
+                  np.asarray(upper, dtype=np.float64))
+        out: list[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self.record_access(node)
+            if node.is_leaf:
+                pts = self.points[node.point_ids]
+                inside = (np.all(pts >= box.lower, axis=1)
+                          & np.all(pts <= box.upper, axis=1))
+                out.extend(np.asarray(node.point_ids)[inside].tolist())
+            else:
+                for child in node.children:
+                    if child.mbr.intersects(box):
+                        stack.append(child)
+        return np.asarray(sorted(out), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # STR bulk loading
+    # ------------------------------------------------------------------
+
+    def _bulk_load_str(self) -> Node:
+        ids = np.arange(len(self.points))
+        leaves = self._str_pack_points(ids)
+        return self._build_upper_levels(leaves)
+
+    def _str_pack_points(self, ids: np.ndarray) -> list[Node]:
+        """Tile point ids into leaves via recursive sort-tile."""
+        groups = self._str_tile(self.points[ids], ids, axis=0)
+        leaves = []
+        for group in groups:
+            leaf = Node(is_leaf=True)
+            leaf.point_ids = [int(i) for i in group]
+            leaf.refresh_arrays(self.points)
+            leaves.append(leaf)
+        return leaves
+
+    def _str_tile(self, coords: np.ndarray, ids: np.ndarray,
+                  *, axis: int) -> list[np.ndarray]:
+        """Recursively slab-partition ``ids`` so each final group fits
+        in one node."""
+        n = len(ids)
+        if n <= self.capacity:
+            return [ids]
+        remaining_axes = self.dim - axis
+        n_pages = int(np.ceil(n / self.capacity))
+        slabs = (int(np.ceil(n_pages ** (1.0 / remaining_axes)))
+                 if remaining_axes > 1 else n_pages)
+        order = np.argsort(coords[:, axis], kind="stable")
+        ids_sorted = ids[order]
+        coords_sorted = coords[order]
+        slab_size = int(np.ceil(n / slabs))
+        out: list[np.ndarray] = []
+        for start in range(0, n, slab_size):
+            chunk_ids = ids_sorted[start:start + slab_size]
+            chunk_coords = coords_sorted[start:start + slab_size]
+            if axis + 1 < self.dim:
+                out.extend(self._str_tile(chunk_coords, chunk_ids,
+                                          axis=axis + 1))
+            else:
+                for s in range(0, len(chunk_ids), self.capacity):
+                    out.append(chunk_ids[s:s + self.capacity])
+        return out
+
+    def _build_upper_levels(self, nodes: list[Node]) -> Node:
+        while len(nodes) > 1:
+            centers = np.array([
+                (n.mbr.lower + n.mbr.upper) / 2.0 for n in nodes])
+            order = np.lexsort(centers.T[::-1])
+            nodes = [nodes[i] for i in order]
+            parents: list[Node] = []
+            for start in range(0, len(nodes), self.capacity):
+                parent = Node(is_leaf=False)
+                parent.children = nodes[start:start + self.capacity]
+                parent.refresh_arrays(self.points)
+                parents.append(parent)
+            nodes = parents
+        nodes[0].refresh_arrays(self.points)
+        return nodes[0]
+
+    # ------------------------------------------------------------------
+    # Incremental construction (Guttman insert + quadratic split)
+    # ------------------------------------------------------------------
+
+    def _build_by_insertion(self) -> Node:
+        root = Node(is_leaf=True)
+        root.point_ids = [0]
+        root.refresh_arrays(self.points)
+        for pid in range(1, len(self.points)):
+            root = self._insert(root, pid)
+        return root
+
+    def _insert(self, root: Node, pid: int) -> Node:
+        split = self._insert_into(root, pid)
+        if split is None:
+            return root
+        new_root = Node(is_leaf=False)
+        new_root.children = [root, split]
+        new_root.refresh_arrays(self.points)
+        return new_root
+
+    def _insert_into(self, node: Node, pid: int) -> Node | None:
+        """Insert point ``pid`` under ``node``; return a sibling on split."""
+        if node.is_leaf:
+            node.point_ids.append(pid)
+            if len(node.point_ids) > self.capacity:
+                return self._split_leaf(node)
+            node.refresh_arrays(self.points)
+            return None
+        point = self.points[pid]
+        best = min(node.children,
+                   key=lambda c: (c.mbr.enlargement(point), c.mbr.volume()))
+        sibling = self._insert_into(best, pid)
+        if sibling is not None:
+            node.children.append(sibling)
+            if len(node.children) > self.capacity:
+                overflow = self._split_internal(node)
+                node.refresh_arrays(self.points)
+                return overflow
+        node.refresh_arrays(self.points)
+        return None
+
+    def _split_leaf(self, node: Node) -> Node:
+        ids = node.point_ids
+        group_a, group_b = _quadratic_split(
+            [MBR.of_point(self.points[i]) for i in ids])
+        sibling = Node(is_leaf=True)
+        node.point_ids = [ids[i] for i in group_a]
+        sibling.point_ids = [ids[i] for i in group_b]
+        node.refresh_arrays(self.points)
+        sibling.refresh_arrays(self.points)
+        return sibling
+
+    def _split_internal(self, node: Node) -> Node:
+        children = node.children
+        group_a, group_b = _quadratic_split([c.mbr for c in children])
+        sibling = Node(is_leaf=False)
+        node.children = [children[i] for i in group_a]
+        sibling.children = [children[i] for i in group_b]
+        node.refresh_arrays(self.points)
+        sibling.refresh_arrays(self.points)
+        return sibling
+
+
+def _quadratic_split(boxes: list[MBR]) -> tuple[list[int], list[int]]:
+    """Guttman's quadratic split over a list of entry MBRs.
+
+    Returns two index groups, each non-empty and at most
+    ``len(boxes) - 1`` long.
+    """
+    n = len(boxes)
+    worst_pair, worst_waste = (0, 1), -np.inf
+    for i in range(n):
+        for j in range(i + 1, n):
+            waste = (boxes[i].merged(boxes[j]).volume()
+                     - boxes[i].volume() - boxes[j].volume())
+            if waste > worst_waste:
+                worst_waste, worst_pair = waste, (i, j)
+    seed_a, seed_b = worst_pair
+    group_a, group_b = [seed_a], [seed_b]
+    box_a, box_b = boxes[seed_a], boxes[seed_b]
+    rest = [i for i in range(n) if i not in (seed_a, seed_b)]
+    min_fill = max(1, n // 3)
+    for idx in rest:
+        if len(group_a) + (len(rest) - rest.index(idx)) <= min_fill:
+            group_a.append(idx)
+            box_a = box_a.merged(boxes[idx])
+            continue
+        if len(group_b) + (len(rest) - rest.index(idx)) <= min_fill:
+            group_b.append(idx)
+            box_b = box_b.merged(boxes[idx])
+            continue
+        grow_a = box_a.merged(boxes[idx]).volume() - box_a.volume()
+        grow_b = box_b.merged(boxes[idx]).volume() - box_b.volume()
+        if grow_a < grow_b or (grow_a == grow_b
+                               and len(group_a) <= len(group_b)):
+            group_a.append(idx)
+            box_a = box_a.merged(boxes[idx])
+        else:
+            group_b.append(idx)
+            box_b = box_b.merged(boxes[idx])
+    return group_a, group_b

@@ -1,0 +1,28 @@
+"""Convex quadratic programming, from scratch.
+
+The MQP algorithm of the paper finds the refined query point by solving
+
+    min  ½ xᵀ H x + cᵀ x
+    s.t. A x <= b,   lb <= x <= ub,
+
+with the interior-point code *QuadProg* of Monteiro & Adler [26].  This
+package re-implements that capability as a primal–dual interior-point
+method with an infeasible start (no phase-I needed), optionally with
+linear equality constraints (used for weight-space projections onto the
+simplex).  Results carry KKT residuals so callers and tests can verify
+optimality certificates directly.
+"""
+
+from repro.qp.problems import (
+    closest_point_in_halfspaces,
+    closest_weight_with_rank_plane,
+)
+from repro.qp.solver import QPResult, QPStatus, solve_qp
+
+__all__ = [
+    "QPResult",
+    "QPStatus",
+    "closest_point_in_halfspaces",
+    "closest_weight_with_rank_plane",
+    "solve_qp",
+]

@@ -1,0 +1,73 @@
+"""QP problem builders for the WQRTQ refinement steps.
+
+Two concrete optimization problems recur in the paper:
+
+* **MQP core** — the closest point to ``q`` inside the safe region
+  (intersection of score half-spaces, boxed to ``[0, q]``):
+  :func:`closest_point_in_halfspaces`.
+* **Weight projection** — the closest simplex vector to a why-not
+  vector that places ``q`` on a given separating hyperplane
+  ``w · (p - q) = 0``.  The paper's MWK avoids enumerating these exact
+  projections (exponentially many rank configurations) by sampling, but
+  the projection itself is useful for tests and for the sampler's
+  quality ablation: :func:`closest_weight_with_rank_plane`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qp.solver import QPResult, solve_qp
+
+
+def closest_point_in_halfspaces(q, a_matrix, b_vector, *, lower=None,
+                                upper=None) -> QPResult:
+    """``argmin ||x - q||²`` subject to ``A x <= b`` and box bounds.
+
+    Expands the objective to the standard form ``½xᵀHx + cᵀx`` with
+    ``H = 2I`` and ``c = -2q`` — exactly the matrices spelled out in
+    Section 4.2 of the paper.
+
+    Parameters
+    ----------
+    q:
+        Reference point (the original query point).
+    a_matrix, b_vector:
+        Half-space system: each row of ``a_matrix`` is a why-not
+        weighting vector, each ``b_vector`` entry the score of its
+        top-k-th point.
+    lower, upper:
+        Box bounds; the paper uses ``[0, q]``.
+    """
+    qv = np.asarray(q, dtype=np.float64).reshape(-1)
+    d = qv.shape[0]
+    h_mat = 2.0 * np.eye(d)
+    c_vec = -2.0 * qv
+    result = solve_qp(h_mat, c_vec, a_matrix, b_vector,
+                      lb=lower, ub=upper)
+    # Report the geometric objective ||x - q||² (plus-constant shift).
+    result.objective = float(np.sum((result.x - qv) ** 2))
+    return result
+
+
+def closest_weight_with_rank_plane(w, p, q) -> QPResult:
+    """Closest simplex vector to ``w`` scoring ``p`` and ``q`` equally.
+
+    Solves ``argmin ||w' - w||²`` subject to ``w' >= 0``,
+    ``sum(w') = 1`` and ``w' · (p - q) = 0`` — the projection of a
+    why-not vector onto one of the candidate hyperplanes "formed by I
+    and q" (Section 4.3).  He & Lo [14] prove the optimal modified
+    weight lies on one such hyperplane for a fixed target rank.
+    """
+    wv = np.asarray(w, dtype=np.float64).reshape(-1)
+    d = wv.shape[0]
+    diff = (np.asarray(p, dtype=np.float64)
+            - np.asarray(q, dtype=np.float64)).reshape(-1)
+    h_mat = 2.0 * np.eye(d)
+    c_vec = -2.0 * wv
+    a_eq = np.vstack([np.ones(d), diff])
+    b_eq = np.array([1.0, 0.0])
+    result = solve_qp(h_mat, c_vec, a_mat=a_eq, b_vec=b_eq,
+                      lb=np.zeros(d))
+    result.objective = float(np.sum((result.x - wv) ** 2))
+    return result

@@ -1,0 +1,267 @@
+"""Primal–dual interior-point solver for convex QP.
+
+Problem form
+------------
+
+    minimize    ½ xᵀ H x + cᵀ x
+    subject to  G x <= h          (inequalities, slacks s > 0)
+                A x  = b          (optional equalities)
+
+``H`` must be symmetric positive semi-definite (the library only feeds
+it positive-definite diagonals).  The implementation is the standard
+infeasible-start path-following method with a Mehrotra-style adaptive
+centring parameter:
+
+1. Newton step on the perturbed KKT system,
+2. fraction-to-boundary step length (s, z stay strictly positive),
+3. centring ``sigma = (mu_aff / mu)^3``.
+
+The per-iteration cost is one dense factorization of the reduced system
+``(H + Gᵀ diag(z/s) G)`` bordered by the equality rows — ``O(n³)`` for
+``n`` variables, matching the ``d³·L`` term in the paper's Theorem 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class QPStatus(enum.Enum):
+    """Solver exit condition."""
+
+    OPTIMAL = "optimal"
+    MAX_ITER = "max_iterations"
+    INFEASIBLE = "infeasible"
+
+
+@dataclass
+class QPResult:
+    """Solution bundle with optimality certificates.
+
+    Attributes
+    ----------
+    x:
+        Primal solution.
+    status:
+        :class:`QPStatus`.
+    objective:
+        ``½ xᵀHx + cᵀx`` at ``x``.
+    iterations:
+        Newton iterations performed.
+    dual_ineq / dual_eq:
+        Lagrange multipliers.
+    kkt_residual:
+        Max-norm of the stationarity + feasibility + complementarity
+        residuals; near zero certifies optimality.
+    """
+
+    x: np.ndarray
+    status: QPStatus
+    objective: float
+    iterations: int
+    dual_ineq: np.ndarray
+    dual_eq: np.ndarray
+    kkt_residual: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status is QPStatus.OPTIMAL
+
+
+def solve_qp(h_mat, c_vec, g_mat=None, h_vec=None, a_mat=None, b_vec=None,
+             *, lb=None, ub=None, tol: float = 1e-8,
+             max_iter: int = 100) -> QPResult:
+    """Solve the convex QP described in the module docstring.
+
+    Box bounds ``lb <= x <= ub`` are folded into the inequality block.
+    Infinite entries in ``lb``/``ub`` are skipped.
+
+    Raises
+    ------
+    ValueError
+        On malformed shapes.
+    """
+    h_mat = np.atleast_2d(np.asarray(h_mat, dtype=np.float64))
+    c_vec = np.asarray(c_vec, dtype=np.float64).reshape(-1)
+    n = c_vec.shape[0]
+    if h_mat.shape != (n, n):
+        raise ValueError("H must be (n, n) matching c")
+
+    g_rows, h_rows = _assemble_inequalities(n, g_mat, h_vec, lb, ub)
+    m = len(h_rows)
+    if a_mat is not None:
+        a_mat = np.atleast_2d(np.asarray(a_mat, dtype=np.float64))
+        b_vec = np.asarray(b_vec, dtype=np.float64).reshape(-1)
+        if a_mat.shape[1] != n or a_mat.shape[0] != b_vec.shape[0]:
+            raise ValueError("equality block shape mismatch")
+        p = a_mat.shape[0]
+    else:
+        a_mat = np.zeros((0, n))
+        b_vec = np.zeros(0)
+        p = 0
+
+    if m == 0:
+        # No inequalities: the KKT conditions are one linear solve.
+        if p == 0:
+            x = np.linalg.solve(h_mat + 1e-12 * np.eye(n), -c_vec)
+            y = np.zeros(0)
+        else:
+            kkt = np.zeros((n + p, n + p))
+            kkt[:n, :n] = h_mat + 1e-12 * np.eye(n)
+            kkt[:n, n:] = a_mat.T
+            kkt[n:, :n] = a_mat
+            sol = np.linalg.solve(kkt, np.concatenate([-c_vec, b_vec]))
+            x, y = sol[:n], sol[n:]
+        obj = 0.5 * float(x @ h_mat @ x) + float(c_vec @ x)
+        kkt_res = float(np.max(np.abs(h_mat @ x + c_vec + a_mat.T @ y)))
+        return QPResult(x, QPStatus.OPTIMAL, obj, 0, np.zeros(0), y,
+                        kkt_res)
+
+    g = g_rows
+    h = h_rows
+
+    x = np.zeros(n)
+    y = np.zeros(p)
+    s = np.maximum(h - g @ x, 1.0)
+    z = np.ones(m)
+
+    status = QPStatus.MAX_ITER
+    it = 0
+    # Iterates diverge on infeasible problems before the finiteness
+    # guard trips; suppress the intermediate overflow warnings.
+    with np.errstate(over="ignore", invalid="ignore"):
+        for it in range(1, max_iter + 1):
+            if (not np.all(np.isfinite(x)) or not np.all(np.isfinite(s))
+                    or not np.all(np.isfinite(z))):
+                status = QPStatus.INFEASIBLE
+                x = np.nan_to_num(x)
+                s = np.abs(np.nan_to_num(s)) + 1e-9
+                z = np.abs(np.nan_to_num(z)) + 1e-9
+                break
+            r_dual = h_mat @ x + c_vec + g.T @ z + a_mat.T @ y
+            r_prim = g @ x + s - h
+            r_eq = a_mat @ x - b_vec
+            mu = float(s @ z) / m
+
+            if (np.max(np.abs(r_dual)) < tol
+                    and np.max(np.abs(r_prim), initial=0.0) < tol
+                    and np.max(np.abs(r_eq), initial=0.0) < tol
+                    and mu < tol):
+                status = QPStatus.OPTIMAL
+                break
+
+            # --- affine (predictor) direction -------------------------
+            dx_a, dy_a, dz_a, ds_a = _newton_step(
+                h_mat, g, a_mat, s, z, r_dual, r_prim, r_eq, s * z)
+            alpha_a = _step_length(s, ds_a, z, dz_a, tau=1.0)
+            mu_aff = float(
+                (s + alpha_a * ds_a) @ (z + alpha_a * dz_a)) / m
+            sigma = (mu_aff / mu) ** 3 if mu > 0 else 0.1
+
+            # --- corrector direction ----------------------------------
+            r_cent = s * z + ds_a * dz_a - sigma * mu
+            dx, dy, dz, ds = _newton_step(
+                h_mat, g, a_mat, s, z, r_dual, r_prim, r_eq, r_cent)
+            alpha = _step_length(s, ds, z, dz, tau=0.995)
+
+            x = x + alpha * dx
+            y = y + alpha * dy
+            z = np.maximum(z + alpha * dz, 1e-14)
+            s = np.maximum(s + alpha * ds, 1e-14)
+
+    r_dual = h_mat @ x + c_vec + g.T @ z + a_mat.T @ y
+    r_prim = np.maximum(g @ x - h, 0.0)
+    r_eq = a_mat @ x - b_vec
+    comp = np.abs((h - g @ x) * z) if m else np.zeros(1)
+    kkt = max(
+        float(np.max(np.abs(r_dual), initial=0.0)),
+        float(np.max(r_prim, initial=0.0)),
+        float(np.max(np.abs(r_eq), initial=0.0)),
+        float(np.max(comp, initial=0.0)),
+    )
+    if status is QPStatus.MAX_ITER and np.max(r_prim, initial=0.0) > 1e-4:
+        status = QPStatus.INFEASIBLE
+    obj = 0.5 * float(x @ h_mat @ x) + float(c_vec @ x)
+    return QPResult(x, status, obj, it, z, y, kkt)
+
+
+def _assemble_inequalities(n, g_mat, h_vec, lb, ub):
+    """Stack user inequalities with box rows (skipping infinities)."""
+    blocks_g: list[np.ndarray] = []
+    blocks_h: list[np.ndarray] = []
+    if g_mat is not None:
+        gm = np.atleast_2d(np.asarray(g_mat, dtype=np.float64))
+        hv = np.asarray(h_vec, dtype=np.float64).reshape(-1)
+        if gm.shape[1] != n or gm.shape[0] != hv.shape[0]:
+            raise ValueError("inequality block shape mismatch")
+        blocks_g.append(gm)
+        blocks_h.append(hv)
+    eye = np.eye(n)
+    if ub is not None:
+        ub_arr = np.broadcast_to(
+            np.asarray(ub, dtype=np.float64), (n,)).astype(float)
+        finite = np.isfinite(ub_arr)
+        if finite.any():
+            blocks_g.append(eye[finite])
+            blocks_h.append(ub_arr[finite])
+    if lb is not None:
+        lb_arr = np.broadcast_to(
+            np.asarray(lb, dtype=np.float64), (n,)).astype(float)
+        finite = np.isfinite(lb_arr)
+        if finite.any():
+            blocks_g.append(-eye[finite])
+            blocks_h.append(-lb_arr[finite])
+    if not blocks_g:
+        return np.zeros((0, n)), np.zeros(0)
+    return np.vstack(blocks_g), np.concatenate(blocks_h)
+
+
+def _newton_step(h_mat, g, a_mat, s, z, r_dual, r_prim, r_eq, r_cent):
+    """Solve one perturbed-KKT Newton system via block elimination.
+
+    Eliminating ``ds = -(r_cent + s·dz)/z`` and then ``dz`` yields the
+    reduced SPD system ``(H + Gᵀ diag(z/s) G) dx + Aᵀ dy = rhs`` bordered
+    by the equality rows.
+    """
+    n = h_mat.shape[0]
+    p = a_mat.shape[0]
+    w = z / s                      # diag scaling
+    # r2 enters as: G dx - diag(s/z) dz = -r_prim + r_cent / z
+    r2 = -r_prim + r_cent / z
+    reduced = h_mat + (g.T * w) @ g
+    rhs_x = -r_dual + g.T @ (w * r2)
+    if p:
+        kkt = np.zeros((n + p, n + p))
+        kkt[:n, :n] = reduced
+        kkt[:n, n:] = a_mat.T
+        kkt[n:, :n] = a_mat
+        rhs = np.concatenate([rhs_x, -r_eq])
+        try:
+            sol = np.linalg.solve(kkt, rhs)
+        except np.linalg.LinAlgError:
+            sol = np.linalg.lstsq(kkt, rhs, rcond=None)[0]
+        dx, dy = sol[:n], sol[n:]
+    else:
+        try:
+            dx = np.linalg.solve(reduced, rhs_x)
+        except np.linalg.LinAlgError:
+            dx = np.linalg.lstsq(reduced, rhs_x, rcond=None)[0]
+        dy = np.zeros(0)
+    dz = w * (g @ dx - r2)
+    ds = -(r_cent + s * dz) / z
+    return dx, dy, dz, ds
+
+
+def _step_length(s, ds, z, dz, *, tau: float) -> float:
+    """Largest step in (0, 1] keeping ``s`` and ``z`` positive."""
+    alpha = 1.0
+    neg_s = ds < 0
+    if neg_s.any():
+        alpha = min(alpha, float(np.min(-s[neg_s] / ds[neg_s])) * tau)
+    neg_z = dz < 0
+    if neg_z.any():
+        alpha = min(alpha, float(np.min(-z[neg_z] / dz[neg_z])) * tau)
+    return max(min(alpha, 1.0), 0.0)

@@ -1,0 +1,32 @@
+"""Reverse top-k query engines.
+
+* :mod:`repro.rtopk.mono` — the monochromatic reverse top-k query in two
+  dimensions, solved exactly as a sweep over the weighting-space
+  parameter ``w1`` (the result is a union of ``w1`` intervals, cf.
+  Figure 2(b) of the paper).
+* :mod:`repro.rtopk.bichromatic` — the bichromatic reverse top-k query
+  over a finite weighting-vector set ``W``: a vectorized naive engine
+  and an RTA-style threshold engine [Vlachou et al., TKDE 2011].
+"""
+
+from repro.rtopk.bichromatic import brtopk_naive, brtopk_rta
+from repro.rtopk.grta import brtopk_grta, kmeans_weights
+from repro.rtopk.influence import (
+    influence_gain,
+    influence_score,
+    most_influential,
+)
+from repro.rtopk.mono import WeightInterval, mrtopk_2d, mrtopk_sample
+
+__all__ = [
+    "WeightInterval",
+    "brtopk_grta",
+    "brtopk_naive",
+    "brtopk_rta",
+    "influence_gain",
+    "influence_score",
+    "kmeans_weights",
+    "most_influential",
+    "mrtopk_2d",
+    "mrtopk_sample",
+]

@@ -1,0 +1,125 @@
+"""Bichromatic reverse top-k engines.
+
+``BRTOPk(q) = { w in W : rank(q, w) <= k }`` over a finite preference
+set ``W``.  Two engines:
+
+* :func:`brtopk_naive` — fully vectorized rank computation for every
+  ``w`` at once (chunked to bound memory).  Exact oracle and surprisingly
+  competitive in NumPy.
+* :func:`brtopk_rta` — the Reverse top-k Threshold Algorithm of Vlachou
+  et al. [31]: process the vectors of ``W`` in a locality-preserving
+  order, keep the top-k point *buffer* of the last fully-evaluated
+  vector, and skip a vector whenever the buffered k points already
+  outscore ``q`` under it (then q cannot be in its top-k).  Only on a
+  failed skip does it fall back to a full (BRS or scan) top-k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.vectors import score_many
+from repro.index.rtree import RTree
+from repro.topk.brs import BRSEngine
+from repro.topk.scan import topk_scan
+
+_CHUNK_BUDGET = 8_000_000  # max floats per naive score block
+
+
+def brtopk_naive(points, weights, q, k: int) -> np.ndarray:
+    """Indices into ``weights`` whose top-k result contains ``q``.
+
+    Exact and vectorized: for each chunk of weighting vectors it forms
+    the (chunk, n) score matrix and counts, per row, the points scoring
+    strictly below ``q``.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    qv = np.asarray(q, dtype=np.float64)
+    n = len(pts)
+    chunk = max(1, _CHUNK_BUDGET // max(n, 1))
+    hits: list[np.ndarray] = []
+    for start in range(0, len(wts), chunk):
+        block = wts[start:start + chunk]
+        scores = block @ pts.T          # (chunk, n)
+        q_scores = block @ qv           # (chunk,)
+        beats = np.count_nonzero(scores < q_scores[:, None] - 1e-12,
+                                 axis=1)
+        ok = np.nonzero(beats <= k - 1)[0] + start
+        hits.append(ok)
+    return np.concatenate(hits) if hits else np.empty(0, dtype=np.int64)
+
+
+def brtopk_rta(source, weights, q, k: int) -> np.ndarray:
+    """RTA-style bichromatic reverse top-k.
+
+    Parameters
+    ----------
+    source:
+        An :class:`RTree` (BRS is used for the fallback top-k) or an
+        ``(n, d)`` point array (sequential scan fallback).
+    weights:
+        The preference set ``W`` as an ``(m, d)`` array.
+    q:
+        Query point.
+    k:
+        Top-k parameter.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted indices into ``weights`` belonging to ``BRTOPk(q)``.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if isinstance(source, RTree):
+        pts = source.points
+        engine = BRSEngine(source)
+
+        def full_topk(w):
+            return engine.topk(w, k)
+    else:
+        pts = np.atleast_2d(np.asarray(source, dtype=np.float64))
+
+        def full_topk(w):
+            return topk_scan(pts, w, k)
+
+    wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    qv = np.asarray(q, dtype=np.float64)
+    if len(pts) < k:
+        raise ValueError(f"dataset smaller than k={k}")
+
+    # Locality order: sort vectors lexicographically so consecutive
+    # vectors are similar and the buffer prunes well.
+    order = np.lexsort(wts.T[::-1])
+
+    result: list[int] = []
+    buffer_ids: np.ndarray | None = None
+    for idx in order:
+        w = wts[idx]
+        q_score = float(w @ qv)
+        if buffer_ids is not None:
+            buf_scores = score_many(w, pts[buffer_ids])
+            if np.count_nonzero(buf_scores < q_score - 1e-12) >= k:
+                # The buffered k points already outrank q: skip.
+                continue
+        ids = full_topk(w)
+        buffer_ids = ids
+        kth_score = float(w @ pts[ids[-1]])
+        if q_score <= kth_score + 1e-12:
+            result.append(int(idx))
+    return np.asarray(sorted(result), dtype=np.int64)
+
+
+def why_not_candidates(points, weights, q, k: int) -> np.ndarray:
+    """Indices of ``weights`` *excluded* from BRTOPk(q).
+
+    Definition 5 restricts why-not vectors of the bichromatic problem to
+    ``W \\ BRTOPk(q)``; this helper materializes that set.
+    """
+    wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    members = set(brtopk_naive(points, wts, q, k).tolist())
+    return np.asarray(
+        [i for i in range(len(wts)) if i not in members], dtype=np.int64)

@@ -1,0 +1,113 @@
+"""GRTA — grouped threshold processing for bichromatic reverse top-k.
+
+RTA's pruning power depends on consecutive weighting vectors being
+similar (the previous top-k buffer only prunes when it still outranks
+``q`` under the next vector).  GRTA [Vlachou et al., TKDE 2011]
+strengthens this by *clustering* ``W`` first and processing each
+cluster around its representative: the representative's top-k result
+is computed once and used as the initial buffer for every member.
+
+This implementation clusters with a small from-scratch k-means over
+the weighting vectors (deterministic seeding), orders members within
+a cluster by distance to the representative, and otherwise reuses the
+RTA skip test.  Exactness is unaffected — the buffer only ever
+*skips* vectors it can prove are non-members — and the test suite
+asserts GRTA ≡ RTA ≡ naive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.vectors import score_many
+from repro.index.rtree import RTree
+from repro.topk.brs import BRSEngine
+from repro.topk.scan import topk_scan
+
+
+def kmeans_weights(weights, n_clusters: int, *, iterations: int = 20,
+                   seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Tiny deterministic k-means over simplex vectors.
+
+    Returns ``(labels, centroids)``.  Centroids are renormalized onto
+    the simplex each round so representatives stay valid weighting
+    vectors.  Empty clusters are re-seeded from the farthest point.
+    """
+    wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    n = len(wts)
+    n_clusters = max(1, min(n_clusters, n))
+    rng = np.random.default_rng(seed)
+    centroids = wts[rng.choice(n, size=n_clusters, replace=False)]
+    labels = np.full(n, -1, dtype=np.int64)   # force >= 1 update round
+    for _ in range(iterations):
+        dists = np.linalg.norm(
+            wts[:, None, :] - centroids[None, :, :], axis=2)
+        new_labels = np.argmin(dists, axis=1)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for c in range(n_clusters):
+            members = wts[labels == c]
+            if len(members):
+                centroid = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster from the worst-served point.
+                worst = int(np.argmax(np.min(dists, axis=1)))
+                centroid = wts[worst]
+            centroid = np.clip(centroid, 1e-12, None)
+            centroids[c] = centroid / centroid.sum()
+    return labels, centroids
+
+
+def brtopk_grta(source, weights, q, k: int, *,
+                n_clusters: int | None = None,
+                seed: int = 0) -> np.ndarray:
+    """Grouped RTA: cluster ``W``, share the buffer per cluster.
+
+    Parameters mirror :func:`repro.rtopk.bichromatic.brtopk_rta`;
+    ``n_clusters`` defaults to ``ceil(sqrt(|W|))``.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if isinstance(source, RTree):
+        pts = source.points
+        engine = BRSEngine(source)
+
+        def full_topk(w):
+            return engine.topk(w, k)
+    else:
+        pts = np.atleast_2d(np.asarray(source, dtype=np.float64))
+
+        def full_topk(w):
+            return topk_scan(pts, w, k)
+
+    wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    qv = np.asarray(q, dtype=np.float64)
+    if len(pts) < k:
+        raise ValueError(f"dataset smaller than k={k}")
+    if n_clusters is None:
+        n_clusters = int(np.ceil(np.sqrt(len(wts))))
+    labels, centroids = kmeans_weights(wts, n_clusters, seed=seed)
+
+    result: list[int] = []
+    for c in range(len(centroids)):
+        member_idx = np.nonzero(labels == c)[0]
+        if len(member_idx) == 0:
+            continue
+        # Buffer seeded by the cluster representative's top-k.
+        buffer_ids = full_topk(centroids[c])
+        # Members closest to the representative first.
+        order = member_idx[np.argsort(
+            np.linalg.norm(wts[member_idx] - centroids[c], axis=1))]
+        for idx in order:
+            w = wts[idx]
+            q_score = float(w @ qv)
+            buf_scores = score_many(w, pts[buffer_ids])
+            if np.count_nonzero(buf_scores < q_score - 1e-12) >= k:
+                continue          # provably not a member
+            ids = full_topk(w)
+            buffer_ids = ids
+            kth_score = float(w @ pts[ids[-1]])
+            if q_score <= kth_score + 1e-12:
+                result.append(int(idx))
+    return np.asarray(sorted(result), dtype=np.int64)

@@ -1,0 +1,183 @@
+"""Monochromatic reverse top-k in two dimensions (exact sweep).
+
+In 2-D the weighting space is one-dimensional: ``w = (w1, 1 - w1)`` with
+``w1 in [0, 1]``.  For each data point ``p`` the score difference
+
+    g_p(w1) = f(w, p) - f(w, q)
+
+is linear in ``w1``; ``p`` outranks ``q`` exactly where ``g_p < 0``.
+``MRTOPk(q)`` is therefore ``{ w1 : |{p : g_p(w1) < 0}| <= k - 1 }`` — a
+union of intervals obtained by sweeping the at-most-``n`` roots of the
+``g_p``.  This mirrors the segment-based picture of Figure 2(b) in the
+paper and the 2-D algorithms of Vlachou et al. [31] / Chester et
+al. [9].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_ATOL = 1e-12
+
+
+@dataclass(frozen=True)
+class WeightInterval:
+    """A maximal interval ``[lo, hi]`` of qualifying ``w1`` values."""
+
+    lo: float
+    hi: float
+
+    def contains(self, w1: float, *, atol: float = 1e-9) -> bool:
+        return self.lo - atol <= w1 <= self.hi + atol
+
+    def midpoint_vector(self) -> np.ndarray:
+        """A representative 2-D weighting vector inside the interval."""
+        mid = 0.5 * (self.lo + self.hi)
+        return np.array([mid, 1.0 - mid])
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+
+def beat_count_at(points, q, w1: float) -> int:
+    """Exact ``|{p : f(w, p) < f(w, q)}|`` at one ``w1`` (tie -> q wins)."""
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    qv = np.asarray(q, dtype=np.float64)
+    w = np.array([w1, 1.0 - w1])
+    diff = (pts - qv) @ w
+    return int(np.count_nonzero(diff < -_ATOL))
+
+
+def mrtopk_2d(points, q, k: int) -> list[WeightInterval]:
+    """Exact monochromatic reverse top-k result in 2-D.
+
+    Parameters
+    ----------
+    points:
+        The dataset ``P`` as an ``(n, 2)`` array.  If ``q`` itself
+        appears in ``P`` its copies tie with ``q`` and do not hurt it.
+    q:
+        Query point (length-2).
+    k:
+        Result-size parameter of the underlying top-k query.
+
+    Returns
+    -------
+    list[WeightInterval]
+        Maximal closed intervals of ``w1`` where ``q`` ranks in the
+        top-k.  Empty list when no weighting vector qualifies.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if pts.shape[1] != 2:
+        raise ValueError("mrtopk_2d requires 2-dimensional points")
+    qv = np.asarray(q, dtype=np.float64)
+
+    # g_p(w1) = a_p * w1 + b_p with a = (dx - dy), b = dy.
+    delta = pts - qv
+    a = delta[:, 0] - delta[:, 1]
+    b = delta[:, 1]
+
+    # Roots of g_p inside (0, 1); points with a == 0 never change side.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        roots = np.where(np.abs(a) > _ATOL, -b / a, np.nan)
+    inside = np.isfinite(roots) & (roots > _ATOL) & (roots < 1.0 - _ATOL)
+    breakpoints = np.unique(roots[inside])
+
+    # Elementary interval boundaries.
+    bounds = np.concatenate(([0.0], breakpoints, [1.0]))
+    mids = 0.5 * (bounds[:-1] + bounds[1:])
+
+    # Beat counts at every elementary-interval midpoint, vectorized:
+    # count_j = #{p : a_p * mid_j + b_p < 0}.
+    g_mid = np.outer(mids, a) + b  # (intervals, n)
+    counts = np.count_nonzero(g_mid < -_ATOL, axis=1)
+
+    qualifying = counts <= k - 1
+    intervals: list[WeightInterval] = []
+    start: float | None = None
+    for j, ok in enumerate(qualifying):
+        if ok and start is None:
+            start = float(bounds[j])
+        if not ok and start is not None:
+            intervals.append(WeightInterval(start, float(bounds[j])))
+            start = None
+    if start is not None:
+        intervals.append(WeightInterval(start, 1.0))
+
+    # Degenerate singletons: at a breakpoint between two failing
+    # intervals the tie may still let q qualify (count dips there).
+    failing_adjacent = _singleton_candidates(bounds, qualifying)
+    for w1 in failing_adjacent:
+        if beat_count_at(pts, qv, w1) <= k - 1:
+            intervals.append(WeightInterval(w1, w1))
+    intervals.sort(key=lambda iv: iv.lo)
+    return _merge_touching(intervals)
+
+
+def _singleton_candidates(bounds: np.ndarray,
+                          qualifying: np.ndarray) -> list[float]:
+    """Interior breakpoints flanked by two non-qualifying intervals."""
+    out = []
+    for j in range(1, len(bounds) - 1):
+        left_ok = qualifying[j - 1]
+        right_ok = qualifying[j] if j < len(qualifying) else False
+        if not left_ok and not right_ok:
+            out.append(float(bounds[j]))
+    return out
+
+
+def _merge_touching(intervals: list[WeightInterval],
+                    *, atol: float = 1e-12) -> list[WeightInterval]:
+    merged: list[WeightInterval] = []
+    for iv in intervals:
+        if merged and iv.lo <= merged[-1].hi + atol:
+            merged[-1] = WeightInterval(merged[-1].lo,
+                                        max(merged[-1].hi, iv.hi))
+        else:
+            merged.append(iv)
+    return merged
+
+
+def mrtopk_contains(points, q, k: int, w) -> bool:
+    """Membership test: is the 2-D weighting vector ``w`` in MRTOPk(q)?"""
+    wv = np.asarray(w, dtype=np.float64)
+    return beat_count_at(points, q, float(wv[0])) <= k - 1
+
+
+def mrtopk_sample(points, q, k: int, size: int,
+                  rng: np.random.Generator | None = None,
+                  ) -> tuple[np.ndarray, float]:
+    """Monte-Carlo monochromatic reverse top-k for any dimensionality.
+
+    Exact enumeration of ``MRTOPk(q)`` beyond 2-D requires an
+    arrangement of hyperplanes in the (d-1)-simplex, which does not
+    scale [31].  This estimator instead draws ``size`` uniform simplex
+    vectors and returns (i) the qualifying ones — usable as witnesses
+    or as why-not candidates when *none* qualify — and (ii) the hit
+    fraction, an unbiased estimate of the result region's measure.
+
+    Returns
+    -------
+    (samples, fraction):
+        ``samples`` is a ``(h, d)`` array of vectors whose top-k
+        contains ``q``; ``fraction`` is ``h / size``.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if size <= 0:
+        raise ValueError("size must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    qv = np.asarray(q, dtype=np.float64)
+    wts = rng.dirichlet(np.ones(pts.shape[1]), size=size)
+    scores = wts @ pts.T
+    q_scores = wts @ qv
+    beats = np.count_nonzero(scores < q_scores[:, None] - _ATOL,
+                             axis=1)
+    hits = wts[beats <= k - 1]
+    return hits, len(hits) / size

@@ -1,0 +1,50 @@
+"""Top-k query engines over linear preference functions.
+
+Three interchangeable engines, all returning ids into the dataset array
+and all following the paper's tie convention (smaller score wins; ties
+broken by point id so results are deterministic):
+
+* :mod:`repro.topk.scan` — vectorized sequential scan; the O(n) oracle
+  every other engine is validated against.
+* :mod:`repro.topk.brs` — the Branch-and-bound Ranked Search of Tao et
+  al. [29] over the R-tree; I/O-optimal and the engine Algorithm 1 of
+  the paper mounts its "find the top k-th point" phase on.
+* :mod:`repro.topk.progressive` — an incremental iterator yielding
+  points in rank order; used to answer the *explanation* aspect of a
+  why-not question (report every point ranked above ``q``).
+
+Two further engines from the related-work lineage round out the
+substrate (and serve as independent oracles in the tests):
+
+* :mod:`repro.topk.ta` — the Threshold Algorithm over per-dimension
+  sorted lists [Fagin et al.];
+* :mod:`repro.topk.onion` — convex-hull-layer (Onion) indexing in
+  2-D [Chang et al., ref. 7 of the paper];
+* :mod:`repro.topk.views` — PREFER-style materialized ranked views
+  with watermark-bounded prefix scans [refs. 18-19].
+"""
+
+from repro.topk.brs import BRSEngine
+from repro.topk.onion import OnionIndex, convex_hull_2d
+from repro.topk.progressive import progressive_topk, rank_of_point
+from repro.topk.scan import (
+    kth_point_scan,
+    rank_of_scan,
+    topk_scan,
+)
+from repro.topk.ta import TAEngine
+from repro.topk.views import PreferIndex, RankedView
+
+__all__ = [
+    "BRSEngine",
+    "OnionIndex",
+    "PreferIndex",
+    "RankedView",
+    "TAEngine",
+    "convex_hull_2d",
+    "kth_point_scan",
+    "progressive_topk",
+    "rank_of_point",
+    "rank_of_scan",
+    "topk_scan",
+]

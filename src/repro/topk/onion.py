@@ -1,0 +1,125 @@
+"""Onion index: convex-hull layers for linear top-k [Chang et al.,
+SIGMOD 2000].
+
+The Onion technique peels the dataset into convex-hull layers: the
+minimizer of *any* linear scoring function lies on the first layer's
+hull, the second-best on the first two layers, and in general the
+top-k is contained in the first k layers.  A top-k query therefore
+evaluates layers outward, maintaining the best-k heap, and stops once
+the next layer cannot contribute (every candidate already found beats
+the layer's best possible score — bounded here by each layer's own
+minimum, since layer minima are non-decreasing for minimization over
+nested hulls).
+
+This reproduction implements the 2-D variant from scratch (Andrew's
+monotone-chain hull, iterated peeling); it is the "layered index"
+family the paper's related work cites ([7, 36]) and serves as a
+fourth independent top-k oracle in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def convex_hull_2d(points) -> np.ndarray:
+    """Indices of the convex hull of a 2-D point set, CCW order.
+
+    Andrew's monotone chain, O(n log n).  Collinear boundary points
+    are kept OFF the hull (strict turns), which is fine for peeling:
+    they join a later layer.  Degenerate inputs (single point,
+    collinear set) return the extreme points.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n = len(pts)
+    if n <= 2:
+        return np.arange(n, dtype=np.int64)
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+
+    def cross(o, a, b) -> float:
+        return ((pts[a, 0] - pts[o, 0]) * (pts[b, 1] - pts[o, 1])
+                - (pts[a, 1] - pts[o, 1]) * (pts[b, 0] - pts[o, 0]))
+
+    lower: list[int] = []
+    for idx in order:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1],
+                                        idx) <= 0:
+            lower.pop()
+        lower.append(int(idx))
+    upper: list[int] = []
+    for idx in order[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1],
+                                        idx) <= 0:
+            upper.pop()
+        upper.append(int(idx))
+    hull = lower[:-1] + upper[:-1]
+    if not hull:                      # fully collinear input
+        hull = [int(order[0]), int(order[-1])]
+    return np.asarray(hull, dtype=np.int64)
+
+
+class OnionIndex:
+    """Convex-hull-layer index over a 2-D dataset.
+
+    Attributes
+    ----------
+    layers:
+        List of id arrays, outermost (layer 0) first.  Every point
+        belongs to exactly one layer.
+    """
+
+    def __init__(self, points):
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if pts.shape[1] != 2:
+            raise ValueError("OnionIndex is implemented for 2-D data")
+        if pts.shape[0] == 0:
+            raise ValueError("OnionIndex requires a non-empty dataset")
+        self.points = pts
+        self.layers: list[np.ndarray] = []
+        remaining = np.arange(len(pts), dtype=np.int64)
+        while len(remaining):
+            hull_local = convex_hull_2d(pts[remaining])
+            layer = remaining[hull_local]
+            self.layers.append(np.sort(layer))
+            mask = np.ones(len(remaining), dtype=bool)
+            mask[hull_local] = False
+            remaining = remaining[mask]
+        #: Layers evaluated by the last query (cost metric).
+        self.last_layers_scanned = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers)
+
+    def topk(self, w, k: int) -> np.ndarray:
+        """Ids of the k best points under ``w``, via layer expansion.
+
+        Scans layers outward; stops when ``k`` results are held and
+        the *next* layer's best score cannot beat the current k-th
+        (layer minima are non-decreasing, so one layer of lookahead
+        suffices for linear minimization).
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        k = min(k, len(self.points))
+        wv = np.asarray(w, dtype=np.float64)
+        candidates: list[tuple[float, int]] = []
+        scanned = 0
+        for layer in self.layers:
+            scanned += 1
+            scores = self.points[layer] @ wv
+            candidates.extend(zip(scores.tolist(), layer.tolist()))
+            if len(candidates) >= k:
+                candidates.sort()
+                kth_score = candidates[k - 1][0]
+                nxt = scanned
+                if nxt >= len(self.layers):
+                    break
+                next_best = float(
+                    np.min(self.points[self.layers[nxt]] @ wv))
+                if next_best >= kth_score:
+                    break
+        self.last_layers_scanned = scanned
+        candidates.sort()
+        return np.asarray([pid for _, pid in candidates[:k]],
+                          dtype=np.int64)

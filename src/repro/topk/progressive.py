@@ -1,0 +1,57 @@
+"""Progressive top-k helpers built on either engine.
+
+These free functions pick the right engine automatically: when an
+:class:`~repro.index.rtree.RTree` is supplied they run BRS; otherwise
+they fall back to the sequential scan.  They are the entry points the
+why-not *explanation* (Section 3, aspect (i)) and the rank computations
+of MWK use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.rtree import RTree
+from repro.topk.brs import BRSEngine
+from repro.topk.scan import RANK_EPS, rank_of_scan, topk_scan
+
+
+def progressive_topk(source, w, *, until_score: float | None = None,
+                     limit: int | None = None):
+    """Yield ``(point_id, score)`` in rank order from ``source``.
+
+    Parameters
+    ----------
+    source:
+        Either an :class:`RTree` or an ``(n, d)`` point array.
+    w:
+        Weighting vector.
+    until_score:
+        Stop (exclusive) once scores reach this value — the paper's
+        "proceed until the query point q is contained in the result".
+    limit:
+        Stop after this many results.
+    """
+    if isinstance(source, RTree):
+        iterator = BRSEngine(source).iter_ranked(w)
+    else:
+        pts = np.atleast_2d(np.asarray(source, dtype=np.float64))
+        order = topk_scan(pts, w, len(pts))
+        scores = pts[order] @ np.asarray(w, dtype=np.float64)
+        iterator = ((int(pid), float(sc))
+                    for pid, sc in zip(order, scores))
+    emitted = 0
+    for pid, sc in iterator:
+        if until_score is not None and sc >= until_score - RANK_EPS:
+            return
+        yield pid, sc
+        emitted += 1
+        if limit is not None and emitted >= limit:
+            return
+
+
+def rank_of_point(source, w, q) -> int:
+    """Rank of external point ``q`` under ``w`` (ties favour ``q``)."""
+    if isinstance(source, RTree):
+        return BRSEngine(source).rank_of(w, q)
+    return rank_of_scan(source, w, q)

@@ -1,0 +1,61 @@
+"""Sequential-scan top-k: the O(n·d) oracle.
+
+Simple, fully vectorized, and used both as a baseline in the ablation
+benchmarks and as the ground truth the R-tree engines are tested
+against.  Tie-breaking is deterministic: equal scores are ordered by
+point id, matching Definition 1's "only one of them is randomly
+returned" with a fixed choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.vectors import score, score_many
+
+#: Tie tolerance for rank computations.  Scores within RANK_EPS of the
+#: query point's score count as ties and resolve in the query point's
+#: favour.  This keeps rank computations consistent across the
+#: different (BLAS-path-dependent) ways the library evaluates
+#: ``f(w, p)``: bit-identical inputs can differ by ~1e-17 between a
+#: matrix product and a dot product.
+RANK_EPS = 1e-12
+
+
+def topk_scan(points, w, k: int) -> np.ndarray:
+    """Ids of the k best-scoring rows of ``points`` under ``w``.
+
+    Returns ids sorted by ascending ``(score, id)``.  ``k`` is clamped
+    to ``len(points)``.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    scores = score_many(w, pts)
+    k = min(k, len(pts))
+    # argpartition then stable refine: O(n + k log k).
+    part = np.argpartition(scores, k - 1)[:k]
+    order = np.lexsort((part, scores[part]))
+    return part[order]
+
+
+def kth_point_scan(points, w, k: int) -> tuple[int, float]:
+    """Id and score of the k-th ranked point (1-based) under ``w``."""
+    ids = topk_scan(points, w, k)
+    if len(ids) < k:
+        raise ValueError(f"dataset has fewer than k={k} points")
+    kth = int(ids[-1])
+    return kth, score(w, np.atleast_2d(points)[kth])
+
+
+def rank_of_scan(points, w, q) -> int:
+    """Rank of the query point ``q`` among ``points`` under ``w``.
+
+    ``rank = 1 + |{p : f(w, p) < f(w, q) - RANK_EPS}|`` — ties resolved
+    in q's favour, consistent with Definitions 2-3
+    (``f(w, q) <= f(w, p)``).  ``q`` itself need not belong to
+    ``points``; if it does, its own row ties with it and therefore does
+    not increase the rank.
+    """
+    scores = score_many(w, points)
+    return int(np.count_nonzero(scores < score(w, q) - RANK_EPS)) + 1

@@ -1,0 +1,114 @@
+"""PREFER-style materialized ranked views [Hristidis et al., SIGMOD
+2001].
+
+PREFER answers a top-k query for weighting vector ``w`` from a view
+materialized for a *different* vector ``v``: the dataset is stored
+sorted by ``f(v, ·)``, and a *watermark* bounds how deep the prefix
+scan must go.  For non-negative data and weights,
+
+    f(w, p) >= c · f(v, p),   c = min_i (w[i] / v[i])   (v[i] > 0),
+
+so once the k-th best score found satisfies ``score_k <= c · s`` for
+the current view score ``s``, no deeper point can improve the result.
+The closer ``w`` is to ``v`` (the larger ``c``), the shorter the scan
+— which is why PREFER materializes several views and picks the one
+maximizing ``c``.
+
+This is the "view-based" branch of the paper's related work ([18, 19]
+and LPTA [11]); it also gives the library a fifth independent top-k
+oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topk.scan import topk_scan
+
+
+class RankedView:
+    """One materialized ranking of the dataset under a view vector."""
+
+    def __init__(self, points, view_vector):
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        vv = np.asarray(view_vector, dtype=np.float64)
+        if np.any(vv < 0) or vv.sum() <= 0:
+            raise ValueError("view vector must be non-negative and "
+                             "non-zero")
+        if np.any(pts < 0):
+            raise ValueError("PREFER's watermark requires "
+                             "non-negative data")
+        self.view_vector = vv
+        scores = pts @ vv
+        self.order = np.lexsort((np.arange(len(pts)), scores))
+        self.view_scores = scores[self.order]
+        self.points = pts
+
+    def coverage(self, w) -> float:
+        """The watermark constant ``c = min_i w[i]/v[i]`` for ``w``.
+
+        Dimensions where ``v[i] = 0`` force ``c = 0`` unless
+        ``w[i] = 0`` too (a zero-weight view column carries no
+        information about that coordinate).
+        """
+        wv = np.asarray(w, dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(
+                self.view_vector > 0, wv / self.view_vector,
+                np.where(wv > 0, 0.0, np.inf))
+        c = float(np.min(ratios))
+        return max(c, 0.0)
+
+    def topk(self, w, k: int) -> tuple[np.ndarray, int]:
+        """Top-k under ``w`` via the watermark-bounded prefix scan.
+
+        Returns ``(ids, prefix_length)`` — the second element is the
+        number of view entries inspected (PREFER's cost metric).
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        wv = np.asarray(w, dtype=np.float64)
+        n = len(self.points)
+        k = min(k, n)
+        c = self.coverage(wv)
+        best: list[tuple[float, int]] = []
+        scanned = 0
+        for pos in range(n):
+            pid = int(self.order[pos])
+            scanned += 1
+            score = float(wv @ self.points[pid])
+            best.append((score, pid))
+            if len(best) >= k:
+                best.sort()
+                del best[k:]
+                if c > 0 and best[k - 1][0] <= c * float(
+                        self.view_scores[pos]):
+                    break
+        best.sort()
+        return (np.asarray([pid for _, pid in best[:k]],
+                           dtype=np.int64), scanned)
+
+
+class PreferIndex:
+    """A small family of ranked views with best-view routing."""
+
+    def __init__(self, points, view_vectors):
+        views = np.atleast_2d(np.asarray(view_vectors,
+                                         dtype=np.float64))
+        if len(views) == 0:
+            raise ValueError("at least one view vector required")
+        self.views = [RankedView(points, v) for v in views]
+        self.points = self.views[0].points
+
+    def best_view(self, w) -> RankedView:
+        """The view with the largest watermark constant for ``w``."""
+        return max(self.views, key=lambda view: view.coverage(w))
+
+    def topk(self, w, k: int) -> np.ndarray:
+        """Route to the best view; fall back to a scan if no view
+        covers ``w`` (all coverage constants zero)."""
+        view = self.best_view(w)
+        if view.coverage(w) <= 0.0:
+            return topk_scan(self.points, w, k)
+        ids, _ = view.topk(w, k)
+        return ids

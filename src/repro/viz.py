@@ -1,0 +1,183 @@
+"""Terminal visualization helpers (no plotting dependencies).
+
+The paper communicates its geometry with 2-D figures (data space with
+safe regions, the weighting segment of Figure 2(b)) and its evaluation
+with log-scale time curves.  These helpers render the same pictures as
+Unicode text so examples and the CLI can show them anywhere:
+
+* :func:`render_plane` — scatter a 2-D dataset, the query point, and
+  optionally a safe-region polygon into a character grid;
+* :func:`render_intervals` — the monochromatic result segment;
+* :func:`render_curve` — one log-scale series per algorithm (the
+  shape of a figure panel).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_POINT, _QUERY, _REGION, _BOTH = "·", "Q", "░", "▒"
+
+
+def render_plane(points, q, *, polygon=None, width: int = 48,
+                 height: int = 20, lower=None, upper=None) -> str:
+    """ASCII scatter of a 2-D dataset with the query point.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` array.
+    q:
+        Query point (rendered as ``Q``).
+    polygon:
+        Optional :class:`repro.geometry.convex2d.Polygon2D`; cells
+        inside it are shaded.
+    width, height:
+        Grid size in characters.
+    lower, upper:
+        View box; defaults to the data's bounding box (plus q).
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    qv = np.asarray(q, dtype=np.float64)
+    if pts.shape[1] != 2:
+        raise ValueError("render_plane requires 2-D data")
+    every = np.vstack([pts, qv])
+    lo = np.asarray(lower, dtype=np.float64) if lower is not None \
+        else every.min(axis=0)
+    hi = np.asarray(upper, dtype=np.float64) if upper is not None \
+        else every.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell_of(xy):
+        cx = int((xy[0] - lo[0]) / span[0] * (width - 1))
+        cy = int((xy[1] - lo[1]) / span[1] * (height - 1))
+        return (min(max(cy, 0), height - 1), min(max(cx, 0), width - 1))
+
+    if polygon is not None and not polygon.is_empty:
+        for row in range(height):
+            for col in range(width):
+                x = lo[0] + (col + 0.5) / width * span[0]
+                y = lo[1] + (row + 0.5) / height * span[1]
+                if polygon.contains((x, y)):
+                    grid[row][col] = _REGION
+
+    for p in pts:
+        r, c = cell_of(p)
+        grid[r][c] = _BOTH if grid[r][c] == _REGION else _POINT
+
+    r, c = cell_of(qv)
+    grid[r][c] = _QUERY
+
+    # y grows upward: print rows in reverse.
+    lines = ["".join(row) for row in reversed(grid)]
+    frame = ["+" + "-" * width + "+"]
+    out = frame + ["|" + line + "|" for line in lines] + frame
+    out.append(f"x: [{lo[0]:.3g}, {hi[0]:.3g}]  "
+               f"y: [{lo[1]:.3g}, {hi[1]:.3g}]  "
+               f"Q = ({qv[0]:.3g}, {qv[1]:.3g})")
+    return "\n".join(out)
+
+
+def render_intervals(intervals, *, width: int = 60,
+                     marks=None) -> str:
+    """The monochromatic result segment (Figure 2(b), in text).
+
+    ``intervals`` is the list returned by
+    :func:`repro.rtopk.mono.mrtopk_2d`; ``marks`` maps labels to
+    ``w1`` values (e.g. why-not vectors) drawn above the bar.
+    """
+    bar = [" "] * width
+
+    def col_of(w1: float) -> int:
+        return min(max(int(w1 * (width - 1)), 0), width - 1)
+
+    for iv in intervals:
+        for col in range(col_of(iv.lo), col_of(iv.hi) + 1):
+            bar[col] = "█"
+    lines = []
+    if marks:
+        label_row = [" "] * width
+        for label, w1 in marks.items():
+            col = col_of(float(w1))
+            label_row[col] = str(label)[0]
+        lines.append("".join(label_row))
+    lines.append("".join(bar))
+    lines.append("0" + " " * (width - 2) + "1")
+    lines.append("w1 (weight on the first attribute)")
+    return "\n".join(lines)
+
+
+def render_curve(series: dict, xs, *, width: int = 60,
+                 height: int = 12, logy: bool = True,
+                 title: str = "") -> str:
+    """One text panel of a figure: x-indexed series per algorithm.
+
+    Parameters
+    ----------
+    series:
+        Mapping label -> list of y values (same length as ``xs``).
+    xs:
+        The swept parameter values (ticks).
+    logy:
+        Log-scale y like the paper's running-time axes.
+    """
+    labels = list(series)
+    if not labels:
+        raise ValueError("no series to plot")
+    ys = np.array([series[label] for label in labels],
+                  dtype=np.float64)
+    if ys.shape[1] != len(list(xs)):
+        raise ValueError("series lengths must match xs")
+    vals = np.log10(np.maximum(ys, 1e-12)) if logy else ys
+    v_lo, v_hi = float(vals.min()), float(vals.max())
+    if v_hi <= v_lo:
+        v_hi = v_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    n_pts = ys.shape[1]
+    for s_idx, label in enumerate(labels):
+        glyph = label[0]
+        for j in range(n_pts):
+            col = int(j / max(n_pts - 1, 1) * (width - 1))
+            frac = (vals[s_idx, j] - v_lo) / (v_hi - v_lo)
+            row = int(frac * (height - 1))
+            grid[height - 1 - row][col] = glyph
+    lines = [title] if title else []
+    lines += ["".join(row) for row in grid]
+    ticks = "  ".join(str(x) for x in xs)
+    lines.append("-" * width)
+    lines.append(f"x: {ticks}")
+    if logy:
+        lines.append(f"y: log10 scale in [{10 ** v_lo:.2e}, "
+                     f"{10 ** v_hi:.2e}]")
+    legend = "  ".join(f"{label[0]}={label}" for label in labels)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def format_markdown_table(rows: list[dict], columns: list[str], *,
+                          floatfmt: str = ".3f") -> str:
+    """Render dict rows as a GitHub-markdown table (EXPERIMENTS.md)."""
+    if not rows:
+        return "(no rows)"
+
+    def fmt(value):
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    header = "| " + " | ".join(columns) + " |"
+    rule = "|" + "|".join("---" for _ in columns) + "|"
+    body = ["| " + " | ".join(fmt(r.get(c, ""))
+                              for c in columns) + " |"
+            for r in rows]
+    return "\n".join([header, rule] + body)
+
+
+def log_interpolate(value: float) -> int:
+    """Bucket a positive value onto a small log scale (test helper)."""
+    return int(math.floor(math.log10(max(value, 1e-12))))

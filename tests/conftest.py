@@ -1,0 +1,65 @@
+"""Shared fixtures: the paper's running example and random datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import independent, preference_set
+from repro.index import RTree
+
+
+@pytest.fixture(scope="session")
+def paper_points() -> np.ndarray:
+    """The seven computers of Figure 1(a): (price, heat)."""
+    return np.array(
+        [[2.0, 1.0],   # p1 Dell
+         [6.0, 3.0],   # p2 Apple... (ids are 0-based: p_i = row i-1)
+         [1.0, 9.0],   # p3
+         [9.0, 3.0],   # p4
+         [7.0, 5.0],   # p5
+         [5.0, 8.0],   # p6
+         [3.0, 7.0]])  # p7
+
+
+@pytest.fixture(scope="session")
+def paper_weights() -> np.ndarray:
+    """Customer preferences of Figure 1(b): Julia, Tony, Anna, Kevin."""
+    return np.array(
+        [[0.9, 0.1],   # Julia
+         [0.5, 0.5],   # Tony
+         [0.3, 0.7],   # Anna
+         [0.1, 0.9]])  # Kevin
+
+
+@pytest.fixture(scope="session")
+def paper_q() -> np.ndarray:
+    """The query computer q(4, 4)."""
+    return np.array([4.0, 4.0])
+
+
+@pytest.fixture(scope="session")
+def paper_missing(paper_weights) -> np.ndarray:
+    """Kevin's and Julia's vectors — missing from BRTOP3(q)."""
+    return paper_weights[[0, 3]]
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> np.ndarray:
+    """A 500-point 3-d independent dataset (session-cached)."""
+    return independent(500, 3, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_tree(small_dataset) -> RTree:
+    return RTree(small_dataset, capacity=16)
+
+
+@pytest.fixture(scope="session")
+def small_weights() -> np.ndarray:
+    return preference_set(20, 3, seed=7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,126 @@
+"""Unit tests for refinement auditing and batch answering."""
+
+import numpy as np
+import pytest
+
+from repro.core.audit import audit_refinement, audit_result
+from repro.core.batch import WhyNotBatch
+from repro.core.mqp import modify_query_point
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.mwk import modify_weights_and_k
+from repro.core.types import WhyNotQuery
+from repro.data import independent, preference_set, query_point_with_rank
+
+
+@pytest.fixture()
+def paper_query(paper_points, paper_q, paper_missing):
+    return WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                       why_not=paper_missing)
+
+
+class TestAuditRefinement:
+    def test_paper_illustration_q_prime(self, paper_query):
+        """q'(3, 2.5): valid, penalty 0.318 (Section 4.2)."""
+        audit = audit_refinement(paper_query, q_new=[3.0, 2.5])
+        assert audit.valid
+        assert audit.kind == "mqp"
+        assert audit.penalty == pytest.approx(0.318, abs=1e-3)
+
+    def test_paper_illustration_k4(self, paper_query):
+        """Raising k to 4 alone: valid, penalty alpha = 0.5."""
+        audit = audit_refinement(paper_query, k_new=4)
+        assert audit.valid
+        assert audit.kind == "mwk"
+        assert audit.penalty == pytest.approx(0.5)
+
+    def test_invalid_proposal_detected(self, paper_query):
+        """Keeping everything unchanged is invalid by construction."""
+        audit = audit_refinement(paper_query)
+        assert not audit.valid
+        assert audit.ranks.tolist() == [4, 4]
+        assert audit.penalty == 0.0
+
+    def test_joint_proposal(self, paper_query):
+        """The paper's Section 4.4 example: q'(3.8, 3.8) with
+        (0.8, 0.2) and (0.135, 0.865)."""
+        audit = audit_refinement(
+            paper_query, q_new=[3.8, 3.8],
+            weights_new=[[0.8, 0.2], [0.135, 0.865]])
+        assert audit.valid
+        assert audit.kind == "mqwk"
+        assert 0.0 < audit.penalty < 0.2
+
+    def test_shape_validation(self, paper_query):
+        with pytest.raises(ValueError, match="shape"):
+            audit_refinement(paper_query, weights_new=[[0.5, 0.5]])
+        with pytest.raises(ValueError, match="positive"):
+            audit_refinement(paper_query, k_new=0)
+
+    def test_audit_result_round_trips(self, paper_query):
+        rng = np.random.default_rng(0)
+        for result in (
+            modify_query_point(paper_query),
+            modify_weights_and_k(paper_query, sample_size=100,
+                                 rng=rng),
+            modify_query_weights_and_k(paper_query, sample_size=50,
+                                       rng=rng),
+        ):
+            audit = audit_result(paper_query, result)
+            assert audit.valid, type(result)
+            # The audited price never exceeds twice the reported
+            # share-weighted penalty (MQWK blends with gamma/lambda).
+            assert audit.penalty <= 2 * max(result.penalty, 1e-12) + 1e-9
+
+    def test_audit_result_rejects_unknown(self, paper_query):
+        with pytest.raises(TypeError):
+            audit_result(paper_query, object())
+
+
+class TestWhyNotBatch:
+    @pytest.fixture()
+    def batch(self):
+        pts = independent(1_000, 3, seed=51)
+        batch = WhyNotBatch(pts)
+        wts = preference_set(6, 3, seed=52)
+        for i in range(3):
+            w = wts[i * 2:i * 2 + 1]
+            q = query_point_with_rank(pts, w[0], 41)
+            batch.add_question(q, 10, w)
+        return batch
+
+    @pytest.mark.parametrize("algorithm", ["mqp", "mwk", "mqwk"])
+    def test_batch_answers_all(self, batch, algorithm):
+        report = batch.run(algorithm, sample_size=60)
+        assert len(batch) == 3
+        assert report.n_answered == 3
+        assert report.summary()["all_valid"]
+
+    def test_invalid_question_is_isolated(self):
+        pts = independent(500, 2, seed=61)
+        batch = WhyNotBatch(pts)
+        w = preference_set(1, 2, seed=62)
+        good_q = query_point_with_rank(pts, w[0], 31)
+        batch.add_question(good_q, 5, w)
+        batch.add_question(np.zeros(2), 5, w)   # rank 1: not missing
+        report = batch.run("mqp")
+        assert report.n_answered == 1
+        assert report.n_failed == 1
+        assert "already has q" in report.items[1].error
+
+    def test_summary_statistics(self, batch):
+        report = batch.run("mqp")
+        summary = report.summary()
+        assert summary["answered"] == 3
+        assert 0.0 <= summary["mean_penalty"] <= 1.0
+        assert summary["max_penalty"] >= summary["mean_penalty"]
+
+    def test_unknown_algorithm(self, batch):
+        with pytest.raises(ValueError):
+            batch.run("gradient-descent")
+
+    def test_shared_tree(self, batch):
+        """All questions ride the same R-tree instance."""
+        report = batch.run("mqp")
+        trees = {id(item.query.rtree) for item in report.items
+                 if item.query is not None}
+        assert len(trees) == 1

@@ -1,0 +1,175 @@
+"""Unit tests for the benchmark harness and figure drivers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.config import PAPER_PARAMS, SCALED_PARAMS, ParameterGrid
+from repro.bench.figures import _default_cell, ablation_topk
+from repro.bench.harness import (
+    ALGORITHMS,
+    ExperimentCell,
+    build_workload,
+    run_cell,
+)
+from repro.topk.scan import rank_of_scan
+
+TINY = ParameterGrid(
+    dims=(2, 3), default_dim=3,
+    cardinalities=(500,), default_cardinality=500,
+    ks=(5,), default_k=5,
+    ranks=(21,), default_rank=21,
+    wm_sizes=(1, 2), default_wm_size=1,
+    sample_sizes=(30,), default_sample_size=30,
+    real_sizes={"nba": 500, "household": 500},
+)
+
+
+class TestTable1:
+    def test_paper_grid_matches_table1(self):
+        """Table 1 of the paper, verbatim."""
+        assert PAPER_PARAMS.dims == (2, 3, 4, 5)
+        assert PAPER_PARAMS.default_dim == 3
+        assert PAPER_PARAMS.cardinalities == (
+            10_000, 50_000, 100_000, 500_000, 1_000_000)
+        assert PAPER_PARAMS.default_cardinality == 100_000
+        assert PAPER_PARAMS.ks == (10, 20, 30, 40, 50)
+        assert PAPER_PARAMS.default_k == 10
+        assert PAPER_PARAMS.ranks == (11, 101, 501, 1001)
+        assert PAPER_PARAMS.default_rank == 101
+        assert PAPER_PARAMS.wm_sizes == (1, 2, 3, 4, 5)
+        assert PAPER_PARAMS.default_wm_size == 1
+        assert PAPER_PARAMS.sample_sizes == (100, 200, 400, 800, 1600)
+        assert PAPER_PARAMS.default_sample_size == 800
+        assert PAPER_PARAMS.real_sizes == {"nba": 17_000,
+                                           "household": 127_000}
+
+    def test_scaled_grid_same_shape(self):
+        assert len(SCALED_PARAMS.cardinalities) == \
+            len(PAPER_PARAMS.cardinalities)
+        assert SCALED_PARAMS.ks == PAPER_PARAMS.ks
+        assert SCALED_PARAMS.wm_sizes == PAPER_PARAMS.wm_sizes
+
+
+class TestWorkloadBuilder:
+    def test_rank_is_exact(self):
+        cell = ExperimentCell(dataset="independent", n=500, d=3, k=5,
+                              rank=21, wm_size=1, sample_size=30)
+        query = build_workload(cell)
+        assert rank_of_scan(query.points, query.why_not[0],
+                            query.q) == 21
+
+    def test_all_vectors_are_why_not(self):
+        cell = ExperimentCell(dataset="independent", n=500, d=3, k=5,
+                              rank=21, wm_size=3, sample_size=30)
+        query = build_workload(cell)
+        assert query.n_why_not == 3
+        for w in query.why_not:
+            assert rank_of_scan(query.points, w, query.q) > 5
+
+    def test_rejects_rank_below_k(self):
+        cell = ExperimentCell(dataset="independent", n=500, d=3, k=10,
+                              rank=5, wm_size=1, sample_size=30)
+        with pytest.raises(ValueError, match="must exceed"):
+            build_workload(cell)
+
+    def test_deterministic(self):
+        cell = ExperimentCell(dataset="anticorrelated", n=300, d=2,
+                              k=3, rank=15, wm_size=2, sample_size=30,
+                              seed=5)
+        a = build_workload(cell)
+        b = build_workload(cell)
+        assert np.array_equal(a.q, b.q)
+        assert np.array_equal(a.why_not, b.why_not)
+
+
+class TestRunCell:
+    def test_all_algorithms_reported(self):
+        cell = ExperimentCell(dataset="independent", n=500, d=3, k=5,
+                              rank=21, wm_size=1, sample_size=30)
+        result = run_cell(cell)
+        for alg in ALGORITHMS:
+            assert alg in result.times
+            assert result.times[alg] > 0
+            assert 0.0 <= result.penalties[alg] <= 1.0
+
+    def test_subset_of_algorithms(self):
+        cell = ExperimentCell(dataset="independent", n=500, d=3, k=5,
+                              rank=21, wm_size=1, sample_size=30)
+        result = run_cell(cell, algorithms=("MQP",))
+        assert set(result.times) == {"MQP"}
+
+    def test_row_is_flat(self):
+        cell = ExperimentCell(dataset="independent", n=500, d=3, k=5,
+                              rank=21, wm_size=1, sample_size=30)
+        row = run_cell(cell, algorithms=("MQP",)).row()
+        assert row["dataset"] == "independent"
+        assert "MQP_time" in row and "MQP_penalty" in row
+
+    def test_mqwk_never_worse_than_parts(self):
+        """The headline cross-algorithm shape of every figure."""
+        cell = ExperimentCell(dataset="independent", n=800, d=3, k=5,
+                              rank=31, wm_size=1, sample_size=60)
+        result = run_cell(cell)
+        assert result.penalties["MQWK"] <= \
+            0.5 * result.penalties["MQP"] + 1e-9
+        assert result.penalties["MQWK"] <= \
+            0.5 * result.penalties["MWK"] + 1e-9
+
+
+class TestFigureDrivers:
+    def test_default_cell_real_dataset_dims(self):
+        nba = _default_cell(TINY, "nba")
+        household = _default_cell(TINY, "household")
+        assert nba.d == 13
+        assert household.d == 6
+        assert nba.n == 500
+
+    def test_ablation_topk_runs(self):
+        rows = ablation_topk(TINY, quiet=True)
+        engines = {r["engine"] for r in rows}
+        assert engines == {"BRS", "scan"}
+        # Both engines find the same-quality answer.
+        by_ds = {}
+        for r in rows:
+            by_ds.setdefault(r["dataset"], []).append(r["penalty"])
+        for penalties in by_ds.values():
+            assert penalties[0] == pytest.approx(penalties[1],
+                                                 abs=1e-9)
+
+
+class TestFigureShapes:
+    """Run one figure driver on the tiny grid and assert the
+    cross-algorithm shapes the paper reports (EXPERIMENTS.md)."""
+
+    @pytest.fixture(scope="class")
+    def fig7_rows(self):
+        from repro.bench.figures import fig7
+        return fig7(TINY, quiet=True)
+
+    def test_all_cells_have_all_algorithms(self, fig7_rows):
+        for row in fig7_rows:
+            for alg in ALGORITHMS:
+                assert f"{alg}_time" in row
+                assert 0.0 <= row[f"{alg}_penalty"] <= 1.0
+
+    def test_mqwk_is_slowest(self, fig7_rows):
+        """MQWK = |Q| x MWK must dominate the other two in time."""
+        for row in fig7_rows:
+            assert row["MQWK_time"] >= row["MWK_time"]
+            assert row["MQWK_time"] >= row["MQP_time"]
+
+    def test_mqwk_penalty_dominates(self, fig7_rows):
+        """MQP is deterministic, so the MQP bound is exact; the MWK
+        bound gets slack because run_cell gives MWK and MQWK
+        independent random streams (the endpoint-dominance invariant
+        is exact only under matched streams, cf. test_mqwk.py)."""
+        for row in fig7_rows:
+            assert row["MQWK_penalty"] <= \
+                0.5 * row["MQP_penalty"] + 1e-9
+            assert row["MQWK_penalty"] <= \
+                0.5 * row["MWK_penalty"] + 0.1
+
+    def test_datasets_covered(self, fig7_rows):
+        assert {r["dataset"] for r in fig7_rows} == \
+            set(TINY.synthetic_datasets)
+        assert {r["d"] for r in fig7_rows} == set(TINY.dims)

@@ -1,0 +1,73 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRefine:
+    def test_refine_all(self, capsys):
+        code = main(["refine", "-n", "500", "-k", "5", "--rank", "21",
+                     "--sample-size", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MQP" in out and "MWK" in out and "MQWK" in out
+        assert "penalty" in out
+
+    def test_refine_single_algorithm(self, capsys):
+        code = main(["refine", "-n", "500", "-k", "5", "--rank", "21",
+                     "--algorithm", "mqp"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MQP" in out and "MQWK" not in out
+
+    def test_refine_with_explanation(self, capsys):
+        code = main(["refine", "-n", "500", "-k", "5", "--rank", "21",
+                     "--algorithm", "mqp", "--explain"])
+        assert code == 0
+        assert "q ranks 21" in capsys.readouterr().out
+
+    def test_refine_multiple_whynot(self, capsys):
+        code = main(["refine", "-n", "500", "-k", "5", "--rank", "21",
+                     "--wm-size", "2", "--algorithm", "mwk",
+                     "--sample-size", "30"])
+        assert code == 0
+        assert "k_max" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_query_runs(self, capsys):
+        code = main(["query", "-n", "500", "-k", "5", "--rank", "21",
+                     "--panel", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reverse top-5" in out
+
+    def test_query_dataset_choice_validated(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--dataset", "nope"])
+
+
+class TestBench:
+    def test_bench_requires_known_figure(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestPlot:
+    def test_plot_2d(self, capsys):
+        code = main(["refine", "-n", "300", "-d", "2", "-k", "5",
+                     "--rank", "21", "--algorithm", "mqp", "--plot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Q" in out and "░" in out
+
+    def test_plot_rejected_beyond_2d(self, capsys):
+        code = main(["refine", "-n", "300", "-d", "3", "-k", "5",
+                     "--rank", "21", "--algorithm", "mqp", "--plot"])
+        assert code == 0
+        assert "requires 2-dimensional" in capsys.readouterr().out

@@ -1,0 +1,136 @@
+"""Unit tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    anticorrelated,
+    correlated,
+    household_like,
+    independent,
+    make_dataset,
+    nba_like,
+    preference_set,
+    query_point_with_rank,
+)
+from repro.geometry.dominance import pareto_front_mask
+from repro.geometry.vectors import is_valid_weight
+from repro.topk.scan import rank_of_scan
+
+
+class TestSyntheticShapes:
+    @pytest.mark.parametrize("gen", [independent, anticorrelated,
+                                     correlated])
+    def test_shape_and_range(self, gen):
+        pts = gen(500, 4, seed=1)
+        assert pts.shape == (500, 4)
+        assert np.all(pts >= 0.0) and np.all(pts <= 1.0)
+
+    @pytest.mark.parametrize("gen", [independent, anticorrelated,
+                                     correlated])
+    def test_deterministic(self, gen):
+        assert np.array_equal(gen(100, 3, seed=7), gen(100, 3, seed=7))
+
+    @pytest.mark.parametrize("gen", [independent, anticorrelated])
+    def test_seed_changes_data(self, gen):
+        assert not np.array_equal(gen(100, 3, seed=1),
+                                  gen(100, 3, seed=2))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            independent(0, 3)
+        with pytest.raises(ValueError):
+            anticorrelated(10, 0)
+
+
+class TestCorrelationStructure:
+    def test_anticorrelated_negative_correlation(self):
+        pts = anticorrelated(3000, 2, seed=3)
+        rho = np.corrcoef(pts[:, 0], pts[:, 1])[0, 1]
+        assert rho < -0.4
+
+    def test_correlated_positive_correlation(self):
+        pts = correlated(3000, 2, seed=3)
+        rho = np.corrcoef(pts[:, 0], pts[:, 1])[0, 1]
+        assert rho > 0.4
+
+    def test_independent_near_zero_correlation(self):
+        pts = independent(3000, 2, seed=3)
+        rho = np.corrcoef(pts[:, 0], pts[:, 1])[0, 1]
+        assert abs(rho) < 0.1
+
+    def test_anticorrelated_has_bigger_skyline(self):
+        """The whole point of the anti-correlated workload."""
+        anti = anticorrelated(400, 2, seed=5)
+        corr = correlated(400, 2, seed=5)
+        assert pareto_front_mask(anti).sum() > pareto_front_mask(
+            corr).sum()
+
+
+class TestRealisticStandIns:
+    def test_nba_shape_defaults(self):
+        pts = nba_like(n=1000)
+        assert pts.shape == (1000, 13)
+        assert np.all(pts >= 0.0) and np.all(pts <= 1.0)
+
+    def test_nba_positively_correlated(self):
+        pts = nba_like(n=3000, d=5, seed=2)
+        corr = np.corrcoef(pts.T)
+        off_diag = corr[~np.eye(5, dtype=bool)]
+        assert off_diag.mean() > 0.2
+
+    def test_household_shape_defaults(self):
+        pts = household_like(n=1000)
+        assert pts.shape == (1000, 6)
+        assert np.all(pts >= 0.0) and np.all(pts <= 1.0)
+
+    def test_realistic_deterministic(self):
+        assert np.array_equal(nba_like(n=50, seed=1),
+                              nba_like(n=50, seed=1))
+        assert np.array_equal(household_like(n=50, seed=1),
+                              household_like(n=50, seed=1))
+
+
+class TestMakeDataset:
+    @pytest.mark.parametrize("kind", ["independent", "anticorrelated",
+                                      "correlated", "nba", "household"])
+    def test_dispatch(self, kind):
+        pts = make_dataset(kind, 200, 3, seed=1)
+        assert len(pts) == 200
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_dataset("mystery", 10, 2)
+
+
+class TestPreferenceSet:
+    def test_valid_weights(self):
+        wts = preference_set(50, 4, seed=1)
+        assert wts.shape == (50, 4)
+        for w in wts:
+            assert is_valid_weight(w)
+
+    def test_concentration_effect(self):
+        spread_out = preference_set(2000, 3, seed=1, concentration=0.3)
+        centred = preference_set(2000, 3, seed=1, concentration=30.0)
+        assert centred.std() < spread_out.std()
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            preference_set(0, 3)
+
+
+class TestQueryPointWithRank:
+    @pytest.mark.parametrize("target", [1, 11, 101])
+    def test_exact_rank_distinct_scores(self, target):
+        pts = independent(1000, 3, seed=9)
+        w = preference_set(1, 3, seed=10)[0]
+        q = query_point_with_rank(pts, w, target)
+        assert rank_of_scan(pts, w, q) == target
+
+    def test_out_of_range(self):
+        pts = independent(10, 2, seed=1)
+        with pytest.raises(ValueError):
+            query_point_with_rank(pts, [0.5, 0.5], 11)
+        with pytest.raises(ValueError):
+            query_point_with_rank(pts, [0.5, 0.5], 0)

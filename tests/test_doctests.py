@@ -1,0 +1,35 @@
+"""Run the doctests embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.penalty
+import repro.geometry.dominance
+import repro.geometry.hyperplane
+import repro.geometry.vectors
+import repro.topk.scan
+
+MODULES = [
+    repro,
+    repro.core.penalty,
+    repro.geometry.dominance,
+    repro.geometry.hyperplane,
+    repro.geometry.vectors,
+    repro.topk.scan,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}")
+
+
+def test_package_quickstart_doctest_has_examples():
+    """The package docstring must actually contain a worked example."""
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted >= 4

@@ -1,0 +1,94 @@
+"""Unit tests for the exact 2-D MWK oracle and MWK quality."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_mwk_2d
+from repro.core.mwk import modify_weights_and_k
+from repro.core.penalty import PenaltyConfig, penalty_weights_k
+from repro.core.types import WhyNotQuery
+from repro.data import anticorrelated, independent, query_point_with_rank
+from repro.topk.scan import rank_of_scan
+
+
+class TestExactOracle:
+    def test_paper_example_kevin(self, paper_points, paper_q):
+        """Exact optimum for Kevin's vector alone."""
+        res = exact_mwk_2d(paper_points, paper_q, [0.1, 0.9], 3)
+        assert res.k_max == 4
+        # The refined vector must actually admit q.
+        assert rank_of_scan(paper_points, res.weight_refined,
+                            paper_q) <= res.k_refined
+        # Beats the pure-k fallback (alpha = 0.5).
+        assert res.penalty < 0.5
+
+    def test_result_is_global_optimum_by_grid(self, paper_points,
+                                              paper_q):
+        """No grid point beats the oracle."""
+        w0 = np.array([0.1, 0.9])
+        k = 3
+        res = exact_mwk_2d(paper_points, paper_q, w0, k)
+        for w1 in np.linspace(0.0, 1.0, 2001):
+            w = np.array([w1, 1 - w1])
+            rank = rank_of_scan(paper_points, w, paper_q)
+            if rank > res.k_max:
+                continue
+            penalty = penalty_weights_k(
+                w0.reshape(1, -1), w.reshape(1, -1), k,
+                max(k, rank), res.k_max)
+            assert penalty >= res.penalty - 1e-9
+
+    def test_degenerate_not_whynot(self, paper_points, paper_q):
+        res = exact_mwk_2d(paper_points, paper_q, [0.5, 0.5], 3)
+        assert res.penalty == 0.0
+        assert res.k_refined == 3
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            exact_mwk_2d(np.ones((5, 3)), np.zeros(3),
+                         [1 / 3, 1 / 3, 1 / 3], 2)
+
+    def test_respects_alpha_beta(self, paper_points, paper_q):
+        """alpha = 0 makes the pure-k fallback free."""
+        cfg = PenaltyConfig(alpha=0.0, beta=1.0)
+        res = exact_mwk_2d(paper_points, paper_q, [0.1, 0.9], 3, cfg)
+        assert res.penalty == pytest.approx(0.0)
+
+
+class TestMWKQualityAgainstOracle:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mwk_close_to_exact(self, seed):
+        """Sampled MWK must land within 0.1 of the exact optimum
+        (paper Figure 12: quality improves with |S|; at |S| = 800 the
+        sampled penalties sit close to their floor)."""
+        pts = independent(800, 2, seed=seed)
+        rng = np.random.default_rng(seed + 100)
+        w0 = rng.dirichlet(np.ones(2))
+        q = query_point_with_rank(pts, w0, 41)
+        k = 10
+        if rank_of_scan(pts, w0, q) <= k:
+            pytest.skip("not a why-not case")
+        exact = exact_mwk_2d(pts, q, w0, k)
+        query = WhyNotQuery(points=pts, q=q, k=k,
+                            why_not=w0.reshape(1, -1))
+        approx = modify_weights_and_k(
+            query, sample_size=800, rng=np.random.default_rng(seed))
+        assert approx.penalty >= exact.penalty - 1e-9   # exact is a floor
+        assert approx.penalty <= exact.penalty + 0.1
+
+    def test_mwk_never_beats_exact(self):
+        """Sanity: the oracle is a true lower bound."""
+        pts = anticorrelated(500, 2, seed=9)
+        w0 = np.array([0.35, 0.65])
+        q = query_point_with_rank(pts, w0, 31)
+        k = 5
+        if rank_of_scan(pts, w0, q) <= k:
+            pytest.skip("not a why-not case")
+        exact = exact_mwk_2d(pts, q, w0, k)
+        query = WhyNotQuery(points=pts, q=q, k=k,
+                            why_not=w0.reshape(1, -1))
+        for seed in range(5):
+            approx = modify_weights_and_k(
+                query, sample_size=200,
+                rng=np.random.default_rng(seed))
+            assert approx.penalty >= exact.penalty - 1e-9

@@ -1,0 +1,62 @@
+"""Smoke tests: every shipped example must run cleanly.
+
+Each example is executed as a subprocess (the way users run them) and
+its key output lines are asserted, so a public-API break that only an
+example exercises still fails CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, tmp_path) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300, cwd=tmp_path)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart(tmp_path):
+    out = _run("quickstart.py", tmp_path)
+    assert "Tony, Anna" in out
+    assert "Kevin" in out and "Julia" in out
+    assert "penalty" in out
+
+
+def test_market_analysis(tmp_path):
+    out = _run("market_analysis.py", tmp_path)
+    assert "Current fans" in out
+    assert "Cheapest strategy" in out
+
+
+def test_nba_scouting(tmp_path):
+    out = _run("nba_scouting.py", tmp_path)
+    assert "coaching styles would draft" in out
+    assert "Option 3" in out
+
+
+def test_preference_negotiation(tmp_path):
+    out = _run("preference_negotiation.py", tmp_path)
+    assert "Monochromatic reverse top-8" in out
+    assert "Bargaining curve" in out
+
+
+def test_portfolio_dashboard(tmp_path):
+    out = _run("portfolio_dashboard.py", tmp_path)
+    assert "Market influence ranking" in out
+    assert "influence:" in out
+    assert (tmp_path / "dashboard_out" / "whynot_report.json").exists()
+
+
+@pytest.mark.parametrize("name", [p.name for p in
+                                  sorted(EXAMPLES.glob("*.py"))])
+def test_every_example_has_docstring(name):
+    text = (EXAMPLES / name).read_text()
+    assert text.lstrip().startswith(('"""', "#!"))
+    assert '"""' in text

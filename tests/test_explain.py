@@ -1,0 +1,79 @@
+"""Unit tests for the why-not explanation (aspect (i))."""
+
+import numpy as np
+import pytest
+
+from repro.core.explain import explain_why_not
+from repro.index import RTree
+from repro.topk.scan import rank_of_scan
+
+
+class TestExplainPaperExample:
+    def test_kevin_culprits(self, paper_points, paper_q):
+        """Section 3: p1, p2, p4 exclude Kevin's vector from BRTOP3."""
+        [expl] = explain_why_not(paper_points, paper_q, [[0.1, 0.9]], 3)
+        assert expl.culprit_ids.tolist() == [0, 1, 3]
+        assert expl.rank_of_q == 4
+        assert expl.q_score == pytest.approx(4.0)
+
+    def test_julia_culprits(self, paper_points, paper_q):
+        [expl] = explain_why_not(paper_points, paper_q, [[0.9, 0.1]], 3)
+        # Julia: p3 (1.8), p1 (1.9), p7 (3.4) score below 4.0.
+        assert sorted(expl.culprit_ids.tolist()) == [0, 2, 6]
+        # And they stream in rank order.
+        assert expl.culprit_ids.tolist() == [2, 0, 6]
+
+    def test_scores_ascending(self, paper_points, paper_q):
+        [expl] = explain_why_not(paper_points, paper_q, [[0.9, 0.1]], 3)
+        assert np.all(np.diff(expl.culprit_scores) >= 0)
+
+    def test_describe_mentions_rank(self, paper_points, paper_q):
+        [expl] = explain_why_not(paper_points, paper_q, [[0.1, 0.9]], 3)
+        text = expl.describe(3)
+        assert "ranks 4" in text and "top-3" in text
+
+
+class TestExplainGeneral:
+    def test_tree_and_array_agree(self, small_dataset, small_weights):
+        q = np.full(3, 0.4)
+        tree = RTree(small_dataset)
+        for w in small_weights[:4]:
+            [a] = explain_why_not(small_dataset, q, [w], 10)
+            [b] = explain_why_not(tree, q, [w], 10)
+            assert a.culprit_ids.tolist() == b.culprit_ids.tolist()
+
+    def test_culprit_count_equals_rank_minus_one(self, small_dataset,
+                                                 small_weights):
+        q = np.full(3, 0.4)
+        for w in small_weights[:4]:
+            [expl] = explain_why_not(small_dataset, q, [w], 10)
+            assert len(expl.culprit_ids) == \
+                rank_of_scan(small_dataset, w, q) - 1
+
+    def test_max_culprits_cap_keeps_true_rank(self, small_dataset):
+        q = np.full(3, 0.9)
+        [full] = explain_why_not(small_dataset, q, [[1 / 3] * 3], 10)
+        [capped] = explain_why_not(small_dataset, q, [[1 / 3] * 3], 10,
+                                   max_culprits=5)
+        assert len(capped.culprit_ids) == 5
+        assert capped.rank == full.rank            # rank unaffected
+        assert capped.truncated and not full.truncated
+        assert "showing 5" in capped.describe(10)
+
+    def test_multiple_vectors(self, paper_points, paper_q,
+                              paper_missing):
+        out = explain_why_not(paper_points, paper_q, paper_missing, 3)
+        assert len(out) == 2
+        assert all(e.rank_of_q == 4 for e in out)
+
+    def test_invalid_k(self, paper_points, paper_q):
+        with pytest.raises(ValueError):
+            explain_why_not(paper_points, paper_q, [[0.5, 0.5]], 0)
+
+    def test_all_culprits_truly_beat_q(self, small_dataset,
+                                       small_weights):
+        q = np.full(3, 0.5)
+        for w in small_weights[:3]:
+            [expl] = explain_why_not(small_dataset, q, [w], 10)
+            culprit_scores = small_dataset[expl.culprit_ids] @ np.asarray(w)
+            assert np.all(culprit_scores < expl.q_score)

@@ -1,0 +1,96 @@
+"""Unit tests for the WQRTQ façade (bichromatic + monochromatic)."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import WQRTQ
+from repro.topk.scan import rank_of_scan
+
+
+@pytest.fixture()
+def bichromatic(paper_points, paper_q, paper_weights) -> WQRTQ:
+    return WQRTQ(paper_points, paper_q, 3, weights=paper_weights)
+
+
+@pytest.fixture()
+def monochromatic(paper_points, paper_q) -> WQRTQ:
+    return WQRTQ(paper_points, paper_q, 3)
+
+
+class TestBichromaticMode:
+    def test_reverse_topk(self, bichromatic):
+        assert bichromatic.reverse_topk().tolist() == [1, 2]
+
+    def test_missing_weights(self, bichromatic, paper_weights):
+        missing = bichromatic.missing_weights()
+        assert missing.tolist() == paper_weights[[0, 3]].tolist()
+
+    def test_rejects_why_not_outside_w(self, bichromatic):
+        with pytest.raises(ValueError, match="not in W"):
+            bichromatic.make_question([[0.42, 0.58]])
+
+    def test_explain(self, bichromatic):
+        out = bichromatic.explain(bichromatic.missing_weights())
+        assert [e.rank_of_q for e in out] == [4, 4]
+
+    def test_three_solutions_run(self, bichromatic):
+        missing = bichromatic.missing_weights()
+        rng = np.random.default_rng(0)
+        mqp = bichromatic.modify_query_point(missing)
+        mwk = bichromatic.modify_weights_and_k(missing, sample_size=100,
+                                               rng=rng)
+        mqwk = bichromatic.modify_all(missing, sample_size=50, rng=rng)
+        assert mqp.penalty > 0
+        assert mwk.penalty <= 0.5
+        assert mqwk.penalty <= 0.5 * mqp.penalty + 1e-9
+
+
+class TestMonochromaticMode:
+    def test_reverse_topk_intervals(self, monochromatic):
+        intervals = monochromatic.reverse_topk()
+        assert len(intervals) == 1
+        assert intervals[0].lo == pytest.approx(1 / 6)
+
+    def test_any_outside_vector_is_legal_why_not(self, monochromatic,
+                                                 paper_points, paper_q):
+        """Monochromatic mode accepts A(0.1, 0.9) and D(0.8, 0.2)
+        (Figure 2(b)) even though no W exists."""
+        question = monochromatic.make_question([[0.1, 0.9], [0.8, 0.2]])
+        assert question.n_why_not == 2
+
+    def test_missing_weights_requires_w(self, monochromatic):
+        with pytest.raises(ValueError, match="bichromatic"):
+            monochromatic.missing_weights()
+
+    def test_mono_refinement_enters_intervals(self, monochromatic,
+                                              paper_points, paper_q):
+        """After MQP refinement the why-not vectors join MRTOPk(q')."""
+        why_not = np.array([[0.1, 0.9], [0.8, 0.2]])
+        res = monochromatic.modify_query_point(why_not)
+        from repro.rtopk.mono import mrtopk_contains
+        for w in why_not:
+            assert mrtopk_contains(paper_points, res.q_refined, 3, w)
+
+    def test_mono_mrtopk_requires_2d(self, small_dataset):
+        engine = WQRTQ(small_dataset, np.full(3, 0.5), 5)
+        with pytest.raises(ValueError, match="2-D"):
+            engine.reverse_topk()
+
+
+class TestFacadeBehaviour:
+    def test_tree_is_cached(self, bichromatic):
+        assert bichromatic.tree is bichromatic.tree
+
+    def test_rejects_vector_already_in_result(self, bichromatic,
+                                              paper_weights):
+        with pytest.raises(ValueError, match="already has q"):
+            bichromatic.make_question([paper_weights[1]])  # Tony
+
+    def test_refinement_validity_end_to_end(self, bichromatic,
+                                            paper_points):
+        missing = bichromatic.missing_weights()
+        rng = np.random.default_rng(1)
+        res = bichromatic.modify_all(missing, sample_size=80, rng=rng)
+        for w in res.weights_refined:
+            assert rank_of_scan(paper_points, w, res.q_refined) <= \
+                res.k_refined

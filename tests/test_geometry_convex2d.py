@@ -1,0 +1,114 @@
+"""Unit tests for the 2-D convex polygon engine."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.convex2d import (
+    Polygon2D,
+    clip_polygon_halfplane,
+    halfplane_intersection,
+)
+
+
+class TestPolygonBasics:
+    def test_box_area(self):
+        poly = Polygon2D.box((0, 0), (2, 3))
+        assert poly.area() == pytest.approx(6.0)
+
+    def test_degenerate_box(self):
+        poly = Polygon2D.box((1, 1), (0, 0))
+        assert poly.is_empty
+
+    def test_contains_inside_and_boundary(self):
+        poly = Polygon2D.box((0, 0), (1, 1))
+        assert poly.contains((0.5, 0.5))
+        assert poly.contains((0.0, 0.5))     # boundary
+        assert poly.contains((1.0, 1.0))     # corner
+        assert not poly.contains((1.5, 0.5))
+
+    def test_empty_polygon_contains_nothing(self):
+        assert not Polygon2D(()).contains((0, 0))
+
+
+class TestClipping:
+    def test_clip_keeps_half(self):
+        poly = Polygon2D.box((0, 0), (2, 2))
+        clipped = clip_polygon_halfplane(poly, (1.0, 0.0), 1.0)  # x <= 1
+        assert clipped.area() == pytest.approx(2.0)
+
+    def test_clip_to_empty(self):
+        poly = Polygon2D.box((0, 0), (1, 1))
+        clipped = clip_polygon_halfplane(poly, (1.0, 0.0), -1.0)  # x <= -1
+        assert clipped.is_empty
+
+    def test_clip_no_op(self):
+        poly = Polygon2D.box((0, 0), (1, 1))
+        clipped = clip_polygon_halfplane(poly, (1.0, 0.0), 5.0)
+        assert clipped.area() == pytest.approx(1.0)
+
+    def test_diagonal_clip(self):
+        poly = Polygon2D.box((0, 0), (1, 1))
+        clipped = clip_polygon_halfplane(poly, (1.0, 1.0), 1.0)  # x+y<=1
+        assert clipped.area() == pytest.approx(0.5)
+
+    def test_repeated_clip_idempotent(self):
+        poly = Polygon2D.box((0, 0), (1, 1))
+        once = clip_polygon_halfplane(poly, (1.0, 2.0), 1.5)
+        twice = clip_polygon_halfplane(once, (1.0, 2.0), 1.5)
+        assert once.area() == pytest.approx(twice.area())
+
+
+class TestHalfplaneIntersection:
+    def test_matches_montecarlo(self, rng):
+        """Clipped area agrees with rejection sampling."""
+        normals = rng.random((4, 2))
+        offsets = normals @ np.array([0.5, 0.5])  # all pass the centre
+        poly = halfplane_intersection(normals, offsets,
+                                      lower=(0, 0), upper=(1, 1))
+        samples = rng.random((20000, 2))
+        inside = np.all(samples @ normals.T <= offsets + 1e-12, axis=1)
+        mc_area = inside.mean()
+        assert poly.area() == pytest.approx(mc_area, abs=0.02)
+
+    def test_infeasible_system_empty(self):
+        poly = halfplane_intersection(
+            [[1.0, 0.0], [-1.0, 0.0]], [0.2, -0.8],
+            lower=(0, 0), upper=(1, 1))  # x <= .2 and x >= .8
+        assert poly.is_empty
+
+    def test_closest_point_interior(self):
+        poly = Polygon2D.box((0, 0), (1, 1))
+        assert poly.closest_point_to((0.3, 0.6)) == (0.3, 0.6)
+
+    def test_closest_point_projection(self):
+        poly = Polygon2D.box((0, 0), (1, 1))
+        cx, cy = poly.closest_point_to((2.0, 0.5))
+        assert (cx, cy) == pytest.approx((1.0, 0.5))
+
+    def test_closest_point_corner(self):
+        poly = Polygon2D.box((0, 0), (1, 1))
+        assert poly.closest_point_to((2.0, 2.0)) == pytest.approx(
+            (1.0, 1.0))
+
+    def test_closest_point_empty_raises(self):
+        with pytest.raises(ValueError):
+            Polygon2D(()).closest_point_to((0, 0))
+
+    def test_paper_safe_region_figure5b(self, paper_points, paper_q):
+        """Figure 5(b): SR(q) clipped by HS(w1, p4) and HS(w4, p7).
+
+        Kevin (0.1, 0.9) has top-3rd point p4(9,3) (score 3.6);
+        Julia (0.9, 0.1) has top-3rd point p7(3,7) (score 3.4).
+        The region must contain the origin, exclude q (whose scores
+        4.0 exceed both thresholds), and its closest point to q must
+        beat staying at q.
+        """
+        kevin, julia = [0.1, 0.9], [0.9, 0.1]
+        p4, p7 = paper_points[3], paper_points[6]
+        offsets = [np.dot(kevin, p4), np.dot(julia, p7)]
+        poly = halfplane_intersection(
+            [kevin, julia], offsets, lower=(0, 0), upper=tuple(paper_q))
+        assert poly.contains((0.0, 0.0))
+        assert not poly.contains(tuple(paper_q))
+        qx, qy = poly.closest_point_to(tuple(paper_q))
+        assert np.hypot(qx - 4, qy - 4) < np.hypot(4, 4)

@@ -1,0 +1,133 @@
+"""Unit tests for repro.geometry.dominance."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.dominance import (
+    dominance_partition,
+    dominated_by_mask,
+    dominates,
+    dominates_mask,
+    incomparable,
+    pareto_front_mask,
+)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([1, 2], [2, 3])
+
+    def test_equal_not_strict(self):
+        assert not dominates([1, 2], [1, 2])
+
+    def test_equal_weak(self):
+        assert dominates([1, 2], [1, 2], strict=False)
+
+    def test_partial_improvement_counts(self):
+        assert dominates([1, 3], [1, 4])
+
+    def test_not_dominating(self):
+        assert not dominates([1, 9], [4, 4])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates([1, 2], [1, 2, 3])
+
+    def test_antisymmetric(self):
+        a, b = [1.0, 2.0], [2.0, 3.0]
+        assert dominates(a, b) and not dominates(b, a)
+
+
+class TestIncomparable:
+    def test_paper_example(self):
+        # Figure 2(a): q(4,4) dominated by p1(2,1), incomparable with
+        # p3(1,9).
+        q = [4.0, 4.0]
+        assert dominates([2.0, 1.0], q)
+        assert incomparable([1.0, 9.0], q)
+
+    def test_symmetric(self):
+        assert incomparable([1, 9], [9, 1])
+        assert incomparable([9, 1], [1, 9])
+
+    def test_self_incomparable(self):
+        # A point neither strictly dominates itself nor is dominated.
+        assert incomparable([3, 3], [3, 3])
+
+
+class TestMasks:
+    def test_masks_agree_with_scalar(self, rng):
+        pts = rng.random((100, 3))
+        q = np.array([0.5, 0.5, 0.5])
+        dm = dominates_mask(pts, q)
+        sm = dominated_by_mask(pts, q)
+        for i, p in enumerate(pts):
+            assert dm[i] == dominates(p, q)
+            assert sm[i] == dominates(q, p)
+
+    def test_disjoint(self, rng):
+        pts = rng.random((200, 4))
+        q = rng.random(4)
+        dm = dominates_mask(pts, q)
+        sm = dominated_by_mask(pts, q)
+        assert not np.any(dm & sm)
+
+
+class TestDominancePartition:
+    def test_partition_covers_everything(self, rng):
+        pts = rng.random((300, 3))
+        q = np.array([0.4, 0.6, 0.5])
+        d, i, s = dominance_partition(pts, q)
+        combined = np.sort(np.concatenate([d, i, s]))
+        assert combined.tolist() == list(range(300))
+
+    def test_paper_figure2(self, paper_points, paper_q):
+        d, i, s = dominance_partition(paper_points, paper_q)
+        # Only p1(2,1) dominates q(4,4).
+        assert d.tolist() == [0]
+        # p7(3,7), p3(1,9) etc. are incomparable.
+        assert 2 in i.tolist() and 6 in i.tolist()
+
+    def test_equal_point_goes_to_dominated_bucket(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0]])
+        d, i, s = dominance_partition(pts, [1.0, 1.0])
+        assert 0 in s.tolist()
+        assert 1 in s.tolist()
+
+    def test_rank_semantics(self, rng):
+        """|D| lower-bounds and |D|+|I| upper-bounds q's beat count."""
+        pts = rng.random((200, 2))
+        q = np.array([0.5, 0.5])
+        d, i, _ = dominance_partition(pts, q)
+        for w1 in (0.1, 0.5, 0.9):
+            w = np.array([w1, 1 - w1])
+            beats = int(np.count_nonzero(pts @ w < q @ w))
+            assert len(d) <= beats <= len(d) + len(i)
+
+
+class TestParetoFront:
+    def test_single_point(self):
+        assert pareto_front_mask([[1.0, 2.0]]).tolist() == [True]
+
+    def test_dominated_point_excluded(self):
+        mask = pareto_front_mask([[1, 1], [2, 2]])
+        assert mask.tolist() == [True, False]
+
+    def test_antichain_all_kept(self):
+        pts = [[1, 4], [2, 3], [3, 2], [4, 1]]
+        assert pareto_front_mask(pts).all()
+
+    def test_front_members_mutually_incomparable(self, rng):
+        pts = rng.random((80, 3))
+        mask = pareto_front_mask(pts)
+        front = pts[mask]
+        for a in range(len(front)):
+            for b in range(a + 1, len(front)):
+                assert incomparable(front[a], front[b])
+
+    def test_every_excluded_point_is_dominated(self, rng):
+        pts = rng.random((60, 2))
+        mask = pareto_front_mask(pts)
+        front = pts[mask]
+        for p in pts[~mask]:
+            assert any(dominates(f, p) for f in front)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.geometry.hyperplane (Lemma 1 / Definition 8)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.hyperplane import HalfspaceSystem, Hyperplane, side_of
+from repro.geometry.vectors import score
+
+
+class TestHyperplane:
+    def test_through_contains_anchor(self):
+        h = Hyperplane.through([0.5, 0.5], [1.0, 9.0])
+        assert h.contains([1.0, 9.0])
+
+    def test_lemma1_cases(self, paper_points):
+        """Figure 5(a): H(w2, p3) with w2 = Tony (0.5, 0.5)."""
+        w2 = [0.5, 0.5]
+        p3 = paper_points[2]          # (1, 9), score 5.0
+        h = Hyperplane.through(w2, p3)
+        p1, p5, p7 = paper_points[0], paper_points[4], paper_points[6]
+        assert h.evaluate(p1) < 0     # below: smaller score
+        assert h.evaluate(p5) > 0     # above: bigger score
+        assert h.contains(p7)         # on: equal score (5.0)
+
+    def test_evaluate_matches_score_difference(self, rng):
+        w = rng.dirichlet(np.ones(4))
+        p = rng.random(4)
+        h = Hyperplane.through(w, p)
+        for _ in range(10):
+            x = rng.random(4)
+            assert h.evaluate(x) == pytest.approx(
+                score(w, x) - score(w, p))
+
+    def test_evaluate_many(self, rng):
+        w = rng.dirichlet(np.ones(3))
+        p = rng.random(3)
+        xs = rng.random((50, 3))
+        h = Hyperplane.through(w, p)
+        vec = h.evaluate_many(xs)
+        assert vec == pytest.approx([h.evaluate(x) for x in xs])
+
+    def test_halfspace_contains_definition8(self, paper_points):
+        w2 = [0.5, 0.5]
+        p3 = paper_points[2]
+        h = Hyperplane.through(w2, p3)
+        # HS(w2, p3) holds points scoring <= 5.0 under Tony.
+        assert h.halfspace_contains(paper_points[0])   # p1, 1.5
+        assert h.halfspace_contains(paper_points[6])   # p7, 5.0 (on)
+        assert not h.halfspace_contains(paper_points[4])  # p5, 6.0
+
+    def test_separating_plane_flips_order(self):
+        p = np.array([1.0, 9.0])
+        q = np.array([4.0, 4.0])
+        h = Hyperplane.separating(p, q)
+        # w on the plane scores p and q equally.
+        # solve (p - q) . (w1, 1-w1) = 0 -> -3 w1 + 5 (1 - w1) = 0
+        w1 = 5.0 / 8.0
+        w = np.array([w1, 1 - w1])
+        assert h.contains(w, atol=1e-9)
+        assert score(w, p) == pytest.approx(score(w, q))
+
+
+class TestSideOf:
+    def test_three_sides(self, paper_points):
+        w2, p3 = [0.5, 0.5], paper_points[2]
+        assert side_of(w2, p3, paper_points[0]) == -1
+        assert side_of(w2, p3, paper_points[4]) == 1
+        assert side_of(w2, p3, paper_points[6]) == 0
+
+
+class TestHalfspaceSystem:
+    def test_contains_box_and_planes(self):
+        sys = HalfspaceSystem.from_constraints(
+            [[0.5, 0.5]], [4.0], lower=[0, 0], upper=[6, 6])
+        assert sys.contains([2.0, 2.0])
+        assert not sys.contains([5.0, 5.0])     # violates plane
+        assert not sys.contains([-1.0, 0.0])    # violates lower
+        assert not sys.contains([0.0, 7.0])     # violates upper
+
+    def test_violations_sign(self):
+        sys = HalfspaceSystem.from_constraints([[1.0, 0.0]], [2.0])
+        assert sys.violations([3.0, 0.0])[0] == pytest.approx(1.0)
+        assert sys.violations([1.0, 0.0])[0] == pytest.approx(-1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            HalfspaceSystem.from_constraints([[1.0, 0.0]], [1.0, 2.0])

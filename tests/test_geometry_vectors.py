@@ -1,0 +1,131 @@
+"""Unit tests for repro.geometry.vectors."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vectors import (
+    MAX_SIMPLEX_DISTANCE,
+    as_array,
+    is_valid_weight,
+    normalize_weight,
+    score,
+    score_many,
+    score_matrix,
+    weight_distance,
+)
+
+
+class TestAsArray:
+    def test_converts_list(self):
+        out = as_array([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_array([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_array([np.inf, 0.0])
+
+
+class TestIsValidWeight:
+    def test_accepts_simplex_vector(self):
+        assert is_valid_weight([0.3, 0.7])
+
+    def test_accepts_vertex(self):
+        assert is_valid_weight([1.0, 0.0, 0.0])
+
+    def test_rejects_bad_sum(self):
+        assert not is_valid_weight([0.5, 0.6])
+
+    def test_rejects_negative(self):
+        assert not is_valid_weight([-0.1, 1.1])
+
+    def test_rejects_matrix(self):
+        assert not is_valid_weight([[0.5, 0.5]])
+
+    def test_rejects_empty(self):
+        assert not is_valid_weight([])
+
+    def test_rejects_nan(self):
+        assert not is_valid_weight([np.nan, 1.0])
+
+    def test_tolerates_float_noise(self):
+        w = np.array([1.0 / 3] * 3)
+        assert is_valid_weight(w)
+
+
+class TestNormalizeWeight:
+    def test_l1_normalization(self):
+        assert normalize_weight([2.0, 2.0]).tolist() == [0.5, 0.5]
+
+    def test_clips_negatives(self):
+        out = normalize_weight([-1.0, 1.0])
+        assert out.tolist() == [0.0, 1.0]
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(ValueError, match="all-zero"):
+            normalize_weight([0.0, 0.0])
+
+    def test_result_is_valid(self):
+        out = normalize_weight([0.2, 5.0, 1.3])
+        assert is_valid_weight(out)
+
+
+class TestScore:
+    def test_paper_example(self):
+        # Kevin's score of p1 in Figure 1(c): 0.1*2 + 0.9*1 = 1.1
+        assert score([0.1, 0.9], [2.0, 1.0]) == pytest.approx(1.1)
+
+    def test_score_many_matches_score(self):
+        pts = np.array([[2.0, 1.0], [6.0, 3.0], [1.0, 9.0]])
+        w = [0.5, 0.5]
+        out = score_many(w, pts)
+        assert out.tolist() == [score(w, p) for p in pts]
+
+    def test_score_many_single_point(self):
+        out = score_many([0.5, 0.5], [4.0, 4.0])
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(4.0)
+
+    def test_score_matrix_shape_and_values(self):
+        wts = np.array([[1.0, 0.0], [0.0, 1.0]])
+        pts = np.array([[2.0, 3.0], [5.0, 7.0], [1.0, 1.0]])
+        mat = score_matrix(wts, pts)
+        assert mat.shape == (2, 3)
+        assert mat[0].tolist() == [2.0, 5.0, 1.0]
+        assert mat[1].tolist() == [3.0, 7.0, 1.0]
+
+    def test_figure1c_full_table(self):
+        """Reproduce every score in the paper's Figure 1(c)."""
+        pts = np.array([[2, 1], [6, 3], [1, 9], [9, 3], [7, 5],
+                        [5, 8], [3, 7], [4, 4]], dtype=float)
+        weights = {
+            "julia": [0.9, 0.1],
+            "tony": [0.5, 0.5],
+            "anna": [0.3, 0.7],
+            "kevin": [0.1, 0.9],
+        }
+        expected = {
+            "kevin": [1.1, 3.3, 8.2, 3.6, 5.2, 7.7, 6.6, 4.0],
+            "julia": [1.9, 5.7, 1.8, 8.4, 6.8, 5.3, 3.4, 4.0],
+            "tony": [1.5, 4.5, 5.0, 6.0, 6.0, 6.5, 5.0, 4.0],
+            "anna": [1.3, 3.9, 6.6, 4.8, 5.6, 7.1, 5.8, 4.0],
+        }
+        for name, w in weights.items():
+            got = score_many(w, pts)
+            assert got == pytest.approx(expected[name]), name
+
+
+class TestWeightDistance:
+    def test_zero_for_identical(self):
+        assert weight_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_euclidean(self):
+        assert weight_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(
+            MAX_SIMPLEX_DISTANCE)
+
+    def test_max_constant(self):
+        assert MAX_SIMPLEX_DISTANCE == pytest.approx(np.sqrt(2.0))

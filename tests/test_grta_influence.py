@@ -1,0 +1,125 @@
+"""Unit tests for GRTA and the influence application layer."""
+
+import numpy as np
+import pytest
+
+from repro.data import independent, preference_set
+from repro.index import RTree
+from repro.rtopk import (
+    brtopk_grta,
+    brtopk_naive,
+    brtopk_rta,
+    influence_gain,
+    influence_score,
+    kmeans_weights,
+    most_influential,
+)
+from repro.core.mqp import modify_query_point
+from repro.core.types import WhyNotQuery
+
+
+class TestKMeansWeights:
+    def test_labels_and_centroids_shapes(self):
+        wts = preference_set(30, 3, seed=1)
+        labels, centroids = kmeans_weights(wts, 4)
+        assert labels.shape == (30,)
+        assert centroids.shape == (4, 3)
+        assert set(labels.tolist()) <= set(range(4))
+
+    def test_centroids_on_simplex(self):
+        wts = preference_set(50, 4, seed=2)
+        _, centroids = kmeans_weights(wts, 5)
+        assert centroids.sum(axis=1) == pytest.approx(np.ones(5))
+        assert np.all(centroids >= 0)
+
+    def test_clusters_capped_by_points(self):
+        wts = preference_set(3, 2, seed=3)
+        labels, centroids = kmeans_weights(wts, 10)
+        assert len(centroids) == 3
+
+    def test_deterministic(self):
+        wts = preference_set(40, 3, seed=4)
+        a = kmeans_weights(wts, 4, seed=9)
+        b = kmeans_weights(wts, 4, seed=9)
+        assert np.array_equal(a[0], b[0])
+
+    def test_separated_clusters_recovered(self):
+        tight_a = np.tile([0.9, 0.05, 0.05], (10, 1))
+        tight_b = np.tile([0.05, 0.9, 0.05], (10, 1))
+        labels, _ = kmeans_weights(np.vstack([tight_a, tight_b]), 2)
+        assert len(set(labels[:10].tolist())) == 1
+        assert len(set(labels[10:].tolist())) == 1
+        assert labels[0] != labels[10]
+
+
+class TestGRTA:
+    def test_paper_example(self, paper_points, paper_weights, paper_q):
+        out = brtopk_grta(paper_points, paper_weights, paper_q, 3)
+        assert out.tolist() == [1, 2]
+
+    @pytest.mark.parametrize("k", [1, 5, 15])
+    @pytest.mark.parametrize("n_clusters", [None, 1, 8])
+    def test_equals_naive_and_rta(self, k, n_clusters):
+        pts = independent(600, 3, seed=7)
+        wts = preference_set(80, 3, seed=8)
+        q = np.quantile(pts, 0.15, axis=0)
+        naive = brtopk_naive(pts, wts, q, k)
+        grta = brtopk_grta(pts, wts, q, k, n_clusters=n_clusters)
+        assert grta.tolist() == naive.tolist()
+        assert brtopk_rta(pts, wts, q, k).tolist() == naive.tolist()
+
+    def test_rtree_source(self, paper_points, paper_weights, paper_q):
+        tree = RTree(paper_points)
+        out = brtopk_grta(tree, paper_weights, paper_q, 3)
+        assert out.tolist() == [1, 2]
+
+    def test_invalid_k(self, paper_points, paper_weights, paper_q):
+        with pytest.raises(ValueError):
+            brtopk_grta(paper_points, paper_weights, paper_q, 0)
+
+
+class TestInfluence:
+    def test_paper_example_score(self, paper_points, paper_weights,
+                                 paper_q):
+        assert influence_score(paper_points, paper_weights,
+                               paper_q, 3) == 2
+
+    def test_most_influential_ordering(self, paper_points,
+                                       paper_weights):
+        ranking = most_influential(paper_points, paper_weights, 3, 3)
+        assert len(ranking) == 3
+        influences = [inf for _, inf in ranking]
+        assert influences == sorted(influences, reverse=True)
+        # p1 (cheap and cool) must top the list with all 4 customers.
+        assert ranking[0] == (0, 4)
+
+    def test_most_influential_with_candidates(self, paper_points,
+                                              paper_weights):
+        ranking = most_influential(paper_points, paper_weights, 3, 2,
+                                   candidates=[1, 4, 5])
+        assert {pid for pid, _ in ranking} <= {1, 4, 5}
+
+    def test_most_influential_validates_m(self, paper_points,
+                                          paper_weights):
+        with pytest.raises(ValueError):
+            most_influential(paper_points, paper_weights, 3, 0)
+
+    def test_influence_gain_of_mqp(self, paper_points, paper_q,
+                                   paper_weights, paper_missing):
+        """MQP's refined product must win back Kevin and Julia."""
+        query = WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                            why_not=paper_missing)
+        res = modify_query_point(query)
+        gain = influence_gain(paper_points, paper_weights, paper_q,
+                              res.q_refined, 3)
+        assert gain["before"] == 2
+        assert gain["after"] == 4
+        assert gain["gain"] == 2
+        assert gain["relative_gain"] == pytest.approx(1.0)
+
+    def test_influence_gain_zero_before(self, paper_points,
+                                        paper_weights):
+        gain = influence_gain(paper_points, paper_weights,
+                              [30.0, 30.0], [0.0, 0.0], 1)
+        assert gain["before"] == 0
+        assert gain["relative_gain"] == float("inf")

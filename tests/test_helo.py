@@ -1,0 +1,87 @@
+"""Tests for the He & Lo per-vector baseline and the paper's
+Section 3 claim that it cannot replace WQRTQ's unified MWK."""
+
+import numpy as np
+import pytest
+
+from repro.core.helo import compose_per_vector, modify_single_weight
+from repro.core.mwk import modify_weights_and_k
+from repro.core.types import WhyNotQuery
+from repro.data import independent, preference_set, query_point_with_rank
+from repro.topk.scan import rank_of_scan
+
+
+class TestSingleWeight:
+    def test_paper_example_kevin(self, paper_points, paper_q):
+        res = modify_single_weight(paper_points, paper_q, [0.1, 0.9],
+                                   3, rng=np.random.default_rng(0))
+        assert res.rank == 4
+        assert rank_of_scan(paper_points, res.weight_refined,
+                            paper_q) <= res.k_refined
+
+    def test_not_whynot_returns_unchanged(self, paper_points, paper_q):
+        res = modify_single_weight(paper_points, paper_q, [0.5, 0.5],
+                                   3, rng=np.random.default_rng(0))
+        assert res.delta_w == 0.0
+        assert res.k_refined == 3
+
+    def test_deterministic(self, paper_points, paper_q):
+        a = modify_single_weight(paper_points, paper_q, [0.9, 0.1], 3,
+                                 rng=np.random.default_rng(4))
+        b = modify_single_weight(paper_points, paper_q, [0.9, 0.1], 3,
+                                 rng=np.random.default_rng(4))
+        assert np.array_equal(a.weight_refined, b.weight_refined)
+
+
+class TestComposition:
+    @pytest.fixture()
+    def query(self, paper_points, paper_q, paper_missing):
+        return WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                           why_not=paper_missing)
+
+    def test_composed_answer_is_valid(self, query, paper_points,
+                                      paper_q):
+        res = compose_per_vector(query, sample_size=200,
+                                 rng=np.random.default_rng(0))
+        for w in res.weights_refined:
+            assert rank_of_scan(paper_points, w, paper_q) <= \
+                res.k_refined
+
+    def test_mwk_never_worse_than_composition(self, query):
+        """The paper's Section 3 claim, on its own example."""
+        for seed in range(3):
+            composed = compose_per_vector(
+                query, sample_size=300,
+                rng=np.random.default_rng(seed))
+            unified = modify_weights_and_k(
+                query, sample_size=300,
+                rng=np.random.default_rng(seed))
+            assert unified.penalty <= composed.penalty + 1e-9
+
+    def test_mwk_beats_composition_on_skewed_ranks(self):
+        """When the vectors need very different ranks, per-vector
+        refinement mis-prices the shared k and loses on average."""
+        pts = independent(1_000, 3, seed=71)
+        wts = preference_set(8, 3, seed=72)
+        q = query_point_with_rank(pts, wts[0], 41)
+        chosen = [wts[0]]
+        for w in wts[1:]:
+            if rank_of_scan(pts, w, q) > 10:
+                chosen.append(w)
+            if len(chosen) == 3:
+                break
+        if len(chosen) < 3:
+            pytest.skip("could not assemble a 3-vector why-not set")
+        query = WhyNotQuery(points=pts, q=q, k=10,
+                            why_not=np.asarray(chosen))
+        gaps = []
+        for seed in range(3):
+            composed = compose_per_vector(
+                query, sample_size=300,
+                rng=np.random.default_rng(seed))
+            unified = modify_weights_and_k(
+                query, sample_size=300,
+                rng=np.random.default_rng(seed))
+            assert unified.penalty <= composed.penalty + 1e-9
+            gaps.append(composed.penalty - unified.penalty)
+        assert np.mean(gaps) >= 0.0

@@ -1,0 +1,106 @@
+"""Unit tests for FindIncom and its reuse cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.incomparable import (
+    IncomparableCache,
+    find_incomparable,
+)
+from repro.geometry.dominance import dominates, incomparable
+from repro.index import RTree
+
+
+class TestFindIncomparable:
+    def test_paper_example(self, paper_points, paper_q):
+        res = find_incomparable(paper_points, paper_q)
+        # Only p1(2,1) dominates q(4,4).
+        assert res.dominating_ids.tolist() == [0]
+        # p2(6,3), p3(1,9), p4(9,3), p7(3,7) are incomparable;
+        # p5(7,5) and p6(5,8) are dominated by q.
+        assert sorted(res.incomparable_ids.tolist()) == [1, 2, 3, 6]
+        assert res.k_floor == 2
+        assert res.k_ceiling == 6
+
+    def test_tree_matches_array(self, small_dataset, small_tree, rng):
+        for _ in range(5):
+            q = rng.random(3)
+            a = find_incomparable(small_dataset, q)
+            b = find_incomparable(small_tree, q)
+            assert sorted(a.dominating_ids.tolist()) == sorted(
+                b.dominating_ids.tolist())
+            assert sorted(a.incomparable_ids.tolist()) == sorted(
+                b.incomparable_ids.tolist())
+
+    def test_semantics(self, small_dataset, rng):
+        q = rng.random(3)
+        res = find_incomparable(small_dataset, q)
+        for pid in res.dominating_ids:
+            assert dominates(small_dataset[pid], q)
+        for pid in res.incomparable_ids:
+            assert incomparable(small_dataset[pid], q)
+
+    def test_pruning_saves_accesses(self, small_dataset):
+        """A query near the origin prunes most of the tree."""
+        tree = RTree(small_dataset, capacity=8)
+        tree.stats.reset()
+        find_incomparable(tree, np.array([0.05, 0.05, 0.05]))
+        pruned_cost = tree.stats.node_accesses
+        tree.stats.reset()
+        find_incomparable(tree, np.array([0.95, 0.95, 0.95]))
+        full_cost = tree.stats.node_accesses
+        assert pruned_cost < full_cost
+
+    def test_q_dominating_everything(self):
+        pts = np.array([[2.0, 2.0], [3.0, 1.5]])
+        res = find_incomparable(pts, [1.0, 1.0])
+        assert res.n_dominating == 0
+        assert res.n_incomparable == 0
+        assert res.k_floor == 1
+
+
+class TestIncomparableCache:
+    def test_partition_matches_direct(self, small_dataset, small_tree,
+                                      rng):
+        q = np.array([0.8, 0.8, 0.8])
+        cache = IncomparableCache(small_tree, q)
+        for _ in range(10):
+            q_prime = rng.random(3) * q
+            direct = find_incomparable(small_dataset, q_prime)
+            cached = cache.partition(q_prime)
+            assert sorted(cached.dominating_ids.tolist()) == sorted(
+                direct.dominating_ids.tolist())
+            assert sorted(cached.incomparable_ids.tolist()) == sorted(
+                direct.incomparable_ids.tolist())
+
+    def test_partition_at_q_itself(self, small_dataset, small_tree):
+        q = np.array([0.7, 0.6, 0.5])
+        cache = IncomparableCache(small_tree, q)
+        direct = find_incomparable(small_dataset, q)
+        cached = cache.partition(q)
+        assert sorted(cached.incomparable_ids.tolist()) == sorted(
+            direct.incomparable_ids.tolist())
+
+    def test_rejects_query_outside_box(self, small_tree):
+        cache = IncomparableCache(small_tree, np.array([0.5, 0.5, 0.5]))
+        with pytest.raises(ValueError):
+            cache.partition(np.array([0.6, 0.5, 0.5]))
+
+    def test_single_traversal(self, small_dataset):
+        tree = RTree(small_dataset, capacity=8)
+        tree.stats.reset()
+        cache = IncomparableCache(tree, np.array([0.9, 0.9, 0.9]))
+        after_build = tree.stats.node_accesses
+        for _ in range(5):
+            cache.partition(np.array([0.5, 0.5, 0.5]))
+        assert tree.stats.node_accesses == after_build
+        assert cache.tree_traversals == 1
+
+    def test_array_source(self, small_dataset, rng):
+        q = np.array([0.8, 0.7, 0.9])
+        cache = IncomparableCache(small_dataset, q)
+        q_prime = q * 0.7
+        direct = find_incomparable(small_dataset, q_prime)
+        cached = cache.partition(q_prime)
+        assert sorted(cached.dominating_ids.tolist()) == sorted(
+            direct.dominating_ids.tolist())

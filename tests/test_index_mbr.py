@@ -1,0 +1,102 @@
+"""Unit tests for repro.index.mbr."""
+
+import numpy as np
+import pytest
+
+from repro.index.mbr import MBR
+
+
+class TestConstruction:
+    def test_of_point_degenerate(self):
+        box = MBR.of_point([1.0, 2.0])
+        assert box.lower.tolist() == [1.0, 2.0]
+        assert box.upper.tolist() == [1.0, 2.0]
+        assert box.volume() == 0.0
+
+    def test_of_points_tight(self, rng):
+        pts = rng.random((50, 3))
+        box = MBR.of_points(pts)
+        assert np.all(box.lower <= pts.min(axis=0) + 1e-15)
+        assert np.all(box.upper >= pts.max(axis=0) - 1e-15)
+
+    def test_union(self):
+        a = MBR.of_point([0.0, 0.0])
+        b = MBR.of_point([2.0, 3.0])
+        u = MBR.union([a, b])
+        assert u.lower.tolist() == [0.0, 0.0]
+        assert u.upper.tolist() == [2.0, 3.0]
+
+    def test_union_empty_raises(self):
+        with pytest.raises(ValueError):
+            MBR.union([])
+
+
+class TestGeometry:
+    def test_expanded(self):
+        box = MBR.of_point([1.0, 1.0]).expanded([0.0, 2.0])
+        assert box.lower.tolist() == [0.0, 1.0]
+        assert box.upper.tolist() == [1.0, 2.0]
+
+    def test_enlargement_zero_when_inside(self):
+        box = MBR(np.zeros(2), np.ones(2))
+        assert box.enlargement([0.5, 0.5]) == 0.0
+
+    def test_enlargement_positive_outside(self):
+        box = MBR(np.zeros(2), np.ones(2))
+        assert box.enlargement([2.0, 0.5]) > 0.0
+
+    def test_contains_point(self):
+        box = MBR(np.zeros(2), np.ones(2))
+        assert box.contains_point([0.5, 1.0])
+        assert not box.contains_point([1.1, 0.5])
+
+    def test_intersects(self):
+        a = MBR(np.zeros(2), np.ones(2))
+        b = MBR(np.array([0.5, 0.5]), np.array([2.0, 2.0]))
+        c = MBR(np.array([1.5, 1.5]), np.array([2.0, 2.0]))
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_margin(self):
+        box = MBR(np.zeros(3), np.array([1.0, 2.0, 3.0]))
+        assert box.margin() == pytest.approx(6.0)
+
+
+class TestScoreBounds:
+    def test_min_score_at_lower_corner(self, rng):
+        box = MBR(np.array([0.2, 0.3]), np.array([0.9, 0.8]))
+        for _ in range(20):
+            w = rng.dirichlet(np.ones(2))
+            pts = box.lower + rng.random((100, 2)) * (box.upper
+                                                      - box.lower)
+            assert np.all(pts @ w >= box.min_score(w) - 1e-12)
+            assert np.all(pts @ w <= box.max_score(w) + 1e-12)
+
+    def test_min_le_max(self):
+        box = MBR(np.zeros(2), np.ones(2))
+        w = [0.4, 0.6]
+        assert box.min_score(w) <= box.max_score(w)
+
+
+class TestDominancePredicates:
+    def test_fully_dominated_by(self):
+        box = MBR(np.array([5.0, 5.0]), np.array([6.0, 6.0]))
+        assert box.fully_dominated_by([4.0, 4.0])
+        assert not box.fully_dominated_by([5.5, 5.5])
+
+    def test_fully_dominates(self):
+        box = MBR(np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+        assert box.fully_dominates([4.0, 4.0])
+        assert not box.fully_dominates([1.5, 1.5])
+
+    def test_may_dominate(self):
+        box = MBR(np.array([1.0, 5.0]), np.array([2.0, 6.0]))
+        assert box.may_dominate([3.0, 5.5])
+        assert not box.may_dominate([0.5, 5.5])
+
+    def test_boundary_equal_not_dominated(self):
+        # A box whose lower corner equals q is NOT fully dominated:
+        # the corner point ties with q and strict dominance requires
+        # the lower corner to be strictly worse in some dimension.
+        box = MBR(np.array([4.0, 4.0]), np.array([5.0, 5.0]))
+        assert not box.fully_dominated_by([4.0, 4.0])

@@ -1,0 +1,149 @@
+"""Unit tests for the R-tree (both construction paths)."""
+
+import numpy as np
+import pytest
+
+from repro.data import anticorrelated, independent
+from repro.index.rtree import RTree, default_capacity
+
+
+class TestConstructionValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RTree(np.empty((0, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            RTree([[0.0, np.nan]])
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            RTree([[0.0, 1.0]], capacity=1)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            RTree([[0.0, 1.0]], method="bogus")
+
+    def test_points_are_readonly(self, small_tree):
+        with pytest.raises(ValueError):
+            small_tree.points[0, 0] = 99.0
+
+    def test_default_capacity_page_heuristic(self):
+        # 3-d: entry = 2*3*8 + 8 = 56 bytes -> 4096 // 56 = 73.
+        assert default_capacity(3) == 73
+        # Clamped for absurd dimensionality.
+        assert default_capacity(10_000) == 4
+
+
+def _check_invariants(tree: RTree):
+    """Structural invariants: MBR containment, capacity, coverage."""
+    seen_ids = []
+    for node in tree.iter_nodes():
+        if node.is_leaf:
+            assert 1 <= len(node.point_ids) <= tree.capacity
+            seen_ids.extend(node.point_ids)
+            for pid in node.point_ids:
+                assert node.mbr.contains_point(tree.points[pid],
+                                               atol=1e-12)
+        else:
+            assert 1 <= len(node.children) <= tree.capacity
+            for child in node.children:
+                assert np.all(node.mbr.lower <= child.mbr.lower + 1e-12)
+                assert np.all(node.mbr.upper >= child.mbr.upper - 1e-12)
+    assert sorted(seen_ids) == list(range(len(tree)))
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("method", ["str", "insert"])
+    @pytest.mark.parametrize("n", [1, 5, 64, 257])
+    def test_structure(self, method, n):
+        pts = independent(n, 3, seed=n)
+        tree = RTree(pts, capacity=8, method=method)
+        _check_invariants(tree)
+
+    @pytest.mark.parametrize("method", ["str", "insert"])
+    def test_anticorrelated_structure(self, method):
+        pts = anticorrelated(300, 2, seed=3)
+        _check_invariants(RTree(pts, capacity=16, method=method))
+
+    def test_single_point_tree(self):
+        tree = RTree([[0.5, 0.5]])
+        assert tree.height == 1
+        assert tree.root.is_leaf
+
+    def test_height_grows_logarithmically(self):
+        pts = independent(1000, 2, seed=1)
+        tree = RTree(pts, capacity=10)
+        # 1000 points / 10 per leaf = 100 leaves -> height 3.
+        assert tree.height == 3
+
+    def test_node_count_positive(self, small_tree):
+        assert small_tree.node_count >= 1
+        assert len(small_tree) == 500
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("method", ["str", "insert"])
+    def test_matches_brute_force(self, method, rng):
+        pts = rng.random((400, 3))
+        tree = RTree(pts, capacity=8, method=method)
+        for _ in range(10):
+            lo = rng.random(3) * 0.5
+            hi = lo + rng.random(3) * 0.5
+            expected = np.nonzero(
+                np.all(pts >= lo, axis=1) & np.all(pts <= hi, axis=1))[0]
+            got = tree.range_query(lo, hi)
+            assert got.tolist() == expected.tolist()
+
+    def test_empty_result(self, small_tree):
+        out = small_tree.range_query([2.0, 2.0, 2.0], [3.0, 3.0, 3.0])
+        assert out.size == 0
+
+    def test_full_cover(self, small_tree):
+        out = small_tree.range_query([0.0] * 3, [1.0] * 3)
+        assert out.tolist() == list(range(500))
+
+
+class TestStats:
+    def test_access_counting(self, small_dataset):
+        tree = RTree(small_dataset, capacity=16)
+        tree.stats.reset()
+        tree.range_query([0.0] * 3, [1.0] * 3)
+        assert tree.stats.node_accesses >= tree.node_count
+        assert tree.stats.leaf_accesses > 0
+
+    def test_reset(self, small_tree):
+        small_tree.stats.reset()
+        assert small_tree.stats.node_accesses == 0
+
+
+class TestKnnQuery:
+    @pytest.mark.parametrize("method", ["str", "insert"])
+    def test_matches_brute_force(self, method, rng):
+        pts = rng.random((300, 3))
+        tree = RTree(pts, capacity=8, method=method)
+        for _ in range(10):
+            q = rng.random(3)
+            dists = np.linalg.norm(pts - q, axis=1)
+            expected = np.lexsort((np.arange(len(pts)), dists))[:7]
+            got = tree.knn_query(q, 7)
+            assert np.allclose(dists[got], dists[expected])
+
+    def test_ordered_by_distance(self, small_tree, rng):
+        q = rng.random(3)
+        got = small_tree.knn_query(q, 20)
+        dists = np.linalg.norm(small_tree.points[got] - q, axis=1)
+        assert np.all(np.diff(dists) >= -1e-12)
+
+    def test_k_clamped(self, small_tree):
+        assert len(small_tree.knn_query([0.5] * 3, 10_000)) == 500
+
+    def test_invalid_k(self, small_tree):
+        with pytest.raises(ValueError):
+            small_tree.knn_query([0.5] * 3, 0)
+
+    def test_lazy_traversal(self, small_dataset):
+        tree = RTree(small_dataset, capacity=8)
+        tree.stats.reset()
+        tree.knn_query([0.5, 0.5, 0.5], 1)
+        assert tree.stats.node_accesses < tree.node_count

@@ -1,0 +1,154 @@
+"""Cross-module integration tests.
+
+These exercise complete pipelines on non-trivial datasets: every
+substrate (R-tree, BRS, QP, samplers) participating in one WQRTQ
+answer, on each of the four evaluation data distributions, in several
+dimensionalities — plus invariants that tie *pairs* of modules
+together (mono intervals vs. refinements, RTA vs. refined results).
+"""
+
+import numpy as np
+import pytest
+
+from repro import WQRTQ
+from repro.core.types import WhyNotQuery
+from repro.data import make_dataset, preference_set, query_point_with_rank
+from repro.rtopk.bichromatic import brtopk_rta
+from repro.rtopk.mono import mrtopk_2d
+from repro.topk.scan import rank_of_scan
+
+
+def _workload(kind: str, n: int, d: int, k: int, rank: int, seed: int):
+    pts = make_dataset(kind, n, d, seed=seed)
+    w = preference_set(1, d, seed=seed + 1)
+    q = query_point_with_rank(pts, w[0], rank)
+    return pts, w, q
+
+
+@pytest.mark.parametrize("kind", ["independent", "anticorrelated",
+                                  "correlated", "nba", "household"])
+class TestFullPipelinePerDataset:
+    def test_three_solutions_valid(self, kind):
+        d = {"nba": 13, "household": 6}.get(kind, 3)
+        pts, wm, q = _workload(kind, 2_000, d, 10, 41, seed=17)
+        try:
+            query = WhyNotQuery(points=pts, q=q, k=10, why_not=wm)
+        except ValueError:
+            pytest.skip("degenerate workload for this distribution")
+        engine = WQRTQ(pts, q, 10, tree=query.rtree)
+
+        mqp = engine.modify_query_point(wm)
+        assert rank_of_scan(pts, wm[0], mqp.q_refined) <= 10
+
+        # Matched sample budgets and rng streams: MQWK's endpoint
+        # candidates then dominate both single-sided solutions.
+        mwk = engine.modify_weights_and_k(
+            wm, sample_size=100, rng=np.random.default_rng(17))
+        for w in mwk.weights_refined:
+            assert rank_of_scan(pts, w, q) <= mwk.k_refined
+
+        mqwk = engine.modify_all(
+            wm, sample_size=100, rng=np.random.default_rng(17))
+        for w in mqwk.weights_refined:
+            assert rank_of_scan(pts, w, mqwk.q_refined) <= \
+                mqwk.k_refined
+        assert mqwk.penalty <= 0.5 * mqp.penalty + 1e-9
+        assert mqwk.penalty <= 0.5 * mwk.penalty + 1e-9
+
+
+class TestBichromaticRefinementLoop:
+    """Refine, then re-run the *original* reverse top-k machinery to
+    confirm the refined query really contains the why-not vectors —
+    the library eating its own dog food."""
+
+    def test_mqp_closes_the_loop(self):
+        pts, _, _ = _workload("independent", 3_000, 3, 10, 61, seed=23)
+        panel = preference_set(40, 3, seed=24)
+        q = np.quantile(pts, 0.35, axis=0)
+        engine = WQRTQ(pts, q, 10, weights=panel)
+        missing = engine.missing_weights()
+        if len(missing) == 0:
+            pytest.skip("no missing vectors in this panel")
+        target = missing[:2]
+        res = engine.modify_query_point(target)
+        refined_members = brtopk_rta(engine.tree, panel,
+                                     res.q_refined, 10)
+        member_rows = panel[refined_members]
+        for w in target:
+            assert any(np.allclose(w, row) for row in member_rows)
+
+    def test_mwk_closes_the_loop(self):
+        pts, _, _ = _workload("independent", 3_000, 3, 10, 61, seed=29)
+        panel = preference_set(40, 3, seed=30)
+        q = np.quantile(pts, 0.35, axis=0)
+        engine = WQRTQ(pts, q, 10, weights=panel)
+        missing = engine.missing_weights()
+        if len(missing) == 0:
+            pytest.skip("no missing vectors in this panel")
+        target = missing[:2]
+        res = engine.modify_weights_and_k(
+            target, sample_size=150, rng=np.random.default_rng(1))
+        # Swap the refined vectors into the panel and re-query with k'.
+        swapped = panel.copy()
+        for orig, new in zip(target, res.weights_refined):
+            idx = int(np.argmax(np.all(np.isclose(panel, orig),
+                                       axis=1)))
+            swapped[idx] = new
+        members = brtopk_rta(engine.tree, swapped, q, res.k_refined)
+        member_rows = swapped[members]
+        for new in res.weights_refined:
+            assert any(np.allclose(new, row) for row in member_rows)
+
+
+class TestMonoBichromaticConsistency:
+    def test_interval_midpoints_pass_rta(self):
+        """Vectors inside the mono intervals are exactly those RTA
+        returns when used as a panel."""
+        pts = make_dataset("anticorrelated", 500, 2, seed=31)
+        q = np.array([0.40, 0.40])
+        intervals = mrtopk_2d(pts, q, 8)
+        if not intervals:
+            pytest.skip("empty mono result for this seed")
+        probes, expected = [], []
+        for iv in intervals:
+            probes.append(iv.midpoint_vector())
+            expected.append(True)
+        probes.append(np.array([0.999, 0.001]))
+        expected.append(any(iv.contains(0.999) for iv in intervals))
+        members = set(
+            brtopk_rta(pts, np.asarray(probes), q, 8).tolist())
+        for i, expect in enumerate(expected):
+            assert (i in members) == expect
+
+
+class TestDimensionalitySweep:
+    @pytest.mark.parametrize("d", [2, 3, 5, 8])
+    def test_mqp_and_mwk_scale_in_d(self, d):
+        pts = make_dataset("independent", 1_500, d, seed=d)
+        wm = preference_set(2, d, seed=d + 50)
+        q = query_point_with_rank(pts, wm[0], 31)
+        try:
+            query = WhyNotQuery(points=pts, q=q, k=5, why_not=wm)
+        except ValueError:
+            pytest.skip("q not missing for both vectors")
+        engine = WQRTQ(pts, q, 5, tree=query.rtree)
+        mqp = engine.modify_query_point(wm)
+        assert mqp.kkt_residual < 1e-5
+        mwk = engine.modify_weights_and_k(
+            wm, sample_size=80, rng=np.random.default_rng(d))
+        assert 0.0 <= mwk.penalty <= 1.0
+
+
+class TestStress:
+    def test_20k_points_full_stack(self):
+        pts = make_dataset("independent", 20_000, 3, seed=77)
+        wm = preference_set(1, 3, seed=78)
+        q = query_point_with_rank(pts, wm[0], 101)
+        query = WhyNotQuery(points=pts, q=q, k=10, why_not=wm)
+        engine = WQRTQ(pts, q, 10, tree=query.rtree)
+        rng = np.random.default_rng(79)
+        mqwk = engine.modify_all(wm, sample_size=100, rng=rng)
+        assert 0.0 <= mqwk.penalty <= 1.0
+        for w in mqwk.weights_refined:
+            assert rank_of_scan(pts, w, mqwk.q_refined) <= \
+                mqwk.k_refined

@@ -1,0 +1,100 @@
+"""Unit tests for dataset/result persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.mqp import modify_query_point
+from repro.core.mwk import modify_weights_and_k
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.types import WhyNotQuery
+from repro.data.io import (
+    dataset_cache,
+    load_dataset,
+    load_results,
+    result_to_dict,
+    save_dataset,
+    save_results,
+)
+
+
+class TestDatasetRoundTrip:
+    def test_round_trip(self, tmp_path, rng):
+        pts = rng.random((50, 3))
+        path = save_dataset(tmp_path / "data.npz", pts,
+                            kind="independent", seed=7)
+        loaded, meta = load_dataset(path)
+        assert np.array_equal(loaded, pts)
+        assert meta["kind"] == "independent"
+        assert meta["seed"] == 7
+        assert (meta["n"], meta["d"]) == (50, 3)
+
+    def test_rejects_non_archive(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, something=np.ones(3))
+        with pytest.raises(ValueError, match="not a repro dataset"):
+            load_dataset(bogus)
+
+    def test_creates_parent_dirs(self, tmp_path, rng):
+        path = save_dataset(tmp_path / "a" / "b" / "data.npz",
+                            rng.random((5, 2)))
+        assert path.exists()
+
+
+class TestDatasetCache:
+    def test_cache_hit_is_identical(self, tmp_path):
+        first = dataset_cache(tmp_path, "independent", 100, 3, seed=1)
+        second = dataset_cache(tmp_path, "independent", 100, 3, seed=1)
+        assert np.array_equal(first, second)
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+
+    def test_different_seeds_different_files(self, tmp_path):
+        dataset_cache(tmp_path, "independent", 50, 2, seed=1)
+        dataset_cache(tmp_path, "independent", 50, 2, seed=2)
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+
+class TestResultSerialization:
+    @pytest.fixture()
+    def query(self, paper_points, paper_q, paper_missing):
+        return WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                           why_not=paper_missing)
+
+    def test_mqp_round_trip(self, query, tmp_path):
+        res = modify_query_point(query)
+        d = result_to_dict(res)
+        assert d["kind"] == "mqp"
+        assert d["q_refined"] == pytest.approx(res.q_refined.tolist())
+        path = save_results(tmp_path / "r.json", [res],
+                            context={"k": 3})
+        body = load_results(path)
+        assert body["context"]["k"] == 3
+        assert body["results"][0]["penalty"] == pytest.approx(
+            res.penalty)
+
+    def test_mwk_serializes(self, query):
+        res = modify_weights_and_k(query, sample_size=50,
+                                   rng=np.random.default_rng(0))
+        d = result_to_dict(res)
+        assert d["kind"] == "mwk"
+        assert d["k_refined"] == res.k_refined
+
+    def test_mqwk_drops_nested_results(self, query):
+        res = modify_query_weights_and_k(
+            query, sample_size=30, rng=np.random.default_rng(0))
+        d = result_to_dict(res)
+        assert d["kind"] == "mqwk"
+        assert "mqp" not in d and "mwk" not in d
+        json.dumps(d)   # fully JSON-safe
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            result_to_dict({"not": "a result"})
+
+    def test_bench_rows_serialize(self, tmp_path):
+        rows = [{"dataset": "independent", "MQP_time": 0.1,
+                 "MQP_penalty": np.float64(0.2)}]
+        path = save_results(tmp_path / "rows.json", rows)
+        body = load_results(path)
+        assert body["results"][0]["MQP_penalty"] == pytest.approx(0.2)

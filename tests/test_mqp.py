@@ -1,0 +1,101 @@
+"""Unit tests for Algorithm 1 (MQP)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mqp import modify_query_point
+from repro.core.safe_region import safe_region_polygon
+from repro.core.types import WhyNotQuery
+from repro.data import independent, preference_set, query_point_with_rank
+from repro.topk.scan import rank_of_scan
+
+
+def _paper_query(paper_points, paper_q, paper_missing):
+    return WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                       why_not=paper_missing)
+
+
+class TestMQPPaperExample:
+    def test_refined_point_is_valid(self, paper_points, paper_q,
+                                    paper_missing):
+        res = modify_query_point(_paper_query(paper_points, paper_q,
+                                              paper_missing))
+        for w in paper_missing:
+            assert rank_of_scan(paper_points, w, res.q_refined) <= 3
+
+    def test_beats_paper_illustrations(self, paper_points, paper_q,
+                                       paper_missing):
+        """The optimum must be at least as cheap as the paper's two
+        hand-picked refinements q'(3, 2.5) = 0.318 and
+        q''(2.5, 3.5) = 0.279."""
+        res = modify_query_point(_paper_query(paper_points, paper_q,
+                                              paper_missing))
+        assert res.penalty <= 0.279 + 1e-9
+
+    def test_matches_2d_polygon_oracle(self, paper_points, paper_q,
+                                       paper_missing):
+        res = modify_query_point(_paper_query(paper_points, paper_q,
+                                              paper_missing))
+        poly = safe_region_polygon(paper_points, paper_q,
+                                   paper_missing, 3)
+        oracle = np.asarray(poly.closest_point_to(tuple(paper_q)))
+        assert res.q_refined == pytest.approx(oracle, abs=1e-5)
+
+    def test_kth_points_reported(self, paper_points, paper_q,
+                                 paper_missing):
+        res = modify_query_point(_paper_query(paper_points, paper_q,
+                                              paper_missing))
+        assert res.kth_points.tolist() == [6, 3]   # p7 and p4
+        assert res.kth_scores == pytest.approx([3.4, 3.6])
+
+    def test_only_shrinks(self, paper_points, paper_q, paper_missing):
+        res = modify_query_point(_paper_query(paper_points, paper_q,
+                                              paper_missing))
+        assert np.all(res.q_refined <= paper_q + 1e-9)
+        assert np.all(res.q_refined >= -1e-9)
+
+    def test_scan_and_rtree_agree(self, paper_points, paper_q,
+                                  paper_missing):
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        a = modify_query_point(query, use_rtree=True)
+        b = modify_query_point(query, use_rtree=False)
+        assert a.q_refined == pytest.approx(b.q_refined, abs=1e-9)
+
+
+class TestMQPRandom:
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_validity_many_dims(self, d):
+        pts = independent(400, d, seed=d)
+        wm = preference_set(2, d, seed=d + 10)
+        q = query_point_with_rank(pts, wm[0], 40)
+        try:
+            query = WhyNotQuery(points=pts, q=q, k=5, why_not=wm)
+        except ValueError:
+            pytest.skip("random q not missing for both vectors")
+        res = modify_query_point(query)
+        for w in wm:
+            assert rank_of_scan(pts, w, res.q_refined) <= 5
+        assert 0.0 <= res.penalty <= 1.0
+        assert res.kkt_residual < 1e-5
+
+    def test_single_why_not_vector(self):
+        pts = independent(300, 3, seed=2)
+        wm = preference_set(1, 3, seed=3)
+        q = query_point_with_rank(pts, wm[0], 30)
+        query = WhyNotQuery(points=pts, q=q, k=5, why_not=wm)
+        res = modify_query_point(query)
+        assert rank_of_scan(pts, wm[0], res.q_refined) <= 5
+
+    def test_penalty_grows_with_rank(self):
+        """Deeper original ranks need bigger moves (same data/vector)."""
+        pts = independent(500, 2, seed=8)
+        wm = preference_set(1, 2, seed=9)
+        penalties = []
+        for rank in (20, 80, 300):
+            q = query_point_with_rank(pts, wm[0], rank)
+            try:
+                query = WhyNotQuery(points=pts, q=q, k=5, why_not=wm)
+            except ValueError:
+                pytest.skip("generated q not a valid why-not case")
+            penalties.append(modify_query_point(query).penalty)
+        assert penalties[0] <= penalties[-1] + 1e-9

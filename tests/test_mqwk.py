@@ -1,0 +1,123 @@
+"""Unit tests for Algorithm 3 (MQWK)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mqp import modify_query_point
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.mwk import modify_weights_and_k
+from repro.core.types import WhyNotQuery
+from repro.data import independent, preference_set, query_point_with_rank
+from repro.topk.scan import rank_of_scan
+
+
+def _paper_query(paper_points, paper_q, paper_missing):
+    return WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                       why_not=paper_missing)
+
+
+class TestMQWKPaperExample:
+    def test_result_is_valid(self, paper_points, paper_q, paper_missing,
+                             rng):
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        res = modify_query_weights_and_k(query, sample_size=100,
+                                         rng=rng)
+        for w in res.weights_refined:
+            assert rank_of_scan(paper_points, w, res.q_refined) <= \
+                res.k_refined
+
+    def test_subsumes_mqp_and_mwk(self, paper_points, paper_q,
+                                  paper_missing):
+        """Joint penalty <= gamma * MQP penalty and <= lam * MWK
+        penalty (the endpoint candidates are always evaluated)."""
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        rng = np.random.default_rng(11)
+        joint = modify_query_weights_and_k(query, sample_size=100,
+                                           rng=rng)
+        mqp = modify_query_point(query)
+        mwk = modify_weights_and_k(query, sample_size=100,
+                                   rng=np.random.default_rng(11))
+        assert joint.penalty <= 0.5 * mqp.penalty + 1e-9
+        assert joint.penalty <= 0.5 * mwk.penalty + 1e-9
+
+    def test_q_refined_in_box(self, paper_points, paper_q,
+                              paper_missing, rng):
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        res = modify_query_weights_and_k(query, sample_size=60, rng=rng)
+        assert res.mqp is not None
+        assert np.all(res.q_refined >= res.mqp.q_refined - 1e-9)
+        assert np.all(res.q_refined <= paper_q + 1e-9)
+
+    def test_penalty_shares_consistent(self, paper_points, paper_q,
+                                       paper_missing, rng):
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        res = modify_query_weights_and_k(query, sample_size=60, rng=rng)
+        assert res.penalty == pytest.approx(
+            0.5 * res.q_penalty_share + 0.5 * res.wk_penalty_share)
+
+    def test_deterministic_given_seed(self, paper_points, paper_q,
+                                      paper_missing):
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        a = modify_query_weights_and_k(query, sample_size=50,
+                                       rng=np.random.default_rng(2))
+        b = modify_query_weights_and_k(query, sample_size=50,
+                                       rng=np.random.default_rng(2))
+        assert np.array_equal(a.q_refined, b.q_refined)
+        assert a.penalty == b.penalty
+
+
+class TestMQWKReuse:
+    def test_reuse_matches_no_reuse(self, paper_points, paper_q,
+                                    paper_missing):
+        """The reuse cache is an optimization, not an approximation:
+        identical seeds must give identical answers."""
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        with_reuse = modify_query_weights_and_k(
+            query, sample_size=40, rng=np.random.default_rng(4),
+            use_reuse=True)
+        without = modify_query_weights_and_k(
+            query, sample_size=40, rng=np.random.default_rng(4),
+            use_reuse=False)
+        assert with_reuse.q_refined == pytest.approx(without.q_refined)
+        assert with_reuse.penalty == pytest.approx(without.penalty)
+        assert with_reuse.k_refined == without.k_refined
+
+    def test_reuse_saves_tree_traversals(self):
+        pts = independent(2000, 3, seed=31)
+        wm = preference_set(1, 3, seed=32)
+        q = query_point_with_rank(pts, wm[0], 60)
+        query = WhyNotQuery(points=pts, q=q, k=10, why_not=wm)
+        tree = query.rtree
+        tree.stats.reset()
+        modify_query_weights_and_k(query, sample_size=30,
+                                   rng=np.random.default_rng(1),
+                                   use_reuse=True)
+        reuse_cost = tree.stats.node_accesses
+        tree.stats.reset()
+        modify_query_weights_and_k(query, sample_size=30,
+                                   rng=np.random.default_rng(1),
+                                   use_reuse=False)
+        no_reuse_cost = tree.stats.node_accesses
+        assert reuse_cost < no_reuse_cost
+
+
+class TestMQWKRandom:
+    def test_validity_and_bounds(self, rng):
+        pts = independent(500, 3, seed=41)
+        wm = preference_set(2, 3, seed=42)
+        q = query_point_with_rank(pts, wm[0], 50)
+        try:
+            query = WhyNotQuery(points=pts, q=q, k=8, why_not=wm)
+        except ValueError:
+            pytest.skip("generated q not missing for all vectors")
+        res = modify_query_weights_and_k(query, sample_size=60, rng=rng)
+        assert 0.0 <= res.penalty <= 1.0
+        for w in res.weights_refined:
+            assert rank_of_scan(pts, w, res.q_refined) <= res.k_refined
+
+    def test_q_sample_size_override(self, paper_points, paper_q,
+                                    paper_missing, rng):
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        res = modify_query_weights_and_k(query, sample_size=50,
+                                         q_sample_size=7, rng=rng)
+        assert res.q_samples == 7

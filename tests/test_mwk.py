@@ -1,0 +1,137 @@
+"""Unit tests for Algorithm 2 (MWK)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mwk import modify_weights_and_k
+from repro.core.penalty import PenaltyConfig
+from repro.core.types import WhyNotQuery
+from repro.data import independent, preference_set, query_point_with_rank
+from repro.topk.scan import rank_of_scan
+
+
+def _paper_query(paper_points, paper_q, paper_missing):
+    return WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                       why_not=paper_missing)
+
+
+class TestMWKPaperExample:
+    def test_result_is_valid(self, paper_points, paper_q, paper_missing,
+                             rng):
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        res = modify_weights_and_k(query, sample_size=400, rng=rng)
+        for w in res.weights_refined:
+            assert rank_of_scan(paper_points, w, paper_q) <= \
+                res.k_refined
+
+    def test_kmax_is_lemma4(self, paper_points, paper_q, paper_missing,
+                            rng):
+        """k'_max = max rank of q under Wm = 4 (Figure 1)."""
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        res = modify_weights_and_k(query, sample_size=100, rng=rng)
+        assert res.k_max == 4
+
+    def test_never_worse_than_pure_k(self, paper_points, paper_q,
+                                     paper_missing, rng):
+        """Penalty is bounded by the (Wm, k'_max) fallback = alpha."""
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        res = modify_weights_and_k(query, sample_size=200, rng=rng)
+        assert res.penalty <= 0.5 + 1e-12
+
+    def test_beats_paper_k_only_alternative(self, paper_points, paper_q,
+                                            paper_missing, rng):
+        """The paper argues weight modification (penalty ~0.12 in its
+        normalization) beats raising k (penalty 0.5)."""
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        res = modify_weights_and_k(query, sample_size=800, rng=rng)
+        assert res.penalty < 0.5
+        assert res.delta_k == 0    # best answer keeps k = 3
+
+    def test_refined_vectors_on_simplex(self, paper_points, paper_q,
+                                        paper_missing, rng):
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        res = modify_weights_and_k(query, sample_size=200, rng=rng)
+        sums = res.weights_refined.sum(axis=1)
+        assert sums == pytest.approx(np.ones(len(sums)), abs=1e-9)
+        assert np.all(res.weights_refined >= -1e-12)
+
+    def test_deterministic_given_seed(self, paper_points, paper_q,
+                                      paper_missing):
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        a = modify_weights_and_k(query, sample_size=100,
+                                 rng=np.random.default_rng(5))
+        b = modify_weights_and_k(query, sample_size=100,
+                                 rng=np.random.default_rng(5))
+        assert np.array_equal(a.weights_refined, b.weights_refined)
+        assert a.k_refined == b.k_refined
+        assert a.penalty == b.penalty
+
+
+class TestMWKBehaviour:
+    def test_larger_sample_not_worse_on_average(self, paper_points,
+                                                paper_q, paper_missing):
+        """Penalty trends down as |S| grows (Figure 12's shape).
+
+        Compared under a common random stream so the small sample is a
+        prefix-style subset in distribution; we only require the big
+        sample to win on average across seeds.
+        """
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        small, big = [], []
+        for seed in range(5):
+            small.append(modify_weights_and_k(
+                query, sample_size=20,
+                rng=np.random.default_rng(seed)).penalty)
+            big.append(modify_weights_and_k(
+                query, sample_size=500,
+                rng=np.random.default_rng(seed)).penalty)
+        assert np.mean(big) <= np.mean(small) + 1e-9
+
+    def test_alpha_zero_prefers_k_change(self, paper_points, paper_q,
+                                         paper_missing, rng):
+        """With alpha = 0 raising k is free, so the optimum is the
+        pure-k fallback with zero weight change."""
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        cfg = PenaltyConfig(alpha=0.0, beta=1.0)
+        res = modify_weights_and_k(query, sample_size=100, rng=rng,
+                                   config=cfg)
+        assert res.penalty == pytest.approx(0.0, abs=1e-12)
+        assert res.delta_w == pytest.approx(0.0)
+        assert res.k_refined == res.k_max
+
+    def test_beta_zero_prefers_weight_change(self, paper_points,
+                                             paper_q, paper_missing,
+                                             rng):
+        """With beta = 0 weight changes are free: expect delta_k = 0."""
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        cfg = PenaltyConfig(alpha=1.0, beta=0.0)
+        res = modify_weights_and_k(query, sample_size=400, rng=rng,
+                                   config=cfg)
+        assert res.delta_k == 0
+        assert res.penalty == pytest.approx(0.0, abs=1e-12)
+
+    def test_include_originals_never_hurts(self, paper_points, paper_q,
+                                           paper_missing):
+        query = _paper_query(paper_points, paper_q, paper_missing)
+        with_orig = modify_weights_and_k(
+            query, sample_size=150, rng=np.random.default_rng(3),
+            include_originals=True)
+        without = modify_weights_and_k(
+            query, sample_size=150, rng=np.random.default_rng(3),
+            include_originals=False)
+        assert with_orig.penalty <= without.penalty + 1e-12
+
+    def test_random_dataset_validity(self, rng):
+        pts = independent(600, 3, seed=21)
+        wm = preference_set(3, 3, seed=22)
+        q = query_point_with_rank(pts, wm[0], 60)
+        try:
+            query = WhyNotQuery(points=pts, q=q, k=10, why_not=wm)
+        except ValueError:
+            pytest.skip("generated q not missing for all vectors")
+        res = modify_weights_and_k(query, sample_size=300, rng=rng)
+        assert res.k_refined >= 10
+        assert res.k_refined <= res.k_max
+        for w in res.weights_refined:
+            assert rank_of_scan(pts, w, q) <= res.k_refined
+        assert 0.0 <= res.penalty <= 1.0

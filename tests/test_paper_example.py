@@ -1,0 +1,122 @@
+"""Integration test: the paper's running example, end to end.
+
+Walks the complete narrative of Sections 1-4 on the Figure 1 data:
+Apple's computer q(4, 4), the four customers, the reverse top-3 query,
+Kevin and Julia's why-not question, and all three WQRTQ refinements.
+Every intermediate value the paper states explicitly is asserted.
+"""
+
+import numpy as np
+import pytest
+
+from repro import WQRTQ
+from repro.rtopk.mono import mrtopk_2d, mrtopk_contains
+from repro.topk.scan import rank_of_scan, topk_scan
+
+
+@pytest.fixture()
+def engine(paper_points, paper_q, paper_weights) -> WQRTQ:
+    return WQRTQ(paper_points, paper_q, 3, weights=paper_weights)
+
+
+class TestPaperNarrative:
+    def test_top3_per_customer(self, paper_points):
+        """Figure 1(c) top-3 sets (over P, excluding q)."""
+        per_customer = {
+            (0.1, 0.9): [0, 1, 3],     # Kevin: p1, p2, p4
+            (0.3, 0.7): [0, 1, 3],     # Anna:  p1 (1.3), p2 (3.9), p4 (4.8)
+            (0.9, 0.1): [2, 0, 6],     # Julia: p3 (1.8), p1 (1.9), p7 (3.4)
+        }
+        for w, expected in per_customer.items():
+            assert topk_scan(paper_points, list(w), 3).tolist() == \
+                expected
+
+    def test_reverse_top3_result(self, engine):
+        """Tony and Anna rank q among their top-3 (Section 1)."""
+        assert engine.reverse_topk().tolist() == [1, 2]
+
+    def test_kevin_julia_are_why_not(self, engine, paper_weights):
+        missing = engine.missing_weights()
+        assert missing.tolist() == [[0.9, 0.1], [0.1, 0.9]]
+
+    def test_explanation_matches_section3(self, engine):
+        """Section 3: for Kevin, p1, p2 and p4 are responsible."""
+        missing = engine.missing_weights()
+        explanations = engine.explain(missing)
+        kevin = explanations[1]
+        assert kevin.culprit_ids.tolist() == [0, 1, 3]
+
+    def test_mono_result_matches_figure2(self, paper_points, paper_q):
+        """MRTOP3(q) = weighting vectors between B(1/6, 5/6) and
+        C(3/4, 1/4)."""
+        [interval] = mrtopk_2d(paper_points, paper_q, 3)
+        assert interval.lo == pytest.approx(1 / 6)
+        assert interval.hi == pytest.approx(3 / 4)
+
+    def test_figure2_named_vectors(self, paper_points, paper_q):
+        for w, inside in [((1 / 6, 5 / 6), True),
+                          ((3 / 4, 1 / 4), True),
+                          ((1 / 10, 9 / 10), False),
+                          ((4 / 5, 1 / 5), False)]:
+            assert mrtopk_contains(paper_points, paper_q, 3,
+                                   list(w)) == inside
+
+
+class TestPaperRefinements:
+    def test_mqp_beats_both_illustrations(self, engine, paper_points):
+        """Section 4.2 illustrates q'(3, 2.5) (0.318) and q''(2.5, 3.5)
+        (0.279); the optimum must be cheaper and valid."""
+        missing = engine.missing_weights()
+        res = engine.modify_query_point(missing)
+        assert res.penalty < 0.279
+        for w in missing:
+            assert rank_of_scan(paper_points, w, res.q_refined) <= 3
+
+    def test_paper_illustrations_are_valid_refinements(self,
+                                                       paper_points):
+        """Sanity on the paper's own examples: q'(3, 2.5) and
+        q''(2.5, 3.5) do put Kevin and Julia in the top-3."""
+        for q_new in ([3.0, 2.5], [2.5, 3.5]):
+            for w in ([0.9, 0.1], [0.1, 0.9]):
+                assert rank_of_scan(paper_points, w, q_new) <= 3
+
+    def test_mwk_finds_weight_only_refinement(self, engine,
+                                              paper_points, paper_q):
+        """Section 4.3: vectors near (0.18, 0.82) / (0.75, 0.25) fix
+        the query with k unchanged; MWK should find such an answer and
+        beat the k-only alternative (penalty 0.5)."""
+        missing = engine.missing_weights()
+        res = engine.modify_weights_and_k(
+            missing, sample_size=800, rng=np.random.default_rng(0))
+        assert res.k_refined == 3
+        assert res.penalty < 0.5
+        for w in res.weights_refined:
+            assert rank_of_scan(paper_points, w, paper_q) <= 3
+
+    def test_paper_mwk_illustration_is_valid(self, paper_points,
+                                             paper_q):
+        """(0.18, 0.82) and (0.75, 0.25) indeed admit q at k = 3."""
+        assert rank_of_scan(paper_points, [0.18, 0.82], paper_q) <= 3
+        assert rank_of_scan(paper_points, [0.75, 0.25], paper_q) <= 3
+
+    def test_mqwk_compromise(self, engine, paper_points):
+        """Section 4.4: the joint refinement must beat both single-
+        sided ones under the joint penalty (gamma = lambda = 0.5)."""
+        missing = engine.missing_weights()
+        rng = np.random.default_rng(42)
+        mqp = engine.modify_query_point(missing)
+        mwk = engine.modify_weights_and_k(
+            missing, sample_size=200, rng=np.random.default_rng(42))
+        mqwk = engine.modify_all(missing, sample_size=200, rng=rng)
+        assert mqwk.penalty <= 0.5 * mqp.penalty + 1e-9
+        assert mqwk.penalty <= 0.5 * mwk.penalty + 1e-9
+        for w in mqwk.weights_refined:
+            assert rank_of_scan(paper_points, w, mqwk.q_refined) <= \
+                mqwk.k_refined
+
+    def test_paper_mqwk_illustration_is_valid(self, paper_points):
+        """Section 4.4's example: q'(3.8, 3.8) with (0.135, 0.865) and
+        (0.8, 0.2) puts both customers in the reverse top-3."""
+        q_new = [3.8, 3.8]
+        for w in ([0.135, 0.865], [0.8, 0.2]):
+            assert rank_of_scan(paper_points, w, q_new) <= 3

@@ -1,0 +1,149 @@
+"""Unit tests for the penalty models (Equations 1, 3, 4, 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.penalty import (
+    DEFAULT_PENALTY,
+    PenaltyConfig,
+    delta_k,
+    delta_weights,
+    penalty_joint,
+    penalty_query_point,
+    penalty_weights_k,
+)
+
+
+class TestEquation1:
+    def test_paper_example_qprime(self):
+        """q(4,4) -> q'(3,2.5): the paper reports 0.318."""
+        assert penalty_query_point([4, 4], [3, 2.5]) == pytest.approx(
+            0.318, abs=1e-3)
+
+    def test_paper_example_qdoubleprime(self):
+        """q(4,4) -> q''(2.5,3.5): the paper reports 0.279."""
+        assert penalty_query_point([4, 4], [2.5, 3.5]) == pytest.approx(
+            0.279, abs=1e-3)
+
+    def test_zero_for_unchanged(self):
+        assert penalty_query_point([4, 4], [4, 4]) == 0.0
+
+    def test_one_for_origin(self):
+        assert penalty_query_point([4, 4], [0, 0]) == pytest.approx(1.0)
+
+    def test_zero_q_raises(self):
+        with pytest.raises(ValueError):
+            penalty_query_point([0, 0], [1, 1])
+
+    def test_monotone_in_distance(self):
+        q = np.array([4.0, 4.0])
+        p_near = penalty_query_point(q, [3.9, 3.9])
+        p_far = penalty_query_point(q, [3.0, 3.0])
+        assert p_near < p_far
+
+
+class TestEquation3:
+    def test_delta_k_increase(self):
+        assert delta_k(3, 5) == 2
+
+    def test_delta_k_decrease_is_free(self):
+        """The paper: a smaller k' costs nothing (set Δk = 0)."""
+        assert delta_k(6, 3) == 0
+
+    def test_delta_weights_sum(self):
+        w = np.array([[1.0, 0.0], [0.0, 1.0]])
+        w2 = np.array([[0.0, 1.0], [0.0, 1.0]])
+        assert delta_weights(w, w2) == pytest.approx(np.sqrt(2.0))
+
+    def test_delta_weights_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            delta_weights([[0.5, 0.5]], [[0.5, 0.5], [0.4, 0.6]])
+
+
+class TestPenaltyConfig:
+    def test_defaults_are_half(self):
+        assert DEFAULT_PENALTY.alpha == DEFAULT_PENALTY.beta == 0.5
+        assert DEFAULT_PENALTY.gamma == DEFAULT_PENALTY.lam == 0.5
+
+    def test_rejects_bad_alpha_beta(self):
+        with pytest.raises(ValueError):
+            PenaltyConfig(alpha=0.7, beta=0.5)
+
+    def test_rejects_bad_gamma_lambda(self):
+        with pytest.raises(ValueError):
+            PenaltyConfig(gamma=0.9, lam=0.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PenaltyConfig(alpha=-0.5, beta=1.5)
+
+
+class TestEquation4:
+    def test_pure_k_modification_paper(self, paper_missing):
+        """Keep Wm, raise k 3 -> 4 with k_max = 4: penalty 0.5.
+
+        This is the paper's second worked alternative in Section 4.3.
+        """
+        penalty = penalty_weights_k(paper_missing, paper_missing,
+                                    k=3, k_refined=4, k_max=4)
+        assert penalty == pytest.approx(0.5)
+
+    def test_pure_weight_modification_paper(self, paper_missing):
+        """The paper's first alternative: w_kevin -> (0.18, 0.82),
+        w_julia -> (0.75, 0.25), k unchanged.
+
+        With ΔWm_max = |Wm|·√2 this model yields ≈0.058 (see DESIGN.md
+        on the garbled normalization in the paper's copy, which reports
+        0.121 — same order, same ranking of the two alternatives).
+        """
+        refined = np.array([[0.75, 0.25],    # Julia's refinement
+                            [0.18, 0.82]])   # Kevin's refinement
+        penalty = penalty_weights_k(paper_missing, refined,
+                                    k=3, k_refined=3, k_max=4)
+        assert penalty == pytest.approx(0.0575, abs=2e-3)
+        # The ordering the paper derives must hold: modifying weights
+        # beats modifying k.
+        assert penalty < 0.5
+
+    def test_bounds(self, rng):
+        """Penalty is in [0, 1] for arbitrary simplex refinements."""
+        for _ in range(50):
+            m, d = int(rng.integers(1, 5)), int(rng.integers(2, 6))
+            w = rng.dirichlet(np.ones(d), size=m)
+            w2 = rng.dirichlet(np.ones(d), size=m)
+            k = int(rng.integers(1, 20))
+            k_max = k + int(rng.integers(1, 30))
+            k_ref = int(rng.integers(1, k_max + 1))
+            p = penalty_weights_k(w, w2, k, k_ref, k_max)
+            assert 0.0 <= p <= 1.0
+
+    def test_degenerate_kmax_equals_k(self, paper_missing):
+        p = penalty_weights_k(paper_missing, paper_missing, 3, 3, 3)
+        assert p == 0.0
+
+    def test_alpha_beta_blend(self, paper_missing):
+        cfg = PenaltyConfig(alpha=1.0, beta=0.0)
+        p = penalty_weights_k(paper_missing, paper_missing, 3, 4, 5,
+                              cfg)
+        assert p == pytest.approx(0.5)   # alpha * 1/2
+
+
+class TestEquation5:
+    def test_zero_when_nothing_changes(self, paper_missing):
+        p = penalty_joint([4, 4], [4, 4], paper_missing, paper_missing,
+                          3, 3, 4)
+        assert p == 0.0
+
+    def test_additive_blend(self, paper_missing):
+        p = penalty_joint([4, 4], [2, 2], paper_missing, paper_missing,
+                          3, 4, 4)
+        # gamma * 0.5 + lam * (alpha * 1.0) = 0.25 + 0.25.
+        assert p == pytest.approx(0.5)
+
+    def test_bounded_by_one(self, paper_missing, rng):
+        for _ in range(20):
+            q2 = rng.random(2) * 4
+            w2 = rng.dirichlet(np.ones(2), size=2)
+            p = penalty_joint([4, 4], q2, paper_missing, w2, 3,
+                              int(rng.integers(1, 10)), 8)
+            assert 0.0 <= p <= 1.0

@@ -1,0 +1,348 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property captures a theorem or definition of the paper rather
+than an implementation detail:
+
+* dominance is a strict partial order;
+* ranks from the (D, I) partition match full-scan ranks (Section 4.3);
+* BRS equals sequential scan on arbitrary data (BRS correctness);
+* any point of the safe-region system keeps q in every why-not top-k
+  (Definition 7 / Lemma 3);
+* MQP's answer is feasible and no sampled safe point is closer
+  (optimality certificate);
+* MWK/MQWK refinements are always *valid* (refined vectors admit q)
+  and their penalties bounded as Lemmas 4-6 dictate.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.incomparable import find_incomparable
+from repro.core.mqp import modify_query_point
+from repro.core.mwk import modify_weights_and_k
+from repro.core.penalty import penalty_weights_k
+from repro.core.safe_region import safe_region_system
+from repro.core.sampling import ranks_under_weights
+from repro.core.types import WhyNotQuery
+from repro.geometry.dominance import dominates, incomparable
+from repro.index import RTree
+from repro.topk.brs import BRSEngine
+from repro.topk.scan import rank_of_scan, topk_scan
+
+# ---------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------
+
+_dims = st.integers(min_value=2, max_value=4)
+
+
+def _points(n_min=5, n_max=60):
+    return _dims.flatmap(lambda d: arrays(
+        np.float64, st.tuples(st.integers(n_min, n_max), st.just(d)),
+        elements=st.floats(0.0, 1.0, allow_nan=False, width=32),
+    ))
+
+
+def _point(dim):
+    return arrays(np.float64, (dim,),
+                  elements=st.floats(0.0, 1.0, allow_nan=False,
+                                     width=32))
+
+
+def _weight(dim):
+    # 0.015625 = 2**-6 is exactly representable at width 32.
+    return arrays(
+        np.float64, (dim,),
+        elements=st.floats(0.015625, 1.0, allow_nan=False, width=32),
+    ).map(lambda v: v / v.sum())
+
+
+# ---------------------------------------------------------------------
+# Dominance: strict partial order
+# ---------------------------------------------------------------------
+
+@given(_dims.flatmap(lambda d: st.tuples(_point(d), _point(d))))
+def test_dominance_asymmetric(pair):
+    a, b = pair
+    assert not (dominates(a, b) and dominates(b, a))
+
+
+@given(_dims.flatmap(lambda d: st.tuples(_point(d), _point(d),
+                                         _point(d))))
+def test_dominance_transitive(triple):
+    a, b, c = triple
+    if dominates(a, b) and dominates(b, c):
+        assert dominates(a, c)
+
+
+@given(_dims.flatmap(lambda d: st.tuples(_point(d), _point(d),
+                                         _weight(d))))
+def test_dominance_implies_score_order(args):
+    """If a dominates b, a scores no worse under any weighting vector."""
+    a, b, w = args
+    if dominates(a, b):
+        assert float(w @ a) <= float(w @ b) + 1e-12
+
+
+@given(_dims.flatmap(lambda d: st.tuples(_point(d), _point(d))))
+def test_incomparable_symmetric(pair):
+    a, b = pair
+    assert incomparable(a, b) == incomparable(b, a)
+
+
+# ---------------------------------------------------------------------
+# Rank consistency: partition-based ranks == full-scan ranks
+# ---------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(_points(), st.data())
+def test_partition_rank_equals_scan_rank(pts, data):
+    d = pts.shape[1]
+    q = data.draw(_point(d))
+    w = data.draw(_weight(d))
+    res = find_incomparable(pts, q)
+    inc = pts[res.incomparable_ids]
+    dom = pts[res.dominating_ids]
+    got = ranks_under_weights(w.reshape(1, -1), inc, dom, q)[0]
+    assert got == rank_of_scan(pts, w, q)
+
+
+# ---------------------------------------------------------------------
+# BRS == scan on arbitrary data
+# ---------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_points(n_min=8), st.data())
+def test_brs_equals_scan(pts, data):
+    d = pts.shape[1]
+    w = data.draw(_weight(d))
+    k = data.draw(st.integers(1, len(pts)))
+    tree = RTree(pts, capacity=5)
+    brs_ids = BRSEngine(tree).topk(w, k)
+    scan_ids = topk_scan(pts, w, k)
+    # Scores must match element-wise (ids may differ only at ties).
+    assert np.allclose(pts[brs_ids] @ w, pts[scan_ids] @ w)
+
+
+# ---------------------------------------------------------------------
+# Safe region: Definition 7
+# ---------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(_points(n_min=10), st.data())
+def test_safe_region_membership_implies_topk(pts, data):
+    d = pts.shape[1]
+    w = data.draw(_weight(d))
+    k = data.draw(st.integers(1, max(1, len(pts) // 2)))
+    q = np.asarray(pts.max(axis=0))          # a clearly-losing product
+    if rank_of_scan(pts, w, q) <= k:
+        return                               # not a why-not case
+    system = safe_region_system(pts, q, w.reshape(1, -1), k)
+    cand = data.draw(_point(d)) * q
+    if system.contains(cand, atol=1e-12):
+        assert rank_of_scan(pts, w, cand) <= k
+
+
+# ---------------------------------------------------------------------
+# MQP: feasibility + no sampled point in the region beats it
+# ---------------------------------------------------------------------
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_points(n_min=20, n_max=50), st.data())
+def test_mqp_feasible_and_locally_optimal(pts, data):
+    d = pts.shape[1]
+    w = data.draw(_weight(d))
+    q = np.asarray(pts.max(axis=0)) * 0.95 + 0.05
+    k = 3
+    if rank_of_scan(pts, w, q) <= k:
+        return
+    query = WhyNotQuery(points=pts, q=q, k=k, why_not=w.reshape(1, -1))
+    res = modify_query_point(query)
+    # Feasible:
+    assert rank_of_scan(pts, w, res.q_refined) <= k
+    assert np.all(res.q_refined <= q + 1e-9)
+    # No sampled safe point closer to q:
+    system = safe_region_system(pts, q, w.reshape(1, -1), k)
+    best = float(np.linalg.norm(res.q_refined - q))
+    rng = np.random.default_rng(0)
+    for cand in rng.random((200, d)) * q:
+        if system.contains(cand, atol=1e-12):
+            assert np.linalg.norm(cand - q) >= best - 1e-6
+
+
+# ---------------------------------------------------------------------
+# MWK: validity + Lemma 4/5 bounds
+# ---------------------------------------------------------------------
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_points(n_min=20, n_max=50), st.data())
+def test_mwk_valid_and_bounded(pts, data):
+    d = pts.shape[1]
+    w = data.draw(_weight(d))
+    q = np.asarray(pts.max(axis=0)) * 0.9 + 0.1
+    k = 2
+    if rank_of_scan(pts, w, q) <= k:
+        return
+    query = WhyNotQuery(points=pts, q=q, k=k, why_not=w.reshape(1, -1))
+    res = modify_weights_and_k(query, sample_size=60,
+                               rng=np.random.default_rng(3))
+    # Validity: every refined vector admits q at the refined k.
+    for w_ref in res.weights_refined:
+        assert rank_of_scan(pts, w_ref, q) <= res.k_refined
+    # Lemma 4: k' never exceeds k'_max; never drops below k.
+    assert k <= res.k_refined <= res.k_max
+    # Pure-k fallback bound: penalty <= alpha.
+    assert res.penalty <= 0.5 + 1e-12
+    # Penalty self-consistency with the model.
+    recomputed = penalty_weights_k(
+        query.why_not, res.weights_refined, k, res.k_refined, res.k_max)
+    assert abs(recomputed - res.penalty) < 1e-9
+
+
+# ---------------------------------------------------------------------
+# QP solver: KKT certificates on random strictly-feasible problems
+# ---------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 5), st.integers(1, 6), st.integers(0, 10_000))
+def test_qp_solver_kkt_certificate(n, m, seed):
+    from repro.qp import solve_qp
+
+    rng = np.random.default_rng(seed)
+    h_mat = 2.0 * np.eye(n)
+    c_vec = rng.normal(size=n)
+    g_mat = rng.normal(size=(m, n))
+    h_vec = rng.random(m) + 0.5          # origin strictly feasible
+    res = solve_qp(h_mat, c_vec, g_mat, h_vec)
+    assert res.ok
+    assert res.kkt_residual < 1e-5
+    # Primal feasibility of the returned point.
+    assert np.all(g_mat @ res.x <= h_vec + 1e-6)
+    # Dual feasibility.
+    assert np.all(res.dual_ineq >= -1e-9)
+
+
+# ---------------------------------------------------------------------
+# Audit: algorithm outputs always audit as valid
+# ---------------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_points(n_min=25, n_max=50), st.data())
+def test_algorithm_outputs_audit_valid(pts, data):
+    from repro.core.audit import audit_result
+    from repro.core.mwk import modify_weights_and_k as mwk
+
+    d = pts.shape[1]
+    w = data.draw(_weight(d))
+    q = np.asarray(pts.max(axis=0)) * 0.9 + 0.1
+    k = 2
+    if rank_of_scan(pts, w, q) <= k:
+        return
+    query = WhyNotQuery(points=pts, q=q, k=k, why_not=w.reshape(1, -1))
+    mqp_res = modify_query_point(query)
+    assert audit_result(query, mqp_res).valid
+    mwk_res = mwk(query, sample_size=40, rng=np.random.default_rng(1))
+    assert audit_result(query, mwk_res).valid
+
+
+# ---------------------------------------------------------------------
+# Exact oracle: grid search can never beat it
+# ---------------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1000))
+def test_exact_oracle_beats_grid(seed):
+    from repro.core.exact import exact_mwk_2d
+    from repro.core.penalty import penalty_weights_k
+
+    rng = np.random.default_rng(seed)
+    pts = rng.random((60, 2))
+    w0 = rng.dirichlet(np.ones(2))
+    q = rng.random(2) * 0.6 + 0.3
+    k = 3
+    if rank_of_scan(pts, w0, q) <= k:
+        return
+    oracle = exact_mwk_2d(pts, q, w0, k)
+    for w1 in np.linspace(0, 1, 301):
+        w = np.array([w1, 1 - w1])
+        rank = rank_of_scan(pts, w, q)
+        if rank > oracle.k_max:
+            continue
+        penalty = penalty_weights_k(w0.reshape(1, -1),
+                                    w.reshape(1, -1), k, max(k, rank),
+                                    oracle.k_max)
+        assert penalty >= oracle.penalty - 1e-9
+
+
+# ---------------------------------------------------------------------
+# Geometry: polygon clipping and MBR algebra
+# ---------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_clipping_never_grows_area(data):
+    from repro.geometry.convex2d import Polygon2D, \
+        clip_polygon_halfplane
+
+    poly = Polygon2D.box((0.0, 0.0), (1.0, 1.0))
+    nx = data.draw(st.floats(-1, 1, allow_nan=False, width=32))
+    ny = data.draw(st.floats(-1, 1, allow_nan=False, width=32))
+    off = data.draw(st.floats(-2, 2, allow_nan=False, width=32))
+    clipped = clip_polygon_halfplane(poly, (nx, ny), off)
+    assert clipped.area() <= poly.area() + 1e-9
+    # Every vertex of the clipped polygon satisfies the constraint.
+    for x, y in clipped.vertices:
+        assert nx * x + ny * y <= off + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(_points(n_min=2, n_max=30), st.data())
+def test_mbr_union_covers_members(pts, data):
+    from repro.index.mbr import MBR
+
+    split = data.draw(st.integers(1, len(pts) - 1)) \
+        if len(pts) > 1 else 1
+    a = MBR.of_points(pts[:split])
+    b = MBR.of_points(pts[split:]) if split < len(pts) else a
+    u = MBR.union([a, b])
+    for p in pts:
+        assert u.contains_point(p, atol=1e-12)
+    assert u.volume() >= max(a.volume(), b.volume()) - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(_points(n_min=4, n_max=40), st.data())
+def test_mbr_min_score_is_lower_bound(pts, data):
+    from repro.index.mbr import MBR
+
+    d = pts.shape[1]
+    w = data.draw(_weight(d))
+    box = MBR.of_points(pts)
+    assert np.all(pts @ w >= box.min_score(w) - 1e-9)
+    assert np.all(pts @ w <= box.max_score(w) + 1e-9)
+
+
+# ---------------------------------------------------------------------
+# PREFER views: watermark correctness under arbitrary vectors
+# ---------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_points(n_min=10, n_max=60), st.data())
+def test_prefer_view_equals_scan(pts, data):
+    from repro.topk.views import RankedView
+
+    d = pts.shape[1]
+    v = data.draw(_weight(d))
+    w = data.draw(_weight(d))
+    k = data.draw(st.integers(1, len(pts)))
+    view = RankedView(pts, v)
+    ids, _ = view.topk(w, k)
+    expected = topk_scan(pts, w, k)
+    assert np.allclose(pts[ids] @ w, pts[expected] @ w)

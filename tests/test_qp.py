@@ -1,0 +1,203 @@
+"""Unit tests for the interior-point QP solver and problem builders."""
+
+import numpy as np
+import pytest
+
+from repro.qp import (
+    QPStatus,
+    closest_point_in_halfspaces,
+    closest_weight_with_rank_plane,
+    solve_qp,
+)
+
+scipy_opt = pytest.importorskip("scipy.optimize")
+
+
+def _scipy_reference(h_mat, c_vec, g_mat=None, h_vec=None, a_mat=None,
+                     b_vec=None, lb=None, ub=None):
+    """SLSQP reference solution for cross-checking."""
+    n = len(c_vec)
+
+    def objective(x):
+        return 0.5 * x @ h_mat @ x + c_vec @ x
+
+    constraints = []
+    if g_mat is not None:
+        g_arr, h_arr = np.atleast_2d(g_mat), np.asarray(h_vec, float)
+        constraints.append({
+            "type": "ineq",
+            "fun": lambda x: h_arr - g_arr @ x,
+        })
+    if a_mat is not None:
+        a_arr, b_arr = np.atleast_2d(a_mat), np.asarray(b_vec, float)
+        constraints.append({
+            "type": "eq",
+            "fun": lambda x: a_arr @ x - b_arr,
+        })
+    bounds = None
+    if lb is not None or ub is not None:
+        lo = np.full(n, -np.inf) if lb is None else np.broadcast_to(
+            np.asarray(lb, float), (n,))
+        hi = np.full(n, np.inf) if ub is None else np.broadcast_to(
+            np.asarray(ub, float), (n,))
+        bounds = list(zip(lo, hi))
+    x0 = np.zeros(n) if bounds is None else np.array(
+        [np.clip(0.0, b[0], b[1]) for b in bounds])
+    res = scipy_opt.minimize(objective, x0, method="SLSQP",
+                             bounds=bounds, constraints=constraints)
+    assert res.success, res.message
+    return res.x, res.fun
+
+
+class TestUnconstrained:
+    def test_quadratic_minimum(self):
+        # min (x-3)^2 + (y+1)^2  ->  H=2I, c=(-6, 2).
+        res = solve_qp(2 * np.eye(2), [-6.0, 2.0])
+        assert res.ok
+        assert res.x == pytest.approx([3.0, -1.0])
+
+
+class TestBoxOnly:
+    def test_projection_onto_box(self):
+        res = solve_qp(2 * np.eye(2), [-6.0, 2.0], lb=[0, 0], ub=[1, 1])
+        assert res.ok
+        assert res.x == pytest.approx([1.0, 0.0], abs=1e-6)
+
+    def test_partial_bounds_with_inf(self):
+        res = solve_qp(2 * np.eye(2), [-6.0, 2.0],
+                       lb=[0.0, -np.inf], ub=[np.inf, 0.5])
+        assert res.ok
+        assert res.x == pytest.approx([3.0, -1.0], abs=1e-6)
+
+
+class TestInequalities:
+    def test_single_halfspace(self):
+        # Project (3, 3) onto x + y <= 2: optimum (1, 1).
+        res = solve_qp(2 * np.eye(2), [-6.0, -6.0],
+                       [[1.0, 1.0]], [2.0])
+        assert res.ok
+        assert res.x == pytest.approx([1.0, 1.0], abs=1e-6)
+
+    def test_inactive_constraint(self):
+        res = solve_qp(2 * np.eye(2), [-2.0, -2.0],
+                       [[1.0, 1.0]], [100.0])
+        assert res.x == pytest.approx([1.0, 1.0], abs=1e-6)
+
+    def test_against_scipy_random(self, rng):
+        for trial in range(8):
+            n, m = 4, 6
+            h_mat = 2 * np.eye(n)
+            c_vec = rng.normal(size=n)
+            g_mat = rng.normal(size=(m, n))
+            # Keep origin strictly feasible: b > 0.
+            h_vec = rng.random(m) + 0.5
+            res = solve_qp(h_mat, c_vec, g_mat, h_vec)
+            assert res.ok, trial
+            ref_x, ref_f = _scipy_reference(h_mat, c_vec, g_mat, h_vec)
+            got_f = 0.5 * res.x @ h_mat @ res.x + c_vec @ res.x
+            assert got_f == pytest.approx(ref_f, abs=1e-5)
+
+    def test_kkt_residual_small(self, rng):
+        h_mat = 2 * np.eye(3)
+        c_vec = [-2.0, -4.0, -1.0]
+        g_mat = rng.normal(size=(4, 3))
+        h_vec = rng.random(4) + 1.0
+        res = solve_qp(h_mat, c_vec, g_mat, h_vec)
+        assert res.kkt_residual < 1e-6
+
+    def test_infeasible_detected(self):
+        # x <= -1 and -x <= -2 (x >= 2): empty.
+        res = solve_qp(2 * np.eye(1), [0.0],
+                       [[1.0], [-1.0]], [-1.0, -2.0], max_iter=60)
+        assert res.status in (QPStatus.INFEASIBLE, QPStatus.MAX_ITER)
+        assert not res.ok
+
+
+class TestEqualities:
+    def test_projection_onto_plane(self):
+        # Project (1, 1) onto x + y = 1 -> (0.5, 0.5).
+        res = solve_qp(2 * np.eye(2), [-2.0, -2.0],
+                       a_mat=[[1.0, 1.0]], b_vec=[1.0])
+        assert res.ok
+        assert res.x == pytest.approx([0.5, 0.5], abs=1e-6)
+
+    def test_mixed_constraints_vs_scipy(self, rng):
+        n = 3
+        h_mat = 2 * np.eye(n)
+        c_vec = rng.normal(size=n)
+        a_mat = np.ones((1, n))
+        b_vec = [1.0]
+        res = solve_qp(h_mat, c_vec, a_mat=a_mat, b_vec=b_vec,
+                       lb=np.zeros(n))
+        assert res.ok
+        ref_x, ref_f = _scipy_reference(h_mat, c_vec, a_mat=a_mat,
+                                        b_vec=b_vec, lb=np.zeros(n))
+        got_f = 0.5 * res.x @ h_mat @ res.x + c_vec @ res.x
+        assert got_f == pytest.approx(ref_f, abs=1e-5)
+
+
+class TestShapes:
+    def test_h_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_qp(np.eye(3), [1.0, 2.0])
+
+    def test_inequality_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_qp(np.eye(2), [0.0, 0.0], [[1.0, 0.0]], [1.0, 2.0])
+
+    def test_equality_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_qp(np.eye(2), [0.0, 0.0],
+                     a_mat=[[1.0, 0.0, 0.0]], b_vec=[1.0])
+
+
+class TestProblemBuilders:
+    def test_closest_point_matches_polygon_oracle(self, paper_points,
+                                                  paper_q):
+        """QP answer equals the exact 2-D polygon projection."""
+        from repro.geometry.convex2d import halfplane_intersection
+
+        kevin, julia = [0.1, 0.9], [0.9, 0.1]
+        p4, p7 = paper_points[3], paper_points[6]
+        a = np.array([kevin, julia])
+        b = np.array([np.dot(kevin, p4), np.dot(julia, p7)])
+        res = closest_point_in_halfspaces(paper_q, a, b,
+                                          lower=[0, 0], upper=paper_q)
+        assert res.ok
+        poly = halfplane_intersection(a, b, lower=(0, 0),
+                                      upper=tuple(paper_q))
+        oracle = np.asarray(poly.closest_point_to(tuple(paper_q)))
+        assert res.x == pytest.approx(oracle, abs=1e-5)
+
+    def test_closest_point_objective_is_distance(self, paper_q):
+        res = closest_point_in_halfspaces(
+            paper_q, [[0.5, 0.5]], [2.0], lower=[0, 0], upper=paper_q)
+        assert res.objective == pytest.approx(
+            float(np.sum((res.x - paper_q) ** 2)), abs=1e-9)
+
+    def test_weight_rank_plane_projection(self):
+        w = np.array([0.1, 0.9])
+        p = np.array([9.0, 3.0])
+        q = np.array([4.0, 4.0])
+        res = closest_weight_with_rank_plane(w, p, q)
+        assert res.ok
+        w_new = res.x
+        assert w_new.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(w_new >= -1e-8)
+        assert w_new @ (p - q) == pytest.approx(0.0, abs=1e-6)
+
+    def test_weight_rank_plane_is_minimal(self, rng):
+        """No random feasible point beats the QP projection."""
+        w = rng.dirichlet(np.ones(3))
+        p = np.array([0.9, 0.1, 0.5])
+        q = np.array([0.4, 0.5, 0.45])
+        res = closest_weight_with_rank_plane(w, p, q)
+        diff = p - q
+        for _ in range(200):
+            u, v = rng.dirichlet(np.ones(3)), rng.dirichlet(np.ones(3))
+            gu, gv = u @ diff, v @ diff
+            if gu * gv >= 0:
+                continue
+            t = gu / (gu - gv)
+            cand = (1 - t) * u + t * v
+            assert np.sum((cand - w) ** 2) >= res.objective - 1e-6

@@ -1,0 +1,169 @@
+"""Unit tests for the reverse top-k engines (mono and bichromatic)."""
+
+import numpy as np
+import pytest
+
+from repro.data import independent, preference_set
+from repro.index import RTree
+from repro.rtopk import brtopk_naive, brtopk_rta, mrtopk_2d, \
+    mrtopk_sample
+from repro.rtopk.bichromatic import why_not_candidates
+from repro.rtopk.mono import beat_count_at, mrtopk_contains
+from repro.topk.scan import rank_of_scan
+
+
+class TestMonochromatic:
+    def test_paper_figure2(self, paper_points, paper_q):
+        """MRTOP3(q) is the segment [1/6, 3/4] of Figure 2(b)."""
+        intervals = mrtopk_2d(paper_points, paper_q, 3)
+        assert len(intervals) == 1
+        assert intervals[0].lo == pytest.approx(1.0 / 6.0)
+        assert intervals[0].hi == pytest.approx(3.0 / 4.0)
+
+    def test_paper_why_not_vectors_outside(self, paper_points, paper_q):
+        """A(1/10, 9/10) and D(4/5, 1/5) are NOT in MRTOP3(q)."""
+        assert not mrtopk_contains(paper_points, paper_q, 3, [0.1, 0.9])
+        assert not mrtopk_contains(paper_points, paper_q, 3, [0.8, 0.2])
+        assert mrtopk_contains(paper_points, paper_q, 3, [0.5, 0.5])
+
+    def test_grid_consistency(self, rng):
+        """Interval membership equals the direct rank test on a grid."""
+        pts = rng.random((60, 2))
+        q = rng.random(2) * 0.8
+        k = 5
+        intervals = mrtopk_2d(pts, q, k)
+        for w1 in np.linspace(0.001, 0.999, 101):
+            in_interval = any(iv.contains(w1, atol=1e-12)
+                              for iv in intervals)
+            rank = rank_of_scan(pts, [w1, 1 - w1], q)
+            if in_interval:
+                assert rank <= k, (w1, rank)
+            # Off-interval points may sit exactly on boundaries; allow
+            # a tolerance band before asserting exclusion.
+            elif all(abs(w1 - iv.lo) > 1e-6 and abs(w1 - iv.hi) > 1e-6
+                     for iv in intervals):
+                assert rank > k, (w1, rank)
+
+    def test_whole_space_when_q_dominates(self):
+        pts = np.array([[5.0, 5.0], [6.0, 7.0], [8.0, 2.0]])
+        intervals = mrtopk_2d(pts, [1.0, 1.0], 1)
+        assert len(intervals) == 1
+        assert intervals[0].lo == 0.0 and intervals[0].hi == 1.0
+
+    def test_empty_when_q_hopeless(self):
+        pts = np.array([[1.0, 1.0], [1.5, 1.2], [1.2, 1.5]])
+        assert mrtopk_2d(pts, [9.0, 9.0], 1) == []
+
+    def test_k_equals_n_always_full(self, paper_points, paper_q):
+        intervals = mrtopk_2d(paper_points, paper_q, 7)
+        assert len(intervals) == 1
+        assert intervals[0].width == pytest.approx(1.0)
+
+    def test_beat_count_matches_rank(self, paper_points, paper_q):
+        for w1 in (0.1, 1 / 6, 0.5, 0.75, 0.9):
+            assert beat_count_at(paper_points, paper_q, w1) + 1 == \
+                rank_of_scan(paper_points, [w1, 1 - w1], paper_q)
+
+    def test_interval_vector_helpers(self, paper_points, paper_q):
+        iv = mrtopk_2d(paper_points, paper_q, 3)[0]
+        w = iv.midpoint_vector()
+        assert w.sum() == pytest.approx(1.0)
+        assert rank_of_scan(paper_points, w, paper_q) <= 3
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            mrtopk_2d(np.ones((3, 3)), [0, 0, 0], 1)
+
+    def test_invalid_k(self, paper_points, paper_q):
+        with pytest.raises(ValueError):
+            mrtopk_2d(paper_points, paper_q, 0)
+
+
+class TestBichromatic:
+    def test_paper_example(self, paper_points, paper_weights, paper_q):
+        """BRTOP3(q) = {Tony, Anna} (indices 1 and 2)."""
+        out = brtopk_naive(paper_points, paper_weights, paper_q, 3)
+        assert out.tolist() == [1, 2]
+
+    def test_rta_equals_naive_paper(self, paper_points, paper_weights,
+                                    paper_q):
+        rta = brtopk_rta(paper_points, paper_weights, paper_q, 3)
+        assert rta.tolist() == [1, 2]
+
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_rta_equals_naive_random(self, k):
+        pts = independent(800, 3, seed=5)
+        wts = preference_set(60, 3, seed=6)
+        q = np.quantile(pts, 0.2, axis=0)
+        naive = brtopk_naive(pts, wts, q, k)
+        rta_arr = brtopk_rta(pts, wts, q, k)
+        rta_tree = brtopk_rta(RTree(pts), wts, q, k)
+        assert rta_arr.tolist() == naive.tolist()
+        assert rta_tree.tolist() == naive.tolist()
+
+    def test_rank_semantics(self, paper_points, paper_weights, paper_q):
+        members = set(brtopk_naive(paper_points, paper_weights,
+                                   paper_q, 3).tolist())
+        for i, w in enumerate(paper_weights):
+            rank = rank_of_scan(paper_points, w, paper_q)
+            assert (rank <= 3) == (i in members)
+
+    def test_k_one(self, paper_points, paper_weights):
+        # q at the origin beats everything for every customer.
+        out = brtopk_naive(paper_points, paper_weights, [0.0, 0.0], 1)
+        assert out.tolist() == [0, 1, 2, 3]
+
+    def test_empty_result(self, paper_points, paper_weights):
+        out = brtopk_naive(paper_points, paper_weights, [20.0, 20.0], 1)
+        assert out.size == 0
+
+    def test_invalid_k(self, paper_points, paper_weights, paper_q):
+        with pytest.raises(ValueError):
+            brtopk_naive(paper_points, paper_weights, paper_q, 0)
+        with pytest.raises(ValueError):
+            brtopk_rta(paper_points, paper_weights, paper_q, -1)
+
+    def test_why_not_candidates(self, paper_points, paper_weights,
+                                paper_q):
+        out = why_not_candidates(paper_points, paper_weights, paper_q, 3)
+        assert out.tolist() == [0, 3]     # Julia and Kevin
+
+    def test_rta_small_dataset_guard(self, paper_weights):
+        with pytest.raises(ValueError):
+            brtopk_rta(np.ones((2, 2)), paper_weights, [1.0, 1.0], 5)
+
+
+class TestMonochromaticSampling:
+    def test_hits_are_members(self, paper_points, paper_q, rng):
+        hits, frac = mrtopk_sample(paper_points, paper_q, 3, 500, rng)
+        for w in hits:
+            assert rank_of_scan(paper_points, w, paper_q) <= 3
+
+    def test_fraction_matches_2d_intervals(self, paper_points, paper_q,
+                                           rng):
+        """In 2-D the hit fraction estimates the interval measure of
+        the exact sweep (under the Dirichlet(1,1) = uniform-w1 law)."""
+        intervals = mrtopk_2d(paper_points, paper_q, 3)
+        exact_measure = sum(iv.width for iv in intervals)
+        _, frac = mrtopk_sample(paper_points, paper_q, 3, 20_000, rng)
+        assert frac == pytest.approx(exact_measure, abs=0.02)
+
+    def test_works_in_high_dimensions(self, rng):
+        pts = independent(400, 5, seed=3)
+        q = np.quantile(pts, 0.05, axis=0)
+        hits, frac = mrtopk_sample(pts, q, 10, 300, rng)
+        assert frac > 0
+        for w in hits[:10]:
+            assert rank_of_scan(pts, w, q) <= 10
+
+    def test_zero_fraction_for_hopeless_q(self, paper_points, rng):
+        hits, frac = mrtopk_sample(paper_points, [20.0, 20.0], 1, 200,
+                                   rng)
+        assert frac == 0.0
+        assert hits.shape == (0, 2)
+
+    def test_validates_arguments(self, paper_points, paper_q, rng):
+        with pytest.raises(ValueError):
+            mrtopk_sample(paper_points, paper_q, 0, 10, rng)
+        with pytest.raises(ValueError):
+            mrtopk_sample(paper_points, paper_q, 3, 0, rng)

@@ -1,0 +1,111 @@
+"""Unit tests for safe-region construction (Definition 7, Lemma 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.safe_region import (
+    is_safe,
+    kth_points_for,
+    safe_region_polygon,
+    safe_region_system,
+)
+from repro.index import RTree
+from repro.topk.scan import rank_of_scan
+
+
+class TestKthPoints:
+    def test_paper_values(self, paper_points, paper_missing):
+        """Kevin's top-3rd point is p4 (3.6); Julia's is p7 (3.4)."""
+        tree = RTree(paper_points)
+        ids, scores = kth_points_for(tree, paper_missing, 3)
+        # paper_missing rows: [Julia(0.9,0.1), Kevin(0.1,0.9)].
+        assert ids.tolist() == [6, 3]
+        assert scores == pytest.approx([3.4, 3.6])
+
+    def test_tree_matches_scan(self, small_dataset, small_tree,
+                               small_weights):
+        a = kth_points_for(small_tree, small_weights[:5], 10)
+        b = kth_points_for(small_dataset, small_weights[:5], 10)
+        assert a[0].tolist() == b[0].tolist()
+        assert a[1] == pytest.approx(b[1])
+
+
+class TestSafeRegionSystem:
+    def test_membership_semantics(self, paper_points, paper_q,
+                                  paper_missing, rng):
+        """Every point of the system is safe (Definition 7) and
+        every unsafe sampled point is outside the system."""
+        system = safe_region_system(paper_points, paper_q,
+                                    paper_missing, 3)
+        for _ in range(300):
+            cand = rng.random(2) * paper_q
+            in_sys = system.contains(cand, atol=1e-12)
+            safe = all(
+                rank_of_scan(paper_points, w, cand) <= 3
+                for w in paper_missing)
+            if in_sys:
+                assert safe, cand
+            # The converse need not hold: the system is a *sufficient*
+            # region (scores <= the k-th point's), not necessary.
+
+    def test_origin_always_inside(self, paper_points, paper_q,
+                                  paper_missing):
+        system = safe_region_system(paper_points, paper_q,
+                                    paper_missing, 3)
+        assert system.contains(np.zeros(2))
+
+    def test_q_outside_for_valid_whynot(self, paper_points, paper_q,
+                                        paper_missing):
+        system = safe_region_system(paper_points, paper_q,
+                                    paper_missing, 3)
+        assert not system.contains(paper_q)
+
+
+class TestSafeRegionPolygon:
+    def test_polygon_matches_system(self, paper_points, paper_q,
+                                    paper_missing, rng):
+        system = safe_region_system(paper_points, paper_q,
+                                    paper_missing, 3)
+        poly = safe_region_polygon(paper_points, paper_q,
+                                   paper_missing, 3)
+        for _ in range(300):
+            cand = rng.random(2) * paper_q
+            assert poly.contains(tuple(cand), atol=1e-9) == \
+                system.contains(cand, atol=1e-9), cand
+
+    def test_polygon_nonempty(self, paper_points, paper_q,
+                              paper_missing):
+        poly = safe_region_polygon(paper_points, paper_q,
+                                   paper_missing, 3)
+        assert not poly.is_empty
+        assert poly.area() > 0
+
+    def test_requires_2d(self, small_dataset):
+        with pytest.raises(ValueError):
+            safe_region_polygon(small_dataset, np.zeros(3),
+                                np.ones((1, 3)) / 3, 5)
+
+
+class TestLemma3Subset:
+    def test_smaller_k_region_is_subset(self, paper_points, paper_q,
+                                        paper_missing, rng):
+        """SR'(q) built from top-(k-1)-th points is a subset of SR(q).
+
+        This is the containment the paper argues below Lemma 3
+        (Figure 5(b)): tighter thresholds shrink the region.
+        """
+        big = safe_region_polygon(paper_points, paper_q,
+                                  paper_missing, 3)
+        small = safe_region_polygon(paper_points, paper_q,
+                                    paper_missing, 2)
+        assert small.area() <= big.area() + 1e-12
+        for _ in range(200):
+            cand = tuple(rng.random(2) * paper_q)
+            if small.contains(cand, atol=1e-12):
+                assert big.contains(cand, atol=1e-9)
+
+
+class TestIsSafe:
+    def test_direct_check(self, paper_points, paper_q, paper_missing):
+        assert is_safe(paper_points, [0.0, 0.0], paper_missing, 3)
+        assert not is_safe(paper_points, paper_q, paper_missing, 3)

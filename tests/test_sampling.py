@@ -1,0 +1,146 @@
+"""Unit tests for the MWK/MQWK samplers."""
+
+import numpy as np
+import pytest
+
+from repro.core.incomparable import find_incomparable
+from repro.core.sampling import (
+    ranks_under_weights,
+    sample_query_points,
+    sample_simplex,
+    sample_weights_on_hyperplanes,
+)
+from repro.geometry.vectors import is_valid_weight
+from repro.topk.scan import rank_of_scan
+
+
+class TestSimplexSampler:
+    def test_samples_are_valid_weights(self, rng):
+        out = sample_simplex(rng, 100, 4)
+        assert out.shape == (100, 4)
+        for w in out:
+            assert is_valid_weight(w)
+
+    def test_reasonably_uniform(self, rng):
+        out = sample_simplex(rng, 5000, 2)
+        # First coordinate of uniform simplex samples is U[0, 1].
+        assert out[:, 0].mean() == pytest.approx(0.5, abs=0.03)
+
+
+class TestHyperplaneSampler:
+    def test_samples_lie_on_some_hyperplane(self, paper_points, paper_q,
+                                            rng):
+        res = find_incomparable(paper_points, paper_q)
+        inc = paper_points[res.incomparable_ids]
+        samples = sample_weights_on_hyperplanes(inc, paper_q, 200, rng)
+        diffs = inc - paper_q
+        for w in samples:
+            assert is_valid_weight(w, atol=1e-6)
+            # On at least one hyperplane w . (p - q) = 0.
+            assert np.min(np.abs(diffs @ w)) < 1e-8
+
+    def test_deterministic_with_seed(self, paper_points, paper_q):
+        res = find_incomparable(paper_points, paper_q)
+        inc = paper_points[res.incomparable_ids]
+        a = sample_weights_on_hyperplanes(
+            inc, paper_q, 50, np.random.default_rng(9))
+        b = sample_weights_on_hyperplanes(
+            inc, paper_q, 50, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_empty_sample_space_raises(self, paper_q, rng):
+        with pytest.raises(ValueError, match="empty sample space"):
+            sample_weights_on_hyperplanes(
+                np.empty((0, 2)), paper_q, 10, rng)
+
+    def test_higher_dimensions(self, rng):
+        pts = rng.random((50, 5))
+        q = np.full(5, 0.5)
+        res = find_incomparable(pts, q)
+        inc = pts[res.incomparable_ids]
+        samples = sample_weights_on_hyperplanes(inc, q, 100, rng)
+        assert samples.shape == (100, 5)
+        diffs = inc - q
+        for w in samples:
+            assert np.min(np.abs(diffs @ w)) < 1e-8
+
+
+class TestQueryPointSampler:
+    def test_samples_inside_box(self, rng):
+        lo = np.array([1.0, 2.0])
+        hi = np.array([3.0, 4.0])
+        out = sample_query_points(lo, hi, 500, rng)
+        assert np.all(out >= lo) and np.all(out <= hi)
+
+    def test_degenerate_box(self, rng):
+        q = np.array([2.0, 2.0])
+        out = sample_query_points(q, q, 10, rng)
+        assert np.allclose(out, q)
+
+    def test_rejects_inverted_box(self, rng):
+        with pytest.raises(ValueError):
+            sample_query_points([3.0, 3.0], [1.0, 1.0], 5, rng)
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            sample_query_points([1.0], [1.0, 2.0], 5, rng)
+
+
+class TestRanksUnderWeights:
+    def test_matches_full_scan(self, paper_points, paper_q,
+                               paper_weights):
+        res = find_incomparable(paper_points, paper_q)
+        inc = paper_points[res.incomparable_ids]
+        dom = paper_points[res.dominating_ids]
+        got = ranks_under_weights(paper_weights, inc, dom, paper_q)
+        expected = [rank_of_scan(paper_points, w, paper_q)
+                    for w in paper_weights]
+        assert got.tolist() == expected
+
+    def test_matches_full_scan_random(self, small_dataset, rng):
+        q = rng.random(3) * 0.7 + 0.1
+        res = find_incomparable(small_dataset, q)
+        inc = small_dataset[res.incomparable_ids]
+        dom = small_dataset[res.dominating_ids]
+        wts = rng.dirichlet(np.ones(3), size=30)
+        got = ranks_under_weights(wts, inc, dom, q)
+        expected = [rank_of_scan(small_dataset, w, q) for w in wts]
+        assert got.tolist() == expected
+
+    def test_int_and_array_dominating_forms_agree(self, small_dataset,
+                                                  rng):
+        """For well-separated data the trusted count equals the
+        epsilon-exact scoring of D."""
+        q = rng.random(3) * 0.7 + 0.1
+        res = find_incomparable(small_dataset, q)
+        inc = small_dataset[res.incomparable_ids]
+        dom = small_dataset[res.dominating_ids]
+        wts = rng.dirichlet(np.ones(3), size=10)
+        a = ranks_under_weights(wts, inc, res.n_dominating, q)
+        b = ranks_under_weights(wts, inc, dom, q)
+        assert a.tolist() == b.tolist()
+
+    def test_near_tie_dominator_counts_as_tie(self):
+        """A dominator within RANK_EPS of q's score ties with q in
+        the exact (array) form — the subnormal corner hypothesis
+        found."""
+        q = np.array([1e-13, 1e-13])
+        dom = np.array([[0.0, 0.0]])
+        got = ranks_under_weights(np.array([[0.5, 0.5]]),
+                                  np.empty((0, 2)), dom, q)
+        assert got.tolist() == [1]
+
+    def test_no_incomparable_points(self, rng):
+        wts = rng.dirichlet(np.ones(2), size=5)
+        got = ranks_under_weights(wts, np.empty((0, 2)), 7, [1.0, 1.0])
+        assert got.tolist() == [8] * 5
+
+    def test_chunking_consistency(self, small_dataset, rng):
+        q = np.full(3, 0.5)
+        res = find_incomparable(small_dataset, q)
+        inc = small_dataset[res.incomparable_ids]
+        wts = rng.dirichlet(np.ones(3), size=64)
+        a = ranks_under_weights(wts, inc, res.n_dominating, q)
+        b = ranks_under_weights(wts, inc, res.n_dominating, q,
+                                chunk_floats=128)
+        assert a.tolist() == b.tolist()

@@ -1,0 +1,110 @@
+"""Multi-seed validity stress: refinements must never be invalid.
+
+The single most important guarantee of the library is that every
+returned refinement actually answers the why-not question.  This
+module hammers that guarantee across seeds, dataset shapes, |Wm|
+sizes and tolerance configurations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.audit import audit_result
+from repro.core.framework import WQRTQ
+from repro.core.mqp import modify_query_point
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.mwk import modify_weights_and_k
+from repro.core.penalty import PenaltyConfig
+from repro.core.types import WhyNotQuery
+from repro.data import make_dataset, preference_set, query_point_with_rank
+from repro.topk.scan import rank_of_scan
+
+
+def _try_build(kind, n, d, k, rank, wm_size, seed):
+    pts = make_dataset(kind, n, d, seed=seed)
+    wts = preference_set(wm_size * 4, d, seed=seed + 1)
+    q = query_point_with_rank(pts, wts[0], rank)
+    chosen = [wts[0]]
+    for w in wts[1:]:
+        if len(chosen) == wm_size:
+            break
+        if rank_of_scan(pts, w, q) > k:
+            chosen.append(w)
+    if len(chosen) < wm_size:
+        return None
+    return WhyNotQuery(points=pts, q=q, k=k, why_not=np.asarray(chosen))
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("kind", ["independent", "anticorrelated"])
+def test_all_algorithms_always_valid(kind, seed):
+    query = _try_build(kind, 800, 3, 8, 33, wm_size=2, seed=seed * 7)
+    if query is None:
+        pytest.skip("workload assembly failed for this seed")
+    rng = np.random.default_rng(seed)
+    results = [
+        modify_query_point(query),
+        modify_weights_and_k(query, sample_size=80, rng=rng),
+        modify_query_weights_and_k(query, sample_size=40, rng=rng),
+    ]
+    for result in results:
+        audit = audit_result(query, result)
+        assert audit.valid, (kind, seed, type(result).__name__)
+
+
+@pytest.mark.parametrize("alpha", [0.0, 0.25, 0.75, 1.0])
+def test_mwk_valid_under_any_tolerance(alpha):
+    query = _try_build("independent", 600, 3, 8, 41, wm_size=1,
+                       seed=11)
+    if query is None:
+        pytest.skip("workload assembly failed")
+    config = PenaltyConfig(alpha=alpha, beta=1.0 - alpha)
+    res = modify_weights_and_k(query, sample_size=100,
+                               rng=np.random.default_rng(3),
+                               config=config)
+    for w in res.weights_refined:
+        assert rank_of_scan(query.points, w, query.q) <= res.k_refined
+    assert 0.0 <= res.penalty <= 1.0
+
+
+@pytest.mark.parametrize("gamma", [0.1, 0.5, 0.9])
+def test_framework_respects_penalty_config(gamma):
+    """The façade must thread its PenaltyConfig into MQWK: the joint
+    penalty recomputes exactly from the reported shares."""
+    pts = make_dataset("independent", 500, 2, seed=21)
+    wts = preference_set(1, 2, seed=22)
+    q = query_point_with_rank(pts, wts[0], 31)
+    config = PenaltyConfig(gamma=gamma, lam=1.0 - gamma)
+    engine = WQRTQ(pts, q, 5, penalty_config=config)
+    res = engine.modify_all(wts, sample_size=40,
+                            rng=np.random.default_rng(1))
+    assert res.penalty == pytest.approx(
+        gamma * res.q_penalty_share
+        + (1 - gamma) * res.wk_penalty_share)
+
+
+def test_extreme_k_edges():
+    """k = 1 (hardest) and k = rank - 1 (easiest) both work."""
+    pts = make_dataset("independent", 400, 3, seed=31)
+    wts = preference_set(1, 3, seed=32)
+    q = query_point_with_rank(pts, wts[0], 25)
+    for k in (1, 24):
+        query = WhyNotQuery(points=pts, q=q, k=k, why_not=wts)
+        res = modify_query_point(query)
+        assert rank_of_scan(pts, wts[0], res.q_refined) <= k
+        mwk = modify_weights_and_k(query, sample_size=60,
+                                   rng=np.random.default_rng(k))
+        assert mwk.k_refined <= mwk.k_max
+
+
+def test_identical_why_not_vectors():
+    """Duplicated vectors in Wm are legal and refined consistently."""
+    pts = make_dataset("independent", 400, 3, seed=41)
+    wts = preference_set(1, 3, seed=42)
+    q = query_point_with_rank(pts, wts[0], 31)
+    dup = np.vstack([wts[0], wts[0]])
+    query = WhyNotQuery(points=pts, q=q, k=5, why_not=dup)
+    res = modify_weights_and_k(query, sample_size=80,
+                               rng=np.random.default_rng(5))
+    for w in res.weights_refined:
+        assert rank_of_scan(pts, w, q) <= res.k_refined

@@ -1,0 +1,166 @@
+"""Unit tests for the top-k engines (scan, BRS, progressive)."""
+
+import numpy as np
+import pytest
+
+from repro.data import independent, preference_set
+from repro.index import RTree
+from repro.topk import (
+    BRSEngine,
+    kth_point_scan,
+    progressive_topk,
+    rank_of_point,
+    rank_of_scan,
+    topk_scan,
+)
+
+
+class TestScan:
+    def test_paper_top3_kevin(self, paper_points):
+        # TOP3 under Kevin (0.1, 0.9) = {p1, p2, p4} per Section 3
+        # (scores 1.1, 3.3, 3.6 in Figure 1(c)); ids 0, 1, 3.
+        ids = topk_scan(paper_points, [0.1, 0.9], 3)
+        assert ids.tolist() == [0, 1, 3]
+
+    def test_ordering_is_by_score(self, paper_points):
+        ids = topk_scan(paper_points, [0.5, 0.5], 7)
+        scores = paper_points[ids] @ np.array([0.5, 0.5])
+        assert np.all(np.diff(scores) >= 0)
+
+    def test_k_clamped(self, paper_points):
+        assert len(topk_scan(paper_points, [0.5, 0.5], 100)) == 7
+
+    def test_k_zero_raises(self, paper_points):
+        with pytest.raises(ValueError):
+            topk_scan(paper_points, [0.5, 0.5], 0)
+
+    def test_tie_break_by_id(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [0.0, 0.0]])
+        ids = topk_scan(pts, [0.5, 0.5], 2)
+        assert ids.tolist() == [2, 0]
+
+    def test_kth_point_scan(self, paper_points):
+        # Tony (0.5, 0.5): scores 1.5, 4.5, then a 5.0 tie between p3
+        # and p7 broken by id -> the 3rd point is p3 (id 2).
+        pid, sc = kth_point_scan(paper_points, [0.5, 0.5], 3)
+        assert pid == 2
+        assert sc == pytest.approx(5.0)
+        # Kevin (0.1, 0.9): 3rd point is p4 at 3.6.
+        pid, sc = kth_point_scan(paper_points, [0.1, 0.9], 3)
+        assert pid == 3
+        assert sc == pytest.approx(3.6)
+
+    def test_kth_point_too_large(self, paper_points):
+        with pytest.raises(ValueError):
+            kth_point_scan(paper_points, [0.5, 0.5], 8)
+
+
+class TestRank:
+    def test_paper_ranks(self, paper_points, paper_q):
+        # Figure 1(c): q ranks 4th for Kevin and Julia (hence they are
+        # why-not vectors for k=3), 2nd for Tony and 3rd for Anna
+        # (hence both belong to BRTOP3(q)).
+        assert rank_of_scan(paper_points, [0.1, 0.9], paper_q) == 4
+        assert rank_of_scan(paper_points, [0.9, 0.1], paper_q) == 4
+        assert rank_of_scan(paper_points, [0.5, 0.5], paper_q) == 2
+        assert rank_of_scan(paper_points, [0.3, 0.7], paper_q) == 3
+
+    def test_tie_favours_q(self):
+        pts = np.array([[2.0, 2.0]])
+        assert rank_of_scan(pts, [0.5, 0.5], [2.0, 2.0]) == 1
+
+    def test_best_rank_is_one(self, paper_points):
+        assert rank_of_scan(paper_points, [0.5, 0.5], [0.0, 0.0]) == 1
+
+
+class TestBRS:
+    @pytest.mark.parametrize("capacity", [4, 16, 64])
+    def test_matches_scan(self, capacity, rng):
+        pts = rng.random((300, 3))
+        tree = RTree(pts, capacity=capacity)
+        engine = BRSEngine(tree)
+        for _ in range(10):
+            w = rng.dirichlet(np.ones(3))
+            k = int(rng.integers(1, 50))
+            assert engine.topk(w, k).tolist() == topk_scan(
+                pts, w, k).tolist()
+
+    def test_matches_scan_insert_tree(self, rng):
+        pts = rng.random((200, 2))
+        tree = RTree(pts, capacity=6, method="insert")
+        engine = BRSEngine(tree)
+        w = [0.3, 0.7]
+        assert engine.topk(w, 15).tolist() == topk_scan(
+            pts, w, 15).tolist()
+
+    def test_kth_point_matches_scan(self, small_tree, small_dataset,
+                                    small_weights):
+        engine = BRSEngine(small_tree)
+        for w in small_weights[:5]:
+            assert engine.kth_point(w, 10) == pytest.approx(
+                kth_point_scan(small_dataset, w, 10))
+
+    def test_kth_point_too_large_raises(self, paper_points):
+        engine = BRSEngine(RTree(paper_points))
+        with pytest.raises(ValueError):
+            engine.kth_point([0.5, 0.5], 8)
+
+    def test_rank_of_matches_scan(self, small_tree, small_dataset,
+                                  small_weights, rng):
+        engine = BRSEngine(small_tree)
+        for w in small_weights[:5]:
+            q = rng.random(3)
+            assert engine.rank_of(w, q) == rank_of_scan(
+                small_dataset, w, q)
+
+    def test_progressive_is_lazy(self, small_dataset):
+        """Consuming k results must not touch the whole tree."""
+        tree = RTree(small_dataset, capacity=8)
+        tree.stats.reset()
+        BRSEngine(tree).topk([0.4, 0.3, 0.3], 3)
+        assert tree.stats.node_accesses < tree.node_count
+
+    def test_iter_ranked_streams_in_order(self, small_tree):
+        scores = [sc for _, sc in BRSEngine(small_tree).iter_ranked(
+            [1 / 3] * 3)]
+        assert scores == sorted(scores)
+        assert len(scores) == 500
+
+    def test_k_nonpositive_raises(self, small_tree):
+        with pytest.raises(ValueError):
+            BRSEngine(small_tree).topk([1 / 3] * 3, 0)
+
+
+class TestProgressiveHelpers:
+    def test_until_score_stops_before_q(self, paper_points, paper_q):
+        got = list(progressive_topk(paper_points, [0.1, 0.9],
+                                    until_score=4.0))
+        # Kevin: p1 (1.1), p2 (3.3), p4 (3.6) score below q's 4.0.
+        assert [pid for pid, _ in got] == [0, 1, 3]
+
+    def test_limit(self, paper_points):
+        got = list(progressive_topk(paper_points, [0.5, 0.5], limit=2))
+        assert len(got) == 2
+
+    def test_rtree_and_array_agree(self, small_dataset, small_tree):
+        w = [0.2, 0.4, 0.4]
+        a = list(progressive_topk(small_dataset, w, limit=20))
+        b = list(progressive_topk(small_tree, w, limit=20))
+        assert [p for p, _ in a] == [p for p, _ in b]
+
+    def test_rank_of_point_dispatch(self, small_dataset, small_tree):
+        w = [0.5, 0.25, 0.25]
+        q = np.array([0.4, 0.4, 0.4])
+        assert rank_of_point(small_dataset, w, q) == rank_of_point(
+            small_tree, w, q)
+
+
+class TestScale:
+    def test_brs_consistency_large(self):
+        pts = independent(5000, 4, seed=11)
+        tree = RTree(pts)
+        wts = preference_set(3, 4, seed=12)
+        engine = BRSEngine(tree)
+        for w in wts:
+            assert engine.topk(w, 25).tolist() == topk_scan(
+                pts, w, 25).tolist()

@@ -1,0 +1,165 @@
+"""Cross-engine tests: TA and Onion against scan and BRS.
+
+Four independent top-k implementations (scan, BRS, TA, Onion) must
+return identical ranked ids on identical workloads — a strong mutual
+correctness argument for the substrate every WQRTQ algorithm stands
+on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import anticorrelated, independent, preference_set
+from repro.index import RTree
+from repro.topk import (
+    BRSEngine,
+    OnionIndex,
+    TAEngine,
+    convex_hull_2d,
+    topk_scan,
+)
+
+
+class TestTAEngine:
+    def test_paper_example(self, paper_points):
+        engine = TAEngine(paper_points)
+        assert engine.topk([0.1, 0.9], 3).tolist() == [0, 1, 3]
+
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    def test_matches_scan(self, d, rng):
+        pts = rng.random((300, d))
+        engine = TAEngine(pts)
+        for _ in range(8):
+            w = rng.dirichlet(np.ones(d))
+            k = int(rng.integers(1, 40))
+            assert engine.topk(w, k).tolist() == topk_scan(
+                pts, w, k).tolist()
+
+    def test_zero_weight_dimension_skipped(self, rng):
+        pts = rng.random((100, 3))
+        engine = TAEngine(pts)
+        w = np.array([0.5, 0.5, 0.0])
+        assert engine.topk(w, 10).tolist() == topk_scan(
+            pts, w, 10).tolist()
+
+    def test_all_zero_weight(self, rng):
+        engine = TAEngine(rng.random((20, 2)))
+        assert engine.topk([0.0, 0.0], 3).tolist() == [0, 1, 2]
+
+    def test_early_termination(self, rng):
+        """TA must stop well before n sorted accesses for small k."""
+        pts = rng.random((2_000, 2))
+        engine = TAEngine(pts)
+        engine.topk([0.5, 0.5], 5)
+        assert engine.last_sorted_accesses < 2 * len(pts)
+
+    def test_kth_point(self, paper_points):
+        engine = TAEngine(paper_points)
+        pid, score = engine.kth_point([0.1, 0.9], 3)
+        assert pid == 3
+        assert score == pytest.approx(3.6)
+
+    def test_k_clamped_and_validated(self, rng):
+        engine = TAEngine(rng.random((10, 2)))
+        assert len(engine.topk([0.5, 0.5], 100)) == 10
+        with pytest.raises(ValueError):
+            engine.topk([0.5, 0.5], 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TAEngine(np.empty((0, 2)))
+
+    def test_weight_dim_mismatch(self, rng):
+        engine = TAEngine(rng.random((10, 2)))
+        with pytest.raises(ValueError):
+            engine.topk([0.5, 0.3, 0.2], 2)
+
+
+class TestConvexHull:
+    def test_square_hull(self):
+        pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1], [0.5, 0.5]])
+        hull = set(convex_hull_2d(pts).tolist())
+        assert hull == {0, 1, 2, 3}
+
+    def test_hull_is_ccw(self, rng):
+        pts = rng.random((50, 2))
+        hull = convex_hull_2d(pts)
+        h = pts[hull]
+        # shoelace > 0 for CCW.
+        x, y = h[:, 0], h[:, 1]
+        area = 0.5 * (np.dot(x, np.roll(y, -1))
+                      - np.dot(y, np.roll(x, -1)))
+        assert area > 0
+
+    def test_degenerate_inputs(self):
+        assert convex_hull_2d([[1.0, 2.0]]).tolist() == [0]
+        assert len(convex_hull_2d([[0, 0], [1, 1]])) == 2
+        collinear = np.array([[0, 0], [1, 1], [2, 2], [3, 3]],
+                             dtype=float)
+        hull = convex_hull_2d(collinear)
+        assert set(hull.tolist()) <= {0, 3}
+
+    def test_all_points_inside_hull(self, rng):
+        pts = rng.random((80, 2))
+        hull_ids = convex_hull_2d(pts)
+        hull = pts[hull_ids]
+        # Every point is a convex combination check via half-planes:
+        # walk hull edges (CCW), all points must be left of each edge.
+        for i in range(len(hull)):
+            a, b = hull[i], hull[(i + 1) % len(hull)]
+            cross = ((b[0] - a[0]) * (pts[:, 1] - a[1])
+                     - (b[1] - a[1]) * (pts[:, 0] - a[0]))
+            assert np.all(cross >= -1e-9)
+
+
+class TestOnionIndex:
+    def test_layers_partition_dataset(self, rng):
+        pts = rng.random((120, 2))
+        onion = OnionIndex(pts)
+        all_ids = np.sort(np.concatenate(onion.layers))
+        assert all_ids.tolist() == list(range(120))
+
+    def test_paper_example(self, paper_points):
+        onion = OnionIndex(paper_points)
+        assert onion.topk([0.1, 0.9], 3).tolist() == [0, 1, 3]
+
+    @pytest.mark.parametrize("gen", [independent, anticorrelated])
+    def test_matches_scan(self, gen, rng):
+        pts = gen(250, 2, seed=13)
+        onion = OnionIndex(pts)
+        for _ in range(8):
+            w = rng.dirichlet(np.ones(2))
+            k = int(rng.integers(1, 30))
+            assert onion.topk(w, k).tolist() == topk_scan(
+                pts, w, k).tolist()
+
+    def test_early_termination_small_k(self):
+        pts = independent(1_000, 2, seed=4)
+        onion = OnionIndex(pts)
+        onion.topk([0.5, 0.5], 1)
+        assert onion.last_layers_scanned <= 2
+        assert onion.depth > 5
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            OnionIndex(rng.random((10, 3)))
+
+    def test_invalid_k(self, paper_points):
+        with pytest.raises(ValueError):
+            OnionIndex(paper_points).topk([0.5, 0.5], 0)
+
+
+class TestFourEngineAgreement:
+    def test_all_engines_agree(self):
+        pts = independent(400, 2, seed=99)
+        wts = preference_set(5, 2, seed=98)
+        tree = RTree(pts, capacity=16)
+        brs = BRSEngine(tree)
+        ta = TAEngine(pts)
+        onion = OnionIndex(pts)
+        for w in wts:
+            for k in (1, 7, 25):
+                expected = topk_scan(pts, w, k).tolist()
+                assert brs.topk(w, k).tolist() == expected
+                assert ta.topk(w, k).tolist() == expected
+                assert onion.topk(w, k).tolist() == expected

@@ -1,0 +1,95 @@
+"""Tests for the PREFER-style materialized ranked views."""
+
+import numpy as np
+import pytest
+
+from repro.data import independent, preference_set
+from repro.topk import topk_scan
+from repro.topk.views import PreferIndex, RankedView
+
+
+class TestRankedView:
+    def test_exact_for_view_vector_itself(self, rng):
+        pts = rng.random((200, 3))
+        v = np.array([0.3, 0.4, 0.3])
+        view = RankedView(pts, v)
+        ids, scanned = view.topk(v, 10)
+        assert ids.tolist() == topk_scan(pts, v, 10).tolist()
+        # Perfect coverage: the scan stops almost immediately.
+        assert scanned <= 15
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scan_for_nearby_vectors(self, seed):
+        pts = independent(300, 3, seed=seed)
+        v = np.array([1 / 3, 1 / 3, 1 / 3])
+        view = RankedView(pts, v)
+        rng = np.random.default_rng(seed)
+        for _ in range(6):
+            w = rng.dirichlet(np.ones(3) * 20)   # near the centre
+            ids, scanned = view.topk(w, 8)
+            assert ids.tolist() == topk_scan(pts, w, 8).tolist()
+            assert scanned <= len(pts)
+
+    def test_matches_scan_for_far_vectors(self, rng):
+        """Correct even when coverage is poor (scan just goes deep)."""
+        pts = independent(200, 2, seed=9)
+        view = RankedView(pts, [0.9, 0.1])
+        w = [0.05, 0.95]
+        ids, _ = view.topk(w, 5)
+        assert ids.tolist() == topk_scan(pts, w, 5).tolist()
+
+    def test_coverage_properties(self, rng):
+        pts = rng.random((50, 3))
+        v = np.array([0.5, 0.25, 0.25])
+        view = RankedView(pts, v)
+        assert view.coverage(v) == pytest.approx(1.0)
+        assert view.coverage([0.25, 0.5, 0.25]) == pytest.approx(0.5)
+
+    def test_coverage_zero_view_column(self, rng):
+        pts = rng.random((50, 2))
+        view = RankedView(pts, [1.0, 0.0])
+        assert view.coverage([0.5, 0.5]) == 0.0
+        assert view.coverage([1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_deeper_scan_for_farther_query(self):
+        pts = independent(1_000, 2, seed=17)
+        view = RankedView(pts, [0.5, 0.5])
+        _, near = view.topk([0.45, 0.55], 5)
+        _, far = view.topk([0.05, 0.95], 5)
+        assert near <= far
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            RankedView(rng.random((10, 2)), [-0.5, 1.5])
+        with pytest.raises(ValueError, match="non-negative"):
+            RankedView(rng.random((10, 2)) - 5.0, [0.5, 0.5])
+        view = RankedView(rng.random((10, 2)), [0.5, 0.5])
+        with pytest.raises(ValueError):
+            view.topk([0.5, 0.5], 0)
+
+
+class TestPreferIndex:
+    def test_routes_to_best_view(self):
+        pts = independent(300, 2, seed=23)
+        index = PreferIndex(pts, [[0.9, 0.1], [0.5, 0.5], [0.1, 0.9]])
+        near_first = index.best_view([0.85, 0.15])
+        assert np.allclose(near_first.view_vector, [0.9, 0.1])
+
+    def test_matches_scan_over_weight_sweep(self):
+        pts = independent(400, 3, seed=29)
+        views = preference_set(4, 3, seed=30)
+        index = PreferIndex(pts, views)
+        queries = preference_set(10, 3, seed=31)
+        for w in queries:
+            assert index.topk(w, 12).tolist() == topk_scan(
+                pts, w, 12).tolist()
+
+    def test_fallback_when_uncovered(self, rng):
+        pts = rng.random((100, 2))
+        index = PreferIndex(pts, [[1.0, 0.0]])
+        ids = index.topk([0.3, 0.7], 5)
+        assert ids.tolist() == topk_scan(pts, [0.3, 0.7], 5).tolist()
+
+    def test_requires_views(self, rng):
+        with pytest.raises(ValueError):
+            PreferIndex(rng.random((10, 2)), np.empty((0, 2)))

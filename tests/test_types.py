@@ -1,0 +1,74 @@
+"""Unit tests for WhyNotQuery validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import WhyNotQuery
+from repro.index import RTree
+
+
+class TestWhyNotQueryValidation:
+    def test_valid_paper_question(self, paper_points, paper_q,
+                                  paper_missing):
+        query = WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                            why_not=paper_missing)
+        assert query.dim == 2
+        assert query.n_why_not == 2
+        assert query.ranks().tolist() == [4, 4]
+
+    def test_rejects_vector_already_in_result(self, paper_points,
+                                              paper_q):
+        tony = np.array([[0.5, 0.5]])
+        with pytest.raises(ValueError, match="already has q"):
+            WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                        why_not=tony)
+
+    def test_require_missing_can_be_disabled(self, paper_points,
+                                             paper_q):
+        tony = np.array([[0.5, 0.5]])
+        query = WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                            why_not=tony, require_missing=False)
+        assert query.ranks().tolist() == [2]
+
+    def test_rejects_off_simplex_vector(self, paper_points, paper_q):
+        with pytest.raises(ValueError, match="simplex"):
+            WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                        why_not=[[0.9, 0.9]])
+
+    def test_rejects_dim_mismatch_q(self, paper_points, paper_missing):
+        with pytest.raises(ValueError, match="dimensionality"):
+            WhyNotQuery(points=paper_points, q=[1.0, 2.0, 3.0], k=3,
+                        why_not=paper_missing)
+
+    def test_rejects_dim_mismatch_wm(self, paper_points, paper_q):
+        with pytest.raises(ValueError, match="dimensionality"):
+            WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                        why_not=[[0.5, 0.25, 0.25]])
+
+    def test_rejects_bad_k(self, paper_points, paper_q, paper_missing):
+        with pytest.raises(ValueError, match="out of range"):
+            WhyNotQuery(points=paper_points, q=paper_q, k=0,
+                        why_not=paper_missing)
+        with pytest.raises(ValueError, match="out of range"):
+            WhyNotQuery(points=paper_points, q=paper_q, k=100,
+                        why_not=paper_missing)
+
+    def test_rejects_negative_coordinates(self, paper_missing):
+        pts = np.array([[1.0, -1.0], [2.0, 2.0]])
+        with pytest.raises(ValueError, match="non-negative"):
+            WhyNotQuery(points=pts, q=[5.0, 5.0], k=1,
+                        why_not=paper_missing)
+
+    def test_rtree_lazily_built_and_reused(self, paper_points, paper_q,
+                                           paper_missing):
+        query = WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                            why_not=paper_missing)
+        tree = query.rtree
+        assert tree is query.rtree   # cached
+
+    def test_accepts_prebuilt_tree(self, paper_points, paper_q,
+                                   paper_missing):
+        tree = RTree(paper_points)
+        query = WhyNotQuery(points=paper_points, q=paper_q, k=3,
+                            why_not=paper_missing, tree=tree)
+        assert query.rtree is tree

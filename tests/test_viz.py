@@ -1,0 +1,105 @@
+"""Unit tests for the terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.safe_region import safe_region_polygon
+from repro.rtopk.mono import mrtopk_2d
+from repro.viz import (
+    format_markdown_table,
+    log_interpolate,
+    render_curve,
+    render_intervals,
+    render_plane,
+)
+
+
+class TestRenderPlane:
+    def test_contains_query_marker(self, paper_points, paper_q):
+        art = render_plane(paper_points, paper_q)
+        assert "Q" in art
+        assert "·" in art
+
+    def test_polygon_shading(self, paper_points, paper_q,
+                             paper_missing):
+        poly = safe_region_polygon(paper_points, paper_q,
+                                   paper_missing, 3)
+        art = render_plane(paper_points, paper_q, polygon=poly,
+                           lower=(0, 0), upper=(10, 10))
+        assert "░" in art
+
+    def test_fixed_dimensions(self, paper_points, paper_q):
+        art = render_plane(paper_points, paper_q, width=30, height=10)
+        lines = art.splitlines()
+        # frame + 10 rows + frame + caption
+        assert len(lines) == 13
+        assert all(len(line) == 32 for line in lines[:-1])
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            render_plane(np.ones((3, 3)), np.zeros(3))
+
+
+class TestRenderIntervals:
+    def test_qualifying_region_shaded(self, paper_points, paper_q):
+        intervals = mrtopk_2d(paper_points, paper_q, 3)
+        art = render_intervals(intervals, width=40)
+        assert "█" in art
+        # Roughly (3/4 - 1/6) of 40 columns shaded.
+        shaded = art.splitlines()[0].count("█")
+        assert 18 <= shaded <= 28
+
+    def test_marks_drawn(self, paper_points, paper_q):
+        intervals = mrtopk_2d(paper_points, paper_q, 3)
+        art = render_intervals(intervals, marks={"K": 0.1, "J": 0.9})
+        assert "K" in art and "J" in art
+
+    def test_empty_intervals(self):
+        art = render_intervals([], width=20)
+        assert "█" not in art
+
+
+class TestRenderCurve:
+    def test_series_glyphs_present(self):
+        art = render_curve(
+            {"MQP": [0.01, 0.02, 0.04], "MWK": [0.1, 0.3, 0.9]},
+            xs=[10, 20, 30], title="demo")
+        assert "demo" in art
+        assert "M" in art
+        assert "legend" in art
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_curve({"A": [1.0, 2.0]}, xs=[1, 2, 3])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_curve({}, xs=[1])
+
+    def test_linear_scale(self):
+        art = render_curve({"A": [1.0, 2.0]}, xs=[1, 2], logy=False)
+        assert "log10" not in art
+
+
+class TestMarkdownTable:
+    def test_basic_table(self):
+        rows = [{"a": 1, "b": 0.25}, {"a": 2, "b": 0.5}]
+        table = format_markdown_table(rows, ["a", "b"])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "0.250" in lines[2]
+
+    def test_missing_cells_blank(self):
+        table = format_markdown_table([{"a": 1}], ["a", "b"])
+        assert table.splitlines()[2] == "| 1 |  |"
+
+    def test_empty_rows(self):
+        assert format_markdown_table([], ["a"]) == "(no rows)"
+
+
+class TestLogInterpolate:
+    def test_buckets(self):
+        assert log_interpolate(1.0) == 0
+        assert log_interpolate(0.05) == -2
+        assert log_interpolate(150.0) == 2
