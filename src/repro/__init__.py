@@ -25,11 +25,13 @@ True
 """
 
 from repro.core import (
+    BatchReport,
     MQPResult,
     MQWKResult,
     MWKResult,
     PenaltyConfig,
     WQRTQ,
+    WhyNotBatch,
     WhyNotExplanation,
     WhyNotQuery,
     explain_why_not,
@@ -37,6 +39,7 @@ from repro.core import (
     modify_query_weights_and_k,
     modify_weights_and_k,
 )
+from repro.engine import DatasetContext
 from repro.index import RTree
 from repro.rtopk import brtopk_naive, brtopk_rta, mrtopk_2d
 from repro.topk import BRSEngine, topk_scan
@@ -45,12 +48,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BRSEngine",
+    "BatchReport",
+    "DatasetContext",
     "MQPResult",
     "MQWKResult",
     "MWKResult",
     "PenaltyConfig",
     "RTree",
     "WQRTQ",
+    "WhyNotBatch",
     "WhyNotExplanation",
     "WhyNotQuery",
     "brtopk_naive",

@@ -23,6 +23,7 @@ from repro.core.mqwk import modify_query_weights_and_k
 from repro.core.mwk import modify_weights_and_k
 from repro.core.types import WhyNotQuery
 from repro.data import make_dataset, preference_set, query_point_with_rank
+from repro.engine.context import DatasetContext
 from repro.geometry.vectors import normalize_weight
 from repro.topk.scan import rank_of_scan
 
@@ -70,7 +71,14 @@ class CellResult:
         return out
 
 
-def build_workload(cell: ExperimentCell) -> WhyNotQuery:
+def build_context(cell: ExperimentCell) -> DatasetContext:
+    """The shared per-cell catalogue context (dataset, cached index)."""
+    points = make_dataset(cell.dataset, cell.n, cell.d, seed=cell.seed)
+    return DatasetContext(points)
+
+
+def build_workload(cell: ExperimentCell, *,
+                   context: DatasetContext | None = None) -> WhyNotQuery:
     """Materialize the why-not question a cell prescribes.
 
     The first why-not vector is drawn uniformly from the simplex and
@@ -80,11 +88,17 @@ def build_workload(cell: ExperimentCell) -> WhyNotQuery:
     accepted only if the query point is genuinely missing from their
     top-k — mirroring a set of like-minded customers the paper's
     market scenario implies.
+
+    When ``context`` is given (built by :func:`build_context` for the
+    same cell), the question binds to its shared R-tree; otherwise a
+    private context is created.
     """
     if cell.rank <= cell.k:
         raise ValueError("cell.rank must exceed cell.k for a why-not "
                          "question to exist")
-    points = make_dataset(cell.dataset, cell.n, cell.d, seed=cell.seed)
+    if context is None:
+        context = build_context(cell)
+    points = context.points
     rng = np.random.default_rng(cell.seed + 1)
     base = preference_set(1, cell.d, seed=cell.seed + 2)[0]
     q = query_point_with_rank(points, base, cell.rank)
@@ -101,8 +115,7 @@ def build_workload(cell: ExperimentCell) -> WhyNotQuery:
         if rank_of_scan(points, candidate, q) > cell.k:
             vectors.append(candidate)
 
-    return WhyNotQuery(points=points, q=q, k=cell.k,
-                       why_not=np.asarray(vectors))
+    return context.question(q, cell.k, np.asarray(vectors))
 
 
 def run_cell(cell: ExperimentCell,
@@ -113,9 +126,14 @@ def run_cell(cell: ExperimentCell,
     ``mqwk_q_samples`` caps MQWK's query-point sample count
     independently of the weight sample size (the paper sets them
     equal, which we default to as well).
+
+    The three algorithms share one :class:`DatasetContext` (the index
+    is built once, outside the timed region); the ``FindIncom``
+    traversal stays inside the timed region, as in the paper's setup.
     """
-    query = build_workload(cell)
-    query.rtree  # build the index outside the timed region
+    context = build_context(cell)
+    query = build_workload(cell, context=context)
+    context.tree  # build the index outside the timed region
     result = CellResult(cell=cell)
 
     if "MQP" in algorithms:

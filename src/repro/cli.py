@@ -9,9 +9,18 @@ Subcommands
 ``refine``
     Answer a why-not question with MQP / MWK / MQWK on a generated
     workload (the same workloads the benchmark harness uses).
+``batch``
+    Answer a whole batch of why-not questions against one catalogue
+    through the shared :class:`~repro.engine.context.DatasetContext`
+    (optionally in parallel with ``--workers``), and report cache
+    effectiveness.
 ``bench``
     Regenerate a figure of the paper (delegates to
     :mod:`repro.bench`).
+
+Every subcommand builds one ``DatasetContext`` per catalogue and runs
+all its queries through it, so the R-tree and ``FindIncom`` partitions
+are paid once.
 
 Examples
 --------
@@ -19,6 +28,7 @@ Examples
 
     wqrtq query --dataset independent -n 5000 -d 3 -k 10
     wqrtq refine --algorithm mqwk --rank 101 --sample-size 400
+    wqrtq batch --questions 20 --products 5 --workers 4
     wqrtq bench fig9
 """
 
@@ -41,13 +51,18 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_query(args) -> int:
-    from repro.bench.harness import ExperimentCell, build_workload
+    from repro.bench.harness import (
+        ExperimentCell,
+        build_context,
+        build_workload,
+    )
     from repro.rtopk.bichromatic import brtopk_rta
 
     cell = ExperimentCell(dataset=args.dataset, n=args.cardinality,
                           d=args.dim, k=args.k, rank=args.rank,
                           wm_size=1, sample_size=1, seed=args.seed)
-    query = build_workload(cell)
+    context = build_context(cell)
+    query = build_workload(cell, context=context)
     panel = np.random.default_rng(args.seed + 5).dirichlet(
         np.ones(query.dim), size=args.panel)
     members = brtopk_rta(query.rtree, panel, query.q, args.k)
@@ -61,7 +76,11 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_refine(args) -> int:
-    from repro.bench.harness import ExperimentCell, build_workload
+    from repro.bench.harness import (
+        ExperimentCell,
+        build_context,
+        build_workload,
+    )
     from repro.core.explain import explain_why_not
     from repro.core.mqp import modify_query_point
     from repro.core.mqwk import modify_query_weights_and_k
@@ -71,7 +90,8 @@ def _cmd_refine(args) -> int:
                           d=args.dim, k=args.k, rank=args.rank,
                           wm_size=args.wm_size,
                           sample_size=args.sample_size, seed=args.seed)
-    query = build_workload(cell)
+    context = build_context(cell)
+    query = build_workload(cell, context=context)
     print(f"workload: {cell.label()}")
     print(f"q = {np.round(query.q, 4).tolist()}")
     print(f"why-not ranks: {query.ranks().tolist()}")
@@ -100,15 +120,75 @@ def _cmd_refine(args) -> int:
     if args.algorithm in ("mwk", "all"):
         res = modify_weights_and_k(query,
                                    sample_size=args.sample_size,
-                                   rng=rng)
+                                   rng=rng, context=context)
         print(f"MWK : k' = {res.k_refined} (k_max = {res.k_max}), "
               f"ΔW = {res.delta_w:.4f}, penalty = {res.penalty:.4f}")
     if args.algorithm in ("mqwk", "all"):
         res = modify_query_weights_and_k(
-            query, sample_size=args.sample_size, rng=rng)
+            query, sample_size=args.sample_size, rng=rng,
+            context=context)
         print(f"MQWK: q' = {np.round(res.q_refined, 4).tolist()}, "
               f"k' = {res.k_refined}, penalty = {res.penalty:.4f}")
     return 0
+
+
+def _cmd_batch(args) -> int:
+    import time
+
+    from repro.core.batch import WhyNotBatch
+    from repro.data import (
+        make_dataset,
+        preference_set,
+        query_point_with_rank,
+    )
+    from repro.engine.context import DatasetContext
+
+    points = make_dataset(args.dataset, args.cardinality, args.dim,
+                          seed=args.seed)
+    context = DatasetContext(points)
+    batch = WhyNotBatch(context=context)
+
+    # A realistic serving mix: a few distinct products, each asked
+    # about by several customer panels.
+    products = max(1, min(args.products, args.questions))
+    wts = preference_set(args.questions, args.dim,
+                         seed=args.seed + 3)
+    qs = []
+    for j in range(products):
+        base = preference_set(1, args.dim, seed=args.seed + 100 + j)[0]
+        qs.append(query_point_with_rank(points, base, args.rank))
+    # One buffered batched-rank call per product validates every
+    # panel at once (reusing the context's score buffer).
+    panel_ranks = [context.ranks(wts, q) for q in qs]
+    queued = 0
+    for i in range(args.questions):
+        j = i % products
+        if panel_ranks[j][i] <= args.k:
+            continue   # this panel already shortlists the product
+        batch.add_question(qs[j], args.k, wts[i:i + 1])
+        queued += 1
+
+    start = time.perf_counter()
+    report = batch.run(args.algorithm, sample_size=args.sample_size,
+                       seed=args.seed, workers=args.workers)
+    wall = time.perf_counter() - start
+    summary = report.summary()
+    print(f"batch: {queued} questions ({products} products) on "
+          f"{args.dataset}[n={args.cardinality}, d={args.dim}], "
+          f"algorithm={args.algorithm}, workers={args.workers}")
+    print(f"answered={summary['answered']} failed={summary['failed']} "
+          f"all_valid={summary['all_valid']}")
+    if summary["mean_penalty"] is not None:
+        print(f"penalty: mean={summary['mean_penalty']:.4f} "
+              f"max={summary['max_penalty']:.4f}")
+    print(f"wall time: {wall:.3f}s  "
+          f"(sum of per-item times: {summary['total_item_time']:.3f}s)")
+    stats = context.stats
+    print(f"engine cache: tree_builds={stats.tree_builds} "
+          f"findincom_traversals={stats.findincom_traversals} "
+          f"cache_hits={stats.cache_hits} "
+          f"buffer_reuses={stats.buffer_reuses}")
+    return 0 if summary["failed"] == 0 else 1
 
 
 def _cmd_bench(args) -> int:
@@ -148,6 +228,21 @@ def main(argv: list[str] | None = None) -> int:
     p_refine.add_argument("--plot", action="store_true",
                           help="render the 2-D safe region (d=2 only)")
     p_refine.set_defaults(func=_cmd_refine)
+
+    p_batch = sub.add_parser(
+        "batch", help="answer a batch of why-not questions")
+    _add_workload_args(p_batch)
+    p_batch.add_argument("--rank", type=int, default=51)
+    p_batch.add_argument("--questions", type=int, default=20,
+                         help="number of (product, panel) questions")
+    p_batch.add_argument("--products", type=int, default=5,
+                         help="distinct products the questions cover")
+    p_batch.add_argument("--sample-size", type=int, default=200)
+    p_batch.add_argument("--algorithm", default="mqwk",
+                         choices=["mqp", "mwk", "mqwk"])
+    p_batch.add_argument("--workers", type=int, default=1,
+                         help="executor threads (1 = serial)")
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_bench = sub.add_parser("bench", help="regenerate a paper figure")
     from repro.bench.figures import FIGURES

@@ -26,7 +26,7 @@ from repro.core.penalty import (
     penalty_weights_k,
 )
 from repro.core.types import MQPResult, MQWKResult, MWKResult, WhyNotQuery
-from repro.topk.scan import rank_of_scan
+from repro.engine.kernels import ranks_batch
 
 
 @dataclass(frozen=True)
@@ -92,9 +92,7 @@ def audit_refinement(query: WhyNotQuery, *, q_new=None,
     w_changed = bool(np.any(w_ref != query.why_not))
     k_changed = k_ref != query.k
 
-    ranks = np.asarray(
-        [rank_of_scan(query.points, w, q_ref) for w in w_ref],
-        dtype=np.int64)
+    ranks = ranks_batch(w_ref, query.points, q_ref)
     valid = bool(np.all(ranks <= k_ref))
 
     k_max = int(query.ranks().max())

@@ -2,11 +2,15 @@
 
 A manufacturer typically asks many why-not questions against the same
 catalogue — one per (product, customer-set) pair.  Answering them
-independently re-pays the R-tree construction and, for MQWK, the
-``FindIncom`` traversal every time.  :class:`WhyNotBatch` shares the
-index across questions, answers them with any of the three
-algorithms, and aggregates the outcomes into a report — the shape a
-market-analysis dashboard would consume.
+independently re-pays the R-tree construction and, for MWK/MQWK, the
+``FindIncom`` traversal every time.  :class:`WhyNotBatch` queues the
+questions and hands them to the engine layer: a shared
+:class:`~repro.engine.context.DatasetContext` caches the index and the
+per-product partitions, and
+:func:`~repro.engine.executor.execute_batch` answers the queue —
+serially or with ``workers > 1`` threads, result-identically — and
+aggregates the outcomes into a report, the shape a market-analysis
+dashboard would consume.
 """
 
 from __future__ import annotations
@@ -15,26 +19,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.audit import audit_result
-from repro.core.mqp import modify_query_point
-from repro.core.mqwk import modify_query_weights_and_k
-from repro.core.mwk import modify_weights_and_k
 from repro.core.penalty import DEFAULT_PENALTY, PenaltyConfig
-from repro.core.types import WhyNotQuery
+from repro.engine.context import DatasetContext
+from repro.engine.executor import ExecutionItem, execute_batch
 from repro.index.rtree import RTree
 
-
-@dataclass
-class BatchItem:
-    """One answered question inside a batch."""
-
-    index: int
-    query: WhyNotQuery
-    algorithm: str
-    result: object
-    penalty: float
-    valid: bool
-    error: str | None = None
+#: One answered question inside a batch (re-exported engine type).
+BatchItem = ExecutionItem
 
 
 @dataclass
@@ -55,8 +46,13 @@ class BatchReport:
         return np.asarray([item.penalty for item in self.items
                            if item.error is None])
 
+    def elapsed(self) -> np.ndarray:
+        """Per-item answer times in seconds (failed items included)."""
+        return np.asarray([item.elapsed for item in self.items])
+
     def summary(self) -> dict:
         pens = self.penalties()
+        times = self.elapsed()
         return {
             "answered": self.n_answered,
             "failed": self.n_failed,
@@ -64,6 +60,8 @@ class BatchReport:
             "max_penalty": float(pens.max()) if len(pens) else None,
             "all_valid": all(item.valid for item in self.items
                              if item.error is None),
+            "total_item_time": float(times.sum()) if len(times) else 0.0,
+            "max_item_time": float(times.max()) if len(times) else 0.0,
         }
 
 
@@ -73,18 +71,34 @@ class WhyNotBatch:
     Parameters
     ----------
     points:
-        The catalogue ``P``; the R-tree over it is built once.
+        The catalogue ``P``.  Ignored when ``context`` is given.
     penalty_config:
         Shared tolerance weights.
+    context:
+        Optional pre-existing :class:`DatasetContext` to ride on —
+        e.g. one shared with interactive :class:`WQRTQ` sessions so
+        the batch inherits their warmed caches.
     """
 
-    def __init__(self, points, *,
-                 penalty_config: PenaltyConfig = DEFAULT_PENALTY):
-        self.points = np.atleast_2d(np.asarray(points,
-                                               dtype=np.float64))
-        self.tree = RTree(self.points)
+    def __init__(self, points=None, *,
+                 penalty_config: PenaltyConfig = DEFAULT_PENALTY,
+                 context: DatasetContext | None = None):
+        if context is None:
+            if points is None:
+                raise ValueError("WhyNotBatch needs points or a "
+                                 "context")
+            context = DatasetContext(points)
+        elif points is not None:
+            raise ValueError("pass either points or context, not both")
+        self.context = context
+        self.points = context.points
         self.penalty_config = penalty_config
         self._questions: list[tuple[np.ndarray, int, np.ndarray]] = []
+
+    @property
+    def tree(self) -> RTree:
+        """The shared R-tree (context-cached, built on first use)."""
+        return self.context.tree
 
     def add_question(self, q, k: int, why_not) -> int:
         """Queue a question; returns its index in the batch."""
@@ -99,40 +113,17 @@ class WhyNotBatch:
         return len(self._questions)
 
     def run(self, algorithm: str = "mqp", *, sample_size: int = 200,
-            seed: int = 0) -> BatchReport:
+            seed: int = 0, workers: int = 1) -> BatchReport:
         """Answer every queued question with one algorithm.
 
         Questions that fail validation (e.g. a vector that is not
         actually missing) are reported as failed items instead of
-        aborting the batch.
+        aborting the batch.  ``workers > 1`` answers questions on a
+        thread pool; per-item seeded RNGs make the result identical to
+        the serial run.
         """
-        if algorithm not in ("mqp", "mwk", "mqwk"):
-            raise ValueError(f"unknown algorithm: {algorithm!r}")
-        report = BatchReport()
-        for index, (q, k, wm) in enumerate(self._questions):
-            try:
-                query = WhyNotQuery(points=self.points, q=q, k=k,
-                                    why_not=wm, tree=self.tree)
-                rng = np.random.default_rng(seed + index)
-                if algorithm == "mqp":
-                    result = modify_query_point(query)
-                elif algorithm == "mwk":
-                    result = modify_weights_and_k(
-                        query, sample_size=sample_size, rng=rng,
-                        config=self.penalty_config)
-                else:
-                    result = modify_query_weights_and_k(
-                        query, sample_size=sample_size, rng=rng,
-                        config=self.penalty_config)
-                audit = audit_result(query, result,
-                                     config=self.penalty_config)
-                report.items.append(BatchItem(
-                    index=index, query=query, algorithm=algorithm,
-                    result=result, penalty=audit.penalty,
-                    valid=audit.valid))
-            except ValueError as exc:
-                report.items.append(BatchItem(
-                    index=index, query=None, algorithm=algorithm,
-                    result=None, penalty=float("nan"), valid=False,
-                    error=str(exc)))
-        return report
+        items = execute_batch(
+            self.context, self._questions, algorithm,
+            sample_size=sample_size, seed=seed, workers=workers,
+            penalty_config=self.penalty_config)
+        return BatchReport(items=items)

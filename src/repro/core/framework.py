@@ -27,6 +27,7 @@ from repro.core.mqwk import modify_query_weights_and_k as _mqwk
 from repro.core.mwk import modify_weights_and_k as _mwk
 from repro.core.penalty import DEFAULT_PENALTY, PenaltyConfig
 from repro.core.types import MQPResult, MQWKResult, MWKResult, WhyNotQuery
+from repro.engine.context import DatasetContext
 from repro.index.rtree import RTree
 from repro.rtopk.bichromatic import brtopk_rta
 from repro.rtopk.mono import mrtopk_2d
@@ -48,6 +49,11 @@ class WQRTQ:
         monochromatic mode.
     tree:
         Optional pre-built R-tree over ``points``.
+    context:
+        Optional shared :class:`~repro.engine.context.DatasetContext`.
+        Pass the same context to many ``WQRTQ`` instances (one per
+        product) to share the R-tree and ``FindIncom`` partition
+        caches across them; omitted, a private context is created.
     penalty_config:
         Tolerance weights α/β/γ/λ (defaults: all 0.5, as in the paper's
         experiments).
@@ -55,14 +61,19 @@ class WQRTQ:
 
     def __init__(self, points, q, k: int, *, weights=None,
                  tree: RTree | None = None,
+                 context: DatasetContext | None = None,
                  penalty_config: PenaltyConfig = DEFAULT_PENALTY):
-        self.points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if context is None:
+            context = DatasetContext(points, tree=tree)
+        elif tree is not None:
+            raise ValueError("pass either tree or context, not both")
+        self.context = context
+        self.points = context.points
         self.q = np.asarray(q, dtype=np.float64).reshape(-1)
         self.k = int(k)
         self.weights = (None if weights is None
                         else np.atleast_2d(np.asarray(weights,
                                                       dtype=np.float64)))
-        self._tree = tree
         self.penalty_config = penalty_config
 
     # ------------------------------------------------------------------
@@ -73,9 +84,7 @@ class WQRTQ:
 
     @property
     def tree(self) -> RTree:
-        if self._tree is None:
-            self._tree = RTree(self.points)
-        return self._tree
+        return self.context.tree
 
     @property
     def dim(self) -> int:
@@ -151,7 +160,7 @@ class WQRTQ:
         """Solution 2 (Algorithm 2): nudge the customers."""
         return _mwk(self.make_question(why_not),
                     sample_size=sample_size, rng=rng,
-                    config=self.penalty_config)
+                    config=self.penalty_config, context=self.context)
 
     def modify_all(self, why_not, *, sample_size: int = 800,
                    q_sample_size: int | None = None, rng=None,
@@ -160,4 +169,4 @@ class WQRTQ:
         return _mqwk(self.make_question(why_not),
                      sample_size=sample_size,
                      q_sample_size=q_sample_size, rng=rng,
-                     config=self.penalty_config)
+                     config=self.penalty_config, context=self.context)

@@ -43,7 +43,8 @@ def modify_query_weights_and_k(query: WhyNotQuery, *,
                                rng: np.random.Generator | None = None,
                                config: PenaltyConfig = DEFAULT_PENALTY,
                                include_originals: bool = True,
-                               use_reuse: bool = True) -> MQWKResult:
+                               use_reuse: bool = True,
+                               context=None) -> MQWKResult:
     """Run Algorithm 3 and return the best joint refinement.
 
     Parameters
@@ -65,6 +66,12 @@ def modify_query_weights_and_k(query: WhyNotQuery, *,
         Disable to re-run the full ``FindIncom`` tree traversal per
         sample query point (the ablation of the paper's reuse
         technique).
+    context:
+        Optional :class:`~repro.engine.context.DatasetContext`; when
+        given, the box-reuse :class:`IncomparableCache` for ``q`` is
+        fetched from (and stored in) the context, so repeated
+        questions about one product pay the traversal once.  Ignored
+        when ``use_reuse`` is False.
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     q_samples = q_sample_size if q_sample_size is not None else sample_size
@@ -72,7 +79,12 @@ def modify_query_weights_and_k(query: WhyNotQuery, *,
     mqp_result = modify_query_point(query)
     q_min = mqp_result.q_refined
 
-    cache = IncomparableCache(query.rtree, query.q) if use_reuse else None
+    if not use_reuse:
+        cache = None
+    elif context is not None:
+        cache = context.box_cache(query.q)
+    else:
+        cache = IncomparableCache(query.rtree, query.q)
 
     def mwk_at(q_prime: np.ndarray) -> MWKResult:
         if cache is not None:

@@ -52,7 +52,7 @@ def modify_weights_and_k(query: WhyNotQuery, *, sample_size: int = 800,
                          config: PenaltyConfig = DEFAULT_PENALTY,
                          include_originals: bool = True,
                          incomparable: IncomparableResult | None = None,
-                         ) -> MWKResult:
+                         context=None) -> MWKResult:
     """Run Algorithm 2 on a validated why-not question.
 
     Parameters
@@ -69,10 +69,19 @@ def modify_weights_and_k(query: WhyNotQuery, *, sample_size: int = 800,
         Allow mixed candidates (see module docstring).
     incomparable:
         Pre-computed ``FindIncom`` result (the MQWK reuse path).
+    context:
+        Optional :class:`~repro.engine.context.DatasetContext`; when
+        given (and ``incomparable`` is not), the ``FindIncom``
+        partition is fetched from the context's per-``q`` cache, so
+        repeated questions about one product traverse the R-tree once.
     """
     rng = rng if rng is not None else np.random.default_rng(0)
-    inc = incomparable if incomparable is not None else find_incomparable(
-        query.rtree, query.q)
+    if incomparable is not None:
+        inc = incomparable
+    elif context is not None:
+        inc = context.partition(query.q)
+    else:
+        inc = find_incomparable(query.rtree, query.q)
     return _mwk_core(
         points=query.points,
         inc=inc,

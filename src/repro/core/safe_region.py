@@ -19,11 +19,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.kernels import kth_scores_batch
 from repro.geometry.convex2d import Polygon2D, halfplane_intersection
 from repro.geometry.hyperplane import HalfspaceSystem
 from repro.index.rtree import RTree
 from repro.topk.brs import BRSEngine
-from repro.topk.scan import kth_point_scan
 
 
 def kth_points_for(source, why_not, k: int) -> tuple[np.ndarray,
@@ -31,22 +31,20 @@ def kth_points_for(source, why_not, k: int) -> tuple[np.ndarray,
     """The top-k-th point (id and score) under each why-not vector.
 
     This is phase 1 of Algorithm 1 (lines 1-12): a progressive ranked
-    retrieval per why-not vector, stopped at the k-th point.
+    retrieval per why-not vector (BRS on an R-tree source), or one
+    batched k-th-point kernel call
+    (:func:`repro.engine.kernels.kth_scores_batch`) on a raw array.
     """
     wts = np.atleast_2d(np.asarray(why_not, dtype=np.float64))
-    ids = np.empty(len(wts), dtype=np.int64)
-    scores = np.empty(len(wts), dtype=np.float64)
     if isinstance(source, RTree):
+        ids = np.empty(len(wts), dtype=np.int64)
+        scores = np.empty(len(wts), dtype=np.float64)
         engine = BRSEngine(source)
         for i, w in enumerate(wts):
             pid, sc = engine.kth_point(w, k)
             ids[i], scores[i] = pid, sc
-    else:
-        pts = np.atleast_2d(np.asarray(source, dtype=np.float64))
-        for i, w in enumerate(wts):
-            pid, sc = kth_point_scan(pts, w, k)
-            ids[i], scores[i] = pid, sc
-    return ids, scores
+        return ids, scores
+    return kth_scores_batch(source, wts, k)
 
 
 def safe_region_system(source, q, why_not, k: int) -> HalfspaceSystem:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.topk.scan import RANK_EPS
+from repro.engine.kernels import CHUNK_FLOATS, ranks_batch
 
 _MAX_ROUNDS = 200
 
@@ -166,7 +166,7 @@ def sample_query_points(q_min, q, size: int,
 
 
 def ranks_under_weights(weights, incomparable_points, dominating, q, *,
-                        chunk_floats: int = 8_000_000) -> np.ndarray:
+                        chunk_floats: int = CHUNK_FLOATS) -> np.ndarray:
     """Rank of ``q`` under each weighting vector, from a FindIncom
     partition.
 
@@ -188,31 +188,10 @@ def ranks_under_weights(weights, incomparable_points, dominating, q, *,
 
     The tie tolerance (``RANK_EPS``) matches
     :func:`repro.topk.scan.rank_of_scan` exactly, so ranks computed
-    here agree with any later re-validation of a refined answer.
+    here agree with any later re-validation of a refined answer.  The
+    array work is one call into the shared kernel module
+    (:func:`repro.engine.kernels.ranks_batch`).
     """
-    wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
-    inc = np.atleast_2d(np.asarray(incomparable_points, dtype=np.float64))
-    qv = np.asarray(q, dtype=np.float64)
-    q_scores = wts @ qv
-    if isinstance(dominating, (int, np.integer)):
-        dom_beats = np.full(len(wts), int(dominating), dtype=np.int64)
-    else:
-        dom = np.atleast_2d(np.asarray(dominating, dtype=np.float64))
-        if dom.shape[0] == 0:
-            dom_beats = np.zeros(len(wts), dtype=np.int64)
-        else:
-            dom_beats = np.count_nonzero(
-                wts @ dom.T < q_scores[:, None] - RANK_EPS, axis=1)
-    if inc.shape[0] == 0:
-        return dom_beats + 1
-    chunk = max(1, chunk_floats // max(inc.shape[0], 1))
-    ranks = np.empty(len(wts), dtype=np.int64)
-    for start in range(0, len(wts), chunk):
-        block = wts[start:start + chunk]
-        scores = block @ inc.T                 # (chunk, |I|)
-        beats = np.count_nonzero(
-            scores < q_scores[start:start + chunk, None] - RANK_EPS,
-            axis=1)
-        ranks[start:start + chunk] = dom_beats[start:start + chunk] \
-            + 1 + beats
-    return ranks
+    return ranks_batch(weights, incomparable_points, q,
+                       dominating=dominating,
+                       chunk_floats=chunk_floats)

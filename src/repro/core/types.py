@@ -15,9 +15,9 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.engine.kernels import ranks_batch
 from repro.geometry.vectors import is_valid_weight
 from repro.index.rtree import RTree
-from repro.topk.progressive import rank_of_point
 
 
 @dataclass
@@ -71,11 +71,13 @@ class WhyNotQuery:
         if np.any(self.q < 0) or np.any(self.points < 0):
             raise ValueError("scores assume non-negative coordinates")
         if self.require_missing:
-            for i, w in enumerate(self.why_not):
-                if rank_of_point(self.points, w, self.q) <= self.k:
-                    raise ValueError(
-                        f"why-not vector #{i} already has q in its "
-                        f"top-{self.k}; not a valid why-not question")
+            ranks = self.ranks()
+            inside = np.nonzero(ranks <= self.k)[0]
+            if len(inside):
+                i = int(inside[0])
+                raise ValueError(
+                    f"why-not vector #{i} already has q in its "
+                    f"top-{self.k}; not a valid why-not question")
 
     # ------------------------------------------------------------------
 
@@ -95,10 +97,13 @@ class WhyNotQuery:
         return self.tree
 
     def ranks(self) -> np.ndarray:
-        """Actual rank of ``q`` under every why-not vector (Lemma 4)."""
-        return np.asarray(
-            [rank_of_point(self.points, w, self.q) for w in self.why_not],
-            dtype=np.int64)
+        """Actual rank of ``q`` under every why-not vector (Lemma 4).
+
+        One batched kernel call
+        (:func:`repro.engine.kernels.ranks_batch`) instead of a
+        progressive search per vector.
+        """
+        return ranks_batch(self.why_not, self.points, self.q)
 
 
 @dataclass(frozen=True)

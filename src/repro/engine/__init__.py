@@ -1,0 +1,64 @@
+"""Shared query-engine layer.
+
+The engine sits between the user-facing API (:class:`~repro.core.framework.WQRTQ`,
+:class:`~repro.core.batch.WhyNotBatch`, the CLI) and the paper's
+algorithms.  It owns the three cross-cutting concerns every entry
+point used to re-implement:
+
+* :mod:`repro.engine.kernels` — the single vectorized, chunked
+  score/rank kernel module (score matrices, batched ranks, top-k and
+  k-th-point selection, dominance counts);
+* :mod:`repro.engine.context` — :class:`DatasetContext`, the
+  per-catalogue cache of the R-tree, ``FindIncom`` partitions and
+  score buffers, with observable :class:`ContextStats`;
+* :mod:`repro.engine.executor` — the (optionally parallel) batch
+  serving loop with per-item timing.
+
+See DESIGN.md for the architecture rationale.
+"""
+
+from repro.engine.context import ContextStats, DatasetContext
+from repro.engine.kernels import (
+    CHUNK_FLOATS,
+    RANK_EPS,
+    beats_count,
+    iter_score_blocks,
+    kth_scores_batch,
+    rank_of,
+    ranks_batch,
+    score_matrix,
+    topk_ids,
+)
+
+_EXECUTOR_NAMES = ("ExecutionItem", "answer_one", "execute_batch")
+
+
+def __getattr__(name: str):
+    # The executor pulls in the three algorithm modules, which
+    # themselves sit on top of the kernels; importing it lazily keeps
+    # ``repro.engine.kernels`` importable from anywhere in the core
+    # without a cycle.
+    if name in _EXECUTOR_NAMES:
+        from repro.engine import executor
+
+        return getattr(executor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute "
+                         f"{name!r}")
+
+
+__all__ = [
+    "CHUNK_FLOATS",
+    "ContextStats",
+    "DatasetContext",
+    "ExecutionItem",
+    "RANK_EPS",
+    "answer_one",
+    "beats_count",
+    "execute_batch",
+    "iter_score_blocks",
+    "kth_scores_batch",
+    "rank_of",
+    "ranks_batch",
+    "score_matrix",
+    "topk_ids",
+]

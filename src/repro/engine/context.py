@@ -1,0 +1,251 @@
+"""DatasetContext — shared, cached per-catalogue execution state.
+
+The paper's workload is inherently multi-query: a manufacturer asks
+many why-not questions (one per product / customer-set pair) against
+one catalogue.  Answering each question from scratch re-pays the two
+expensive per-catalogue artifacts every time:
+
+* the **R-tree** over ``P`` (index construction), and
+* the **FindIncom** dominance partition for each query point (one
+  branch-and-bound traversal per ``q``).
+
+A :class:`DatasetContext` is the immutable home of one catalogue plus
+lazily-built, cached derivations of it.  Everything downstream —
+:class:`~repro.core.framework.WQRTQ`,
+:class:`~repro.core.batch.WhyNotBatch`, the CLI and the benchmark
+harness — constructs (or receives) one context and shares it, so a
+20-question batch builds the index once and traverses per *distinct*
+product rather than per question.  Cache effectiveness is observable
+through :class:`ContextStats`, which the acceptance tests and the
+``benchmarks/test_batch_reuse.py`` micro-benchmark assert against.
+
+Thread safety: all caches are guarded by one lock, so a context can be
+shared by the parallel batch executor
+(:mod:`repro.engine.executor`).  Cached artifacts are treated as
+immutable after insertion.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.incomparable import IncomparableCache, IncomparableResult
+from repro.index.rtree import RTree
+
+
+@dataclass
+class ContextStats:
+    """Cache-effectiveness counters of one :class:`DatasetContext`.
+
+    ``tree_builds`` and ``findincom_traversals`` count the expensive
+    work actually performed; ``partition_hits`` and
+    ``box_cache_hits`` count the traversals *avoided* by the
+    per-``q`` caches (MWK's exact partitions and MQWK's box caches
+    respectively).  ``buffer_reuses`` counts score buffer requests
+    served without a fresh allocation.
+    """
+
+    tree_builds: int = 0
+    findincom_traversals: int = 0
+    partition_hits: int = 0
+    partition_misses: int = 0
+    box_cache_hits: int = 0
+    buffer_reuses: int = 0
+
+    @property
+    def index_work(self) -> int:
+        """Total expensive index work: builds + traversals.
+
+        This is the quantity the batch-reuse acceptance criterion
+        compares between cold and warm serving paths.
+        """
+        return self.tree_builds + self.findincom_traversals
+
+    @property
+    def cache_hits(self) -> int:
+        """Total traversals avoided, across both cache kinds."""
+        return self.partition_hits + self.box_cache_hits
+
+
+class DatasetContext:
+    """Immutable catalogue + cached per-catalogue artifacts.
+
+    Parameters
+    ----------
+    points:
+        The catalogue ``P`` as an ``(n, d)`` array.  A read-only copy
+        is stored; row index is the point id used across the library.
+    tree:
+        Optional pre-built R-tree over ``points`` (adopted as-is and
+        not counted as a build).
+    capacity:
+        Node capacity forwarded to :class:`RTree` when the context
+        builds the index itself.
+    """
+
+    def __init__(self, points, *, tree: RTree | None = None,
+                 capacity: int | None = None):
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("DatasetContext requires a non-empty "
+                             "(n, d) array")
+        if tree is not None and (tree.points.shape != pts.shape
+                                 or not np.array_equal(tree.points, pts)):
+            raise ValueError("pre-built tree does not index the given "
+                             "points")
+        self.points = pts.copy()
+        self.points.setflags(write=False)
+        self._capacity = capacity
+        self._tree = tree
+        self._lock = threading.Lock()
+        self._box_caches: dict[bytes, IncomparableCache] = {}
+        self._partitions: dict[bytes, IncomparableResult] = {}
+        self._score_buffer: np.ndarray | None = None
+        self.stats = ContextStats()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.points.shape[1])
+
+    @property
+    def tree(self) -> RTree:
+        """The shared R-tree (built once, on first use)."""
+        with self._lock:
+            if self._tree is None:
+                self._tree = RTree(self.points,
+                                   capacity=self._capacity)
+                self.stats.tree_builds += 1
+            return self._tree
+
+    # ------------------------------------------------------------------
+    # FindIncom caching
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _key(q) -> bytes:
+        return np.ascontiguousarray(
+            np.asarray(q, dtype=np.float64)).tobytes()
+
+    def partition(self, q) -> IncomparableResult:
+        """Cached ``FindIncom`` partition for the query point ``q``.
+
+        The first request for a given ``q`` performs one R-tree
+        traversal (via :class:`IncomparableCache`, so MQWK's box reuse
+        rides the same artifact); repeated requests — the same product
+        asked about by different customer sets — are dictionary hits.
+        """
+        key = self._key(q)
+        with self._lock:
+            cached = self._partitions.get(key)
+            if cached is not None:
+                self.stats.partition_hits += 1
+                return cached
+        box = self.box_cache(q)
+        result = box.partition(q)
+        with self._lock:
+            self.stats.partition_misses += 1
+            self._partitions[key] = result
+        return result
+
+    def box_cache(self, q) -> IncomparableCache:
+        """Cached :class:`IncomparableCache` for the box ``[0, q]``.
+
+        One traversal serves every sample query point ``q' <= q`` —
+        the paper's Section 4.4 reuse technique, now also shared
+        *across* questions with the same ``q``.
+        """
+        key = self._key(q)
+        with self._lock:
+            cached = self._box_caches.get(key)
+            if cached is not None:
+                self.stats.box_cache_hits += 1
+                return cached
+        tree = self.tree
+        cache = IncomparableCache(tree, q)
+        with self._lock:
+            # The traversal was performed either way, so count it even
+            # when another thread won the race and ours is discarded —
+            # stats record work done, not cache contents.
+            self.stats.findincom_traversals += cache.tree_traversals
+            existing = self._box_caches.get(key)
+            if existing is not None:
+                return existing
+            self._box_caches[key] = cache
+        return cache
+
+    # ------------------------------------------------------------------
+    # Reusable score buffers
+    # ------------------------------------------------------------------
+
+    def score_buffer(self, m: int, n: int | None = None) -> np.ndarray:
+        """A reusable ``(>= m, >= n)`` float64 scratch buffer.
+
+        Grown geometrically and kept for the context's lifetime, so
+        repeated same-shaped score-matrix computations (one per
+        round of a serving loop) stop churning the allocator.  The
+        buffer is a *scratch* area for single-threaded callers like
+        :meth:`ranks`: its contents do not survive across calls, and
+        concurrent executor workers must allocate locally instead
+        (the buffer is handed out under the lock but not reserved).
+        """
+        n = self.n if n is None else int(n)
+        with self._lock:
+            buf = self._score_buffer
+            if (buf is None or buf.shape[0] < m or buf.shape[1] < n):
+                shape = (max(m, 2 * (buf.shape[0] if buf is not None
+                                     else 0), 1),
+                         max(n, buf.shape[1] if buf is not None else 0))
+                self._score_buffer = np.empty(shape, dtype=np.float64)
+            else:
+                self.stats.buffer_reuses += 1
+            return self._score_buffer
+
+    def ranks(self, weights, q) -> np.ndarray:
+        """Rank of ``q`` among the catalogue under each weight row.
+
+        The full ``(m, n)`` score matrix is materialized into the
+        reusable :meth:`score_buffer` — the repeated-call fast path a
+        serving loop wants (e.g. validating whole customer panels
+        against each product).  Single-threaded callers only; for
+        unbounded ``m × n`` or concurrent use, call
+        :func:`repro.engine.kernels.ranks_batch` (chunked, allocation
+        -local) instead.
+        """
+        from repro.engine.kernels import RANK_EPS, score_matrix
+
+        wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+        qv = np.asarray(q, dtype=np.float64)
+        buf = self.score_buffer(len(wts), self.n)
+        scores = score_matrix(wts, self.points, out=buf)
+        q_scores = wts @ qv
+        return 1 + np.count_nonzero(
+            scores < q_scores[:, None] - RANK_EPS, axis=1).astype(
+                np.int64)
+
+    # ------------------------------------------------------------------
+    # Question construction
+    # ------------------------------------------------------------------
+
+    def question(self, q, k: int, why_not, *,
+                 require_missing: bool = True):
+        """A :class:`~repro.core.types.WhyNotQuery` bound to this
+        context's shared R-tree."""
+        from repro.core.types import WhyNotQuery
+
+        return WhyNotQuery(points=self.points, q=q, k=k,
+                           why_not=why_not, tree=self.tree,
+                           require_missing=require_missing)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DatasetContext(n={self.n}, d={self.dim}, "
+                f"cached_partitions={len(self._partitions)}, "
+                f"stats={self.stats})")

@@ -1,0 +1,148 @@
+"""Batch execution of why-not questions over one DatasetContext.
+
+:func:`execute_batch` is the serving loop behind
+:class:`~repro.core.batch.WhyNotBatch`: it answers a list of queued
+``(q, k, Wm)`` questions with one of the three WQRTQ algorithms,
+sharing a :class:`~repro.engine.context.DatasetContext` so the R-tree
+and per-product ``FindIncom`` partitions are paid once per catalogue
+rather than once per question.
+
+Determinism and parallelism
+---------------------------
+Each item gets its own ``np.random.default_rng(seed + index)``, so the
+answer to question *i* depends only on the context data and ``seed`` —
+never on the order questions are processed in.  That makes the
+``workers > 1`` path (a ``concurrent.futures.ThreadPoolExecutor``;
+the heavy lifting is NumPy/BLAS, which releases the GIL) bit-identical
+to the serial path, an invariant the test suite asserts.  Context
+caches are internally locked; cache hits and misses return the same
+immutable partition objects, so sharing them across workers cannot
+change results.
+
+One caveat: the shared R-tree's
+:class:`~repro.index.rtree.RTreeStats` node-access counters (the
+paper's I/O proxy) are plain unguarded increments — accurate in the
+serial path, approximate (racy, possibly under-counted) when
+``workers > 1``.  Benchmarks that assert on node accesses must run
+serially; answers themselves are unaffected.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.audit import audit_result
+from repro.core.mqp import modify_query_point
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.mwk import modify_weights_and_k
+from repro.core.penalty import DEFAULT_PENALTY, PenaltyConfig
+from repro.engine.context import DatasetContext
+
+ALGORITHMS = ("mqp", "mwk", "mqwk")
+
+
+@dataclass
+class ExecutionItem:
+    """One answered (or failed) question with its timing."""
+
+    index: int
+    query: object          # WhyNotQuery | None
+    algorithm: str
+    result: object
+    penalty: float
+    valid: bool
+    error: str | None = None
+    elapsed: float = 0.0   # seconds of answer time (validation incl.)
+
+
+def answer_one(context: DatasetContext, index: int, q, k: int, wm,
+               algorithm: str, *, sample_size: int = 200,
+               rng: np.random.Generator | None = None,
+               penalty_config: PenaltyConfig = DEFAULT_PENALTY,
+               ) -> ExecutionItem:
+    """Answer a single question against a shared context.
+
+    Validation failures (e.g. a vector that is not actually missing)
+    are captured as failed items instead of raised, so batch callers
+    can keep going.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm: {algorithm!r}")
+    start = time.perf_counter()
+    try:
+        query = context.question(q, k, wm)
+        if algorithm == "mqp":
+            result = modify_query_point(query)
+        elif algorithm == "mwk":
+            result = modify_weights_and_k(
+                query, sample_size=sample_size, rng=rng,
+                config=penalty_config, context=context)
+        else:
+            result = modify_query_weights_and_k(
+                query, sample_size=sample_size, rng=rng,
+                config=penalty_config, context=context)
+        audit = audit_result(query, result, config=penalty_config)
+        return ExecutionItem(
+            index=index, query=query, algorithm=algorithm,
+            result=result, penalty=audit.penalty, valid=audit.valid,
+            elapsed=time.perf_counter() - start)
+    except ValueError as exc:
+        return ExecutionItem(
+            index=index, query=None, algorithm=algorithm, result=None,
+            penalty=float("nan"), valid=False, error=str(exc),
+            elapsed=time.perf_counter() - start)
+
+
+def execute_batch(context: DatasetContext, questions, algorithm: str,
+                  *, sample_size: int = 200, seed: int = 0,
+                  workers: int = 1,
+                  penalty_config: PenaltyConfig = DEFAULT_PENALTY,
+                  ) -> list[ExecutionItem]:
+    """Answer every question in ``questions`` with one algorithm.
+
+    Parameters
+    ----------
+    context:
+        The shared catalogue context (index + partition caches).
+    questions:
+        Iterable of ``(q, k, why_not)`` triples.
+    algorithm:
+        ``"mqp"``, ``"mwk"`` or ``"mqwk"``.
+    sample_size:
+        ``|S|`` forwarded to MWK / MQWK.
+    seed:
+        Base seed; item ``i`` uses ``default_rng(seed + i)``.
+    workers:
+        Number of executor threads; 1 (default) answers serially.
+        Results are identical either way.
+
+    Returns
+    -------
+    list[ExecutionItem]
+        One item per question, ordered by question index.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm: {algorithm!r}")
+    items = list(questions)
+
+    def run(index_question) -> ExecutionItem:
+        index, (q, k, wm) = index_question
+        return answer_one(
+            context, index, q, k, wm, algorithm,
+            sample_size=sample_size,
+            rng=np.random.default_rng(seed + index),
+            penalty_config=penalty_config)
+
+    if workers <= 1 or len(items) <= 1:
+        return [run(pair) for pair in enumerate(items)]
+
+    # Build the shared artifacts once, up front: otherwise every
+    # worker would race to be the first tree builder and the losers
+    # would block on the context lock doing nothing.
+    context.tree
+    with ThreadPoolExecutor(max_workers=int(workers)) as pool:
+        return list(pool.map(run, enumerate(items)))

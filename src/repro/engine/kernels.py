@@ -1,0 +1,210 @@
+"""Unified score/rank kernels — the library's one hot loop.
+
+Every rank, top-k and dominance computation in the library reduces to
+the same primitive: a ``(m, n)`` block of linear scores ``W @ P.T``
+compared against per-vector thresholds.  Before the engine layer that
+primitive was re-implemented per call site (``topk/scan.py``,
+``rtopk/bichromatic.py``, ``core/sampling.py``,
+``core/types.py::WhyNotQuery.ranks``) with slightly different chunking
+and tie handling.  This module is the single implementation; the old
+entry points are thin wrappers over it.
+
+All kernels
+
+* are fully vectorized over the *weight* axis (the batch axis of the
+  paper's workloads — many customers, one catalogue),
+* chunk the score matrix to a fixed float budget so memory stays flat
+  no matter how large ``|W| x |P|`` gets, and
+* resolve ties within :data:`RANK_EPS` in the query point's favour,
+  consistent with Definitions 2-3 (``f(w, q) <= f(w, p)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Tie tolerance for rank computations.  Scores within RANK_EPS of the
+#: query point's score count as ties and resolve in the query point's
+#: favour.  This keeps rank computations consistent across the
+#: different (BLAS-path-dependent) ways the library evaluates
+#: ``f(w, p)``: bit-identical inputs can differ by ~1e-17 between a
+#: matrix product and a dot product.
+RANK_EPS = 1e-12
+
+#: Default float budget per score block (64 MB of float64).
+CHUNK_FLOATS = 8_000_000
+
+
+def _as2d(x) -> np.ndarray:
+    return np.atleast_2d(np.asarray(x, dtype=np.float64))
+
+
+def iter_score_blocks(weights, points, *,
+                      chunk_floats: int = CHUNK_FLOATS):
+    """Yield ``(start, stop, scores)`` blocks of the score matrix.
+
+    ``scores`` has shape ``(stop - start, n)`` and holds
+    ``f(weights[i], p)`` for ``i`` in ``[start, stop)``.  The block
+    height is chosen so each block stays within ``chunk_floats``
+    float64 entries.
+    """
+    wts = _as2d(weights)
+    pts = _as2d(points)
+    n = pts.shape[0]
+    chunk = max(1, chunk_floats // max(n, 1))
+    for start in range(0, len(wts), chunk):
+        stop = min(start + chunk, len(wts))
+        yield start, stop, wts[start:stop] @ pts.T
+
+
+def score_matrix(weights, points, *, chunk_floats: int = CHUNK_FLOATS,
+                 out: np.ndarray | None = None) -> np.ndarray:
+    """Full ``(m, n)`` score matrix, assembled block-wise.
+
+    ``out`` may supply a pre-allocated destination (e.g. a
+    :class:`~repro.engine.context.DatasetContext` score buffer); it
+    must be at least ``(m, n)`` and the leading ``(m, n)`` view is
+    returned.
+    """
+    wts = _as2d(weights)
+    pts = _as2d(points)
+    m, n = len(wts), len(pts)
+    if out is None:
+        dest = np.empty((m, n), dtype=np.float64)
+    else:
+        if out.shape[0] < m or out.shape[1] < n:
+            raise ValueError(f"out buffer {out.shape} too small for "
+                             f"({m}, {n}) score matrix")
+        dest = out[:m, :n]
+    for start, stop, block in iter_score_blocks(
+            wts, pts, chunk_floats=chunk_floats):
+        dest[start:stop] = block
+    return dest
+
+
+# ----------------------------------------------------------------------
+# Top-k selection
+# ----------------------------------------------------------------------
+
+def topk_ids(points, w, k: int) -> np.ndarray:
+    """Ids of the k best-scoring rows of ``points`` under ``w``.
+
+    Returns ids sorted by ascending ``(score, id)`` — the library's
+    deterministic tie-break.  ``k`` is clamped to ``len(points)``.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    pts = _as2d(points)
+    scores = pts @ np.asarray(w, dtype=np.float64)
+    k = min(k, len(pts))
+    # argpartition then stable refine: O(n + k log k).
+    part = np.argpartition(scores, k - 1)[:k]
+    order = np.lexsort((part, scores[part]))
+    return part[order]
+
+
+def kth_scores_batch(points, weights, k: int, *,
+                     chunk_floats: int = CHUNK_FLOATS,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Id and score of the k-th ranked point under *each* weight row.
+
+    The batched form of ``kth_point_scan`` / ``BRSEngine.kth_point``:
+    one chunked score matrix and one ``argpartition`` per block replace
+    a progressive search per vector.  Ties resolve by ``(score, id)``
+    like everything else.
+
+    Returns ``(ids, scores)`` of shape ``(m,)`` each.
+    """
+    pts = _as2d(points)
+    wts = _as2d(weights)
+    if len(pts) < k:
+        raise ValueError(f"dataset has fewer than k={k} points")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    ids = np.empty(len(wts), dtype=np.int64)
+    scores = np.empty(len(wts), dtype=np.float64)
+    for start, stop, block in iter_score_blocks(
+            wts, pts, chunk_floats=chunk_floats):
+        part = np.argpartition(block, k - 1, axis=1)[:, :k]
+        sub = np.take_along_axis(block, part, axis=1)
+        # The k-th by ascending (score, id) is the lexicographic max of
+        # the selected set: max id among the max-score candidates.
+        row_max = sub.max(axis=1, keepdims=True)
+        kth = np.where(sub == row_max, part, -1).max(axis=1)
+        ids[start:stop] = kth
+        scores[start:stop] = block[np.arange(len(part)), kth]
+    return ids, scores
+
+
+# ----------------------------------------------------------------------
+# Rank computation
+# ----------------------------------------------------------------------
+
+def rank_of(points, w, q, *, eps: float = RANK_EPS) -> int:
+    """Rank of the query point ``q`` among ``points`` under ``w``.
+
+    ``rank = 1 + |{p : f(w, p) < f(w, q) - eps}|`` — ties resolved in
+    q's favour.  ``q`` itself need not belong to ``points``; if it
+    does, its own row ties with it and does not increase the rank.
+    """
+    return int(ranks_batch(np.asarray(w, dtype=np.float64)[None, :],
+                           points, q, eps=eps)[0])
+
+
+def ranks_batch(weights, points, q, *, dominating=0,
+                eps: float = RANK_EPS,
+                chunk_floats: int = CHUNK_FLOATS) -> np.ndarray:
+    """Rank of ``q`` under every weight row, vectorized and chunked.
+
+    ``rank(q, w) = 1 + beats(dominating) + beats(points)`` where
+    ``beats(X)`` counts the members of ``X`` scoring below
+    ``f(w, q) - eps``.  Two calling conventions:
+
+    * ``points`` is the full dataset and ``dominating`` is 0 — the
+      plain batched rank (what ``WhyNotQuery.ranks`` needs);
+    * ``points`` is a ``FindIncom`` incomparable set ``I`` and
+      ``dominating`` is either the ``(|D|, d)`` array of dominating
+      points (scored exactly, same tie tolerance) or an ``int`` count
+      trusted as-is — the partitioned rank MWK uses (dominated points
+      never beat ``q``, so only ``D`` and ``I`` are scored).
+
+    Returns an ``(m,)`` int64 array.
+    """
+    wts = _as2d(weights)
+    pts = _as2d(points)
+    qv = np.asarray(q, dtype=np.float64)
+    q_scores = wts @ qv
+    if isinstance(dominating, (int, np.integer)):
+        base = np.full(len(wts), 1 + int(dominating), dtype=np.int64)
+    else:
+        dom = _as2d(dominating)
+        if dom.shape[0] == 0:
+            base = np.ones(len(wts), dtype=np.int64)
+        else:
+            base = 1 + beats_count(wts, dom, q_scores, eps=eps,
+                                   chunk_floats=chunk_floats)
+    if pts.shape[0] == 0:
+        return base
+    return base + beats_count(wts, pts, q_scores, eps=eps,
+                              chunk_floats=chunk_floats)
+
+
+def beats_count(weights, points, q_scores, *, eps: float = RANK_EPS,
+                chunk_floats: int = CHUNK_FLOATS) -> np.ndarray:
+    """Per weight row, how many of ``points`` score below the threshold.
+
+    ``q_scores`` is the per-row threshold ``f(w, q)``; a point beats
+    ``q`` when its score is strictly below ``f(w, q) - eps``.  This is
+    the shared dominance-count core of every rank kernel.
+    """
+    wts = _as2d(weights)
+    thresholds = np.asarray(q_scores, dtype=np.float64).reshape(-1)
+    if thresholds.shape[0] != len(wts):
+        raise ValueError("q_scores must provide one threshold per "
+                         "weight row")
+    out = np.empty(len(wts), dtype=np.int64)
+    for start, stop, block in iter_score_blocks(
+            wts, points, chunk_floats=chunk_floats):
+        out[start:stop] = np.count_nonzero(
+            block < thresholds[start:stop, None] - eps, axis=1)
+    return out

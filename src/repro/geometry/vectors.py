@@ -114,6 +114,9 @@ def score_many(w, points) -> np.ndarray:
 def score_matrix(weights, points) -> np.ndarray:
     """Score every point under every weighting vector.
 
+    Delegates to :func:`repro.engine.kernels.score_matrix` (the
+    library's single chunked implementation of this primitive).
+
     Parameters
     ----------
     weights:
@@ -126,9 +129,9 @@ def score_matrix(weights, points) -> np.ndarray:
     numpy.ndarray
         Shape ``(m, n)``; entry ``[i, j]`` is ``f(weights[i], points[j])``.
     """
-    wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
-    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
-    return wts @ pts.T
+    from repro.engine.kernels import score_matrix as _kernel
+
+    return _kernel(weights, points)
 
 
 def weight_distance(w1, w2) -> float:

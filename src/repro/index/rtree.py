@@ -46,7 +46,13 @@ def default_capacity(dim: int, *, page_size: int = PAGE_SIZE_BYTES) -> int:
 
 @dataclass
 class RTreeStats:
-    """Mutable node-access counters (the paper's I/O proxy)."""
+    """Mutable node-access counters (the paper's I/O proxy).
+
+    Increments are unguarded: exact under single-threaded traversal,
+    approximate when multiple threads traverse one tree (e.g. the
+    parallel batch executor) — acceptable for a measurement proxy,
+    but serial runs are required when asserting exact counts.
+    """
 
     node_accesses: int = 0
     leaf_accesses: int = 0

@@ -18,38 +18,27 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.kernels import ranks_batch
 from repro.geometry.vectors import score_many
 from repro.index.rtree import RTree
 from repro.topk.brs import BRSEngine
 from repro.topk.scan import topk_scan
 
-_CHUNK_BUDGET = 8_000_000  # max floats per naive score block
-
 
 def brtopk_naive(points, weights, q, k: int) -> np.ndarray:
     """Indices into ``weights`` whose top-k result contains ``q``.
 
-    Exact and vectorized: for each chunk of weighting vectors it forms
-    the (chunk, n) score matrix and counts, per row, the points scoring
-    strictly below ``q``.
+    Exact and vectorized: one chunked batched-rank kernel call
+    (:func:`repro.engine.kernels.ranks_batch`) counts, per weighting
+    vector, the points scoring strictly below ``q``.
     """
     if k <= 0:
         raise ValueError("k must be positive")
-    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
     wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
-    qv = np.asarray(q, dtype=np.float64)
-    n = len(pts)
-    chunk = max(1, _CHUNK_BUDGET // max(n, 1))
-    hits: list[np.ndarray] = []
-    for start in range(0, len(wts), chunk):
-        block = wts[start:start + chunk]
-        scores = block @ pts.T          # (chunk, n)
-        q_scores = block @ qv           # (chunk,)
-        beats = np.count_nonzero(scores < q_scores[:, None] - 1e-12,
-                                 axis=1)
-        ok = np.nonzero(beats <= k - 1)[0] + start
-        hits.append(ok)
-    return np.concatenate(hits) if hits else np.empty(0, dtype=np.int64)
+    if len(wts) == 0:
+        return np.empty(0, dtype=np.int64)
+    ranks = ranks_batch(wts, points, q)
+    return np.nonzero(ranks <= k)[0].astype(np.int64)
 
 
 def brtopk_rta(source, weights, q, k: int) -> np.ndarray:

@@ -5,21 +5,20 @@ benchmarks and as the ground truth the R-tree engines are tested
 against.  Tie-breaking is deterministic: equal scores are ordered by
 point id, matching Definition 1's "only one of them is randomly
 returned" with a fixed choice.
+
+The actual array work lives in :mod:`repro.engine.kernels` (the
+library's single score/rank kernel module); these free functions are
+kept as the stable, historically-named entry points.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry.vectors import score, score_many
+from repro.engine.kernels import RANK_EPS, rank_of, topk_ids
+from repro.geometry.vectors import score
 
-#: Tie tolerance for rank computations.  Scores within RANK_EPS of the
-#: query point's score count as ties and resolve in the query point's
-#: favour.  This keeps rank computations consistent across the
-#: different (BLAS-path-dependent) ways the library evaluates
-#: ``f(w, p)``: bit-identical inputs can differ by ~1e-17 between a
-#: matrix product and a dot product.
-RANK_EPS = 1e-12
+__all__ = ["RANK_EPS", "topk_scan", "kth_point_scan", "rank_of_scan"]
 
 
 def topk_scan(points, w, k: int) -> np.ndarray:
@@ -28,15 +27,7 @@ def topk_scan(points, w, k: int) -> np.ndarray:
     Returns ids sorted by ascending ``(score, id)``.  ``k`` is clamped
     to ``len(points)``.
     """
-    if k <= 0:
-        raise ValueError("k must be positive")
-    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
-    scores = score_many(w, pts)
-    k = min(k, len(pts))
-    # argpartition then stable refine: O(n + k log k).
-    part = np.argpartition(scores, k - 1)[:k]
-    order = np.lexsort((part, scores[part]))
-    return part[order]
+    return topk_ids(points, w, k)
 
 
 def kth_point_scan(points, w, k: int) -> tuple[int, float]:
@@ -57,5 +48,4 @@ def rank_of_scan(points, w, q) -> int:
     ``points``; if it does, its own row ties with it and therefore does
     not increase the rank.
     """
-    scores = score_many(w, points)
-    return int(np.count_nonzero(scores < score(w, q) - RANK_EPS)) + 1
+    return rank_of(points, w, q)

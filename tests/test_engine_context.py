@@ -1,0 +1,130 @@
+"""DatasetContext: cache behaviour, counters, and correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incomparable import find_incomparable
+from repro.data import independent, preference_set, query_point_with_rank
+from repro.engine.context import DatasetContext
+from repro.index.rtree import RTree
+
+
+@pytest.fixture()
+def context():
+    return DatasetContext(independent(600, 3, seed=11))
+
+
+@pytest.fixture()
+def q(context):
+    w = preference_set(1, 3, seed=12)[0]
+    return query_point_with_rank(context.points, w, 41)
+
+
+class TestConstruction:
+    def test_points_are_immutable(self, context):
+        with pytest.raises(ValueError):
+            context.points[0, 0] = 99.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DatasetContext(np.empty((0, 3)))
+
+    def test_adopts_prebuilt_tree(self):
+        pts = independent(200, 3, seed=13)
+        tree = RTree(pts)
+        ctx = DatasetContext(pts, tree=tree)
+        assert ctx.tree is tree
+        assert ctx.stats.tree_builds == 0
+
+    def test_rejects_mismatched_tree(self):
+        tree = RTree(independent(200, 3, seed=13))
+        with pytest.raises(ValueError, match="does not index"):
+            DatasetContext(independent(200, 3, seed=14), tree=tree)
+
+
+class TestTreeCache:
+    def test_tree_built_once(self, context):
+        assert context.stats.tree_builds == 0
+        t1 = context.tree
+        t2 = context.tree
+        assert t1 is t2
+        assert context.stats.tree_builds == 1
+
+
+class TestPartitionCache:
+    def test_partition_matches_find_incomparable(self, context, q):
+        cached = context.partition(q)
+        direct = find_incomparable(context.tree, q)
+        np.testing.assert_array_equal(cached.dominating_ids,
+                                      direct.dominating_ids)
+        np.testing.assert_array_equal(cached.incomparable_ids,
+                                      direct.incomparable_ids)
+
+    def test_repeat_q_is_a_hit(self, context, q):
+        first = context.partition(q)
+        assert context.stats.partition_misses == 1
+        assert context.stats.findincom_traversals == 1
+        second = context.partition(np.array(q))  # equal value, new obj
+        assert second is first
+        assert context.stats.partition_hits == 1
+        assert context.stats.findincom_traversals == 1
+
+    def test_distinct_q_is_a_miss(self, context, q):
+        context.partition(q)
+        context.partition(q * 0.9)
+        assert context.stats.partition_misses == 2
+        assert context.stats.findincom_traversals == 2
+
+    def test_box_cache_shared_with_partition(self, context, q):
+        """partition() and box_cache() ride one traversal per q."""
+        context.partition(q)
+        box = context.box_cache(q)
+        assert context.stats.findincom_traversals == 1
+        assert context.stats.box_cache_hits == 1
+        assert context.stats.cache_hits == 1
+        sub = box.partition(q * 0.8)
+        direct = find_incomparable(context.tree, q * 0.8)
+        np.testing.assert_array_equal(sub.incomparable_ids,
+                                      direct.incomparable_ids)
+
+    def test_index_work_counter(self, context, q):
+        context.tree
+        context.partition(q)
+        context.partition(q)
+        assert context.stats.index_work == 2  # 1 build + 1 traversal
+
+
+class TestScoreBuffer:
+    def test_buffer_reuse_and_growth(self, context):
+        a = context.score_buffer(10, 20)
+        assert a.shape[0] >= 10 and a.shape[1] >= 20
+        b = context.score_buffer(8, 20)
+        assert b is a
+        assert context.stats.buffer_reuses == 1
+        c = context.score_buffer(4 * a.shape[0], 20)
+        assert c.shape[0] >= 4 * a.shape[0]
+
+    def test_defaults_to_catalogue_width(self, context):
+        buf = context.score_buffer(5)
+        assert buf.shape[1] >= context.n
+
+    def test_ranks_uses_buffer_and_matches_kernel(self, context, q):
+        from repro.data import preference_set
+        from repro.engine.kernels import ranks_batch
+
+        wts = preference_set(15, 3, seed=33)
+        first = context.ranks(wts, q)
+        np.testing.assert_array_equal(
+            first, ranks_batch(wts, context.points, q))
+        context.ranks(wts, q)
+        assert context.stats.buffer_reuses >= 1
+
+
+class TestQuestion:
+    def test_question_binds_shared_tree(self, context, q):
+        wm = preference_set(1, 3, seed=12)
+        question = context.question(q, 10, wm)
+        assert question.rtree is context.tree
+        assert question.k == 10

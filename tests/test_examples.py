@@ -5,6 +5,7 @@ its key output lines are asserted, so a public-API break that only an
 example exercises still fails CI.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,12 +13,22 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
 def _run(name: str, tmp_path) -> str:
+    # The examples `import repro`; make the src/ layout importable in
+    # the subprocess even when the package is not installed (the
+    # subprocess runs from tmp_path, so a relative PYTHONPATH entry
+    # inherited from the parent would not resolve).
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                      else []))
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
-        capture_output=True, text=True, timeout=300, cwd=tmp_path)
+        capture_output=True, text=True, timeout=300, cwd=tmp_path,
+        env=env)
     assert proc.returncode == 0, proc.stderr[-2000:]
     return proc.stdout
 
