@@ -14,6 +14,12 @@ Subcommands
     through the shared :class:`~repro.engine.context.DatasetContext`
     (optionally in parallel with ``--workers``), and report cache
     effectiveness.
+``serve``
+    Run the long-lived JSON-over-HTTP daemon
+    (:mod:`repro.service`): named catalogues — generated and/or
+    loaded from ``.npz`` archives — each behind one warmed,
+    LRU-bounded context, answering ``/answer`` and ``/batch``
+    requests until interrupted.
 ``bench``
     Regenerate a figure of the paper (delegates to
     :mod:`repro.bench`).
@@ -29,6 +35,8 @@ Examples
     wqrtq query --dataset independent -n 5000 -d 3 -k 10
     wqrtq refine --algorithm mqwk --rank 101 --sample-size 400
     wqrtq batch --questions 20 --products 5 --workers 4
+    wqrtq serve --port 8977 -n 10000 --max-partitions 1024
+    wqrtq serve --port 0 --load laptops=data/laptops.npz
     wqrtq bench fig9
 """
 
@@ -191,6 +199,59 @@ def _cmd_batch(args) -> int:
     return 0 if summary["failed"] == 0 else 1
 
 
+def _cmd_serve(args) -> int:
+    import zipfile
+
+    from repro.data import make_dataset
+    from repro.service import CatalogueRegistry, create_server
+
+    # Unset flags keep the registry's default (bounded) caps.
+    caps = {key: value for key, value in
+            (("max_partitions", args.max_partitions),
+             ("max_box_caches", args.max_box_caches))
+            if value is not None}
+    registry = CatalogueRegistry(**caps)
+    try:
+        for spec in args.load:
+            name, sep, path = spec.partition("=")
+            if not sep or not name or not path:
+                print(f"--load expects NAME=PATH, got {spec!r}",
+                      file=sys.stderr)
+                return 2
+            registry.load(name, path)
+        if not args.load or args.generate:
+            name = args.name or args.dataset
+            points = make_dataset(args.dataset, args.cardinality,
+                                  args.dim, seed=args.seed)
+            registry.register(name, points,
+                              meta={"kind": args.dataset,
+                                    "seed": args.seed})
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        # Missing/corrupt archives and duplicate catalogue names are
+        # configuration errors, not tracebacks.
+        print(f"failed to register catalogue: {exc}", file=sys.stderr)
+        return 2
+
+    server = create_server(registry, host=args.host, port=args.port,
+                           verbose=args.verbose)
+    for entry in registry.describe():
+        print(f"catalogue: {entry['name']} (n={entry['n']}, "
+              f"d={entry['d']}, "
+              f"max_partitions={entry['max_partitions']})",
+              flush=True)
+    # The CI smoke test and the load benchmark parse this line to
+    # discover the ephemeral port, so keep its shape stable.
+    print(f"serving on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    print("server stopped", flush=True)
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -243,6 +304,40 @@ def main(argv: list[str] | None = None) -> int:
     p_batch.add_argument("--workers", type=int, default=1,
                          help="executor threads (1 = serial)")
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the JSON-over-HTTP why-not daemon")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8977,
+                         help="TCP port (0 = pick an ephemeral port)")
+    p_serve.add_argument("--dataset", default="independent",
+                         choices=["independent", "anticorrelated",
+                                  "correlated", "nba", "household"],
+                         help="distribution of the generated catalogue")
+    p_serve.add_argument("-n", "--cardinality", type=int,
+                         default=20_000)
+    p_serve.add_argument("-d", "--dim", type=int, default=3)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--name", default=None,
+                         help="registry name of the generated "
+                              "catalogue (default: the dataset kind)")
+    p_serve.add_argument("--load", action="append", default=[],
+                         metavar="NAME=PATH",
+                         help="register a saved .npz catalogue "
+                              "(repeatable; suppresses the generated "
+                              "one unless --generate)")
+    p_serve.add_argument("--generate", action="store_true",
+                         help="also register the generated catalogue "
+                              "when --load is given")
+    p_serve.add_argument("--max-partitions", type=int, default=None,
+                         help="LRU bound on cached FindIncom "
+                              "partitions per catalogue")
+    p_serve.add_argument("--max-box-caches", type=int, default=None,
+                         help="LRU bound on cached box traversals "
+                              "per catalogue")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser("bench", help="regenerate a paper figure")
     from repro.bench.figures import FIGURES

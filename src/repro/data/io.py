@@ -17,6 +17,7 @@ archiving analyses.  This module provides:
 from __future__ import annotations
 
 import json
+import zipfile
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 
@@ -67,16 +68,27 @@ def load_dataset(path) -> tuple[np.ndarray, dict]:
 
 def dataset_cache(directory, kind: str, n: int, d: int, *,
                   seed: int = 0) -> np.ndarray:
-    """Build-or-load a generated dataset, keyed by its parameters."""
+    """Build-or-load a generated dataset, keyed by its parameters.
+
+    A corrupt or truncated cache file (interrupted write, disk error)
+    is treated as a miss: the dataset is regenerated from its seed and
+    the bad file overwritten, instead of poisoning every future run
+    with a load error.
+    """
     from repro.data.synthetic import make_dataset
 
     directory = Path(directory)
     path = directory / f"{kind}_n{n}_d{d}_s{seed}.npz"
     if path.exists():
-        points, meta = load_dataset(path)
-        if (meta["kind"], meta["n"], meta["d"],
-                meta["seed"]) == (kind, n, d, seed):
-            return points
+        try:
+            points, meta = load_dataset(path)
+        except (ValueError, OSError, EOFError, KeyError,
+                zipfile.BadZipFile):
+            pass    # unreadable cache — regenerate below
+        else:
+            if (meta["kind"], meta["n"], meta["d"],
+                    meta["seed"]) == (kind, n, d, seed):
+                return points
     points = make_dataset(kind, n, d, seed=seed)
     save_dataset(path, points, kind=kind, seed=seed)
     return points

@@ -17,7 +17,11 @@ point used to re-implement:
 See DESIGN.md for the architecture rationale.
 """
 
-from repro.engine.context import ContextStats, DatasetContext
+from repro.engine.context import (
+    DEFAULT_CACHE_CAP,
+    ContextStats,
+    DatasetContext,
+)
 from repro.engine.kernels import (
     CHUNK_FLOATS,
     RANK_EPS,
@@ -49,6 +53,7 @@ def __getattr__(name: str):
 __all__ = [
     "CHUNK_FLOATS",
     "ContextStats",
+    "DEFAULT_CACHE_CAP",
     "DatasetContext",
     "ExecutionItem",
     "RANK_EPS",

@@ -28,12 +28,20 @@ immutable after insertion.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.incomparable import IncomparableCache, IncomparableResult
 from repro.index.rtree import RTree
+
+#: Default bound on the per-``q`` caches.  Generous enough that a
+#: single-catalogue batch run never evicts (the existing tests and
+#: benchmarks all stay far below it), while still guaranteeing that a
+#: long-running serving process holds bounded resident state no matter
+#: how many distinct products flow past it.
+DEFAULT_CACHE_CAP = 4096
 
 
 @dataclass
@@ -44,15 +52,21 @@ class ContextStats:
     work actually performed; ``partition_hits`` and
     ``box_cache_hits`` count the traversals *avoided* by the
     per-``q`` caches (MWK's exact partitions and MQWK's box caches
-    respectively).  ``buffer_reuses`` counts score buffer requests
-    served without a fresh allocation.
+    respectively).  ``partition_evictions`` and
+    ``box_cache_evictions`` count entries dropped by the LRU bound —
+    nonzero means the working set exceeded ``max_partitions`` /
+    ``max_box_caches`` and cold traversals are being re-paid.
+    ``buffer_reuses`` counts score buffer requests served without a
+    fresh allocation.
     """
 
     tree_builds: int = 0
     findincom_traversals: int = 0
     partition_hits: int = 0
     partition_misses: int = 0
+    partition_evictions: int = 0
     box_cache_hits: int = 0
+    box_cache_evictions: int = 0
     buffer_reuses: int = 0
 
     @property
@@ -69,6 +83,11 @@ class ContextStats:
         """Total traversals avoided, across both cache kinds."""
         return self.partition_hits + self.box_cache_hits
 
+    @property
+    def evictions(self) -> int:
+        """Total LRU evictions, across both cache kinds."""
+        return self.partition_evictions + self.box_cache_evictions
+
 
 class DatasetContext:
     """Immutable catalogue + cached per-catalogue artifacts.
@@ -84,10 +103,19 @@ class DatasetContext:
     capacity:
         Node capacity forwarded to :class:`RTree` when the context
         builds the index itself.
+    max_partitions, max_box_caches:
+        LRU bound on the per-``q`` caches (default
+        :data:`DEFAULT_CACHE_CAP`; ``None`` disables the bound).  A
+        long-running serving process sees an unbounded stream of
+        distinct products, so resident state must not grow with it:
+        the least-recently-used entry is evicted once the cap is
+        exceeded, counted in :class:`ContextStats`.
     """
 
     def __init__(self, points, *, tree: RTree | None = None,
-                 capacity: int | None = None):
+                 capacity: int | None = None,
+                 max_partitions: int | None = DEFAULT_CACHE_CAP,
+                 max_box_caches: int | None = DEFAULT_CACHE_CAP):
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
         if pts.ndim != 2 or pts.shape[0] == 0:
             raise ValueError("DatasetContext requires a non-empty "
@@ -96,13 +124,21 @@ class DatasetContext:
                                  or not np.array_equal(tree.points, pts)):
             raise ValueError("pre-built tree does not index the given "
                              "points")
+        for name, cap in (("max_partitions", max_partitions),
+                          ("max_box_caches", max_box_caches)):
+            if cap is not None and cap < 1:
+                raise ValueError(f"{name} must be positive or None")
         self.points = pts.copy()
         self.points.setflags(write=False)
         self._capacity = capacity
         self._tree = tree
         self._lock = threading.Lock()
-        self._box_caches: dict[bytes, IncomparableCache] = {}
-        self._partitions: dict[bytes, IncomparableResult] = {}
+        self.max_partitions = max_partitions
+        self.max_box_caches = max_box_caches
+        self._box_caches: OrderedDict[bytes, IncomparableCache] = \
+            OrderedDict()
+        self._partitions: OrderedDict[bytes, IncomparableResult] = \
+            OrderedDict()
         self._score_buffer: np.ndarray | None = None
         self.stats = ContextStats()
 
@@ -115,6 +151,18 @@ class DatasetContext:
     @property
     def dim(self) -> int:
         return int(self.points.shape[1])
+
+    @property
+    def n_cached_partitions(self) -> int:
+        """Resident ``FindIncom`` partitions (``<= max_partitions``)."""
+        with self._lock:
+            return len(self._partitions)
+
+    @property
+    def n_cached_box_caches(self) -> int:
+        """Resident box caches (``<= max_box_caches``)."""
+        with self._lock:
+            return len(self._box_caches)
 
     @property
     def tree(self) -> RTree:
@@ -141,12 +189,14 @@ class DatasetContext:
         The first request for a given ``q`` performs one R-tree
         traversal (via :class:`IncomparableCache`, so MQWK's box reuse
         rides the same artifact); repeated requests — the same product
-        asked about by different customer sets — are dictionary hits.
+        asked about by different customer sets — are LRU hits.  The
+        cache holds at most ``max_partitions`` entries.
         """
         key = self._key(q)
         with self._lock:
             cached = self._partitions.get(key)
             if cached is not None:
+                self._partitions.move_to_end(key)
                 self.stats.partition_hits += 1
                 return cached
         box = self.box_cache(q)
@@ -154,6 +204,11 @@ class DatasetContext:
         with self._lock:
             self.stats.partition_misses += 1
             self._partitions[key] = result
+            self._partitions.move_to_end(key)
+            if self.max_partitions is not None:
+                while len(self._partitions) > self.max_partitions:
+                    self._partitions.popitem(last=False)
+                    self.stats.partition_evictions += 1
         return result
 
     def box_cache(self, q) -> IncomparableCache:
@@ -167,6 +222,7 @@ class DatasetContext:
         with self._lock:
             cached = self._box_caches.get(key)
             if cached is not None:
+                self._box_caches.move_to_end(key)
                 self.stats.box_cache_hits += 1
                 return cached
         tree = self.tree
@@ -178,8 +234,13 @@ class DatasetContext:
             self.stats.findincom_traversals += cache.tree_traversals
             existing = self._box_caches.get(key)
             if existing is not None:
+                self._box_caches.move_to_end(key)
                 return existing
             self._box_caches[key] = cache
+            if self.max_box_caches is not None:
+                while len(self._box_caches) > self.max_box_caches:
+                    self._box_caches.popitem(last=False)
+                    self.stats.box_cache_evictions += 1
         return cache
 
     # ------------------------------------------------------------------

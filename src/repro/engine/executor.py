@@ -66,9 +66,11 @@ def answer_one(context: DatasetContext, index: int, q, k: int, wm,
                ) -> ExecutionItem:
     """Answer a single question against a shared context.
 
-    Validation failures (e.g. a vector that is not actually missing)
-    are captured as failed items instead of raised, so batch callers
-    can keep going.
+    Any per-item failure — validation (e.g. a vector that is not
+    actually missing) as well as unexpected errors from deeper layers
+    (e.g. a ``LinAlgError`` escaping the QP solver) — is captured as a
+    failed item instead of raised, so one poisoned question can never
+    abort a batch and lose its completed siblings.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm: {algorithm!r}")
@@ -90,10 +92,15 @@ def answer_one(context: DatasetContext, index: int, q, k: int, wm,
             index=index, query=query, algorithm=algorithm,
             result=result, penalty=audit.penalty, valid=audit.valid,
             elapsed=time.perf_counter() - start)
-    except ValueError as exc:
+    except Exception as exc:
+        # ValueError is the expected validation-failure channel and
+        # keeps its bare message; anything else is an internal error,
+        # prefixed with its class so callers can tell the two apart.
+        message = (str(exc) if isinstance(exc, ValueError)
+                   else f"{type(exc).__name__}: {exc}")
         return ExecutionItem(
             index=index, query=None, algorithm=algorithm, result=None,
-            penalty=float("nan"), valid=False, error=str(exc),
+            penalty=float("nan"), valid=False, error=message,
             elapsed=time.perf_counter() - start)
 
 

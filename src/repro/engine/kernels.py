@@ -97,10 +97,16 @@ def topk_ids(points, w, k: int) -> np.ndarray:
     pts = _as2d(points)
     scores = pts @ np.asarray(w, dtype=np.float64)
     k = min(k, len(pts))
-    # argpartition then stable refine: O(n + k log k).
-    part = np.argpartition(scores, k - 1)[:k]
-    order = np.lexsort((part, scores[part]))
-    return part[order]
+    # O(n + k log k): partition for the k-th score, then pick the
+    # boundary members explicitly by (score, id).  argpartition alone
+    # is not enough — when ties straddle the k-th position it selects
+    # an arbitrary subset of the tied ids.
+    kth_score = np.partition(scores, k - 1)[k - 1]
+    below = np.nonzero(scores < kth_score)[0]
+    tied = np.nonzero(scores == kth_score)[0][:k - len(below)]
+    selected = np.concatenate([below, tied])
+    order = np.lexsort((selected, scores[selected]))
+    return selected[order]
 
 
 def kth_scores_batch(points, weights, k: int, *,
@@ -125,14 +131,21 @@ def kth_scores_batch(points, weights, k: int, *,
     scores = np.empty(len(wts), dtype=np.float64)
     for start, stop, block in iter_score_blocks(
             wts, pts, chunk_floats=chunk_floats):
-        part = np.argpartition(block, k - 1, axis=1)[:, :k]
-        sub = np.take_along_axis(block, part, axis=1)
-        # The k-th by ascending (score, id) is the lexicographic max of
-        # the selected set: max id among the max-score candidates.
-        row_max = sub.max(axis=1, keepdims=True)
-        kth = np.where(sub == row_max, part, -1).max(axis=1)
+        # Per row: the k-th score via partition, then the boundary
+        # member by (score, id) explicitly.  argpartition's selected
+        # set is arbitrary for ties that straddle the k-th position,
+        # so the k-th *id* cannot be read off it: among the rows tied
+        # at the k-th score, the correct id is the j-th smallest where
+        # j = k - |{scores strictly below}|.
+        kth_score = np.partition(block, k - 1, axis=1)[:, k - 1]
+        n_below = np.count_nonzero(
+            block < kth_score[:, None], axis=1)
+        tied = block == kth_score[:, None]
+        tie_rank = (k - n_below)[:, None]
+        kth = np.argmax(
+            (np.cumsum(tied, axis=1) == tie_rank) & tied, axis=1)
         ids[start:stop] = kth
-        scores[start:stop] = block[np.arange(len(part)), kth]
+        scores[start:stop] = kth_score
     return ids, scores
 
 

@@ -1,0 +1,32 @@
+"""Serving layer: named catalogues behind a JSON-over-HTTP daemon.
+
+The paper's workload is a *stream* of why-not questions against a
+small set of catalogues, and the engine layer already made repeated
+questions cheap — but only within one process invocation.  This
+package turns the repro into a long-running service:
+
+* :mod:`repro.service.registry` — :class:`CatalogueRegistry`, named
+  catalogues each owning one warmed, LRU-bounded
+  :class:`~repro.engine.context.DatasetContext`;
+* :mod:`repro.service.server` — a stdlib-only
+  (``http.server.ThreadingHTTPServer``) JSON API: ``/catalogues``,
+  ``/answer``, ``/batch`` and ``/stats``;
+* :mod:`repro.service.client` — the matching ``urllib``-based client
+  helper used by tests, benchmarks and the CI smoke check.
+
+``wqrtq serve`` (see :mod:`repro.cli`) is the command-line entry
+point.  DESIGN.md's "service layer" section has the architecture
+rationale.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.registry import CatalogueRegistry
+from repro.service.server import WhyNotServer, create_server
+
+__all__ = [
+    "CatalogueRegistry",
+    "ServiceClient",
+    "ServiceError",
+    "WhyNotServer",
+    "create_server",
+]

@@ -1,0 +1,114 @@
+"""``urllib``-based client for the why-not service.
+
+The client is deliberately thin — JSON in, JSON out, no retries or
+pooling — because its job is to be the *reference consumer*: the test
+suite, the throughput benchmark and the CI smoke check all talk to
+``wqrtq serve`` through it, so the wire format has exactly one
+encoding/decoding implementation on each side.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure reported by the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def _jsonable_question(q, k, why_not) -> dict:
+    return {
+        "q": np.asarray(q, dtype=np.float64).tolist(),
+        "k": int(k),
+        "why_not": np.atleast_2d(
+            np.asarray(why_not, dtype=np.float64)).tolist(),
+    }
+
+
+class ServiceClient:
+    """Talk to one running why-not service.
+
+    Parameters
+    ----------
+    host, port:
+        Address of a :class:`~repro.service.server.WhyNotServer` (or
+        a ``wqrtq serve`` process).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8977, *,
+                 timeout: float = 60.0):
+        self.base_url = f"http://{host}:{int(port)}"
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(self, path: str, payload: dict | None = None) -> dict:
+        if payload is None:
+            request = urllib.request.Request(self.base_url + path)
+        else:
+            request = urllib.request.Request(
+                self.base_url + path,
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST")
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(
+                    exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                message = exc.reason
+            raise ServiceError(exc.code, message) from None
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("/health")
+
+    def catalogues(self) -> list[dict]:
+        return self._request("/catalogues")["catalogues"]
+
+    def stats(self) -> dict:
+        return self._request("/stats")
+
+    def answer(self, catalogue: str, q, k: int, why_not, *,
+               algorithm: str = "mqp", sample_size: int = 200,
+               seed: int = 0) -> dict:
+        """Answer one why-not question; returns the execution item."""
+        payload = _jsonable_question(q, k, why_not)
+        payload.update(catalogue=catalogue, algorithm=algorithm,
+                       sample_size=int(sample_size), seed=int(seed))
+        return self._request("/answer", payload)["item"]
+
+    def batch(self, catalogue: str, questions, *,
+              algorithm: str = "mqp", sample_size: int = 200,
+              seed: int = 0, workers: int = 1) -> dict:
+        """Answer many ``(q, k, why_not)`` questions in one request.
+
+        Returns the full response: ``{"items": [...],
+        "summary": {...}}``.
+        """
+        payload = {
+            "catalogue": catalogue,
+            "questions": [_jsonable_question(q, k, wm)
+                          for q, k, wm in questions],
+            "algorithm": algorithm,
+            "sample_size": int(sample_size),
+            "seed": int(seed),
+            "workers": int(workers),
+        }
+        return self._request("/batch", payload)

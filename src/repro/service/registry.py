@@ -1,0 +1,152 @@
+"""Named catalogues, each owning one warmed ``DatasetContext``.
+
+A serving process typically fronts a handful of catalogues (one per
+market / data product).  The registry is the single place they are
+loaded, warmed and looked up, so every request for the same catalogue
+name rides the same R-tree and the same LRU-bounded partition caches.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.context import DEFAULT_CACHE_CAP, DatasetContext
+
+
+class CatalogueRegistry:
+    """Thread-safe name → :class:`DatasetContext` mapping.
+
+    Catalogues enter the registry three ways: an in-process array
+    (:meth:`register`), an existing context (:meth:`register_context`,
+    e.g. to share a cache with an embedding application), or a
+    ``.npz`` archive written by :func:`repro.data.io.save_dataset`
+    (:meth:`load`).  Registration warms the R-tree by default so the
+    first request does not pay index construction.
+
+    Parameters
+    ----------
+    max_partitions, max_box_caches:
+        Default LRU bounds applied to every context the registry
+        constructs (overridable per catalogue).
+    """
+
+    def __init__(self, *,
+                 max_partitions: int | None = DEFAULT_CACHE_CAP,
+                 max_box_caches: int | None = DEFAULT_CACHE_CAP):
+        self.max_partitions = max_partitions
+        self.max_box_caches = max_box_caches
+        self._lock = threading.Lock()
+        self._contexts: dict[str, DatasetContext] = {}
+        self._meta: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, points, *, warm: bool = True,
+                 max_partitions: int | None = None,
+                 max_box_caches: int | None = None,
+                 meta: dict | None = None) -> DatasetContext:
+        """Register an in-process point array under ``name``."""
+        context = DatasetContext(
+            points,
+            max_partitions=(self.max_partitions if max_partitions
+                            is None else max_partitions),
+            max_box_caches=(self.max_box_caches if max_box_caches
+                            is None else max_box_caches))
+        return self.register_context(name, context, warm=warm,
+                                     meta=meta)
+
+    def register_context(self, name: str, context: DatasetContext, *,
+                         warm: bool = True,
+                         meta: dict | None = None) -> DatasetContext:
+        """Adopt an existing context under ``name``."""
+        if not name:
+            raise ValueError("catalogue name must be non-empty")
+        if warm:
+            context.tree     # build the index before serving traffic
+        with self._lock:
+            if name in self._contexts:
+                raise ValueError(f"catalogue {name!r} already "
+                                 "registered")
+            self._contexts[name] = context
+            self._meta[name] = dict(meta or {})
+        return context
+
+    def load(self, name: str, path, *, warm: bool = True,
+             max_partitions: int | None = None,
+             max_box_caches: int | None = None) -> DatasetContext:
+        """Register a catalogue from a ``save_dataset`` archive."""
+        from repro.data.io import load_dataset
+
+        points, meta = load_dataset(path)
+        meta["path"] = str(Path(path))
+        return self.register(name, points, warm=warm,
+                             max_partitions=max_partitions,
+                             max_box_caches=max_box_caches, meta=meta)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> DatasetContext:
+        with self._lock:
+            try:
+                return self._contexts[name]
+            except KeyError:
+                known = ", ".join(sorted(self._contexts)) or "<none>"
+                raise KeyError(f"unknown catalogue {name!r} "
+                               f"(registered: {known})") from None
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._contexts)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._contexts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._contexts)
+
+    def describe(self) -> list[dict]:
+        """JSON-safe description of every catalogue, with cache stats
+        — the payload behind the ``/catalogues`` endpoint."""
+        with self._lock:
+            items = sorted(self._contexts.items())
+            metas = dict(self._meta)
+        out = []
+        for name, context in items:
+            stats = context.stats
+            out.append({
+                "name": name,
+                "n": context.n,
+                "d": context.dim,
+                "max_partitions": context.max_partitions,
+                "max_box_caches": context.max_box_caches,
+                "cached_partitions": context.n_cached_partitions,
+                "cached_box_caches": context.n_cached_box_caches,
+                "meta": {k: v for k, v in metas.get(name, {}).items()
+                         if not isinstance(v, np.ndarray)},
+                "stats": {
+                    "tree_builds": stats.tree_builds,
+                    "findincom_traversals": stats.findincom_traversals,
+                    "partition_hits": stats.partition_hits,
+                    "partition_misses": stats.partition_misses,
+                    "partition_evictions": stats.partition_evictions,
+                    "box_cache_hits": stats.box_cache_hits,
+                    "box_cache_evictions": stats.box_cache_evictions,
+                    "buffer_reuses": stats.buffer_reuses,
+                    "cache_hits": stats.cache_hits,
+                    "evictions": stats.evictions,
+                    "index_work": stats.index_work,
+                },
+            })
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CatalogueRegistry({self.names()})"

@@ -1,0 +1,336 @@
+"""Stdlib-only JSON-over-HTTP server for why-not questions.
+
+``http.server`` is not a production web stack, but it is the right
+tool here: the repro must stay dependency-free, the payloads are tiny
+JSON documents, and the actual work per request — NumPy/BLAS kernels
+that release the GIL — parallelizes fine under
+``ThreadingHTTPServer``'s thread-per-request model combined with the
+executor's ``workers=`` thread pool for ``/batch``.
+
+Endpoints
+---------
+
+``GET /health``
+    Liveness probe: ``{"status": "ok"}``.
+``GET /catalogues``
+    Registered catalogues with shapes, LRU bounds and cache stats.
+``GET /stats``
+    Per-endpoint request counts / error counts / latency aggregates
+    plus the per-catalogue cache stats — the observability surface the
+    load benchmark and the CI smoke test read.
+``POST /answer``
+    One question: ``{"catalogue", "q", "k", "why_not",
+    "algorithm", "sample_size", "seed"}`` → one execution item.
+``POST /batch``
+    Many questions through
+    :func:`repro.engine.executor.execute_batch`:
+    ``{"catalogue", "questions": [{"q", "k", "why_not"}, ...],
+    "algorithm", "sample_size", "seed", "workers"}`` → items plus a
+    summary.
+
+Client errors (malformed JSON, unknown catalogue/algorithm, bad
+shapes) are ``400`` with ``{"error": ...}``; unknown paths are
+``404``.  Per-question failures inside a batch are *not* HTTP errors:
+they come back as items with ``error`` set, exactly like the
+library-level executor.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.service.registry import CatalogueRegistry
+
+
+@dataclass
+class EndpointStats:
+    """Latency/throughput aggregates for one endpoint."""
+
+    requests: int = 0
+    errors: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        mean = (self.total_seconds / self.requests
+                if self.requests else 0.0)
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": mean,
+            "max_seconds": self.max_seconds,
+            "throughput_rps": (1.0 / mean) if mean > 0 else 0.0,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Thread-safe per-endpoint request statistics."""
+
+    started: float = field(default_factory=time.time)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _endpoints: dict[str, EndpointStats] = field(default_factory=dict)
+
+    def record(self, endpoint: str, seconds: float, *,
+               error: bool = False) -> None:
+        with self._lock:
+            stats = self._endpoints.setdefault(endpoint,
+                                               EndpointStats())
+            stats.requests += 1
+            stats.errors += int(error)
+            stats.total_seconds += seconds
+            stats.max_seconds = max(stats.max_seconds, seconds)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            endpoints = {name: stats.as_dict() for name, stats
+                         in sorted(self._endpoints.items())}
+        return {
+            "uptime_seconds": time.time() - self.started,
+            "endpoints": endpoints,
+        }
+
+
+def _item_to_dict(item) -> dict:
+    """JSON-safe form of one :class:`ExecutionItem`."""
+    from repro.data.io import result_to_dict
+
+    penalty = item.penalty
+    return {
+        "index": item.index,
+        "algorithm": item.algorithm,
+        "valid": bool(item.valid),
+        "error": item.error,
+        "elapsed": float(item.elapsed),
+        "penalty": (None if penalty is None
+                    or (isinstance(penalty, float)
+                        and math.isnan(penalty))
+                    else float(penalty)),
+        "result": (None if item.result is None
+                   else result_to_dict(item.result)),
+    }
+
+
+def _parse_question(entry) -> tuple[np.ndarray, int, np.ndarray]:
+    """One ``(q, k, why_not)`` triple from a JSON dict or 3-list."""
+    if isinstance(entry, dict):
+        try:
+            raw_q, raw_k, raw_wm = (entry["q"], entry["k"],
+                                    entry["why_not"])
+        except KeyError as exc:
+            raise ValueError(f"question missing field {exc}") from None
+    elif isinstance(entry, (list, tuple)) and len(entry) == 3:
+        raw_q, raw_k, raw_wm = entry
+    else:
+        raise ValueError("each question must be a "
+                         "{q, k, why_not} object or a 3-element list")
+    q = np.asarray(raw_q, dtype=np.float64)
+    wm = np.atleast_2d(np.asarray(raw_wm, dtype=np.float64))
+    if q.ndim != 1:
+        raise ValueError("q must be a flat coordinate list")
+    if wm.ndim != 2 or wm.shape[1] != q.shape[0]:
+        raise ValueError("why_not must be a (m, d) weight list "
+                         "matching q's dimensionality")
+    return q, int(raw_k), wm
+
+
+class WhyNotRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests against the owning server's registry."""
+
+    protocol_version = "HTTP/1.1"
+    server: "WhyNotServer"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format, *args):   # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _drain_body(self) -> None:
+        """Consume an unused request body.
+
+        Keep-alive (HTTP/1.1) requires every handler to read the full
+        body before responding — leftover bytes would be parsed as the
+        start of the connection's next request.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            self.rfile.read(length)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    def _handle(self, endpoint: str, fn) -> None:
+        start = time.perf_counter()
+        error = False
+        try:
+            status, payload = fn()
+        except (ValueError, TypeError, KeyError) as exc:
+            # TypeError covers malformed scalar payload fields, e.g.
+            # ``"k": null`` hitting int() — a client error, not ours.
+            error = True
+            message = (str(exc.args[0]) if isinstance(exc, KeyError)
+                       and exc.args else str(exc))
+            status, payload = 400, {"error": message}
+        except Exception as exc:   # pragma: no cover - defensive
+            error = True
+            status, payload = 500, {
+                "error": f"{type(exc).__name__}: {exc}"}
+        try:
+            self._send_json(status, payload)
+        finally:
+            self.server.service_stats.record(
+                endpoint, time.perf_counter() - start,
+                error=error or status >= 400)
+
+    # -- routing -------------------------------------------------------
+
+    def do_GET(self) -> None:   # noqa: N802 (http.server API)
+        if self.path == "/health":
+            self._handle("GET /health",
+                         lambda: (200, {"status": "ok"}))
+        elif self.path == "/catalogues":
+            self._handle("GET /catalogues", self._get_catalogues)
+        elif self.path == "/stats":
+            self._handle("GET /stats", self._get_stats)
+        else:
+            self._not_found()
+
+    def do_POST(self) -> None:   # noqa: N802 (http.server API)
+        if self.path == "/answer":
+            self._handle("POST /answer", self._post_answer)
+        elif self.path == "/batch":
+            self._handle("POST /batch", self._post_batch)
+        else:
+            self._not_found()
+
+    def _not_found(self) -> None:
+        self._drain_body()
+        self._handle("404", lambda: (404, {
+            "error": f"unknown path {self.path!r}"}))
+
+    # -- endpoints -----------------------------------------------------
+
+    def _get_catalogues(self) -> tuple[int, dict]:
+        return 200, {"catalogues": self.server.registry.describe()}
+
+    def _get_stats(self) -> tuple[int, dict]:
+        payload = self.server.service_stats.snapshot()
+        payload["catalogues"] = self.server.registry.describe()
+        return 200, payload
+
+    def _post_answer(self) -> tuple[int, dict]:
+        from repro.engine.executor import answer_one
+
+        body = self._read_json()
+        context = self.server.registry.get(
+            self._required(body, "catalogue"))
+        q, k, wm = _parse_question(body)
+        item = answer_one(
+            context, 0, q, k, wm,
+            body.get("algorithm", "mqp"),
+            sample_size=int(body.get("sample_size", 200)),
+            rng=np.random.default_rng(int(body.get("seed", 0))))
+        return 200, {"item": _item_to_dict(item)}
+
+    def _post_batch(self) -> tuple[int, dict]:
+        from repro.core.batch import BatchReport
+        from repro.engine.executor import execute_batch
+
+        body = self._read_json()
+        context = self.server.registry.get(
+            self._required(body, "catalogue"))
+        questions = body.get("questions")
+        if not isinstance(questions, list) or not questions:
+            raise ValueError("questions must be a non-empty list")
+        triples = [_parse_question(entry) for entry in questions]
+        start = time.perf_counter()
+        items = execute_batch(
+            context, triples, body.get("algorithm", "mqp"),
+            sample_size=int(body.get("sample_size", 200)),
+            seed=int(body.get("seed", 0)),
+            workers=int(body.get("workers", 1)))
+        wall = time.perf_counter() - start
+        summary = BatchReport(items=items).summary()
+        summary["wall_seconds"] = wall
+        return 200, {
+            "items": [_item_to_dict(item) for item in items],
+            "summary": summary,
+        }
+
+    @staticmethod
+    def _required(body: dict, key: str):
+        try:
+            return body[key]
+        except KeyError:
+            raise ValueError(f"request is missing {key!r}") from None
+
+
+class WhyNotServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` owning a registry and request stats."""
+
+    daemon_threads = True
+
+    def __init__(self, address, registry: CatalogueRegistry, *,
+                 verbose: bool = False):
+        super().__init__(address, WhyNotRequestHandler)
+        self.registry = registry
+        self.service_stats = ServiceStats()
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+
+def create_server(registry: CatalogueRegistry, *,
+                  host: str = "127.0.0.1", port: int = 0,
+                  verbose: bool = False) -> WhyNotServer:
+    """Bind a :class:`WhyNotServer` (``port=0`` → ephemeral port).
+
+    The caller drives it: ``serve_forever()`` to block (the CLI), or
+    a daemon thread + ``shutdown()`` for embedding in tests:
+
+    >>> from repro.service import CatalogueRegistry, create_server
+    >>> import numpy as np, threading
+    >>> registry = CatalogueRegistry()
+    >>> _ = registry.register("demo", np.random.default_rng(0)
+    ...                       .random((64, 2)))
+    >>> server = create_server(registry)
+    >>> thread = threading.Thread(target=server.serve_forever,
+    ...                           daemon=True)
+    >>> thread.start()
+    >>> server.port > 0
+    True
+    >>> server.shutdown(); server.server_close()
+    """
+    return WhyNotServer((host, port), registry, verbose=verbose)

@@ -1,8 +1,17 @@
 """Unit tests for the command-line interface."""
 
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+
+SRC = Path(__file__).resolve().parent.parent / "src"
 
 
 class TestRefine:
@@ -56,6 +65,76 @@ class TestBench:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServe:
+    def test_load_spec_validated(self, capsys):
+        assert main(["serve", "--load", "no-equals-sign"]) == 2
+        assert "NAME=PATH" in capsys.readouterr().err
+
+    def test_load_missing_file_is_clean_error(self, capsys, tmp_path):
+        missing = tmp_path / "nope.npz"
+        assert main(["serve", "--load", f"cat={missing}"]) == 2
+        assert "failed to register" in capsys.readouterr().err
+
+    def test_load_corrupt_file_is_clean_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not a zip archive")
+        assert main(["serve", "--load", f"cat={bad}"]) == 2
+        assert "failed to register" in capsys.readouterr().err
+
+    def test_serve_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "serve" in capsys.readouterr().out
+
+    def test_serve_help_documents_daemon(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--max-partitions" in out
+        assert "ephemeral" in out
+
+    def test_boot_answer_shutdown(self, tmp_path):
+        """End-to-end: boot ``wqrtq serve`` on an ephemeral port as a
+        real subprocess, answer one question through the client, and
+        shut it down — the same sequence the CI smoke step runs."""
+        from repro.service import ServiceClient
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(SRC)] + ([env["PYTHONPATH"]]
+                          if env.get("PYTHONPATH") else []))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "-n", "400", "--seed", "2", "--name", "smoke",
+             "--max-partitions", "32"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, cwd=tmp_path, env=env)
+        try:
+            port = None
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                match = re.search(r"serving on http://[^:]+:(\d+)",
+                                  line or "")
+                if match:
+                    port = int(match.group(1))
+                    break
+                assert proc.poll() is None, proc.stderr.read()
+            assert port, "server never announced its port"
+            client = ServiceClient(port=port)
+            assert client.health() == {"status": "ok"}
+            (entry,) = client.catalogues()
+            assert entry["name"] == "smoke"
+            assert entry["max_partitions"] == 32
+            item = client.answer(
+                "smoke", [0.2] * 3, 5, [[0.4, 0.3, 0.3]],
+                algorithm="mqp")
+            assert item["valid"] and item["error"] is None
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
 
 
 class TestPlot:

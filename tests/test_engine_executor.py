@@ -99,6 +99,31 @@ class TestParallelDeterminism:
         assert report_fingerprint(a.items) == report_fingerprint(b.items)
         assert a.summary()["answered"] == len(questions)
 
+    def test_failing_items_identical_serial_parallel(self, points,
+                                                     questions):
+        """Batches containing failing items must still be
+        bit-identical between the serial and threaded paths."""
+        wm = preference_set(1, 3, seed=2)
+        bad = (np.zeros(3), K, wm)       # rank 1: never missing
+        mixed = questions[:3] + [bad] + questions[3:6]
+        serial = execute_batch(DatasetContext(points), mixed, "mwk",
+                               sample_size=40, seed=2, workers=1)
+        threaded = execute_batch(DatasetContext(points), mixed, "mwk",
+                                 sample_size=40, seed=2, workers=3)
+
+        def normalize(items):
+            # Failed items carry penalty=nan, which never compares
+            # equal to itself.
+            out = report_fingerprint(items)
+            for entry in out:
+                if np.isnan(entry["penalty"]):
+                    entry["penalty"] = None
+            return out
+
+        assert normalize(serial) == normalize(threaded)
+        assert serial[3].error is not None
+        assert sum(item.error is None for item in serial) == 6
+
     def test_item_order_preserved(self, points, questions):
         items = execute_batch(DatasetContext(points), questions, "mqp",
                               workers=4)
@@ -121,6 +146,43 @@ class TestExecutionItems:
         assert items[0].error is None and items[0].valid
         assert "already has q" in items[1].error
         assert items[1].elapsed >= 0.0
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    @pytest.mark.parametrize("exc_type, marker", [
+        (np.linalg.LinAlgError, "singular KKT system"),
+        (RuntimeError, "RuntimeError: solver state corrupted"),
+    ])
+    def test_unexpected_exception_is_isolated(self, points,
+                                              monkeypatch, workers,
+                                              exc_type, marker):
+        """An exception escaping an algorithm (e.g. a LinAlgError
+        from the QP solver) must become a failed item, not abort the
+        batch via ``pool.map`` and lose every completed sibling."""
+        import repro.engine.executor as executor_module
+
+        real_mqp = executor_module.modify_query_point
+        poison = np.float64(0.123456789)
+
+        def exploding_mqp(query):
+            if query.q[0] == poison:
+                raise exc_type(marker.split(": ")[-1])
+            return real_mqp(query)
+
+        monkeypatch.setattr(executor_module, "modify_query_point",
+                            exploding_mqp)
+        wm = preference_set(1, 3, seed=2)
+        good_q = query_point_with_rank(points, wm[0], RANK)
+        bad_q = good_q.copy()
+        bad_q[0] = poison
+        items = execute_batch(
+            DatasetContext(points),
+            [(good_q, K, wm), (bad_q, K, wm), (good_q, K, wm)],
+            "mqp", workers=workers)
+        assert [item.error is None for item in items] == \
+            [True, False, True]
+        assert marker in items[1].error
+        assert not items[1].valid and np.isnan(items[1].penalty)
+        assert items[0].valid and items[2].valid
 
     def test_unknown_algorithm(self, points):
         with pytest.raises(ValueError, match="unknown algorithm"):

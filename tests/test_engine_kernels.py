@@ -139,6 +139,40 @@ class TestKthScoresBatch:
         assert scores[0] == legacy_score
         assert ids[0] in (1, 2)
 
+    def test_tie_straddling_partition_boundary(self):
+        """Regression: ties across the k-th position must resolve by
+        (score, id), not by whichever subset argpartition selected.
+
+        With scores [1, 1, 1] and k=2 the ascending (score, id) order
+        is (1,0), (1,1), (1,2) — the 2nd is id 1, but the old
+        argpartition-based selection could return id 2.
+        """
+        points = np.ones((3, 2)) * 0.5
+        ids, scores = kernels.kth_scores_batch(points, [[1.0, 1.0]],
+                                               k=2)
+        assert ids[0] == 1
+        assert scores[0] == 1.0
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 7, 8])
+    def test_duplicate_scores_cross_check_topk(self, k):
+        """kth_scores_batch == last of topk_ids == brute lexsort, on
+        a dataset engineered so score ties straddle every boundary."""
+        rng = np.random.default_rng(3)
+        # 8 points but only 3 distinct score levels under w=(1, 1):
+        # heavy duplication guarantees boundary-straddling ties.
+        levels = rng.choice([0.2, 0.5, 0.9], size=8)
+        points = np.column_stack([levels * 0.25, levels * 0.75])
+        weights = np.array([[1.0, 1.0], [2.0, 2.0]])
+        ids, scores = kernels.kth_scores_batch(points, weights, k=k)
+        for i, w in enumerate(weights):
+            row = points @ w
+            order = np.lexsort((np.arange(len(points)), row))
+            assert ids[i] == order[k - 1]
+            assert scores[i] == row[order[k - 1]]
+            top = kernels.topk_ids(points, w, k)
+            np.testing.assert_array_equal(top, order[:k])
+            assert ids[i] == top[-1]
+
     def test_small_dataset_rejected(self, data):
         points, weights, _ = data
         with pytest.raises(ValueError, match="fewer than"):

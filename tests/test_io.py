@@ -54,6 +54,43 @@ class TestDatasetCache:
         dataset_cache(tmp_path, "independent", 50, 2, seed=2)
         assert len(list(tmp_path.glob("*.npz"))) == 2
 
+    def test_truncated_cache_is_regenerated(self, tmp_path):
+        """A truncated .npz (interrupted write) must be treated as a
+        miss and overwritten, not poison every later run."""
+        first = dataset_cache(tmp_path, "independent", 80, 3, seed=4)
+        (path,) = tmp_path.glob("*.npz")
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) // 2])
+        with pytest.raises(Exception):
+            load_dataset(path)   # the archive really is broken
+        recovered = dataset_cache(tmp_path, "independent", 80, 3,
+                                  seed=4)
+        assert np.array_equal(recovered, first)
+        # The bad file was overwritten with a loadable archive.
+        reloaded, meta = load_dataset(path)
+        assert np.array_equal(reloaded, first)
+        assert meta["seed"] == 4
+
+    def test_garbage_cache_file_is_regenerated(self, tmp_path):
+        path = tmp_path / "independent_n30_d2_s0.npz"
+        path.write_bytes(b"this is not a zip archive")
+        points = dataset_cache(tmp_path, "independent", 30, 2, seed=0)
+        assert points.shape == (30, 2)
+        reloaded, _ = load_dataset(path)
+        assert np.array_equal(reloaded, points)
+
+    def test_wrong_params_archive_is_replaced(self, tmp_path):
+        """A readable archive whose metadata disagrees with the cache
+        key (e.g. a renamed file) is regenerated, same as before."""
+        other = dataset_cache(tmp_path, "independent", 40, 2, seed=9)
+        (src,) = tmp_path.glob("*.npz")
+        target = tmp_path / "independent_n40_d2_s1.npz"
+        src.rename(target)
+        fresh = dataset_cache(tmp_path, "independent", 40, 2, seed=1)
+        assert not np.array_equal(fresh, other)
+        _, meta = load_dataset(target)
+        assert meta["seed"] == 1
+
 
 class TestResultSerialization:
     @pytest.fixture()

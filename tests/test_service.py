@@ -1,0 +1,330 @@
+"""Service layer: registry, HTTP endpoints, bounded serving.
+
+The server under test is a real ``ThreadingHTTPServer`` bound to an
+ephemeral loopback port and driven through the package's own
+:class:`ServiceClient` — the same wire path ``wqrtq serve`` exposes.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data import independent, preference_set, query_point_with_rank
+from repro.engine.context import DatasetContext
+from repro.engine.executor import answer_one, execute_batch
+from repro.service import (
+    CatalogueRegistry,
+    ServiceClient,
+    ServiceError,
+    create_server,
+)
+
+N = 400
+D = 3
+K = 10
+RANK = 41
+
+
+@pytest.fixture(scope="module")
+def points():
+    return independent(N, D, seed=17)
+
+
+@pytest.fixture(scope="module")
+def registry(points):
+    reg = CatalogueRegistry()
+    reg.register("demo", points, meta={"kind": "independent"})
+    reg.register("bounded", points, max_partitions=8,
+                 max_box_caches=8)
+    return reg
+
+
+@pytest.fixture(scope="module")
+def server(registry):
+    srv = create_server(registry)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(port=server.port)
+
+
+def make_question(points, j, *, rank=RANK):
+    w = preference_set(1, D, seed=7000 + j)
+    q = query_point_with_rank(points, w[0], rank)
+    return q, K, w
+
+
+class TestRegistry:
+    def test_names_and_contains(self, registry):
+        assert registry.names() == ["bounded", "demo"]
+        assert "demo" in registry and "nope" not in registry
+        assert len(registry) == 2
+
+    def test_registration_warms_tree(self, registry):
+        assert registry.get("demo").stats.tree_builds == 1
+
+    def test_duplicate_name_rejected(self, registry, points):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("demo", points)
+
+    def test_empty_name_rejected(self, points):
+        with pytest.raises(ValueError, match="non-empty"):
+            CatalogueRegistry().register("", points)
+
+    def test_unknown_name(self, registry):
+        with pytest.raises(KeyError, match="unknown catalogue"):
+            registry.get("nope")
+
+    def test_load_from_archive(self, tmp_path, points):
+        from repro.data.io import save_dataset
+
+        path = save_dataset(tmp_path / "cat.npz", points,
+                            kind="independent", seed=17)
+        reg = CatalogueRegistry(max_partitions=16)
+        context = reg.load("disk", path)
+        assert np.array_equal(context.points, points)
+        assert context.max_partitions == 16
+        (entry,) = reg.describe()
+        assert entry["meta"]["kind"] == "independent"
+        assert entry["meta"]["path"] == str(path)
+
+    def test_describe_is_json_safe(self, registry):
+        import json
+
+        json.dumps(registry.describe())
+
+
+class TestPlumbingEndpoints:
+    def test_health(self, client):
+        assert client.health() == {"status": "ok"}
+
+    def test_catalogues(self, client):
+        entries = {e["name"]: e for e in client.catalogues()}
+        assert set(entries) == {"demo", "bounded"}
+        assert entries["demo"]["n"] == N
+        assert entries["demo"]["d"] == D
+        assert entries["bounded"]["max_partitions"] == 8
+
+    def test_unknown_path_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request("/nope")
+        assert err.value.status == 404
+
+    def test_unknown_catalogue_400(self, client, points):
+        q, k, wm = make_question(points, 0)
+        with pytest.raises(ServiceError) as err:
+            client.answer("nope", q, k, wm)
+        assert err.value.status == 400
+        assert "unknown catalogue" in err.value.message
+
+    def test_malformed_json_400(self, client):
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            client.base_url + "/answer", data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+    def test_missing_field_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request("/answer", {"catalogue": "demo"})
+        assert err.value.status == 400
+        assert "missing" in err.value.message
+
+    def test_mismatched_shapes_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request("/answer", {
+                "catalogue": "demo", "q": [0.5] * D, "k": K,
+                "why_not": [[0.5, 0.5]]})   # wrong dimensionality
+        assert err.value.status == 400
+
+    def test_unknown_algorithm_400(self, client, points):
+        q, k, wm = make_question(points, 0)
+        with pytest.raises(ServiceError) as err:
+            client.answer("demo", q, k, wm, algorithm="simplex")
+        assert err.value.status == 400
+        assert "unknown algorithm" in err.value.message
+
+    def test_null_scalar_field_400(self, client):
+        """Malformed scalar fields (k=null) are client errors."""
+        with pytest.raises(ServiceError) as err:
+            client._request("/answer", {
+                "catalogue": "demo", "q": [0.5] * D, "k": None,
+                "why_not": [[0.4, 0.3, 0.3]]})
+        assert err.value.status == 400
+
+    def test_unknown_post_path_keeps_connection_usable(self, server):
+        """A 404'd POST must still drain its body, or the unread
+        bytes desynchronize a keep-alive connection and the *next*
+        request on it is garbage-parsed."""
+        import http.client
+        import json as jsonlib
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=10)
+        try:
+            conn.request("POST", "/nope", body=b'{"x": 1}',
+                         headers={"Content-Type":
+                                  "application/json"})
+            response = conn.getresponse()
+            assert response.status == 404
+            response.read()
+            # Same connection, next request: must parse cleanly.
+            conn.request("GET", "/health")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert jsonlib.loads(response.read()) == {"status": "ok"}
+        finally:
+            conn.close()
+
+    def test_empty_batch_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request("/batch", {"catalogue": "demo",
+                                       "questions": []})
+        assert err.value.status == 400
+
+
+class TestAnswer:
+    def test_matches_local_execution(self, client, points):
+        q, k, wm = make_question(points, 1)
+        item = client.answer("demo", q, k, wm, algorithm="mqp",
+                             seed=3)
+        local = answer_one(DatasetContext(points), 0, q, k, wm,
+                           "mqp", rng=np.random.default_rng(3))
+        assert item["valid"] and item["error"] is None
+        assert item["penalty"] == local.penalty
+        assert item["result"]["kind"] == "mqp"
+        np.testing.assert_array_equal(item["result"]["q_refined"],
+                                      local.result.q_refined)
+
+    def test_question_as_list_payload(self, client, points):
+        q, k, wm = make_question(points, 2)
+        response = client._request("/batch", {
+            "catalogue": "demo",
+            "questions": [[q.tolist(), k, wm.tolist()]]})
+        assert response["summary"]["answered"] == 1
+
+    def test_invalid_question_is_item_error_not_http_error(
+            self, client, points):
+        """A question that fails validation is an application-level
+        failed item — the HTTP layer reports 200."""
+        q, k, wm = make_question(points, 3, rank=5)   # already top-k
+        item = client.answer("demo", q, k, wm)
+        assert item["error"] is not None
+        assert "already has q" in item["error"]
+        assert item["penalty"] is None and not item["valid"]
+
+
+class TestBatch:
+    @pytest.fixture(scope="class")
+    def questions(self, points):
+        return [make_question(points, 10 + j) for j in range(6)]
+
+    def test_matches_local_execute_batch(self, client, points,
+                                         questions):
+        response = client.batch("demo", questions, algorithm="mwk",
+                                sample_size=30, seed=5)
+        local = execute_batch(DatasetContext(points), questions,
+                              "mwk", sample_size=30, seed=5)
+        assert response["summary"]["answered"] == len(questions)
+        assert response["summary"]["all_valid"]
+        for item, want in zip(response["items"], local):
+            assert item["penalty"] == want.penalty
+            assert item["result"]["k_refined"] == want.result.k_refined
+
+    def test_workers_do_not_change_results(self, client, questions):
+        serial = client.batch("demo", questions, algorithm="mwk",
+                              sample_size=30, seed=5, workers=1)
+        threaded = client.batch("demo", questions, algorithm="mwk",
+                                sample_size=30, seed=5, workers=4)
+        strip = lambda resp: [  # noqa: E731
+            {k: v for k, v in item.items() if k != "elapsed"}
+            for item in resp["items"]]
+        assert strip(serial) == strip(threaded)
+
+    def test_poisoned_item_does_not_kill_batch(self, client, points,
+                                               questions):
+        poisoned = (questions[:2]
+                    + [make_question(points, 30, rank=5)]
+                    + questions[2:4])
+        response = client.batch("demo", poisoned, seed=2)
+        summary = response["summary"]
+        assert summary["answered"] == 4 and summary["failed"] == 1
+        errors = [item["error"] for item in response["items"]]
+        assert errors[2] is not None
+        assert all(e is None for i, e in enumerate(errors) if i != 2)
+
+
+class TestStatsEndpoint:
+    def test_endpoint_latency_and_counts(self, client, points):
+        q, k, wm = make_question(points, 40)
+        client.answer("demo", q, k, wm)
+        stats = client.stats()
+        assert stats["uptime_seconds"] > 0
+        answer_stats = stats["endpoints"]["POST /answer"]
+        assert answer_stats["requests"] >= 1
+        assert answer_stats["total_seconds"] > 0
+        assert answer_stats["mean_seconds"] > 0
+        assert answer_stats["max_seconds"] >= \
+            answer_stats["mean_seconds"]
+        assert answer_stats["throughput_rps"] > 0
+        cache_stats = {e["name"]: e["stats"]
+                       for e in stats["catalogues"]}
+        assert cache_stats["demo"]["findincom_traversals"] >= 0
+
+    def test_errors_are_counted(self, client):
+        before = client.stats()["endpoints"].get(
+            "POST /answer", {}).get("errors", 0)
+        with pytest.raises(ServiceError):
+            client._request("/answer", {"catalogue": "demo"})
+        after = client.stats()["endpoints"]["POST /answer"]["errors"]
+        assert after == before + 1
+
+
+class TestBoundedServing:
+    def test_fifty_products_stay_within_cap(self, client, registry,
+                                            points):
+        """Acceptance criterion, over the wire: 50 distinct products
+        against a cap-8 catalogue keep at most 8 resident partitions,
+        report evictions, and answer exactly like an unbounded
+        context."""
+        questions = [make_question(points, 100 + j)
+                     for j in range(50)]
+        response = client.batch("bounded", questions,
+                                algorithm="mwk", sample_size=25,
+                                seed=11)
+        assert response["summary"]["answered"] == 50
+
+        context = registry.get("bounded")
+        assert len(context._partitions) <= 8
+        assert context.stats.partition_evictions > 0
+
+        unbounded = DatasetContext(points, max_partitions=None,
+                                   max_box_caches=None)
+        local = execute_batch(unbounded, questions, "mwk",
+                              sample_size=25, seed=11)
+        for item, want in zip(response["items"], local):
+            assert item["error"] is None and want.error is None
+            assert item["penalty"] == want.penalty
+            assert item["result"]["k_refined"] == want.result.k_refined
+            np.testing.assert_array_equal(
+                item["result"]["weights_refined"],
+                want.result.weights_refined)
+
+        entries = {e["name"]: e for e in client.catalogues()}
+        assert entries["bounded"]["cached_partitions"] <= 8
+        assert entries["bounded"]["stats"]["partition_evictions"] > 0
