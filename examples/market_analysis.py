@@ -12,15 +12,17 @@ The script:
    current fans;
 2. picks the why-not customers the marketing team cares about (the
    panel members closest to the simplex centre — the "mainstream");
-3. compares the three WQRTQ refinement strategies and prints the
-   cheapest way to win the mainstream back.
+3. compares the three WQRTQ refinement strategies — one typed
+   ``Question`` per strategy, answered in a single ``ask_batch`` over
+   one warmed ``Session`` — and prints the cheapest way to win the
+   mainstream back.
 
 Run:  python examples/market_analysis.py
 """
 
 import numpy as np
 
-from repro import WQRTQ
+from repro import Question, Session
 from repro.data import independent, preference_set
 
 RNG_SEED = 7
@@ -29,8 +31,6 @@ N_CUSTOMERS = 200
 DIM = 4
 K = 10
 
-rng = np.random.default_rng(RNG_SEED)
-
 products = independent(N_PRODUCTS, DIM, seed=RNG_SEED)
 panel = preference_set(N_CUSTOMERS, DIM, seed=RNG_SEED + 1)
 
@@ -38,16 +38,16 @@ panel = preference_set(N_CUSTOMERS, DIM, seed=RNG_SEED + 1)
 # but not dominant offering.
 q = np.quantile(products, 0.25, axis=0) * 0.85
 
-engine = WQRTQ(products, q, k=K, weights=panel)
+session = Session(products)
 
 print(f"Product q = {np.round(q, 3)} vs {N_PRODUCTS} competitors, "
       f"{N_CUSTOMERS}-customer panel, k = {K}")
 
-fans = engine.reverse_topk()
+fans = session.reverse_topk(q, K, weights=panel)
 print(f"\nCurrent fans: {len(fans)} / {N_CUSTOMERS} panel members")
 
 # Mainstream customers = closest to the uniform preference.
-missing_all = engine.missing_weights()
+missing_all = session.missing_weights(q, K, panel)
 centre = np.full(DIM, 1.0 / DIM)
 dist_to_centre = np.linalg.norm(missing_all - centre, axis=1)
 mainstream = missing_all[np.argsort(dist_to_centre)[:3]]
@@ -56,20 +56,27 @@ for w in mainstream:
     print(f"  w = {np.round(w, 3)}")
 
 print("\nWhy do they skip q?")
-for expl in engine.explain(mainstream, max_culprits=3):
+probe = Question(q=q, k=K, why_not=mainstream)
+for expl in session.explain(probe, max_culprits=3):
     print(f"  {expl.describe(K)}")
 
 print("\nRefinement options:")
-mqp = engine.modify_query_point(mainstream)
+strategies = [
+    Question(q=q, k=K, why_not=mainstream, algorithm="mqp",
+             id="redesign"),
+    Question(q=q, k=K, why_not=mainstream, algorithm="mwk",
+             options={"sample_size": 800}, id="influence"),
+    Question(q=q, k=K, why_not=mainstream, algorithm="mqwk",
+             options={"sample_size": 200}, id="compromise"),
+]
+answers = session.ask_batch(strategies, seed=RNG_SEED)
+assert all(a.ok for a in answers), [a.error for a in answers]
+mqp, mwk, mqwk = (a.result for a in answers)
 print(f"  MQP  : redesign to q' = {np.round(mqp.q_refined, 3)}"
       f"  -> penalty {mqp.penalty:.4f}")
-
-mwk = engine.modify_weights_and_k(mainstream, sample_size=800, rng=rng)
 print(f"  MWK  : influence preferences, k' = {mwk.k_refined}"
       f" (Δk = {mwk.delta_k}, ΔW = {mwk.delta_w:.3f})"
       f"  -> penalty {mwk.penalty:.4f}")
-
-mqwk = engine.modify_all(mainstream, sample_size=200, rng=rng)
 print(f"  MQWK : joint compromise, q' = {np.round(mqwk.q_refined, 3)},"
       f" k' = {mqwk.k_refined}  -> penalty {mqwk.penalty:.4f}")
 

@@ -16,7 +16,7 @@ Run:  python examples/nba_scouting.py
 
 import numpy as np
 
-from repro import WQRTQ
+from repro import Question, Session
 from repro.data import nba_like, preference_set
 from repro.data.synthetic import query_point_with_rank
 
@@ -24,8 +24,6 @@ SEED = 3
 N_PLAYERS = 5_000     # scaled-down season database
 DIM = 13
 K = 15
-
-rng = np.random.default_rng(SEED)
 
 players = nba_like(n=N_PLAYERS, d=DIM, seed=SEED)
 
@@ -37,13 +35,13 @@ coaches = preference_set(50, DIM, seed=SEED + 1, concentration=2.0)
 allround = np.full(DIM, 1.0 / DIM)
 prospect = query_point_with_rank(players, allround, 40) * 1.01
 
-engine = WQRTQ(players, prospect, k=K, weights=coaches)
+session = Session(players)
 
-drafting = engine.reverse_topk()
+drafting = session.reverse_topk(prospect, K, weights=coaches)
 print(f"{len(drafting)} of 50 coaching styles would draft the "
       f"prospect at k = {K}")
 
-missing = engine.missing_weights()
+missing = session.missing_weights(prospect, K, coaches)
 if len(missing) == 0:
     raise SystemExit("every coach already drafts the prospect")
 
@@ -52,20 +50,25 @@ target = missing[:1]
 print(f"\nTarget sceptic's priorities (top 3 stats): "
       f"{np.argsort(target[0])[::-1][:3].tolist()}")
 
-[expl] = engine.explain(target, max_culprits=5)
+probe = Question(q=prospect, k=K, why_not=target)
+[expl] = session.explain(probe, max_culprits=5)
 print(f"The sceptic ranks the prospect {expl.rank_of_q}"
       f" (needs <= {K}); {expl.rank_of_q - 1} players stand in the "
       f"way, e.g. ids {expl.culprit_ids[:5].tolist()}")
 
 print("\nOption 1 — training plan (MQP): improve the stat line")
-mqp = engine.modify_query_point(target)
+mqp = session.ask(Question(q=prospect, k=K, why_not=target,
+                           algorithm="mqp")).result
 delta = prospect - mqp.q_refined
 improved = np.argsort(delta)[::-1][:3]
 print(f"  focus stats {improved.tolist()} "
       f"(largest required improvements); penalty {mqp.penalty:.4f}")
 
 print("\nOption 2 — pitch deck (MWK): shift the coach's priorities")
-mwk = engine.modify_weights_and_k(target, sample_size=800, rng=rng)
+mwk = session.ask(Question(q=prospect, k=K, why_not=target,
+                           algorithm="mwk",
+                           options={"sample_size": 800}),
+                  seed=SEED).result
 shift = np.abs(mwk.weights_refined[0] - target[0])
 print(f"  k' = {mwk.k_refined} (Δk = {mwk.delta_k}); "
       f"biggest priority shifts at stats "
@@ -73,7 +76,10 @@ print(f"  k' = {mwk.k_refined} (Δk = {mwk.delta_k}); "
       f"penalty {mwk.penalty:.4f}")
 
 print("\nOption 3 — both (MQWK)")
-mqwk = engine.modify_all(target, sample_size=200, rng=rng)
+mqwk = session.ask(Question(q=prospect, k=K, why_not=target,
+                            algorithm="mqwk",
+                            options={"sample_size": 200}),
+                   seed=SEED).result
 print(f"  penalty {mqwk.penalty:.4f} "
       f"(q-share {mqwk.q_penalty_share:.4f}, "
       f"preference-share {mqwk.wk_penalty_share:.4f})")

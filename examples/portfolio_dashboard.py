@@ -6,7 +6,8 @@ A manufacturer audits its *whole* product line at once:
 1. rank the catalogue's most influential products (reverse top-k size,
    Vlachou et al. [33]);
 2. for each of the manufacturer's own products, find the customers it
-   unexpectedly misses and batch-answer the why-not questions;
+   unexpectedly misses and batch-answer the why-not questions (typed
+   ``Question``\\ s with correlation ids through ``Session.ask_batch``);
 3. for the weakest product, show the 2-D geometry (dataset + safe
    region) in the terminal and quantify the influence the MQP
    refinement would buy.
@@ -20,7 +21,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.batch import WhyNotBatch
+from repro import Question, Session
 from repro.core.safe_region import safe_region_polygon
 from repro.core.types import WhyNotQuery
 from repro.core.mqp import modify_query_point
@@ -47,9 +48,10 @@ for pid, influence in most_influential(catalogue, panel, K, 5):
 our_products = np.quantile(catalogue, [0.30, 0.45, 0.60], axis=0)
 
 print("\n== 2. Batch why-not audit of our line ==")
-batch = WhyNotBatch(catalogue)
+session = Session(catalogue)
+questions = []
 targets = []
-for q in our_products:
+for j, q in enumerate(our_products):
     members = set(brtopk_naive(catalogue, panel, q, K).tolist())
     missing = [i for i in range(len(panel)) if i not in members]
     # Ask about the three most mainstream missing customers.
@@ -57,25 +59,27 @@ for q in our_products:
     missing.sort(key=lambda i: float(np.linalg.norm(panel[i] - centre)))
     chosen = panel[missing[:3]]
     targets.append((q, chosen))
-    batch.add_question(q, K, chosen)
+    questions.append(Question(q=q, k=K, why_not=chosen,
+                              algorithm="mqp", id=f"product-{j}"))
 
-report = batch.run("mqp")
-for item in report.items:
-    if item.error:
-        print(f"  product #{item.index}: SKIPPED ({item.error})")
+answers = session.ask_batch(questions)
+for answer in answers:
+    if answer.error is not None:
+        print(f"  {answer.question_id}: SKIPPED "
+              f"({answer.error.message})")
     else:
-        print(f"  product #{item.index}: penalty "
-              f"{item.penalty:.4f}, valid={item.valid}")
-print("  summary:", report.summary())
+        print(f"  {answer.question_id}: penalty "
+              f"{answer.penalty:.4f}, valid={answer.valid}")
+print("  summary:", session.summarize(answers))
 
 save_results(OUT / "whynot_report.json",
-             [item.result for item in report.items if not item.error],
+             [answer.result for answer in answers if answer.ok],
              context={"k": K, "algorithm": "mqp"})
 print(f"  report written to {OUT / 'whynot_report.json'}")
 
 print("\n== 3. Geometry of the weakest product ==")
-answered = [item for item in report.items if not item.error]
-worst = max(answered, key=lambda item: item.penalty)
+answered = [answer for answer in answers if answer.ok]
+worst = max(answered, key=lambda answer: answer.penalty)
 q, chosen = targets[worst.index]
 polygon = safe_region_polygon(catalogue, q, chosen, K)
 print(render_plane(catalogue[:200], q, polygon=polygon,

@@ -12,29 +12,31 @@ Two studies on a 2-D catalogue (price, delivery time):
    manufacturer's cost (gamma) and the customers' cost (lambda).
    Sweeping gamma traces the compromise frontier between "change the
    product" and "change the customers' minds" — the bargaining model
-   the paper motivates via Goh et al. [13].
+   the paper motivates via Goh et al. [13].  Each sweep point is a
+   ``Session`` with its own ``PenaltyConfig`` riding the *same*
+   ``DatasetContext``, so the R-tree and FindIncom partitions are
+   paid once for the whole curve.
 
 Run:  python examples/preference_negotiation.py
 """
 
 import numpy as np
 
-from repro import WQRTQ
+from repro import DatasetContext, Question, Session
 from repro.core.penalty import PenaltyConfig
 from repro.core.safe_region import safe_region_polygon
 from repro.data import anticorrelated
 
 SEED = 11
-rng = np.random.default_rng(SEED)
 
 catalogue = anticorrelated(400, 2, seed=SEED)
 q = np.array([0.40, 0.40])   # competitive for balanced customers only
 K = 8
 
-engine = WQRTQ(catalogue, q, k=K)
+session = Session(catalogue)
 
 print("== 1. Monochromatic reverse top-8 ==")
-intervals = engine.reverse_topk()
+intervals = session.reverse_topk(q, K)
 if intervals:
     for iv in intervals:
         print(f"q is a top-{K} choice for w1 in "
@@ -57,7 +59,8 @@ print(f"\nExact safe region: {len(polygon.vertices)}-gon, "
       f"area {polygon.area():.4f} "
       f"(of the {float(np.prod(q)):.4f} box [0, q])")
 
-mqp = engine.modify_query_point(why_not)
+mqp = session.ask(Question(q=q, k=K, why_not=why_not,
+                           algorithm="mqp")).result
 print(f"MQP optimum q' = {np.round(mqp.q_refined, 3)} "
       f"(penalty {mqp.penalty:.4f}); inside region: "
       f"{polygon.contains(tuple(mqp.q_refined), atol=1e-6)}")
@@ -65,11 +68,15 @@ print(f"MQP optimum q' = {np.round(mqp.q_refined, 3)} "
 print("\n== 2. Bargaining curve (gamma = manufacturer tolerance) ==")
 print(f"{'gamma':>6} {'penalty':>9} {'q-share':>9} {'W,k-share':>10}"
       f" {'interpretation'}")
+# One shared context for the whole sweep: only the penalty weights
+# change between the five sessions, never the cached artifacts.
+shared = DatasetContext(catalogue)
+joint = Question(q=q, k=K, why_not=why_not, algorithm="mqwk",
+                 options={"sample_size": 300})
 for gamma in (0.1, 0.3, 0.5, 0.7, 0.9):
     config = PenaltyConfig(gamma=gamma, lam=1.0 - gamma)
-    nego = WQRTQ(catalogue, q, K, penalty_config=config)
-    res = nego.modify_all(why_not, sample_size=300,
-                          rng=np.random.default_rng(SEED))
+    nego = Session(context=shared, penalty_config=config)
+    res = nego.ask(joint, seed=SEED).result
     if res.q_penalty_share > res.wk_penalty_share * 2:
         story = "mostly redesign"
     elif res.wk_penalty_share > res.q_penalty_share * 2:

@@ -1,17 +1,23 @@
 #!/usr/bin/env python
-"""Quickstart: the paper's running example, in ~40 lines.
+"""Quickstart: the paper's running example, on the typed Session API.
 
 Apple's computer q(4, 4) (price, heat) competes against seven other
 machines for four customers.  The reverse top-3 query says Tony and
 Anna would shortlist q — but Kevin and Julia, existing customers,
 would not.  Why?  And what is the cheapest fix?
 
+The last section shows the deprecated pre-Session facade (``WQRTQ``)
+still answering identically — it emits a ``DeprecationWarning`` but
+keeps old scripts working.
+
 Run:  python examples/quickstart.py
 """
 
+import warnings
+
 import numpy as np
 
-from repro import WQRTQ
+from repro import Question, Session
 
 # Figure 1(a): the product dataset P (price, heat production).
 computers = np.array([
@@ -36,39 +42,62 @@ weights = np.array(list(customers.values()))
 
 q = np.array([4.0, 4.0])   # Apple's computer
 
-engine = WQRTQ(computers, q, k=3, weights=weights)
+session = Session(computers)
 
 print("== Reverse top-3 query ==")
-members = engine.reverse_topk()
+members = session.reverse_topk(q, 3, weights=weights)
 print("Customers shortlisting q:",
       ", ".join(names[i] for i in members))
 
-missing = engine.missing_weights()
+missing = session.missing_weights(q, 3, weights)
 missing_names = [names[i] for i in range(len(names))
                  if i not in set(members.tolist())]
 print("Why-not customers:", ", ".join(missing_names))
 
 print("\n== Why not?  (aspect i) ==")
-for name, explanation in zip(missing_names, engine.explain(missing)):
+probe = Question(q=q, k=3, why_not=missing)
+for name, explanation in zip(missing_names, session.explain(probe)):
     culprits = ", ".join(f"p{int(i) + 1}"
                          for i in explanation.culprit_ids)
     print(f"{name}: q ranks {explanation.rank_of_q}; beaten by "
           f"{culprits}")
 
 print("\n== How to fix it?  (aspect ii) ==")
-rng = np.random.default_rng(0)
+# One typed Question per strategy; each carries its own algorithm and
+# options, and the three are answered through one warmed session.
+questions = [
+    Question(q=q, k=3, why_not=missing, algorithm="mqp",
+             id="fix-product"),
+    Question(q=q, k=3, why_not=missing, algorithm="mwk",
+             options={"sample_size": 800}, id="fix-preferences"),
+    Question(q=q, k=3, why_not=missing, algorithm="mqwk",
+             options={"sample_size": 400}, id="fix-both"),
+]
+answers = session.ask_batch(questions)
+# Failures come back as Answers with `error` set, never as raised
+# exceptions — check the channel before unpacking results.
+assert all(a.ok for a in answers), [a.error for a in answers]
+mqp, mwk, mqwk = (a.result for a in answers)
 
-mqp = engine.modify_query_point(missing)
 print(f"1. Modify the product:  q -> {np.round(mqp.q_refined, 3)} "
       f"(penalty {mqp.penalty:.3f})")
-
-mwk = engine.modify_weights_and_k(missing, sample_size=800, rng=rng)
 print(f"2. Modify preferences:  k' = {mwk.k_refined}, "
       f"Wm' = {np.round(mwk.weights_refined, 3).tolist()} "
       f"(penalty {mwk.penalty:.3f})")
-
-mqwk = engine.modify_all(missing, sample_size=400, rng=rng)
 print(f"3. Meet in the middle:  q -> {np.round(mqwk.q_refined, 3)}, "
       f"k' = {mqwk.k_refined}, "
       f"Wm' = {np.round(mqwk.weights_refined, 3).tolist()} "
       f"(penalty {mqwk.penalty:.3f})")
+
+print("\n== The deprecated facade still works (and warns) ==")
+with warnings.catch_warnings(record=True) as caught:
+    warnings.simplefilter("always", DeprecationWarning)
+    from repro import WQRTQ
+
+    engine = WQRTQ(computers, q, k=3, weights=weights)
+    legacy = engine.modify_query_point(missing)
+(warning,) = [w for w in caught
+              if issubclass(w.category, DeprecationWarning)]
+print(f"DeprecationWarning: {warning.message}")
+same = bool(np.isclose(legacy.penalty, mqp.penalty))
+print(f"WQRTQ answers identically to Session.ask: {same}")

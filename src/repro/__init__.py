@@ -10,34 +10,48 @@ WQRTQ why-not framework itself (MQP / MWK / MQWK).
 Quickstart
 ----------
 >>> import numpy as np
->>> from repro import WQRTQ
+>>> from repro import Question, Session
 >>> P = np.array([[2, 1], [6, 3], [1, 9], [9, 3],
 ...               [7, 5], [5, 8], [3, 7]], dtype=float)
 >>> W = np.array([[0.9, 0.1], [0.5, 0.5], [0.3, 0.7], [0.1, 0.9]])
 >>> q = np.array([4.0, 4.0])
->>> engine = WQRTQ(P, q, k=3, weights=W)
->>> engine.reverse_topk().tolist()      # Tony and Anna like q
+>>> session = Session(P)
+>>> session.reverse_topk(q, 3, weights=W).tolist()  # Tony and Anna
 [1, 2]
->>> missing = engine.missing_weights()  # Julia and Kevin do not...
->>> result = engine.modify_query_point(missing)
->>> bool(result.penalty < 0.35)         # ...but a small nudge wins them
+>>> missing = session.missing_weights(q, 3, W)  # Julia and Kevin...
+>>> answer = session.ask(Question(q=q, k=3, why_not=missing,
+...                               algorithm="mqp"))
+>>> answer.ok and answer.valid
 True
+>>> bool(answer.penalty < 0.35)   # ...a small nudge wins them over
+True
+>>> answer.to_dict()["schema_version"]   # wire-ready, versioned
+1
 """
 
 from repro.core import (
+    SCHEMA_VERSION,
+    Answer,
     BatchReport,
+    ErrorInfo,
     MQPResult,
     MQWKResult,
     MWKResult,
     PenaltyConfig,
+    Question,
+    Session,
     WQRTQ,
     WhyNotBatch,
     WhyNotExplanation,
     WhyNotQuery,
+    algorithm_names,
     explain_why_not,
+    get_algorithm,
     modify_query_point,
     modify_query_weights_and_k,
     modify_weights_and_k,
+    register_algorithm,
+    summarize_answers,
 )
 from repro.engine import DatasetContext
 from repro.index import RTree
@@ -47,25 +61,34 @@ from repro.topk import BRSEngine, topk_scan
 __version__ = "1.0.0"
 
 __all__ = [
+    "Answer",
     "BRSEngine",
     "BatchReport",
     "DatasetContext",
+    "ErrorInfo",
     "MQPResult",
     "MQWKResult",
     "MWKResult",
     "PenaltyConfig",
+    "Question",
     "RTree",
+    "SCHEMA_VERSION",
+    "Session",
     "WQRTQ",
     "WhyNotBatch",
     "WhyNotExplanation",
     "WhyNotQuery",
+    "algorithm_names",
     "brtopk_naive",
     "brtopk_rta",
     "explain_why_not",
+    "get_algorithm",
     "modify_query_point",
     "modify_query_weights_and_k",
     "modify_weights_and_k",
     "mrtopk_2d",
+    "register_algorithm",
+    "summarize_answers",
     "topk_scan",
     "__version__",
 ]

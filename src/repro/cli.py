@@ -11,9 +11,11 @@ Subcommands
     workload (the same workloads the benchmark harness uses).
 ``batch``
     Answer a whole batch of why-not questions against one catalogue
-    through the shared :class:`~repro.engine.context.DatasetContext`
-    (optionally in parallel with ``--workers``), and report cache
-    effectiveness.
+    through one :class:`~repro.core.session.Session` (optionally in
+    parallel with ``--workers``), and report cache effectiveness.
+    ``--json`` emits the versioned ``Answer.to_dict()`` payloads —
+    byte-identical to what ``Session.ask_batch`` and the HTTP
+    ``/batch`` endpoint produce for the same questions.
 ``serve``
     Run the long-lived JSON-over-HTTP daemon
     (:mod:`repro.service`): named catalogues — generated and/or
@@ -26,7 +28,9 @@ Subcommands
 
 Every subcommand builds one ``DatasetContext`` per catalogue and runs
 all its queries through it, so the R-tree and ``FindIncom`` partitions
-are paid once.
+are paid once.  Algorithm choices are enumerated from the
+:mod:`~repro.core.registry` algorithm registry — a newly registered
+refinement shows up in every subcommand without CLI changes.
 
 Examples
 --------
@@ -83,106 +87,153 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _describe_result(name: str, result) -> str:
+    """One human line per refinement result, keyed on result type."""
+    from repro.core.types import MQPResult, MQWKResult, MWKResult
+
+    label = f"{name.upper():<4}:"
+    if isinstance(result, MQPResult):
+        return (f"{label} q' = "
+                f"{np.round(result.q_refined, 4).tolist()} "
+                f"penalty = {result.penalty:.4f}")
+    if isinstance(result, MWKResult):
+        return (f"{label} k' = {result.k_refined} "
+                f"(k_max = {result.k_max}), "
+                f"ΔW = {result.delta_w:.4f}, "
+                f"penalty = {result.penalty:.4f}")
+    if isinstance(result, MQWKResult):
+        return (f"{label} q' = "
+                f"{np.round(result.q_refined, 4).tolist()}, "
+                f"k' = {result.k_refined}, "
+                f"penalty = {result.penalty:.4f}")
+    return f"{label} penalty = {result.penalty:.4f}"
+
+
 def _cmd_refine(args) -> int:
     from repro.bench.harness import (
         ExperimentCell,
         build_context,
         build_workload,
     )
-    from repro.core.explain import explain_why_not
-    from repro.core.mqp import modify_query_point
-    from repro.core.mqwk import modify_query_weights_and_k
-    from repro.core.mwk import modify_weights_and_k
+    from repro.core.protocol import Question
+    from repro.core.registry import algorithm_names
+    from repro.core.session import Session
+    from repro.core.types import MQPResult
 
     cell = ExperimentCell(dataset=args.dataset, n=args.cardinality,
                           d=args.dim, k=args.k, rank=args.rank,
                           wm_size=args.wm_size,
                           sample_size=args.sample_size, seed=args.seed)
-    context = build_context(cell)
-    query = build_workload(cell, context=context)
+    session = Session(context=build_context(cell), warm=False)
+    query = build_workload(cell, context=session.context)
     print(f"workload: {cell.label()}")
     print(f"q = {np.round(query.q, 4).tolist()}")
     print(f"why-not ranks: {query.ranks().tolist()}")
 
     if args.explain:
-        for expl in explain_why_not(query.rtree, query.q,
-                                    query.why_not, query.k,
-                                    max_culprits=5):
+        question = Question(q=query.q, k=query.k,
+                            why_not=query.why_not)
+        for expl in session.explain(question, max_culprits=5):
             print("  " + expl.describe(query.k))
 
-    rng = np.random.default_rng(args.seed + 10)
-    if args.algorithm in ("mqp", "all"):
-        res = modify_query_point(query)
-        print(f"MQP : q' = {np.round(res.q_refined, 4).tolist()} "
-              f"penalty = {res.penalty:.4f}")
-        if args.plot and query.dim == 2:
-            from repro.core.safe_region import safe_region_polygon
-            from repro.viz import render_plane
+    names = (algorithm_names() if args.algorithm == "all"
+             else (args.algorithm,))
+    failed = 0
+    for offset, name in enumerate(names):
+        answer = session.ask(
+            Question.from_legacy(query.q, query.k, query.why_not,
+                                 algorithm=name,
+                                 sample_size=args.sample_size),
+            seed=args.seed + 10 + offset)
+        if answer.error is not None:
+            failed += 1
+            print(f"{name.upper():<4}: FAILED "
+                  f"({answer.error.type}: {answer.error.message})")
+            continue
+        print(_describe_result(name, answer.result))
+        if args.plot and isinstance(answer.result, MQPResult):
+            if query.dim == 2:
+                from repro.core.safe_region import safe_region_polygon
+                from repro.viz import render_plane
 
-            polygon = safe_region_polygon(query.points, query.q,
-                                          query.why_not, query.k)
-            print(render_plane(query.points[:300], query.q,
-                               polygon=polygon, width=56, height=18))
-        elif args.plot:
-            print("(--plot requires 2-dimensional data)")
-    if args.algorithm in ("mwk", "all"):
-        res = modify_weights_and_k(query,
-                                   sample_size=args.sample_size,
-                                   rng=rng, context=context)
-        print(f"MWK : k' = {res.k_refined} (k_max = {res.k_max}), "
-              f"ΔW = {res.delta_w:.4f}, penalty = {res.penalty:.4f}")
-    if args.algorithm in ("mqwk", "all"):
-        res = modify_query_weights_and_k(
-            query, sample_size=args.sample_size, rng=rng,
-            context=context)
-        print(f"MQWK: q' = {np.round(res.q_refined, 4).tolist()}, "
-              f"k' = {res.k_refined}, penalty = {res.penalty:.4f}")
-    return 0
+                polygon = safe_region_polygon(query.points, query.q,
+                                              query.why_not, query.k)
+                print(render_plane(query.points[:300], query.q,
+                                   polygon=polygon, width=56,
+                                   height=18))
+            else:
+                print("(--plot requires 2-dimensional data)")
+    return 0 if failed == 0 else 1
+
+
+def build_batch_questions(session, *, n_questions: int,
+                          products: int, dim: int, k: int, rank: int,
+                          algorithm: str, sample_size: int,
+                          seed: int):
+    """The ``wqrtq batch`` workload as typed Questions.
+
+    A realistic serving mix: a few distinct products, each asked
+    about by several customer panels.  Factored out so tests can
+    rebuild the exact question list the CLI answers and assert the
+    payloads match ``Session.ask_batch`` byte for byte.
+    """
+    from repro.core.protocol import Question
+    from repro.data import preference_set, query_point_with_rank
+
+    products = max(1, min(products, n_questions))
+    wts = preference_set(n_questions, dim, seed=seed + 3)
+    qs = []
+    for j in range(products):
+        base = preference_set(1, dim, seed=seed + 100 + j)[0]
+        qs.append(query_point_with_rank(session.points, base, rank))
+    # One buffered batched-rank call per product validates every
+    # panel at once (reusing the context's score buffer).
+    panel_ranks = [session.context.ranks(wts, q) for q in qs]
+    questions = []
+    for i in range(n_questions):
+        j = i % products
+        if panel_ranks[j][i] <= k:
+            continue   # this panel already shortlists the product
+        questions.append(Question.from_legacy(
+            qs[j], k, wts[i:i + 1], algorithm=algorithm,
+            sample_size=sample_size, id=f"q{i:04d}-p{j}"))
+    return questions, products
 
 
 def _cmd_batch(args) -> int:
+    import json
     import time
 
-    from repro.core.batch import WhyNotBatch
-    from repro.data import (
-        make_dataset,
-        preference_set,
-        query_point_with_rank,
-    )
-    from repro.engine.context import DatasetContext
+    from repro.core.protocol import SCHEMA_VERSION
+    from repro.core.session import Session
+    from repro.data import make_dataset
 
     points = make_dataset(args.dataset, args.cardinality, args.dim,
                           seed=args.seed)
-    context = DatasetContext(points)
-    batch = WhyNotBatch(context=context)
-
-    # A realistic serving mix: a few distinct products, each asked
-    # about by several customer panels.
-    products = max(1, min(args.products, args.questions))
-    wts = preference_set(args.questions, args.dim,
-                         seed=args.seed + 3)
-    qs = []
-    for j in range(products):
-        base = preference_set(1, args.dim, seed=args.seed + 100 + j)[0]
-        qs.append(query_point_with_rank(points, base, args.rank))
-    # One buffered batched-rank call per product validates every
-    # panel at once (reusing the context's score buffer).
-    panel_ranks = [context.ranks(wts, q) for q in qs]
-    queued = 0
-    for i in range(args.questions):
-        j = i % products
-        if panel_ranks[j][i] <= args.k:
-            continue   # this panel already shortlists the product
-        batch.add_question(qs[j], args.k, wts[i:i + 1])
-        queued += 1
+    session = Session(points)
+    questions, products = build_batch_questions(
+        session, n_questions=args.questions, products=args.products,
+        dim=args.dim, k=args.k, rank=args.rank,
+        algorithm=args.algorithm, sample_size=args.sample_size,
+        seed=args.seed)
 
     start = time.perf_counter()
-    report = batch.run(args.algorithm, sample_size=args.sample_size,
-                       seed=args.seed, workers=args.workers)
+    answers = session.ask_batch(questions, seed=args.seed,
+                                workers=args.workers)
     wall = time.perf_counter() - start
-    summary = report.summary()
-    print(f"batch: {queued} questions ({products} products) on "
-          f"{args.dataset}[n={args.cardinality}, d={args.dim}], "
+    summary = session.summarize(answers, wall_seconds=wall)
+    stats = session.context.stats
+
+    if args.json:
+        print(json.dumps({
+            "schema_version": SCHEMA_VERSION,
+            "answers": [answer.to_dict() for answer in answers],
+            "summary": summary,
+        }, sort_keys=True))
+        return 0 if summary["failed"] == 0 else 1
+
+    print(f"batch: {len(questions)} questions ({products} products) "
+          f"on {args.dataset}[n={args.cardinality}, d={args.dim}], "
           f"algorithm={args.algorithm}, workers={args.workers}")
     print(f"answered={summary['answered']} failed={summary['failed']} "
           f"all_valid={summary['all_valid']}")
@@ -191,7 +242,6 @@ def _cmd_batch(args) -> int:
               f"max={summary['max_penalty']:.4f}")
     print(f"wall time: {wall:.3f}s  "
           f"(sum of per-item times: {summary['total_item_time']:.3f}s)")
-    stats = context.stats
     print(f"engine cache: tree_builds={stats.tree_builds} "
           f"findincom_traversals={stats.findincom_traversals} "
           f"cache_hits={stats.cache_hits} "
@@ -234,6 +284,8 @@ def _cmd_serve(args) -> int:
 
     server = create_server(registry, host=args.host, port=args.port,
                            verbose=args.verbose)
+    from repro.core.registry import algorithm_names
+    print(f"algorithms: {', '.join(algorithm_names())}", flush=True)
     for entry in registry.describe():
         print(f"catalogue: {entry['name']} (n={entry['n']}, "
               f"d={entry['d']}, "
@@ -282,8 +334,9 @@ def main(argv: list[str] | None = None) -> int:
     p_refine.add_argument("--rank", type=int, default=51)
     p_refine.add_argument("--wm-size", type=int, default=1)
     p_refine.add_argument("--sample-size", type=int, default=200)
+    from repro.core.registry import algorithm_names
     p_refine.add_argument("--algorithm", default="all",
-                          choices=["mqp", "mwk", "mqwk", "all"])
+                          choices=[*algorithm_names(), "all"])
     p_refine.add_argument("--explain", action="store_true",
                           help="also print aspect (i) explanations")
     p_refine.add_argument("--plot", action="store_true",
@@ -300,9 +353,12 @@ def main(argv: list[str] | None = None) -> int:
                          help="distinct products the questions cover")
     p_batch.add_argument("--sample-size", type=int, default=200)
     p_batch.add_argument("--algorithm", default="mqwk",
-                         choices=["mqp", "mwk", "mqwk"])
+                         choices=list(algorithm_names()))
     p_batch.add_argument("--workers", type=int, default=1,
                          help="executor threads (1 = serial)")
+    p_batch.add_argument("--json", action="store_true",
+                         help="emit the versioned Answer payloads as "
+                              "JSON instead of the human summary")
     p_batch.set_defaults(func=_cmd_batch)
 
     p_serve = sub.add_parser(

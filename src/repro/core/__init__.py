@@ -2,13 +2,22 @@
 
 Public surface:
 
-* :class:`~repro.core.framework.WQRTQ` — unified framework façade.
+* :class:`~repro.core.session.Session` — the unified facade
+  (interactive + batch + registry-backed serving).
+* :class:`~repro.core.protocol.Question` /
+  :class:`~repro.core.protocol.Answer` /
+  :class:`~repro.core.protocol.ErrorInfo` — the typed, versioned
+  request/response schema shared by library, CLI and wire.
+* :mod:`~repro.core.registry` — the pluggable algorithm registry
+  (:func:`register_algorithm`, :func:`algorithm_names`).
 * :class:`~repro.core.types.WhyNotQuery` and the three result types.
 * The three refinement algorithms as free functions
   (:func:`modify_query_point`, :func:`modify_weights_and_k`,
   :func:`modify_query_weights_and_k`).
 * The penalty models of Equations 1/3/4/5.
 * :func:`explain_why_not` — aspect (i) of a why-not question.
+* Deprecated shims: :class:`~repro.core.framework.WQRTQ`,
+  :class:`~repro.core.batch.WhyNotBatch`.
 """
 
 from repro.core.audit import (
@@ -36,15 +45,41 @@ from repro.core.penalty import (
     penalty_query_point,
     penalty_weights_k,
 )
+from repro.core.protocol import (
+    SCHEMA_VERSION,
+    Answer,
+    ErrorInfo,
+    Question,
+    summarize_answers,
+)
+from repro.core.registry import (
+    AlgorithmSpec,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
 from repro.core.safe_region import (
     is_safe,
     safe_region_polygon,
     safe_region_system,
 )
+from repro.core.session import Session
 from repro.core.types import MQPResult, MQWKResult, MWKResult, WhyNotQuery
 
 __all__ = [
+    "AlgorithmSpec",
+    "Answer",
     "BatchReport",
+    "ErrorInfo",
+    "Question",
+    "SCHEMA_VERSION",
+    "Session",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
+    "summarize_answers",
+    "unregister_algorithm",
     "DEFAULT_PENALTY",
     "ExactMWKResult",
     "IncomparableCache",

@@ -1,4 +1,10 @@
-"""Batch why-not answering over one dataset.
+"""Batch why-not answering over one dataset (pre-Session shim).
+
+.. deprecated::
+    :class:`WhyNotBatch` queues raw ``(q, k, Wm)`` triples; the typed
+    replacement is :meth:`repro.Session.ask_batch` over
+    :class:`~repro.core.protocol.Question` objects.  The class
+    remains as a thin shim emitting ``DeprecationWarning``.
 
 A manufacturer typically asks many why-not questions against the same
 catalogue — one per (product, customer-set) pair.  Answering them
@@ -6,22 +12,22 @@ independently re-pays the R-tree construction and, for MWK/MQWK, the
 ``FindIncom`` traversal every time.  :class:`WhyNotBatch` queues the
 questions and hands them to the engine layer: a shared
 :class:`~repro.engine.context.DatasetContext` caches the index and the
-per-product partitions, and
-:func:`~repro.engine.executor.execute_batch` answers the queue —
-serially or with ``workers > 1`` threads, result-identically — and
-aggregates the outcomes into a report, the shape a market-analysis
-dashboard would consume.
+per-product partitions, and the executor answers the queue — serially
+or with ``workers > 1`` threads, result-identically — and aggregates
+the outcomes into a report, the shape a market-analysis dashboard
+would consume.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.penalty import DEFAULT_PENALTY, PenaltyConfig
 from repro.engine.context import DatasetContext
-from repro.engine.executor import ExecutionItem, execute_batch
+from repro.engine.executor import ExecutionItem, _execute_triples
 from repro.index.rtree import RTree
 
 #: One answered question inside a batch (re-exported engine type).
@@ -83,6 +89,10 @@ class WhyNotBatch:
     def __init__(self, points=None, *,
                  penalty_config: PenaltyConfig = DEFAULT_PENALTY,
                  context: DatasetContext | None = None):
+        warnings.warn(
+            "WhyNotBatch is deprecated; use repro.Session.ask_batch "
+            "with typed repro.Question objects",
+            DeprecationWarning, stacklevel=2)
         if context is None:
             if points is None:
                 raise ValueError("WhyNotBatch needs points or a "
@@ -122,7 +132,10 @@ class WhyNotBatch:
         thread pool; per-item seeded RNGs make the result identical to
         the serial run.
         """
-        items = execute_batch(
+        # _execute_triples is the non-warning internal path: the
+        # constructor already warned once, and the shim must not
+        # route through another deprecated entry point.
+        items = _execute_triples(
             self.context, self._questions, algorithm,
             sample_size=sample_size, seed=seed, workers=workers,
             penalty_config=self.penalty_config)

@@ -1,6 +1,17 @@
-"""WQRTQ — the unified why-not framework (Figure 4 of the paper).
+"""WQRTQ — the pre-Session why-not façade (Figure 4 of the paper).
 
-:class:`WQRTQ` is the user-facing façade.  It is constructed from the
+.. deprecated::
+    :class:`WQRTQ` is superseded by
+    :class:`~repro.core.session.Session` + typed
+    :class:`~repro.core.protocol.Question` objects, which share one
+    calling convention with the batch executor, the CLI and the HTTP
+    service.  The class remains as a thin shim (it emits
+    ``DeprecationWarning``) because it still owns two conveniences
+    the Session keeps out of scope: binding one ``(q, k)`` pair for a
+    whole interactive exploration, and Definition-5 membership
+    validation of bichromatic why-not vectors against ``W``.
+
+:class:`WQRTQ` is constructed from the
 product dataset, a query point, ``k`` and — for the bichromatic mode —
 the preference set ``W``, and exposes:
 
@@ -18,6 +29,8 @@ must additionally belong to ``W``.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -63,6 +76,10 @@ class WQRTQ:
                  tree: RTree | None = None,
                  context: DatasetContext | None = None,
                  penalty_config: PenaltyConfig = DEFAULT_PENALTY):
+        warnings.warn(
+            "WQRTQ is deprecated; use repro.Session with typed "
+            "repro.Question objects (see DESIGN.md, 'public API')",
+            DeprecationWarning, stacklevel=2)
         if context is None:
             context = DatasetContext(points, tree=tree)
         elif tree is not None:

@@ -1,0 +1,444 @@
+"""Typed, versioned Question/Answer protocol — the public API schema.
+
+Every front door of the repro — the :class:`~repro.core.session.Session`
+facade, the CLI and the HTTP service — speaks exactly the two value
+types defined here:
+
+* :class:`Question` — a frozen, construction-validated why-not
+  question: query point ``q``, ``k``, the why-not weight set, the
+  algorithm name (resolved against the
+  :mod:`~repro.core.registry` algorithm registry) and its per-algorithm
+  ``options``;
+* :class:`Answer` — the unified response envelope over the three
+  refinement result types, carrying the audit penalty/validity, the
+  per-question timing and — for failed questions — a structured
+  :class:`ErrorInfo` instead of a class-name-prefixed string.
+
+Both round-trip losslessly through ``to_dict`` → ``json`` →
+``from_dict`` under an explicit :data:`SCHEMA_VERSION`, including
+failed items and non-finite penalties (``NaN`` penalties serialize as
+``null``, infinities as the strings ``"inf"`` / ``"-inf"`` — plain
+JSON has no spelling for either).  The HTTP server and client ship
+these dicts verbatim, so the wire format has exactly one
+encoder/decoder, defined here.
+
+Validation happens at *construction* time with actionable messages
+(``k`` must be a positive integer, why-not rows must lie on the
+simplex, dimensions must agree, options must be knobs the chosen
+algorithm declares) — catalogue-dependent checks (``k <= |P|``, "is
+the vector actually missing?") still happen at answer time, where the
+dataset is known, and surface as failed :class:`Answer`\\ s.
+"""
+
+from __future__ import annotations
+
+import math
+import types
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.registry import get_algorithm
+from repro.data.io import result_from_dict, result_to_dict
+from repro.geometry.vectors import is_valid_weight
+
+#: Version of the dict/wire encoding.  Bump on any change to the
+#: field set or value encodings; ``from_dict`` rejects payloads
+#: stamped with a different version instead of mis-decoding them.
+SCHEMA_VERSION = 1
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Answer",
+    "ErrorInfo",
+    "Question",
+    "check_schema_version",
+    "summarize_answers",
+]
+
+
+def check_schema_version(payload: Mapping, *,
+                         where: str = "payload") -> None:
+    """Reject a dict stamped with a schema version we do not speak.
+
+    A missing stamp is accepted (pre-schema producers); a mismatched
+    one is an error — silently decoding a future encoding risks
+    wrong answers, not just crashes.
+    """
+    version = payload.get("schema_version")
+    if version is not None and version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {version!r} in {where} "
+            f"(this side speaks {SCHEMA_VERSION})")
+
+
+def _encode_penalty(value: float):
+    """JSON-safe penalty: ``NaN`` → ``None``, ``±inf`` → strings."""
+    value = float(value)
+    if math.isnan(value):
+        return None
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _decode_penalty(value) -> float:
+    if value is None:
+        return float("nan")
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    raise ValueError(f"penalty must be a number, null, 'inf' or "
+                     f"'-inf', got {value!r}")
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """Structured failure description for one question.
+
+    ``type`` is the exception class name, ``message`` the
+    human-readable text, and ``category`` the machine-matchable
+    channel: ``"validation"`` for expected validation failures (any
+    ``ValueError``, including non-builtin subclasses such as
+    ``numpy.linalg.LinAlgError``) and ``"internal"`` for everything
+    else.  The category is recorded at capture time — a type *name*
+    alone cannot tell a ``ValueError`` subclass from an unrelated
+    class once it crosses the wire.
+    """
+
+    type: str
+    message: str
+    category: str = "internal"     # "validation" | "internal"
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "ErrorInfo":
+        return cls(type=type(exc).__name__, message=str(exc),
+                   category=("validation"
+                             if isinstance(exc, ValueError)
+                             else "internal"))
+
+    @property
+    def as_legacy_string(self) -> str:
+        """The pre-schema string form (bare message for validation
+        failures, ``"Type: message"`` otherwise) kept for the
+        deprecated ``ExecutionItem.error`` field."""
+        if self.category == "validation":
+            return self.message
+        return f"{self.type}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"type": self.type, "message": self.message,
+                "category": self.category}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ErrorInfo":
+        if not isinstance(payload, Mapping):
+            raise ValueError("error payload must be a JSON object")
+        type_name = str(payload.get("type", ""))
+        category = payload.get("category")
+        if category not in ("validation", "internal"):
+            # Pre-category producer: infer from builtin type names.
+            import builtins
+
+            exc_type = getattr(builtins, type_name, None)
+            category = ("validation"
+                        if isinstance(exc_type, type)
+                        and issubclass(exc_type, ValueError)
+                        else "internal")
+        return cls(type=type_name,
+                   message=str(payload.get("message", "")),
+                   category=category)
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    out = np.array(array, dtype=np.float64, copy=True)
+    out.setflags(write=False)
+    return out
+
+
+@dataclass(frozen=True, eq=False)
+class Question:
+    """One validated, immutable why-not question.
+
+    Parameters
+    ----------
+    q:
+        The query point (the manufacturer's product) as a flat list
+        of non-negative finite coordinates.
+    k:
+        The reverse top-k parameter, a positive integer.  The
+        catalogue-dependent upper bound (``k <= |P|``) is enforced at
+        answer time.
+    why_not:
+        The why-not weighting vectors, shape ``(m, d)`` matching
+        ``q``; every row must lie on the probability simplex.
+    algorithm:
+        Name of a registered refinement algorithm (default
+        ``"mqp"``); resolved against the registry at construction.
+    options:
+        Per-algorithm knobs (e.g. ``{"sample_size": 400}`` for MWK);
+        keys are validated against the algorithm's declared
+        ``option_names``.
+    id:
+        Optional caller-chosen correlation id, echoed on the
+        :class:`Answer`.
+    """
+
+    q: np.ndarray
+    k: int
+    why_not: np.ndarray
+    algorithm: str = "mqp"
+    options: Mapping[str, object] = field(default_factory=dict)
+    id: str | None = None
+
+    def __post_init__(self) -> None:
+        try:
+            q = np.asarray(self.q, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise ValueError(f"q must be a numeric coordinate list, "
+                             f"got {self.q!r}") from None
+        if q.ndim != 1 or q.size == 0:
+            raise ValueError("q must be a non-empty flat coordinate "
+                             f"list, got shape {q.shape}")
+        if not np.all(np.isfinite(q)):
+            raise ValueError(f"q must contain finite coordinates, "
+                             f"got {q.tolist()}")
+        if np.any(q < 0):
+            raise ValueError("q must be non-negative (top-k scores "
+                             f"assume non-negative coordinates), got "
+                             f"{q.tolist()}")
+
+        try:
+            k = int(self.k)
+            if float(self.k) != k:   # reject silent truncation (2.9)
+                raise ValueError
+        except (TypeError, ValueError):
+            raise ValueError(f"k must be a positive integer, got "
+                             f"{self.k!r}") from None
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+
+        try:
+            wm = np.atleast_2d(np.asarray(self.why_not,
+                                          dtype=np.float64))
+        except (TypeError, ValueError):
+            raise ValueError(f"why_not must be a numeric (m, d) "
+                             f"weight list, got {self.why_not!r}") \
+                from None
+        if wm.ndim != 2 or wm.shape[0] == 0:
+            raise ValueError("why_not must be a non-empty (m, d) "
+                             f"weight list, got shape {wm.shape}")
+        if wm.shape[1] != q.shape[0]:
+            raise ValueError(
+                f"why_not must be shaped (m, {q.shape[0]}) to match "
+                f"q's dimensionality, got {wm.shape[0]}x{wm.shape[1]}")
+        for i, row in enumerate(wm):
+            if not is_valid_weight(row, atol=1e-6):
+                raise ValueError(
+                    f"why-not vector #{i} = {row.tolist()} is not on "
+                    f"the simplex (non-negative weights summing to 1; "
+                    f"sum = {float(row.sum()):.6f})")
+
+        spec = get_algorithm(self.algorithm)   # raises with the list
+
+        if not isinstance(self.options, Mapping):
+            raise ValueError(f"options must be a mapping, got "
+                             f"{type(self.options).__name__}")
+        options = dict(self.options)
+        unknown = sorted(key for key in options
+                         if key not in spec.option_names)
+        if unknown:
+            accepted = ", ".join(spec.option_names) or "<none>"
+            raise ValueError(
+                f"unknown option(s) {unknown} for algorithm "
+                f"{spec.name!r} (accepted: {accepted})")
+
+        if self.id is not None and not isinstance(self.id, str):
+            raise ValueError(f"id must be a string or None, got "
+                             f"{self.id!r}")
+
+        object.__setattr__(self, "q", _readonly(q))
+        object.__setattr__(self, "k", k)
+        object.__setattr__(self, "why_not", _readonly(wm))
+        object.__setattr__(self, "algorithm", spec.name)
+        # A read-only view: ``frozen=True`` only blocks attribute
+        # rebinding, and a mutable dict would let callers smuggle in
+        # option keys that skipped the validation above.
+        object.__setattr__(self, "options",
+                           types.MappingProxyType(options))
+
+    # -- derived -------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return int(self.q.shape[0])
+
+    @property
+    def n_why_not(self) -> int:
+        return int(self.why_not.shape[0])
+
+    # -- wire schema ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "id": self.id,
+            "algorithm": self.algorithm,
+            "q": self.q.tolist(),
+            "k": self.k,
+            "why_not": self.why_not.tolist(),
+            "options": dict(self.options),
+        }
+
+    #: The exact key set ``to_dict`` writes; ``from_dict`` rejects
+    #: anything else so a misspelled field (e.g. ``"optons"``) cannot
+    #: silently decode into a different question.
+    _FIELDS = frozenset({"schema_version", "id", "algorithm", "q",
+                         "k", "why_not", "options"})
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Question":
+        if not isinstance(payload, Mapping):
+            raise ValueError("question payload must be a JSON object")
+        check_schema_version(payload, where="question")
+        missing = [key for key in ("q", "k", "why_not")
+                   if key not in payload]
+        if missing:
+            raise ValueError(f"question is missing field(s): "
+                             f"{', '.join(missing)}")
+        unknown = sorted(set(payload) - cls._FIELDS)
+        if unknown:
+            raise ValueError(f"question has unknown field(s): "
+                             f"{', '.join(unknown)}")
+        return cls(q=payload["q"], k=payload["k"],
+                   why_not=payload["why_not"],
+                   algorithm=payload.get("algorithm", "mqp"),
+                   options=payload.get("options") or {},
+                   id=payload.get("id"))
+
+    @classmethod
+    def from_legacy(cls, q, k, why_not, *, algorithm: str = "mqp",
+                    sample_size: int | None = None,
+                    id: str | None = None) -> "Question":
+        """Upgrade a pre-schema question to a typed Question.
+
+        The single place the old calling conventions — a raw
+        ``(q, k, Wm)`` triple plus sibling ``algorithm`` /
+        ``sample_size`` arguments — are mapped onto the typed schema:
+        ``sample_size`` becomes an option only for algorithms that
+        declare the knob (MQP historically ignored it).
+        """
+        spec = get_algorithm(algorithm)
+        options = ({"sample_size": int(sample_size)}
+                   if sample_size is not None
+                   and "sample_size" in spec.option_names else {})
+        return cls(q=q, k=k, why_not=why_not, algorithm=spec.name,
+                   options=options, id=id)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Question):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash((self.q.tobytes(), self.k, self.why_not.tobytes(),
+                     self.algorithm, tuple(sorted(self.options.items())),
+                     self.id))
+
+
+@dataclass(frozen=True, eq=False)
+class Answer:
+    """The unified response envelope for one answered question.
+
+    ``result`` holds one of the three typed refinement results (or
+    ``None`` when ``error`` is set); ``penalty``/``valid`` come from
+    the independent audit of that result; ``elapsed`` is the answer
+    time in seconds.  Failed questions carry a structured
+    :class:`ErrorInfo` and a ``NaN`` penalty.
+    """
+
+    index: int
+    algorithm: str
+    result: object          # MQPResult | MWKResult | MQWKResult | None
+    penalty: float
+    valid: bool
+    error: ErrorInfo | None = None
+    elapsed: float = 0.0
+    question_id: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    # -- wire schema ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "id": self.question_id,
+            "index": int(self.index),
+            "algorithm": self.algorithm,
+            "valid": bool(self.valid),
+            "penalty": _encode_penalty(self.penalty),
+            "error": None if self.error is None else
+                     self.error.to_dict(),
+            "elapsed": float(self.elapsed),
+            "result": None if self.result is None else
+                      result_to_dict(self.result),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Answer":
+        if not isinstance(payload, Mapping):
+            raise ValueError("answer payload must be a JSON object")
+        check_schema_version(payload, where="answer")
+        error = payload.get("error")
+        result = payload.get("result")
+        return cls(
+            index=int(payload.get("index", 0)),
+            algorithm=str(payload.get("algorithm", "")),
+            result=None if result is None else result_from_dict(result),
+            penalty=_decode_penalty(payload.get("penalty")),
+            valid=bool(payload.get("valid", False)),
+            error=None if error is None else ErrorInfo.from_dict(error),
+            elapsed=float(payload.get("elapsed", 0.0)),
+            question_id=payload.get("id"))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Answer):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    __hash__ = None
+
+
+def summarize_answers(answers, *, wall_seconds: float | None = None,
+                      ) -> dict:
+    """Aggregate a list of :class:`Answer`\\ s into a report dict.
+
+    Same shape as the legacy ``BatchReport.summary()`` (the dashboards
+    and the ``/batch`` endpoint consume it), with ``wall_seconds``
+    appended when the caller measured it.
+    """
+    answers = list(answers)
+    penalties = np.asarray([a.penalty for a in answers
+                            if a.error is None])
+    times = np.asarray([a.elapsed for a in answers])
+    summary = {
+        "answered": sum(1 for a in answers if a.error is None),
+        "failed": sum(1 for a in answers if a.error is not None),
+        "mean_penalty": (float(penalties.mean()) if len(penalties)
+                         else None),
+        "max_penalty": (float(penalties.max()) if len(penalties)
+                        else None),
+        "all_valid": all(a.valid for a in answers if a.error is None),
+        "total_item_time": float(times.sum()) if len(times) else 0.0,
+        "max_item_time": float(times.max()) if len(times) else 0.0,
+    }
+    if wall_seconds is not None:
+        summary["wall_seconds"] = float(wall_seconds)
+    return summary

@@ -1,0 +1,170 @@
+"""Pluggable algorithm registry — the single dispatch point.
+
+The WQRTQ framework (Figure 4 of the paper) is one system with three
+refinement algorithms.  Historically every front door — the library
+facade, the batch executor, the CLI and the HTTP service — re-listed
+the algorithm names in its own ``if/elif`` chain, so adding a fourth
+refinement meant touching all of them.  This module replaces the
+chains with one registry:
+
+* :func:`register_algorithm` — decorator that makes a refinement
+  callable addressable by name from every entry point at once;
+* :func:`get_algorithm` — name → :class:`AlgorithmSpec` lookup whose
+  error message lists the registered names;
+* :func:`algorithm_names` — dynamic enumeration for the CLI
+  (``choices=``), the service (``GET /algorithms``) and error texts.
+
+Registered callables share one uniform signature::
+
+    fn(query, *, context, rng, penalty_config, options) -> result
+
+where ``query`` is a validated
+:class:`~repro.core.types.WhyNotQuery`, ``context`` an optional
+:class:`~repro.engine.context.DatasetContext` whose caches the
+algorithm may ride, ``rng`` an optional ``numpy`` generator,
+``penalty_config`` the α/β/γ/λ tolerances and ``options`` a plain
+dict of the per-algorithm knobs declared in
+:attr:`AlgorithmSpec.option_names` (validated at
+:class:`~repro.core.protocol.Question` construction, so an unknown
+knob fails fast with an actionable message instead of a ``TypeError``
+deep in the call stack).
+
+The paper's three algorithms are registered at import time below.
+Extensions register their own::
+
+    @register_algorithm("mqp-exact", summary="exhaustive MQP",
+                        option_names=("grid",))
+    def run_mqp_exact(query, *, context, rng, penalty_config, options):
+        ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core import mqp as _mqp_module
+from repro.core import mqwk as _mqwk_module
+from repro.core import mwk as _mwk_module
+
+__all__ = [
+    "AlgorithmSpec",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
+    "unregister_algorithm",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered refinement algorithm."""
+
+    name: str
+    fn: Callable[..., object]
+    summary: str = ""
+    option_names: tuple[str, ...] = field(default_factory=tuple)
+
+    def run(self, query, *, context=None, rng=None, penalty_config=None,
+            options=None):
+        """Invoke the algorithm with the uniform calling convention."""
+        return self.fn(query, context=context, rng=rng,
+                       penalty_config=penalty_config,
+                       options=dict(options or {}))
+
+    def describe(self) -> dict:
+        """JSON-safe form (the ``GET /algorithms`` payload)."""
+        return {"name": self.name, "summary": self.summary,
+                "options": list(self.option_names)}
+
+
+#: Registration order is preserved: it is the paper's presentation
+#: order for the built-ins and becomes the ``--algorithm all`` order.
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+
+
+def register_algorithm(name: str, *, summary: str = "",
+                       option_names: tuple[str, ...] = ()):
+    """Class/function decorator registering a refinement under ``name``.
+
+    Raises ``ValueError`` for empty or duplicate names — shadowing an
+    existing algorithm silently would change answers behind every
+    entry point at once.
+    """
+    key = str(name).strip().lower()
+
+    def decorate(fn):
+        if not key:
+            raise ValueError("algorithm name must be non-empty")
+        if key in _REGISTRY:
+            raise ValueError(f"algorithm {key!r} is already registered")
+        _REGISTRY[key] = AlgorithmSpec(
+            name=key, fn=fn, summary=summary,
+            option_names=tuple(option_names))
+        return fn
+
+    return decorate
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a registration (primarily for tests of extensions)."""
+    _REGISTRY.pop(str(name).strip().lower(), None)
+
+
+def algorithm_names() -> tuple[str, ...]:
+    """Registered names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_algorithm(name) -> AlgorithmSpec:
+    """Look up a registered algorithm.
+
+    Raises ``ValueError`` whose message lists the registered names —
+    the one error text the CLI, the batch executor and the HTTP
+    service all surface for an unknown algorithm.
+    """
+    key = name.strip().lower() if isinstance(name, str) else name
+    spec = _REGISTRY.get(key)
+    if spec is None:
+        known = ", ".join(algorithm_names()) or "<none>"
+        raise ValueError(f"unknown algorithm: {name!r} "
+                         f"(registered: {known})")
+    return spec
+
+
+# ---------------------------------------------------------------------
+# The paper's three refinement algorithms (Algorithms 1-3).
+#
+# The adapters resolve the implementation through its module attribute
+# at call time (``_mqp_module.modify_query_point`` rather than a
+# captured reference) so tests can monkeypatch the underlying
+# function and every entry point sees the patch.
+# ---------------------------------------------------------------------
+
+@register_algorithm(
+    "mqp",
+    summary="Algorithm 1 — modify the query point (quadratic program)",
+    option_names=("use_rtree",))
+def _run_mqp(query, *, context, rng, penalty_config, options):
+    return _mqp_module.modify_query_point(query, **options)
+
+
+@register_algorithm(
+    "mwk",
+    summary="Algorithm 2 — modify the why-not weights and k (sampling)",
+    option_names=("sample_size", "include_originals"))
+def _run_mwk(query, *, context, rng, penalty_config, options):
+    return _mwk_module.modify_weights_and_k(
+        query, rng=rng, config=penalty_config, context=context,
+        **options)
+
+
+@register_algorithm(
+    "mqwk",
+    summary="Algorithm 3 — jointly modify q, the weights and k",
+    option_names=("sample_size", "q_sample_size", "include_originals",
+                  "use_reuse"))
+def _run_mqwk(query, *, context, rng, penalty_config, options):
+    return _mqwk_module.modify_query_weights_and_k(
+        query, rng=rng, config=penalty_config, context=context,
+        **options)

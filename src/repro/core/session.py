@@ -1,0 +1,173 @@
+"""Session — the one user-facing facade over the WQRTQ framework.
+
+A :class:`Session` binds one warmed
+:class:`~repro.engine.context.DatasetContext` (catalogue + R-tree +
+LRU partition caches) and answers typed
+:class:`~repro.core.protocol.Question` objects through the shared
+executor — interactively (:meth:`ask`), in bulk
+(:meth:`ask_batch`, optionally parallel), or explanatorily
+(:meth:`explain`, :meth:`reverse_topk`).  It unifies the three
+historical front doors:
+
+* ``WQRTQ`` (interactive, one product)  → ``session.ask(question)``
+* ``WhyNotBatch`` (queued triples)      → ``session.ask_batch([...])``
+* registry-backed serving (HTTP)        → the service wraps one
+  Session per catalogue, so the wire answers are byte-identical to
+  the library's ``Answer.to_dict()``.
+
+>>> import numpy as np
+>>> from repro.core.session import Session
+>>> from repro.core.protocol import Question
+>>> P = np.random.default_rng(0).random((64, 2)) + 0.05
+>>> session = Session(P)
+>>> session.algorithms()
+('mqp', 'mwk', 'mqwk')
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.penalty import DEFAULT_PENALTY, PenaltyConfig
+from repro.core.protocol import Answer, Question, summarize_answers
+from repro.core.registry import algorithm_names
+from repro.engine.context import DatasetContext
+
+__all__ = ["Session"]
+
+
+class Session:
+    """Ask why-not questions against one shared, warmed catalogue.
+
+    Parameters
+    ----------
+    points:
+        The catalogue ``P`` as an ``(n, d)`` array.  Ignored when
+        ``context`` is given.
+    context:
+        Optional pre-existing :class:`DatasetContext` to ride on —
+        e.g. one owned by a :class:`~repro.service.CatalogueRegistry`
+        so library and HTTP traffic share the same caches.
+    penalty_config:
+        Tolerance weights α/β/γ/λ (defaults: all 0.5, as in the
+        paper's experiments).
+    warm:
+        Build the R-tree at construction (default) so the first
+        question does not pay index construction.
+    """
+
+    def __init__(self, points=None, *,
+                 context: DatasetContext | None = None,
+                 penalty_config: PenaltyConfig = DEFAULT_PENALTY,
+                 warm: bool = True):
+        if context is None:
+            if points is None:
+                raise ValueError("Session needs points or a context")
+            context = DatasetContext(points)
+        elif points is not None:
+            raise ValueError("pass either points or context, not both")
+        self.context = context
+        self.penalty_config = penalty_config
+        if warm:
+            context.tree
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def points(self) -> np.ndarray:
+        return self.context.points
+
+    @property
+    def dim(self) -> int:
+        return self.context.dim
+
+    @property
+    def tree(self):
+        return self.context.tree
+
+    @staticmethod
+    def algorithms() -> tuple[str, ...]:
+        """Names of the registered refinement algorithms."""
+        return algorithm_names()
+
+    # -- question construction -----------------------------------------
+
+    def question(self, q, k: int, why_not, *, algorithm: str = "mqp",
+                 options=None, id: str | None = None) -> Question:
+        """Convenience constructor for a validated :class:`Question`."""
+        return Question(q=q, k=k, why_not=why_not, algorithm=algorithm,
+                        options=options or {}, id=id)
+
+    # -- answering -----------------------------------------------------
+
+    def ask(self, question: Question, *, seed: int = 0) -> Answer:
+        """Answer one typed question.
+
+        Catalogue-dependent failures (``k > |P|``, a vector that is
+        not actually missing, an algorithm error) come back as a
+        failed :class:`Answer`, never as an exception.
+        """
+        from repro.engine.executor import answer_question
+
+        return answer_question(
+            self.context, question, index=0,
+            rng=np.random.default_rng(int(seed)),
+            penalty_config=self.penalty_config)
+
+    def ask_batch(self, questions, *, workers: int = 1,
+                  seed: int = 0) -> list[Answer]:
+        """Answer many typed questions, optionally in parallel.
+
+        Item ``i`` uses ``default_rng(seed + i)``, so results are
+        identical for any ``workers`` value.
+        """
+        from repro.engine.executor import execute_questions
+
+        return execute_questions(
+            self.context, questions, seed=int(seed),
+            workers=int(workers), penalty_config=self.penalty_config)
+
+    @staticmethod
+    def summarize(answers, *, wall_seconds: float | None = None) -> dict:
+        """Aggregate report over :meth:`ask_batch` output."""
+        return summarize_answers(answers, wall_seconds=wall_seconds)
+
+    # -- aspect (i): explanation and the original query ----------------
+
+    def explain(self, question: Question, *,
+                max_culprits: int | None = None):
+        """Why is each why-not vector missing?  (The culprit points.)"""
+        from repro.core.explain import explain_why_not
+
+        return explain_why_not(self.tree, question.q, question.why_not,
+                               question.k, max_culprits=max_culprits)
+
+    def reverse_topk(self, q, k: int, *, weights=None):
+        """The original reverse top-k query for ``q``.
+
+        With ``weights`` (the bichromatic preference set ``W``):
+        sorted indices of the members.  Without (monochromatic mode,
+        2-D only): qualifying ``w1`` intervals.
+        """
+        from repro.rtopk.bichromatic import brtopk_rta
+        from repro.rtopk.mono import mrtopk_2d
+
+        q = np.asarray(q, dtype=np.float64).reshape(-1)
+        if weights is not None:
+            wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+            return brtopk_rta(self.tree, wts, q, int(k))
+        if self.dim != 2:
+            raise ValueError("monochromatic result enumeration is "
+                             "implemented for 2-D data")
+        return mrtopk_2d(self.points, q, int(k))
+
+    def missing_weights(self, q, k: int, weights) -> np.ndarray:
+        """``W \\ BRTOPk(q)`` — the legal why-not vectors (Def. 5)."""
+        wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+        members = set(self.reverse_topk(q, k, weights=wts).tolist())
+        keep = [i for i in range(len(wts)) if i not in members]
+        return wts[keep]
+
+    def __repr__(self) -> str:   # pragma: no cover - cosmetic
+        return (f"Session(n={self.context.n}, d={self.context.dim}, "
+                f"algorithms={list(self.algorithms())})")

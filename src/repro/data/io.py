@@ -9,9 +9,11 @@ archiving analyses.  This module provides:
   metadata header (kind, seed, shape) so a cache hit can be trusted;
 * :func:`dataset_cache` — build-or-load wrapper keyed by the
   generator parameters;
-* :func:`result_to_dict` / :func:`save_results` /
-  :func:`load_results` — JSON-serializable forms of the three
-  refinement result types and benchmark rows.
+* :func:`result_to_dict` / :func:`result_from_dict` /
+  :func:`save_results` / :func:`load_results` — JSON-serializable
+  forms of the three refinement result types and benchmark rows
+  (``result_from_dict`` is the decode half of the public wire schema
+  in :mod:`repro.core.protocol`).
 """
 
 from __future__ import annotations
@@ -130,6 +132,48 @@ def result_to_dict(result) -> dict:
         payload.pop("mqp", None)
         payload.pop("mwk", None)
     return {"kind": kind, **payload}
+
+
+#: Result dataclass fields that serialize as nested lists and must be
+#: restored as arrays.  Dtype is inferred (``kth_points`` carries
+#: integer ids, the rest float64) so a dict → object → dict round
+#: trip is the identity.
+_ARRAY_FIELDS = frozenset({"q_refined", "weights_refined",
+                           "kth_points", "kth_scores"})
+
+_RESULT_KINDS = {"mqp": MQPResult, "mwk": MWKResult, "mqwk": MQWKResult}
+
+
+def result_from_dict(payload: dict):
+    """Rebuild a refinement result from :func:`result_to_dict` output.
+
+    The inverse direction of the wire schema: ``MQWK``'s nested
+    ``mqp``/``mwk`` sub-results are not serialized (they are
+    reproducible from the top level) and come back as ``None``.
+    Raises ``ValueError`` for unknown kinds or unexpected fields so a
+    corrupted payload cannot half-deserialize.
+    """
+    import dataclasses
+
+    if not isinstance(payload, dict):
+        raise ValueError("result payload must be a JSON object")
+    kind = payload.get("kind")
+    cls = _RESULT_KINDS.get(kind)
+    if cls is None:
+        known = ", ".join(sorted(_RESULT_KINDS))
+        raise ValueError(f"unsupported result kind: {kind!r} "
+                         f"(expected one of: {known})")
+    names = {f.name for f in dataclasses.fields(cls)}
+    kwargs = {}
+    for key, value in payload.items():
+        if key == "kind":
+            continue
+        if key not in names:
+            raise ValueError(f"unknown field {key!r} for a {kind} "
+                             "result payload")
+        kwargs[key] = (np.asarray(value) if key in _ARRAY_FIELDS
+                       else value)
+    return cls(**kwargs)
 
 
 def save_results(path, results, *, context: dict | None = None) -> Path:

@@ -1,7 +1,8 @@
 """Shared query-engine layer.
 
-The engine sits between the user-facing API (:class:`~repro.core.framework.WQRTQ`,
-:class:`~repro.core.batch.WhyNotBatch`, the CLI) and the paper's
+The engine sits between the public API
+(:class:`~repro.core.session.Session`, the CLI, the HTTP service —
+plus the deprecated ``WQRTQ``/``WhyNotBatch`` shims) and the paper's
 algorithms.  It owns the three cross-cutting concerns every entry
 point used to re-implement:
 
@@ -12,7 +13,9 @@ point used to re-implement:
   per-catalogue cache of the R-tree, ``FindIncom`` partitions and
   score buffers, with observable :class:`ContextStats`;
 * :mod:`repro.engine.executor` — the (optionally parallel) batch
-  serving loop with per-item timing.
+  serving loop with per-item timing, dispatching typed
+  :class:`~repro.core.protocol.Question` objects through the
+  algorithm registry.
 
 See DESIGN.md for the architecture rationale.
 """
@@ -34,7 +37,8 @@ from repro.engine.kernels import (
     topk_ids,
 )
 
-_EXECUTOR_NAMES = ("ExecutionItem", "answer_one", "execute_batch")
+_EXECUTOR_NAMES = ("ExecutionItem", "answer_one", "answer_question",
+                   "execute_batch", "execute_questions")
 
 
 def __getattr__(name: str):
@@ -58,8 +62,10 @@ __all__ = [
     "ExecutionItem",
     "RANK_EPS",
     "answer_one",
+    "answer_question",
     "beats_count",
     "execute_batch",
+    "execute_questions",
     "iter_score_blocks",
     "kth_scores_batch",
     "rank_of",

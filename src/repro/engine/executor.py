@@ -1,11 +1,19 @@
-"""Batch execution of why-not questions over one DatasetContext.
+"""Answering typed Questions over one DatasetContext.
 
-:func:`execute_batch` is the serving loop behind
-:class:`~repro.core.batch.WhyNotBatch`: it answers a list of queued
-``(q, k, Wm)`` questions with one of the three WQRTQ algorithms,
-sharing a :class:`~repro.engine.context.DatasetContext` so the R-tree
-and per-product ``FindIncom`` partitions are paid once per catalogue
-rather than once per question.
+:func:`answer_question` / :func:`execute_questions` are the single
+serving loop behind every front door — the
+:class:`~repro.core.session.Session` facade, the CLI ``wqrtq batch``
+subcommand and the HTTP service all call them, so one
+:class:`~repro.core.protocol.Question` produces the same
+:class:`~repro.core.protocol.Answer` payload no matter which surface
+it entered through.  Algorithm dispatch goes through the
+:mod:`~repro.core.registry` algorithm registry — there is no
+algorithm-name ``if/elif`` here.
+
+The pre-schema entry points — :func:`answer_one` /
+:func:`execute_batch` over ``(q, k, Wm)`` triples, returning
+:class:`ExecutionItem` — remain as thin shims that emit
+``DeprecationWarning``.
 
 Determinism and parallelism
 ---------------------------
@@ -29,25 +37,160 @@ serially; answers themselves are unaffected.
 
 from __future__ import annotations
 
+import dataclasses
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.audit import audit_result
-from repro.core.mqp import modify_query_point
-from repro.core.mqwk import modify_query_weights_and_k
-from repro.core.mwk import modify_weights_and_k
 from repro.core.penalty import DEFAULT_PENALTY, PenaltyConfig
+from repro.core.protocol import Answer, ErrorInfo, Question
+from repro.core.registry import algorithm_names, get_algorithm
 from repro.engine.context import DatasetContext
 
-ALGORITHMS = ("mqp", "mwk", "mqwk")
+#: Snapshot of the registered algorithm names at import time, kept
+#: for backward compatibility.  New code should call
+#: :func:`repro.core.registry.algorithm_names`, which reflects
+#: runtime registrations.
+ALGORITHMS = algorithm_names()
 
+
+# ---------------------------------------------------------------------
+# Typed path — the one answering loop behind every entry point
+# ---------------------------------------------------------------------
+
+def _answer(context: DatasetContext, question: Question, *,
+            index: int, rng, penalty_config: PenaltyConfig,
+            ) -> tuple[Answer, object]:
+    """Answer one Question; returns ``(answer, bound_query_or_None)``.
+
+    Any per-item failure — catalogue-dependent validation (e.g. a
+    vector that is not actually missing) as well as unexpected errors
+    from deeper layers (e.g. a ``LinAlgError`` escaping the QP
+    solver) — is captured as a failed :class:`Answer` instead of
+    raised, so one poisoned question can never abort a batch and lose
+    its completed siblings.
+    """
+    start = time.perf_counter()
+    try:
+        # The lookup sits inside the capture: an algorithm
+        # unregistered mid-batch must fail that one item, not escape
+        # pool.map and lose every completed sibling.
+        spec = get_algorithm(question.algorithm)
+        query = context.question(question.q, question.k,
+                                 question.why_not)
+        result = spec.run(query, context=context, rng=rng,
+                          penalty_config=penalty_config,
+                          options=question.options)
+        audit = audit_result(query, result, config=penalty_config)
+        answer = Answer(
+            index=index, algorithm=spec.name, result=result,
+            penalty=audit.penalty, valid=audit.valid, error=None,
+            elapsed=time.perf_counter() - start,
+            question_id=question.id)
+        return answer, query
+    except Exception as exc:
+        answer = Answer(
+            index=index, algorithm=question.algorithm, result=None,
+            penalty=float("nan"), valid=False,
+            error=ErrorInfo.from_exception(exc),
+            elapsed=time.perf_counter() - start,
+            question_id=question.id)
+        return answer, None
+
+
+def answer_question(context: DatasetContext, question: Question, *,
+                    index: int = 0,
+                    rng: np.random.Generator | None = None,
+                    penalty_config: PenaltyConfig = DEFAULT_PENALTY,
+                    ) -> Answer:
+    """Answer a single typed :class:`Question` against a context."""
+    if not isinstance(question, Question):
+        raise TypeError(
+            "answer_question expects a repro.Question; for raw "
+            "(q, k, Wm) triples use the deprecated answer_one shim")
+    answer, _ = _answer(context, question, index=index, rng=rng,
+                        penalty_config=penalty_config)
+    return answer
+
+
+def _pooled(run, n_items: int, *, workers: int,
+            context: DatasetContext) -> list:
+    if workers <= 1 or n_items <= 1:
+        return [run(index) for index in range(n_items)]
+    # Build the shared artifacts once, up front: otherwise every
+    # worker would race to be the first tree builder and the losers
+    # would block on the context lock doing nothing.
+    context.tree
+    with ThreadPoolExecutor(max_workers=int(workers)) as pool:
+        return list(pool.map(run, range(n_items)))
+
+
+def execute_questions(context: DatasetContext, questions, *,
+                      seed: int = 0, workers: int = 1,
+                      penalty_config: PenaltyConfig = DEFAULT_PENALTY,
+                      ) -> list[Answer]:
+    """Answer every typed :class:`Question` in order.
+
+    Parameters
+    ----------
+    context:
+        The shared catalogue context (index + partition caches).
+    questions:
+        Sequence of :class:`~repro.core.protocol.Question` objects
+        (each carries its own algorithm and options).  Entries may
+        also be pre-failed :class:`Answer` objects — e.g. wire
+        entries that failed construction-time validation — which are
+        passed through at their slot (index corrected) without
+        consuming work, so the siblings keep their exact per-index
+        rng seeds.
+    seed:
+        Base seed; item ``i`` uses ``default_rng(seed + i)``.
+    workers:
+        Number of executor threads; 1 (default) answers serially.
+        Results are identical either way.
+
+    Returns
+    -------
+    list[Answer]
+        One answer per question, ordered by question index.
+    """
+    items = list(questions)
+    for question in items:
+        if not isinstance(question, (Question, Answer)):
+            raise TypeError(
+                f"execute_questions expects Question objects (or "
+                f"pre-failed Answers), got "
+                f"{type(question).__name__}; for (q, k, Wm) triples "
+                "use the deprecated execute_batch shim")
+
+    def run(index: int) -> Answer:
+        item = items[index]
+        if isinstance(item, Answer):
+            return dataclasses.replace(item, index=index)
+        answer, _ = _answer(
+            context, item, index=index,
+            rng=np.random.default_rng(seed + index),
+            penalty_config=penalty_config)
+        return answer
+
+    return _pooled(run, len(items), workers=workers, context=context)
+
+
+# ---------------------------------------------------------------------
+# Deprecated triple-based path (pre-schema API)
+# ---------------------------------------------------------------------
 
 @dataclass
 class ExecutionItem:
-    """One answered (or failed) question with its timing."""
+    """One answered (or failed) question with its timing.
+
+    The pre-schema item type; :class:`~repro.core.protocol.Answer`
+    is its typed replacement (structured error, wire round-trip).
+    """
 
     index: int
     query: object          # WhyNotQuery | None
@@ -59,49 +202,69 @@ class ExecutionItem:
     elapsed: float = 0.0   # seconds of answer time (validation incl.)
 
 
+def _answer_triple(context: DatasetContext, index: int, q, k, wm,
+                   spec, *, sample_size: int, rng,
+                   penalty_config: PenaltyConfig) -> ExecutionItem:
+    start = time.perf_counter()
+    try:
+        question = Question.from_legacy(q, k, wm, algorithm=spec.name,
+                                        sample_size=sample_size)
+    except Exception as exc:
+        # The typed path rejects malformed questions at construction;
+        # the legacy path reported them as failed items — preserve
+        # that contract for the shims.
+        return ExecutionItem(
+            index=index, query=None, algorithm=spec.name, result=None,
+            penalty=float("nan"), valid=False,
+            error=ErrorInfo.from_exception(exc).as_legacy_string,
+            elapsed=time.perf_counter() - start)
+    answer, query = _answer(context, question, index=index, rng=rng,
+                            penalty_config=penalty_config)
+    return ExecutionItem(
+        index=index, query=query, algorithm=answer.algorithm,
+        result=answer.result, penalty=answer.penalty,
+        valid=answer.valid,
+        error=(None if answer.error is None
+               else answer.error.as_legacy_string),
+        elapsed=answer.elapsed)
+
+
+def _execute_triples(context: DatasetContext, questions, algorithm, *,
+                     sample_size: int, seed: int, workers: int,
+                     penalty_config: PenaltyConfig,
+                     ) -> list[ExecutionItem]:
+    """Shared implementation of the deprecated triple-based batch."""
+    spec = get_algorithm(algorithm)
+    items = list(questions)
+
+    def run(index: int) -> ExecutionItem:
+        q, k, wm = items[index]
+        return _answer_triple(
+            context, index, q, k, wm, spec, sample_size=sample_size,
+            rng=np.random.default_rng(seed + index),
+            penalty_config=penalty_config)
+
+    return _pooled(run, len(items), workers=workers, context=context)
+
+
 def answer_one(context: DatasetContext, index: int, q, k: int, wm,
                algorithm: str, *, sample_size: int = 200,
                rng: np.random.Generator | None = None,
                penalty_config: PenaltyConfig = DEFAULT_PENALTY,
                ) -> ExecutionItem:
-    """Answer a single question against a shared context.
+    """Deprecated: answer one raw ``(q, k, Wm)`` triple.
 
-    Any per-item failure — validation (e.g. a vector that is not
-    actually missing) as well as unexpected errors from deeper layers
-    (e.g. a ``LinAlgError`` escaping the QP solver) — is captured as a
-    failed item instead of raised, so one poisoned question can never
-    abort a batch and lose its completed siblings.
+    Build a :class:`~repro.core.protocol.Question` and call
+    :func:`answer_question` (or ``Session.ask``) instead.
     """
-    if algorithm not in ALGORITHMS:
-        raise ValueError(f"unknown algorithm: {algorithm!r}")
-    start = time.perf_counter()
-    try:
-        query = context.question(q, k, wm)
-        if algorithm == "mqp":
-            result = modify_query_point(query)
-        elif algorithm == "mwk":
-            result = modify_weights_and_k(
-                query, sample_size=sample_size, rng=rng,
-                config=penalty_config, context=context)
-        else:
-            result = modify_query_weights_and_k(
-                query, sample_size=sample_size, rng=rng,
-                config=penalty_config, context=context)
-        audit = audit_result(query, result, config=penalty_config)
-        return ExecutionItem(
-            index=index, query=query, algorithm=algorithm,
-            result=result, penalty=audit.penalty, valid=audit.valid,
-            elapsed=time.perf_counter() - start)
-    except Exception as exc:
-        # ValueError is the expected validation-failure channel and
-        # keeps its bare message; anything else is an internal error,
-        # prefixed with its class so callers can tell the two apart.
-        message = (str(exc) if isinstance(exc, ValueError)
-                   else f"{type(exc).__name__}: {exc}")
-        return ExecutionItem(
-            index=index, query=None, algorithm=algorithm, result=None,
-            penalty=float("nan"), valid=False, error=message,
-            elapsed=time.perf_counter() - start)
+    warnings.warn(
+        "answer_one(q, k, wm, algorithm) is deprecated; build a "
+        "repro.Question and use Session.ask or answer_question",
+        DeprecationWarning, stacklevel=2)
+    spec = get_algorithm(algorithm)
+    return _answer_triple(context, index, q, k, wm, spec,
+                          sample_size=sample_size, rng=rng,
+                          penalty_config=penalty_config)
 
 
 def execute_batch(context: DatasetContext, questions, algorithm: str,
@@ -109,47 +272,17 @@ def execute_batch(context: DatasetContext, questions, algorithm: str,
                   workers: int = 1,
                   penalty_config: PenaltyConfig = DEFAULT_PENALTY,
                   ) -> list[ExecutionItem]:
-    """Answer every question in ``questions`` with one algorithm.
+    """Deprecated: answer ``(q, k, Wm)`` triples with one algorithm.
 
-    Parameters
-    ----------
-    context:
-        The shared catalogue context (index + partition caches).
-    questions:
-        Iterable of ``(q, k, why_not)`` triples.
-    algorithm:
-        ``"mqp"``, ``"mwk"`` or ``"mqwk"``.
-    sample_size:
-        ``|S|`` forwarded to MWK / MQWK.
-    seed:
-        Base seed; item ``i`` uses ``default_rng(seed + i)``.
-    workers:
-        Number of executor threads; 1 (default) answers serially.
-        Results are identical either way.
-
-    Returns
-    -------
-    list[ExecutionItem]
-        One item per question, ordered by question index.
+    Build :class:`~repro.core.protocol.Question` objects and call
+    :func:`execute_questions` (or ``Session.ask_batch``) instead.
     """
-    if algorithm not in ALGORITHMS:
-        raise ValueError(f"unknown algorithm: {algorithm!r}")
-    items = list(questions)
-
-    def run(index_question) -> ExecutionItem:
-        index, (q, k, wm) = index_question
-        return answer_one(
-            context, index, q, k, wm, algorithm,
-            sample_size=sample_size,
-            rng=np.random.default_rng(seed + index),
-            penalty_config=penalty_config)
-
-    if workers <= 1 or len(items) <= 1:
-        return [run(pair) for pair in enumerate(items)]
-
-    # Build the shared artifacts once, up front: otherwise every
-    # worker would race to be the first tree builder and the losers
-    # would block on the context lock doing nothing.
-    context.tree
-    with ThreadPoolExecutor(max_workers=int(workers)) as pool:
-        return list(pool.map(run, enumerate(items)))
+    warnings.warn(
+        "execute_batch(questions, algorithm) over (q, k, Wm) triples "
+        "is deprecated; build repro.Question objects and use "
+        "Session.ask_batch or execute_questions",
+        DeprecationWarning, stacklevel=2)
+    return _execute_triples(context, questions, algorithm,
+                            sample_size=sample_size, seed=seed,
+                            workers=workers,
+                            penalty_config=penalty_config)

@@ -7,12 +7,15 @@ package turns the repro into a long-running service:
 
 * :mod:`repro.service.registry` — :class:`CatalogueRegistry`, named
   catalogues each owning one warmed, LRU-bounded
-  :class:`~repro.engine.context.DatasetContext`;
+  :class:`~repro.engine.context.DatasetContext` (served through a
+  cached :class:`~repro.core.session.Session` per catalogue);
 * :mod:`repro.service.server` — a stdlib-only
-  (``http.server.ThreadingHTTPServer``) JSON API: ``/catalogues``,
-  ``/answer``, ``/batch`` and ``/stats``;
+  (``http.server.ThreadingHTTPServer``) API speaking the versioned
+  :mod:`repro.core.protocol` wire schema: ``/catalogues``,
+  ``/algorithms``, ``/answer``, ``/batch`` and ``/stats``;
 * :mod:`repro.service.client` — the matching ``urllib``-based client
-  helper used by tests, benchmarks and the CI smoke check.
+  (typed ``ask``/``ask_batch`` plus dict-level wrappers) used by
+  tests, benchmarks and the CI smoke check.
 
 ``wqrtq serve`` (see :mod:`repro.cli`) is the command-line entry
 point.  DESIGN.md's "service layer" section has the architecture

@@ -1,10 +1,20 @@
-"""``urllib``-based client for the why-not service.
+"""``urllib``-based client speaking the typed wire schema.
 
-The client is deliberately thin — JSON in, JSON out, no retries or
-pooling — because its job is to be the *reference consumer*: the test
-suite, the throughput benchmark and the CI smoke check all talk to
-``wqrtq serve`` through it, so the wire format has exactly one
-encoding/decoding implementation on each side.
+The client is deliberately thin — no retries, no pooling — because
+its job is to be the *reference consumer*: the test suite, the
+throughput benchmark and the CI smoke check all talk to ``wqrtq
+serve`` through it.  The typed methods (:meth:`ServiceClient.ask`,
+:meth:`ServiceClient.ask_batch`) ship
+:class:`~repro.core.protocol.Question` payloads and decode
+:class:`~repro.core.protocol.Answer` payloads with the library's own
+``to_dict``/``from_dict`` methods, so the wire format has exactly one
+encoding/decoding implementation — the schema itself.  The dict-level
+convenience methods (:meth:`ServiceClient.answer`,
+:meth:`ServiceClient.batch`) keep the pre-schema flat call shapes and
+let the server do all validation against *its* registry.  Every
+schema-speaking response echoes ``schema_version``; the client
+verifies the echo and refuses to mis-decode a server speaking a
+different version.
 """
 
 from __future__ import annotations
@@ -15,6 +25,8 @@ import urllib.request
 
 import numpy as np
 
+from repro.core.protocol import SCHEMA_VERSION, Answer, Question
+
 
 class ServiceError(RuntimeError):
     """An HTTP-level failure reported by the service."""
@@ -23,15 +35,6 @@ class ServiceError(RuntimeError):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
-
-
-def _jsonable_question(q, k, why_not) -> dict:
-    return {
-        "q": np.asarray(q, dtype=np.float64).tolist(),
-        "k": int(k),
-        "why_not": np.atleast_2d(
-            np.asarray(why_not, dtype=np.float64)).tolist(),
-    }
 
 
 class ServiceClient:
@@ -74,7 +77,31 @@ class ServiceClient:
                 message = exc.reason
             raise ServiceError(exc.code, message) from None
 
-    # -- endpoints -----------------------------------------------------
+    @staticmethod
+    def _check_version(response: dict) -> None:
+        version = response.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"server replied with schema_version {version!r}; "
+                f"this client speaks {SCHEMA_VERSION}")
+
+    @staticmethod
+    def _flat_question(q, k, why_not) -> dict:
+        """Pre-schema flat fields for the dict-level methods.
+
+        Deliberately *not* validated against the client-process
+        registry: the server is authoritative, so a refinement
+        registered only server-side stays reachable (the
+        ``/algorithms`` endpoint is how a client discovers it).
+        """
+        return {
+            "q": np.asarray(q, dtype=np.float64).tolist(),
+            "k": int(k),
+            "why_not": np.atleast_2d(
+                np.asarray(why_not, dtype=np.float64)).tolist(),
+        }
+
+    # -- plumbing endpoints --------------------------------------------
 
     def health(self) -> dict:
         return self._request("/health")
@@ -82,33 +109,85 @@ class ServiceClient:
     def catalogues(self) -> list[dict]:
         return self._request("/catalogues")["catalogues"]
 
+    def algorithms(self) -> list[dict]:
+        """The server's registered algorithms (name/summary/options)."""
+        response = self._request("/algorithms")
+        self._check_version(response)
+        return response["algorithms"]
+
     def stats(self) -> dict:
         return self._request("/stats")
+
+    # -- typed endpoints -----------------------------------------------
+
+    def ask(self, catalogue: str, question: Question, *,
+            seed: int = 0) -> Answer:
+        """Answer one typed :class:`Question`; returns the
+        :class:`Answer` (identical to ``Session.ask`` on the server's
+        context)."""
+        response = self._request("/answer", {
+            "schema_version": SCHEMA_VERSION,
+            "catalogue": catalogue,
+            "question": question.to_dict(),
+            "seed": int(seed),
+        })
+        self._check_version(response)
+        return Answer.from_dict(response["item"])
+
+    def ask_batch(self, catalogue: str, questions, *, seed: int = 0,
+                  workers: int = 1) -> tuple[list[Answer], dict]:
+        """Answer many typed Questions in one request.
+
+        Returns ``(answers, summary)``.
+        """
+        response = self._request("/batch", {
+            "schema_version": SCHEMA_VERSION,
+            "catalogue": catalogue,
+            "questions": [question.to_dict()
+                          for question in questions],
+            "seed": int(seed),
+            "workers": int(workers),
+        })
+        self._check_version(response)
+        answers = [Answer.from_dict(item)
+                   for item in response["items"]]
+        return answers, response["summary"]
+
+    # -- dict-level convenience (the pre-schema call shapes) -----------
+    #
+    # These ship the pre-schema flat wire form and let the *server*
+    # upgrade it to typed Questions, so validation — including the
+    # algorithm-name lookup — happens against the server's registry,
+    # not this process's.  The responses are still the versioned
+    # ``Answer.to_dict()`` payloads.
 
     def answer(self, catalogue: str, q, k: int, why_not, *,
                algorithm: str = "mqp", sample_size: int = 200,
                seed: int = 0) -> dict:
-        """Answer one why-not question; returns the execution item."""
-        payload = _jsonable_question(q, k, why_not)
+        """Answer one question; returns ``Answer.to_dict()``."""
+        payload = self._flat_question(q, k, why_not)
         payload.update(catalogue=catalogue, algorithm=algorithm,
                        sample_size=int(sample_size), seed=int(seed))
-        return self._request("/answer", payload)["item"]
+        response = self._request("/answer", payload)
+        self._check_version(response)
+        return response["item"]
 
     def batch(self, catalogue: str, questions, *,
               algorithm: str = "mqp", sample_size: int = 200,
               seed: int = 0, workers: int = 1) -> dict:
         """Answer many ``(q, k, why_not)`` questions in one request.
 
-        Returns the full response: ``{"items": [...],
-        "summary": {...}}``.
+        Returns the full response: ``{"schema_version",
+        "items": [...], "summary": {...}}``.
         """
-        payload = {
+        response = self._request("/batch", {
             "catalogue": catalogue,
-            "questions": [_jsonable_question(q, k, wm)
+            "questions": [self._flat_question(q, k, wm)
                           for q, k, wm in questions],
             "algorithm": algorithm,
             "sample_size": int(sample_size),
             "seed": int(seed),
             "workers": int(workers),
-        }
-        return self._request("/batch", payload)
+        })
+        self._check_version(response)
+        return response

@@ -13,6 +13,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.session import Session
 from repro.engine.context import DEFAULT_CACHE_CAP, DatasetContext
 
 
@@ -40,6 +41,7 @@ class CatalogueRegistry:
         self.max_box_caches = max_box_caches
         self._lock = threading.Lock()
         self._contexts: dict[str, DatasetContext] = {}
+        self._sessions: dict[str, Session] = {}
         self._meta: dict[str, dict] = {}
 
     # ------------------------------------------------------------------
@@ -100,6 +102,20 @@ class CatalogueRegistry:
                 known = ", ".join(sorted(self._contexts)) or "<none>"
                 raise KeyError(f"unknown catalogue {name!r} "
                                f"(registered: {known})") from None
+
+    def session(self, name: str) -> Session:
+        """The (cached) :class:`~repro.core.session.Session` serving
+        ``name`` — the object behind the ``/answer`` and ``/batch``
+        endpoints, and the one to embed when an application wants to
+        share a catalogue's caches with the HTTP daemon."""
+        context = self.get(name)
+        with self._lock:
+            session = self._sessions.get(name)
+            if session is None or session.context is not context:
+                # warm=False: registration already built the tree.
+                session = Session(context=context, warm=False)
+                self._sessions[name] = session
+            return session
 
     def names(self) -> list[str]:
         with self._lock:

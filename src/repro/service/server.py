@@ -1,4 +1,4 @@
-"""Stdlib-only JSON-over-HTTP server for why-not questions.
+"""Stdlib-only JSON-over-HTTP server speaking the typed wire schema.
 
 ``http.server`` is not a production web stack, but it is the right
 tool here: the repro must stay dependency-free, the payloads are tiny
@@ -7,6 +7,14 @@ that release the GIL — parallelizes fine under
 ``ThreadingHTTPServer``'s thread-per-request model combined with the
 executor's ``workers=`` thread pool for ``/batch``.
 
+The wire format *is* the public schema of
+:mod:`repro.core.protocol`: requests carry
+``Question.to_dict()`` payloads, responses carry
+``Answer.to_dict()`` payloads, and the schema-speaking endpoints echo
+``schema_version`` so clients can verify they negotiated the same
+encoding.  There is no server-private encoder/decoder pair — the same
+``to_dict``/``from_dict`` methods the library uses do the wire work.
+
 Endpoints
 ---------
 
@@ -14,31 +22,44 @@ Endpoints
     Liveness probe: ``{"status": "ok"}``.
 ``GET /catalogues``
     Registered catalogues with shapes, LRU bounds and cache stats.
+``GET /algorithms``
+    The registered refinement algorithms (name, summary, accepted
+    options) — enumerated from the algorithm registry, never
+    hard-coded.
 ``GET /stats``
     Per-endpoint request counts / error counts / latency aggregates
     plus the per-catalogue cache stats — the observability surface the
     load benchmark and the CI smoke test read.
 ``POST /answer``
-    One question: ``{"catalogue", "q", "k", "why_not",
-    "algorithm", "sample_size", "seed"}`` → one execution item.
+    One question: ``{"catalogue", "question": Question.to_dict(),
+    "seed"}`` → ``{"schema_version", "item": Answer.to_dict()}``.
 ``POST /batch``
-    Many questions through
-    :func:`repro.engine.executor.execute_batch`:
-    ``{"catalogue", "questions": [{"q", "k", "why_not"}, ...],
-    "algorithm", "sample_size", "seed", "workers"}`` → items plus a
-    summary.
+    Many questions: ``{"catalogue", "questions": [...], "seed",
+    "workers"}`` → ``{"schema_version", "items": [...],
+    "summary": {...}}``.
 
-Client errors (malformed JSON, unknown catalogue/algorithm, bad
-shapes) are ``400`` with ``{"error": ...}``; unknown paths are
-``404``.  Per-question failures inside a batch are *not* HTTP errors:
-they come back as items with ``error`` set, exactly like the
-library-level executor.
+Both POST endpoints also accept the pre-schema flat form
+(``{"q", "k", "why_not", "algorithm", "sample_size"}`` fields, or
+3-element ``[q, k, why_not]`` batch entries); those payloads are
+upgraded to :class:`Question` objects on arrival, so old clients keep
+working against one dispatch path — including the old error
+contract: a pre-schema entry whose *content* fails validation (an
+off-simplex row, ``k < 1``) still comes back as a failed item, never
+as a request-level error that would lose its siblings' answers.
+
+Client errors (malformed JSON, unknown catalogue/algorithm,
+structurally malformed payloads, a *typed* question payload that
+fails construction-time validation, an unsupported
+``schema_version``) are ``400`` with ``{"error": ...}``; unknown
+paths are ``404``.  Per-question failures at answer time —
+catalogue-dependent validation or an algorithm error — are not HTTP
+errors: they come back as answers with ``error`` set, exactly like
+the library-level executor.
 """
 
 from __future__ import annotations
 
 import json
-import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -46,6 +67,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro.core.protocol import (
+    SCHEMA_VERSION,
+    Answer,
+    ErrorInfo,
+    Question,
+    check_schema_version,
+    summarize_answers,
+)
+from repro.core.registry import algorithm_names, get_algorithm
 from repro.service.registry import CatalogueRegistry
 
 
@@ -99,39 +129,22 @@ class ServiceStats:
         }
 
 
-def _item_to_dict(item) -> dict:
-    """JSON-safe form of one :class:`ExecutionItem`."""
-    from repro.data.io import result_to_dict
+def _legacy_question_or_failure(raw_q, raw_k, raw_wm, *, spec,
+                                sample_size: int, index: int = 0,
+                                entry_id=None):
+    """Upgrade one pre-schema entry, preserving the legacy error
+    contract.
 
-    penalty = item.penalty
-    return {
-        "index": item.index,
-        "algorithm": item.algorithm,
-        "valid": bool(item.valid),
-        "error": item.error,
-        "elapsed": float(item.elapsed),
-        "penalty": (None if penalty is None
-                    or (isinstance(penalty, float)
-                        and math.isnan(penalty))
-                    else float(penalty)),
-        "result": (None if item.result is None
-                   else result_to_dict(item.result)),
-    }
-
-
-def _parse_question(entry) -> tuple[np.ndarray, int, np.ndarray]:
-    """One ``(q, k, why_not)`` triple from a JSON dict or 3-list."""
-    if isinstance(entry, dict):
-        try:
-            raw_q, raw_k, raw_wm = (entry["q"], entry["k"],
-                                    entry["why_not"])
-        except KeyError as exc:
-            raise ValueError(f"question missing field {exc}") from None
-    elif isinstance(entry, (list, tuple)) and len(entry) == 3:
-        raw_q, raw_k, raw_wm = entry
-    else:
-        raise ValueError("each question must be a "
-                         "{q, k, why_not} object or a 3-element list")
+    The old server split malformed input in two: structural problems
+    (non-numeric/non-flat ``q``, mismatched ``why_not`` shape, a
+    non-integer ``k``) were HTTP 400s — reproduced here by raising —
+    while *content* problems (off-simplex rows, negative
+    coordinates, ``k < 1``) surfaced per item at answer time.  The
+    typed schema now catches the latter at Question construction, so
+    they are converted into pre-failed :class:`Answer` placeholders
+    instead of failing the whole request: one poisoned entry must
+    not lose its siblings' answers.
+    """
     q = np.asarray(raw_q, dtype=np.float64)
     wm = np.atleast_2d(np.asarray(raw_wm, dtype=np.float64))
     if q.ndim != 1:
@@ -139,7 +152,65 @@ def _parse_question(entry) -> tuple[np.ndarray, int, np.ndarray]:
     if wm.ndim != 2 or wm.shape[1] != q.shape[0]:
         raise ValueError("why_not must be a (m, d) weight list "
                          "matching q's dimensionality")
-    return q, int(raw_k), wm
+    k = int(raw_k)
+    identifier = entry_id if isinstance(entry_id, str) else None
+    try:
+        return Question.from_legacy(q, k, wm, algorithm=spec.name,
+                                    sample_size=sample_size,
+                                    id=identifier)
+    except ValueError as exc:
+        return Answer(index=index, algorithm=spec.name, result=None,
+                      penalty=float("nan"), valid=False,
+                      error=ErrorInfo.from_exception(exc),
+                      elapsed=0.0, question_id=identifier)
+
+
+def _parse_questions(body: dict, entries) -> list:
+    """Typed Questions (or pre-failed Answers) from wire entries.
+
+    An entry is a full ``Question.to_dict()`` payload (recognized by
+    its explicit ``schema_version`` stamp, which ``to_dict`` always
+    writes and pre-schema clients never did — any other key would
+    widen the heuristic into legacy territory), a pre-schema
+    ``{q, k, why_not}`` object, or a pre-schema 3-element list.  The
+    pre-schema forms inherit the body-level ``sample_size`` and —
+    unless the entry carries its own ``algorithm`` field (a flat
+    ``/answer`` shape reused as a batch entry) — the body-level
+    ``algorithm``.  Typed payloads validate strictly (a bad one
+    fails the request); pre-schema entries keep the legacy per-item
+    error contract.
+    """
+    spec = get_algorithm(body.get("algorithm", "mqp"))
+    sample_size = int(body.get("sample_size", 200))
+    questions = []
+    for index, entry in enumerate(entries):
+        entry_spec = spec
+        if isinstance(entry, dict):
+            if "schema_version" in entry:
+                questions.append(Question.from_dict(entry))
+                continue
+            try:
+                raw = (entry["q"], entry["k"], entry["why_not"])
+            except KeyError as exc:
+                raise ValueError(
+                    f"question missing field {exc}") from None
+            entry_id = entry.get("id")
+            if "algorithm" in entry:
+                # A flat /answer-style shape reused as a batch entry:
+                # honor its algorithm rather than silently answering
+                # with the body-level one.
+                entry_spec = get_algorithm(entry["algorithm"])
+        elif isinstance(entry, (list, tuple)) and len(entry) == 3:
+            raw = tuple(entry)
+            entry_id = None
+        else:
+            raise ValueError(
+                "each question must be a Question payload, a "
+                "{q, k, why_not} object or a 3-element list")
+        questions.append(_legacy_question_or_failure(
+            *raw, spec=entry_spec, sample_size=sample_size,
+            index=index, entry_id=entry_id))
+    return questions
 
 
 class WhyNotRequestHandler(BaseHTTPRequestHandler):
@@ -182,6 +253,7 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
             raise ValueError(f"request body is not valid JSON: {exc}")
         if not isinstance(body, dict):
             raise ValueError("request body must be a JSON object")
+        check_schema_version(body, where="request")
         return body
 
     def _handle(self, endpoint: str, fn) -> None:
@@ -191,7 +263,8 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
             status, payload = fn()
         except (ValueError, TypeError, KeyError) as exc:
             # TypeError covers malformed scalar payload fields, e.g.
-            # ``"k": null`` hitting int() — a client error, not ours.
+            # ``"seed": null`` hitting int() — a client error, not
+            # ours.
             error = True
             message = (str(exc.args[0]) if isinstance(exc, KeyError)
                        and exc.args else str(exc))
@@ -215,6 +288,8 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
                          lambda: (200, {"status": "ok"}))
         elif self.path == "/catalogues":
             self._handle("GET /catalogues", self._get_catalogues)
+        elif self.path == "/algorithms":
+            self._handle("GET /algorithms", self._get_algorithms)
         elif self.path == "/stats":
             self._handle("GET /stats", self._get_stats)
         else:
@@ -238,47 +313,65 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
     def _get_catalogues(self) -> tuple[int, dict]:
         return 200, {"catalogues": self.server.registry.describe()}
 
+    def _get_algorithms(self) -> tuple[int, dict]:
+        return 200, {
+            "schema_version": SCHEMA_VERSION,
+            "algorithms": [get_algorithm(name).describe()
+                           for name in algorithm_names()],
+        }
+
     def _get_stats(self) -> tuple[int, dict]:
         payload = self.server.service_stats.snapshot()
         payload["catalogues"] = self.server.registry.describe()
         return 200, payload
 
-    def _post_answer(self) -> tuple[int, dict]:
-        from repro.engine.executor import answer_one
-
-        body = self._read_json()
-        context = self.server.registry.get(
+    def _session(self, body: dict):
+        return self.server.registry.session(
             self._required(body, "catalogue"))
-        q, k, wm = _parse_question(body)
-        item = answer_one(
-            context, 0, q, k, wm,
-            body.get("algorithm", "mqp"),
-            sample_size=int(body.get("sample_size", 200)),
-            rng=np.random.default_rng(int(body.get("seed", 0))))
-        return 200, {"item": _item_to_dict(item)}
+
+    def _post_answer(self) -> tuple[int, dict]:
+        body = self._read_json()
+        session = self._session(body)
+        if "question" in body:
+            question = Question.from_dict(body["question"])
+        else:
+            # Pre-schema flat body: q/k/why_not + algorithm/sample_size
+            # as sibling top-level fields (legacy error contract:
+            # content failures are 200 items, not 400s).
+            missing = [key for key in ("q", "k", "why_not")
+                       if key not in body]
+            if missing:
+                raise ValueError(f"request is missing "
+                                 f"{', '.join(map(repr, missing))}")
+            question = _legacy_question_or_failure(
+                body["q"], body["k"], body["why_not"],
+                spec=get_algorithm(body.get("algorithm", "mqp")),
+                sample_size=int(body.get("sample_size", 200)),
+                entry_id=body.get("id"))
+        if isinstance(question, Answer):   # pre-failed legacy entry
+            return 200, {"schema_version": SCHEMA_VERSION,
+                         "item": question.to_dict()}
+        answer = session.ask(question,
+                             seed=int(body.get("seed", 0)))
+        return 200, {"schema_version": SCHEMA_VERSION,
+                     "item": answer.to_dict()}
 
     def _post_batch(self) -> tuple[int, dict]:
-        from repro.core.batch import BatchReport
-        from repro.engine.executor import execute_batch
-
         body = self._read_json()
-        context = self.server.registry.get(
-            self._required(body, "catalogue"))
-        questions = body.get("questions")
-        if not isinstance(questions, list) or not questions:
+        session = self._session(body)
+        entries = body.get("questions")
+        if not isinstance(entries, list) or not entries:
             raise ValueError("questions must be a non-empty list")
-        triples = [_parse_question(entry) for entry in questions]
+        questions = _parse_questions(body, entries)
         start = time.perf_counter()
-        items = execute_batch(
-            context, triples, body.get("algorithm", "mqp"),
-            sample_size=int(body.get("sample_size", 200)),
-            seed=int(body.get("seed", 0)),
+        answers = session.ask_batch(
+            questions, seed=int(body.get("seed", 0)),
             workers=int(body.get("workers", 1)))
-        wall = time.perf_counter() - start
-        summary = BatchReport(items=items).summary()
-        summary["wall_seconds"] = wall
+        summary = summarize_answers(
+            answers, wall_seconds=time.perf_counter() - start)
         return 200, {
-            "items": [_item_to_dict(item) for item in items],
+            "schema_version": SCHEMA_VERSION,
+            "items": [answer.to_dict() for answer in answers],
             "summary": summary,
         }
 

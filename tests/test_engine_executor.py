@@ -157,18 +157,22 @@ class TestExecutionItems:
                                               exc_type, marker):
         """An exception escaping an algorithm (e.g. a LinAlgError
         from the QP solver) must become a failed item, not abort the
-        batch via ``pool.map`` and lose every completed sibling."""
-        import repro.engine.executor as executor_module
+        batch via ``pool.map`` and lose every completed sibling.
 
-        real_mqp = executor_module.modify_query_point
+        The registry adapters resolve the implementation through its
+        module attribute at call time, so patching the algorithm
+        module is seen by every entry point."""
+        import repro.core.mqp as mqp_module
+
+        real_mqp = mqp_module.modify_query_point
         poison = np.float64(0.123456789)
 
-        def exploding_mqp(query):
+        def exploding_mqp(query, **kwargs):
             if query.q[0] == poison:
                 raise exc_type(marker.split(": ")[-1])
-            return real_mqp(query)
+            return real_mqp(query, **kwargs)
 
-        monkeypatch.setattr(executor_module, "modify_query_point",
+        monkeypatch.setattr(mqp_module, "modify_query_point",
                             exploding_mqp)
         wm = preference_set(1, 3, seed=2)
         good_q = query_point_with_rank(points, wm[0], RANK)

@@ -1,0 +1,302 @@
+"""The typed public API schema: Question/Answer/ErrorInfo + registry.
+
+Satellite acceptance: every payload survives ``to_dict → json →
+from_dict`` identically — including failed items and non-finite
+penalties — and bad inputs fail at Question construction with
+actionable messages.  This module runs in CI with
+``-W error::DeprecationWarning`` (it must never touch a shim).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import (
+    SCHEMA_VERSION,
+    Answer,
+    ErrorInfo,
+    Question,
+    summarize_answers,
+)
+from repro.core.registry import (
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.core.session import Session
+from repro.data import independent, preference_set, query_point_with_rank
+from repro.data.io import result_from_dict, result_to_dict
+
+D = 3
+K = 8
+
+
+@pytest.fixture(scope="module")
+def points():
+    return independent(300, D, seed=9)
+
+
+def typed_question(points, j, *, rank=31, algorithm="mqp",
+                   options=None, id=None):
+    w = preference_set(1, D, seed=8000 + j)
+    q = query_point_with_rank(points, w[0], rank)
+    return Question(q=q, k=K, why_not=w, algorithm=algorithm,
+                    options=options or {}, id=id)
+
+
+def json_round_trip(payload: dict) -> dict:
+    return json.loads(json.dumps(payload))
+
+
+class TestQuestionValidation:
+    def test_valid_question_is_immutable_and_normalized(self):
+        question = Question(q=[1, 2, 3], k="4",
+                            why_not=[0.2, 0.3, 0.5],
+                            algorithm="mwk",
+                            options={"sample_size": 9})
+        assert question.k == 4
+        assert question.q.dtype == np.float64
+        assert question.why_not.shape == (1, 3)
+        assert not question.q.flags.writeable
+        with pytest.raises(AttributeError):
+            question.k = 5   # frozen
+        with pytest.raises(TypeError):
+            # A mutable dict would bypass option-name validation.
+            question.options["bogus"] = 1
+
+    def test_k_must_be_positive_integer(self):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            Question(q=[1, 1], k=0, why_not=[[0.5, 0.5]])
+        with pytest.raises(ValueError, match="k must be a positive"):
+            Question(q=[1, 1], k=None, why_not=[[0.5, 0.5]])
+        with pytest.raises(ValueError, match="k must be a positive"):
+            Question(q=[1, 1], k="many", why_not=[[0.5, 0.5]])
+        with pytest.raises(ValueError, match="k must be a positive"):
+            # A fractional k must never silently truncate to int(k).
+            Question(q=[1, 1], k=2.9, why_not=[[0.5, 0.5]])
+        # Integral spellings remain accepted (wire JSON may say 3.0).
+        assert Question(q=[1, 1], k=3.0, why_not=[[0.5, 0.5]]).k == 3
+
+    def test_simplex_violation_names_the_row(self):
+        with pytest.raises(ValueError,
+                           match=r"why-not vector #1 .* simplex"):
+            Question(q=[1, 1], k=2,
+                     why_not=[[0.5, 0.5], [0.9, 0.5]])
+
+    def test_dimension_mismatch_is_actionable(self):
+        with pytest.raises(ValueError, match=r"\(m, 3\)"):
+            Question(q=[1, 1, 1], k=2, why_not=[[0.5, 0.5]])
+
+    def test_q_must_be_finite_non_negative_flat(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Question(q=[1, -1], k=2, why_not=[[0.5, 0.5]])
+        with pytest.raises(ValueError, match="finite"):
+            Question(q=[1, float("nan")], k=2, why_not=[[0.5, 0.5]])
+        with pytest.raises(ValueError, match="flat"):
+            Question(q=[[1, 1]], k=2, why_not=[[0.5, 0.5]])
+
+    def test_unknown_algorithm_lists_registered_names(self):
+        with pytest.raises(ValueError) as err:
+            Question(q=[1, 1], k=2, why_not=[[0.5, 0.5]],
+                     algorithm="simplex")
+        message = str(err.value)
+        assert "unknown algorithm" in message
+        for name in algorithm_names():
+            assert name in message
+
+    def test_unknown_option_lists_accepted_names(self):
+        with pytest.raises(ValueError,
+                           match=r"unknown option.*use_rtree"):
+            Question(q=[1, 1], k=2, why_not=[[0.5, 0.5]],
+                     algorithm="mqp", options={"sample_size": 9})
+
+    def test_id_must_be_string(self):
+        with pytest.raises(ValueError, match="id must be"):
+            Question(q=[1, 1], k=2, why_not=[[0.5, 0.5]], id=7)
+
+    def test_equality_is_structural(self):
+        a = Question(q=[1, 1], k=2, why_not=[[0.5, 0.5]])
+        b = Question(q=np.array([1.0, 1.0]), k=2,
+                     why_not=np.array([[0.5, 0.5]]))
+        assert a == b and hash(a) == hash(b)
+        assert a != Question(q=[1, 1], k=3, why_not=[[0.5, 0.5]])
+
+
+class TestQuestionRoundTrip:
+    def test_round_trip_is_identity(self, points):
+        question = typed_question(
+            points, 1, algorithm="mwk",
+            options={"sample_size": 64}, id="q-001")
+        payload = question.to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        again = Question.from_dict(json_round_trip(payload))
+        assert again == question
+        assert again.to_dict() == payload
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="missing field"):
+            Question.from_dict({"q": [1, 1], "k": 2})
+
+    def test_unknown_fields_rejected(self):
+        """A misspelled key must not silently decode into a question
+        with default options."""
+        with pytest.raises(ValueError, match="unknown field.*optons"):
+            Question.from_dict({"q": [1, 1], "k": 2,
+                                "why_not": [[0.5, 0.5]],
+                                "optons": {"sample_size": 50}})
+
+    def test_foreign_version_rejected(self, points):
+        payload = typed_question(points, 2).to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            Question.from_dict(payload)
+
+
+class TestErrorInfo:
+    def test_from_exception_and_round_trip(self):
+        info = ErrorInfo.from_exception(
+            np.linalg.LinAlgError("singular KKT system"))
+        assert info.type == "LinAlgError"
+        assert ErrorInfo.from_dict(
+            json_round_trip(info.to_dict())) == info
+
+    def test_legacy_string_forms(self):
+        plain = ErrorInfo.from_exception(ValueError("bad question"))
+        internal = ErrorInfo.from_exception(RuntimeError("boom"))
+        assert plain.as_legacy_string == "bad question"
+        assert internal.as_legacy_string == "RuntimeError: boom"
+
+    def test_non_builtin_valueerror_subclass_keeps_bare_message(self):
+        """The old executor keyed on isinstance(exc, ValueError);
+        np.linalg.LinAlgError is a ValueError subclass despite not
+        living in builtins, so its legacy string stays bare."""
+        info = ErrorInfo.from_exception(
+            np.linalg.LinAlgError("singular matrix"))
+        assert info.category == "validation"
+        assert info.as_legacy_string == "singular matrix"
+        # ...and the category survives the wire round trip.
+        again = ErrorInfo.from_dict(json_round_trip(info.to_dict()))
+        assert again.as_legacy_string == "singular matrix"
+
+
+class TestAnswerRoundTrip:
+    @pytest.mark.parametrize("algorithm, options", [
+        ("mqp", {}),
+        ("mwk", {"sample_size": 40}),
+        ("mqwk", {"sample_size": 25}),
+    ])
+    def test_answered_round_trip_per_algorithm(self, points,
+                                               algorithm, options):
+        session = Session(points)
+        answer = session.ask(typed_question(
+            points, 3, algorithm=algorithm, options=options,
+            id=f"{algorithm}-probe"))
+        assert answer.ok, answer.error
+        payload = answer.to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["id"] == f"{algorithm}-probe"
+        again = Answer.from_dict(json_round_trip(payload))
+        assert again.to_dict() == payload
+        assert again == answer
+
+    def test_failed_item_round_trip_keeps_nan_penalty(self, points):
+        session = Session(points)
+        answer = session.ask(typed_question(points, 4, rank=2))
+        assert not answer.ok and math.isnan(answer.penalty)
+        payload = answer.to_dict()
+        assert payload["penalty"] is None
+        assert payload["error"]["type"] == "ValueError"
+        again = Answer.from_dict(json_round_trip(payload))
+        assert math.isnan(again.penalty)
+        assert again.to_dict() == payload
+
+    @pytest.mark.parametrize("penalty, encoded", [
+        (float("nan"), None),
+        (float("inf"), "inf"),
+        (float("-inf"), "-inf"),
+        (0.25, 0.25),
+    ])
+    def test_non_finite_penalty_encodings(self, penalty, encoded):
+        answer = Answer(index=0, algorithm="mqp", result=None,
+                        penalty=penalty, valid=False,
+                        error=ErrorInfo("RuntimeError", "x"))
+        payload = answer.to_dict()
+        assert payload["penalty"] == encoded
+        again = Answer.from_dict(json_round_trip(payload))
+        assert again.to_dict() == payload
+
+    def test_result_payload_round_trip(self, points):
+        answer = Session(points).ask(typed_question(points, 5))
+        payload = result_to_dict(answer.result)
+        rebuilt = result_from_dict(json_round_trip(payload))
+        assert result_to_dict(rebuilt) == payload
+        assert type(rebuilt) is type(answer.result)
+
+    def test_result_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="result kind"):
+            result_from_dict({"kind": "zap"})
+
+    def test_foreign_version_rejected(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            Answer.from_dict({"schema_version": 99, "index": 0})
+
+
+class TestSummarize:
+    def test_matches_legacy_batch_report_shape(self, points):
+        session = Session(points)
+        questions = [typed_question(points, 10 + j) for j in range(3)]
+        questions.append(typed_question(points, 20, rank=2))  # fails
+        answers = session.ask_batch(questions)
+        summary = summarize_answers(answers, wall_seconds=0.5)
+        assert summary["answered"] == 3 and summary["failed"] == 1
+        assert summary["all_valid"]
+        assert summary["mean_penalty"] is not None
+        assert summary["max_penalty"] >= summary["mean_penalty"]
+        assert summary["total_item_time"] >= summary["max_item_time"]
+        assert summary["wall_seconds"] == 0.5
+
+
+class TestAlgorithmRegistry:
+    def test_builtins_registered_in_paper_order(self):
+        assert algorithm_names()[:3] == ("mqp", "mwk", "mqwk")
+
+    def test_get_algorithm_error_lists_names(self):
+        with pytest.raises(ValueError) as err:
+            get_algorithm("nope")
+        assert "registered: mqp, mwk, mqwk" in str(err.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("mqp")(lambda *a, **k: None)
+
+    def test_custom_algorithm_served_by_every_entry_point(self,
+                                                          points):
+        """A registered extension is dispatchable through the typed
+        executor without touching any front door."""
+
+        @register_algorithm("echo-mqp", summary="test double",
+                            option_names=("use_rtree",))
+        def echo(query, *, context, rng, penalty_config, options):
+            from repro.core.mqp import modify_query_point
+
+            return modify_query_point(query, **options)
+
+        try:
+            assert "echo-mqp" in algorithm_names()
+            session = Session(points)
+            w = preference_set(1, D, seed=8200)
+            q = query_point_with_rank(points, w[0], 31)
+            ours = session.ask(Question(q=q, k=K, why_not=w,
+                                        algorithm="echo-mqp"))
+            builtin = session.ask(Question(q=q, k=K, why_not=w,
+                                           algorithm="mqp"))
+            assert ours.ok
+            assert ours.penalty == builtin.penalty
+        finally:
+            unregister_algorithm("echo-mqp")
+        assert "echo-mqp" not in algorithm_names()

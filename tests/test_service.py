@@ -1,8 +1,11 @@
-"""Service layer: registry, HTTP endpoints, bounded serving.
+"""Service layer: registry, HTTP endpoints, wire schema, bounded serving.
 
 The server under test is a real ``ThreadingHTTPServer`` bound to an
 ephemeral loopback port and driven through the package's own
 :class:`ServiceClient` — the same wire path ``wqrtq serve`` exposes.
+This module runs in CI with ``-W error::DeprecationWarning``: it only
+uses the typed Question/Answer API (raw dict payloads appear solely
+to exercise the server's pre-schema wire compatibility).
 """
 
 from __future__ import annotations
@@ -12,9 +15,12 @@ import threading
 import numpy as np
 import pytest
 
+from repro.core.protocol import SCHEMA_VERSION, Answer, Question
+from repro.core.registry import algorithm_names
+from repro.core.session import Session
 from repro.data import independent, preference_set, query_point_with_rank
 from repro.engine.context import DatasetContext
-from repro.engine.executor import answer_one, execute_batch
+from repro.engine.executor import answer_question, execute_questions
 from repro.service import (
     CatalogueRegistry,
     ServiceClient,
@@ -62,6 +68,19 @@ def make_question(points, j, *, rank=RANK):
     w = preference_set(1, D, seed=7000 + j)
     q = query_point_with_rank(points, w[0], rank)
     return q, K, w
+
+
+def make_typed(points, j, *, rank=RANK, algorithm="mqp",
+               options=None, id=None):
+    q, k, w = make_question(points, j, rank=rank)
+    return Question(q=q, k=k, why_not=w, algorithm=algorithm,
+                    options=options or {}, id=id)
+
+
+def strip_elapsed(payload: dict) -> dict:
+    """An Answer payload minus its (run-dependent) timing."""
+    return {key: value for key, value in payload.items()
+            if key != "elapsed"}
 
 
 class TestRegistry:
@@ -152,12 +171,30 @@ class TestPlumbingEndpoints:
                 "why_not": [[0.5, 0.5]]})   # wrong dimensionality
         assert err.value.status == 400
 
-    def test_unknown_algorithm_400(self, client, points):
+    def test_unknown_algorithm_400_lists_registered(self, client,
+                                                    points):
+        """An unknown algorithm on the wire is a 400 whose message
+        enumerates the registry — no hard-coded name list."""
+        q, k, wm = make_question(points, 0)
+        with pytest.raises(ServiceError) as err:
+            client._request("/answer", {
+                "catalogue": "demo", "q": q.tolist(), "k": k,
+                "why_not": wm.tolist(), "algorithm": "simplex"})
+        assert err.value.status == 400
+        assert "unknown algorithm" in err.value.message
+        for name in algorithm_names():
+            assert name in err.value.message
+
+    def test_unknown_algorithm_split_validation(self, client, points):
+        """The dict-level client defers algorithm validation to the
+        server (so server-only registrations stay reachable); the
+        typed path rejects at Question construction."""
         q, k, wm = make_question(points, 0)
         with pytest.raises(ServiceError) as err:
             client.answer("demo", q, k, wm, algorithm="simplex")
         assert err.value.status == 400
-        assert "unknown algorithm" in err.value.message
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            Question(q=q, k=k, why_not=wm, algorithm="simplex")
 
     def test_null_scalar_field_400(self, client):
         """Malformed scalar fields (k=null) are client errors."""
@@ -199,17 +236,37 @@ class TestPlumbingEndpoints:
 
 
 class TestAnswer:
-    def test_matches_local_execution(self, client, points):
+    def test_wire_payload_is_byte_identical_to_library(self, client,
+                                                       points):
+        """Acceptance criterion: the HTTP item for a Question is the
+        library's ``Answer.to_dict()`` for the same Question, byte
+        for byte (timing excluded)."""
         q, k, wm = make_question(points, 1)
         item = client.answer("demo", q, k, wm, algorithm="mqp",
                              seed=3)
-        local = answer_one(DatasetContext(points), 0, q, k, wm,
-                           "mqp", rng=np.random.default_rng(3))
+        local = answer_question(
+            DatasetContext(points),
+            Question(q=q, k=k, why_not=wm, algorithm="mqp"),
+            rng=np.random.default_rng(3))
         assert item["valid"] and item["error"] is None
+        assert item["schema_version"] == SCHEMA_VERSION
         assert item["penalty"] == local.penalty
         assert item["result"]["kind"] == "mqp"
         np.testing.assert_array_equal(item["result"]["q_refined"],
-                                      local.result.q_refined)
+                                      np.asarray(local.result.q_refined))
+        assert strip_elapsed(item) == \
+            strip_elapsed(local.to_dict())
+
+    def test_typed_ask_round_trips_answer(self, client, points):
+        question = make_typed(points, 5, algorithm="mwk",
+                              options={"sample_size": 30},
+                              id="typed-5")
+        answer = client.ask("demo", question, seed=7)
+        assert isinstance(answer, Answer)
+        assert answer.ok and answer.question_id == "typed-5"
+        local = Session(points).ask(question, seed=7)
+        assert strip_elapsed(answer.to_dict()) == \
+            strip_elapsed(local.to_dict())
 
     def test_question_as_list_payload(self, client, points):
         q, k, wm = make_question(points, 2)
@@ -220,13 +277,93 @@ class TestAnswer:
 
     def test_invalid_question_is_item_error_not_http_error(
             self, client, points):
-        """A question that fails validation is an application-level
-        failed item — the HTTP layer reports 200."""
+        """A question that fails catalogue-dependent validation is an
+        application-level failed item — the HTTP layer reports 200
+        and the item carries a structured error."""
         q, k, wm = make_question(points, 3, rank=5)   # already top-k
         item = client.answer("demo", q, k, wm)
         assert item["error"] is not None
-        assert "already has q" in item["error"]
+        assert item["error"]["type"] == "ValueError"
+        assert "already has q" in item["error"]["message"]
         assert item["penalty"] is None and not item["valid"]
+
+    def test_typed_construction_invalid_question_is_400(self,
+                                                        client):
+        """A *typed* question payload that fails construction-time
+        validation is a strict client error (the typed client would
+        have rejected it locally)."""
+        with pytest.raises(ServiceError) as err:
+            client._request("/answer", {
+                "catalogue": "demo", "question": {
+                    "schema_version": SCHEMA_VERSION,
+                    "q": [0.5] * D, "k": K, "algorithm": "mqp",
+                    "why_not": [[0.8, 0.8, 0.8]]}})
+        assert err.value.status == 400
+        assert "simplex" in err.value.message
+
+    def test_legacy_construction_invalid_is_failed_item(self, client):
+        """A *pre-schema* flat payload keeps the legacy error
+        contract: content failures (off-simplex) are 200 items, not
+        request errors."""
+        response = client._request("/answer", {
+            "catalogue": "demo", "q": [0.5] * D, "k": K,
+            "why_not": [[0.8, 0.8, 0.8]]})
+        item = response["item"]
+        assert item["error"]["type"] == "ValueError"
+        assert "simplex" in item["error"]["message"]
+        assert item["penalty"] is None and not item["valid"]
+
+    def test_legacy_batch_poisoned_construction_keeps_siblings(
+            self, client, points):
+        """One construction-invalid pre-schema entry in a batch must
+        not lose the other answers (the old per-item contract)."""
+        q, k, wm = make_question(points, 70)
+        response = client._request("/batch", {
+            "catalogue": "demo", "algorithm": "mqp",
+            "questions": [
+                {"q": q.tolist(), "k": k, "why_not": wm.tolist()},
+                {"q": q.tolist(), "k": k,
+                 "why_not": [[0.8, 0.8, 0.8]]},   # off simplex
+                [q.tolist(), k, wm.tolist()],
+            ]})
+        summary = response["summary"]
+        assert summary["answered"] == 2 and summary["failed"] == 1
+        errors = [item["error"] for item in response["items"]]
+        assert errors[0] is None and errors[2] is None
+        assert "simplex" in errors[1]["message"]
+        assert [item["index"] for item in response["items"]] == \
+            [0, 1, 2]
+
+    def test_legacy_entry_extra_keys_stay_legacy_and_are_honored(
+            self, client, points):
+        """A pre-schema entry carrying extra keys must not be
+        mistaken for a typed payload (only the ``schema_version``
+        stamp marks one): its ``id`` is echoed and an entry-level
+        ``algorithm`` — a flat /answer shape reused in a batch — is
+        honored rather than silently overridden by the body's."""
+        q, k, wm = make_question(points, 71)
+        response = client._request("/batch", {
+            "catalogue": "demo", "algorithm": "mqp",
+            "sample_size": 25,
+            "questions": [
+                {"q": q.tolist(), "k": k, "why_not": wm.tolist(),
+                 "id": "x1", "algorithm": "mwk"},
+                {"q": q.tolist(), "k": k, "why_not": wm.tolist()},
+            ]})
+        first, second = response["items"]
+        assert first["algorithm"] == "mwk"
+        assert first["id"] == "x1"
+        assert first["result"]["kind"] == "mwk"
+        assert second["algorithm"] == "mqp"   # body-level default
+
+    def test_legacy_answer_echoes_id(self, client, points):
+        """The flat /answer form echoes a caller-supplied ``id``,
+        same as the equivalent /batch entry."""
+        q, k, wm = make_question(points, 72)
+        response = client._request("/answer", {
+            "catalogue": "demo", "q": q.tolist(), "k": k,
+            "why_not": wm.tolist(), "id": "a1"})
+        assert response["item"]["id"] == "a1"
 
 
 class TestBatch:
@@ -234,17 +371,30 @@ class TestBatch:
     def questions(self, points):
         return [make_question(points, 10 + j) for j in range(6)]
 
-    def test_matches_local_execute_batch(self, client, points,
-                                         questions):
+    @pytest.fixture(scope="class")
+    def typed_questions(self, points):
+        return [make_typed(points, 10 + j, algorithm="mwk",
+                           options={"sample_size": 30})
+                for j in range(6)]
+
+    def test_matches_local_execution(self, client, points, questions,
+                                     typed_questions):
         response = client.batch("demo", questions, algorithm="mwk",
                                 sample_size=30, seed=5)
-        local = execute_batch(DatasetContext(points), questions,
-                              "mwk", sample_size=30, seed=5)
+        local = execute_questions(DatasetContext(points),
+                                  typed_questions, seed=5)
         assert response["summary"]["answered"] == len(questions)
         assert response["summary"]["all_valid"]
         for item, want in zip(response["items"], local):
-            assert item["penalty"] == want.penalty
-            assert item["result"]["k_refined"] == want.result.k_refined
+            assert strip_elapsed(item) == strip_elapsed(want.to_dict())
+
+    def test_typed_ask_batch(self, client, points, typed_questions):
+        answers, summary = client.ask_batch("demo", typed_questions,
+                                            seed=5, workers=2)
+        local = Session(points).ask_batch(typed_questions, seed=5)
+        assert summary["answered"] == len(typed_questions)
+        assert [strip_elapsed(a.to_dict()) for a in answers] == \
+            [strip_elapsed(a.to_dict()) for a in local]
 
     def test_workers_do_not_change_results(self, client, questions):
         serial = client.batch("demo", questions, algorithm="mwk",
@@ -315,16 +465,57 @@ class TestBoundedServing:
 
         unbounded = DatasetContext(points, max_partitions=None,
                                    max_box_caches=None)
-        local = execute_batch(unbounded, questions, "mwk",
-                              sample_size=25, seed=11)
+        typed = [Question(q=q, k=k, why_not=wm, algorithm="mwk",
+                          options={"sample_size": 25})
+                 for q, k, wm in questions]
+        local = execute_questions(unbounded, typed, seed=11)
         for item, want in zip(response["items"], local):
             assert item["error"] is None and want.error is None
             assert item["penalty"] == want.penalty
             assert item["result"]["k_refined"] == want.result.k_refined
             np.testing.assert_array_equal(
                 item["result"]["weights_refined"],
-                want.result.weights_refined)
+                np.asarray(want.result.weights_refined))
 
         entries = {e["name"]: e for e in client.catalogues()}
         assert entries["bounded"]["cached_partitions"] <= 8
         assert entries["bounded"]["stats"]["partition_evictions"] > 0
+
+
+class TestWireSchema:
+    """Version negotiation and schema round-trips over the wire."""
+
+    def test_responses_echo_schema_version(self, client, points):
+        q, k, wm = make_question(points, 60)
+        response = client._request("/answer", {
+            "catalogue": "demo", "q": q.tolist(), "k": k,
+            "why_not": wm.tolist()})
+        assert response["schema_version"] == SCHEMA_VERSION
+        assert response["item"]["schema_version"] == SCHEMA_VERSION
+
+    def test_unsupported_request_version_400(self, client, points):
+        q, k, wm = make_question(points, 61)
+        with pytest.raises(ServiceError) as err:
+            client._request("/answer", {
+                "schema_version": 99, "catalogue": "demo",
+                "q": q.tolist(), "k": k, "why_not": wm.tolist()})
+        assert err.value.status == 400
+        assert "schema_version" in err.value.message
+
+    def test_algorithms_endpoint_enumerates_registry(self, client):
+        names = [entry["name"] for entry in client.algorithms()]
+        assert names == list(algorithm_names())
+        for entry in client.algorithms():
+            assert set(entry) == {"name", "summary", "options"}
+
+    def test_wire_item_survives_round_trip(self, client, points):
+        """to_dict → HTTP/json → from_dict → to_dict is the identity,
+        for answered and failed items alike."""
+        good = make_typed(points, 62)
+        bad = make_typed(points, 63, rank=5)   # already in top-k
+        answers, _ = client.ask_batch("demo", [good, bad], seed=1)
+        assert answers[0].ok and not answers[1].ok
+        assert np.isnan(answers[1].penalty)
+        for answer in answers:
+            again = Answer.from_dict(answer.to_dict())
+            assert again.to_dict() == answer.to_dict()
