@@ -26,7 +26,7 @@ True
 >>> bool(answer.penalty < 0.35)   # ...a small nudge wins them over
 True
 >>> answer.to_dict()["schema_version"]   # wire-ready, versioned
-1
+2
 """
 
 from repro.core import (
@@ -53,6 +53,7 @@ from repro.core import (
     register_algorithm,
     summarize_answers,
 )
+from repro.data.catalogue import Catalogue, MutationRecord
 from repro.engine import DatasetContext
 from repro.index import RTree
 from repro.rtopk import brtopk_naive, brtopk_rta, mrtopk_2d
@@ -64,8 +65,10 @@ __all__ = [
     "Answer",
     "BRSEngine",
     "BatchReport",
+    "Catalogue",
     "DatasetContext",
     "ErrorInfo",
+    "MutationRecord",
     "MQPResult",
     "MQWKResult",
     "MWKResult",

@@ -22,6 +22,11 @@ Subcommands
     loaded from ``.npz`` archives — each behind one warmed,
     LRU-bounded context, answering ``/answer`` and ``/batch``
     requests until interrupted.
+``catalogue``
+    Inspect or mutate a catalogue on a *running* ``wqrtq serve``
+    daemon: ``show`` (version, size, mutation counters), ``add`` /
+    ``update`` / ``remove`` products.  Mutations advance the
+    catalogue's version live — no restart, no reload.
 ``bench``
     Regenerate a figure of the paper (delegates to
     :mod:`repro.bench`).
@@ -41,6 +46,9 @@ Examples
     wqrtq batch --questions 20 --products 5 --workers 4
     wqrtq serve --port 8977 -n 10000 --max-partitions 1024
     wqrtq serve --port 0 --load laptops=data/laptops.npz
+    wqrtq catalogue show laptops --port 8977
+    wqrtq catalogue add laptops --products '[[0.4, 0.1, 0.2]]'
+    wqrtq catalogue remove laptops --ids 17,23
     wqrtq bench fig9
 """
 
@@ -304,6 +312,82 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _parse_ids(raw: str) -> list[int]:
+    try:
+        return [int(token) for token in raw.split(",") if token.strip()]
+    except ValueError:
+        raise ValueError(f"--ids expects a comma-separated list of "
+                         f"product ids, got {raw!r}") from None
+
+
+def _parse_products(args) -> list:
+    """Product rows from ``--products`` JSON or an ``--from-npz``
+    archive (exactly one of the two)."""
+    import json
+
+    if (args.products is None) == (getattr(args, "from_npz", None)
+                                   is None):
+        raise ValueError("pass exactly one of --products or "
+                         "--from-npz")
+    if args.products is not None:
+        try:
+            rows = json.loads(args.products)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"--products is not valid JSON: {exc}") \
+                from None
+        return rows
+    from repro.data.io import load_dataset
+
+    points, _ = load_dataset(args.from_npz)
+    return points.tolist()
+
+
+def _cmd_catalogue(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        if args.action == "show":
+            entry = client.catalogue(args.name)
+            print(f"catalogue: {entry['name']}")
+            print(f"version: {entry['version']}  n: {entry['n']}  "
+                  f"d: {entry['d']}")
+            mutations = entry["mutations"]
+            print(f"mutations: adds={mutations['adds']} "
+                  f"updates={mutations['updates']} "
+                  f"removes={mutations['removes']} "
+                  f"(count={mutations['count']})")
+            stats = entry["stats"]
+            print(f"caches: partitions={entry['cached_partitions']} "
+                  f"inherited={stats['partitions_inherited']} "
+                  f"invalidated={stats['partition_invalidations']} "
+                  f"tree_patches={stats['tree_patches']}")
+        elif args.action == "add":
+            response = client.add_products(args.name,
+                                           _parse_products(args))
+            print(f"added {len(response['ids'])} product(s) "
+                  f"(ids {response['ids']}) -> "
+                  f"version {response['catalogue_version']}, "
+                  f"n={response['n']}")
+        elif args.action == "update":
+            response = client.update_products(
+                args.name, _parse_ids(args.ids),
+                _parse_products(args))
+            print(f"updated {len(response['ids'])} product(s) -> "
+                  f"version {response['catalogue_version']}")
+        else:   # remove
+            response = client.remove_products(args.name,
+                                              _parse_ids(args.ids))
+            print(f"removed {len(response['ids'])} product(s) -> "
+                  f"version {response['catalogue_version']}, "
+                  f"n={response['n']}")
+    except (ServiceError, ValueError, OSError) as exc:
+        print(f"catalogue {args.action} failed: {exc}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -394,6 +478,48 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_cat = sub.add_parser(
+        "catalogue",
+        help="inspect or mutate a catalogue on a running server")
+    cat_sub = p_cat.add_subparsers(dest="action", required=True)
+
+    def _cat_common(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("name",
+                            help="registry name of the catalogue")
+        parser.add_argument("--host", default="127.0.0.1")
+        parser.add_argument("--port", type=int, default=8977)
+        parser.set_defaults(func=_cmd_catalogue)
+
+    c_show = cat_sub.add_parser(
+        "show", help="version, size and mutation counters")
+    _cat_common(c_show)
+
+    c_add = cat_sub.add_parser("add", help="append products")
+    _cat_common(c_add)
+    c_add.add_argument("--products", default=None,
+                       help="JSON list of coordinate rows, e.g. "
+                            "'[[0.4, 0.1, 0.2]]'")
+    c_add.add_argument("--from-npz", dest="from_npz", default=None,
+                       help="append every row of a save_dataset "
+                            "archive instead of --products")
+
+    c_update = cat_sub.add_parser(
+        "update", help="replace coordinates of existing products")
+    _cat_common(c_update)
+    c_update.add_argument("--ids", required=True,
+                          help="comma-separated product ids")
+    c_update.add_argument("--products", default=None,
+                          help="JSON list of replacement rows "
+                               "(one per id)")
+    c_update.add_argument("--from-npz", dest="from_npz", default=None,
+                          help="take the replacement rows from a "
+                               "save_dataset archive")
+
+    c_remove = cat_sub.add_parser("remove", help="delete products")
+    _cat_common(c_remove)
+    c_remove.add_argument("--ids", required=True,
+                          help="comma-separated product ids")
 
     p_bench = sub.add_parser("bench", help="regenerate a paper figure")
     from repro.bench.figures import FIGURES

@@ -132,6 +132,23 @@ class IncomparableCache:
             self.candidates = pts[self.candidate_ids]
             self.tree_traversals = 0
 
+    def remapped(self, row_map: np.ndarray) -> "IncomparableCache":
+        """This cache with its candidate ids renumbered.
+
+        A catalogue mutation that *removes* rows compacts the row
+        space, so a cache that survives invalidation (none of its
+        candidates changed) still needs its ids translated through
+        ``row_map`` (old row → new row).  The candidate coordinates
+        are shared, not copied — survival implies they are unchanged
+        — and no traversal is performed.
+        """
+        clone = object.__new__(IncomparableCache)
+        clone.q = self.q
+        clone.candidate_ids = row_map[self.candidate_ids]
+        clone.candidates = self.candidates
+        clone.tree_traversals = 0
+        return clone
+
     def partition(self, q_prime) -> IncomparableResult:
         """``FindIncom`` result for ``q' <= q`` from the cache."""
         qp = np.asarray(q_prime, dtype=np.float64)

@@ -45,11 +45,24 @@ from repro.geometry.vectors import is_valid_weight
 
 #: Version of the dict/wire encoding.  Bump on any change to the
 #: field set or value encodings; ``from_dict`` rejects payloads
-#: stamped with a different version instead of mis-decoding them.
-SCHEMA_VERSION = 1
+#: stamped with an unsupported version instead of mis-decoding them.
+#:
+#: Version history:
+#:
+#: * **1** — the original typed schema.
+#: * **2** — ``Answer`` payloads carry ``catalogue_version``, the
+#:   version of the catalogue snapshot they were answered against
+#:   (0 for standalone, non-catalogue contexts).
+SCHEMA_VERSION = 2
+
+#: Versions this side can still decode.  Version-1 payloads simply
+#: lack ``catalogue_version``; decoding defaults it to 0, which is
+#: exactly what a version-1 producer (one immutable snapshot) meant.
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, SCHEMA_VERSION})
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "Answer",
     "ErrorInfo",
     "Question",
@@ -62,15 +75,19 @@ def check_schema_version(payload: Mapping, *,
                          where: str = "payload") -> None:
     """Reject a dict stamped with a schema version we do not speak.
 
-    A missing stamp is accepted (pre-schema producers); a mismatched
-    one is an error — silently decoding a future encoding risks
-    wrong answers, not just crashes.
+    A missing stamp is accepted (pre-schema producers), and so is any
+    version in :data:`SUPPORTED_SCHEMA_VERSIONS` — the current
+    encoding is a strict superset of version 1.  Anything else is an
+    error — silently decoding a future encoding risks wrong answers,
+    not just crashes.
     """
     version = payload.get("schema_version")
-    if version is not None and version != SCHEMA_VERSION:
+    if version is not None and version not in SUPPORTED_SCHEMA_VERSIONS:
+        supported = ", ".join(
+            str(v) for v in sorted(SUPPORTED_SCHEMA_VERSIONS))
         raise ValueError(
             f"unsupported schema_version {version!r} in {where} "
-            f"(this side speaks {SCHEMA_VERSION})")
+            f"(this side speaks {supported})")
 
 
 def _encode_penalty(value: float):
@@ -359,6 +376,12 @@ class Answer:
     the independent audit of that result; ``elapsed`` is the answer
     time in seconds.  Failed questions carry a structured
     :class:`ErrorInfo` and a ``NaN`` penalty.
+
+    ``catalogue_version`` stamps the catalogue snapshot the answer
+    was computed against (schema version 2): a client interleaving
+    queries with mutations can tell exactly which state of the data
+    each answer reflects.  Standalone contexts — and all version-1
+    payloads — carry 0.
     """
 
     index: int
@@ -369,6 +392,7 @@ class Answer:
     error: ErrorInfo | None = None
     elapsed: float = 0.0
     question_id: str | None = None
+    catalogue_version: int = 0
 
     @property
     def ok(self) -> bool:
@@ -387,6 +411,7 @@ class Answer:
             "error": None if self.error is None else
                      self.error.to_dict(),
             "elapsed": float(self.elapsed),
+            "catalogue_version": int(self.catalogue_version),
             "result": None if self.result is None else
                       result_to_dict(self.result),
         }
@@ -406,7 +431,8 @@ class Answer:
             valid=bool(payload.get("valid", False)),
             error=None if error is None else ErrorInfo.from_dict(error),
             elapsed=float(payload.get("elapsed", 0.0)),
-            question_id=payload.get("id"))
+            question_id=payload.get("id"),
+            catalogue_version=int(payload.get("catalogue_version", 0)))
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Answer):

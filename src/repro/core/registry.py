@@ -40,6 +40,7 @@ Extensions register their own::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -82,6 +83,14 @@ class AlgorithmSpec:
 #: order for the built-ins and becomes the ``--algorithm all`` order.
 _REGISTRY: dict[str, AlgorithmSpec] = {}
 
+#: Registration can race request handling: a long-running ``wqrtq
+#: serve`` process may load an extension while ThreadingHTTPServer
+#: handler threads enumerate ``/algorithms`` or dispatch questions.
+#: The check-then-insert in :func:`register_algorithm` (and the
+#: snapshot reads below) sit behind this lock so a registration is
+#: atomic from every thread's point of view.
+_REGISTRY_LOCK = threading.Lock()
+
 
 def register_algorithm(name: str, *, summary: str = "",
                        option_names: tuple[str, ...] = ()):
@@ -96,11 +105,13 @@ def register_algorithm(name: str, *, summary: str = "",
     def decorate(fn):
         if not key:
             raise ValueError("algorithm name must be non-empty")
-        if key in _REGISTRY:
-            raise ValueError(f"algorithm {key!r} is already registered")
-        _REGISTRY[key] = AlgorithmSpec(
-            name=key, fn=fn, summary=summary,
-            option_names=tuple(option_names))
+        spec = AlgorithmSpec(name=key, fn=fn, summary=summary,
+                             option_names=tuple(option_names))
+        with _REGISTRY_LOCK:
+            if key in _REGISTRY:
+                raise ValueError(f"algorithm {key!r} is already "
+                                 "registered")
+            _REGISTRY[key] = spec
         return fn
 
     return decorate
@@ -108,12 +119,14 @@ def register_algorithm(name: str, *, summary: str = "",
 
 def unregister_algorithm(name: str) -> None:
     """Remove a registration (primarily for tests of extensions)."""
-    _REGISTRY.pop(str(name).strip().lower(), None)
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(str(name).strip().lower(), None)
 
 
 def algorithm_names() -> tuple[str, ...]:
     """Registered names, in registration order."""
-    return tuple(_REGISTRY)
+    with _REGISTRY_LOCK:
+        return tuple(_REGISTRY)
 
 
 def get_algorithm(name) -> AlgorithmSpec:
@@ -124,7 +137,8 @@ def get_algorithm(name) -> AlgorithmSpec:
     service all surface for an unknown algorithm.
     """
     key = name.strip().lower() if isinstance(name, str) else name
-    spec = _REGISTRY.get(key)
+    with _REGISTRY_LOCK:
+        spec = _REGISTRY.get(key)
     if spec is None:
         known = ", ".join(algorithm_names()) or "<none>"
         raise ValueError(f"unknown algorithm: {name!r} "

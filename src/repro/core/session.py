@@ -43,11 +43,19 @@ class Session:
     ----------
     points:
         The catalogue ``P`` as an ``(n, d)`` array.  Ignored when
-        ``context`` is given.
+        ``context`` or ``catalogue`` is given.
     context:
         Optional pre-existing :class:`DatasetContext` to ride on —
         e.g. one owned by a :class:`~repro.service.CatalogueRegistry`
         so library and HTTP traffic share the same caches.
+    catalogue:
+        Optional :class:`~repro.data.catalogue.Catalogue` to *follow*:
+        each :meth:`ask` / :meth:`ask_batch` call **pins** the
+        catalogue's current snapshot at entry and answers every item
+        of that call against it, so one batch is snapshot-consistent
+        even while writers advance the version, and the next call
+        automatically sees the newest data.  Mutually exclusive with
+        ``points``/``context``.
     penalty_config:
         Tolerance weights α/β/γ/λ (defaults: all 0.5, as in the
         paper's experiments).
@@ -58,20 +66,43 @@ class Session:
 
     def __init__(self, points=None, *,
                  context: DatasetContext | None = None,
+                 catalogue=None,
                  penalty_config: PenaltyConfig = DEFAULT_PENALTY,
                  warm: bool = True):
-        if context is None:
-            if points is None:
-                raise ValueError("Session needs points or a context")
+        given = sum(x is not None for x in (points, context, catalogue))
+        if given == 0:
+            raise ValueError("Session needs points, a context or a "
+                             "catalogue")
+        if given > 1:
+            raise ValueError("pass exactly one of points, context or "
+                             "catalogue")
+        if points is not None:
             context = DatasetContext(points)
-        elif points is not None:
-            raise ValueError("pass either points or context, not both")
-        self.context = context
+        self._catalogue = catalogue
+        self._context = context
         self.penalty_config = penalty_config
         if warm:
-            context.tree
+            self.context.tree
 
     # -- introspection -------------------------------------------------
+
+    @property
+    def context(self) -> DatasetContext:
+        """The snapshot this session currently answers against.
+
+        Fixed for the session's lifetime when built from points or a
+        context; the catalogue's *latest* snapshot when following a
+        :class:`~repro.data.catalogue.Catalogue`.  Methods read it
+        once at entry, so each call is internally snapshot-consistent.
+        """
+        if self._catalogue is not None:
+            return self._catalogue.snapshot
+        return self._context
+
+    @property
+    def catalogue_version(self) -> int:
+        """Version of the snapshot :meth:`ask` would pin right now."""
+        return self.context.version
 
     @property
     def points(self) -> np.ndarray:
@@ -105,7 +136,9 @@ class Session:
 
         Catalogue-dependent failures (``k > |P|``, a vector that is
         not actually missing, an algorithm error) come back as a
-        failed :class:`Answer`, never as an exception.
+        failed :class:`Answer`, never as an exception.  The snapshot
+        is pinned at entry; the answer's ``catalogue_version`` says
+        which one.
         """
         from repro.engine.executor import answer_question
 
@@ -119,7 +152,9 @@ class Session:
         """Answer many typed questions, optionally in parallel.
 
         Item ``i`` uses ``default_rng(seed + i)``, so results are
-        identical for any ``workers`` value.
+        identical for any ``workers`` value.  The whole batch answers
+        against one snapshot, pinned at entry — a concurrent writer
+        cannot make item 7 see different data than item 3.
         """
         from repro.engine.executor import execute_questions
 
@@ -152,14 +187,17 @@ class Session:
         from repro.rtopk.bichromatic import brtopk_rta
         from repro.rtopk.mono import mrtopk_2d
 
+        # One snapshot read for the whole call: tree and points must
+        # come from the same version when following a live catalogue.
+        context = self.context
         q = np.asarray(q, dtype=np.float64).reshape(-1)
         if weights is not None:
             wts = np.atleast_2d(np.asarray(weights, dtype=np.float64))
-            return brtopk_rta(self.tree, wts, q, int(k))
-        if self.dim != 2:
+            return brtopk_rta(context.tree, wts, q, int(k))
+        if context.dim != 2:
             raise ValueError("monochromatic result enumeration is "
                              "implemented for 2-D data")
-        return mrtopk_2d(self.points, q, int(k))
+        return mrtopk_2d(context.points, q, int(k))
 
     def missing_weights(self, q, k: int, weights) -> np.ndarray:
         """``W \\ BRTOPk(q)`` — the legal why-not vectors (Def. 5)."""

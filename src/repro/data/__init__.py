@@ -1,4 +1,4 @@
-"""Dataset generators for the experimental evaluation.
+"""Dataset generators and the catalogue lifecycle front door.
 
 * :mod:`repro.data.synthetic` — the Independent and Anti-correlated
   distributions the paper generates (plus Correlated, standard in this
@@ -6,8 +6,12 @@
 * :mod:`repro.data.realistic` — statistical stand-ins for the paper's
   real datasets (NBA 17K×13, Household 127K×6), which are not
   redistributable; see DESIGN.md §4 for the substitution rationale.
+* :mod:`repro.data.catalogue` — :class:`Catalogue`, the versioned
+  *mutable* product set: an append-log of add/update/remove mutations
+  over immutable, copy-on-write snapshots.
 """
 
+from repro.data.catalogue import Catalogue, MutationRecord
 from repro.data.realistic import household_like, nba_like
 from repro.data.synthetic import (
     anticorrelated,
@@ -19,6 +23,8 @@ from repro.data.synthetic import (
 )
 
 __all__ = [
+    "Catalogue",
+    "MutationRecord",
     "anticorrelated",
     "correlated",
     "household_like",

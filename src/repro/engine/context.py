@@ -34,7 +34,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.incomparable import IncomparableCache, IncomparableResult
-from repro.index.rtree import RTree
+from repro.geometry.dominance import dominated_by_mask
+from repro.index.rtree import RTree, compacted_row_map
 
 #: Default bound on the per-``q`` caches.  Generous enough that a
 #: single-catalogue batch run never evicts (the existing tests and
@@ -58,6 +59,15 @@ class ContextStats:
     ``max_box_caches`` and cold traversals are being re-paid.
     ``buffer_reuses`` counts score buffer requests served without a
     fresh allocation.
+
+    A context *derived* from a parent snapshot (:meth:`DatasetContext
+    .derive`, the catalogue mutation path) additionally reports how
+    copy-on-write treated the parent's caches: ``tree_patches`` (the
+    R-tree was patched, not rebuilt), ``partitions_inherited`` /
+    ``box_caches_inherited`` (entries that survived the epoch check
+    and were carried over) and ``partition_invalidations`` /
+    ``box_cache_invalidations`` (entries the mutation made stale —
+    the *only* ones dropped; everything else is retained).
     """
 
     tree_builds: int = 0
@@ -68,6 +78,11 @@ class ContextStats:
     box_cache_hits: int = 0
     box_cache_evictions: int = 0
     buffer_reuses: int = 0
+    tree_patches: int = 0
+    partitions_inherited: int = 0
+    partition_invalidations: int = 0
+    box_caches_inherited: int = 0
+    box_cache_invalidations: int = 0
 
     @property
     def index_work(self) -> int:
@@ -110,12 +125,21 @@ class DatasetContext:
         distinct products, so resident state must not grow with it:
         the least-recently-used entry is evicted once the cap is
         exceeded, counted in :class:`ContextStats`.
+    version:
+        Catalogue version this context is a snapshot of (0 for a
+        standalone, non-catalogue context).  Stamped onto every
+        :class:`~repro.core.protocol.Answer` produced against it.
+    product_ids:
+        Optional stable product id per row (what the catalogue
+        lifecycle API addresses mutations by).  Defaults to the row
+        index, which is what a standalone context has always meant.
     """
 
     def __init__(self, points, *, tree: RTree | None = None,
                  capacity: int | None = None,
                  max_partitions: int | None = DEFAULT_CACHE_CAP,
-                 max_box_caches: int | None = DEFAULT_CACHE_CAP):
+                 max_box_caches: int | None = DEFAULT_CACHE_CAP,
+                 version: int = 0, product_ids=None):
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
         if pts.ndim != 2 or pts.shape[0] == 0:
             raise ValueError("DatasetContext requires a non-empty "
@@ -128,6 +152,8 @@ class DatasetContext:
                           ("max_box_caches", max_box_caches)):
             if cap is not None and cap < 1:
                 raise ValueError(f"{name} must be positive or None")
+        if int(version) < 0:
+            raise ValueError(f"version must be >= 0, got {version!r}")
         self.points = pts.copy()
         self.points.setflags(write=False)
         self._capacity = capacity
@@ -135,6 +161,23 @@ class DatasetContext:
         self._lock = threading.Lock()
         self.max_partitions = max_partitions
         self.max_box_caches = max_box_caches
+        self.version = int(version)
+        #: Derivation depth: how many copy-on-write steps separate
+        #: this snapshot from its root context (0 = built from
+        #: scratch).  The per-entry epoch check itself runs eagerly
+        #: inside :meth:`derive` — every inherited entry passed the
+        #: delta's dominance test for this epoch, so no per-entry
+        #: stamp needs to be stored or re-checked on lookup.
+        self.epoch = 0
+        if product_ids is not None:
+            ids = np.asarray(product_ids, dtype=np.int64).reshape(-1)
+            if ids.shape[0] != pts.shape[0]:
+                raise ValueError(
+                    f"product_ids must have one id per row "
+                    f"({pts.shape[0]}), got {ids.shape[0]}")
+            product_ids = ids.copy()
+            product_ids.setflags(write=False)
+        self._product_ids: np.ndarray | None = product_ids
         self._box_caches: OrderedDict[bytes, IncomparableCache] = \
             OrderedDict()
         self._partitions: OrderedDict[bytes, IncomparableResult] = \
@@ -151,6 +194,17 @@ class DatasetContext:
     @property
     def dim(self) -> int:
         return int(self.points.shape[1])
+
+    @property
+    def product_ids(self) -> np.ndarray:
+        """Stable product id per row (row index when standalone)."""
+        if self._product_ids is None:
+            with self._lock:
+                if self._product_ids is None:
+                    ids = np.arange(self.n, dtype=np.int64)
+                    ids.setflags(write=False)
+                    self._product_ids = ids
+        return self._product_ids
 
     @property
     def n_cached_partitions(self) -> int:
@@ -242,6 +296,160 @@ class DatasetContext:
                     self._box_caches.popitem(last=False)
                     self.stats.box_cache_evictions += 1
         return cache
+
+    # ------------------------------------------------------------------
+    # Copy-on-write snapshot derivation (catalogue mutations)
+    # ------------------------------------------------------------------
+
+    def derive(self, points, *, removed_rows=(), updated_rows=(),
+               appended: int = 0, version: int | None = None,
+               product_ids=None) -> "DatasetContext":
+        """A successor snapshot of this context after a mutation.
+
+        This is the engine half of the catalogue lifecycle API
+        (:class:`repro.data.catalogue.Catalogue` is the front door):
+        the new context is built **copy-on-write** from this one
+        rather than from scratch —
+
+        * the new point array is adopted as-is (unchanged rows must
+          carry identical coordinates, which is validated);
+        * the R-tree, if this snapshot has built one, is **patched**
+          (:meth:`repro.index.rtree.RTree.patched`) instead of
+          re-bulk-loaded, counted in ``stats.tree_patches``;
+        * the per-``q`` partition/box caches advance one *epoch*:
+          each entry is checked against the delta and either promoted
+          to the new epoch (``stats.partitions_inherited`` /
+          ``box_caches_inherited``) or dropped
+          (``stats.partition_invalidations`` /
+          ``box_cache_invalidations``) — never flushed wholesale.
+
+        The epoch check is a dominance test: an entry keyed by query
+        point ``q`` only describes points *not* dominated by ``q``,
+        so it stays exact as long as every changed coordinate (old
+        and new) is strictly dominated by ``q`` — such points were
+        invisible to the entry before the mutation and remain so
+        after.  Equality is treated conservatively (dropped).
+
+        This context is not modified: readers pinned to it keep
+        getting snapshot-consistent answers.
+
+        Parameters
+        ----------
+        points:
+            Full new ``(n', d)`` array — removed rows compacted away,
+            appended rows at the tail.
+        removed_rows, updated_rows:
+            Row indices *in this snapshot* that the mutation deleted /
+            changed (disjoint).
+        appended:
+            Number of rows appended at the tail of ``points``.
+        version:
+            Catalogue version of the new snapshot (defaults to this
+            snapshot's version + 1; must be larger).
+        product_ids:
+            Stable ids for the new rows (forwarded to the
+            constructor).
+        """
+        new_pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        removed = np.unique(np.asarray(removed_rows,
+                                       dtype=np.int64).reshape(-1))
+        updated = np.unique(np.asarray(updated_rows,
+                                       dtype=np.int64).reshape(-1))
+        appended = int(appended)
+        for label, rows in (("removed_rows", removed),
+                            ("updated_rows", updated)):
+            if len(rows) and (rows[0] < 0 or rows[-1] >= self.n):
+                raise ValueError(f"{label} must index rows of this "
+                                 f"snapshot (0..{self.n - 1})")
+        if np.intersect1d(removed, updated).size:
+            raise ValueError("removed_rows and updated_rows must be "
+                             "disjoint")
+        if appended < 0:
+            raise ValueError("appended must be >= 0")
+        expected = self.n - len(removed) + appended
+        if new_pts.ndim != 2 or new_pts.shape != (expected, self.dim):
+            raise ValueError(
+                f"derive expects a ({expected}, {self.dim}) array "
+                f"(this snapshot is ({self.n}, {self.dim}) with "
+                f"{len(removed)} removed and {appended} appended), "
+                f"got {new_pts.shape}")
+        if version is None:
+            version = self.version + 1
+        elif int(version) <= self.version:
+            raise ValueError(
+                f"version must advance monotonically: "
+                f"{version!r} <= current {self.version}")
+
+        # Old row -> new row (only removals renumber) — the same map
+        # RTree.patched applies to its leaf ids, shared so inherited
+        # cache entries and the patched index can never disagree.
+        row_map = compacted_row_map(self.n, removed)
+
+        unchanged = row_map >= 0
+        unchanged[updated] = False
+        if not np.array_equal(new_pts[row_map[unchanged]],
+                              self.points[unchanged]):
+            raise ValueError("unchanged rows must carry identical "
+                             "coordinates in the derived snapshot")
+
+        # Every coordinate the mutation touched, old and new: the
+        # epoch check below compares cached entries against these.
+        changed = np.vstack([
+            self.points[removed], self.points[updated],
+            new_pts[row_map[updated]], new_pts[expected - appended:],
+        ]) if (len(removed) or len(updated) or appended) else \
+            np.empty((0, self.dim))
+
+        def survives(key: bytes) -> bool:
+            if not len(changed):
+                return True
+            q = np.frombuffer(key, dtype=np.float64)
+            return bool(dominated_by_mask(changed, q).all())
+
+        with self._lock:
+            tree = self._tree
+            box_items = list(self._box_caches.items())
+            part_items = list(self._partitions.items())
+
+        if tree is not None:
+            tree = RTree.patched(tree, new_pts, removed_rows=removed,
+                                 updated_rows=updated,
+                                 appended=appended)
+
+        derived = DatasetContext(
+            new_pts, tree=tree, capacity=self._capacity,
+            max_partitions=self.max_partitions,
+            max_box_caches=self.max_box_caches,
+            version=int(version), product_ids=product_ids)
+        derived.epoch = self.epoch + 1
+        if tree is not None:
+            # RTree.patched falls back to a full bulk load when the
+            # delta touched every surviving point — account that
+            # honestly as a build.
+            if getattr(tree, "was_patched", False):
+                derived.stats.tree_patches = 1
+            else:
+                derived.stats.tree_builds = 1
+
+        renumber = bool(len(removed))
+        for key, cache in box_items:
+            if survives(key):
+                derived._box_caches[key] = (cache.remapped(row_map)
+                                            if renumber else cache)
+                derived.stats.box_caches_inherited += 1
+            else:
+                derived.stats.box_cache_invalidations += 1
+        for key, part in part_items:
+            if survives(key):
+                if renumber:
+                    part = IncomparableResult(
+                        dominating_ids=row_map[part.dominating_ids],
+                        incomparable_ids=row_map[part.incomparable_ids])
+                derived._partitions[key] = part
+                derived.stats.partitions_inherited += 1
+            else:
+                derived.stats.partition_invalidations += 1
+        return derived
 
     # ------------------------------------------------------------------
     # Reusable score buffers

@@ -90,7 +90,8 @@ def _answer(context: DatasetContext, question: Question, *,
             index=index, algorithm=spec.name, result=result,
             penalty=audit.penalty, valid=audit.valid, error=None,
             elapsed=time.perf_counter() - start,
-            question_id=question.id)
+            question_id=question.id,
+            catalogue_version=context.version)
         return answer, query
     except Exception as exc:
         answer = Answer(
@@ -98,7 +99,8 @@ def _answer(context: DatasetContext, question: Question, *,
             penalty=float("nan"), valid=False,
             error=ErrorInfo.from_exception(exc),
             elapsed=time.perf_counter() - start,
-            question_id=question.id)
+            question_id=question.id,
+            catalogue_version=context.version)
         return answer, None
 
 
@@ -170,7 +172,11 @@ def execute_questions(context: DatasetContext, questions, *,
     def run(index: int) -> Answer:
         item = items[index]
         if isinstance(item, Answer):
-            return dataclasses.replace(item, index=index)
+            # Pre-failed entries are stamped with the snapshot the
+            # batch ran against, like their answered siblings.
+            return dataclasses.replace(
+                item, index=index,
+                catalogue_version=context.version)
         answer, _ = _answer(
             context, item, index=index,
             rng=np.random.default_rng(seed + index),

@@ -32,6 +32,23 @@ _COORD_BYTES = 8
 _POINTER_BYTES = 8
 
 
+def compacted_row_map(n: int, removed_rows) -> np.ndarray:
+    """Old-row → new-row map after deleting ``removed_rows`` from a
+    compact ``0..n-1`` row space (removed entries map to ``-1``).
+
+    The single definition both :meth:`RTree.patched` (renumbering
+    leaf ids) and ``DatasetContext.derive`` (renumbering inherited
+    cache entries that reference those ids) share — the two mappings
+    must be identical or cached ids would point at the wrong rows.
+    """
+    removed = np.asarray(removed_rows, dtype=np.int64).reshape(-1)
+    keep = np.ones(n, dtype=bool)
+    keep[removed] = False
+    row_map = np.full(n, -1, dtype=np.int64)
+    row_map[keep] = np.arange(int(keep.sum()))
+    return row_map
+
+
 def default_capacity(dim: int, *, page_size: int = PAGE_SIZE_BYTES) -> int:
     """Entries per node for a given dimensionality and page size.
 
@@ -134,6 +151,113 @@ class RTree:
             self.root = self._build_by_insertion()
         else:
             raise ValueError(f"unknown construction method: {method!r}")
+
+    # ------------------------------------------------------------------
+    # Copy-on-write patching (catalogue mutations)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def patched(cls, parent: "RTree", points, *, removed_rows=(),
+                updated_rows=(), appended: int = 0) -> "RTree":
+        """A new tree over ``points``, derived from ``parent``.
+
+        The catalogue lifecycle API advances a snapshot by a small
+        delta — a handful of rows removed, updated or appended — and a
+        full STR re-sort of the untouched points would dominate the
+        cost of small mutations.  This constructor instead copies the
+        parent's node structure (``parent`` itself is never modified:
+        in-flight readers keep traversing it), deletes the
+        removed/updated entries from their leaves, renumbers surviving
+        ids when removals compacted the row space, and re-inserts the
+        updated/appended points with the classic Guttman insert.
+        Underflowing leaves are kept (or dropped when empty) rather
+        than condensed — balance degrades slightly under sustained
+        deletion, correctness never does.
+
+        Parameters
+        ----------
+        parent:
+            The tree of the previous snapshot.
+        points:
+            The full new ``(n', d)`` point array, with removed rows
+            compacted away and appended rows at the tail.
+        removed_rows, updated_rows:
+            *Parent*-row indices deleted / modified by the mutation
+            (disjoint).
+        appended:
+            Number of rows appended at the tail of ``points``.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        removed = np.unique(np.asarray(removed_rows,
+                                       dtype=np.int64).reshape(-1))
+        updated = np.unique(np.asarray(updated_rows,
+                                       dtype=np.int64).reshape(-1))
+        if pts.ndim != 2 or pts.shape[1] != parent.dim:
+            raise ValueError(
+                f"patched tree needs (n, {parent.dim}) points, got "
+                f"shape {pts.shape}")
+        expected = len(parent) - len(removed) + int(appended)
+        if pts.shape[0] != expected:
+            raise ValueError(
+                f"patched tree expects {expected} points "
+                f"({len(parent)} - {len(removed)} removed "
+                f"+ {appended} appended), got {pts.shape[0]}")
+        if pts.shape[0] == 0:
+            raise ValueError("RTree requires a non-empty (n, d) array")
+        if not np.all(np.isfinite(pts)):
+            raise ValueError("RTree points must be finite")
+
+        tree = object.__new__(cls)
+        tree.points = pts.copy()
+        tree.points.setflags(write=False)
+        tree.dim = parent.dim
+        tree.capacity = parent.capacity
+        tree.stats = RTreeStats()
+        tree.root = _copy_structure(parent.root)
+
+        # Pull the removed and updated entries out of their leaves.
+        evicted = np.concatenate([removed, updated])
+        if len(evicted):
+            pull = set(int(i) for i in evicted)
+            for node in tree.iter_nodes():
+                if node.is_leaf and pull:
+                    kept = [pid for pid in node.point_ids
+                            if pid not in pull]
+                    pull.difference_update(node.point_ids)
+                    node.point_ids = kept
+            if pull:   # pragma: no cover - defensive
+                raise ValueError(f"rows {sorted(pull)} not found in "
+                                 "the parent tree")
+
+        # Removal compacts the row space: renumber survivors.
+        if len(removed):
+            row_map = compacted_row_map(len(parent), removed)
+            for node in tree.iter_nodes():
+                if node.is_leaf and node.point_ids:
+                    node.point_ids = row_map[
+                        np.asarray(node.point_ids)].tolist()
+        else:
+            row_map = np.arange(len(parent), dtype=np.int64)
+
+        root = _drop_empty_and_refresh(tree.root, tree.points)
+        if root is None:
+            # The delta touched every surviving point (e.g. a whole-
+            # catalogue update): nothing is left to patch around, so
+            # a fresh bulk load is both simpler and faster.  The flag
+            # lets DatasetContext.derive account it as a build, not a
+            # patch.
+            tree = cls(pts, capacity=parent.capacity)
+            tree.was_patched = False
+            return tree
+        tree.root = root
+        tree.was_patched = True
+
+        # Re-insert the changed points at their new coordinates.
+        reinsert = [int(row_map[row]) for row in updated]
+        reinsert.extend(range(expected - int(appended), expected))
+        for pid in reinsert:
+            tree.root = tree._insert(tree.root, pid)
+        return tree
 
     # ------------------------------------------------------------------
     # Introspection
@@ -330,8 +454,16 @@ class RTree:
             node.refresh_arrays(self.points)
             return None
         point = self.points[pid]
-        best = min(node.children,
-                   key=lambda c: (c.mbr.enlargement(point), c.mbr.volume()))
+        # Least-enlargement choice, vectorized over the cached child
+        # MBR arrays (kept current by refresh_arrays on the way out):
+        # the per-child MBR.enlargement()/volume() Python loop was the
+        # hot spot of the catalogue patch path.
+        lowers, uppers = node.child_lowers, node.child_uppers
+        current = np.prod(uppers - lowers, axis=1)
+        grown = np.prod(np.maximum(uppers, point)
+                        - np.minimum(lowers, point), axis=1)
+        best = node.children[
+            int(np.lexsort((current, grown - current))[0])]
         sibling = self._insert_into(best, pid)
         if sibling is not None:
             node.children.append(sibling)
@@ -364,41 +496,94 @@ class RTree:
         return sibling
 
 
+def _copy_structure(node: Node) -> Node:
+    """Copy a subtree's shape (ids and child lists, not the cached
+    MBR arrays — the patch refreshes those after editing)."""
+    clone = Node(is_leaf=node.is_leaf)
+    if node.is_leaf:
+        clone.point_ids = list(node.point_ids)
+    else:
+        clone.children = [_copy_structure(child)
+                          for child in node.children]
+    return clone
+
+
+def _drop_empty_and_refresh(node: Node,
+                            points: np.ndarray) -> Node | None:
+    """Post-order: prune emptied nodes, rebuild MBRs bottom-up.
+
+    Returns the (possibly pruned) node, or ``None`` when the subtree
+    holds no points at all.
+    """
+    if node.is_leaf:
+        if not node.point_ids:
+            return None
+        node.refresh_arrays(points)
+        return node
+    node.children = [
+        child for child in
+        (_drop_empty_and_refresh(c, points) for c in node.children)
+        if child is not None]
+    if not node.children:
+        return None
+    node.refresh_arrays(points)
+    return node
+
+
 def _quadratic_split(boxes: list[MBR]) -> tuple[list[int], list[int]]:
     """Guttman's quadratic split over a list of entry MBRs.
 
     Returns two index groups, each non-empty and at most
-    ``len(boxes) - 1`` long.
+    ``len(boxes) - 1`` long.  The O(n²) seed-pair search runs as one
+    broadcast instead of a Python double loop (ties resolve to the
+    same first pair the loop picked), keeping node splits cheap on
+    the catalogue patch path, where clustered re-inserts split the
+    same leaf repeatedly.
     """
     n = len(boxes)
-    worst_pair, worst_waste = (0, 1), -np.inf
-    for i in range(n):
-        for j in range(i + 1, n):
-            waste = (boxes[i].merged(boxes[j]).volume()
-                     - boxes[i].volume() - boxes[j].volume())
-            if waste > worst_waste:
-                worst_waste, worst_pair = waste, (i, j)
-    seed_a, seed_b = worst_pair
-    group_a, group_b = [seed_a], [seed_b]
-    box_a, box_b = boxes[seed_a], boxes[seed_b]
+    lowers = np.array([box.lower for box in boxes])
+    uppers = np.array([box.upper for box in boxes])
+    volumes = np.prod(uppers - lowers, axis=1)
+    merged = np.prod(
+        np.maximum(uppers[:, None, :], uppers[None, :, :])
+        - np.minimum(lowers[:, None, :], lowers[None, :, :]), axis=2)
+    waste = merged - volumes[:, None] - volumes[None, :]
+    # Row-major argmax visits (i, j) before (j, i) for i < j, so the
+    # first-maximum pair matches the historical i<j scan order.
+    np.fill_diagonal(waste, -np.inf)
+    seed_a, seed_b = np.unravel_index(int(np.argmax(waste)),
+                                      waste.shape)
+    if seed_a > seed_b:   # pragma: no cover - symmetric safeguard
+        seed_a, seed_b = seed_b, seed_a
+    group_a, group_b = [int(seed_a)], [int(seed_b)]
+    lo_a, hi_a = lowers[seed_a], uppers[seed_a]
+    lo_b, hi_b = lowers[seed_b], uppers[seed_b]
+    vol_a = volumes[seed_a]
+    vol_b = volumes[seed_b]
     rest = [i for i in range(n) if i not in (seed_a, seed_b)]
     min_fill = max(1, n // 3)
-    for idx in rest:
-        if len(group_a) + (len(rest) - rest.index(idx)) <= min_fill:
+    for position, idx in enumerate(rest):
+        remaining = len(rest) - position
+        if len(group_a) + remaining <= min_fill:
+            take_a = True
+        elif len(group_b) + remaining <= min_fill:
+            take_a = False
+        else:
+            grow_a = np.prod(np.maximum(hi_a, uppers[idx])
+                             - np.minimum(lo_a, lowers[idx])) - vol_a
+            grow_b = np.prod(np.maximum(hi_b, uppers[idx])
+                             - np.minimum(lo_b, lowers[idx])) - vol_b
+            take_a = grow_a < grow_b or (grow_a == grow_b
+                                         and len(group_a)
+                                         <= len(group_b))
+        if take_a:
             group_a.append(idx)
-            box_a = box_a.merged(boxes[idx])
-            continue
-        if len(group_b) + (len(rest) - rest.index(idx)) <= min_fill:
-            group_b.append(idx)
-            box_b = box_b.merged(boxes[idx])
-            continue
-        grow_a = box_a.merged(boxes[idx]).volume() - box_a.volume()
-        grow_b = box_b.merged(boxes[idx]).volume() - box_b.volume()
-        if grow_a < grow_b or (grow_a == grow_b
-                               and len(group_a) <= len(group_b)):
-            group_a.append(idx)
-            box_a = box_a.merged(boxes[idx])
+            lo_a = np.minimum(lo_a, lowers[idx])
+            hi_a = np.maximum(hi_a, uppers[idx])
+            vol_a = np.prod(hi_a - lo_a)
         else:
             group_b.append(idx)
-            box_b = box_b.merged(boxes[idx])
+            lo_b = np.minimum(lo_b, lowers[idx])
+            hi_b = np.maximum(hi_b, uppers[idx])
+            vol_b = np.prod(hi_b - lo_b)
     return group_a, group_b

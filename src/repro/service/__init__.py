@@ -22,13 +22,18 @@ point.  DESIGN.md's "service layer" section has the architecture
 rationale.
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceError,
+)
 from repro.service.registry import CatalogueRegistry
 from repro.service.server import WhyNotServer, create_server
 
 __all__ = [
     "CatalogueRegistry",
     "ServiceClient",
+    "ServiceConnectionError",
     "ServiceError",
     "WhyNotServer",
     "create_server",

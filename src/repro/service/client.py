@@ -1,6 +1,6 @@
 """``urllib``-based client speaking the typed wire schema.
 
-The client is deliberately thin — no retries, no pooling — because
+The client is deliberately thin — no pooling, no backoff — because
 its job is to be the *reference consumer*: the test suite, the
 throughput benchmark and the CI smoke check all talk to ``wqrtq
 serve`` through it.  The typed methods (:meth:`ServiceClient.ask`,
@@ -13,19 +13,35 @@ convenience methods (:meth:`ServiceClient.answer`,
 :meth:`ServiceClient.batch`) keep the pre-schema flat call shapes and
 let the server do all validation against *its* registry.  Every
 schema-speaking response echoes ``schema_version``; the client
-verifies the echo and refuses to mis-decode a server speaking a
-different version.
+verifies the echo and refuses to mis-decode a server speaking an
+unsupported version.
+
+Transport failures never surface as raw ``urllib``/``socket``
+exceptions: they are wrapped in :class:`ServiceConnectionError`, and
+**GET** requests — idempotent by construction — are retried once
+first, so a connection reset mid-read (a server restart between
+keep-alive requests, say) does not fail a health probe.  POSTs are
+never retried: ``/answer`` is safe to repeat but a ``/catalogues/…/
+products`` mutation is not, and the client cannot tell whether the
+server processed the request before the connection died.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import urllib.error
+import urllib.parse
 import urllib.request
 
 import numpy as np
 
-from repro.core.protocol import SCHEMA_VERSION, Answer, Question
+from repro.core.protocol import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    Answer,
+    Question,
+)
 
 
 class ServiceError(RuntimeError):
@@ -35,6 +51,20 @@ class ServiceError(RuntimeError):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+
+
+class ServiceConnectionError(ServiceError):
+    """A transport-level failure: the request never produced a
+    (complete) HTTP response — connection refused or reset, timeout,
+    a read cut short.  ``status`` is ``None``: no status line was
+    trustworthy.  ``attempts`` says how many tries were made (2 for
+    idempotent GETs, 1 for POSTs)."""
+
+    def __init__(self, message: str, *, attempts: int = 1):
+        RuntimeError.__init__(self, message)
+        self.status = None
+        self.message = message
+        self.attempts = attempts
 
 
 class ServiceClient:
@@ -57,6 +87,29 @@ class ServiceClient:
     # -- transport -----------------------------------------------------
 
     def _request(self, path: str, payload: dict | None = None) -> dict:
+        # GETs are idempotent: retry exactly once on a transport
+        # failure.  POSTs are not (a mutation may have been applied
+        # before the connection died), so they get one attempt.
+        attempts = 2 if payload is None else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                # HTTP-status failures leave _request_once as
+                # ServiceError (a RuntimeError) and propagate — only
+                # transport-level trouble is caught below.
+                return self._request_once(path, payload)
+            except (OSError, http.client.HTTPException) as exc:
+                # URLError, ConnectionResetError, timeouts and
+                # IncompleteRead all land here.
+                if attempt < attempts:
+                    continue
+                raise ServiceConnectionError(
+                    f"{type(exc).__name__} talking to "
+                    f"{self.base_url}{path} "
+                    f"(after {attempts} attempt(s)): {exc}",
+                    attempts=attempts) from exc
+
+    def _request_once(self, path: str,
+                      payload: dict | None = None) -> dict:
         if payload is None:
             request = urllib.request.Request(self.base_url + path)
         else:
@@ -80,10 +133,12 @@ class ServiceClient:
     @staticmethod
     def _check_version(response: dict) -> None:
         version = response.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
+            supported = ", ".join(
+                str(v) for v in sorted(SUPPORTED_SCHEMA_VERSIONS))
             raise ValueError(
                 f"server replied with schema_version {version!r}; "
-                f"this client speaks {SCHEMA_VERSION}")
+                f"this client speaks {supported}")
 
     @staticmethod
     def _flat_question(q, k, why_not) -> dict:
@@ -117,6 +172,54 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._request("/stats")
+
+    # -- catalogue lifecycle -------------------------------------------
+
+    @staticmethod
+    def _catalogue_path(name: str, *parts: str) -> str:
+        if not name:
+            # An empty name would route to the /catalogues *list*.
+            raise ValueError("catalogue name must be non-empty")
+        quoted = urllib.parse.quote(str(name), safe="")
+        return "/".join(["/catalogues", quoted, *parts])
+
+    def catalogue(self, name: str) -> dict:
+        """One catalogue's lifecycle state: version, size, mutation
+        counters and cache stats (``GET /catalogues/<name>``)."""
+        response = self._request(self._catalogue_path(name))
+        self._check_version(response)
+        return response
+
+    def add_products(self, name: str, products) -> dict:
+        """Append products; the response carries their assigned
+        stable ``ids`` and the new ``catalogue_version``."""
+        return self._mutate(name, {
+            "op": "add",
+            "products": np.atleast_2d(
+                np.asarray(products, dtype=np.float64)).tolist(),
+        })
+
+    def update_products(self, name: str, ids, products) -> dict:
+        """Replace the coordinates of existing products (by id)."""
+        return self._mutate(name, {
+            "op": "update",
+            "ids": [int(i) for i in np.asarray(ids).reshape(-1)],
+            "products": np.atleast_2d(
+                np.asarray(products, dtype=np.float64)).tolist(),
+        })
+
+    def remove_products(self, name: str, ids) -> dict:
+        """Delete products (by id)."""
+        return self._mutate(name, {
+            "op": "remove",
+            "ids": [int(i) for i in np.asarray(ids).reshape(-1)],
+        })
+
+    def _mutate(self, name: str, payload: dict) -> dict:
+        response = self._request(
+            self._catalogue_path(name, "products"), payload)
+        self._check_version(response)
+        return response
 
     # -- typed endpoints -----------------------------------------------
 

@@ -1,9 +1,21 @@
-"""Named catalogues, each owning one warmed ``DatasetContext``.
+"""Named catalogues, each a versioned, mutable :class:`Catalogue`.
 
 A serving process typically fronts a handful of catalogues (one per
 market / data product).  The registry is the single place they are
-loaded, warmed and looked up, so every request for the same catalogue
-name rides the same R-tree and the same LRU-bounded partition caches.
+loaded, warmed, looked up — and now *mutated*: every registration is
+wrapped in a :class:`~repro.data.catalogue.Catalogue`, so the HTTP
+daemon can accept product add/update/remove mutations while readers
+keep answering against their pinned snapshots.  Every request for the
+same catalogue name rides the same R-tree and the same LRU-bounded
+partition caches, carried copy-on-write across versions.
+
+Thread safety: the registry serves ``ThreadingHTTPServer`` handler
+threads, so *every* access to its maps — registration, lookup,
+enumeration, description — sits behind one re-entrant lock.  The
+check-then-insert in :meth:`CatalogueRegistry.register_catalogue` is
+atomic, and the per-name :class:`~repro.core.session.Session` cache
+cannot hand two threads different sessions for one catalogue.
+Mutations are serialized per catalogue by the catalogue's own lock.
 """
 
 from __future__ import annotations
@@ -14,18 +26,27 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.session import Session
+from repro.data.catalogue import Catalogue
 from repro.engine.context import DEFAULT_CACHE_CAP, DatasetContext
 
 
 class CatalogueRegistry:
-    """Thread-safe name → :class:`DatasetContext` mapping.
+    """Thread-safe name → :class:`Catalogue` mapping.
 
-    Catalogues enter the registry three ways: an in-process array
+    Catalogues enter the registry four ways: an in-process array
     (:meth:`register`), an existing context (:meth:`register_context`,
-    e.g. to share a cache with an embedding application), or a
-    ``.npz`` archive written by :func:`repro.data.io.save_dataset`
+    e.g. to share a cache with an embedding application — the context
+    becomes the catalogue's version-0 snapshot), an existing
+    :class:`Catalogue` (:meth:`register_catalogue`), or a ``.npz``
+    archive written by :func:`repro.data.io.save_dataset`
     (:meth:`load`).  Registration warms the R-tree by default so the
     first request does not pay index construction.
+
+    The pre-catalogue accessors stay: :meth:`get` returns the named
+    catalogue's *current snapshot* (a plain
+    :class:`~repro.engine.context.DatasetContext`), which is exactly
+    what it returned when catalogues were immutable — an unmutated
+    catalogue is a single-snapshot catalogue.
 
     Parameters
     ----------
@@ -39,8 +60,8 @@ class CatalogueRegistry:
                  max_box_caches: int | None = DEFAULT_CACHE_CAP):
         self.max_partitions = max_partitions
         self.max_box_caches = max_box_caches
-        self._lock = threading.Lock()
-        self._contexts: dict[str, DatasetContext] = {}
+        self._lock = threading.RLock()
+        self._catalogues: dict[str, Catalogue] = {}
         self._sessions: dict[str, Session] = {}
         self._meta: dict[str, dict] = {}
 
@@ -53,30 +74,38 @@ class CatalogueRegistry:
                  max_box_caches: int | None = None,
                  meta: dict | None = None) -> DatasetContext:
         """Register an in-process point array under ``name``."""
-        context = DatasetContext(
+        catalogue = Catalogue(
             points,
             max_partitions=(self.max_partitions if max_partitions
                             is None else max_partitions),
             max_box_caches=(self.max_box_caches if max_box_caches
                             is None else max_box_caches))
-        return self.register_context(name, context, warm=warm,
-                                     meta=meta)
+        self.register_catalogue(name, catalogue, warm=warm, meta=meta)
+        return catalogue.snapshot
 
     def register_context(self, name: str, context: DatasetContext, *,
                          warm: bool = True,
                          meta: dict | None = None) -> DatasetContext:
-        """Adopt an existing context under ``name``."""
+        """Adopt an existing context as a catalogue's first snapshot."""
+        catalogue = Catalogue(context=context)
+        self.register_catalogue(name, catalogue, warm=warm, meta=meta)
+        return context
+
+    def register_catalogue(self, name: str, catalogue: Catalogue, *,
+                           warm: bool = True,
+                           meta: dict | None = None) -> Catalogue:
+        """Adopt an existing :class:`Catalogue` under ``name``."""
         if not name:
             raise ValueError("catalogue name must be non-empty")
         if warm:
-            context.tree     # build the index before serving traffic
+            catalogue.snapshot.tree   # build before serving traffic
         with self._lock:
-            if name in self._contexts:
+            if name in self._catalogues:
                 raise ValueError(f"catalogue {name!r} already "
                                  "registered")
-            self._contexts[name] = context
+            self._catalogues[name] = catalogue
             self._meta[name] = dict(meta or {})
-        return context
+        return catalogue
 
     def load(self, name: str, path, *, warm: bool = True,
              max_partitions: int | None = None,
@@ -94,75 +123,104 @@ class CatalogueRegistry:
     # Lookup
     # ------------------------------------------------------------------
 
-    def get(self, name: str) -> DatasetContext:
+    def catalogue(self, name: str) -> Catalogue:
+        """The named :class:`Catalogue` handle (mutations go here)."""
         with self._lock:
             try:
-                return self._contexts[name]
+                return self._catalogues[name]
             except KeyError:
-                known = ", ".join(sorted(self._contexts)) or "<none>"
+                known = ", ".join(sorted(self._catalogues)) or "<none>"
                 raise KeyError(f"unknown catalogue {name!r} "
                                f"(registered: {known})") from None
+
+    def get(self, name: str) -> DatasetContext:
+        """The named catalogue's *current snapshot*."""
+        return self.catalogue(name).snapshot
 
     def session(self, name: str) -> Session:
         """The (cached) :class:`~repro.core.session.Session` serving
         ``name`` — the object behind the ``/answer`` and ``/batch``
         endpoints, and the one to embed when an application wants to
-        share a catalogue's caches with the HTTP daemon."""
-        context = self.get(name)
+        share a catalogue's caches with the HTTP daemon.  The session
+        follows the catalogue: each ``ask``/``ask_batch`` call pins
+        the snapshot current at its entry."""
+        catalogue = self.catalogue(name)
         with self._lock:
             session = self._sessions.get(name)
-            if session is None or session.context is not context:
+            if session is None:
                 # warm=False: registration already built the tree.
-                session = Session(context=context, warm=False)
+                session = Session(catalogue=catalogue, warm=False)
                 self._sessions[name] = session
             return session
 
     def names(self) -> list[str]:
         with self._lock:
-            return sorted(self._contexts)
+            return sorted(self._catalogues)
 
     def __contains__(self, name: str) -> bool:
         with self._lock:
-            return name in self._contexts
+            return name in self._catalogues
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._contexts)
+            return len(self._catalogues)
+
+    # ------------------------------------------------------------------
+    # Description
+    # ------------------------------------------------------------------
 
     def describe(self) -> list[dict]:
         """JSON-safe description of every catalogue, with cache stats
         — the payload behind the ``/catalogues`` endpoint."""
         with self._lock:
-            items = sorted(self._contexts.items())
-            metas = dict(self._meta)
-        out = []
-        for name, context in items:
-            stats = context.stats
-            out.append({
-                "name": name,
-                "n": context.n,
-                "d": context.dim,
-                "max_partitions": context.max_partitions,
-                "max_box_caches": context.max_box_caches,
-                "cached_partitions": context.n_cached_partitions,
-                "cached_box_caches": context.n_cached_box_caches,
-                "meta": {k: v for k, v in metas.get(name, {}).items()
-                         if not isinstance(v, np.ndarray)},
-                "stats": {
-                    "tree_builds": stats.tree_builds,
-                    "findincom_traversals": stats.findincom_traversals,
-                    "partition_hits": stats.partition_hits,
-                    "partition_misses": stats.partition_misses,
-                    "partition_evictions": stats.partition_evictions,
-                    "box_cache_hits": stats.box_cache_hits,
-                    "box_cache_evictions": stats.box_cache_evictions,
-                    "buffer_reuses": stats.buffer_reuses,
-                    "cache_hits": stats.cache_hits,
-                    "evictions": stats.evictions,
-                    "index_work": stats.index_work,
-                },
-            })
-        return out
+            names = sorted(self._catalogues)
+        return [self.describe_one(name) for name in names]
+
+    def describe_one(self, name: str) -> dict:
+        """One catalogue's description: shape, version, mutation
+        counters, LRU bounds and cache stats — the payload behind
+        ``GET /catalogues/<name>``."""
+        with self._lock:
+            catalogue = self.catalogue(name)
+            meta = dict(self._meta.get(name, {}))
+        # One atomic read: the stats must belong to the same snapshot
+        # the version/size fields describe.
+        lifecycle, context = catalogue.describe(with_snapshot=True)
+        stats = context.stats
+        return {
+            "name": name,
+            "n": lifecycle["n"],
+            "d": lifecycle["d"],
+            "version": lifecycle["version"],
+            "mutations": lifecycle["mutations"],
+            "next_product_id": lifecycle["next_product_id"],
+            "max_partitions": context.max_partitions,
+            "max_box_caches": context.max_box_caches,
+            "cached_partitions": context.n_cached_partitions,
+            "cached_box_caches": context.n_cached_box_caches,
+            "meta": {k: v for k, v in meta.items()
+                     if not isinstance(v, np.ndarray)},
+            "stats": {
+                "tree_builds": stats.tree_builds,
+                "tree_patches": stats.tree_patches,
+                "findincom_traversals": stats.findincom_traversals,
+                "partition_hits": stats.partition_hits,
+                "partition_misses": stats.partition_misses,
+                "partition_evictions": stats.partition_evictions,
+                "partitions_inherited": stats.partitions_inherited,
+                "partition_invalidations":
+                    stats.partition_invalidations,
+                "box_cache_hits": stats.box_cache_hits,
+                "box_cache_evictions": stats.box_cache_evictions,
+                "box_caches_inherited": stats.box_caches_inherited,
+                "box_cache_invalidations":
+                    stats.box_cache_invalidations,
+                "buffer_reuses": stats.buffer_reuses,
+                "cache_hits": stats.cache_hits,
+                "evictions": stats.evictions,
+                "index_work": stats.index_work,
+            },
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CatalogueRegistry({self.names()})"

@@ -22,6 +22,17 @@ Endpoints
     Liveness probe: ``{"status": "ok"}``.
 ``GET /catalogues``
     Registered catalogues with shapes, LRU bounds and cache stats.
+``GET /catalogues/<name>``
+    One catalogue's lifecycle state: ``version``, size, mutation
+    counters, cache stats.  Unknown names are ``404``.
+``POST /catalogues/<name>/products``
+    Mutate a catalogue in place: ``{"op": "add", "products": [...]}``
+    (returns the assigned stable ids), ``{"op": "update", "ids":
+    [...], "products": [...]}`` or ``{"op": "remove", "ids": [...]}``.
+    Each mutation advances the catalogue one version; responses carry
+    the new ``catalogue_version``.  In-flight requests pinned to an
+    older snapshot are unaffected; subsequent ``/answer`` responses
+    answer against — and are stamped with — the new version.
 ``GET /algorithms``
     The registered refinement algorithms (name, summary, accepted
     options) — enumerated from the algorithm registry, never
@@ -59,16 +70,19 @@ the library-level executor.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import threading
 import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import unquote
 
 import numpy as np
 
 from repro.core.protocol import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     Answer,
     ErrorInfo,
     Question,
@@ -282,12 +296,30 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
 
     # -- routing -------------------------------------------------------
 
+    @staticmethod
+    def _catalogue_path(path: str, *, suffix: str = "") -> str | None:
+        """The catalogue name in ``/catalogues/<name>[/suffix]``,
+        or ``None`` when ``path`` has a different shape."""
+        prefix = "/catalogues/"
+        if not path.startswith(prefix) or not path.endswith(suffix):
+            return None
+        name = path[len(prefix):len(path) - len(suffix)]
+        if not name or "/" in name:
+            return None
+        return unquote(name)
+
     def do_GET(self) -> None:   # noqa: N802 (http.server API)
+        name = self._catalogue_path(self.path)
         if self.path == "/health":
             self._handle("GET /health",
                          lambda: (200, {"status": "ok"}))
         elif self.path == "/catalogues":
             self._handle("GET /catalogues", self._get_catalogues)
+        elif name is not None:
+            # The stats key stays templated: one aggregate per route,
+            # not one per catalogue name.
+            self._handle("GET /catalogues/<name>",
+                         lambda: self._get_catalogue(name))
         elif self.path == "/algorithms":
             self._handle("GET /algorithms", self._get_algorithms)
         elif self.path == "/stats":
@@ -296,10 +328,14 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
             self._not_found()
 
     def do_POST(self) -> None:   # noqa: N802 (http.server API)
+        name = self._catalogue_path(self.path, suffix="/products")
         if self.path == "/answer":
             self._handle("POST /answer", self._post_answer)
         elif self.path == "/batch":
             self._handle("POST /batch", self._post_batch)
+        elif name is not None:
+            self._handle("POST /catalogues/<name>/products",
+                         lambda: self._post_products(name))
         else:
             self._not_found()
 
@@ -312,6 +348,38 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
 
     def _get_catalogues(self) -> tuple[int, dict]:
         return 200, {"catalogues": self.server.registry.describe()}
+
+    def _get_catalogue(self, name: str) -> tuple[int, dict]:
+        try:
+            entry = self.server.registry.describe_one(name)
+        except KeyError as exc:
+            # A missing *resource* is a 404 — unlike /answer, where an
+            # unknown catalogue is a malformed request body (400).
+            return 404, {"error": str(exc.args[0])}
+        entry["schema_version"] = SCHEMA_VERSION
+        return 200, entry
+
+    def _post_products(self, name: str) -> tuple[int, dict]:
+        body = self._read_json()
+        try:
+            catalogue = self.server.registry.catalogue(name)
+        except KeyError as exc:
+            return 404, {"error": str(exc.args[0])}
+        # apply() validates the op and its required fields, commits
+        # the mutation and reports version/size as one atomic unit —
+        # a concurrent mutation cannot mis-stamp this response with
+        # its own version.
+        applied = catalogue.apply(body.get("op"),
+                                  ids=body.get("ids"),
+                                  products=body.get("products"))
+        return 200, {
+            "schema_version": SCHEMA_VERSION,
+            "catalogue": name,
+            "op": applied["op"],
+            "catalogue_version": applied["version"],
+            "n": applied["n"],
+            "ids": applied["ids"],
+        }
 
     def _get_algorithms(self) -> tuple[int, dict]:
         return 200, {
@@ -329,8 +397,30 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
         return self.server.registry.session(
             self._required(body, "catalogue"))
 
+    @staticmethod
+    def _response_version(body: dict) -> int:
+        """The schema version to speak back: the one the request
+        declared (a version-1 client must receive version-1 payloads
+        or its own version check rejects the reply), current when
+        unstamped."""
+        version = body.get("schema_version")
+        return (version if version in SUPPORTED_SCHEMA_VERSIONS
+                else SCHEMA_VERSION)
+
+    @staticmethod
+    def _render_item(answer: Answer, version: int) -> dict:
+        """``Answer.to_dict()`` rendered at the negotiated version:
+        version 1 lacked ``catalogue_version``, so downgrading just
+        drops the field and restamps."""
+        item = answer.to_dict()
+        if version < SCHEMA_VERSION:
+            item["schema_version"] = version
+            item.pop("catalogue_version", None)
+        return item
+
     def _post_answer(self) -> tuple[int, dict]:
         body = self._read_json()
+        version = self._response_version(body)
         session = self._session(body)
         if "question" in body:
             question = Question.from_dict(body["question"])
@@ -349,15 +439,19 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
                 sample_size=int(body.get("sample_size", 200)),
                 entry_id=body.get("id"))
         if isinstance(question, Answer):   # pre-failed legacy entry
-            return 200, {"schema_version": SCHEMA_VERSION,
-                         "item": question.to_dict()}
+            question = dataclasses.replace(
+                question,
+                catalogue_version=session.catalogue_version)
+            return 200, {"schema_version": version,
+                         "item": self._render_item(question, version)}
         answer = session.ask(question,
                              seed=int(body.get("seed", 0)))
-        return 200, {"schema_version": SCHEMA_VERSION,
-                     "item": answer.to_dict()}
+        return 200, {"schema_version": version,
+                     "item": self._render_item(answer, version)}
 
     def _post_batch(self) -> tuple[int, dict]:
         body = self._read_json()
+        version = self._response_version(body)
         session = self._session(body)
         entries = body.get("questions")
         if not isinstance(entries, list) or not entries:
@@ -370,8 +464,9 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
         summary = summarize_answers(
             answers, wall_seconds=time.perf_counter() - start)
         return 200, {
-            "schema_version": SCHEMA_VERSION,
-            "items": [answer.to_dict() for answer in answers],
+            "schema_version": version,
+            "items": [self._render_item(answer, version)
+                      for answer in answers],
             "summary": summary,
         }
 

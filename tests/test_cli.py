@@ -137,6 +137,98 @@ class TestServe:
             proc.wait(timeout=30)
 
 
+class TestCatalogueCLI:
+    """``wqrtq catalogue show/add/update/remove`` against an
+    in-process server."""
+
+    @pytest.fixture()
+    def served(self):
+        import threading
+
+        import numpy as np
+
+        from repro.service import CatalogueRegistry, create_server
+
+        registry = CatalogueRegistry()
+        registry.register(
+            "shop", np.random.default_rng(5).random((200, 3)))
+        server = create_server(registry)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            yield registry, server.port
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_show(self, served, capsys):
+        _, port = served
+        assert main(["catalogue", "show", "shop",
+                     "--port", str(port)]) == 0
+        out = capsys.readouterr().out
+        assert "catalogue: shop" in out
+        assert "version: 0  n: 200  d: 3" in out
+        assert "mutations: adds=0" in out
+
+    def test_add_update_remove_round_trip(self, served, capsys):
+        registry, port = served
+        assert main(["catalogue", "add", "shop", "--port", str(port),
+                     "--products", "[[3.0, 3.0, 3.0]]"]) == 0
+        assert "ids [200]" in capsys.readouterr().out
+        assert main(["catalogue", "update", "shop",
+                     "--port", str(port), "--ids", "200",
+                     "--products", "[[4.0, 4.0, 4.0]]"]) == 0
+        assert "version 2" in capsys.readouterr().out
+        assert main(["catalogue", "remove", "shop",
+                     "--port", str(port), "--ids", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "version 3" in out and "n=200" in out
+        assert registry.catalogue("shop").version == 3
+
+    def test_add_from_npz(self, served, capsys, tmp_path):
+        import numpy as np
+
+        from repro.data.io import save_dataset
+
+        _, port = served
+        path = save_dataset(tmp_path / "extra.npz",
+                            np.full((2, 3), 3.0), kind="extra")
+        assert main(["catalogue", "add", "shop", "--port", str(port),
+                     "--from-npz", str(path)]) == 0
+        assert "added 2 product(s)" in capsys.readouterr().out
+
+    def test_unknown_catalogue_fails_cleanly(self, served, capsys):
+        _, port = served
+        assert main(["catalogue", "show", "nope",
+                     "--port", str(port)]) == 1
+        assert "unknown catalogue" in capsys.readouterr().err
+
+    def test_bad_products_json_fails_cleanly(self, served, capsys):
+        _, port = served
+        assert main(["catalogue", "add", "shop", "--port", str(port),
+                     "--products", "{not json"]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_products_and_npz_exclusive(self, served, capsys):
+        _, port = served
+        assert main(["catalogue", "add", "shop",
+                     "--port", str(port)]) == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_connection_refused_fails_cleanly(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["catalogue", "show", "shop",
+                     "--port", str(port)]) == 1
+        assert "failed" in capsys.readouterr().err
+
+
 class TestPlot:
     def test_plot_2d(self, capsys):
         code = main(["refine", "-n", "300", "-d", "2", "-k", "5",

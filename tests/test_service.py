@@ -10,6 +10,7 @@ to exercise the server's pre-schema wire compatibility).
 
 from __future__ import annotations
 
+import socket
 import threading
 
 import numpy as np
@@ -24,6 +25,7 @@ from repro.engine.executor import answer_question, execute_questions
 from repro.service import (
     CatalogueRegistry,
     ServiceClient,
+    ServiceConnectionError,
     ServiceError,
     create_server,
 )
@@ -480,6 +482,331 @@ class TestBoundedServing:
         entries = {e["name"]: e for e in client.catalogues()}
         assert entries["bounded"]["cached_partitions"] <= 8
         assert entries["bounded"]["stats"]["partition_evictions"] > 0
+
+
+class TestCatalogueLifecycleEndpoints:
+    """Mutations over the wire: ``POST /catalogues/<name>/products``,
+    ``GET /catalogues/<name>``, and ``catalogue_version`` stamping.
+
+    Uses its own server so mutations cannot leak into the
+    module-scoped fixtures other classes share.
+    """
+
+    @pytest.fixture()
+    def live(self, points):
+        registry = CatalogueRegistry()
+        registry.register("mutable", points)
+        server = create_server(registry)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            yield registry, ServiceClient(port=server.port)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_get_catalogue_reports_lifecycle_state(self, live):
+        _, client = live
+        entry = client.catalogue("mutable")
+        assert entry["schema_version"] == SCHEMA_VERSION
+        assert entry["name"] == "mutable"
+        assert entry["version"] == 0
+        assert entry["n"] == N and entry["d"] == D
+        assert entry["mutations"] == {"count": 0, "adds": 0,
+                                      "updates": 0, "removes": 0}
+        assert entry["next_product_id"] == N
+        assert "tree_patches" in entry["stats"]
+
+    def test_unknown_catalogue_is_404(self, live):
+        _, client = live
+        for call in (lambda: client.catalogue("nope"),
+                     lambda: client.add_products("nope", [[0.5] * D]),
+                     lambda: client.remove_products("nope", [1])):
+            with pytest.raises(ServiceError) as err:
+                call()
+            assert err.value.status == 404
+            assert "unknown catalogue" in err.value.message
+
+    def test_mutations_advance_version_and_stamp_answers(self, live,
+                                                         points):
+        registry, client = live
+        q, k, wm = make_question(points, 80)
+        item = client.answer("mutable", q, k, wm)
+        assert item["catalogue_version"] == 0
+
+        response = client.add_products(
+            "mutable", [[3.0] * D, [4.0] * D])
+        assert response["op"] == "add"
+        assert response["ids"] == [N, N + 1]
+        assert response["catalogue_version"] == 1
+        assert response["n"] == N + 2
+
+        response = client.update_products("mutable", [N], [[5.0] * D])
+        assert response["catalogue_version"] == 2
+        response = client.remove_products("mutable", [N + 1])
+        assert response["catalogue_version"] == 3
+        assert response["n"] == N + 1
+
+        # Subsequent answers carry the new version; a far-away
+        # product changes no answer content.
+        after = client.answer("mutable", q, k, wm)
+        assert after["catalogue_version"] == 3
+        assert after["penalty"] == item["penalty"]
+        entry = client.catalogue("mutable")
+        assert entry["version"] == 3
+        assert entry["mutations"] == {"count": 3, "adds": 2,
+                                      "updates": 1, "removes": 1}
+
+    def test_mutation_affects_subsequent_answers(self, live, points):
+        """End-to-end acceptance: a product mutation visibly changes
+        what the service answers, while a reader pinned to the old
+        snapshot is unaffected."""
+        registry, client = live
+        q, k, wm = make_question(points, 81)
+        pinned = registry.get("mutable")          # snapshot at v0
+        before = client.answer("mutable", q, k, wm)
+        assert before["error"] is None
+
+        # Add products that dominate q: they push q's rank beyond
+        # reach, so the same question now fails validation ("already
+        # has q" no longer, but k > reachable) — or at minimum the
+        # answer changes.  Use products at the origin: they dominate
+        # everything, raising every rank by 3.
+        client.add_products("mutable", np.full((3, D), 1e-6).tolist())
+        after = client.answer("mutable", q, k, wm)
+        assert after["catalogue_version"] == 1
+        assert strip_elapsed(after) != strip_elapsed(before)
+
+        # The pinned snapshot still answers byte-identically.
+        question = Question(q=q, k=k, why_not=wm)
+        replay = answer_question(pinned, question,
+                                 rng=np.random.default_rng(0))
+        baseline = answer_question(DatasetContext(points), question,
+                                   rng=np.random.default_rng(0))
+        assert strip_elapsed(replay.to_dict()) == \
+            strip_elapsed(baseline.to_dict())
+
+    def test_bad_op_400(self, live):
+        _, client = live
+        with pytest.raises(ServiceError) as err:
+            client._request("/catalogues/mutable/products",
+                            {"op": "zap"})
+        assert err.value.status == 400
+        assert "op must be" in err.value.message
+
+    def test_missing_fields_400(self, live):
+        _, client = live
+        for body in ({"op": "add"}, {"op": "update", "ids": [1]},
+                     {"op": "remove"}):
+            with pytest.raises(ServiceError) as err:
+                client._request("/catalogues/mutable/products", body)
+            assert err.value.status == 400
+
+    def test_invalid_mutation_400(self, live):
+        _, client = live
+        with pytest.raises(ServiceError) as err:
+            client.remove_products("mutable", [99999])
+        assert err.value.status == 400
+        assert "unknown product id" in err.value.message
+        with pytest.raises(ServiceError) as err:
+            client.add_products("mutable", [[0.5, 0.5]])   # wrong d
+        assert err.value.status == 400
+
+    def test_v1_request_gets_v1_response(self, live, points):
+        """A client stamping schema_version 1 keeps working: the
+        server speaks version 1 *back* — a v1 client's own version
+        check would reject a reply stamped 2, and a v1 decoder has
+        no ``catalogue_version`` field."""
+        _, client = live
+        q, k, wm = make_question(points, 82)
+        response = client._request("/answer", {
+            "schema_version": 1, "catalogue": "mutable",
+            "q": q.tolist(), "k": k, "why_not": wm.tolist()})
+        assert response["schema_version"] == 1
+        assert response["item"]["schema_version"] == 1
+        assert response["item"]["error"] is None
+        assert "catalogue_version" not in response["item"]
+
+    def test_v1_batch_negotiation(self, live, points):
+        _, client = live
+        q, k, wm = make_question(points, 83)
+        response = client._request("/batch", {
+            "schema_version": 1, "catalogue": "mutable",
+            "questions": [[q.tolist(), k, wm.tolist()]]})
+        assert response["schema_version"] == 1
+        assert all(item["schema_version"] == 1
+                   and "catalogue_version" not in item
+                   for item in response["items"])
+        # Unstamped and v2-stamped requests get the current schema.
+        response = client._request("/batch", {
+            "catalogue": "mutable",
+            "questions": [[q.tolist(), k, wm.tolist()]]})
+        assert response["schema_version"] == SCHEMA_VERSION
+        assert response["items"][0]["catalogue_version"] >= 0
+
+    def test_v1_answer_payload_decodes(self):
+        """A version-1 Answer payload (no catalogue_version) decodes
+        with catalogue_version 0 — the v1 producer's meaning."""
+        payload = {"schema_version": 1, "id": None, "index": 0,
+                   "algorithm": "mqp", "valid": False,
+                   "penalty": None,
+                   "error": {"type": "ValueError", "message": "x",
+                             "category": "validation"},
+                   "elapsed": 0.0, "result": None}
+        answer = Answer.from_dict(payload)
+        assert answer.catalogue_version == 0
+
+
+class _FlakyHTTPStub:
+    """A raw socket listener that kills its first ``fail`` connections
+    without a response, then serves a canned HTTP 200 — the smallest
+    thing that looks like a server restarting under a client."""
+
+    RESPONSE = (b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 16\r\n"
+                b"Connection: close\r\n\r\n"
+                b'{"status": "ok"}')
+
+    def __init__(self, fail: int):
+        self.fail = fail
+        self.connections = 0
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            with conn:
+                if self.connections <= self.fail:
+                    continue   # close without any response bytes
+                conn.recv(65536)
+                conn.sendall(self.RESPONSE)
+
+    def close(self):
+        self.sock.close()
+        self.thread.join(timeout=5)
+
+
+class TestClientTransportErrors:
+    """Satellite: transport failures are typed, idempotent GETs are
+    retried once, POSTs never are."""
+
+    def test_get_retries_once_and_succeeds(self):
+        stub = _FlakyHTTPStub(fail=1)
+        try:
+            client = ServiceClient(port=stub.port, timeout=5)
+            assert client.health() == {"status": "ok"}
+            assert stub.connections == 2   # one failure + one retry
+        finally:
+            stub.close()
+
+    def test_get_gives_typed_error_after_retry(self):
+        stub = _FlakyHTTPStub(fail=10)
+        try:
+            client = ServiceClient(port=stub.port, timeout=5)
+            with pytest.raises(ServiceConnectionError) as err:
+                client.health()
+            assert err.value.attempts == 2
+            assert err.value.status is None
+            assert stub.connections == 2
+        finally:
+            stub.close()
+
+    def test_post_is_never_retried(self, points):
+        stub = _FlakyHTTPStub(fail=10)
+        try:
+            client = ServiceClient(port=stub.port, timeout=5)
+            q, k, wm = make_question(points, 0)
+            with pytest.raises(ServiceConnectionError) as err:
+                client.answer("demo", q, k, wm)
+            assert err.value.attempts == 1
+            assert stub.connections == 1   # a mutation must not repeat
+        finally:
+            stub.close()
+
+    def test_connection_refused_is_typed(self):
+        # Bind-then-close guarantees an unused port.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(port=port, timeout=5)
+        with pytest.raises(ServiceConnectionError):
+            client.health()
+        # ...and stays catchable as the base ServiceError.
+        with pytest.raises(ServiceError):
+            client.health()
+
+
+class TestRegistryConcurrency:
+    """Satellite: the registry is hammered by ThreadingHTTPServer
+    handler threads — registration, lookup and mutation must be safe
+    to interleave."""
+
+    def test_concurrent_register_answer_mutate(self, points):
+        registry = CatalogueRegistry()
+        registry.register("base", points)
+        question = make_typed(points, 1)
+        errors: list[Exception] = []
+        barrier = threading.Barrier(7)
+
+        def registrar(i):
+            barrier.wait()
+            try:
+                for j in range(8):
+                    registry.register(f"cat-{i}-{j}", points[:40],
+                                      warm=False)
+                    assert f"cat-{i}-{j}" in registry
+                with pytest.raises(ValueError,
+                                   match="already registered"):
+                    registry.register(f"cat-{i}-0", points[:40],
+                                      warm=False)
+            except Exception as exc:   # pragma: no cover
+                errors.append(exc)
+
+        def answerer():
+            barrier.wait()
+            try:
+                for _ in range(12):
+                    answer = registry.session("base").ask(question,
+                                                          seed=2)
+                    assert answer.ok
+            except Exception as exc:   # pragma: no cover
+                errors.append(exc)
+
+        def mutator():
+            barrier.wait()
+            try:
+                catalogue = registry.catalogue("base")
+                for _ in range(12):
+                    ids = catalogue.add_products([[3.0] * D])
+                    catalogue.remove_products(ids)
+            except Exception as exc:   # pragma: no cover
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=registrar, args=(i,))
+                    for i in range(3)]
+                   + [threading.Thread(target=answerer)
+                      for _ in range(3)]
+                   + [threading.Thread(target=mutator)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        assert len(registry) == 1 + 3 * 8
+        assert registry.get("base").n == N
 
 
 class TestWireSchema:

@@ -50,9 +50,10 @@ def payloads(answers):
 
 class TestConstruction:
     def test_points_or_context_exclusively(self, points):
-        with pytest.raises(ValueError, match="points or a context"):
+        with pytest.raises(ValueError,
+                           match="points, a context or a catalogue"):
             Session()
-        with pytest.raises(ValueError, match="not both"):
+        with pytest.raises(ValueError, match="exactly one"):
             Session(points, context=DatasetContext(points))
 
     def test_warm_builds_tree_once(self, points):
