@@ -10,10 +10,25 @@ same code paths with stable, comparable timings.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro._testsupport import alarm_timeout
 from repro.bench.harness import ExperimentCell, build_workload
+
+#: Same global per-test timeout as tests/conftest.py (larger default:
+#: timed benchmark rounds repeat their body many times).
+BENCH_TIMEOUT_SECONDS = int(os.environ.get("WQRTQ_BENCH_TIMEOUT",
+                                           "300"))
+
+
+@pytest.fixture(autouse=True)
+def _global_bench_timeout(request):
+    with alarm_timeout(BENCH_TIMEOUT_SECONDS, request.node.nodeid,
+                       what="benchmark"):
+        yield
 
 BENCH_N = 4_000
 BENCH_D = 3

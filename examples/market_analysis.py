@@ -12,10 +12,11 @@ The script:
    current fans;
 2. picks the why-not customers the marketing team cares about (the
    panel members closest to the simplex centre — the "mainstream");
-3. compares the three WQRTQ refinement strategies — one typed
-   ``Question`` per strategy, answered in a single ``ask_batch`` over
-   one warmed ``Session`` — and prints the cheapest way to win the
-   mainstream back.
+3. compares the three WQRTQ refinement strategies over one warmed
+   ``Session`` — MQP and MQWK in one ``ask_batch``, MWK *streamed*
+   through ``ask_stream`` with a sample budget, printing each
+   refinement round as its penalty converges — and prints the
+   cheapest way to win the mainstream back.
 
 Run:  python examples/market_analysis.py
 """
@@ -64,14 +65,29 @@ print("\nRefinement options:")
 strategies = [
     Question(q=q, k=K, why_not=mainstream, algorithm="mqp",
              id="redesign"),
-    Question(q=q, k=K, why_not=mainstream, algorithm="mwk",
-             options={"sample_size": 800}, id="influence"),
     Question(q=q, k=K, why_not=mainstream, algorithm="mqwk",
              options={"sample_size": 200}, id="compromise"),
 ]
 answers = session.ask_batch(strategies, seed=RNG_SEED)
 assert all(a.ok for a in answers), [a.error for a in answers]
-mqp, mwk, mqwk = (a.result for a in answers)
+mqp, mqwk = (a.result for a in answers)
+
+# The MWK strategy is answered *anytime*-style: a sample budget on
+# the Question and ask_stream instead of a blocking ask, so the
+# dashboard can show the influence campaign's cost converging while
+# refinement is still examining samples.  The final streamed answer
+# is exactly what a blocking ask with the same budget returns.
+print("  MWK  : refining the influence strategy live...")
+influence = Question(q=q, k=K, why_not=mainstream, algorithm="mwk",
+                     budget={"sample_budget": 800}, id="influence")
+for partial in session.ask_stream(influence, seed=RNG_SEED + 1):
+    assert partial.ok, partial.error
+    print(f"         round {partial.quality.rounds}: "
+          f"{partial.quality.samples_examined:>4d} samples "
+          f"-> penalty {partial.penalty:.4f}")
+    mwk_answer = partial
+assert mwk_answer.quality.converged
+mwk = mwk_answer.result
 print(f"  MQP  : redesign to q' = {np.round(mqp.q_refined, 3)}"
       f"  -> penalty {mqp.penalty:.4f}")
 print(f"  MWK  : influence preferences, k' = {mwk.k_refined}"

@@ -26,18 +26,20 @@ True
 >>> bool(answer.penalty < 0.35)   # ...a small nudge wins them over
 True
 >>> answer.to_dict()["schema_version"]   # wire-ready, versioned
-2
+3
 """
 
 from repro.core import (
     SCHEMA_VERSION,
     Answer,
     BatchReport,
+    Budget,
     ErrorInfo,
     MQPResult,
     MQWKResult,
     MWKResult,
     PenaltyConfig,
+    Quality,
     Question,
     Session,
     WQRTQ,
@@ -65,6 +67,7 @@ __all__ = [
     "Answer",
     "BRSEngine",
     "BatchReport",
+    "Budget",
     "Catalogue",
     "DatasetContext",
     "ErrorInfo",
@@ -73,6 +76,7 @@ __all__ = [
     "MQWKResult",
     "MWKResult",
     "PenaltyConfig",
+    "Quality",
     "Question",
     "RTree",
     "SCHEMA_VERSION",

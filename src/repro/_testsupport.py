@@ -1,0 +1,40 @@
+"""Shared test-infrastructure helpers (no runtime API).
+
+Currently just the global per-test timeout guard used by the
+``tests/`` and ``benchmarks/`` conftests: the suite exercises a
+threaded HTTP daemon and an async job pool, and a stuck job or a
+never-draining poll loop must fail one test loudly, not hang CI.
+Implemented with ``SIGALRM`` (no third-party plugin): the alarm fires
+in the main thread and raises, so worker threads can't mask it.
+POSIX-only; elsewhere tests simply run without the guard.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+
+
+@contextlib.contextmanager
+def alarm_timeout(seconds: int, nodeid: str, *,
+                  what: str = "test"):
+    """Raise ``TimeoutError`` in the main thread after ``seconds``.
+
+    No-op when ``seconds <= 0`` or the platform lacks ``SIGALRM``.
+    The previous handler and any pending alarm are restored on exit.
+    """
+    if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+        yield                              # pragma: no cover
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(f"{what} exceeded the global {seconds}s "
+                           f"timeout: {nodeid}")
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

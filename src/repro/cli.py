@@ -16,6 +16,10 @@ Subcommands
     ``--json`` emits the versioned ``Answer.to_dict()`` payloads —
     byte-identical to what ``Session.ask_batch`` and the HTTP
     ``/batch`` endpoint produce for the same questions.
+    ``--sample-budget`` / ``--deadline-ms`` / ``--tolerance`` attach
+    an anytime :class:`~repro.core.protocol.Budget` to every
+    question; ``--submit`` runs the workload as an async job on a
+    running daemon and ``--watch`` follows a job's convergence.
 ``serve``
     Run the long-lived JSON-over-HTTP daemon
     (:mod:`repro.service`): named catalogues — generated and/or
@@ -44,6 +48,8 @@ Examples
     wqrtq query --dataset independent -n 5000 -d 3 -k 10
     wqrtq refine --algorithm mqwk --rank 101 --sample-size 400
     wqrtq batch --questions 20 --products 5 --workers 4
+    wqrtq batch --questions 50 --deadline-ms 50 --algorithm mwk
+    wqrtq batch --questions 50 --submit --watch --port 8977
     wqrtq serve --port 8977 -n 10000 --max-partitions 1024
     wqrtq serve --port 0 --load laptops=data/laptops.npz
     wqrtq catalogue show laptops --port 8977
@@ -177,14 +183,18 @@ def _cmd_refine(args) -> int:
 def build_batch_questions(session, *, n_questions: int,
                           products: int, dim: int, k: int, rank: int,
                           algorithm: str, sample_size: int,
-                          seed: int):
+                          seed: int, budget=None):
     """The ``wqrtq batch`` workload as typed Questions.
 
     A realistic serving mix: a few distinct products, each asked
     about by several customer panels.  Factored out so tests can
     rebuild the exact question list the CLI answers and assert the
-    payloads match ``Session.ask_batch`` byte for byte.
+    payloads match ``Session.ask_batch`` byte for byte.  ``budget``
+    (a :class:`~repro.core.protocol.Budget`) is attached to every
+    question when given — the anytime form of the same workload.
     """
+    import dataclasses
+
     from repro.core.protocol import Question
     from repro.data import preference_set, query_point_with_rank
 
@@ -202,10 +212,82 @@ def build_batch_questions(session, *, n_questions: int,
         j = i % products
         if panel_ranks[j][i] <= k:
             continue   # this panel already shortlists the product
-        questions.append(Question.from_legacy(
+        question = Question.from_legacy(
             qs[j], k, wts[i:i + 1], algorithm=algorithm,
-            sample_size=sample_size, id=f"q{i:04d}-p{j}"))
+            sample_size=sample_size, id=f"q{i:04d}-p{j}")
+        if budget is not None:
+            question = dataclasses.replace(question, budget=budget)
+        questions.append(question)
     return questions, products
+
+
+def _batch_budget(args):
+    """The :class:`~repro.core.protocol.Budget` the batch flags ask
+    for, or ``None`` when no limit was given."""
+    from repro.core.protocol import Budget
+
+    budget = Budget(sample_budget=args.sample_budget,
+                    deadline_ms=args.deadline_ms,
+                    target_penalty_tolerance=args.tolerance)
+    return None if budget.is_unbounded else budget
+
+
+def _cmd_batch_submit(args, questions) -> int:
+    """``wqrtq batch --submit``: run the workload as an async job on
+    a running daemon, optionally watching it converge."""
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    catalogue = args.name or args.dataset
+    try:
+        job = client.submit(catalogue, questions, seed=args.seed)
+        print(f"submitted job {job['id']} ({job['total']} questions) "
+              f"to {catalogue!r} on {client.base_url}")
+        if not args.watch:
+            print(f"poll with: wqrtq batch --watch {job['id']} "
+                  f"--port {args.port}")
+            return 0
+        return _watch_job(client, job["id"],
+                          poll_interval=args.poll_interval)
+    except (ServiceError, OSError, TimeoutError) as exc:
+        print(f"batch --submit failed: {exc}", file=sys.stderr)
+        return 1
+
+
+def _watch_job(client, job_id: str, *,
+               poll_interval: float = 0.2) -> int:
+    """Poll one job to completion, printing progress lines."""
+    from repro.service import ServiceError
+
+    def show(progress):
+        penalties = [p for p in progress["penalties"]
+                     if p is not None]
+        worst = max(penalties) if penalties else None
+        line = (f"job {progress['id']}: {progress['status']} "
+                f"{progress['done']}/{progress['total']}")
+        if worst is not None:
+            line += f" worst-penalty={worst:.4f}"
+        print(line, flush=True)
+
+    try:
+        final = client.wait(job_id, poll_interval=poll_interval,
+                            timeout=3600.0, on_progress=show)
+        if final["status"] != "done":
+            print(f"job finished as {final['status']}"
+                  + (f": {final['error']}" if final.get("error")
+                     else ""), file=sys.stderr)
+            return 1
+        _, summary = client.result(job_id)
+        print(f"answered={summary['answered']} "
+              f"failed={summary['failed']} "
+              f"all_valid={summary['all_valid']}")
+        if summary["mean_penalty"] is not None:
+            print(f"penalty: mean={summary['mean_penalty']:.4f} "
+                  f"max={summary['max_penalty']:.4f}")
+        return 0 if summary["failed"] == 0 else 1
+    except (ServiceError, OSError, TimeoutError) as exc:
+        print(f"batch --watch failed: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_batch(args) -> int:
@@ -216,6 +298,21 @@ def _cmd_batch(args) -> int:
     from repro.core.session import Session
     from repro.data import make_dataset
 
+    if isinstance(args.watch, str):
+        # Standalone ``--watch JOB_ID``: attach to a job submitted
+        # earlier (or by someone else) and follow it to completion.
+        from repro.service import ServiceClient
+
+        return _watch_job(
+            ServiceClient(host=args.host, port=args.port),
+            args.watch, poll_interval=args.poll_interval)
+    if args.watch and not args.submit:
+        # A bare flag with nothing to watch would otherwise fall
+        # through to a silent local run — make the misuse loud.
+        print("--watch needs --submit (follow the new job) or an "
+              "explicit JOB_ID", file=sys.stderr)
+        return 2
+
     points = make_dataset(args.dataset, args.cardinality, args.dim,
                           seed=args.seed)
     session = Session(points)
@@ -223,7 +320,10 @@ def _cmd_batch(args) -> int:
         session, n_questions=args.questions, products=args.products,
         dim=args.dim, k=args.k, rank=args.rank,
         algorithm=args.algorithm, sample_size=args.sample_size,
-        seed=args.seed)
+        seed=args.seed, budget=_batch_budget(args))
+
+    if args.submit:
+        return _cmd_batch_submit(args, questions)
 
     start = time.perf_counter()
     answers = session.ask_batch(questions, seed=args.seed,
@@ -258,6 +358,8 @@ def _cmd_batch(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import signal
+    import threading
     import zipfile
 
     from repro.data import make_dataset
@@ -291,7 +393,8 @@ def _cmd_serve(args) -> int:
         return 2
 
     server = create_server(registry, host=args.host, port=args.port,
-                           verbose=args.verbose)
+                           verbose=args.verbose,
+                           job_workers=args.job_workers)
     from repro.core.registry import algorithm_names
     print(f"algorithms: {', '.join(algorithm_names())}", flush=True)
     for entry in registry.describe():
@@ -302,9 +405,23 @@ def _cmd_serve(args) -> int:
     # The CI smoke test and the load benchmark parse this line to
     # discover the ephemeral port, so keep its shape stable.
     print(f"serving on {server.url}", flush=True)
+
+    # Graceful shutdown: SIGTERM/SIGINT stop the accept loop, then
+    # server_close() drains — in-flight handler threads are joined
+    # (socketserver's block_on_close) and the job pool cancels
+    # cooperatively at the next chunk boundary.  shutdown() must run
+    # off the signal frame: the handler interrupts serve_forever's
+    # own poll loop, which shutdown() waits on.
+    def _drain(signum, frame):
+        print(f"received {signal.Signals(signum).name}, draining...",
+              flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:   # pragma: no cover - belt and braces
         pass
     finally:
         server.server_close()
@@ -443,6 +560,33 @@ def main(argv: list[str] | None = None) -> int:
     p_batch.add_argument("--json", action="store_true",
                          help="emit the versioned Answer payloads as "
                               "JSON instead of the human summary")
+    p_batch.add_argument("--sample-budget", type=int, default=None,
+                         help="anytime budget: cap on samples "
+                              "examined per question")
+    p_batch.add_argument("--deadline-ms", type=float, default=None,
+                         help="anytime budget: soft per-question "
+                              "deadline in milliseconds")
+    p_batch.add_argument("--tolerance", type=float, default=None,
+                         help="anytime budget: stop refining once "
+                              "the penalty is at or below this")
+    p_batch.add_argument("--submit", action="store_true",
+                         help="submit the workload as an async job "
+                              "to a running wqrtq serve daemon "
+                              "instead of answering locally")
+    p_batch.add_argument("--watch", nargs="?", const=True,
+                         default=False, metavar="JOB_ID",
+                         help="with --submit: follow the new job to "
+                              "completion; standalone: follow an "
+                              "existing job by id")
+    p_batch.add_argument("--host", default="127.0.0.1",
+                         help="daemon host for --submit/--watch")
+    p_batch.add_argument("--port", type=int, default=8977,
+                         help="daemon port for --submit/--watch")
+    p_batch.add_argument("--name", default=None,
+                         help="server catalogue name for --submit "
+                              "(default: the dataset kind)")
+    p_batch.add_argument("--poll-interval", type=float, default=0.2,
+                         help="seconds between --watch polls")
     p_batch.set_defaults(func=_cmd_batch)
 
     p_serve = sub.add_parser(
@@ -475,6 +619,9 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--max-box-caches", type=int, default=None,
                          help="LRU bound on cached box traversals "
                               "per catalogue")
+    p_serve.add_argument("--job-workers", type=int, default=2,
+                         help="async job worker threads "
+                              "(POST /jobs)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.set_defaults(func=_cmd_serve)

@@ -48,7 +48,9 @@ from repro.core.penalty import (
 from repro.core.protocol import (
     SCHEMA_VERSION,
     Answer,
+    Budget,
     ErrorInfo,
+    Quality,
     Question,
     summarize_answers,
 )
@@ -71,7 +73,9 @@ __all__ = [
     "AlgorithmSpec",
     "Answer",
     "BatchReport",
+    "Budget",
     "ErrorInfo",
+    "Quality",
     "Question",
     "SCHEMA_VERSION",
     "Session",

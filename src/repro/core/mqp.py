@@ -74,6 +74,44 @@ def modify_query_point(query: WhyNotQuery, *,
     )
 
 
+class MQPStepper:
+    """Anytime adapter for the exact Algorithm 1.
+
+    MQP solves a quadratic program — there is no sample knob to
+    spend a budget on — so the stepper computes the full answer in
+    its first ``refine`` round and reports ``converged`` from then
+    on.  It exists so every registered algorithm speaks the same
+    ``start``/``refine`` contract and a mixed budgeted batch needs no
+    per-algorithm special-casing.
+    """
+
+    sample_target = 1
+    min_chunk = 1
+    round_chunk = 1
+
+    def __init__(self, query: WhyNotQuery, *, use_rtree: bool = True):
+        self._query = query
+        self._use_rtree = use_rtree
+        self._result: MQPResult | None = None
+        self.samples_examined = 0
+        self.rounds = 0
+
+    @property
+    def converged(self) -> bool:
+        return self._result is not None
+
+    def refine(self, chunk: int = 0) -> MQPResult:
+        self.rounds += 1
+        if self._result is None:
+            self._result = modify_query_point(
+                self._query, use_rtree=self._use_rtree)
+            self.samples_examined = 1
+        return self._result
+
+    def result(self) -> MQPResult:
+        return self.refine(0) if self._result is None else self._result
+
+
 def _polish(x: np.ndarray, query: WhyNotQuery,
             kth_scores: np.ndarray) -> np.ndarray:
     """Clamp interior-point round-off so the certificate is exact.

@@ -19,6 +19,21 @@ The two box endpoints are always evaluated as candidates — ``(q_min,
 Wm, k)`` (pure MQP) and ``(q, MWK(q))`` (pure MWK) — so MQWK's joint
 penalty is never worse than either single-sided refinement, an
 invariant the test suite checks.
+
+Anytime execution
+-----------------
+:class:`MQWKStepper` is the resumable form: the endpoints are
+evaluated at construction (the pure-MWK endpoint consumes the caller's
+generator exactly like a standalone :func:`modify_weights_and_k`, so
+it stays bit-identical to it), and ``refine(chunk)`` examines
+``chunk`` more query-point candidates from a chunk-invariant
+:class:`~repro.core.sampling.QueryPointSampleStream`.  Candidate ``i``
+runs its inner MWK under a generator derived from ``(entropy, i)`` —
+a function of the candidate's *position*, not of how refinement was
+chunked — so the answer after ``N`` total candidates is identical to
+the one-shot :func:`modify_query_weights_and_k` at
+``q_sample_size=N`` and the same seed, and the carried best makes the
+penalty non-increasing across rounds.
 """
 
 from __future__ import annotations
@@ -33,8 +48,156 @@ from repro.core.penalty import (
     PenaltyConfig,
     penalty_query_point,
 )
-from repro.core.sampling import sample_query_points
+from repro.core.sampling import QueryPointSampleStream, stream_entropy
 from repro.core.types import MQWKResult, MWKResult, WhyNotQuery
+
+
+class MQWKStepper:
+    """Resumable Algorithm 3: ``refine(chunk)`` examines ``chunk``
+    more query-point candidates and returns the current-best
+    :class:`~repro.core.types.MQWKResult`.
+
+    ``samples_examined`` counts query-point candidates — the budget
+    unit of :class:`~repro.core.protocol.Budget.sample_budget` for
+    this algorithm (each candidate internally runs a full
+    ``sample_size``-sample MWK).
+    """
+
+    #: One MQWK "sample" is a whole inner MWK — hundreds of weight
+    #: samples — so deadline probes refine candidate by candidate and
+    #: interleaved rounds stay small, keeping chunk-boundary latency
+    #: (deadline checks, job cancellation) at a few inner MWKs, not
+    #: hundreds.
+    min_chunk = 1
+    round_chunk = 4
+
+    def __init__(self, query: WhyNotQuery, *, sample_size: int = 800,
+                 rng: np.random.Generator | None = None,
+                 config: PenaltyConfig = DEFAULT_PENALTY,
+                 include_originals: bool = True,
+                 use_reuse: bool = True, context=None,
+                 sample_target: int = 800):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self._query = query
+        self._config = config
+        self._sample_size = int(sample_size)
+        self._include_originals = include_originals
+        self.sample_target = int(sample_target)
+        self.samples_examined = 0
+        self.rounds = 0
+
+        self._mqp = modify_query_point(query)
+        q_min = self._mqp.q_refined
+
+        if not use_reuse:
+            self._cache = None
+        elif context is not None:
+            self._cache = context.box_cache(query.q)
+        else:
+            self._cache = IncomparableCache(query.rtree, query.q)
+
+        # Endpoint candidates: pure-MQP and pure-MWK refinements.
+        # The pure-MWK endpoint consumes ``rng`` first and exactly the
+        # way a standalone modify_weights_and_k would, so MQWK's joint
+        # penalty is provably <= lam * MWK(same seed) — not just in
+        # distribution.
+        self._best_q = q_min
+        self._best_mwk = MWKResult(
+            weights_refined=query.why_not.copy(), k_refined=query.k,
+            penalty=0.0, delta_k=0, delta_w=0.0, k_max=query.k,
+            samples_examined=0, candidates_evaluated=0)
+        self._best_penalty = config.gamma * self._mqp.penalty
+        self._best_shares = (self._mqp.penalty, 0.0)
+
+        pure_mwk = self._mwk_at(query.q, rng)
+        pure_mwk_joint = config.lam * pure_mwk.penalty
+        if pure_mwk_joint < self._best_penalty:
+            self._best_q, self._best_mwk = query.q.copy(), pure_mwk
+            self._best_penalty = pure_mwk_joint
+            self._best_shares = (0.0, pure_mwk.penalty)
+
+        # A degenerate box means every candidate is q itself — the
+        # pure-MWK endpoint already covers it.
+        self._degenerate = bool(np.array_equal(q_min, query.q))
+        self._stream = (None if self._degenerate else
+                        QueryPointSampleStream(q_min, query.q, rng))
+        self._inner_entropy = stream_entropy(rng)
+        self._candidate_index = 0
+
+    def _mwk_at(self, q_prime: np.ndarray,
+                rng: np.random.Generator) -> MWKResult:
+        if self._cache is not None:
+            inc = self._cache.partition(q_prime)
+        else:
+            inc = find_incomparable(self._query.rtree, q_prime)
+        return _mwk_core(
+            points=self._query.points, inc=inc, q=q_prime,
+            why_not=self._query.why_not, k=self._query.k,
+            sample_size=self._sample_size, rng=rng,
+            config=self._config,
+            include_originals=self._include_originals)
+
+    @property
+    def converged(self) -> bool:
+        return self._degenerate or self._best_penalty == 0.0
+
+    def refine(self, chunk: int) -> MQWKResult:
+        """Examine up to ``chunk`` more box candidates; return the
+        current best."""
+        self.rounds += 1
+        chunk = int(chunk)
+        if self._stream is not None and chunk > 0:
+            for q_prime in self._stream.take(chunk):
+                index = self._candidate_index
+                self._candidate_index += 1
+                self.samples_examined += 1
+                pq = penalty_query_point(self._query.q, q_prime)
+                if self._config.gamma * pq >= self._best_penalty:
+                    # The q-share alone already loses; MWK cannot go
+                    # negative.  Skipping cannot change the final
+                    # minimum, so chunked and one-shot still agree.
+                    continue
+                inner_rng = np.random.default_rng(
+                    (self._inner_entropy, index))
+                mwk_result = self._mwk_at(q_prime, inner_rng)
+                joint = (self._config.gamma * pq
+                         + self._config.lam * mwk_result.penalty)
+                if joint < self._best_penalty:
+                    self._best_q, self._best_mwk = q_prime, mwk_result
+                    self._best_penalty = joint
+                    self._best_shares = (pq, mwk_result.penalty)
+        return self.result()
+
+    def result(self) -> MQWKResult:
+        """The current-best result, without further refinement."""
+        return MQWKResult(
+            q_refined=np.asarray(self._best_q, dtype=np.float64),
+            weights_refined=self._best_mwk.weights_refined,
+            k_refined=self._best_mwk.k_refined,
+            penalty=float(self._best_penalty),
+            q_penalty_share=float(self._best_shares[0]),
+            wk_penalty_share=float(self._best_shares[1]),
+            q_samples=self.samples_examined,
+            mqp=self._mqp,
+            mwk=self._best_mwk,
+        )
+
+
+def make_stepper(query: WhyNotQuery, *, sample_size: int = 800,
+                 q_sample_size: int | None = None,
+                 rng: np.random.Generator | None = None,
+                 config: PenaltyConfig = DEFAULT_PENALTY,
+                 include_originals: bool = True,
+                 use_reuse: bool = True, context=None) -> MQWKStepper:
+    """Build an :class:`MQWKStepper`; ``q_sample_size`` (default:
+    ``sample_size``) becomes its default refinement target."""
+    q_samples = (q_sample_size if q_sample_size is not None
+                 else sample_size)
+    return MQWKStepper(query, sample_size=sample_size, rng=rng,
+                       config=config,
+                       include_originals=include_originals,
+                       use_reuse=use_reuse, context=context,
+                       sample_target=q_samples)
 
 
 def modify_query_weights_and_k(query: WhyNotQuery, *,
@@ -46,6 +209,10 @@ def modify_query_weights_and_k(query: WhyNotQuery, *,
                                use_reuse: bool = True,
                                context=None) -> MQWKResult:
     """Run Algorithm 3 and return the best joint refinement.
+
+    The one-shot form: an :class:`MQWKStepper` refined for a single
+    ``q_sample_size``-candidate round, so chunked anytime refinement
+    and this function agree exactly at equal totals and seed.
 
     Parameters
     ----------
@@ -73,65 +240,9 @@ def modify_query_weights_and_k(query: WhyNotQuery, *,
         questions about one product pay the traversal once.  Ignored
         when ``use_reuse`` is False.
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
-    q_samples = q_sample_size if q_sample_size is not None else sample_size
-
-    mqp_result = modify_query_point(query)
-    q_min = mqp_result.q_refined
-
-    if not use_reuse:
-        cache = None
-    elif context is not None:
-        cache = context.box_cache(query.q)
-    else:
-        cache = IncomparableCache(query.rtree, query.q)
-
-    def mwk_at(q_prime: np.ndarray) -> MWKResult:
-        if cache is not None:
-            inc = cache.partition(q_prime)
-        else:
-            inc = find_incomparable(query.rtree, q_prime)
-        return _mwk_core(
-            points=query.points, inc=inc, q=q_prime,
-            why_not=query.why_not, k=query.k, sample_size=sample_size,
-            rng=rng, config=config, include_originals=include_originals)
-
-    # Endpoint candidates: pure-MQP and pure-MWK refinements.
-    best_q = q_min
-    best_mwk = MWKResult(
-        weights_refined=query.why_not.copy(), k_refined=query.k,
-        penalty=0.0, delta_k=0, delta_w=0.0, k_max=query.k,
-        samples_examined=0, candidates_evaluated=0)
-    best_penalty = config.gamma * mqp_result.penalty
-    best_shares = (mqp_result.penalty, 0.0)
-
-    pure_mwk = mwk_at(query.q)
-    pure_mwk_joint = config.lam * pure_mwk.penalty
-    if pure_mwk_joint < best_penalty:
-        best_q, best_mwk = query.q.copy(), pure_mwk
-        best_penalty = pure_mwk_joint
-        best_shares = (0.0, pure_mwk.penalty)
-
-    for q_prime in sample_query_points(q_min, query.q, q_samples, rng):
-        pq = penalty_query_point(query.q, q_prime)
-        if config.gamma * pq >= best_penalty:
-            # The q-share alone already loses; MWK cannot go negative.
-            continue
-        mwk_result = mwk_at(q_prime)
-        joint = config.gamma * pq + config.lam * mwk_result.penalty
-        if joint < best_penalty:
-            best_q, best_mwk = q_prime, mwk_result
-            best_penalty = joint
-            best_shares = (pq, mwk_result.penalty)
-
-    return MQWKResult(
-        q_refined=np.asarray(best_q, dtype=np.float64),
-        weights_refined=best_mwk.weights_refined,
-        k_refined=best_mwk.k_refined,
-        penalty=float(best_penalty),
-        q_penalty_share=float(best_shares[0]),
-        wk_penalty_share=float(best_shares[1]),
-        q_samples=q_samples,
-        mqp=mqp_result,
-        mwk=best_mwk,
-    )
+    stepper = make_stepper(query, sample_size=sample_size,
+                           q_sample_size=q_sample_size, rng=rng,
+                           config=config,
+                           include_originals=include_originals,
+                           use_reuse=use_reuse, context=context)
+    return stepper.refine(stepper.sample_target)

@@ -12,21 +12,42 @@ trades exactness for a sampling scheme:
    can live, He & Lo [14]).
 3. Compute the rank of ``q`` under every sample *from D and I alone*
    (dominating points always precede ``q``, dominated ones never do).
-4. Sort samples by rank; scan them once (Lemma 6), maintaining a
-   working candidate ``CW`` that greedily adopts any sample strictly
-   closer to some original vector, and evaluating the blended penalty
-   of each improved candidate with ``k' = max(k, rank)``.
+4. Sort samples by rank and evaluate, for every rank threshold, the
+   best candidate the pool admits at that threshold, with
+   ``k' = max(k, rank)``.
 
 Candidates with rank beyond ``k'_max = max_i rank(q, w_i)`` are
 discarded: the pure-``k`` refinement ``(Wm, k'_max)`` — which the scan
 seeds its minimum with — always beats them (Lemma 4/5).
 
-Deviation from the pseudo-code (documented in DESIGN.md): the original
-why-not vectors are injected into the sample pool with their true ranks
-and zero distance (``include_originals=True``).  This lets the scan form
-*mixed* candidates (modify some vectors, keep others and raise ``k``
-slightly), which the paper's scan cannot represent; it never increases
-the returned penalty.  Disable for strict paper fidelity.
+Deviations from the pseudo-code (documented in DESIGN.md):
+
+* The original why-not vectors are injected into the sample pool with
+  their true ranks and zero distance (``include_originals=True``).
+  This lets the scan form *mixed* candidates (modify some vectors,
+  keep others and raise ``k`` slightly), which the paper's scan cannot
+  represent; it never increases the returned penalty.  Disable for
+  strict paper fidelity.
+* The paper's greedy working-candidate scan is replaced by an exact
+  per-threshold assignment: at rank threshold ``r``, each why-not
+  vector is matched to its *nearest* pool sample of rank ``<= r``
+  (a vectorized prefix-minimum over the rank-sorted pool).  Since
+  Eq. (4) is monotone in the per-vector distances, this dominates the
+  greedy scan at every threshold — and it makes the best penalty a
+  monotone function of the sample pool, the property the anytime
+  stepper's non-increasing-penalty contract rests on.
+
+Anytime execution
+-----------------
+:class:`MWKStepper` is the resumable form: ``refine(chunk)`` draws
+``chunk`` more samples from a chunk-invariant
+:class:`~repro.core.sampling.WeightSampleStream` and re-scans the
+accumulated pool.  Because the stream is a fixed sequence and the scan
+is pool-monotone, penalties never increase across rounds and the
+answer after refining to ``N`` total samples is *identical* to the
+one-shot :func:`modify_weights_and_k` at ``sample_size=N`` and the
+same seed.  ``modify_weights_and_k`` itself is the stepper run for a
+single round.
 """
 
 from __future__ import annotations
@@ -38,13 +59,227 @@ from repro.core.penalty import (
     DEFAULT_PENALTY,
     PenaltyConfig,
     delta_weights,
-    penalty_weights_k,
 )
 from repro.core.sampling import (
+    WeightSampleStream,
+    inject_why_not_vectors,
     ranks_under_weights,
-    sample_weights_on_hyperplanes,
 )
 from repro.core.types import MWKResult, WhyNotQuery
+from repro.geometry.vectors import MAX_SIMPLEX_DISTANCE
+
+
+def _scan_pool(samples: np.ndarray, ranks: np.ndarray,
+               why_not: np.ndarray, k: int, k_max: int,
+               config: PenaltyConfig, *, dists: np.ndarray | None = None):
+    """Best candidate a sample pool admits, over all rank thresholds.
+
+    Sorts the pool by rank (stable) and computes, for every prefix,
+    the per-vector nearest sample (``np.minimum.accumulate``) and the
+    Eq. (4) penalty with ``k' = max(k, rank)``.  Returns
+    ``(penalty, weights, k_refined, thresholds_evaluated)`` — or
+    ``None`` for an empty pool.  The per-term float assembly matches
+    :func:`~repro.core.penalty.penalty_weights_k` exactly, so the
+    independent audit reprices the winner to the same value.
+
+    ``dists`` optionally supplies the precomputed ``(|pool|, m)``
+    sample-to-why-not distance matrix (rows aligned with
+    ``samples``); the anytime stepper caches these rows per chunk so
+    re-scanning a growing pool does not recompute every norm.
+    """
+    if len(samples) == 0:
+        return None
+    if dists is None:
+        dists = np.linalg.norm(
+            samples[:, None, :] - why_not[None, :, :], axis=2)
+    order = np.argsort(ranks, kind="stable")
+    samples, ranks, dists = samples[order], ranks[order], dists[order]
+    prefix = np.minimum.accumulate(dists, axis=0)
+    m = len(why_not)
+    dw_max = m * MAX_SIMPLEX_DISTANCE
+    dk_max = max(0, int(k_max) - int(k))
+    dk = np.maximum(ranks - k, 0)
+    term_k = (dk / dk_max) if dk_max > 0 else np.zeros(len(ranks))
+    penalties = (config.alpha * term_k
+                 + config.beta * (prefix.sum(axis=1) / dw_max))
+    s = int(np.argmin(penalties))
+    choice = np.argmin(dists[:s + 1], axis=0)
+    weights = samples[choice].copy()
+    return (float(penalties[s]), weights, max(int(k), int(ranks[s])),
+            len(penalties))
+
+
+class MWKStepper:
+    """Resumable Algorithm 2: ``refine(chunk)`` examines ``chunk``
+    more weight samples and returns the current-best
+    :class:`~repro.core.types.MWKResult`.
+
+    The contract every anytime stepper honors:
+
+    * ``refine`` never increases the returned penalty;
+    * the result after refining to ``N`` total samples equals the
+      one-shot answer at ``sample_size=N`` and the same seed;
+    * ``converged`` turns True when further refinement provably
+      cannot improve the answer (no incomparable points, ``k'_max <=
+      k``, or a zero penalty).
+
+    ``samples_examined`` counts stream samples drawn — the budget
+    unit of :class:`~repro.core.protocol.Budget.sample_budget`.
+    """
+
+    #: One weight sample is cheap (a row of a vectorized kernel), so
+    #: the executor's deadline probe and interleaved rounds work in
+    #: sizeable chunks.
+    min_chunk = 64
+    round_chunk = 256
+
+    def __init__(self, *, points: np.ndarray, inc: IncomparableResult,
+                 q: np.ndarray, why_not: np.ndarray, k: int,
+                 rng: np.random.Generator | None = None,
+                 config: PenaltyConfig = DEFAULT_PENALTY,
+                 include_originals: bool = True,
+                 sample_target: int = 800):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        # Canonical (id-sorted) incomparable order: a FindIncom
+        # partition's traversal order depends on how the R-tree was
+        # built or patched, and the hyperplane sampler indexes into
+        # this array — sorting makes the answer a function of the
+        # incomparable *set*, so inherited (copy-on-write) partitions
+        # answer identically to a scratch rebuild.
+        self._inc_points = points[np.sort(
+            np.asarray(inc.incomparable_ids))]
+        self._dom_points = points[inc.dominating_ids]
+        self._q = np.asarray(q, dtype=np.float64)
+        self._why_not = np.atleast_2d(np.asarray(why_not,
+                                                 dtype=np.float64))
+        self._k = int(k)
+        self._config = config
+        self._include_originals = include_originals
+        self.sample_target = int(sample_target)
+        self.samples_examined = 0
+        self.rounds = 0
+
+        m = len(self._why_not)
+        self._orig_ranks = ranks_under_weights(
+            self._why_not, self._inc_points, self._dom_points, self._q)
+        self._k_max = (int(self._orig_ranks.max()) if m else self._k)
+
+        self._pool_samples: list[np.ndarray] = []
+        self._pool_ranks: list[np.ndarray] = []
+        # Distance rows cached per chunk: a sample's distances to the
+        # why-not vectors never change, so re-scanning the growing
+        # pool must not recompute every norm each round.
+        self._pool_dists: list[np.ndarray] = []
+        self._orig_dists = np.linalg.norm(
+            self._why_not[:, None, :] - self._why_not[None, :, :],
+            axis=2)
+        self._candidates = 1
+        if self._k_max <= self._k:
+            # Every vector already admits q (possible for sampled
+            # query points inside MQWK): nothing to modify.
+            self._best = (0.0, self._why_not.copy(), self._k)
+            self._exhausted = True
+        else:
+            # Seed: the pure-k refinement (Wm, k'_max); Lemma 4
+            # guarantees it is always valid.  Its Eq. (4) penalty is
+            # exactly alpha (full Δk, zero ΔWm).
+            self._best = (config.alpha, self._why_not.copy(),
+                          self._k_max)
+            self._exhausted = inc.n_incomparable == 0
+        self._stream = (None if self._exhausted else
+                        WeightSampleStream(self._inc_points, self._q,
+                                           rng,
+                                           anchors=self._why_not))
+
+    @property
+    def converged(self) -> bool:
+        return self._exhausted or self._best[0] == 0.0
+
+    def refine(self, chunk: int) -> MWKResult:
+        """Examine up to ``chunk`` more samples; return current best."""
+        self.rounds += 1
+        chunk = int(chunk)
+        if self._stream is not None and chunk > 0:
+            draw = self._stream.take(chunk)
+            ranks = ranks_under_weights(draw, self._inc_points,
+                                        self._dom_points, self._q)
+            self.samples_examined += len(draw)
+            # Prune beyond k'_max (Algorithm 2 line 13): the pure-k
+            # seed always beats those candidates.
+            keep = ranks <= self._k_max
+            if keep.any():
+                kept = draw[keep]
+                self._pool_samples.append(kept)
+                self._pool_ranks.append(ranks[keep])
+                self._pool_dists.append(np.linalg.norm(
+                    kept[:, None, :] - self._why_not[None, :, :],
+                    axis=2))
+            self._rescan()
+        return self.result()
+
+    def _rescan(self) -> None:
+        if self._pool_samples:
+            samples = np.concatenate(self._pool_samples, axis=0)
+            ranks = np.concatenate(self._pool_ranks)
+            dists = np.concatenate(self._pool_dists, axis=0)
+        else:
+            m = len(self._why_not)
+            samples = np.empty((0, self._q.shape[0]))
+            ranks = np.empty(0, dtype=np.int64)
+            dists = np.empty((0, m))
+        if self._include_originals:
+            samples, ranks = inject_why_not_vectors(
+                samples, ranks, self._why_not, self._orig_ranks)
+            dists = np.concatenate([dists, self._orig_dists], axis=0)
+        scanned = _scan_pool(samples, ranks, self._why_not, self._k,
+                             self._k_max, self._config, dists=dists)
+        if scanned is None:
+            return
+        penalty, weights, k_refined, evaluated = scanned
+        self._candidates = evaluated + 1
+        # Adopt on <= so the carried best after the final round is
+        # exactly the full-pool scan winner (one-shot equality); the
+        # scan is pool-monotone, so penalties never increase.
+        if penalty <= self._best[0]:
+            self._best = (penalty, weights, k_refined)
+
+    def result(self) -> MWKResult:
+        """The current-best result, without further refinement."""
+        penalty, weights, k_refined = self._best
+        return MWKResult(
+            weights_refined=weights.copy(),
+            k_refined=int(k_refined),
+            penalty=float(penalty),
+            delta_k=max(0, int(k_refined) - self._k),
+            delta_w=delta_weights(self._why_not, weights),
+            k_max=self._k_max,
+            samples_examined=self.samples_examined,
+            candidates_evaluated=self._candidates,
+        )
+
+
+def make_stepper(query: WhyNotQuery, *,
+                 rng: np.random.Generator | None = None,
+                 config: PenaltyConfig = DEFAULT_PENALTY,
+                 include_originals: bool = True,
+                 incomparable: IncomparableResult | None = None,
+                 context=None,
+                 sample_target: int = 800) -> MWKStepper:
+    """Build an :class:`MWKStepper` for a validated why-not question,
+    resolving the ``FindIncom`` partition exactly like
+    :func:`modify_weights_and_k` (explicit > context cache > fresh
+    R-tree traversal)."""
+    if incomparable is not None:
+        inc = incomparable
+    elif context is not None:
+        inc = context.partition(query.q)
+    else:
+        inc = find_incomparable(query.rtree, query.q)
+    return MWKStepper(points=query.points, inc=inc, q=query.q,
+                      why_not=query.why_not, k=query.k, rng=rng,
+                      config=config,
+                      include_originals=include_originals,
+                      sample_target=sample_target)
 
 
 def modify_weights_and_k(query: WhyNotQuery, *, sample_size: int = 800,
@@ -54,6 +289,10 @@ def modify_weights_and_k(query: WhyNotQuery, *, sample_size: int = 800,
                          incomparable: IncomparableResult | None = None,
                          context=None) -> MWKResult:
     """Run Algorithm 2 on a validated why-not question.
+
+    The one-shot form: an :class:`MWKStepper` refined for a single
+    ``sample_size``-sample round, so chunked anytime refinement and
+    this function agree exactly at equal total samples and seed.
 
     Parameters
     ----------
@@ -75,24 +314,11 @@ def modify_weights_and_k(query: WhyNotQuery, *, sample_size: int = 800,
         partition is fetched from the context's per-``q`` cache, so
         repeated questions about one product traverse the R-tree once.
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
-    if incomparable is not None:
-        inc = incomparable
-    elif context is not None:
-        inc = context.partition(query.q)
-    else:
-        inc = find_incomparable(query.rtree, query.q)
-    return _mwk_core(
-        points=query.points,
-        inc=inc,
-        q=query.q,
-        why_not=query.why_not,
-        k=query.k,
-        sample_size=sample_size,
-        rng=rng,
-        config=config,
-        include_originals=include_originals,
-    )
+    stepper = make_stepper(query, rng=rng, config=config,
+                           include_originals=include_originals,
+                           incomparable=incomparable, context=context,
+                           sample_target=sample_size)
+    return stepper.refine(sample_size)
 
 
 def _mwk_core(*, points: np.ndarray, inc: IncomparableResult,
@@ -101,106 +327,8 @@ def _mwk_core(*, points: np.ndarray, inc: IncomparableResult,
               config: PenaltyConfig,
               include_originals: bool) -> MWKResult:
     """Algorithm 2 body, reusable with a cached FindIncom partition."""
-    inc_points = points[inc.incomparable_ids]
-    dom_points = points[inc.dominating_ids]
-    m = len(why_not)
-
-    # Ranks of q under the original why-not vectors; Lemma 4.
-    orig_ranks = ranks_under_weights(why_not, inc_points, dom_points, q)
-    k_max = int(orig_ranks.max()) if m else k
-
-    if k_max <= k:
-        # Every vector already admits q (possible for sampled query
-        # points inside MQWK): nothing to modify.
-        return MWKResult(
-            weights_refined=why_not.copy(), k_refined=k, penalty=0.0,
-            delta_k=0, delta_w=0.0, k_max=k_max, samples_examined=0,
-            candidates_evaluated=1)
-
-    # Seed: the pure-k refinement (Wm, k'_max).  Lemma 4 guarantees it
-    # is always a valid candidate.
-    best_weights = why_not.copy()
-    best_k = k_max
-    best_penalty = penalty_weights_k(why_not, why_not, k, k_max, k_max,
-                                     config)
-    candidates = 1
-
-    if inc.n_incomparable == 0:
-        # No incomparable points: every weighting vector ranks q at
-        # |D| + 1, so weight changes cannot help.  k'_max is the answer.
-        return MWKResult(
-            weights_refined=best_weights, k_refined=best_k,
-            penalty=best_penalty, delta_k=k_max - k, delta_w=0.0,
-            k_max=k_max, samples_examined=0, candidates_evaluated=1)
-
-    samples = sample_weights_on_hyperplanes(inc_points, q, sample_size,
-                                            rng, anchors=why_not)
-    sample_ranks = ranks_under_weights(samples, inc_points, dom_points,
-                                       q)
-
-    if include_originals:
-        samples = np.vstack([samples, why_not])
-        sample_ranks = np.concatenate([sample_ranks, orig_ranks])
-
-    # Prune beyond k'_max (Algorithm 2 line 13) and sort by rank.
-    keep = sample_ranks <= k_max
-    samples, sample_ranks = samples[keep], sample_ranks[keep]
-    order = np.argsort(sample_ranks, kind="stable")
-    samples, sample_ranks = samples[order], sample_ranks[order]
-    examined = len(samples)
-
-    if examined:
-        # Distance of every sample to every original vector: (|S|, m).
-        dists = np.linalg.norm(
-            samples[:, None, :] - why_not[None, :, :], axis=2)
-
-        # Working candidate: every original mapped to the first sample.
-        cw = np.repeat(samples[:1], m, axis=0)
-        cw_dist = dists[0].copy()
-        cand_penalty = _candidate_penalty(
-            why_not, cw, k, int(sample_ranks[0]), k_max, config)
-        candidates += 1
-        if cand_penalty < best_penalty:
-            best_penalty = cand_penalty
-            best_weights, best_k = cw.copy(), max(k, int(sample_ranks[0]))
-
-        for s in range(1, examined):
-            improved = dists[s] < cw_dist - 1e-15
-            if not improved.any():
-                continue
-            cw[improved] = samples[s]
-            cw_dist[improved] = dists[s][improved]
-            rank_s = int(sample_ranks[s])
-            cand_penalty = _candidate_penalty(
-                why_not, cw, k, rank_s, k_max, config)
-            candidates += 1
-            if cand_penalty < best_penalty:
-                best_penalty = cand_penalty
-                best_weights, best_k = cw.copy(), max(k, rank_s)
-
-    dw = delta_weights(why_not, best_weights)
-    return MWKResult(
-        weights_refined=best_weights,
-        k_refined=int(best_k),
-        penalty=float(best_penalty),
-        delta_k=max(0, int(best_k) - k),
-        delta_w=dw,
-        k_max=k_max,
-        samples_examined=examined,
-        candidates_evaluated=candidates,
-    )
-
-
-def _candidate_penalty(why_not, cw, k, rank_s, k_max, config) -> float:
-    """Eq. (4) for a scan candidate with ``k' = max(k, rank_s)``.
-
-    When a candidate keeps some original vectors (mixed candidates via
-    ``include_originals``), their ranks may exceed ``rank_s``; the true
-    required ``k'`` is the max over the candidate's per-vector ranks.
-    Using ``rank_s`` here stays faithful to the paper's scan, and is
-    *valid* because originals enter the pool with their own (higher)
-    ranks: a mixed candidate is only evaluated once the scan reaches the
-    original's rank.
-    """
-    return penalty_weights_k(why_not, cw, k, max(k, rank_s), k_max,
-                             config)
+    stepper = MWKStepper(points=points, inc=inc, q=q, why_not=why_not,
+                         k=k, rng=rng, config=config,
+                         include_originals=include_originals,
+                         sample_target=sample_size)
+    return stepper.refine(sample_size)

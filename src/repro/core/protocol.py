@@ -14,6 +14,12 @@ types defined here:
   per-question timing and — for failed questions — a structured
   :class:`ErrorInfo` instead of a class-name-prefixed string.
 
+Schema version 3 adds the anytime-execution contract: a
+:class:`Question` may carry a :class:`Budget` (sample budget,
+deadline, target-penalty tolerance) and every anytime
+:class:`Answer` carries :class:`Quality` metadata (samples examined,
+converged flag, refinement round).
+
 Both round-trip losslessly through ``to_dict`` → ``json`` →
 ``from_dict`` under an explicit :data:`SCHEMA_VERSION`, including
 failed items and non-finite penalties (``NaN`` penalties serialize as
@@ -53,18 +59,27 @@ from repro.geometry.vectors import is_valid_weight
 #: * **2** — ``Answer`` payloads carry ``catalogue_version``, the
 #:   version of the catalogue snapshot they were answered against
 #:   (0 for standalone, non-catalogue contexts).
-SCHEMA_VERSION = 2
+#: * **3** — anytime execution: ``Question`` payloads may carry a
+#:   ``budget`` (:class:`Budget` — sample budget, deadline,
+#:   target-penalty tolerance) and ``Answer`` payloads carry
+#:   ``quality`` (:class:`Quality` — samples examined, converged
+#:   flag, refinement round), ``null`` for run-to-completion answers.
+SCHEMA_VERSION = 3
 
 #: Versions this side can still decode.  Version-1 payloads simply
-#: lack ``catalogue_version``; decoding defaults it to 0, which is
-#: exactly what a version-1 producer (one immutable snapshot) meant.
-SUPPORTED_SCHEMA_VERSIONS = frozenset({1, SCHEMA_VERSION})
+#: lack ``catalogue_version``; version-1/-2 payloads lack
+#: ``budget``/``quality``; decoding defaults them to 0 / ``None``,
+#: which is exactly what those producers meant (one immutable
+#: snapshot, run-to-completion execution).
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2, SCHEMA_VERSION})
 
 __all__ = [
     "SCHEMA_VERSION",
     "SUPPORTED_SCHEMA_VERSIONS",
     "Answer",
+    "Budget",
     "ErrorInfo",
+    "Quality",
     "Question",
     "check_schema_version",
     "summarize_answers",
@@ -171,6 +186,125 @@ class ErrorInfo:
                    category=category)
 
 
+@dataclass(frozen=True)
+class Budget:
+    """Execution budget for one question — the anytime contract.
+
+    All three limits are optional and combine conjunctively: the
+    executor refines the answer in chunks and stops at the first
+    limit hit, always returning the best answer found so far.
+
+    Parameters
+    ----------
+    sample_budget:
+        Cap on the total samples examined (weight samples for MWK,
+        query-point candidates for MQWK; MQP is exact and converges
+        in its first round regardless).  ``None`` = the algorithm's
+        own ``sample_size`` option decides.
+    deadline_ms:
+        Soft wall-clock deadline in milliseconds.  Refinement chunks
+        are sized from the observed sampling rate so the loop lands
+        near the deadline instead of overshooting; at least one
+        refinement round always runs, so a budgeted question never
+        comes back empty.
+    target_penalty_tolerance:
+        Early-exit threshold: refinement stops once the audited
+        penalty is at or below this value ("good enough").
+    """
+
+    sample_budget: int | None = None
+    deadline_ms: float | None = None
+    target_penalty_tolerance: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.sample_budget is not None:
+            try:
+                budget = int(self.sample_budget)
+                if float(self.sample_budget) != budget:
+                    raise ValueError
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"sample_budget must be a positive integer or "
+                    f"None, got {self.sample_budget!r}") from None
+            if budget < 1:
+                raise ValueError(f"sample_budget must be >= 1, got "
+                                 f"{budget}")
+            object.__setattr__(self, "sample_budget", budget)
+        if self.deadline_ms is not None:
+            deadline = float(self.deadline_ms)
+            if not math.isfinite(deadline) or deadline <= 0:
+                raise ValueError(f"deadline_ms must be a positive "
+                                 f"finite number, got "
+                                 f"{self.deadline_ms!r}")
+            object.__setattr__(self, "deadline_ms", deadline)
+        if self.target_penalty_tolerance is not None:
+            tol = float(self.target_penalty_tolerance)
+            if not math.isfinite(tol) or tol < 0:
+                raise ValueError(
+                    f"target_penalty_tolerance must be a non-negative "
+                    f"finite number, got "
+                    f"{self.target_penalty_tolerance!r}")
+            object.__setattr__(self, "target_penalty_tolerance", tol)
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True when no limit is set (run-to-completion semantics)."""
+        return (self.sample_budget is None and self.deadline_ms is None
+                and self.target_penalty_tolerance is None)
+
+    def to_dict(self) -> dict:
+        return {"sample_budget": self.sample_budget,
+                "deadline_ms": self.deadline_ms,
+                "target_penalty_tolerance":
+                    self.target_penalty_tolerance}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Budget":
+        if not isinstance(payload, Mapping):
+            raise ValueError("budget payload must be a JSON object")
+        unknown = sorted(set(payload) - {"sample_budget", "deadline_ms",
+                                         "target_penalty_tolerance"})
+        if unknown:
+            raise ValueError(f"budget has unknown field(s): "
+                             f"{', '.join(unknown)}")
+        return cls(
+            sample_budget=payload.get("sample_budget"),
+            deadline_ms=payload.get("deadline_ms"),
+            target_penalty_tolerance=payload.get(
+                "target_penalty_tolerance"))
+
+
+@dataclass(frozen=True)
+class Quality:
+    """How an anytime answer was produced (schema version 3).
+
+    ``samples_examined`` counts the algorithm's own progress unit
+    (weight samples for MWK, query-point candidates for MQWK);
+    ``converged`` says whether refinement ran to its natural end
+    (sample target reached, tolerance met, or the algorithm is exact)
+    rather than being cut off by a deadline, budget or cancellation;
+    ``rounds`` is the number of refinement rounds behind the answer.
+    """
+
+    samples_examined: int = 0
+    converged: bool = True
+    rounds: int = 1
+
+    def to_dict(self) -> dict:
+        return {"samples_examined": int(self.samples_examined),
+                "converged": bool(self.converged),
+                "rounds": int(self.rounds)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Quality":
+        if not isinstance(payload, Mapping):
+            raise ValueError("quality payload must be a JSON object")
+        return cls(
+            samples_examined=int(payload.get("samples_examined", 0)),
+            converged=bool(payload.get("converged", True)),
+            rounds=int(payload.get("rounds", 1)))
+
+
 def _readonly(array: np.ndarray) -> np.ndarray:
     out = np.array(array, dtype=np.float64, copy=True)
     out.setflags(write=False)
@@ -200,6 +334,11 @@ class Question:
         Per-algorithm knobs (e.g. ``{"sample_size": 400}`` for MWK);
         keys are validated against the algorithm's declared
         ``option_names``.
+    budget:
+        Optional :class:`Budget` (or its dict form) requesting
+        anytime execution: the executor refines the answer in chunks
+        and stops at the first limit hit.  ``None`` (default) runs
+        the algorithm to completion exactly as before.
     id:
         Optional caller-chosen correlation id, echoed on the
         :class:`Answer`.
@@ -210,6 +349,7 @@ class Question:
     why_not: np.ndarray
     algorithm: str = "mqp"
     options: Mapping[str, object] = field(default_factory=dict)
+    budget: Budget | None = None
     id: str | None = None
 
     def __post_init__(self) -> None:
@@ -274,10 +414,20 @@ class Question:
                 f"unknown option(s) {unknown} for algorithm "
                 f"{spec.name!r} (accepted: {accepted})")
 
+        budget = self.budget
+        if budget is not None and not isinstance(budget, Budget):
+            if not isinstance(budget, Mapping):
+                raise ValueError(f"budget must be a Budget, a mapping "
+                                 f"or None, got {budget!r}")
+            budget = Budget.from_dict(budget)
+        if budget is not None and budget.is_unbounded:
+            budget = None   # an empty budget means run-to-completion
+
         if self.id is not None and not isinstance(self.id, str):
             raise ValueError(f"id must be a string or None, got "
                              f"{self.id!r}")
 
+        object.__setattr__(self, "budget", budget)
         object.__setattr__(self, "q", _readonly(q))
         object.__setattr__(self, "k", k)
         object.__setattr__(self, "why_not", _readonly(wm))
@@ -309,13 +459,15 @@ class Question:
             "k": self.k,
             "why_not": self.why_not.tolist(),
             "options": dict(self.options),
+            "budget": (None if self.budget is None
+                       else self.budget.to_dict()),
         }
 
     #: The exact key set ``to_dict`` writes; ``from_dict`` rejects
     #: anything else so a misspelled field (e.g. ``"optons"``) cannot
     #: silently decode into a different question.
     _FIELDS = frozenset({"schema_version", "id", "algorithm", "q",
-                         "k", "why_not", "options"})
+                         "k", "why_not", "options", "budget"})
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "Question":
@@ -335,6 +487,7 @@ class Question:
                    why_not=payload["why_not"],
                    algorithm=payload.get("algorithm", "mqp"),
                    options=payload.get("options") or {},
+                   budget=payload.get("budget"),
                    id=payload.get("id"))
 
     @classmethod
@@ -364,7 +517,7 @@ class Question:
     def __hash__(self) -> int:
         return hash((self.q.tobytes(), self.k, self.why_not.tobytes(),
                      self.algorithm, tuple(sorted(self.options.items())),
-                     self.id))
+                     self.budget, self.id))
 
 
 @dataclass(frozen=True, eq=False)
@@ -382,6 +535,11 @@ class Answer:
     queries with mutations can tell exactly which state of the data
     each answer reflects.  Standalone contexts — and all version-1
     payloads — carry 0.
+
+    ``quality`` (schema version 3) describes how an anytime answer
+    was produced — samples examined, converged flag, refinement
+    round.  Run-to-completion answers (and all version-1/-2
+    payloads) carry ``None``.
     """
 
     index: int
@@ -393,6 +551,7 @@ class Answer:
     elapsed: float = 0.0
     question_id: str | None = None
     catalogue_version: int = 0
+    quality: Quality | None = None
 
     @property
     def ok(self) -> bool:
@@ -412,6 +571,8 @@ class Answer:
                      self.error.to_dict(),
             "elapsed": float(self.elapsed),
             "catalogue_version": int(self.catalogue_version),
+            "quality": None if self.quality is None else
+                       self.quality.to_dict(),
             "result": None if self.result is None else
                       result_to_dict(self.result),
         }
@@ -423,6 +584,7 @@ class Answer:
         check_schema_version(payload, where="answer")
         error = payload.get("error")
         result = payload.get("result")
+        quality = payload.get("quality")
         return cls(
             index=int(payload.get("index", 0)),
             algorithm=str(payload.get("algorithm", "")),
@@ -432,7 +594,9 @@ class Answer:
             error=None if error is None else ErrorInfo.from_dict(error),
             elapsed=float(payload.get("elapsed", 0.0)),
             question_id=payload.get("id"),
-            catalogue_version=int(payload.get("catalogue_version", 0)))
+            catalogue_version=int(payload.get("catalogue_version", 0)),
+            quality=(None if quality is None
+                     else Quality.from_dict(quality)))
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Answer):

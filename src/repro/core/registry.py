@@ -59,12 +59,22 @@ __all__ = [
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
-    """One registered refinement algorithm."""
+    """One registered refinement algorithm.
+
+    ``fn`` is the run-to-completion form.  ``stepper`` — optional —
+    is the *anytime* form: a factory with the same uniform signature
+    returning a resumable stepper state (an object exposing
+    ``refine(chunk) -> result``, ``converged``, ``samples_examined``,
+    ``rounds`` and ``sample_target``).  Algorithms registered without
+    a stepper still work everywhere; a budgeted question simply runs
+    them to completion in a single round.
+    """
 
     name: str
     fn: Callable[..., object]
     summary: str = ""
     option_names: tuple[str, ...] = field(default_factory=tuple)
+    stepper: Callable[..., object] | None = None
 
     def run(self, query, *, context=None, rng=None, penalty_config=None,
             options=None):
@@ -73,10 +83,38 @@ class AlgorithmSpec:
                        penalty_config=penalty_config,
                        options=dict(options or {}))
 
+    @property
+    def supports_anytime(self) -> bool:
+        return self.stepper is not None
+
+    def start(self, query, *, context=None, rng=None,
+              penalty_config=None, options=None):
+        """Begin anytime execution: build the resumable stepper state.
+
+        Raises ``ValueError`` when the algorithm registered no
+        stepper — callers that can fall back (the executor does)
+        check :attr:`supports_anytime` first.
+        """
+        if self.stepper is None:
+            raise ValueError(f"algorithm {self.name!r} does not "
+                             "support anytime execution")
+        return self.stepper(query, context=context, rng=rng,
+                            penalty_config=penalty_config,
+                            options=dict(options or {}))
+
+    @staticmethod
+    def refine(state, chunk: int):
+        """One refinement round: ``(state, result)`` with the state
+        advanced by up to ``chunk`` samples.  The state is mutated
+        and returned — the functional shape exists so callers can
+        treat steppers as opaque resumable values."""
+        return state, state.refine(chunk)
+
     def describe(self) -> dict:
         """JSON-safe form (the ``GET /algorithms`` payload)."""
         return {"name": self.name, "summary": self.summary,
-                "options": list(self.option_names)}
+                "options": list(self.option_names),
+                "anytime": self.supports_anytime}
 
 
 #: Registration order is preserved: it is the paper's presentation
@@ -93,12 +131,14 @@ _REGISTRY_LOCK = threading.Lock()
 
 
 def register_algorithm(name: str, *, summary: str = "",
-                       option_names: tuple[str, ...] = ()):
+                       option_names: tuple[str, ...] = (),
+                       stepper: Callable[..., object] | None = None):
     """Class/function decorator registering a refinement under ``name``.
 
-    Raises ``ValueError`` for empty or duplicate names — shadowing an
-    existing algorithm silently would change answers behind every
-    entry point at once.
+    ``stepper`` optionally registers the algorithm's anytime factory
+    (see :class:`AlgorithmSpec`).  Raises ``ValueError`` for empty or
+    duplicate names — shadowing an existing algorithm silently would
+    change answers behind every entry point at once.
     """
     key = str(name).strip().lower()
 
@@ -106,7 +146,8 @@ def register_algorithm(name: str, *, summary: str = "",
         if not key:
             raise ValueError("algorithm name must be non-empty")
         spec = AlgorithmSpec(name=key, fn=fn, summary=summary,
-                             option_names=tuple(option_names))
+                             option_names=tuple(option_names),
+                             stepper=stepper)
         with _REGISTRY_LOCK:
             if key in _REGISTRY:
                 raise ValueError(f"algorithm {key!r} is already "
@@ -152,13 +193,35 @@ def get_algorithm(name) -> AlgorithmSpec:
 # The adapters resolve the implementation through its module attribute
 # at call time (``_mqp_module.modify_query_point`` rather than a
 # captured reference) so tests can monkeypatch the underlying
-# function and every entry point sees the patch.
+# function and every entry point sees the patch.  The stepper
+# factories translate the per-algorithm option dict into the stepper
+# constructors; each stepper's ``sample_target`` is the sample count
+# the one-shot form would have used, which is what an unbudgeted
+# ``ask_stream`` (or a deadline-only budget) refines toward.
 # ---------------------------------------------------------------------
+
+def _start_mqp(query, *, context, rng, penalty_config, options):
+    return _mqp_module.MQPStepper(query, **options)
+
+
+def _start_mwk(query, *, context, rng, penalty_config, options):
+    options = dict(options)
+    target = int(options.pop("sample_size", 800))
+    return _mwk_module.make_stepper(
+        query, rng=rng, config=penalty_config, context=context,
+        sample_target=target, **options)
+
+
+def _start_mqwk(query, *, context, rng, penalty_config, options):
+    return _mqwk_module.make_stepper(
+        query, rng=rng, config=penalty_config, context=context,
+        **options)
+
 
 @register_algorithm(
     "mqp",
     summary="Algorithm 1 — modify the query point (quadratic program)",
-    option_names=("use_rtree",))
+    option_names=("use_rtree",), stepper=_start_mqp)
 def _run_mqp(query, *, context, rng, penalty_config, options):
     return _mqp_module.modify_query_point(query, **options)
 
@@ -166,7 +229,8 @@ def _run_mqp(query, *, context, rng, penalty_config, options):
 @register_algorithm(
     "mwk",
     summary="Algorithm 2 — modify the why-not weights and k (sampling)",
-    option_names=("sample_size", "include_originals"))
+    option_names=("sample_size", "include_originals"),
+    stepper=_start_mwk)
 def _run_mwk(query, *, context, rng, penalty_config, options):
     return _mwk_module.modify_weights_and_k(
         query, rng=rng, config=penalty_config, context=context,
@@ -177,7 +241,8 @@ def _run_mwk(query, *, context, rng, penalty_config, options):
     "mqwk",
     summary="Algorithm 3 — jointly modify q, the weights and k",
     option_names=("sample_size", "q_sample_size", "include_originals",
-                  "use_reuse"))
+                  "use_reuse"),
+    stepper=_start_mqwk)
 def _run_mqwk(query, *, context, rng, penalty_config, options):
     return _mqwk_module.modify_query_weights_and_k(
         query, rng=rng, config=penalty_config, context=context,

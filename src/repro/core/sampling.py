@@ -24,6 +24,20 @@ Query-point sampling
 MQWK samples candidate query points uniformly from the axis-aligned box
 ``[q_min, q]`` where ``q_min`` is the MQP optimum — points outside this
 box are provably dominated as candidates (Section 4.4).
+
+Chunk-invariant streams
+-----------------------
+The anytime steppers (:class:`~repro.core.mwk.MWKStepper`,
+:class:`~repro.core.mqwk.MQWKStepper`) consume samples incrementally.
+:class:`WeightSampleStream` / :class:`QueryPointSampleStream` make the
+sample sequence a *deterministic infinite stream*: sample ``i`` is
+drawn from a generator seeded by ``(entropy, i // block)`` — a
+function of the stream's entropy and the sample's position only, never
+of how the caller chunked its reads.  ``take(250)`` followed by
+``take(550)`` therefore yields exactly the 800 samples a single
+``take(800)`` would, which is what makes a chunked anytime answer
+*equal* (not just statistically similar) to the one-shot answer at the
+same total sample count and seed.
 """
 
 from __future__ import annotations
@@ -150,6 +164,131 @@ def sample_weights_on_hyperplanes(incomparable_points, q, size: int,
         raise RuntimeError("hyperplane sampler failed to converge; "
                            "sample space may be numerically degenerate")
     return out
+
+
+#: Samples per internal stream block.  Each block is drawn from its
+#: own position-derived generator, so any chunking of reads sees the
+#: same sample sequence (see the module docstring).
+STREAM_BLOCK = 128
+
+#: Upper bound for stream entropy draws (``Generator.integers`` high).
+_ENTROPY_HIGH = 2**63 - 1
+
+
+def stream_entropy(rng: np.random.Generator) -> int:
+    """One entropy draw that seeds a whole deterministic stream.
+
+    The single point where an anytime stepper consumes its caller's
+    generator: everything after is derived from ``(entropy, position)``
+    pairs, never from further generator state — the property that
+    makes refinement chunk-invariant.
+    """
+    return int(rng.integers(0, _ENTROPY_HIGH))
+
+
+class _BlockedStream:
+    """Deterministic infinite sample stream, read in arbitrary chunks.
+
+    Subclasses implement ``_draw_block(rng) -> (block, d) array``;
+    block ``b`` always uses ``default_rng((entropy, b))``, so the
+    concatenation of all reads is a prefix of one fixed sequence.
+    """
+
+    def __init__(self, entropy: int, *, block: int = STREAM_BLOCK):
+        self._entropy = int(entropy)
+        self._block = int(block)
+        self._next_block = 0
+        self._pending: np.ndarray | None = None   # unread block tail
+
+    def _draw_block(self, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` samples of the stream."""
+        n = int(n)
+        parts: list[np.ndarray] = []
+        got = 0
+        if self._pending is not None and len(self._pending):
+            head = self._pending[:n]
+            self._pending = self._pending[len(head):]
+            parts.append(head)
+            got += len(head)
+        while got < n:
+            rng = np.random.default_rng((self._entropy,
+                                         self._next_block))
+            self._next_block += 1
+            block = self._draw_block(rng)
+            head = block[:n - got]
+            self._pending = block[len(head):]
+            parts.append(head)
+            got += len(head)
+        if not parts:
+            return np.empty((0, self._dim))
+        return np.concatenate(parts, axis=0)
+
+
+class WeightSampleStream(_BlockedStream):
+    """Chunk-invariant stream of MWK weight samples.
+
+    Wraps :func:`sample_weights_on_hyperplanes` for one fixed
+    ``(incomparable set, q, anchors)`` sample space; raises the same
+    ``ValueError`` for an empty space.
+    """
+
+    def __init__(self, incomparable_points, q,
+                 rng: np.random.Generator, *, anchors=None,
+                 block: int = STREAM_BLOCK):
+        super().__init__(stream_entropy(rng), block=block)
+        self._inc = np.atleast_2d(np.asarray(incomparable_points,
+                                             dtype=np.float64))
+        if self._inc.shape[0] == 0:
+            raise ValueError("empty sample space: no incomparable "
+                             "points")
+        self._q = np.asarray(q, dtype=np.float64)
+        self._anchors = anchors
+        self._dim = self._q.shape[0]
+
+    def _draw_block(self, rng: np.random.Generator) -> np.ndarray:
+        return sample_weights_on_hyperplanes(
+            self._inc, self._q, self._block, rng,
+            anchors=self._anchors)
+
+
+class QueryPointSampleStream(_BlockedStream):
+    """Chunk-invariant stream of MQWK query-point candidates."""
+
+    def __init__(self, q_min, q, rng: np.random.Generator, *,
+                 block: int = STREAM_BLOCK):
+        super().__init__(stream_entropy(rng), block=block)
+        self._lo = np.asarray(q_min, dtype=np.float64)
+        self._hi = np.asarray(q, dtype=np.float64)
+        self._dim = self._hi.shape[0]
+
+    def _draw_block(self, rng: np.random.Generator) -> np.ndarray:
+        return sample_query_points(self._lo, self._hi, self._block,
+                                   rng)
+
+
+def inject_why_not_vectors(samples, sample_ranks, why_not,
+                           why_not_ranks):
+    """Append the original why-not vectors to a sample pool.
+
+    The shared MWK/MQWK "mixed candidates" injection (previously a
+    ``vstack``/``concatenate`` pair duplicated at every scan site):
+    the originals enter the pool with their true ranks and zero
+    distance to themselves, which lets a scan keep some vectors while
+    modifying others.  Returns the combined ``(samples, ranks)``; the
+    originals come last, so prefix order — and therefore a stable
+    rank sort — is unchanged for the sampled part.
+    """
+    why_not = np.atleast_2d(np.asarray(why_not, dtype=np.float64))
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        samples = samples.reshape(0, why_not.shape[1])
+    combined = np.vstack([samples, why_not])
+    ranks = np.concatenate([np.asarray(sample_ranks),
+                            np.asarray(why_not_ranks)])
+    return combined, ranks
 
 
 def sample_query_points(q_min, q, size: int,

@@ -139,6 +139,12 @@ class Session:
         failed :class:`Answer`, never as an exception.  The snapshot
         is pinned at entry; the answer's ``catalogue_version`` says
         which one.
+
+        A question carrying a :class:`~repro.core.protocol.Budget`
+        is answered anytime-style: chunked refinement until the
+        budget's first limit (sample budget, deadline, penalty
+        tolerance), returning the best answer found — with
+        :class:`~repro.core.protocol.Quality` metadata attached.
         """
         from repro.engine.executor import answer_question
 
@@ -147,20 +153,47 @@ class Session:
             rng=np.random.default_rng(int(seed)),
             penalty_config=self.penalty_config)
 
+    def ask_stream(self, question: Question, *, seed: int = 0,
+                   chunk: int | None = None):
+        """Stream successive refinements of one question.
+
+        A generator of :class:`Answer`\\ s with non-increasing
+        penalty — yield one, show it, keep consuming for better ones.
+        The final yielded answer is exactly what :meth:`ask` returns
+        for the same question and seed.  ``chunk`` caps the samples
+        examined per round (default: an eighth of the sample target,
+        so an unbudgeted stream still refines in several visible
+        steps).  The snapshot is pinned at entry, like :meth:`ask`.
+        """
+        from repro.engine.executor import iter_answers
+
+        return iter_answers(
+            self.context, question, index=0,
+            rng=np.random.default_rng(int(seed)),
+            penalty_config=self.penalty_config, chunk=chunk)
+
     def ask_batch(self, questions, *, workers: int = 1,
-                  seed: int = 0) -> list[Answer]:
+                  seed: int = 0, deadline_ms: float | None = None,
+                  interleave: bool = True) -> list[Answer]:
         """Answer many typed questions, optionally in parallel.
 
         Item ``i`` uses ``default_rng(seed + i)``, so results are
         identical for any ``workers`` value.  The whole batch answers
         against one snapshot, pinned at entry — a concurrent writer
         cannot make item 7 see different data than item 3.
+
+        ``deadline_ms`` imposes a batch-wide wall-clock budget:
+        every question takes the anytime path and the serial loop
+        interleaves refinement across the batch (round-robin chunks)
+        instead of letting early questions starve later ones; pass
+        ``interleave=False`` to measure the head-of-line alternative.
         """
         from repro.engine.executor import execute_questions
 
         return execute_questions(
             self.context, questions, seed=int(seed),
-            workers=int(workers), penalty_config=self.penalty_config)
+            workers=int(workers), penalty_config=self.penalty_config,
+            deadline_ms=deadline_ms, interleave=interleave)
 
     @staticmethod
     def summarize(answers, *, wall_seconds: float | None = None) -> dict:

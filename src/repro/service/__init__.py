@@ -27,11 +27,14 @@ from repro.service.client import (
     ServiceConnectionError,
     ServiceError,
 )
+from repro.service.jobs import Job, JobManager
 from repro.service.registry import CatalogueRegistry
 from repro.service.server import WhyNotServer, create_server
 
 __all__ = [
     "CatalogueRegistry",
+    "Job",
+    "JobManager",
     "ServiceClient",
     "ServiceConnectionError",
     "ServiceError",

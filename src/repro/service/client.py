@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
@@ -40,6 +41,7 @@ from repro.core.protocol import (
     SCHEMA_VERSION,
     SUPPORTED_SCHEMA_VERSIONS,
     Answer,
+    Budget,
     Question,
 )
 
@@ -86,17 +88,22 @@ class ServiceClient:
 
     # -- transport -----------------------------------------------------
 
-    def _request(self, path: str, payload: dict | None = None) -> dict:
+    def _request(self, path: str, payload: dict | None = None, *,
+                 method: str | None = None) -> dict:
         # GETs are idempotent: retry exactly once on a transport
         # failure.  POSTs are not (a mutation may have been applied
-        # before the connection died), so they get one attempt.
-        attempts = 2 if payload is None else 1
+        # before the connection died), so they get one attempt —
+        # and so does DELETE: job cancellation *is* idempotent, but
+        # one attempt keeps the rule simple and a retry buys nothing
+        # (the caller polls progress anyway).
+        attempts = 2 if payload is None and method is None else 1
         for attempt in range(1, attempts + 1):
             try:
                 # HTTP-status failures leave _request_once as
                 # ServiceError (a RuntimeError) and propagate — only
                 # transport-level trouble is caught below.
-                return self._request_once(path, payload)
+                return self._request_once(path, payload,
+                                          method=method)
             except (OSError, http.client.HTTPException) as exc:
                 # URLError, ConnectionResetError, timeouts and
                 # IncompleteRead all land here.
@@ -109,15 +116,19 @@ class ServiceClient:
                     attempts=attempts) from exc
 
     def _request_once(self, path: str,
-                      payload: dict | None = None) -> dict:
-        if payload is None:
+                      payload: dict | None = None, *,
+                      method: str | None = None) -> dict:
+        if payload is None and method is None:
             request = urllib.request.Request(self.base_url + path)
+        elif payload is None:
+            request = urllib.request.Request(self.base_url + path,
+                                             method=method)
         else:
             request = urllib.request.Request(
                 self.base_url + path,
                 data=json.dumps(payload).encode("utf-8"),
                 headers={"Content-Type": "application/json"},
-                method="POST")
+                method=method or "POST")
         try:
             with urllib.request.urlopen(
                     request, timeout=self.timeout) as response:
@@ -255,6 +266,97 @@ class ServiceClient:
         answers = [Answer.from_dict(item)
                    for item in response["items"]]
         return answers, response["summary"]
+
+    # -- async jobs ----------------------------------------------------
+
+    @staticmethod
+    def _job_path(job_id: str, *parts: str) -> str:
+        if not job_id:
+            raise ValueError("job id must be non-empty")
+        quoted = urllib.parse.quote(str(job_id), safe="")
+        return "/".join(["/jobs", quoted, *parts])
+
+    def submit(self, catalogue: str, questions, *, budget=None,
+               seed: int = 0) -> dict:
+        """Submit a batch as an asynchronous job (``POST /jobs``).
+
+        ``questions`` are typed :class:`Question` objects; ``budget``
+        (a :class:`~repro.core.protocol.Budget` or its dict form)
+        becomes the default for questions carrying none.  Returns the
+        queued job's progress snapshot — ``["id"]`` is the handle for
+        :meth:`poll` / :meth:`result` / :meth:`cancel`.
+        """
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "catalogue": catalogue,
+            "questions": [question.to_dict()
+                          for question in questions],
+            "seed": int(seed),
+        }
+        if budget is not None:
+            payload["budget"] = (budget.to_dict()
+                                 if isinstance(budget, Budget)
+                                 else dict(budget))
+        response = self._request("/jobs", payload)
+        self._check_version(response)
+        return response["job"]
+
+    def poll(self, job_id: str) -> dict:
+        """One job's progress snapshot (``GET /jobs/<id>``): status,
+        done/total, current per-item penalties."""
+        response = self._request(self._job_path(job_id))
+        self._check_version(response)
+        return response
+
+    def jobs(self) -> list[dict]:
+        """Progress snapshots of every job the server remembers."""
+        response = self._request("/jobs")
+        self._check_version(response)
+        return response["jobs"]
+
+    def result(self, job_id: str) -> tuple[list[Answer | None], dict]:
+        """A finished job's answers (``GET /jobs/<id>/result``).
+
+        Returns ``(answers, summary)``; items a cancellation stopped
+        before their first refinement round are ``None``.  Raises
+        :class:`ServiceError` with ``status == 409`` while the job is
+        still running — poll first.
+        """
+        response = self._request(self._job_path(job_id, "result"))
+        self._check_version(response)
+        answers = [None if item is None else Answer.from_dict(item)
+                   for item in response["items"]]
+        return answers, response["summary"]
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cooperative cancellation (``DELETE /jobs/<id>``);
+        returns the job's progress snapshot.  The job keeps refining
+        until the next chunk boundary, then stops and becomes
+        collectible with every answer produced so far."""
+        response = self._request(self._job_path(job_id),
+                                 method="DELETE")
+        self._check_version(response)
+        return response
+
+    def wait(self, job_id: str, *, poll_interval: float = 0.05,
+             timeout: float = 60.0, on_progress=None) -> dict:
+        """Poll until the job finishes; returns the final progress.
+
+        ``on_progress`` (if given) receives every snapshot — the
+        hook behind ``wqrtq batch --watch``'s progress lines.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            progress = self.poll(job_id)
+            if on_progress is not None:
+                on_progress(progress)
+            if progress["status"] in ("done", "cancelled", "failed"):
+                return progress
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id!r} still {progress['status']} "
+                    f"after {timeout}s")
+            time.sleep(poll_interval)
 
     # -- dict-level convenience (the pre-schema call shapes) -----------
     #

@@ -1,0 +1,298 @@
+"""Asynchronous jobs: budgeted batches refined by a worker pool.
+
+The synchronous ``/batch`` endpoint holds its HTTP connection open for
+the whole batch — fine for a dozen questions, hopeless for a long
+converging workload.  A *job* decouples submission from collection:
+
+* ``submit`` validates the batch, assigns an id and enqueues it;
+* a fixed pool of worker threads pulls jobs and refines them through
+  :func:`repro.engine.executor.refine_questions` — interleaved
+  anytime refinement, so a job's progress (per-item current
+  penalties) is observable while it runs;
+* ``progress`` / ``result`` expose the state machine
+  ``queued → running → done | cancelled | failed``;
+* ``cancel`` sets a cooperative flag the refinement loop polls
+  *between* chunks — a running kernel is never interrupted, no
+  partial state is left behind, and the job keeps every answer
+  refined up to the cancellation point.
+
+The manager holds no persistent state: jobs live in memory, and a
+graceful daemon shutdown cancels what is running and joins the pool —
+by design there is nothing to recover on restart.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import uuid
+
+from repro.core.protocol import Answer, summarize_answers
+from repro.engine.executor import refine_questions
+
+__all__ = ["Job", "JobManager"]
+
+#: Job states.  ``cancelling`` is transient: the flag is set but the
+#: worker has not yet reached a chunk boundary (or the job is still
+#: queued and will be dropped when popped).
+JOB_STATES = ("queued", "running", "cancelling", "done", "cancelled",
+              "failed")
+
+_FINISHED = ("done", "cancelled", "failed")
+
+
+class Job:
+    """One submitted batch and its refinement state.
+
+    All mutable fields sit behind one lock; readers (``progress`` /
+    ``result`` endpoints) take a consistent snapshot while a worker
+    thread records per-round answers.
+    """
+
+    def __init__(self, job_id: str, catalogue: str, questions, *,
+                 seed: int = 0):
+        self.id = job_id
+        self.catalogue = catalogue
+        self.questions = list(questions)
+        self.seed = int(seed)
+        self.created = time.time()
+        self.started: float | None = None
+        self.finished: float | None = None
+        self._lock = threading.Lock()
+        self._cancel = threading.Event()
+        self._status = "queued"
+        self._answers: list[Answer | None] = [None] * len(
+            self.questions)
+        self._done_flags = [False] * len(self.questions)
+        self._error: str | None = None
+
+    # -- worker-side transitions ---------------------------------------
+
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    def request_cancel(self) -> None:
+        with self._lock:
+            self._cancel.set()
+            if self._status in ("queued", "running"):
+                self._status = "cancelling"
+
+    def mark_running(self) -> bool:
+        """Claim the job for a worker; False when already cancelled."""
+        with self._lock:
+            if self._cancel.is_set():
+                self._status = "cancelled"
+                self.finished = time.time()
+                return False
+            self._status = "running"
+            self.started = time.time()
+            return True
+
+    def record(self, index: int, answer: Answer, done: bool) -> None:
+        """One refinement round's result for one item (worker hook)."""
+        with self._lock:
+            self._answers[index] = answer
+            self._done_flags[index] = done
+
+    def mark_finished(self, answers, stopped: bool) -> None:
+        with self._lock:
+            self._answers = list(answers)
+            if stopped:
+                # Keep the per-round flags: a cancelled job's "done"
+                # count must say how many items *finished refining*,
+                # not how many have a partial answer to show.
+                self._done_flags = [
+                    done and answer is not None
+                    for done, answer in zip(self._done_flags, answers)]
+            else:
+                self._done_flags = [a is not None for a in answers]
+            self._status = "cancelled" if stopped else "done"
+            self.finished = time.time()
+
+    def mark_failed(self, exc: BaseException) -> None:
+        with self._lock:
+            self._error = f"{type(exc).__name__}: {exc}"
+            self._status = "failed"
+            self.finished = time.time()
+
+    # -- reader side ---------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        with self._lock:
+            return self._status
+
+    @property
+    def is_finished(self) -> bool:
+        return self.status in _FINISHED
+
+    def progress(self) -> dict:
+        """JSON-safe progress snapshot (the ``GET /jobs/<id>``
+        payload): state, done/total counts and the current per-item
+        penalties (``None`` for items with no round yet)."""
+        with self._lock:
+            penalties = [None if a is None or a.error is not None
+                         else a.penalty for a in self._answers]
+            done = sum(self._done_flags)
+            status = self._status
+            error = self._error
+        now = time.time()
+        return {
+            "id": self.id,
+            "catalogue": self.catalogue,
+            "status": status,
+            "total": len(self.questions),
+            "done": done,
+            "penalties": penalties,
+            "error": error,
+            "created": self.created,
+            "elapsed": ((self.finished or now) - (self.started or now)
+                        if self.started is not None else 0.0),
+        }
+
+    def answers(self) -> list[Answer | None]:
+        with self._lock:
+            return list(self._answers)
+
+    def summary(self) -> dict:
+        refined = [a for a in self.answers() if a is not None]
+        summary = summarize_answers(refined)
+        summary["unrefined"] = len(self.questions) - len(refined)
+        return summary
+
+
+class JobManager:
+    """Fixed worker pool draining a FIFO of submitted jobs.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.service.registry.CatalogueRegistry` jobs
+        answer against; each job pins the named catalogue's snapshot
+        when a worker picks it up.
+    workers:
+        Pool size — how many jobs refine concurrently.
+    keep:
+        Finished jobs retained for ``result`` collection; the oldest
+        finished jobs are evicted beyond this bound so a long-lived
+        daemon cannot leak completed batches.
+    """
+
+    def __init__(self, registry, *, workers: int = 2,
+                 keep: int = 256):
+        self.registry = registry
+        self.keep = int(keep)
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []        # submission order
+        self._lock = threading.Lock()
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        self._counter = itertools.count(1)
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"wqrtq-job-worker-{i}")
+            for i in range(max(1, int(workers)))]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, catalogue: str, questions, *,
+               seed: int = 0) -> Job:
+        """Enqueue a batch; returns the queued :class:`Job`.
+
+        Raises ``KeyError`` for an unknown catalogue and
+        ``ValueError`` for an empty batch or a closed manager —
+        submission-time failures belong to the submitter, not the
+        job's failure log.
+        """
+        questions = list(questions)
+        if not questions:
+            raise ValueError("a job needs at least one question")
+        self.registry.catalogue(catalogue)   # raises KeyError
+        with self._lock:
+            if self._closed:
+                raise ValueError("job manager is shut down")
+            job_id = (f"job-{next(self._counter):04d}-"
+                      f"{uuid.uuid4().hex[:8]}")
+            job = Job(job_id, catalogue, questions, seed=seed)
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._evict_finished()
+            # Enqueue while still holding the lock: a shutdown()
+            # racing in after the _closed check would otherwise
+            # cancel the job and retire every worker *before* this
+            # put, stranding the job in "cancelling" forever.
+            self._queue.put(job_id)
+        return job
+
+    def _evict_finished(self) -> None:
+        # Caller holds the lock.  Active jobs are never evicted.
+        finished = [job_id for job_id in self._order
+                    if self._jobs[job_id].is_finished]
+        for job_id in finished[:max(0, len(finished) - self.keep)]:
+            self._jobs.pop(job_id, None)
+            self._order.remove(job_id)
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cooperative cancellation; returns the job."""
+        job = self.get(job_id)
+        job.request_cancel()
+        return job
+
+    # -- the pool ------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:   # shutdown sentinel
+                return
+            job = self._jobs.get(job_id)
+            if job is None or not job.mark_running():
+                continue
+            try:
+                session = self.registry.session(job.catalogue)
+                # Pin one snapshot for the whole job, like ask_batch.
+                context = session.context
+                answers, stopped = refine_questions(
+                    context, job.questions, seed=job.seed,
+                    penalty_config=session.penalty_config,
+                    should_stop=job.cancel_requested,
+                    on_answer=job.record)
+                job.mark_finished(answers, stopped)
+            except Exception as exc:   # pragma: no cover - defensive
+                job.mark_failed(exc)
+
+    def shutdown(self, *, timeout: float = 10.0) -> None:
+        """Drain gracefully: stop accepting, cancel everything still
+        queued or running (cooperatively — at the next chunk
+        boundary), and join the pool.  No partial job state persists
+        because none is ever written."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            if not job.is_finished:
+                job.request_cancel()
+        for _ in self._threads:
+            self._queue.put(None)
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))

@@ -48,6 +48,27 @@ Endpoints
     Many questions: ``{"catalogue", "questions": [...], "seed",
     "workers"}`` → ``{"schema_version", "items": [...],
     "summary": {...}}``.
+``POST /jobs``
+    Submit a batch *asynchronously*: ``{"catalogue", "questions":
+    [...], "seed", "budget"}`` → ``202`` with the queued job's
+    progress snapshot.  ``budget`` (a
+    :class:`~repro.core.protocol.Budget` dict) becomes the default
+    for every question that carries none; the batch refines
+    interleaved on the :class:`~repro.service.jobs.JobManager`
+    worker pool.
+``GET /jobs`` / ``GET /jobs/<id>``
+    All jobs' / one job's progress: status (``queued → running →
+    done | cancelled | failed``), done/total counts, current
+    per-item penalties.  Unknown ids are ``404``.
+``GET /jobs/<id>/result``
+    The finished job's answers + summary; ``409`` (with the progress
+    snapshot) while the job is still queued or running.  A cancelled
+    job returns every answer refined before the cancellation point
+    (items never started render ``null``).
+``DELETE /jobs/<id>``
+    Cooperative cancellation: sets a flag the refinement loop polls
+    between chunks — a running kernel is never interrupted and no
+    partial state persists.
 
 Both POST endpoints also accept the pre-schema flat form
 (``{"q", "k", "why_not", "algorithm", "sample_size"}`` fields, or
@@ -84,12 +105,14 @@ from repro.core.protocol import (
     SCHEMA_VERSION,
     SUPPORTED_SCHEMA_VERSIONS,
     Answer,
+    Budget,
     ErrorInfo,
     Question,
     check_schema_version,
     summarize_answers,
 )
 from repro.core.registry import algorithm_names, get_algorithm
+from repro.service.jobs import JobManager
 from repro.service.registry import CatalogueRegistry
 
 
@@ -308,8 +331,21 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
             return None
         return unquote(name)
 
+    @staticmethod
+    def _job_path(path: str, *, suffix: str = "") -> str | None:
+        """The job id in ``/jobs/<id>[/suffix]``, or ``None``."""
+        prefix = "/jobs/"
+        if not path.startswith(prefix) or not path.endswith(suffix):
+            return None
+        job_id = path[len(prefix):len(path) - len(suffix)]
+        if not job_id or "/" in job_id:
+            return None
+        return unquote(job_id)
+
     def do_GET(self) -> None:   # noqa: N802 (http.server API)
         name = self._catalogue_path(self.path)
+        job_id = self._job_path(self.path)
+        result_id = self._job_path(self.path, suffix="/result")
         if self.path == "/health":
             self._handle("GET /health",
                          lambda: (200, {"status": "ok"}))
@@ -324,6 +360,14 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
             self._handle("GET /algorithms", self._get_algorithms)
         elif self.path == "/stats":
             self._handle("GET /stats", self._get_stats)
+        elif self.path == "/jobs":
+            self._handle("GET /jobs", self._get_jobs)
+        elif result_id is not None:
+            self._handle("GET /jobs/<id>/result",
+                         lambda: self._get_job_result(result_id))
+        elif job_id is not None:
+            self._handle("GET /jobs/<id>",
+                         lambda: self._get_job(job_id))
         else:
             self._not_found()
 
@@ -333,9 +377,19 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
             self._handle("POST /answer", self._post_answer)
         elif self.path == "/batch":
             self._handle("POST /batch", self._post_batch)
+        elif self.path == "/jobs":
+            self._handle("POST /jobs", self._post_jobs)
         elif name is not None:
             self._handle("POST /catalogues/<name>/products",
                          lambda: self._post_products(name))
+        else:
+            self._not_found()
+
+    def do_DELETE(self) -> None:   # noqa: N802 (http.server API)
+        job_id = self._job_path(self.path)
+        if job_id is not None:
+            self._handle("DELETE /jobs/<id>",
+                         lambda: self._delete_job(job_id))
         else:
             self._not_found()
 
@@ -409,12 +463,16 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
 
     @staticmethod
     def _render_item(answer: Answer, version: int) -> dict:
-        """``Answer.to_dict()`` rendered at the negotiated version:
-        version 1 lacked ``catalogue_version``, so downgrading just
-        drops the field and restamps."""
+        """``Answer.to_dict()`` rendered at the negotiated version.
+
+        Each downgrade step drops exactly the fields the older
+        schema never had: version 2 lacked ``quality``, version 1
+        additionally lacked ``catalogue_version``."""
         item = answer.to_dict()
         if version < SCHEMA_VERSION:
             item["schema_version"] = version
+            item.pop("quality", None)
+        if version < 2:
             item.pop("catalogue_version", None)
         return item
 
@@ -470,6 +528,80 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
             "summary": summary,
         }
 
+    # -- async jobs ----------------------------------------------------
+
+    def _post_jobs(self) -> tuple[int, dict]:
+        body = self._read_json()
+        catalogue = self._required(body, "catalogue")
+        entries = body.get("questions")
+        if not isinstance(entries, list) or not entries:
+            raise ValueError("questions must be a non-empty list")
+        questions = _parse_questions(body, entries)
+        default_budget = body.get("budget")
+        if default_budget is not None:
+            default_budget = Budget.from_dict(default_budget)
+            questions = [
+                dataclasses.replace(question, budget=default_budget)
+                if isinstance(question, Question)
+                and question.budget is None else question
+                for question in questions]
+        try:
+            job = self.server.jobs.submit(
+                catalogue, questions, seed=int(body.get("seed", 0)))
+        except KeyError as exc:
+            raise ValueError(str(exc.args[0])) from None
+        return 202, {"schema_version": SCHEMA_VERSION,
+                     "job": job.progress()}
+
+    def _get_jobs(self) -> tuple[int, dict]:
+        return 200, {
+            "schema_version": SCHEMA_VERSION,
+            "jobs": [job.progress()
+                     for job in self.server.jobs.jobs()],
+        }
+
+    def _job_or_404(self, job_id: str):
+        try:
+            return self.server.jobs.get(job_id), None
+        except KeyError as exc:
+            return None, (404, {"error": str(exc.args[0])})
+
+    def _get_job(self, job_id: str) -> tuple[int, dict]:
+        job, missing = self._job_or_404(job_id)
+        if missing:
+            return missing
+        payload = job.progress()
+        payload["schema_version"] = SCHEMA_VERSION
+        return 200, payload
+
+    def _get_job_result(self, job_id: str) -> tuple[int, dict]:
+        job, missing = self._job_or_404(job_id)
+        if missing:
+            return missing
+        if not job.is_finished:
+            # 409: the resource exists but is not collectible yet —
+            # the progress snapshot tells the client when to retry.
+            return 409, {"error": f"job {job_id!r} is not finished",
+                         "job": job.progress()}
+        return 200, {
+            "schema_version": SCHEMA_VERSION,
+            "job": job.progress(),
+            "items": [None if answer is None
+                      else self._render_item(answer, SCHEMA_VERSION)
+                      for answer in job.answers()],
+            "summary": job.summary(),
+        }
+
+    def _delete_job(self, job_id: str) -> tuple[int, dict]:
+        self._drain_body()
+        job, missing = self._job_or_404(job_id)
+        if missing:
+            return missing
+        job = self.server.jobs.cancel(job_id)
+        payload = job.progress()
+        payload["schema_version"] = SCHEMA_VERSION
+        return 200, payload
+
     @staticmethod
     def _required(body: dict, key: str):
         try:
@@ -479,16 +611,31 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
 
 
 class WhyNotServer(ThreadingHTTPServer):
-    """``ThreadingHTTPServer`` owning a registry and request stats."""
+    """``ThreadingHTTPServer`` owning a registry, request stats and
+    the async job pool.
+
+    ``server_close`` drains gracefully: ``block_on_close`` (the
+    ``socketserver`` default) joins every in-flight handler thread,
+    and the job manager cancels outstanding jobs cooperatively and
+    joins its workers — no partial job state survives because none is
+    ever persisted."""
 
     daemon_threads = True
 
     def __init__(self, address, registry: CatalogueRegistry, *,
-                 verbose: bool = False):
+                 verbose: bool = False, job_workers: int = 2):
         super().__init__(address, WhyNotRequestHandler)
         self.registry = registry
         self.service_stats = ServiceStats()
         self.verbose = verbose
+        self.jobs = JobManager(registry, workers=job_workers)
+
+    def server_close(self) -> None:
+        # Stop accepting + join handler threads first, then drain the
+        # job pool (a handler blocked on /jobs submission must not
+        # race a closing manager).
+        super().server_close()
+        self.jobs.shutdown()
 
     @property
     def port(self) -> int:
@@ -502,7 +649,8 @@ class WhyNotServer(ThreadingHTTPServer):
 
 def create_server(registry: CatalogueRegistry, *,
                   host: str = "127.0.0.1", port: int = 0,
-                  verbose: bool = False) -> WhyNotServer:
+                  verbose: bool = False,
+                  job_workers: int = 2) -> WhyNotServer:
     """Bind a :class:`WhyNotServer` (``port=0`` → ephemeral port).
 
     The caller drives it: ``serve_forever()`` to block (the CLI), or
@@ -521,4 +669,5 @@ def create_server(registry: CatalogueRegistry, *,
     True
     >>> server.shutdown(); server.server_close()
     """
-    return WhyNotServer((host, port), registry, verbose=verbose)
+    return WhyNotServer((host, port), registry, verbose=verbose,
+                        job_workers=job_workers)

@@ -1,12 +1,30 @@
-"""Shared fixtures: the paper's running example and random datasets."""
+"""Shared fixtures: the paper's running example and random datasets.
+
+Also installs a global per-test timeout (:data:`TEST_TIMEOUT_SECONDS`,
+overridable via ``WQRTQ_TEST_TIMEOUT``): the suite exercises a
+threaded HTTP daemon and an async job pool, and a stuck job or a
+never-draining poll loop must fail one test loudly, not hang CI.
+See :mod:`repro._testsupport` for the SIGALRM mechanism.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
+from repro._testsupport import alarm_timeout
 from repro.data import independent, preference_set
 from repro.index import RTree
+
+TEST_TIMEOUT_SECONDS = int(os.environ.get("WQRTQ_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _global_test_timeout(request):
+    with alarm_timeout(TEST_TIMEOUT_SECONDS, request.node.nodeid):
+        yield
 
 
 @pytest.fixture(scope="session")

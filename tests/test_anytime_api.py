@@ -1,0 +1,357 @@
+"""Anytime execution: budgets, steppers, streaming, interleaving.
+
+The contract under test (DESIGN.md "Anytime execution & job
+lifecycle"):
+
+* penalties never increase across refinement rounds;
+* chunked refinement is *equal* (not just similar) to the one-shot
+  answer at the same total sample count and seed;
+* ``Budget`` limits — sample budget, deadline, penalty tolerance —
+  each stop refinement, and the answer always carries ``Quality``;
+* ``Session.ask_stream`` yields at least two answers for a budgeted
+  sampling question, ending on exactly ``Session.ask``'s answer;
+* interleaved batch refinement returns the same answers as
+  head-of-line execution for pure sample budgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mqp import MQPStepper
+from repro.core.mqwk import modify_query_weights_and_k
+from repro.core.mqwk import make_stepper as make_mqwk_stepper
+from repro.core.mwk import modify_weights_and_k
+from repro.core.mwk import make_stepper as make_mwk_stepper
+from repro.core.protocol import Budget, Quality, Question
+from repro.core.registry import get_algorithm
+from repro.core.session import Session
+from repro.core.types import WhyNotQuery
+from repro.data import independent, preference_set, query_point_with_rank
+from repro.engine.context import DatasetContext
+from repro.engine.executor import execute_questions, iter_answers
+
+N = 900
+D = 3
+K = 10
+
+
+@pytest.fixture(scope="module")
+def points():
+    return independent(N, D, seed=23)
+
+
+@pytest.fixture(scope="module")
+def context(points):
+    ctx = DatasetContext(points)
+    ctx.tree
+    return ctx
+
+
+def make_query(points, j, *, rank=61):
+    w = preference_set(1, D, seed=4100 + j)
+    q = query_point_with_rank(points, w[0], rank)
+    return WhyNotQuery(points=points, q=q, k=K, why_not=w)
+
+
+def make_question(points, j, *, algorithm="mwk", budget=None,
+                  options=None, rank=61):
+    query = make_query(points, j, rank=rank)
+    return Question(q=query.q, k=K, why_not=query.why_not,
+                    algorithm=algorithm, budget=budget,
+                    options=options or {}, id=f"any-{j}")
+
+
+class TestBudgetValidation:
+    def test_empty_budget_means_none(self):
+        q = Question(q=[0.2, 0.2], k=2, why_not=[[0.5, 0.5]],
+                     budget=Budget())
+        assert q.budget is None
+
+    def test_budget_accepts_dict_form(self):
+        q = Question(q=[0.2, 0.2], k=2, why_not=[[0.5, 0.5]],
+                     budget={"sample_budget": 10})
+        assert q.budget == Budget(sample_budget=10)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"sample_budget": 0},
+        {"sample_budget": 2.5},
+        {"sample_budget": "lots"},
+        {"deadline_ms": 0},
+        {"deadline_ms": -5},
+        {"deadline_ms": float("inf")},
+        {"target_penalty_tolerance": -0.1},
+        {"target_penalty_tolerance": float("nan")},
+    ])
+    def test_invalid_limits_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Budget(**kwargs)
+
+    def test_unknown_budget_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            Budget.from_dict({"samples": 10})
+
+    def test_budget_round_trips(self):
+        budget = Budget(sample_budget=500, deadline_ms=50.0,
+                        target_penalty_tolerance=0.05)
+        assert Budget.from_dict(budget.to_dict()) == budget
+
+
+class TestStepperContract:
+    """start/refine semantics shared by all three algorithms."""
+
+    def test_mwk_monotone_and_chunk_invariant(self, points):
+        query = make_query(points, 0)
+        one = modify_weights_and_k(query, sample_size=600,
+                                   rng=np.random.default_rng(5))
+        stepper = make_mwk_stepper(query,
+                                   rng=np.random.default_rng(5))
+        penalties = []
+        for chunk in (100, 37, 163, 300):   # awkward, uneven chunks
+            penalties.append(stepper.refine(chunk).penalty)
+        assert all(b <= a for a, b in zip(penalties, penalties[1:]))
+        final = stepper.result()
+        assert final.penalty == one.penalty
+        assert np.array_equal(final.weights_refined,
+                              one.weights_refined)
+        assert final.k_refined == one.k_refined
+        assert stepper.samples_examined == 600
+
+    def test_mqwk_monotone_and_chunk_invariant(self, points):
+        query = make_query(points, 1)
+        one = modify_query_weights_and_k(
+            query, sample_size=40, q_sample_size=24,
+            rng=np.random.default_rng(6))
+        stepper = make_mqwk_stepper(query, sample_size=40,
+                                    rng=np.random.default_rng(6))
+        penalties = [stepper.refine(c).penalty for c in (7, 10, 7)]
+        assert all(b <= a for a, b in zip(penalties, penalties[1:]))
+        final = stepper.result()
+        assert final.penalty == one.penalty
+        assert np.array_equal(final.q_refined, one.q_refined)
+        assert final.k_refined == one.k_refined
+        assert stepper.samples_examined == 24
+
+    def test_mqp_converges_in_one_round(self, points):
+        stepper = MQPStepper(make_query(points, 2))
+        assert not stepper.converged
+        result = stepper.refine(0)
+        assert stepper.converged and stepper.rounds == 1
+        assert result.penalty >= 0.0
+        assert stepper.refine(100) is result   # idempotent after
+
+    def test_registry_start_refine_shape(self, points, context):
+        """The functional spec.start/spec.refine contract."""
+        query = make_query(points, 3)
+        from repro.core.penalty import DEFAULT_PENALTY
+
+        spec = get_algorithm("mwk")
+        assert spec.supports_anytime
+        state = spec.start(query, context=context,
+                           rng=np.random.default_rng(1),
+                           penalty_config=DEFAULT_PENALTY,
+                           options={"sample_size": 200})
+        state, first = spec.refine(state, 100)
+        state, second = spec.refine(state, 100)
+        assert second.penalty <= first.penalty
+        assert state.samples_examined == 200
+        assert state.sample_target == 200
+
+    def test_unregistered_stepper_raises(self, points):
+        from repro.core.registry import (
+            register_algorithm,
+            unregister_algorithm,
+        )
+
+        @register_algorithm("mqp-oneshot-test")
+        def _one_shot(query, *, context, rng, penalty_config,
+                      options):   # pragma: no cover - never run
+            raise AssertionError
+        try:
+            spec = get_algorithm("mqp-oneshot-test")
+            assert not spec.supports_anytime
+            with pytest.raises(ValueError, match="anytime"):
+                spec.start(make_query(points, 3))
+        finally:
+            unregister_algorithm("mqp-oneshot-test")
+
+
+class TestAnytimeAsk:
+    def test_sample_budget_caps_and_stamps_quality(self, points):
+        session = Session(points)
+        question = make_question(points, 4,
+                                 budget=Budget(sample_budget=300))
+        answer = session.ask(question, seed=2)
+        assert answer.ok and answer.valid
+        assert isinstance(answer.quality, Quality)
+        assert answer.quality.samples_examined == 300
+        assert answer.quality.converged
+        assert answer.quality.rounds >= 1
+
+    def test_budgeted_equals_one_shot_at_equal_samples(self, points):
+        """The acceptance property: budget=N ≡ options sample_size=N."""
+        session = Session(points)
+        budgeted = session.ask(make_question(
+            points, 5, budget=Budget(sample_budget=400)), seed=7)
+        plain = session.ask(make_question(
+            points, 5, options={"sample_size": 400}), seed=7)
+        assert plain.quality is None        # legacy path untouched
+        assert budgeted.penalty == plain.penalty
+        assert budgeted.result.k_refined == plain.result.k_refined
+        assert np.array_equal(budgeted.result.weights_refined,
+                              plain.result.weights_refined)
+
+    def test_tolerance_stops_early(self, points):
+        session = Session(points)
+        question = make_question(
+            points, 6,
+            budget=Budget(sample_budget=100_000,
+                          target_penalty_tolerance=1.0))
+        answer = session.ask(question, seed=1)
+        # Tolerance 1.0 is met by the very first round (penalties
+        # live in [0, 1]), so almost none of the budget is spent.
+        assert answer.quality.converged
+        assert answer.quality.samples_examined < 100_000
+
+    def test_deadline_cuts_refinement_short(self, points):
+        session = Session(points)
+        question = make_question(
+            points, 7,
+            budget=Budget(deadline_ms=25.0, sample_budget=10_000_000))
+        answer = session.ask(question, seed=1)
+        assert answer.ok
+        assert not answer.quality.converged
+        assert 0 < answer.quality.samples_examined < 10_000_000
+
+    def test_failed_budgeted_question_is_failed_answer(self, points):
+        session = Session(points)
+        # k > |P| is a catalogue-dependent failure: must surface as a
+        # failed Answer on the anytime path too, never an exception.
+        question = Question(q=points[0] * 0.9, k=N + 5,
+                            why_not=[[1.0, 0.0, 0.0]],
+                            algorithm="mwk",
+                            budget=Budget(sample_budget=100))
+        answer = session.ask(question)
+        assert answer.error is not None
+        assert np.isnan(answer.penalty)
+
+    def test_mqp_budget_single_round(self, points):
+        session = Session(points)
+        answer = session.ask(make_question(
+            points, 8, algorithm="mqp",
+            budget=Budget(sample_budget=500)))
+        assert answer.ok and answer.quality.converged
+        assert answer.quality.rounds == 1
+
+
+class TestAskStream:
+    def test_stream_yields_monotone_answers(self, points):
+        """Acceptance: >= 2 answers, non-increasing penalty, final
+        equals ask()."""
+        session = Session(points)
+        question = make_question(points, 9,
+                                 budget=Budget(sample_budget=480))
+        answers = list(session.ask_stream(question, seed=11))
+        assert len(answers) >= 2
+        penalties = [a.penalty for a in answers]
+        assert all(b <= a for a, b in zip(penalties, penalties[1:]))
+        assert [a.quality.rounds for a in answers] == \
+            list(range(1, len(answers) + 1))
+        final = session.ask(question, seed=11)
+        assert answers[-1].penalty == final.penalty
+        assert answers[-1].quality.samples_examined == \
+            final.quality.samples_examined == 480
+
+    def test_stream_without_budget_still_streams(self, points):
+        session = Session(points)
+        question = make_question(points, 10,
+                                 options={"sample_size": 320})
+        answers = list(session.ask_stream(question, seed=3))
+        assert len(answers) >= 2
+        assert answers[-1].quality.samples_examined == 320
+        one_shot = session.ask(question, seed=3)
+        assert answers[-1].penalty == one_shot.penalty
+
+    def test_stream_chunk_override(self, points):
+        session = Session(points)
+        question = make_question(points, 11,
+                                 budget=Budget(sample_budget=300))
+        answers = list(session.ask_stream(question, seed=3,
+                                          chunk=100))
+        assert len(answers) == 3
+        assert answers[-1].quality.samples_examined == 300
+
+    def test_stream_failed_question_yields_one_failure(self, context,
+                                                       points):
+        question = Question(q=points[0] * 0.9, k=N + 5,
+                            why_not=[[1.0, 0.0, 0.0]],
+                            budget=Budget(sample_budget=10))
+        answers = list(iter_answers(context, question))
+        assert len(answers) == 1
+        assert answers[0].error is not None
+
+
+class TestInterleavedBatch:
+    def test_interleaved_equals_head_of_line_and_workers(
+            self, context, points):
+        questions = [make_question(points, 20 + j,
+                                   budget=Budget(sample_budget=160))
+                     for j in range(5)]
+        interleaved = execute_questions(context, questions, seed=4)
+        serial = execute_questions(context, questions, seed=4,
+                                   interleave=False)
+        pooled = execute_questions(context, questions, seed=4,
+                                   workers=3)
+        for a, b, c in zip(interleaved, serial, pooled):
+            assert a.penalty == b.penalty == c.penalty
+            assert a.quality == b.quality == c.quality
+
+    def test_mixed_batch_budgeted_and_plain(self, context, points):
+        """Budgeted and legacy questions coexist in one batch; the
+        legacy ones keep quality=None and their exact answers."""
+        budgeted = make_question(points, 26,
+                                 budget=Budget(sample_budget=200))
+        plain = make_question(points, 27,
+                              options={"sample_size": 50})
+        answers = execute_questions(context, [budgeted, plain],
+                                    seed=6)
+        assert answers[0].quality is not None
+        assert answers[1].quality is None
+        alone = execute_questions(context, [plain], seed=7)[0]
+        # seed alignment: item index 1 uses seed 6 + 1 = 7 + 0.
+        assert answers[1].penalty == alone.penalty
+
+    def test_batch_deadline_every_item_answers(self, context,
+                                               points):
+        questions = [make_question(
+            points, 30 + j,
+            budget=Budget(sample_budget=5_000_000))
+            for j in range(4)]
+        answers = execute_questions(context, questions, seed=2,
+                                    deadline_ms=120.0)
+        assert all(a.ok for a in answers)
+        assert all(a.quality is not None for a in answers)
+        # The deadline cut the huge budgets short...
+        assert all(a.quality.samples_examined < 5_000_000
+                   for a in answers)
+        # ...but every single item got at least one round.
+        assert all(a.quality.rounds >= 1 for a in answers)
+
+    def test_prefailed_entries_pass_through(self, context, points):
+        from repro.core.protocol import Answer, ErrorInfo
+
+        prefailed = Answer(index=0, algorithm="mwk", result=None,
+                           penalty=float("nan"), valid=False,
+                           error=ErrorInfo(type="ValueError",
+                                           message="bad entry",
+                                           category="validation"))
+        questions = [make_question(points, 40,
+                                   budget=Budget(sample_budget=100)),
+                     prefailed,
+                     make_question(points, 41,
+                                   budget=Budget(sample_budget=100))]
+        answers = execute_questions(context, questions, seed=1)
+        assert answers[1].error.message == "bad entry"
+        assert answers[1].index == 1
+        assert answers[0].ok and answers[2].ok

@@ -1,0 +1,271 @@
+"""Async job API: submit → progress → result → cancel, over real HTTP.
+
+Everything here drives a real ``ThreadingHTTPServer`` through
+:class:`ServiceClient` — the acceptance path for the job surface:
+submit a budgeted batch, watch its progress converge, fetch the
+result, and cancel a long job cooperatively between refinement
+chunks.  The :class:`JobManager` is also exercised directly for the
+lifecycle corners HTTP cannot reach (shutdown, eviction).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.protocol import Budget, Question
+from repro.data import independent, preference_set, query_point_with_rank
+from repro.service import (
+    CatalogueRegistry,
+    JobManager,
+    ServiceClient,
+    ServiceError,
+    create_server,
+)
+
+N = 600
+D = 3
+K = 10
+
+
+@pytest.fixture(scope="module")
+def points():
+    return independent(N, D, seed=31)
+
+
+@pytest.fixture(scope="module")
+def registry(points):
+    reg = CatalogueRegistry()
+    reg.register("shop", points)
+    return reg
+
+
+@pytest.fixture(scope="module")
+def server(registry):
+    srv = create_server(registry, job_workers=2)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(port=server.port)
+
+
+def make_question(points, j, *, budget=None, algorithm="mwk"):
+    w = preference_set(1, D, seed=5200 + j)
+    q = query_point_with_rank(points, w[0], 55)
+    return Question(q=q, k=K, why_not=w, algorithm=algorithm,
+                    budget=budget, id=f"job-q{j}")
+
+
+#: A budget big enough that a job holds still long enough to observe
+#: and cancel, yet each chunk stays fast.
+SLOW = Budget(sample_budget=3_000_000)
+
+
+class TestJobRoundTrip:
+    def test_submit_poll_result(self, client, points):
+        """The acceptance round trip: submit → progress → result."""
+        questions = [make_question(points, j) for j in range(3)]
+        job = client.submit("shop", questions,
+                            budget=Budget(sample_budget=400), seed=5)
+        assert job["status"] in ("queued", "running")
+        assert job["total"] == 3 and job["done"] == 0
+        final = client.wait(job["id"], timeout=60)
+        assert final["status"] == "done"
+        assert final["done"] == 3
+        assert all(p is not None for p in final["penalties"])
+        answers, summary = client.result(job["id"])
+        assert summary["answered"] == 3 and summary["failed"] == 0
+        assert summary["unrefined"] == 0
+        for j, answer in enumerate(answers):
+            assert answer.ok and answer.valid
+            assert answer.question_id == f"job-q{j}"
+            assert answer.quality.samples_examined == 400
+            assert answer.quality.converged
+
+    def test_job_answers_match_session(self, client, registry,
+                                       points):
+        """A job's answers are the library's answers — same seed,
+        same budget, same penalty."""
+        question = make_question(points, 10,
+                                 budget=Budget(sample_budget=300))
+        job = client.submit("shop", [question], seed=9)
+        client.wait(job["id"], timeout=60)
+        (answer,), _ = client.result(job["id"])
+        local = registry.session("shop").ask(question, seed=9)
+        assert answer.penalty == local.penalty
+        # rounds is an execution detail (jobs refine in bounded
+        # chunks); the budget-visible fields must agree exactly.
+        assert answer.quality.samples_examined == \
+            local.quality.samples_examined
+        assert answer.quality.converged == local.quality.converged
+
+    def test_progress_is_observable_mid_flight(self, client, points):
+        questions = [make_question(points, 20 + j,
+                                   budget=SLOW) for j in range(2)]
+        job = client.submit("shop", questions)
+        try:
+            deadline = time.monotonic() + 30
+            seen_penalty = False
+            while time.monotonic() < deadline and not seen_penalty:
+                progress = client.poll(job["id"])
+                seen_penalty = any(p is not None
+                                   for p in progress["penalties"])
+                time.sleep(0.02)
+            assert seen_penalty, "no per-item penalty ever surfaced"
+        finally:
+            client.cancel(job["id"])
+            client.wait(job["id"], timeout=60)
+
+    def test_jobs_listing_contains_submissions(self, client, points):
+        job = client.submit("shop", [make_question(
+            points, 30, budget=Budget(sample_budget=64))])
+        client.wait(job["id"], timeout=60)
+        assert job["id"] in [entry["id"] for entry in client.jobs()]
+
+
+class TestJobCancellation:
+    def test_cancel_between_chunks_keeps_partial_answers(
+            self, client, points):
+        """Acceptance: DELETE honors cancellation between chunks —
+        the job stops refining, keeps what it has, and its result is
+        collectible."""
+        questions = [make_question(points, 40 + j, budget=SLOW)
+                     for j in range(2)]
+        job = client.submit("shop", questions)
+        # Let refinement actually start before cancelling.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if client.poll(job["id"])["status"] == "running":
+                break
+            time.sleep(0.01)
+        time.sleep(0.1)
+        cancelled = client.cancel(job["id"])
+        assert cancelled["status"] in ("cancelling", "cancelled")
+        final = client.wait(job["id"], timeout=60)
+        assert final["status"] == "cancelled"
+        answers, summary = client.result(job["id"])
+        refined = [a for a in answers if a is not None]
+        assert refined, "cancellation should keep refined answers"
+        for answer in refined:
+            assert answer.ok
+            # Cut short: far below the requested budget, not converged.
+            assert answer.quality.samples_examined \
+                < SLOW.sample_budget
+            assert not answer.quality.converged
+
+    def test_cancel_is_idempotent(self, client, points):
+        job = client.submit("shop", [make_question(
+            points, 50, budget=SLOW)])
+        client.cancel(job["id"])
+        client.cancel(job["id"])   # second DELETE is harmless
+        final = client.wait(job["id"], timeout=60)
+        assert final["status"] == "cancelled"
+
+    def test_cancel_queued_job_never_runs(self, registry, points):
+        manager = JobManager(registry, workers=1)
+        try:
+            blocker = manager.submit("shop", [make_question(
+                points, 60, budget=SLOW)])
+            queued = manager.submit("shop", [make_question(
+                points, 61, budget=Budget(sample_budget=64))])
+            manager.cancel(queued.id)
+            manager.cancel(blocker.id)
+            deadline = time.monotonic() + 30
+            while (time.monotonic() < deadline
+                   and not queued.is_finished):
+                time.sleep(0.01)
+            assert queued.status == "cancelled"
+            assert queued.started is None   # never claimed a worker
+        finally:
+            manager.shutdown()
+
+
+class TestJobErrors:
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.poll("job-nope")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client.cancel("job-nope")
+        assert err.value.status == 404
+
+    def test_result_before_finished_409(self, client, points):
+        job = client.submit("shop", [make_question(
+            points, 70, budget=SLOW)])
+        try:
+            with pytest.raises(ServiceError) as err:
+                client.result(job["id"])
+            assert err.value.status == 409
+        finally:
+            client.cancel(job["id"])
+            client.wait(job["id"], timeout=60)
+
+    def test_unknown_catalogue_400(self, client, points):
+        with pytest.raises(ServiceError) as err:
+            client.submit("nope", [make_question(points, 71)])
+        assert err.value.status == 400
+
+    def test_empty_batch_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit("shop", [])
+        assert err.value.status == 400
+
+    def test_poisoned_item_fails_per_item_not_job(self, client,
+                                                  points):
+        """A question that fails catalogue-dependent validation
+        becomes a failed answer inside the job, like /batch."""
+        bad = Question(q=points[0] * 0.9, k=N + 1,
+                       why_not=[[1.0, 0.0, 0.0]],
+                       budget=Budget(sample_budget=64))
+        good = make_question(points, 72,
+                             budget=Budget(sample_budget=64))
+        job = client.submit("shop", [bad, good])
+        final = client.wait(job["id"], timeout=60)
+        assert final["status"] == "done"
+        answers, summary = client.result(job["id"])
+        assert summary["failed"] == 1 and summary["answered"] == 1
+        assert answers[0].error is not None
+        assert answers[1].ok
+
+
+class TestJobManagerLifecycle:
+    def test_shutdown_cancels_and_joins(self, registry, points):
+        manager = JobManager(registry, workers=1)
+        job = manager.submit("shop", [make_question(
+            points, 80, budget=SLOW)])
+        time.sleep(0.1)
+        manager.shutdown()
+        assert job.status in ("cancelled", "done")
+        with pytest.raises(ValueError, match="shut down"):
+            manager.submit("shop", [make_question(points, 81)])
+        manager.shutdown()   # idempotent
+
+    def test_finished_jobs_evicted_beyond_keep(self, registry,
+                                               points):
+        manager = JobManager(registry, workers=1, keep=2)
+        try:
+            ids = []
+            for j in range(4):
+                job = manager.submit("shop", [make_question(
+                    points, 90 + j,
+                    budget=Budget(sample_budget=64))])
+                ids.append(job.id)
+                deadline = time.monotonic() + 30
+                while (time.monotonic() < deadline
+                       and not job.is_finished):
+                    time.sleep(0.01)
+            remembered = [job.id for job in manager.jobs()]
+            assert ids[-1] in remembered
+            assert len(remembered) <= 3   # keep + in-flight slack
+            assert ids[0] not in remembered
+        finally:
+            manager.shutdown()

@@ -300,3 +300,63 @@ class TestAlgorithmRegistry:
         finally:
             unregister_algorithm("echo-mqp")
         assert "echo-mqp" not in algorithm_names()
+
+
+class TestSchemaV3:
+    """Budget on Question, Quality on Answer — wire round trips."""
+
+    def test_question_budget_round_trips(self):
+        from repro.core.protocol import Budget
+
+        question = Question(
+            q=[0.2, 0.3], k=3, why_not=[[0.5, 0.5]],
+            algorithm="mwk",
+            budget=Budget(sample_budget=500, deadline_ms=50.0),
+            id="b1")
+        payload = question.to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["budget"] == {
+            "sample_budget": 500, "deadline_ms": 50.0,
+            "target_penalty_tolerance": None}
+        again = Question.from_dict(
+            json.loads(json.dumps(payload)))
+        assert again == question
+        assert again.budget == question.budget
+
+    def test_unbudgeted_question_serializes_null_budget(self):
+        payload = Question(q=[0.2, 0.3], k=3,
+                           why_not=[[0.5, 0.5]]).to_dict()
+        assert payload["budget"] is None
+        assert Question.from_dict(payload).budget is None
+
+    def test_answer_quality_round_trips(self):
+        from repro.core.protocol import Quality
+
+        answer = Answer(index=0, algorithm="mwk", result=None,
+                        penalty=0.25, valid=True,
+                        quality=Quality(samples_examined=640,
+                                        converged=False, rounds=3))
+        payload = json.loads(json.dumps(answer.to_dict()))
+        assert payload["quality"] == {
+            "samples_examined": 640, "converged": False,
+            "rounds": 3}
+        again = Answer.from_dict(payload)
+        assert again.quality == answer.quality
+        assert again == answer
+
+    def test_quality_none_round_trips(self):
+        answer = Answer(index=0, algorithm="mqp", result=None,
+                        penalty=0.1, valid=True)
+        payload = answer.to_dict()
+        assert payload["quality"] is None
+        assert Answer.from_dict(payload).quality is None
+
+    def test_budget_in_question_hash_and_eq(self):
+        from repro.core.protocol import Budget
+
+        base = dict(q=[0.2, 0.3], k=3, why_not=[[0.5, 0.5]])
+        a = Question(**base, budget=Budget(sample_budget=10))
+        b = Question(**base, budget=Budget(sample_budget=10))
+        c = Question(**base, budget=Budget(sample_budget=11))
+        assert a == b and hash(a) == hash(b)
+        assert a != c

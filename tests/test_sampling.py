@@ -144,3 +144,70 @@ class TestRanksUnderWeights:
         b = ranks_under_weights(wts, inc, res.n_dominating, q,
                                 chunk_floats=128)
         assert a.tolist() == b.tolist()
+
+
+class TestInjectWhyNotVectors:
+    """Regression for the factored sample-pool injection helper."""
+
+    def test_matches_manual_vstack_concatenate(self, rng):
+        from repro.core.sampling import inject_why_not_vectors
+
+        samples = rng.dirichlet(np.ones(3), size=10)
+        sample_ranks = rng.integers(1, 20, size=10)
+        why_not = rng.dirichlet(np.ones(3), size=2)
+        orig_ranks = np.array([7, 12])
+        combined, ranks = inject_why_not_vectors(
+            samples, sample_ranks, why_not, orig_ranks)
+        assert np.array_equal(combined,
+                              np.vstack([samples, why_not]))
+        assert np.array_equal(ranks, np.concatenate([sample_ranks,
+                                                     orig_ranks]))
+
+    def test_empty_sample_pool(self, rng):
+        from repro.core.sampling import inject_why_not_vectors
+
+        why_not = rng.dirichlet(np.ones(3), size=2)
+        combined, ranks = inject_why_not_vectors(
+            np.empty((0, 3)), np.empty(0, dtype=int), why_not,
+            np.array([3, 4]))
+        assert np.array_equal(combined, why_not)
+        assert ranks.tolist() == [3, 4]
+
+
+class TestChunkInvariantStreams:
+    """The anytime property at its root: sample ``i`` depends on the
+    stream's entropy and position only, never on read chunking."""
+
+    def _space(self, small_dataset):
+        q = np.full(3, 0.45)
+        res = find_incomparable(small_dataset, q)
+        return small_dataset[res.incomparable_ids], q
+
+    def test_weight_stream_prefix_property(self, small_dataset):
+        from repro.core.sampling import WeightSampleStream
+
+        inc, q = self._space(small_dataset)
+        one = WeightSampleStream(inc, q,
+                                 np.random.default_rng(3)).take(500)
+        stream = WeightSampleStream(inc, q, np.random.default_rng(3))
+        parts = [stream.take(n) for n in (13, 200, 87, 200)]
+        assert np.array_equal(np.concatenate(parts), one)
+
+    def test_weight_stream_empty_space_raises(self):
+        from repro.core.sampling import WeightSampleStream
+
+        with pytest.raises(ValueError, match="empty sample space"):
+            WeightSampleStream(np.empty((0, 3)), np.full(3, 0.5),
+                               np.random.default_rng(0))
+
+    def test_query_point_stream_prefix_property(self):
+        from repro.core.sampling import QueryPointSampleStream
+
+        lo, hi = np.zeros(3), np.full(3, 0.8)
+        one = QueryPointSampleStream(
+            lo, hi, np.random.default_rng(9)).take(300)
+        stream = QueryPointSampleStream(lo, hi,
+                                        np.random.default_rng(9))
+        parts = [stream.take(n) for n in (1, 150, 149)]
+        assert np.array_equal(np.concatenate(parts), one)
+        assert np.all(one >= lo) and np.all(one <= hi)

@@ -833,7 +833,9 @@ class TestWireSchema:
         names = [entry["name"] for entry in client.algorithms()]
         assert names == list(algorithm_names())
         for entry in client.algorithms():
-            assert set(entry) == {"name", "summary", "options"}
+            assert set(entry) == {"name", "summary", "options",
+                                  "anytime"}
+            assert entry["anytime"] is True   # all builtins step
 
     def test_wire_item_survives_round_trip(self, client, points):
         """to_dict → HTTP/json → from_dict → to_dict is the identity,
@@ -846,3 +848,104 @@ class TestWireSchema:
         for answer in answers:
             again = Answer.from_dict(answer.to_dict())
             assert again.to_dict() == answer.to_dict()
+
+
+class TestSchemaNegotiationMatrix:
+    """Client stamps × server renders, across v1/v2/v3.
+
+    The server negotiates *down*: a request stamped with an older
+    supported version receives payloads rendered at that version —
+    ``quality`` exists only in v3, ``catalogue_version`` only in
+    v2+ — while unstamped and current-version requests get the full
+    current schema.
+    """
+
+    EXPECTATIONS = {
+        1: {"quality": False, "catalogue_version": False},
+        2: {"quality": False, "catalogue_version": True},
+        SCHEMA_VERSION: {"quality": True, "catalogue_version": True},
+    }
+
+    @staticmethod
+    def _flat(points, j):
+        q, k, wm = make_question(points, 90 + j)
+        return {"q": q.tolist(), "k": k, "why_not": wm.tolist()}
+
+    @pytest.mark.parametrize("version", sorted(EXPECTATIONS))
+    def test_answer_rendered_at_request_version(self, client, points,
+                                                version):
+        payload = self._flat(points, 0)
+        payload.update(catalogue="demo", schema_version=version)
+        response = client._request("/answer", payload)
+        expect = self.EXPECTATIONS[version]
+        assert response["schema_version"] == version
+        item = response["item"]
+        assert item["schema_version"] == version
+        assert item["error"] is None
+        assert ("quality" in item) == expect["quality"]
+        assert ("catalogue_version" in item) == \
+            expect["catalogue_version"]
+
+    @pytest.mark.parametrize("version", sorted(EXPECTATIONS))
+    def test_batch_rendered_at_request_version(self, client, points,
+                                               version):
+        response = client._request("/batch", {
+            "schema_version": version, "catalogue": "demo",
+            "questions": [self._flat(points, 1),
+                          self._flat(points, 2)]})
+        expect = self.EXPECTATIONS[version]
+        assert response["schema_version"] == version
+        for item in response["items"]:
+            assert item["schema_version"] == version
+            assert ("quality" in item) == expect["quality"]
+            assert ("catalogue_version" in item) == \
+                expect["catalogue_version"]
+
+    def test_unstamped_request_gets_current_schema(self, client,
+                                                   points):
+        payload = self._flat(points, 3)
+        payload.update(catalogue="demo")
+        response = client._request("/answer", payload)
+        assert response["schema_version"] == SCHEMA_VERSION
+        assert "quality" in response["item"]
+        assert "catalogue_version" in response["item"]
+
+    def test_budgeted_v3_answer_carries_quality(self, client, points):
+        from repro.core.protocol import Budget
+
+        question = make_typed(points, 91)
+        import dataclasses as _dc
+        question = _dc.replace(question,
+                               budget=Budget(sample_budget=128),
+                               algorithm="mwk")
+        answer = client.ask("demo", question, seed=2)
+        assert answer.quality is not None
+        assert answer.quality.samples_examined == 128
+
+    def test_v2_question_payload_decodes_without_budget(self):
+        payload = {"schema_version": 2, "q": [0.2, 0.2], "k": 2,
+                   "why_not": [[0.5, 0.5]], "algorithm": "mqp"}
+        question = Question.from_dict(payload)
+        assert question.budget is None
+
+    def test_v2_answer_payload_decodes_without_quality(self):
+        payload = {"schema_version": 2, "id": None, "index": 0,
+                   "algorithm": "mqp", "valid": False,
+                   "penalty": None,
+                   "error": {"type": "ValueError", "message": "x",
+                             "category": "validation"},
+                   "elapsed": 0.0, "catalogue_version": 3,
+                   "result": None}
+        answer = Answer.from_dict(payload)
+        assert answer.quality is None
+        assert answer.catalogue_version == 3
+
+    def test_future_version_rejected_both_sides(self, client, points):
+        future = {"schema_version": SCHEMA_VERSION + 1,
+                  "catalogue": "demo"}
+        future.update(self._flat(points, 4))
+        with pytest.raises(ServiceError) as err:
+            client._request("/answer", future)
+        assert err.value.status == 400
+        with pytest.raises(ValueError, match="schema_version"):
+            Answer.from_dict({"schema_version": SCHEMA_VERSION + 1})
