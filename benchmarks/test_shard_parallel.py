@@ -1,0 +1,142 @@
+"""Serving-scale benchmark: multi-process ``/batch`` vs single-process.
+
+Tentpole acceptance for the worker-pool tier: a warm ``/batch``
+request against a daemon with ``--workers 4`` must answer a
+CPU-bound mixed workload at >= 2x the single-process throughput.
+The refinement algorithms spend their time in Python stepper code
+(the GIL-bound half the thread pool cannot parallelize), so the
+speedup has to come from real processes attached to the shared
+snapshot.
+
+The assertion is gated on ``os.cpu_count() >= 4``: on a 1-2 core
+box four workers time-slice one core and the ratio is physically
+capped near 1x.  Throughput is always measured and printed, so the
+BENCH trajectory records serving scale on every run.
+
+Byte-identity of the pooled answers is asserted here too — a
+throughput win that changed the answers would be a regression, not
+a result.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.data import independent, preference_set, query_point_with_rank
+from repro.service import CatalogueRegistry, ServiceClient, create_server
+
+N = 4_000
+D = 3
+K = 10
+RANK = 51
+SAMPLE = 50
+N_QUESTIONS = 40
+POOL_WORKERS = 4
+TIMED_ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def catalogue():
+    return independent(N, D, seed=0)
+
+
+@pytest.fixture(scope="module")
+def questions(catalogue):
+    """A mixed CPU-bound workload: sampling algorithms dominate."""
+    out = []
+    for j in range(N_QUESTIONS):
+        w = preference_set(1, D, seed=7000 + j)
+        q = query_point_with_rank(catalogue, w[0], RANK)
+        out.append((q, K, w))
+    return out
+
+
+def _serve(registry, **kwargs):
+    server = create_server(registry, **kwargs)
+    thread = threading.Thread(target=server.serve_forever,
+                              daemon=True)
+    thread.start()
+    return server, thread
+
+
+@pytest.fixture(scope="module")
+def single_process(catalogue):
+    registry = CatalogueRegistry()
+    registry.register("bench", catalogue)
+    server, thread = _serve(registry)
+    yield ServiceClient(port=server.port)
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def pooled(catalogue):
+    registry = CatalogueRegistry()
+    registry.register("bench", catalogue)
+    server, thread = _serve(registry, workers=POOL_WORKERS)
+    yield ServiceClient(port=server.port)
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def run_batch(client, questions):
+    response = client.batch("bench", questions, algorithm="mwk",
+                            sample_size=SAMPLE, seed=0, workers=1)
+    assert response["summary"]["failed"] == 0
+    return response
+
+
+def throughput(client, questions) -> tuple[float, dict]:
+    run_batch(client, questions)          # warm: tree, caches, pool
+    best = 0.0
+    response = None
+    for _ in range(TIMED_ROUNDS):
+        start = time.perf_counter()
+        response = run_batch(client, questions)
+        seconds = time.perf_counter() - start
+        best = max(best, len(questions) / seconds)
+    return best, response
+
+
+def test_pooled_batch_throughput(single_process, pooled, questions):
+    base_qps, base_response = throughput(single_process, questions)
+    pool_qps, pool_response = throughput(pooled, questions)
+
+    # Identity first: the pooled items must match the single-process
+    # ones exactly (elapsed is per-item wall time, the only
+    # legitimately differing field).
+    def strip(items):
+        return [{key: value for key, value in item.items()
+                 if key != "elapsed"} for item in items]
+
+    assert strip(pool_response["items"]) \
+        == strip(base_response["items"])
+
+    speedup = pool_qps / base_qps
+    print(f"\n/batch throughput ({N_QUESTIONS} questions, mwk "
+          f"sample_size={SAMPLE}, n={N}): "
+          f"single-process {base_qps:.1f} q/s, "
+          f"{POOL_WORKERS}-worker pool {pool_qps:.1f} q/s, "
+          f"speedup {speedup:.2f}x "
+          f"(cpus={os.cpu_count()})")
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"4-worker /batch is only {speedup:.2f}x the "
+            f"single-process baseline")
+
+
+def test_pooled_stats_attribute_work(pooled, questions):
+    """The pool's /stats counters must attribute the batch work."""
+    run_batch(pooled, questions)
+    stats = pooled.stats()["workers"]
+    assert stats["workers"] == POOL_WORKERS
+    per_worker = [w["questions"] for w in stats["per_worker"]]
+    assert sum(per_worker) >= N_QUESTIONS
+    # Contiguous slicing: every worker got a share of the batch.
+    assert all(count > 0 for count in per_worker)

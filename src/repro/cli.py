@@ -25,7 +25,10 @@ Subcommands
     (:mod:`repro.service`): named catalogues — generated and/or
     loaded from ``.npz`` archives — each behind one warmed,
     LRU-bounded context, answering ``/answer`` and ``/batch``
-    requests until interrupted.
+    requests until interrupted.  ``--workers N`` executes in ``N``
+    worker processes attached to zero-copy shared-memory snapshots;
+    ``--shards M`` additionally scatter-gathers each shardable
+    question over ``M`` catalogue row ranges.
 ``catalogue``
     Inspect or mutate a catalogue on a *running* ``wqrtq serve``
     daemon: ``show`` (version, size, mutation counters), ``add`` /
@@ -52,6 +55,7 @@ Examples
     wqrtq batch --questions 50 --submit --watch --port 8977
     wqrtq serve --port 8977 -n 10000 --max-partitions 1024
     wqrtq serve --port 0 --load laptops=data/laptops.npz
+    wqrtq serve --port 0 -n 100000 --workers 4 --shards 4
     wqrtq catalogue show laptops --port 8977
     wqrtq catalogue add laptops --products '[[0.4, 0.1, 0.2]]'
     wqrtq catalogue remove laptops --ids 17,23
@@ -394,9 +398,13 @@ def _cmd_serve(args) -> int:
 
     server = create_server(registry, host=args.host, port=args.port,
                            verbose=args.verbose,
-                           job_workers=args.job_workers)
+                           job_workers=args.job_workers,
+                           workers=args.workers, shards=args.shards)
     from repro.core.registry import algorithm_names
     print(f"algorithms: {', '.join(algorithm_names())}", flush=True)
+    if args.workers > 0:
+        print(f"worker pool: {args.workers} process(es), "
+              f"{args.shards} shard(s)", flush=True)
     for entry in registry.describe():
         print(f"catalogue: {entry['name']} (n={entry['n']}, "
               f"d={entry['d']}, "
@@ -619,6 +627,13 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--max-box-caches", type=int, default=None,
                          help="LRU bound on cached box traversals "
                               "per catalogue")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="worker processes answering over "
+                              "shared-memory snapshots (0 = "
+                              "single-process threaded execution)")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="catalogue row-range fan-out per "
+                              "shardable question (needs --workers)")
     p_serve.add_argument("--job-workers", type=int, default=2,
                          help="async job worker threads "
                               "(POST /jobs)")

@@ -132,6 +132,27 @@ class IncomparableCache:
             self.candidates = pts[self.candidate_ids]
             self.tree_traversals = 0
 
+    @classmethod
+    def from_candidates(cls, points, q,
+                        candidate_ids) -> "IncomparableCache":
+        """Build a cache from an already-known candidate id set.
+
+        The scatter-gather merge path: shard workers computed the
+        not-dominated-by-``q`` rows, so the front door's finisher can
+        seed the cache without any traversal.  Only the candidate
+        *set* matters downstream — :meth:`partition` output is
+        consumed order-canonicalized — so ``candidate_ids`` may be in
+        any order (the merge ships them sorted ascending).
+        """
+        cache = object.__new__(cls)
+        cache.q = np.asarray(q, dtype=np.float64)
+        cache.candidate_ids = np.asarray(candidate_ids,
+                                         dtype=np.int64)
+        cache.candidates = np.asarray(
+            points, dtype=np.float64)[cache.candidate_ids]
+        cache.tree_traversals = 0
+        return cache
+
     def remapped(self, row_map: np.ndarray) -> "IncomparableCache":
         """This cache with its candidate ids renumbered.
 

@@ -32,7 +32,9 @@ from repro.qp.solver import QPStatus
 
 
 def modify_query_point(query: WhyNotQuery, *,
-                       use_rtree: bool = True) -> MQPResult:
+                       use_rtree: bool = True,
+                       kth: tuple[np.ndarray, np.ndarray] | None = None,
+                       ) -> MQPResult:
     """Run Algorithm 1 and return the refined query point.
 
     Parameters
@@ -42,6 +44,10 @@ def modify_query_point(query: WhyNotQuery, *,
     use_rtree:
         When False, the k-th points are found by sequential scan
         instead of BRS (ablation hook; identical results).
+    kth:
+        Optional precomputed ``(ids, scores)`` of the per-vector k-th
+        ranked points (shape ``(m,)`` each), e.g. from a sharded
+        scatter-gather merge; skips the retrieval step entirely.
 
     Raises
     ------
@@ -49,8 +55,13 @@ def modify_query_point(query: WhyNotQuery, *,
         If the interior-point solver fails to converge (should not
         happen: the program is always feasible).
     """
-    source = query.rtree if use_rtree else query.points
-    kth_ids, kth_scores = kth_points_for(source, query.why_not, query.k)
+    if kth is not None:
+        kth_ids = np.asarray(kth[0], dtype=np.int64)
+        kth_scores = np.asarray(kth[1], dtype=np.float64)
+    else:
+        source = query.rtree if use_rtree else query.points
+        kth_ids, kth_scores = kth_points_for(source, query.why_not,
+                                             query.k)
 
     result = closest_point_in_halfspaces(
         query.q,
@@ -89,9 +100,11 @@ class MQPStepper:
     min_chunk = 1
     round_chunk = 1
 
-    def __init__(self, query: WhyNotQuery, *, use_rtree: bool = True):
+    def __init__(self, query: WhyNotQuery, *, use_rtree: bool = True,
+                 kth: tuple[np.ndarray, np.ndarray] | None = None):
         self._query = query
         self._use_rtree = use_rtree
+        self._kth = kth
         self._result: MQPResult | None = None
         self.samples_examined = 0
         self.rounds = 0
@@ -104,7 +117,8 @@ class MQPStepper:
         self.rounds += 1
         if self._result is None:
             self._result = modify_query_point(
-                self._query, use_rtree=self._use_rtree)
+                self._query, use_rtree=self._use_rtree,
+                kth=self._kth)
             self.samples_examined = 1
         return self._result
 

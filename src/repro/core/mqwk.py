@@ -76,6 +76,8 @@ class MQWKStepper:
                  config: PenaltyConfig = DEFAULT_PENALTY,
                  include_originals: bool = True,
                  use_reuse: bool = True, context=None,
+                 cache: IncomparableCache | None = None,
+                 kth: tuple[np.ndarray, np.ndarray] | None = None,
                  sample_target: int = 800):
         rng = rng if rng is not None else np.random.default_rng(0)
         self._query = query
@@ -86,11 +88,16 @@ class MQWKStepper:
         self.samples_examined = 0
         self.rounds = 0
 
-        self._mqp = modify_query_point(query)
+        self._mqp = modify_query_point(query, kth=kth)
         q_min = self._mqp.q_refined
 
+        # Cache resolution: an explicitly injected cache (scatter-
+        # gather merge) wins over the context's LRU, which wins over a
+        # fresh traversal.
         if not use_reuse:
             self._cache = None
+        elif cache is not None:
+            self._cache = cache
         elif context is not None:
             self._cache = context.box_cache(query.q)
         else:
@@ -188,7 +195,10 @@ def make_stepper(query: WhyNotQuery, *, sample_size: int = 800,
                  rng: np.random.Generator | None = None,
                  config: PenaltyConfig = DEFAULT_PENALTY,
                  include_originals: bool = True,
-                 use_reuse: bool = True, context=None) -> MQWKStepper:
+                 use_reuse: bool = True, context=None,
+                 cache: IncomparableCache | None = None,
+                 kth: tuple[np.ndarray, np.ndarray] | None = None,
+                 ) -> MQWKStepper:
     """Build an :class:`MQWKStepper`; ``q_sample_size`` (default:
     ``sample_size``) becomes its default refinement target."""
     q_samples = (q_sample_size if q_sample_size is not None
@@ -197,6 +207,7 @@ def make_stepper(query: WhyNotQuery, *, sample_size: int = 800,
                        config=config,
                        include_originals=include_originals,
                        use_reuse=use_reuse, context=context,
+                       cache=cache, kth=kth,
                        sample_target=q_samples)
 
 
@@ -207,7 +218,11 @@ def modify_query_weights_and_k(query: WhyNotQuery, *,
                                config: PenaltyConfig = DEFAULT_PENALTY,
                                include_originals: bool = True,
                                use_reuse: bool = True,
-                               context=None) -> MQWKResult:
+                               context=None,
+                               cache: IncomparableCache | None = None,
+                               kth: tuple[np.ndarray,
+                                          np.ndarray] | None = None,
+                               ) -> MQWKResult:
     """Run Algorithm 3 and return the best joint refinement.
 
     The one-shot form: an :class:`MQWKStepper` refined for a single
@@ -239,10 +254,17 @@ def modify_query_weights_and_k(query: WhyNotQuery, *,
         fetched from (and stored in) the context, so repeated
         questions about one product pay the traversal once.  Ignored
         when ``use_reuse`` is False.
+    cache:
+        Optional pre-built :class:`IncomparableCache` for ``q`` (the
+        sharded scatter-gather merge path); wins over ``context``.
+    kth:
+        Optional precomputed per-vector k-th ``(ids, scores)``,
+        forwarded to the inner MQP run.
     """
     stepper = make_stepper(query, sample_size=sample_size,
                            q_sample_size=q_sample_size, rng=rng,
                            config=config,
                            include_originals=include_originals,
-                           use_reuse=use_reuse, context=context)
+                           use_reuse=use_reuse, context=context,
+                           cache=cache, kth=kth)
     return stepper.refine(stepper.sample_target)

@@ -45,8 +45,10 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.core.incomparable import IncomparableResult
 from repro.core.registry import get_algorithm
 from repro.data.io import result_from_dict, result_to_dict
+from repro.geometry.dominance import dominated_by_mask, dominates_mask
 from repro.geometry.vectors import is_valid_weight
 
 #: Version of the dict/wire encoding.  Bump on any change to the
@@ -79,9 +81,15 @@ __all__ = [
     "Answer",
     "Budget",
     "ErrorInfo",
+    "Precompute",
     "Quality",
     "Question",
+    "ShardPartial",
     "check_schema_version",
+    "compute_shard_partial",
+    "merge_shard_partials",
+    "shard_plan",
+    "shard_ranges",
     "summarize_answers",
 ]
 
@@ -519,6 +527,14 @@ class Question:
                      self.algorithm, tuple(sorted(self.options.items())),
                      self.budget, self.id))
 
+    def __reduce__(self):
+        # ``options`` is a mappingproxy (see ``__post_init__``), which
+        # the default dataclass pickling chokes on; rebuild through the
+        # constructor so worker IPC re-validates exactly once.
+        return (Question, (np.asarray(self.q), self.k,
+                           np.asarray(self.why_not), self.algorithm,
+                           dict(self.options), self.budget, self.id))
+
 
 @dataclass(frozen=True, eq=False)
 class Answer:
@@ -632,3 +648,188 @@ def summarize_answers(answers, *, wall_seconds: float | None = None,
     if wall_seconds is not None:
         summary["wall_seconds"] = float(wall_seconds)
     return summary
+
+
+# ---------------------------------------------------------------------------
+# Partial answers for sharded execution (scatter-gather merge).
+#
+# A Question fanned out over catalogue row ranges cannot merge three
+# *refined* answers — MQP/MWK/MQWK outputs are not composable.  What
+# *is* composable is the catalogue-wide precomputation each algorithm
+# starts from: the per-weight k-th ranked point (an order statistic of
+# a total order, so the global top-k is contained in the union of
+# per-shard top-k's) and the FindIncom dominance partition (per-row
+# predicates, so global sets are unions of per-shard sets).  Shards
+# therefore return a :class:`ShardPartial`; the front door merges them
+# into a :class:`Precompute` and hands it to one full-snapshot worker,
+# which runs the refinement exactly as a single process would — same
+# floats, same tie-breaks, byte-identical Answer.
+#
+# Byte-identity fine print: shard scores use the per-weight gemv form
+# ``points @ w`` — the same BLAS call BRS applies to leaf rows — not
+# the batched gemm of ``kth_scores_batch``, because gemm and gemv can
+# legitimately disagree in the last bits (see RANK_EPS in
+# :mod:`repro.engine.kernels`) and the merged k-th *score* feeds the
+# MQP quadratic program verbatim.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPartial:
+    """One shard's contribution to a fanned-out question.
+
+    ``[start, stop)`` is the catalogue row range the shard covered;
+    all ids are global row ids.  Fields are ``None`` when the
+    question's algorithm does not need that precomputation (see
+    ``AlgorithmSpec.shard_needs``).
+    """
+
+    start: int
+    stop: int
+    #: Global ids of shard rows dominating / incomparable-with /
+    #: equal-to ``q`` (the ``FindIncom`` partition; dominated rows are
+    #: never needed downstream and are not shipped).
+    dominating_ids: np.ndarray | None = None
+    incomparable_ids: np.ndarray | None = None
+    equal_ids: np.ndarray | None = None
+    #: Per why-not vector: the shard's ``min(k, stop - start)``
+    #: smallest ``(score, id)`` pairs in ascending ``(score, id)``
+    #: order, shape ``(m, min(k, stop - start))``.
+    kth_ids: np.ndarray | None = None
+    kth_scores: np.ndarray | None = None
+
+
+@dataclass(frozen=True)
+class Precompute:
+    """Merged catalogue-wide precomputation injected into a finisher.
+
+    ``incomparable`` reproduces ``find_incomparable(tree, q)`` (ids
+    sorted ascending — the steppers canonicalize order anyway),
+    ``candidate_ids`` reproduces the box-cache candidate set
+    (everything *not* dominated by ``q``: D ∪ I ∪ equal rows), and
+    ``kth_ids``/``kth_scores`` reproduce ``BRSEngine.kth_point`` per
+    why-not vector.  ``kth_*`` is ``None`` when the catalogue has
+    fewer than ``k`` points — the finisher then fails exactly like a
+    single process.
+    """
+
+    incomparable: IncomparableResult | None = None
+    candidate_ids: np.ndarray | None = None
+    kth_ids: np.ndarray | None = None
+    kth_scores: np.ndarray | None = None
+
+
+def shard_ranges(n: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``n`` catalogue rows into at most ``shards`` contiguous,
+    non-empty, near-equal ``[start, stop)`` ranges."""
+    n = int(n)
+    shards = max(1, min(int(shards), n))
+    bounds = np.linspace(0, n, shards + 1).astype(np.int64)
+    return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])]
+
+
+def shard_plan(question: Question) -> tuple[str, ...] | None:
+    """Which partials a shard must compute for ``question``.
+
+    Returns ``None`` when the question cannot be sharded — the
+    algorithm declares no ``shard_needs``, or an option selects a
+    non-default code path whose floats a merge cannot reproduce
+    (``use_rtree=False`` scores via the batched gemm kernel, which
+    may differ from the shard gemv in the last bits).  Unshardable
+    questions run whole on a single full-snapshot worker.
+    """
+    needs = get_algorithm(question.algorithm).shard_needs
+    if not needs:
+        return None
+    if question.options.get("use_rtree") is False:
+        return None
+    return needs
+
+
+def compute_shard_partial(points, start: int,
+                          question: Question) -> ShardPartial:
+    """Run the shard-local half of the scatter-gather on one row range.
+
+    ``points`` are the rows ``[start, start + len(points))`` of the
+    catalogue (typically a zero-copy view of a shared-memory
+    snapshot).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    needs = shard_plan(question)
+    if needs is None:
+        raise ValueError(f"algorithm {question.algorithm!r} has no "
+                         f"shard plan for this question")
+    stop = start + int(pts.shape[0])
+    dom_ids = inc_ids = eq_ids = kth_ids = kth_scores = None
+    if "partition" in needs:
+        qv = np.asarray(question.q, dtype=np.float64)
+        dom = dominates_mask(pts, qv)
+        sub = dominated_by_mask(pts, qv)
+        equal = np.all(pts == qv, axis=1)
+        ids = np.arange(start, stop, dtype=np.int64)
+        dom_ids = ids[dom]
+        inc_ids = ids[~(dom | sub | equal)]
+        eq_ids = ids[equal]
+    if "kth" in needs:
+        from repro.engine.kernels import topk_pairs
+
+        kth_scores, kth_ids = topk_pairs(
+            pts, question.why_not, question.k, id_base=start)
+    return ShardPartial(start=start, stop=stop,
+                        dominating_ids=dom_ids,
+                        incomparable_ids=inc_ids, equal_ids=eq_ids,
+                        kth_ids=kth_ids, kth_scores=kth_scores)
+
+
+def merge_shard_partials(question: Question,
+                         partials) -> Precompute:
+    """Gather: fold shard partials into one catalogue-wide
+    :class:`Precompute`.
+
+    Shards must cover contiguous, disjoint row ranges; order of the
+    input sequence does not matter.
+    """
+    parts = sorted(partials, key=lambda p: p.start)
+    if not parts:
+        raise ValueError("cannot merge zero shard partials")
+    expect = parts[0].start
+    for part in parts:
+        if part.start != expect:
+            raise ValueError(
+                f"shard partials do not tile the catalogue: expected "
+                f"a shard starting at row {expect}, got {part.start}")
+        expect = part.stop
+
+    incomparable = candidate_ids = None
+    if parts[0].dominating_ids is not None:
+        dom = np.sort(np.concatenate(
+            [p.dominating_ids for p in parts]))
+        inc = np.sort(np.concatenate(
+            [p.incomparable_ids for p in parts]))
+        eq = np.sort(np.concatenate([p.equal_ids for p in parts]))
+        incomparable = IncomparableResult(dominating_ids=dom,
+                                          incomparable_ids=inc)
+        candidate_ids = np.sort(np.concatenate([dom, inc, eq]))
+
+    kth_ids = kth_scores = None
+    if parts[0].kth_ids is not None:
+        ids = np.concatenate([p.kth_ids for p in parts], axis=1)
+        scores = np.concatenate([p.kth_scores for p in parts], axis=1)
+        k = question.k
+        if ids.shape[1] >= k:
+            m = ids.shape[0]
+            kth_ids = np.empty(m, dtype=np.int64)
+            kth_scores = np.empty(m, dtype=np.float64)
+            for i in range(m):
+                # k-th element of the global (score, id) total order —
+                # identical to BRS's rank-k emission with ties broken
+                # by ascending id.
+                order = np.lexsort((ids[i], scores[i]))
+                kth_ids[i] = ids[i][order[k - 1]]
+                kth_scores[i] = scores[i][order[k - 1]]
+        # else: fewer than k points in the whole catalogue — leave
+        # kth unset so the finisher raises the canonical error.
+
+    return Precompute(incomparable=incomparable,
+                      candidate_ids=candidate_ids,
+                      kth_ids=kth_ids, kth_scores=kth_scores)

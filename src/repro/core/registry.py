@@ -75,20 +75,37 @@ class AlgorithmSpec:
     summary: str = ""
     option_names: tuple[str, ...] = field(default_factory=tuple)
     stepper: Callable[..., object] | None = None
+    #: Which scatter-gather partials the algorithm can consume when a
+    #: question is fanned out over catalogue shards (see
+    #: :func:`repro.core.protocol.compute_shard_partial`): any of
+    #: ``"partition"`` (the FindIncom dominance partition) and
+    #: ``"kth"`` (per-why-not k-th ranked points).  Empty — the
+    #: default, and the value for extensions registered without it —
+    #: means the algorithm is never sharded and never receives a
+    #: ``precompute`` argument, so pre-existing callables keep their
+    #: signature.
+    shard_needs: tuple[str, ...] = field(default_factory=tuple)
 
     def run(self, query, *, context=None, rng=None, penalty_config=None,
-            options=None):
-        """Invoke the algorithm with the uniform calling convention."""
+            options=None, precompute=None):
+        """Invoke the algorithm with the uniform calling convention.
+
+        ``precompute`` — a merged
+        :class:`~repro.core.protocol.Precompute` — is forwarded only
+        to algorithms that declared ``shard_needs``.
+        """
+        extra = ({"precompute": precompute}
+                 if self.shard_needs and precompute is not None else {})
         return self.fn(query, context=context, rng=rng,
                        penalty_config=penalty_config,
-                       options=dict(options or {}))
+                       options=dict(options or {}), **extra)
 
     @property
     def supports_anytime(self) -> bool:
         return self.stepper is not None
 
     def start(self, query, *, context=None, rng=None,
-              penalty_config=None, options=None):
+              penalty_config=None, options=None, precompute=None):
         """Begin anytime execution: build the resumable stepper state.
 
         Raises ``ValueError`` when the algorithm registered no
@@ -98,9 +115,11 @@ class AlgorithmSpec:
         if self.stepper is None:
             raise ValueError(f"algorithm {self.name!r} does not "
                              "support anytime execution")
+        extra = ({"precompute": precompute}
+                 if self.shard_needs and precompute is not None else {})
         return self.stepper(query, context=context, rng=rng,
                             penalty_config=penalty_config,
-                            options=dict(options or {}))
+                            options=dict(options or {}), **extra)
 
     @staticmethod
     def refine(state, chunk: int):
@@ -132,13 +151,17 @@ _REGISTRY_LOCK = threading.Lock()
 
 def register_algorithm(name: str, *, summary: str = "",
                        option_names: tuple[str, ...] = (),
-                       stepper: Callable[..., object] | None = None):
+                       stepper: Callable[..., object] | None = None,
+                       shard_needs: tuple[str, ...] = ()):
     """Class/function decorator registering a refinement under ``name``.
 
     ``stepper`` optionally registers the algorithm's anytime factory
-    (see :class:`AlgorithmSpec`).  Raises ``ValueError`` for empty or
-    duplicate names — shadowing an existing algorithm silently would
-    change answers behind every entry point at once.
+    (see :class:`AlgorithmSpec`).  ``shard_needs`` opts the algorithm
+    into sharded scatter-gather execution; declaring it means ``fn``
+    (and ``stepper``) accept a ``precompute`` keyword.  Raises
+    ``ValueError`` for empty or duplicate names — shadowing an
+    existing algorithm silently would change answers behind every
+    entry point at once.
     """
     key = str(name).strip().lower()
 
@@ -147,7 +170,8 @@ def register_algorithm(name: str, *, summary: str = "",
             raise ValueError("algorithm name must be non-empty")
         spec = AlgorithmSpec(name=key, fn=fn, summary=summary,
                              option_names=tuple(option_names),
-                             stepper=stepper)
+                             stepper=stepper,
+                             shard_needs=tuple(shard_needs))
         with _REGISTRY_LOCK:
             if key in _REGISTRY:
                 raise ValueError(f"algorithm {key!r} is already "
@@ -200,41 +224,74 @@ def get_algorithm(name) -> AlgorithmSpec:
 # ``ask_stream`` (or a deadline-only budget) refines toward.
 # ---------------------------------------------------------------------
 
-def _start_mqp(query, *, context, rng, penalty_config, options):
-    return _mqp_module.MQPStepper(query, **options)
+def _mqp_precompute_kwargs(precompute):
+    if precompute is None or precompute.kth_ids is None:
+        return {}
+    return {"kth": (precompute.kth_ids, precompute.kth_scores)}
 
 
-def _start_mwk(query, *, context, rng, penalty_config, options):
+def _mwk_precompute_kwargs(precompute):
+    if precompute is None or precompute.incomparable is None:
+        return {}
+    return {"incomparable": precompute.incomparable}
+
+
+def _mqwk_precompute_kwargs(query, precompute):
+    if precompute is None:
+        return {}
+    kwargs = _mqp_precompute_kwargs(precompute)
+    if precompute.candidate_ids is not None:
+        from repro.core.incomparable import IncomparableCache
+
+        kwargs["cache"] = IncomparableCache.from_candidates(
+            query.points, query.q, precompute.candidate_ids)
+    return kwargs
+
+
+def _start_mqp(query, *, context, rng, penalty_config, options,
+               precompute=None):
+    return _mqp_module.MQPStepper(
+        query, **_mqp_precompute_kwargs(precompute), **options)
+
+
+def _start_mwk(query, *, context, rng, penalty_config, options,
+               precompute=None):
     options = dict(options)
     target = int(options.pop("sample_size", 800))
     return _mwk_module.make_stepper(
         query, rng=rng, config=penalty_config, context=context,
-        sample_target=target, **options)
+        sample_target=target,
+        **_mwk_precompute_kwargs(precompute), **options)
 
 
-def _start_mqwk(query, *, context, rng, penalty_config, options):
+def _start_mqwk(query, *, context, rng, penalty_config, options,
+                precompute=None):
     return _mqwk_module.make_stepper(
         query, rng=rng, config=penalty_config, context=context,
-        **options)
+        **_mqwk_precompute_kwargs(query, precompute), **options)
 
 
 @register_algorithm(
     "mqp",
     summary="Algorithm 1 — modify the query point (quadratic program)",
-    option_names=("use_rtree",), stepper=_start_mqp)
-def _run_mqp(query, *, context, rng, penalty_config, options):
-    return _mqp_module.modify_query_point(query, **options)
+    option_names=("use_rtree",), stepper=_start_mqp,
+    shard_needs=("kth",))
+def _run_mqp(query, *, context, rng, penalty_config, options,
+             precompute=None):
+    return _mqp_module.modify_query_point(
+        query, **_mqp_precompute_kwargs(precompute), **options)
 
 
 @register_algorithm(
     "mwk",
     summary="Algorithm 2 — modify the why-not weights and k (sampling)",
     option_names=("sample_size", "include_originals"),
-    stepper=_start_mwk)
-def _run_mwk(query, *, context, rng, penalty_config, options):
+    stepper=_start_mwk, shard_needs=("partition",))
+def _run_mwk(query, *, context, rng, penalty_config, options,
+             precompute=None):
     return _mwk_module.modify_weights_and_k(
         query, rng=rng, config=penalty_config, context=context,
-        **options)
+        **_mwk_precompute_kwargs(precompute), **options)
 
 
 @register_algorithm(
@@ -242,8 +299,9 @@ def _run_mwk(query, *, context, rng, penalty_config, options):
     summary="Algorithm 3 — jointly modify q, the weights and k",
     option_names=("sample_size", "q_sample_size", "include_originals",
                   "use_reuse"),
-    stepper=_start_mqwk)
-def _run_mqwk(query, *, context, rng, penalty_config, options):
+    stepper=_start_mqwk, shard_needs=("partition", "kth"))
+def _run_mqwk(query, *, context, rng, penalty_config, options,
+              precompute=None):
     return _mqwk_module.modify_query_weights_and_k(
         query, rng=rng, config=penalty_config, context=context,
-        **options)
+        **_mqwk_precompute_kwargs(query, precompute), **options)

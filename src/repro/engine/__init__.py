@@ -35,6 +35,7 @@ from repro.engine.kernels import (
     ranks_batch,
     score_matrix,
     topk_ids,
+    topk_pairs,
 )
 
 _EXECUTOR_NAMES = ("ExecutionItem", "answer_one", "answer_question",
@@ -72,4 +73,5 @@ __all__ = [
     "ranks_batch",
     "score_matrix",
     "topk_ids",
+    "topk_pairs",
 ]

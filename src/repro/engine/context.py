@@ -186,6 +186,52 @@ class DatasetContext:
         self.stats = ContextStats()
 
     # ------------------------------------------------------------------
+    # Shared-memory reattachment (multi-process serving)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_shared(cls, manifest) -> "DatasetContext":
+        """Reattach a context exported with
+        :func:`repro.engine.shm.export_snapshot` — zero-copy.
+
+        The point array, product ids and the R-tree's packed arrays
+        come back as read-only numpy views over the shared segment;
+        the per-``q`` caches start empty and rebuild lazily in this
+        process.  Version, epoch, cache caps and tree capacity are
+        restored from the manifest, so answers computed here are
+        byte-identical to the exporting process's (same data, same
+        tree structure, same stamps).
+
+        The attached segment handle is kept on the context
+        (``_shm_segment``) so the mapping outlives every view; it is
+        closed when the context is garbage collected, or explicitly
+        by the worker pool when a version is retired.
+        """
+        from repro.engine import shm as shm_module
+
+        arrays, segment = shm_module.attach_snapshot(manifest)
+        ctx = object.__new__(cls)
+        ctx.points = arrays["points"]
+        ctx._capacity = manifest.capacity
+        packed = {key[len("tree."):]: value
+                  for key, value in arrays.items()
+                  if key.startswith("tree.")}
+        ctx._tree = RTree.from_packed(
+            packed, ctx.points, capacity=manifest.tree_capacity)
+        ctx._lock = threading.Lock()
+        ctx.max_partitions = manifest.max_partitions
+        ctx.max_box_caches = manifest.max_box_caches
+        ctx.version = int(manifest.version)
+        ctx.epoch = int(manifest.epoch)
+        ctx._product_ids = arrays.get("product_ids")
+        ctx._box_caches = OrderedDict()
+        ctx._partitions = OrderedDict()
+        ctx._score_buffer = None
+        ctx.stats = ContextStats()
+        ctx._shm_segment = segment
+        return ctx
+
+    # ------------------------------------------------------------------
 
     @property
     def n(self) -> int:

@@ -102,7 +102,7 @@ ALGORITHMS = algorithm_names()
 
 def _answer(context: DatasetContext, question: Question, *,
             index: int, rng, penalty_config: PenaltyConfig,
-            ) -> tuple[Answer, object]:
+            precompute=None) -> tuple[Answer, object]:
     """Answer one Question; returns ``(answer, bound_query_or_None)``.
 
     Any per-item failure — catalogue-dependent validation (e.g. a
@@ -122,7 +122,8 @@ def _answer(context: DatasetContext, question: Question, *,
                                  question.why_not)
         result = spec.run(query, context=context, rng=rng,
                           penalty_config=penalty_config,
-                          options=question.options)
+                          options=question.options,
+                          precompute=precompute)
         audit = audit_result(query, result, config=penalty_config)
         answer = Answer(
             index=index, algorithm=spec.name, result=result,
@@ -171,11 +172,13 @@ class _AnytimeRun:
                  penalty_config: PenaltyConfig = DEFAULT_PENALTY,
                  chunk: int | None = None,
                  interleaved: bool = False,
-                 shared_deadline: float | None = None):
+                 shared_deadline: float | None = None,
+                 precompute=None):
         self._context = context
         self._question = question
         self._index = index
         self._penalty_config = penalty_config
+        self._precompute = precompute
         self._chunk = None if chunk is None else max(1, int(chunk))
         self._interleaved = interleaved
         self._min_chunk = MIN_CHUNK
@@ -204,7 +207,8 @@ class _AnytimeRun:
                 self._state = self._spec.start(
                     self._query, context=context, rng=rng,
                     penalty_config=penalty_config,
-                    options=question.options)
+                    options=question.options,
+                    precompute=precompute)
                 self._target = (self._budget.sample_budget
                                 if self._budget.sample_budget
                                 is not None
@@ -304,7 +308,8 @@ class _AnytimeRun:
                 result = self._spec.run(
                     self._query, context=self._context, rng=self._rng,
                     penalty_config=self._penalty_config,
-                    options=self._question.options)
+                    options=self._question.options,
+                    precompute=self._precompute)
                 self._spent += time.perf_counter() - start
                 self.answer = self._finish(result, converged=True)
                 self.done = True
@@ -372,10 +377,12 @@ def iter_answers(context: DatasetContext, question: Question, *,
 
 def _run_anytime(context: DatasetContext, question: Question, *,
                  index: int, rng, penalty_config: PenaltyConfig,
-                 shared_deadline: float | None = None) -> Answer:
+                 shared_deadline: float | None = None,
+                 precompute=None) -> Answer:
     run = _AnytimeRun(context, question, index=index, rng=rng,
                       penalty_config=penalty_config,
-                      shared_deadline=shared_deadline)
+                      shared_deadline=shared_deadline,
+                      precompute=precompute)
     while not run.done:
         run.step()
     return run.answer
@@ -385,14 +392,16 @@ def answer_question(context: DatasetContext, question: Question, *,
                     index: int = 0,
                     rng: np.random.Generator | None = None,
                     penalty_config: PenaltyConfig = DEFAULT_PENALTY,
-                    ) -> Answer:
+                    precompute=None) -> Answer:
     """Answer a single typed :class:`Question` against a context.
 
     Questions carrying a :class:`~repro.core.protocol.Budget` take
     the anytime path: chunked refinement until the budget's first
     limit, with :class:`~repro.core.protocol.Quality` metadata on the
     answer.  Unbudgeted questions run to completion exactly as
-    before.
+    before.  ``precompute`` — a merged scatter-gather
+    :class:`~repro.core.protocol.Precompute` — is forwarded to
+    algorithms that declared ``shard_needs``.
     """
     if not isinstance(question, Question):
         raise TypeError(
@@ -400,9 +409,11 @@ def answer_question(context: DatasetContext, question: Question, *,
             "(q, k, Wm) triples use the deprecated answer_one shim")
     if question.budget is not None:
         return _run_anytime(context, question, index=index, rng=rng,
-                            penalty_config=penalty_config)
+                            penalty_config=penalty_config,
+                            precompute=precompute)
     answer, _ = _answer(context, question, index=index, rng=rng,
-                        penalty_config=penalty_config)
+                        penalty_config=penalty_config,
+                        precompute=precompute)
     return answer
 
 

@@ -109,6 +109,45 @@ def topk_ids(points, w, k: int) -> np.ndarray:
     return selected[order]
 
 
+def topk_pairs(points, weights, k: int, *, id_base: int = 0,
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-weight ``min(k, n)`` smallest ``(score, id)`` pairs.
+
+    The shard-local half of the scatter-gather k-th-point merge: each
+    row of the result is that weight's exact ``(score, id)``-ordered
+    prefix, so the union of per-shard prefixes contains the global
+    top-k.  Scores deliberately use the per-weight gemv ``points @ w``
+    — the same BLAS call BRS applies to leaf rows — because the
+    batched gemm of :func:`kth_scores_batch` can differ from it in the
+    last bits and the merged k-th score is compared and reused
+    verbatim.  ``id_base`` offsets row ids into the global catalogue.
+
+    Returns ``(scores, ids)`` of shape ``(m, min(k, n))`` each.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    pts = _as2d(points)
+    wts = _as2d(weights)
+    n = len(pts)
+    kk = min(int(k), n)
+    out_scores = np.empty((len(wts), kk), dtype=np.float64)
+    out_ids = np.empty((len(wts), kk), dtype=np.int64)
+    for i, w in enumerate(wts):
+        scores = pts @ w
+        if kk < n:
+            kth_score = np.partition(scores, kk - 1)[kk - 1]
+            below = np.nonzero(scores < kth_score)[0]
+            tied = np.nonzero(scores == kth_score)[0][:kk - len(below)]
+            selected = np.concatenate([below, tied])
+        else:
+            selected = np.arange(n)
+        order = np.lexsort((selected, scores[selected]))
+        selected = selected[order]
+        out_scores[i] = scores[selected]
+        out_ids[i] = selected + id_base
+    return out_scores, out_ids
+
+
 def kth_scores_batch(points, weights, k: int, *,
                      chunk_floats: int = CHUNK_FLOATS,
                      ) -> tuple[np.ndarray, np.ndarray]:

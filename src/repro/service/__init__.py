@@ -15,7 +15,13 @@ package turns the repro into a long-running service:
   ``/algorithms``, ``/answer``, ``/batch`` and ``/stats``;
 * :mod:`repro.service.client` — the matching ``urllib``-based client
   (typed ``ask``/``ask_batch`` plus dict-level wrappers) used by
-  tests, benchmarks and the CI smoke check.
+  tests, benchmarks and the CI smoke check;
+* :mod:`repro.service.workers` — :class:`WorkerPool`, the optional
+  multi-process execution tier (``wqrtq serve --workers N --shards
+  M``): spawned workers attach zero-copy shared-memory snapshots
+  (:mod:`repro.engine.shm`) and answer questions whole or
+  scatter-gathered over catalogue row ranges, byte-identically to
+  the in-process path.
 
 ``wqrtq serve`` (see :mod:`repro.cli`) is the command-line entry
 point.  DESIGN.md's "service layer" section has the architecture
@@ -30,6 +36,7 @@ from repro.service.client import (
 from repro.service.jobs import Job, JobManager
 from repro.service.registry import CatalogueRegistry
 from repro.service.server import WhyNotServer, create_server
+from repro.service.workers import WorkerPool, WorkerPoolError
 
 __all__ = [
     "CatalogueRegistry",
@@ -39,5 +46,7 @@ __all__ = [
     "ServiceConnectionError",
     "ServiceError",
     "WhyNotServer",
+    "WorkerPool",
+    "WorkerPoolError",
     "create_server",
 ]

@@ -19,6 +19,13 @@ converging workload.  A *job* decouples submission from collection:
 The manager holds no persistent state: jobs live in memory, and a
 graceful daemon shutdown cancels what is running and joins the pool —
 by design there is nothing to recover on restart.
+
+Jobs always refine **in-process** (thread pool), even when the daemon
+runs a multi-process :class:`~repro.service.workers.WorkerPool` for
+``/answer``/``/batch``: interleaved anytime refinement needs the
+stepper state resident across rounds, which does not ship over a
+pipe.  The two tiers coexist — jobs on threads, synchronous traffic
+on worker processes.
 """
 
 from __future__ import annotations

@@ -426,6 +426,10 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
         applied = catalogue.apply(body.get("op"),
                                   ids=body.get("ids"),
                                   products=body.get("products"))
+        if self.server.pool is not None:
+            # Publish before responding: the next request must answer
+            # against (and be stamped with) the committed version.
+            self.server.pool.publish(name)
         return 200, {
             "schema_version": SCHEMA_VERSION,
             "catalogue": name,
@@ -445,11 +449,21 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
     def _get_stats(self) -> tuple[int, dict]:
         payload = self.server.service_stats.snapshot()
         payload["catalogues"] = self.server.registry.describe()
+        if self.server.pool is not None:
+            payload["workers"] = self.server.pool.stats()
         return 200, payload
 
-    def _session(self, body: dict):
-        return self.server.registry.session(
-            self._required(body, "catalogue"))
+    def _executor(self, body: dict):
+        """The execution surface for ``/answer`` / ``/batch``: the
+        worker pool when one serves the named catalogue, else the
+        in-process session.  Both are returned — the session stamps
+        pre-failed legacy entries either way."""
+        name = self._required(body, "catalogue")
+        session = self.server.registry.session(name)
+        pool = self.server.pool
+        if pool is not None and pool.serves(name):
+            return name, session, pool
+        return name, session, None
 
     @staticmethod
     def _response_version(body: dict) -> int:
@@ -479,7 +493,7 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
     def _post_answer(self) -> tuple[int, dict]:
         body = self._read_json()
         version = self._response_version(body)
-        session = self._session(body)
+        name, session, pool = self._executor(body)
         if "question" in body:
             question = Question.from_dict(body["question"])
         else:
@@ -502,23 +516,32 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
                 catalogue_version=session.catalogue_version)
             return 200, {"schema_version": version,
                          "item": self._render_item(question, version)}
-        answer = session.ask(question,
-                             seed=int(body.get("seed", 0)))
+        seed = int(body.get("seed", 0))
+        if pool is not None:
+            answer = pool.ask(name, question, seed=seed)
+        else:
+            answer = session.ask(question, seed=seed)
         return 200, {"schema_version": version,
                      "item": self._render_item(answer, version)}
 
     def _post_batch(self) -> tuple[int, dict]:
         body = self._read_json()
         version = self._response_version(body)
-        session = self._session(body)
+        name, session, pool = self._executor(body)
         entries = body.get("questions")
         if not isinstance(entries, list) or not entries:
             raise ValueError("questions must be a non-empty list")
         questions = _parse_questions(body, entries)
         start = time.perf_counter()
-        answers = session.ask_batch(
-            questions, seed=int(body.get("seed", 0)),
-            workers=int(body.get("workers", 1)))
+        if pool is not None:
+            # The process pool supersedes the request's thread-pool
+            # hint: the batch splits into per-worker slices instead.
+            answers = pool.ask_batch(
+                name, questions, seed=int(body.get("seed", 0)))
+        else:
+            answers = session.ask_batch(
+                questions, seed=int(body.get("seed", 0)),
+                workers=int(body.get("workers", 1)))
         summary = summarize_answers(
             answers, wall_seconds=time.perf_counter() - start)
         return 200, {
@@ -611,31 +634,59 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
 
 
 class WhyNotServer(ThreadingHTTPServer):
-    """``ThreadingHTTPServer`` owning a registry, request stats and
-    the async job pool.
+    """``ThreadingHTTPServer`` owning a registry, request stats, the
+    async job pool and — when ``workers > 0`` — the multi-process
+    :class:`~repro.service.workers.WorkerPool`.
+
+    With a worker pool, ``/answer`` and ``/batch`` execute in worker
+    processes attached to shared-memory snapshots (see
+    :mod:`repro.service.workers`); catalogue mutations publish the
+    new version to the pool before responding, so the next request
+    answers against it.  Answers are byte-identical to the in-process
+    path.
 
     ``server_close`` drains gracefully: ``block_on_close`` (the
     ``socketserver`` default) joins every in-flight handler thread,
-    and the job manager cancels outstanding jobs cooperatively and
-    joins its workers — no partial job state survives because none is
-    ever persisted."""
+    the job manager cancels outstanding jobs cooperatively and joins
+    its workers, the worker pool stops its processes, and every
+    shared-memory segment this process still owns is unlinked — no
+    partial job state survives, and ``/dev/shm`` is left clean."""
 
     daemon_threads = True
 
     def __init__(self, address, registry: CatalogueRegistry, *,
-                 verbose: bool = False, job_workers: int = 2):
+                 verbose: bool = False, job_workers: int = 2,
+                 workers: int = 0, shards: int = 1):
         super().__init__(address, WhyNotRequestHandler)
         self.registry = registry
         self.service_stats = ServiceStats()
         self.verbose = verbose
         self.jobs = JobManager(registry, workers=job_workers)
+        self.pool = None
+        if workers > 0:
+            from repro.service.workers import WorkerPool
+
+            try:
+                self.pool = WorkerPool(registry, workers=workers,
+                                       shards=shards)
+            except BaseException:
+                self.jobs.shutdown()
+                super().server_close()
+                raise
 
     def server_close(self) -> None:
         # Stop accepting + join handler threads first, then drain the
         # job pool (a handler blocked on /jobs submission must not
-        # race a closing manager).
+        # race a closing manager), then the process pool, then sweep
+        # any shm segment still owned (belt and braces: shutdown()
+        # already unlinked the published ones).
         super().server_close()
         self.jobs.shutdown()
+        if self.pool is not None:
+            self.pool.shutdown()
+        from repro.engine.shm import sweep_owned_segments
+
+        sweep_owned_segments()
 
     @property
     def port(self) -> int:
@@ -649,9 +700,17 @@ class WhyNotServer(ThreadingHTTPServer):
 
 def create_server(registry: CatalogueRegistry, *,
                   host: str = "127.0.0.1", port: int = 0,
-                  verbose: bool = False,
-                  job_workers: int = 2) -> WhyNotServer:
+                  verbose: bool = False, job_workers: int = 2,
+                  workers: int = 0, shards: int = 1) -> WhyNotServer:
     """Bind a :class:`WhyNotServer` (``port=0`` → ephemeral port).
+
+    ``workers > 0`` starts a multi-process
+    :class:`~repro.service.workers.WorkerPool`: ``/answer`` and
+    ``/batch`` execute in spawned worker processes attached to
+    zero-copy shared-memory snapshots, ``shards > 1`` additionally
+    scatter-gathers each shardable question over catalogue row
+    ranges.  ``workers=0`` (default) keeps the single-process
+    threaded execution path.
 
     The caller drives it: ``serve_forever()`` to block (the CLI), or
     a daemon thread + ``shutdown()`` for embedding in tests:
@@ -670,4 +729,5 @@ def create_server(registry: CatalogueRegistry, *,
     >>> server.shutdown(); server.server_close()
     """
     return WhyNotServer((host, port), registry, verbose=verbose,
-                        job_workers=job_workers)
+                        job_workers=job_workers, workers=workers,
+                        shards=shards)

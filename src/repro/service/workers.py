@@ -1,0 +1,549 @@
+"""Multi-process shard-parallel serving over shared-memory snapshots.
+
+Every layer below this one executes inside a single GIL-bound
+process.  The kernels release the GIL, but the Python halves of the
+refinement algorithms — stepper bookkeeping, partition set algebra,
+the quadratic program — do not, so one ``wqrtq serve`` process cannot
+saturate a many-core box.  This module adds the missing tier: a pool
+of **worker processes** that attach the current catalogue snapshot
+through :mod:`repro.engine.shm` (zero-copy — every worker maps the
+same ``/dev/shm`` segment) and answer
+:class:`~repro.core.protocol.Question` objects shipped over pipes.
+
+Execution paths
+---------------
+``ask``
+    One question.  With ``shards == 1`` (or a question whose
+    algorithm cannot shard — see
+    :func:`repro.core.protocol.shard_plan`) the whole question runs
+    on one worker.  With ``shards > 1`` the catalogue's row ranges
+    are fanned out: each shard worker computes a
+    :class:`~repro.core.protocol.ShardPartial` over its slice of the
+    shared point array, the front door merges them into a
+    :class:`~repro.core.protocol.Precompute`
+    (:func:`~repro.core.protocol.merge_shard_partials` — top-k order
+    statistics and dominance-partition unions), and one finisher
+    worker runs the refinement seeded with the merged precomputation.
+    The result is byte-identical to a single process: same floats,
+    same tie-breaks.
+``ask_batch``
+    Many questions.  The batch splits into contiguous slices, one per
+    worker; slice ``[a, b)`` runs ``execute_questions(..., seed=seed
+    + a)`` so item ``j`` still draws ``default_rng(seed + a + j)`` —
+    the per-item rng streams are worker-count-invariant, which keeps
+    pooled batches byte-identical to ``Session.ask_batch``.
+
+Publish / retire protocol (single writer)
+-----------------------------------------
+The parent process is the only writer.  A catalogue mutation commits
+a new snapshot version in-process, then :meth:`WorkerPool.publish`:
+
+1. waits for in-flight questions to drain (a condition-variable
+   write gate — publishes are rare, questions are not);
+2. exports the new snapshot to a fresh segment
+   (:func:`~repro.engine.shm.export_snapshot`);
+3. broadcasts the manifest; every worker attaches the new version,
+   drops its old context and closes the old mapping, then acks;
+4. unlinks the retired segment — safe because each worker's pipe is
+   a FIFO, so every question dispatched before the publish was
+   answered before the worker acked it, and the drain gate stops new
+   questions pinning the old version mid-publish.
+
+A worker answers with the registry's default penalty configuration
+(the same one :class:`~repro.service.registry.CatalogueRegistry`
+sessions use).  Algorithms registered at runtime in the parent only
+are not visible in spawned workers; the built-ins always are.
+
+Workers are **spawned**, not forked: the parent is a threaded HTTP
+daemon, and forking a multi-threaded process is undefined behaviour
+waiting to happen.  Spawn also means each worker re-imports
+:mod:`repro` fresh, which is why the worker entry point below must
+live at module level in an importable module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import multiprocessing
+import threading
+import time
+
+from repro.core.protocol import (
+    Question,
+    merge_shard_partials,
+    shard_plan,
+    shard_ranges,
+)
+from repro.engine.shm import export_snapshot, unlink_snapshot
+
+__all__ = ["WorkerPool", "WorkerPoolError"]
+
+
+class WorkerPoolError(RuntimeError):
+    """A worker failed or died while serving a request."""
+
+
+# ---------------------------------------------------------------------
+# Worker-process side.
+#
+# One loop per process, strictly FIFO over its pipe: commands are
+# processed in arrival order, so a ``publish`` acts as a barrier —
+# every question the parent sent before it has been answered by the
+# time the ack goes back.  The publish/retire protocol above leans on
+# this ordering.
+# ---------------------------------------------------------------------
+
+
+def _close_attached(context) -> None:
+    """Drop a worker's retired context and close its shm mapping.
+
+    The caller must pass its *only* reference.  Dropping the context
+    releases every numpy view over the segment buffer, after which
+    ``close()`` succeeds; ``BufferError`` (a still-exported view —
+    should not happen, but a leaked view must not kill the worker)
+    leaves the mapping to process exit.
+    """
+    segment = getattr(context, "_shm_segment", None)
+    del context
+    if segment is not None:
+        try:
+            segment.close()
+        except BufferError:   # pragma: no cover - defensive
+            pass
+
+
+def _worker_main(conn, worker_id: int) -> None:
+    """Entry point of one spawned worker process."""
+    # Imports happen here, in the child: spawn re-imports this module
+    # by name, and the heavy engine modules should not load before
+    # the process actually exists.
+    import numpy as np
+
+    from repro.core.penalty import DEFAULT_PENALTY
+    from repro.core.protocol import compute_shard_partial
+    from repro.engine.context import DatasetContext
+    from repro.engine.executor import answer_question, execute_questions
+
+    contexts: dict[str, DatasetContext] = {}
+    stats = {"worker": int(worker_id), "questions": 0, "partials": 0,
+             "batches": 0, "publishes": 0, "busy_seconds": 0.0}
+
+    def current(name):
+        try:
+            return contexts[name]
+        except KeyError:
+            raise ValueError(f"worker has no published catalogue "
+                             f"{name!r}") from None
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        req_id, op, payload = message
+        started = time.perf_counter()
+        try:
+            if op == "publish":
+                name, manifest = payload
+                old = contexts.pop(name, None)
+                contexts[name] = DatasetContext.from_shared(manifest)
+                if old is not None:
+                    _close_attached(old)
+                    old = None
+                stats["publishes"] += 1
+                ok, out = True, manifest.version
+            elif op == "run":
+                name, question, seed = payload
+                answer = answer_question(
+                    current(name), question, index=0,
+                    rng=np.random.default_rng(int(seed)),
+                    penalty_config=DEFAULT_PENALTY)
+                stats["questions"] += 1
+                ok, out = True, answer
+            elif op == "partial":
+                name, question, start, stop = payload
+                points = current(name).points[start:stop]
+                stats["partials"] += 1
+                ok, out = True, compute_shard_partial(points, start,
+                                                      question)
+            elif op == "finish":
+                name, question, seed, precompute = payload
+                answer = answer_question(
+                    current(name), question, index=0,
+                    rng=np.random.default_rng(int(seed)),
+                    penalty_config=DEFAULT_PENALTY,
+                    precompute=precompute)
+                stats["questions"] += 1
+                ok, out = True, answer
+            elif op == "slice":
+                name, questions, seed = payload
+                answers = execute_questions(
+                    current(name), questions, seed=int(seed),
+                    workers=1, penalty_config=DEFAULT_PENALTY)
+                stats["questions"] += len(answers)
+                stats["batches"] += 1
+                ok, out = True, answers
+            elif op == "stats":
+                ok, out = True, dict(stats)
+            elif op == "stop":
+                conn.send((req_id, True, None))
+                break
+            else:   # pragma: no cover - protocol bug
+                ok, out = False, f"unknown worker op {op!r}"
+        except Exception as exc:
+            ok, out = False, f"{type(exc).__name__}: {exc}"
+        stats["busy_seconds"] += time.perf_counter() - started
+        try:
+            conn.send((req_id, ok, out))
+        except (BrokenPipeError, OSError):   # pragma: no cover
+            break
+
+    for name in list(contexts):
+        _close_attached(contexts.pop(name))
+    conn.close()
+
+
+# ---------------------------------------------------------------------
+# Parent side.
+# ---------------------------------------------------------------------
+
+
+class _Reply:
+    """A pending response slot, resolved by the handle's reader
+    thread."""
+
+    __slots__ = ("_event", "ok", "payload")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.ok = False
+        self.payload = None
+
+    def resolve(self, ok: bool, payload) -> None:
+        self.ok = ok
+        self.payload = payload
+        self._event.set()
+
+    def get(self, timeout: float | None = None):
+        if not self._event.wait(timeout):
+            raise WorkerPoolError("timed out waiting for a worker")
+        if not self.ok:
+            raise WorkerPoolError(str(self.payload))
+        return self.payload
+
+
+class _WorkerHandle:
+    """Parent-side endpoint of one worker: pipe + reader thread.
+
+    Many HTTP handler threads share one handle; sends are serialized
+    by a lock, responses are demultiplexed by request id, so
+    concurrent requests to the same worker interleave safely (the
+    worker itself answers them FIFO).
+    """
+
+    def __init__(self, mp_context, worker_id: int):
+        parent_conn, child_conn = mp_context.Pipe()
+        self.worker_id = worker_id
+        self.process = mp_context.Process(
+            target=_worker_main, args=(child_conn, worker_id),
+            name=f"wqrtq-worker-{worker_id}", daemon=True)
+        self.process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self._send_lock = threading.Lock()
+        self._pending: dict[int, _Reply] = {}
+        self._pending_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._reader = threading.Thread(
+            target=self._read_loop, daemon=True,
+            name=f"wqrtq-worker-{worker_id}-reader")
+        self._reader.start()
+
+    def send(self, op: str, payload) -> _Reply:
+        reply = _Reply()
+        with self._pending_lock:
+            req_id = next(self._ids)
+            self._pending[req_id] = reply
+        try:
+            with self._send_lock:
+                self._conn.send((req_id, op, payload))
+        except (BrokenPipeError, OSError) as exc:
+            with self._pending_lock:
+                self._pending.pop(req_id, None)
+            reply.resolve(False, f"worker {self.worker_id} is gone "
+                                 f"({exc})")
+        return reply
+
+    def request(self, op: str, payload, *,
+                timeout: float | None = None):
+        return self.send(op, payload).get(timeout)
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                req_id, ok, payload = self._conn.recv()
+            except (EOFError, OSError):
+                break
+            with self._pending_lock:
+                reply = self._pending.pop(req_id, None)
+            if reply is not None:
+                reply.resolve(ok, payload)
+        # The worker died (or closed on stop): fail whatever is left
+        # so no handler thread waits forever.
+        with self._pending_lock:
+            pending, self._pending = self._pending, {}
+        for reply in pending.values():
+            reply.resolve(False,
+                          f"worker {self.worker_id} exited with "
+                          f"pending requests")
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        try:
+            self.send("stop", None).get(timeout)
+        except WorkerPoolError:
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():   # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout)
+        try:
+            self._conn.close()
+        except OSError:   # pragma: no cover
+            pass
+        self._reader.join(timeout)
+
+
+class WorkerPool:
+    """N spawned workers serving questions against shared snapshots.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.service.registry.CatalogueRegistry` to
+        serve.  Every catalogue registered at construction is
+        exported and published to the workers; later versions are
+        published by calling :meth:`publish` after each mutation (the
+        HTTP mutation endpoint does).
+    workers:
+        Number of worker processes (>= 1).
+    shards:
+        Row-range fan-out per shardable question.  ``1`` (default)
+        disables scatter-gather: each question runs whole on one
+        worker, which is the right shape when throughput comes from
+        many concurrent questions rather than one huge catalogue.
+    """
+
+    def __init__(self, registry, *, workers: int = 2,
+                 shards: int = 1):
+        self.registry = registry
+        self.shards = max(1, int(shards))
+        mp_context = multiprocessing.get_context("spawn")
+        self._workers = [
+            _WorkerHandle(mp_context, worker_id)
+            for worker_id in range(max(1, int(workers)))]
+        self._rr = itertools.count()
+        self._manifests: dict[str, object] = {}
+        # The publish gate: questions dispatch concurrently
+        # (readers), a publish drains them and runs alone (writer).
+        self._gate = threading.Condition()
+        self._inflight = 0
+        self._publishing = False
+        self._closed = False
+        try:
+            for name in registry.names():
+                self.publish(name)
+        except BaseException:
+            self.shutdown()
+            raise
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def serves(self, name: str) -> bool:
+        """Whether ``name`` has a published snapshot."""
+        with self._gate:
+            return name in self._manifests
+
+    def manifest(self, name: str):
+        """The currently published
+        :class:`~repro.engine.shm.SnapshotManifest` of ``name``."""
+        with self._gate:
+            return self._manifests[name]
+
+    def version(self, name: str) -> int:
+        """The published (worker-visible) version of ``name``."""
+        return self.manifest(name).version
+
+    # -- the publish gate ----------------------------------------------
+
+    def _begin_question(self) -> None:
+        with self._gate:
+            while self._publishing and not self._closed:
+                self._gate.wait()
+            if self._closed:
+                raise WorkerPoolError("worker pool is shut down")
+            self._inflight += 1
+
+    def _end_question(self) -> None:
+        with self._gate:
+            self._inflight -= 1
+            self._gate.notify_all()
+
+    def publish(self, name: str):
+        """Export the catalogue's current snapshot and roll every
+        worker onto it; unlinks the retired version.  Returns the
+        published manifest.  Idempotent per version."""
+        catalogue = self.registry.catalogue(name)
+        with self._gate:
+            while self._publishing and not self._closed:
+                self._gate.wait()
+            if self._closed:
+                raise WorkerPoolError("worker pool is shut down")
+            self._publishing = True
+            while self._inflight:
+                self._gate.wait()
+        try:
+            snapshot = catalogue.snapshot
+            old = self._manifests.get(name)
+            if old is not None and old.version == snapshot.version:
+                return old
+            manifest = export_snapshot(snapshot)
+            # A failed broadcast propagates without adopting the new
+            # manifest (and without unlinking it — workers that did
+            # attach reference the segment; the exit sweep collects
+            # it).
+            replies = [worker.send("publish", (name, manifest))
+                       for worker in self._workers]
+            for reply in replies:
+                reply.get()
+            self._manifests[name] = manifest
+            if old is not None:
+                unlink_snapshot(old)
+            return manifest
+        finally:
+            with self._gate:
+                self._publishing = False
+                self._gate.notify_all()
+
+    # -- answering -----------------------------------------------------
+
+    def _next_worker(self) -> _WorkerHandle:
+        return self._workers[next(self._rr) % len(self._workers)]
+
+    def ask(self, name: str, question: Question, *, seed: int = 0):
+        """Answer one question; scatter-gathers when sharding is on
+        and the question's algorithm supports it."""
+        self._begin_question()
+        try:
+            with self._gate:
+                manifest = self._manifests[name]
+            plan = (shard_plan(question) if self.shards > 1 else None)
+            if plan is None:
+                return self._next_worker().request(
+                    "run", (name, question, int(seed)))
+            ranges = shard_ranges(manifest.n_points, self.shards)
+            if len(ranges) <= 1:
+                return self._next_worker().request(
+                    "run", (name, question, int(seed)))
+            replies = [
+                self._workers[i % len(self._workers)].send(
+                    "partial", (name, question, start, stop))
+                for i, (start, stop) in enumerate(ranges)]
+            partials = [reply.get() for reply in replies]
+            precompute = merge_shard_partials(question, partials)
+            return self._next_worker().request(
+                "finish", (name, question, int(seed), precompute))
+        finally:
+            self._end_question()
+
+    def ask_batch(self, name: str, questions, *,
+                  seed: int = 0) -> list:
+        """Answer a batch, sliced contiguously across the workers.
+
+        Slice ``[a, b)`` runs with base seed ``seed + a`` so item
+        ``j`` draws ``default_rng(seed + a + j)`` — exactly the rng
+        stream ``Session.ask_batch`` gives the same global index, for
+        any worker count.  Entries may be pre-failed ``Answer``
+        objects (the legacy wire contract); they ride along and come
+        back stamped like their siblings.
+        """
+        items = list(questions)
+        if not items:
+            return []
+        self._begin_question()
+        try:
+            slices = shard_ranges(len(items), len(self._workers))
+            replies = [
+                self._workers[i].send(
+                    "slice", (name, items[start:stop],
+                              int(seed) + start))
+                for i, (start, stop) in enumerate(slices)]
+            answers: list = [None] * len(items)
+            for (start, stop), reply in zip(slices, replies):
+                for j, answer in enumerate(reply.get()):
+                    answers[start + j] = dataclasses.replace(
+                        answer, index=start + j)
+            return answers
+        finally:
+            self._end_question()
+
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-worker throughput counters (the ``/stats`` payload).
+
+        Each worker reports questions answered, shard partials
+        computed, batches sliced to it, publishes seen and busy
+        seconds; ``throughput_qps`` is questions over busy time.
+        """
+        self._begin_question()
+        try:
+            replies = [worker.send("stats", None)
+                       for worker in self._workers]
+            per_worker = []
+            for reply in replies:
+                stats = reply.get()
+                busy = stats["busy_seconds"]
+                stats["throughput_qps"] = (
+                    stats["questions"] / busy if busy > 0 else 0.0)
+                per_worker.append(stats)
+        finally:
+            self._end_question()
+        with self._gate:
+            published = {name: manifest.version for name, manifest
+                         in sorted(self._manifests.items())}
+        return {
+            "workers": len(self._workers),
+            "shards": self.shards,
+            "published": published,
+            "questions": sum(w["questions"] for w in per_worker),
+            "partials": sum(w["partials"] for w in per_worker),
+            "per_worker": per_worker,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    def shutdown(self, *, timeout: float = 10.0) -> None:
+        """Stop the workers and unlink every published segment.
+
+        Idempotent.  Waits for in-flight questions to drain (they
+        hold attached mappings), then stops each worker (FIFO: the
+        stop ack means the worker detached everything) and unlinks.
+        """
+        with self._gate:
+            if self._closed:
+                return
+            self._closed = True
+            self._gate.notify_all()
+            deadline = time.monotonic() + timeout
+            while self._inflight and time.monotonic() < deadline:
+                self._gate.wait(timeout=0.1)
+        for worker in self._workers:
+            worker.close(timeout=timeout / max(1, len(self._workers)))
+        with self._gate:
+            manifests, self._manifests = self._manifests, {}
+        for manifest in manifests.values():
+            unlink_snapshot(manifest)

@@ -86,15 +86,29 @@ class BRSEngine:
 
         This is lines 1-12 of the paper's Algorithm 1 (MQP) for a single
         why-not weighting vector.
+
+        Ties at the k-th score resolve by ascending id — the library's
+        ``(score, id)`` convention (see ``topk_ids``) — not by heap
+        emission order, which interleaves push counters with point ids
+        and is no deterministic function of the data.  Emissions arrive
+        in non-decreasing score order, so the traversal only runs past
+        the k-th emission while scores stay exactly equal to it.
         """
-        last: tuple[int, float] | None = None
+        run: list[int] = []        # ids of the current equal-score run
+        run_score: float | None = None
+        n_before_run = 0           # emissions strictly below the run
         for count, (pid, sc) in enumerate(self.iter_ranked(w), start=1):
-            if count == k:
-                last = (pid, sc)
-                break
-        if last is None:
+            if run_score is None or sc != run_score:
+                if count > k:
+                    break          # the run holding rank k just ended
+                n_before_run = count - 1
+                run = [pid]
+                run_score = sc
+            else:
+                run.append(pid)
+        if run_score is None or n_before_run + len(run) < k:
             raise ValueError(f"dataset has fewer than k={k} points")
-        return last
+        return sorted(run)[k - 1 - n_before_run], run_score
 
     def rank_of(self, w, q) -> int:
         """Rank of external point ``q``: 1 + #points scoring strictly

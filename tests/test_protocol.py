@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import math
+import pickle
 
 import numpy as np
 import pytest
@@ -18,6 +19,7 @@ import pytest
 from repro.core.protocol import (
     SCHEMA_VERSION,
     Answer,
+    Budget,
     ErrorInfo,
     Question,
     summarize_answers,
@@ -244,6 +246,68 @@ class TestAnswerRoundTrip:
     def test_foreign_version_rejected(self):
         with pytest.raises(ValueError, match="schema_version"):
             Answer.from_dict({"schema_version": 99, "index": 0})
+
+
+class TestPickleRoundTrip:
+    """Worker IPC ships Questions/Answers/Budgets over pipes —
+    ``pickle`` must be lossless, exactly like the JSON wire schema.
+    (``Question.options`` is a mappingproxy, which pickle rejects
+    without the custom ``__reduce__``.)"""
+
+    def test_question_round_trip(self, points):
+        question = typed_question(
+            points, 11, algorithm="mwk",
+            options={"sample_size": 64}, id="pickled")
+        again = pickle.loads(pickle.dumps(question))
+        assert again == question
+        assert again.to_dict() == question.to_dict()
+        assert dict(again.options) == {"sample_size": 64}
+        with pytest.raises(TypeError):
+            again.options["sample_size"] = 1   # still read-only
+
+    def test_budgeted_question_round_trip(self, points):
+        budget = Budget(sample_budget=128, deadline_ms=40.0,
+                        target_penalty_tolerance=0.25)
+        question = Question(q=typed_question(points, 12).q, k=K,
+                            why_not=preference_set(2, D, seed=77),
+                            algorithm="mqwk", budget=budget)
+        again = pickle.loads(pickle.dumps(question))
+        assert again == question
+        assert again.budget == budget
+        assert pickle.loads(pickle.dumps(budget)) == budget
+
+    @pytest.mark.parametrize("algorithm, options", [
+        ("mqp", {}),
+        ("mwk", {"sample_size": 40}),
+        ("mqwk", {"sample_size": 25}),
+    ])
+    def test_answer_round_trip_per_algorithm(self, points, algorithm,
+                                             options):
+        answer = Session(points).ask(typed_question(
+            points, 13, algorithm=algorithm, options=options))
+        assert answer.ok, answer.error
+        again = pickle.loads(pickle.dumps(answer))
+        assert again == answer
+        assert again.to_dict() == answer.to_dict()
+
+    def test_failed_answer_round_trip(self, points):
+        answer = Session(points).ask(typed_question(points, 14,
+                                                    rank=2))
+        assert not answer.ok
+        again = pickle.loads(pickle.dumps(answer))
+        assert math.isnan(again.penalty)
+        assert again.to_dict() == answer.to_dict()
+
+    def test_budgeted_answer_keeps_quality(self, points):
+        question = Question(
+            q=typed_question(points, 15).q, k=K,
+            why_not=preference_set(1, D, seed=78), algorithm="mwk",
+            options={"sample_size": 60},
+            budget=Budget(sample_budget=30))
+        answer = Session(points).ask(question)
+        assert answer.quality is not None
+        again = pickle.loads(pickle.dumps(answer))
+        assert again.to_dict() == answer.to_dict()
 
 
 class TestSummarize:
