@@ -16,7 +16,9 @@ import pytest
 
 from repro.data import independent, preference_set, query_point_with_rank
 from repro.engine.context import DatasetContext
-from repro.engine.executor import answer_one, execute_batch
+# This benchmark *measures the shims* (legacy vs typed batch paths),
+# so importing them is the point.
+from repro.engine.executor import answer_one, execute_batch  # reprolint: disable=DEPRECATED-API
 from repro.topk.scan import rank_of_scan
 
 N = 4_000

@@ -26,7 +26,8 @@ import pytest
 
 from repro.data import independent, preference_set, query_point_with_rank
 from repro.engine.context import DatasetContext
-from repro.engine.executor import answer_one
+# Baseline for the served path is the legacy one-shot shim.
+from repro.engine.executor import answer_one  # reprolint: disable=DEPRECATED-API
 from repro.service import CatalogueRegistry, ServiceClient, create_server
 
 N = 4_000

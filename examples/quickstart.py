@@ -92,7 +92,8 @@ print(f"3. Meet in the middle:  q -> {np.round(mqwk.q_refined, 3)}, "
 print("\n== The deprecated facade still works (and warns) ==")
 with warnings.catch_warnings(record=True) as caught:
     warnings.simplefilter("always", DeprecationWarning)
-    from repro import WQRTQ
+    # The point of this section is to demo the deprecation shim.
+    from repro import WQRTQ  # reprolint: disable=DEPRECATED-API
 
     engine = WQRTQ(computers, q, k=3, weights=weights)
     legacy = engine.modify_query_point(missing)

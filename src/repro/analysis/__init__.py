@@ -1,0 +1,62 @@
+"""reprolint — AST-based invariant checker for this repo.
+
+The test suite proves behaviour; this package proves *structure*: the
+architectural contracts PRs 1-6 established (layer separation, the
+versioned wire schema, seeded determinism, resource lifecycles,
+frozen-value discipline) hold as properties of the source tree, not
+as conventions living in reviewers' heads.  ``wqrtq lint`` runs every
+registered rule; see DESIGN.md §"Invariants & static analysis" for
+the rule-by-rule contract table.
+
+The package itself is stdlib-only (``ast`` + ``pathlib`` +
+``argparse``), so the CI lint job stays cheap and gates the test
+matrix.
+"""
+
+from repro.analysis.framework import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    Finding,
+    LintReport,
+    RuleSpec,
+    get_rule,
+    register_rule,
+    render_human,
+    render_json,
+    rule_ids,
+    run_rules,
+)
+from repro.analysis.project import Project, discover_root
+
+# Importing a rule module registers its rules; the import order below
+# is the registry order (and therefore --list-rules / DESIGN.md
+# table order).
+from repro.analysis import rules_layering as _rules_layering
+from repro.analysis import rules_schema as _rules_schema
+from repro.analysis import rules_determinism as _rules_determinism
+from repro.analysis import rules_resources as _rules_resources
+from repro.analysis import rules_frozen as _rules_frozen
+from repro.analysis.rules_schema import extract_schema, update_lock
+from repro.analysis.runner import lint_command, main
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "Finding",
+    "LintReport",
+    "Project",
+    "RuleSpec",
+    "discover_root",
+    "extract_schema",
+    "get_rule",
+    "lint_command",
+    "main",
+    "register_rule",
+    "render_human",
+    "render_json",
+    "rule_ids",
+    "run_rules",
+    "update_lock",
+]

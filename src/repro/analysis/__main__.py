@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — standalone reprolint entry point
+for environments that bypass the ``wqrtq`` console script (CI)."""
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,238 @@
+"""Rule framework for *reprolint* — the repo's invariant checker.
+
+The analysis subsystem mirrors the shape of
+:mod:`repro.core.registry`: rules are plain functions made
+addressable through a ``@register_rule`` decorator, and every front
+door (the ``wqrtq lint`` CLI, the test harness, CI) dispatches
+through the same registry — adding a rule means writing one function,
+not touching the runner.
+
+A rule is a callable ``fn(project) -> iterable[Finding]`` over a
+parsed :class:`~repro.analysis.project.Project`.  The runner
+(:func:`run_rules`) owns everything rules should not re-implement:
+
+* **Suppressions** — a finding whose source line carries
+  ``# reprolint: disable=RULE-ID`` (comma-separated ids, or ``all``)
+  is dropped and counted, so deliberate exceptions are visible in the
+  report instead of silently configured away.  Project-level findings
+  (line 0) cannot be suppressed — they describe the repo, not a line.
+* **Ordering** — findings sort by ``(path, line, rule)`` so output is
+  stable across dict-ordering and rule-registration changes.
+* **Rendering** — one human formatter (``path:line:col: RULE: msg``)
+  and one JSON formatter share the runner's counts, so the two output
+  modes can never disagree about what was found.
+
+Exit codes are fixed here (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS`
+/ :data:`EXIT_USAGE`) because CI keys off them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.project import Project
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "Finding",
+    "LintReport",
+    "RuleSpec",
+    "get_rule",
+    "register_rule",
+    "render_human",
+    "render_json",
+    "rule_ids",
+    "run_rules",
+]
+
+#: ``wqrtq lint`` exit codes — stable, CI scripts key off them.
+EXIT_CLEAN = 0      # no findings
+EXIT_FINDINGS = 1   # at least one unsuppressed finding
+EXIT_USAGE = 2      # bad invocation / unresolvable project root
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is root-relative (posix separators); ``line``/``col``
+    are 1-based/0-based as in :mod:`ast`.  ``line == 0`` marks a
+    project-level finding (e.g. a missing schema lock) that has no
+    source line to suppress on.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule}: {self.message}")
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path,
+                "line": self.line, "col": self.col,
+                "message": self.message}
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One registered rule: id, one-line summary, the contract it
+    guards (shown by ``wqrtq lint --list-rules``) and the checker."""
+
+    id: str
+    summary: str
+    contract: str
+    fn: Callable[[Project], Iterable[Finding]]
+
+    def run(self, project: Project) -> list[Finding]:
+        return list(self.fn(project))
+
+    def describe(self) -> dict:
+        return {"id": self.id, "summary": self.summary,
+                "contract": self.contract}
+
+
+#: Registration order is preserved — it is the presentation order of
+#: ``--list-rules`` and of the DESIGN.md invariant table.
+_RULES: dict[str, RuleSpec] = {}
+
+
+def register_rule(rule_id: str, *, summary: str, contract: str = ""):
+    """Decorator registering a checker under ``rule_id``.
+
+    Raises ``ValueError`` for empty or duplicate ids — shadowing an
+    existing rule silently would change what CI enforces.
+    """
+    key = str(rule_id).strip().upper()
+
+    def decorate(fn):
+        if not key:
+            raise ValueError("rule id must be non-empty")
+        if key in _RULES:
+            raise ValueError(f"rule {key!r} is already registered")
+        _RULES[key] = RuleSpec(id=key, summary=summary,
+                               contract=contract, fn=fn)
+        return fn
+
+    return decorate
+
+
+def rule_ids() -> tuple[str, ...]:
+    """Registered rule ids, in registration order."""
+    return tuple(_RULES)
+
+
+def get_rule(rule_id: str) -> RuleSpec:
+    """Look up a rule; the error message lists the registered ids."""
+    key = str(rule_id).strip().upper()
+    spec = _RULES.get(key)
+    if spec is None:
+        known = ", ".join(rule_ids()) or "<none>"
+        raise ValueError(f"unknown rule: {rule_id!r} "
+                         f"(registered: {known})")
+    return spec
+
+
+# ---------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_\-, ]+)")
+
+
+def suppressed_ids(line: str) -> frozenset[str]:
+    """Rule ids a source line suppresses (``ALL`` disables every
+    rule on the line); empty when the line carries no directive."""
+    match = _SUPPRESS_RE.search(line)
+    if not match:
+        return frozenset()
+    return frozenset(token.strip().upper()
+                     for token in match.group(1).split(",")
+                     if token.strip())
+
+
+def _is_suppressed(finding: Finding, project: Project) -> bool:
+    if finding.line <= 0:
+        return False
+    file = project.get(finding.path)
+    if file is None or finding.line > len(file.lines):
+        return False
+    ids = suppressed_ids(file.lines[finding.line - 1])
+    return bool(ids) and (finding.rule in ids or "ALL" in ids)
+
+
+# ---------------------------------------------------------------------
+# Runner and renderers
+# ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The result of one lint run — what both renderers consume."""
+
+    findings: tuple[Finding, ...]
+    suppressed: int
+    rules: tuple[str, ...]
+    files: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_CLEAN if self.clean else EXIT_FINDINGS
+
+
+def run_rules(project: Project,
+              rules: Iterable[str] | None = None) -> LintReport:
+    """Run ``rules`` (default: all registered) over ``project``.
+
+    Unknown ids raise ``ValueError`` (listing the registry) before
+    any rule runs — a typo'd ``--rule`` must not report "clean".
+    """
+    specs = ([get_rule(rule_id) for rule_id in rules]
+             if rules is not None else
+             [get_rule(rule_id) for rule_id in rule_ids()])
+    raw: list[Finding] = []
+    for spec in specs:
+        raw.extend(spec.run(project))
+    kept = [f for f in raw if not _is_suppressed(f, project)]
+    kept.sort(key=lambda f: (f.path, f.line, f.rule, f.col))
+    return LintReport(findings=tuple(kept),
+                      suppressed=len(raw) - len(kept),
+                      rules=tuple(spec.id for spec in specs),
+                      files=len(project.files))
+
+
+def render_human(report: LintReport) -> str:
+    lines = [finding.render() for finding in report.findings]
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    tail = (f"reprolint: {len(report.findings)} {noun}"
+            if report.findings else "reprolint: clean")
+    tail += (f" ({report.files} files, {len(report.rules)} rules"
+             + (f", {report.suppressed} suppressed" if report.suppressed
+                else "") + ")")
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> dict:
+    """JSON-safe report (the ``wqrtq lint --json`` payload)."""
+    return {
+        "clean": report.clean,
+        "counts": {"findings": len(report.findings),
+                   "suppressed": report.suppressed,
+                   "files": report.files},
+        "rules": list(report.rules),
+        "findings": [finding.to_dict()
+                     for finding in report.findings],
+    }

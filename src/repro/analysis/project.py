@@ -1,0 +1,282 @@
+"""Parsed-source model reprolint rules run against.
+
+A :class:`Project` is a rooted snapshot of the repo's Python sources
+— ``src/repro`` (the package), ``examples/`` and ``benchmarks/``
+(scripts) — each parsed once into a :class:`ProjectFile` carrying the
+AST, the raw lines (for suppression comments) and the dotted module
+name.  ``tests/`` is deliberately out of scope: its lint fixtures
+*exist to violate* the rules.
+
+Rules never re-parse or re-walk imports themselves; the shared
+extraction lives here:
+
+* :meth:`ProjectFile.imports` — every ``import``/``from`` statement
+  (module-level *and* deferred inside functions — layering contracts
+  bind the import graph, not just import time) as
+  :class:`ImportRecord` rows with relative imports resolved;
+* :meth:`ProjectFile.alias_map` — local name → dotted origin
+  (``np`` → ``numpy``, ``shared_memory`` →
+  ``multiprocessing.shared_memory``), which
+  :func:`resolve_call_target` uses to turn an attribute-chain call
+  like ``np.random.default_rng(...)`` into the canonical dotted name
+  rules match on;
+* :func:`walk_functions` — (node, enclosing ``FunctionDef``) pairs
+  for rules that scope findings to the surrounding function.
+
+Everything here is stdlib-only (``ast`` + ``pathlib``): the linter
+adds no dependencies of its own — the only heavyweight import in a
+lint run is the ``repro`` facade on the way in.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "ImportRecord",
+    "Project",
+    "ProjectFile",
+    "discover_root",
+    "is_stdlib",
+    "resolve_call_target",
+    "walk_functions",
+]
+
+#: Directories scanned relative to the project root.  ``src/repro``
+#: is the package; examples and benchmarks are leaf scripts that the
+#: determinism and deprecation rules still apply to.
+SCAN_DIRS = ("src/repro", "examples", "benchmarks")
+
+
+def is_stdlib(module: str) -> bool:
+    """True when ``module``'s top-level package ships with CPython."""
+    top = module.partition(".")[0]
+    return top in sys.stdlib_module_names or top == "__future__"
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One imported target in one file.
+
+    ``target`` is the dotted module the statement reaches
+    (``from repro.core import mqp`` records ``repro.core``;
+    each plain ``import a.b`` name records ``a.b``), ``names`` the
+    bound names for ``from`` imports (empty otherwise), and
+    ``deferred`` whether the statement sits inside a function body.
+    """
+
+    target: str
+    names: tuple[str, ...]
+    line: int
+    col: int
+    deferred: bool
+
+
+@dataclass
+class ProjectFile:
+    """One parsed source file."""
+
+    path: Path
+    rel: str                      # root-relative, posix separators
+    module: str | None            # dotted name for package files
+    source: str
+    tree: ast.AST
+    lines: list[str] = field(default_factory=list)
+    _imports: list[ImportRecord] | None = None
+    _aliases: dict[str, str] | None = None
+
+    @property
+    def package_segment(self) -> str | None:
+        """The layer key: first package segment under ``repro``.
+
+        ``repro.service.server`` → ``"service"``; single-module
+        layers map to themselves (``repro.cli`` → ``"cli"``); the
+        facade ``repro`` itself → ``"repro"``.  ``None`` for
+        non-package files (examples, benchmarks).
+        """
+        if self.module is None or self.module.split(".")[0] != "repro":
+            return None
+        parts = self.module.split(".")
+        return parts[1] if len(parts) > 1 else "repro"
+
+    def imports(self) -> list[ImportRecord]:
+        if self._imports is None:
+            self._imports = list(_extract_imports(self))
+        return self._imports
+
+    def alias_map(self) -> dict[str, str]:
+        """Local binding → dotted origin, for call-target resolution.
+
+        ``import numpy as np`` → ``{"np": "numpy"}``; ``import a.b``
+        binds ``a`` → ``a``; ``from m import x as y`` →
+        ``{"y": "m.x"}``.  Later bindings win, matching runtime.
+        """
+        if self._aliases is None:
+            aliases: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for name in node.names:
+                        if name.asname:
+                            aliases[name.asname] = name.name
+                        else:
+                            top = name.name.partition(".")[0]
+                            aliases[top] = top
+                elif isinstance(node, ast.ImportFrom):
+                    base = _from_target(self, node)
+                    for name in node.names:
+                        if name.name == "*":
+                            continue
+                        bound = name.asname or name.name
+                        aliases[bound] = f"{base}.{name.name}"
+            self._aliases = aliases
+        return self._aliases
+
+
+def _module_name(rel_posix: str) -> str | None:
+    """Dotted module name for package files under ``src/``."""
+    if not rel_posix.startswith("src/"):
+        return None
+    parts = rel_posix[len("src/"):].removesuffix(".py").split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _from_target(file: ProjectFile, node: ast.ImportFrom) -> str:
+    """The dotted module a ``from … import`` statement targets, with
+    relative levels resolved against the file's own module."""
+    if not node.level:
+        return node.module or ""
+    base = (file.module or "").split(".")
+    # ``from . import x`` in a module drops 1 trailing part; in a
+    # package __init__ the module name already names the package.
+    if not file.rel.endswith("__init__.py"):
+        base = base[:-1]
+    drop = node.level - 1
+    if drop:
+        base = base[:-drop] if drop < len(base) else []
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+def _extract_imports(file: ProjectFile) -> Iterator[ImportRecord]:
+    for node, func in walk_functions(file.tree):
+        deferred = func is not None
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                yield ImportRecord(target=name.name, names=(),
+                                   line=node.lineno,
+                                   col=node.col_offset,
+                                   deferred=deferred)
+        elif isinstance(node, ast.ImportFrom):
+            yield ImportRecord(
+                target=_from_target(file, node),
+                names=tuple(n.name for n in node.names),
+                line=node.lineno, col=node.col_offset,
+                deferred=deferred)
+
+
+def walk_functions(tree: ast.AST,
+                   ) -> Iterator[tuple[ast.AST, ast.AST | None]]:
+    """Yield ``(node, enclosing_function)`` for every node.
+
+    ``enclosing_function`` is the innermost ``FunctionDef`` /
+    ``AsyncFunctionDef`` containing the node, or ``None`` at module
+    or class level — the scope rules use to decide questions like
+    "is this ``object.__setattr__`` inside ``__post_init__``?".
+    """
+    def visit(node: ast.AST, func: ast.AST | None):
+        yield node, func
+        inner = (node if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)) else func)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, inner)
+
+    yield from visit(tree, None)
+
+
+def resolve_call_target(node: ast.expr,
+                        aliases: dict[str, str]) -> str | None:
+    """Canonical dotted name of a ``Name``/``Attribute`` chain.
+
+    ``np.random.default_rng`` with ``np → numpy`` resolves to
+    ``"numpy.random.default_rng"``; a chain rooted in anything other
+    than a plain name (a call result, a subscript) resolves to
+    ``None`` — rules only match statically-known targets.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(aliases.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+class Project:
+    """All scanned files of one repo checkout, parsed once."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root).resolve()
+        self.files: list[ProjectFile] = []
+        self._by_rel: dict[str, ProjectFile] = {}
+        for scan in SCAN_DIRS:
+            base = self.root / scan
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                rel = path.relative_to(self.root).as_posix()
+                source = path.read_text(encoding="utf-8")
+                try:
+                    tree = ast.parse(source, filename=str(path))
+                except SyntaxError as exc:
+                    raise ValueError(
+                        f"cannot lint {rel}: {exc}") from exc
+                file = ProjectFile(
+                    path=path, rel=rel, module=_module_name(rel),
+                    source=source, tree=tree,
+                    lines=source.splitlines())
+                self.files.append(file)
+                self._by_rel[rel] = file
+
+    def get(self, rel: str) -> ProjectFile | None:
+        return self._by_rel.get(rel)
+
+    def package_files(self) -> list[ProjectFile]:
+        """Files that belong to the ``repro`` package."""
+        return [f for f in self.files if f.module is not None]
+
+
+def discover_root(explicit: str | Path | None = None) -> Path:
+    """Locate the repo root (the directory holding ``src/repro``).
+
+    Tries, in order: the explicit argument, the working directory and
+    its ancestors, then the installed package's own location (a
+    ``src/`` layout checkout).  Raises ``ValueError`` when nothing
+    matches — the CLI turns that into exit code 2.
+    """
+    def is_root(path: Path) -> bool:
+        return (path / "src" / "repro" / "__init__.py").is_file()
+
+    if explicit is not None:
+        root = Path(explicit).resolve()
+        if not is_root(root):
+            raise ValueError(f"{root} does not look like a repo root "
+                             f"(no src/repro package)")
+        return root
+    for candidate in [Path.cwd(), *Path.cwd().parents]:
+        if is_root(candidate):
+            return candidate
+    package_dir = Path(__file__).resolve().parent.parent   # src/repro
+    candidate = package_dir.parent.parent                  # repo root
+    if is_root(candidate):
+        return candidate
+    raise ValueError(
+        "cannot locate the repo root: pass --root (a directory "
+        "containing src/repro)")

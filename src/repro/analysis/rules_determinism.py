@@ -1,0 +1,164 @@
+"""Determinism rules: no hidden randomness, no wall-clock in the
+deterministic zone.
+
+The anytime contract (PR 5) rests on two properties the type system
+cannot see: refinement is *chunk-invariant* (refining to ``N`` total
+samples in any chunk sequence equals the one-shot run at
+``sample_size=N`` and the same seed) and penalties are *monotone*
+across rounds.  Both break the moment an algorithm draws entropy
+from anywhere but the caller's seeded generator, or branches on the
+wall clock:
+
+* ``DET-RNG`` — in every scanned file, randomness must flow through
+  an explicitly seeded ``numpy.random.default_rng(seed)``; unseeded
+  generators, the legacy global-state ``np.random.*`` functions and
+  the stdlib ``random`` module are all hidden per-process state that
+  makes chunked ≠ one-shot and worker ≠ session.
+* ``DET-CLOCK`` — inside the deterministic zone (the stepper modules,
+  the kernel set and ``topk/``), reading the clock is forbidden:
+  deadline handling lives in the *executor*, which sits outside the
+  zone precisely so the refinement math below it stays a pure
+  function of (question, seed, snapshot).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Finding, register_rule
+from repro.analysis.project import (
+    Project,
+    resolve_call_target,
+)
+
+#: Modules whose outputs must be pure functions of
+#: (inputs, seed, snapshot): the three steppers and their sampling
+#: substrate, the shared kernel set, and the whole top-k layer.
+DETERMINISTIC_MODULES = frozenset({
+    "repro.core.mqp",
+    "repro.core.mwk",
+    "repro.core.mqwk",
+    "repro.core.sampling",
+    "repro.core.incomparable",
+    "repro.core.penalty",
+    "repro.core.safe_region",
+    "repro.engine.kernels",
+})
+
+#: ``numpy.random`` attributes that are *not* hidden global state.
+_SEEDABLE_RNG_API = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "Philox", "SFC64", "MT19937",
+})
+
+#: Clock reads the deterministic zone may never perform.
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+def _in_deterministic_zone(module: str | None) -> bool:
+    if module is None:
+        return False
+    return (module in DETERMINISTIC_MODULES
+            or module.startswith("repro.topk"))
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """True when a ``default_rng`` call passes no seed (or ``None``)."""
+    if call.keywords:
+        return False
+    if not call.args:
+        return True
+    return (len(call.args) == 1
+            and isinstance(call.args[0], ast.Constant)
+            and call.args[0].value is None)
+
+
+@register_rule(
+    "DET-RNG",
+    summary="randomness flows only through seeded default_rng "
+            "generators",
+    contract="chunk-invariance and worker/session byte-identity "
+             "(PRs 5-6) require every sample to derive from the "
+             "caller's seed, never from process-global RNG state")
+def check_rng(project: Project):
+    for file in project.files:
+        aliases = file.alias_map()
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, aliases)
+            if target is None:
+                continue
+            if target.endswith(".default_rng") or \
+                    target == "numpy.random.default_rng":
+                if _is_unseeded(node):
+                    yield Finding(
+                        rule="DET-RNG", path=file.rel,
+                        line=node.lineno, col=node.col_offset,
+                        message=("unseeded default_rng(): draws "
+                                 "OS entropy, so reruns (and "
+                                 "chunked refinement) cannot "
+                                 "reproduce — pass an explicit "
+                                 "seed"))
+            elif target.startswith("numpy.random."):
+                attr = target[len("numpy.random."):]
+                if attr not in _SEEDABLE_RNG_API:
+                    yield Finding(
+                        rule="DET-RNG", path=file.rel,
+                        line=node.lineno, col=node.col_offset,
+                        message=(f"legacy global-state "
+                                 f"numpy.random.{attr}(): mutates "
+                                 f"hidden per-process state — use a "
+                                 f"seeded default_rng generator"))
+            elif target.startswith("random."):
+                yield Finding(
+                    rule="DET-RNG", path=file.rel,
+                    line=node.lineno, col=node.col_offset,
+                    message=(f"stdlib {target}(): per-process "
+                             f"global RNG — use a seeded "
+                             f"numpy default_rng generator"))
+        # ``from random import shuffle`` smuggles the same state in
+        # under a bare name; catch it at the import.
+        for record in file.imports():
+            if record.target == "random" or \
+                    record.target.startswith("random."):
+                yield Finding(
+                    rule="DET-RNG", path=file.rel, line=record.line,
+                    col=record.col,
+                    message=("stdlib random module imported: "
+                             "per-process global RNG — use seeded "
+                             "numpy default_rng generators"))
+
+
+@register_rule(
+    "DET-CLOCK",
+    summary="no wall-clock reads inside the deterministic zone "
+            "(steppers, kernels, topk/)",
+    contract="penalty monotonicity and chunked ≡ one-shot (PR 5) "
+             "hold only if refinement never branches on time; "
+             "deadlines belong to the executor above the zone")
+def check_clock(project: Project):
+    for file in project.package_files():
+        if not _in_deterministic_zone(file.module):
+            continue
+        aliases = file.alias_map()
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, aliases)
+            if target in _CLOCK_CALLS:
+                yield Finding(
+                    rule="DET-CLOCK", path=file.rel,
+                    line=node.lineno, col=node.col_offset,
+                    message=(f"{target}() inside the deterministic "
+                             f"zone: refinement must be a pure "
+                             f"function of (question, seed, "
+                             f"snapshot) — hoist timing into "
+                             f"engine/executor.py"))

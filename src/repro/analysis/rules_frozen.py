@@ -1,0 +1,126 @@
+"""Frozen-value discipline: protocol objects and context arrays are
+immutable everywhere except their constructors.
+
+The whole snapshot architecture (PRs 4 and 6) rests on two
+conventions Python cannot enforce at runtime:
+
+* ``FROZEN-SETATTR`` — frozen dataclasses (``Question``, ``Answer``,
+  ``Budget``, …) are only writable through ``object.__setattr__``,
+  which their own constructors legitimately use to install validated
+  values.  The same call *outside* a constructor is a mutation of a
+  value other code already hashed, cached or shipped over a pipe.
+* ``CTX-MUTATE`` — arrays handed out by ``DatasetContext``
+  (``points``, ``product_ids``) are shared across threads, cached
+  partitions and zero-copy shm views; writing into them corrupts
+  every reader at once.  The arrays are marked read-only at
+  construction, so this rule also bans re-enabling writability with
+  ``setflags(write=True)`` — the one way around the runtime guard.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Finding, register_rule
+from repro.analysis.project import Project, walk_functions
+
+#: Methods where ``object.__setattr__`` is the sanctioned idiom:
+#: construction, unpickling and copying — the places a frozen value
+#: does not yet (or no longer) have observers.
+_CONSTRUCTOR_METHODS = frozenset({
+    "__init__", "__post_init__", "__new__",
+    "__setstate__", "__reduce__", "__reduce_ex__",
+    "__copy__", "__deepcopy__",
+})
+
+#: Context-owned array attributes that must never be written through.
+_CONTEXT_ARRAYS = frozenset({"points", "product_ids"})
+
+
+@register_rule(
+    "FROZEN-SETATTR",
+    summary="object.__setattr__ only inside constructors of frozen "
+            "types",
+    contract="Question/Answer/Budget are hashed, cached and piped "
+             "(PRs 3-6); mutating one after construction corrupts "
+             "caches and worker IPC")
+def check_frozen_setattr(project: Project):
+    for file in project.files:
+        for node, func in walk_functions(file.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "__setattr__"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "object"):
+                continue
+            where = getattr(func, "name", None)
+            if where in _CONSTRUCTOR_METHODS:
+                continue
+            yield Finding(
+                rule="FROZEN-SETATTR", path=file.rel,
+                line=node.lineno, col=node.col_offset,
+                message=(f"object.__setattr__ outside a constructor "
+                         f"(in {where or 'module scope'}): frozen "
+                         f"protocol values must not mutate after "
+                         f"construction — build a new value with "
+                         f"dataclasses.replace"))
+
+
+def _names_context_array(node: ast.expr) -> str | None:
+    """The attribute name if ``node`` is ``<expr>.points`` /
+    ``<expr>.product_ids`` (possibly under subscripts)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute) and \
+            node.attr in _CONTEXT_ARRAYS:
+        return node.attr
+    return None
+
+
+@register_rule(
+    "CTX-MUTATE",
+    summary="no in-place writes to context-owned arrays, no "
+            "setflags(write=True)",
+    contract="DatasetContext arrays back cached partitions and "
+             "zero-copy shm views (PRs 1, 6); an in-place write "
+             "corrupts every concurrent reader")
+def check_context_mutation(project: Project):
+    for file in project.files:
+        for node in ast.walk(file.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = [t for t in node.targets
+                           if isinstance(t, ast.Subscript)]
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                name = _names_context_array(target)
+                if name is not None:
+                    yield Finding(
+                        rule="CTX-MUTATE", path=file.rel,
+                        line=node.lineno, col=node.col_offset,
+                        message=(f"in-place write to a context "
+                                 f"array (.{name}): snapshots are "
+                                 f"immutable — go through "
+                                 f"Catalogue.add/update/"
+                                 f"remove_products"))
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "setflags" and \
+                    _enables_write(node):
+                yield Finding(
+                    rule="CTX-MUTATE", path=file.rel,
+                    line=node.lineno, col=node.col_offset,
+                    message=("setflags(write=True): re-enabling "
+                             "writability defeats the read-only "
+                             "guard on shared snapshot arrays"))
+
+
+def _enables_write(call: ast.Call) -> bool:
+    if call.args and isinstance(call.args[0], ast.Constant) and \
+            call.args[0].value is True:
+        return True
+    return any(kw.arg == "write"
+               and isinstance(kw.value, ast.Constant)
+               and kw.value.value is True
+               for kw in call.keywords)

@@ -1,0 +1,169 @@
+"""Layering rules: the DESIGN.md import matrix, service purity and
+the deprecated-API quarantine.
+
+These three rules guard the architecture PRs 1-6 built:
+
+* the engine layer must stay importable without the service tier,
+  substrates (geometry/index/qp/topk/rtopk) without either;
+* ``service/`` is stdlib-only by design (PR 2) — the whole point of
+  the layer is that a deployment can reason about it without numpy
+  in the frame, and every array computation crosses into ``engine/``
+  through a ``repro.*`` seam;
+* the pre-schema entry points (``WQRTQ``, ``WhyNotBatch``,
+  ``answer_one``, ``execute_batch``) were demoted to deprecation
+  shims in PR 3 — nothing outside the shim modules and the public
+  facade may import them, or the deprecation can never complete.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.framework import Finding, register_rule
+from repro.analysis.project import Project, is_stdlib
+
+__all__ = ["LAYER_MATRIX"]
+
+#: Allowed cross-package import edges inside ``repro`` — the
+#: DESIGN.md "Layering" diagram in machine-checkable form.  Keys and
+#: values are first package segments (``repro.service.server`` →
+#: ``service``); imports within one segment are always allowed, and
+#: the ``repro`` facade (``__init__``) is unrestricted — it exists to
+#: re-export everything.  A package missing from the matrix is itself
+#: a finding: new subsystems must declare their layer in DESIGN.md.
+LAYER_MATRIX: dict[str, frozenset[str]] = {
+    "__main__": frozenset({"cli"}),
+    "cli": frozenset({"analysis", "bench", "core", "data", "engine",
+                      "rtopk", "service", "viz"}),
+    "bench": frozenset({"core", "data", "engine", "geometry",
+                        "topk"}),
+    "service": frozenset({"core", "data", "engine"}),
+    "core": frozenset({"data", "engine", "geometry", "index", "qp",
+                       "rtopk", "topk"}),
+    "data": frozenset({"core", "engine", "geometry"}),
+    "engine": frozenset({"core", "geometry", "index"}),
+    "geometry": frozenset({"engine"}),
+    "index": frozenset(),
+    "qp": frozenset(),
+    "rtopk": frozenset({"engine", "geometry", "index", "topk"}),
+    "topk": frozenset({"engine", "geometry", "index"}),
+    "viz": frozenset(),
+    "analysis": frozenset(),
+    "_testsupport": frozenset(),
+}
+
+#: Deprecated pre-schema entry points (PR 3) and the shim module that
+#: still defines each.
+DEPRECATED_NAMES: dict[str, str] = {
+    "WQRTQ": "repro.core.framework",
+    "WhyNotBatch": "repro.core.batch",
+    "answer_one": "repro.engine.executor",
+    "execute_batch": "repro.engine.executor",
+}
+
+#: Modules allowed to import the deprecated names: the shims
+#: themselves plus the back-compat facades that re-export them.
+_SHIM_MODULES = frozenset({
+    "repro", "repro.core", "repro.engine",
+    "repro.core.framework", "repro.core.batch",
+    "repro.engine.executor",
+})
+
+
+def _target_segment(target: str) -> str | None:
+    parts = target.split(".")
+    if parts[0] != "repro":
+        return None
+    return parts[1] if len(parts) > 1 else "repro"
+
+
+@register_rule(
+    "LAYERING",
+    summary="cross-package imports must follow the DESIGN.md layer "
+            "matrix",
+    contract="engine/ serves every front door without depending on "
+             "any of them; substrates stay leaf-importable "
+             "(established by PR 1, extended by PRs 2-6)")
+def check_layering(project: Project):
+    for file in project.package_files():
+        segment = file.package_segment
+        if segment is None or segment == "repro":
+            continue   # the facade re-exports everything by design
+        allowed = LAYER_MATRIX.get(segment)
+        if allowed is None:
+            yield Finding(
+                rule="LAYERING", path=file.rel, line=1, col=0,
+                message=(f"package segment {segment!r} is not in the "
+                         f"layer matrix — declare its allowed "
+                         f"imports in DESIGN.md and "
+                         f"repro.analysis.rules_layering"))
+            continue
+        for record in file.imports():
+            dest = _target_segment(record.target)
+            if dest is None or dest == segment:
+                continue
+            if dest == "repro":
+                yield Finding(
+                    rule="LAYERING", path=file.rel, line=record.line,
+                    col=record.col,
+                    message=(f"{file.module} imports the repro "
+                             f"facade; import the defining module "
+                             f"instead (facade imports create "
+                             f"cycles)"))
+            elif dest not in allowed:
+                yield Finding(
+                    rule="LAYERING", path=file.rel, line=record.line,
+                    col=record.col,
+                    message=(f"{segment}/ must not import {dest}/ "
+                             f"({record.target}): edge is outside "
+                             f"the DESIGN.md layer matrix"))
+
+
+@register_rule(
+    "SERVICE-PURITY",
+    summary="service/ imports only the stdlib and repro.*",
+    contract="the serving tier is stdlib-only and numpy-free "
+             "(PR 2); array work crosses into engine/ through a "
+             "repro seam")
+def check_service_purity(project: Project):
+    for file in project.package_files():
+        if file.package_segment != "service":
+            continue
+        for record in file.imports():
+            top = record.target.partition(".")[0]
+            if top == "repro" or is_stdlib(record.target):
+                continue
+            detail = ("service/ is numpy-free by contract"
+                      if top == "numpy" else
+                      "service/ is stdlib-only by contract")
+            yield Finding(
+                rule="SERVICE-PURITY", path=file.rel,
+                line=record.line, col=record.col,
+                message=(f"service module imports {record.target!r}: "
+                         f"{detail} — move the computation below a "
+                         f"repro.* seam"))
+
+
+@register_rule(
+    "DEPRECATED-API",
+    summary="deprecated names (WQRTQ, WhyNotBatch, answer_one, "
+            "execute_batch) import only inside their shims",
+    contract="the pre-schema entry points are DeprecationWarning "
+             "shims (PR 3); new call sites would re-entrench the "
+             "API the typed protocol replaced")
+def check_deprecated_api(project: Project):
+    for file in project.files:
+        if file.module in _SHIM_MODULES:
+            continue
+        for record in file.imports():
+            if not record.target.startswith("repro"):
+                continue
+            for name in record.names:
+                shim = DEPRECATED_NAMES.get(name)
+                if shim is None:
+                    continue
+                yield Finding(
+                    rule="DEPRECATED-API", path=file.rel,
+                    line=record.line, col=record.col,
+                    message=(f"import of deprecated {name!r} "
+                             f"(shimmed in {shim}); use the typed "
+                             f"Question/Answer API via "
+                             f"repro.core.session.Session"))

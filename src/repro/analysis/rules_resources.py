@@ -1,0 +1,157 @@
+"""Resource-lifecycle rules: shared memory, locks and threads.
+
+PR 6's multi-process tier made three leak classes possible that no
+unit test reliably reproduces (they need a crash, a signal, or an
+unlucky interleaving to bite):
+
+* ``SHM-LIFECYCLE`` — a ``SharedMemory(create=True)`` segment that
+  never reaches the owner-side sweep registry survives its process
+  and strands ``/dev/shm`` (the CI smoke test can only catch the
+  happy path).  Creation is therefore confined to
+  ``engine/shm.py``, inside a function that records the segment in
+  the ``_OWNED`` registry swept at exit.
+* ``LOCK-WITH`` — a bare ``.acquire()`` orphans the lock on any
+  exception between it and the matching ``release()``; ``with``
+  is the only acquisition idiom.
+* ``THREAD-LIFECYCLE`` — a non-daemon thread that nobody joins turns
+  SIGTERM drain (PR 5's graceful shutdown) into a hang.  Threads are
+  either daemons or joined in their creating scope.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Finding, register_rule
+from repro.analysis.project import (
+    Project,
+    resolve_call_target,
+    walk_functions,
+)
+
+#: The one module allowed to create shared-memory segments: it owns
+#: the sweep registry (``_OWNED``) that ``atexit``/``server_close``
+#: drain.
+_SHM_OWNER_MODULE = "repro.engine.shm"
+_SHM_REGISTRY_NAME = "_OWNED"
+
+_THREAD_FACTORIES = frozenset({
+    "threading.Thread", "threading.Timer",
+})
+
+
+def _is_shared_memory_call(target: str | None) -> bool:
+    return target is not None and (
+        target == "multiprocessing.shared_memory.SharedMemory"
+        or target.endswith("shared_memory.SharedMemory")
+        or target == "SharedMemory")
+
+
+def _creates_segment(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "create" and \
+                isinstance(keyword.value, ast.Constant) and \
+                keyword.value.value is True:
+            return True
+    return False
+
+
+@register_rule(
+    "SHM-LIFECYCLE",
+    summary="SharedMemory(create=True) only in engine/shm.py, "
+            "flowing into the _OWNED sweep registry",
+    contract="every exported segment must be reachable by the "
+             "atexit/server_close sweep (PR 6) or /dev/shm leaks "
+             "on crash and SIGTERM paths")
+def check_shm(project: Project):
+    for file in project.files:
+        aliases = file.alias_map()
+        for node, func in walk_functions(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, aliases)
+            if not (_is_shared_memory_call(target)
+                    and _creates_segment(node)):
+                continue
+            if file.module != _SHM_OWNER_MODULE:
+                yield Finding(
+                    rule="SHM-LIFECYCLE", path=file.rel,
+                    line=node.lineno, col=node.col_offset,
+                    message=("SharedMemory(create=True) outside "
+                             "engine/shm.py: segments must be "
+                             "created by the owner module so the "
+                             "exit sweep can unlink them"))
+            elif func is None or not _references(
+                    func, _SHM_REGISTRY_NAME):
+                yield Finding(
+                    rule="SHM-LIFECYCLE", path=file.rel,
+                    line=node.lineno, col=node.col_offset,
+                    message=(f"SharedMemory(create=True) in a "
+                             f"function that never records the "
+                             f"segment in {_SHM_REGISTRY_NAME}: "
+                             f"the exit sweep cannot find it"))
+
+
+def _references(scope: ast.AST, name: str) -> bool:
+    return any(isinstance(node, ast.Name) and node.id == name
+               for node in ast.walk(scope))
+
+
+@register_rule(
+    "LOCK-WITH",
+    summary="locks are acquired with `with`, never bare .acquire()",
+    contract="an exception between acquire() and release() deadlocks "
+             "every handler thread behind the orphaned lock")
+def check_lock_with(project: Project):
+    for file in project.files:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in ("acquire", "release"):
+                yield Finding(
+                    rule="LOCK-WITH", path=file.rel,
+                    line=node.lineno, col=node.col_offset,
+                    message=(f"bare .{node.func.attr}(): acquire "
+                             f"locks with a `with` block so every "
+                             f"exit path releases"))
+
+
+@register_rule(
+    "THREAD-LIFECYCLE",
+    summary="threads are daemonized or joined in their creating "
+            "scope",
+    contract="graceful drain (PR 5) joins handler threads on "
+             "shutdown; a forgotten non-daemon thread turns SIGTERM "
+             "into a hang")
+def check_threads(project: Project):
+    for file in project.files:
+        aliases = file.alias_map()
+        for node, func in walk_functions(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, aliases)
+            if target not in _THREAD_FACTORIES:
+                continue
+            if any(kw.arg == "daemon"
+                   and isinstance(kw.value, ast.Constant)
+                   and kw.value.value is True
+                   for kw in node.keywords):
+                continue
+            scope = func if func is not None else file.tree
+            if _calls_join(scope):
+                continue
+            yield Finding(
+                rule="THREAD-LIFECYCLE", path=file.rel,
+                line=node.lineno, col=node.col_offset,
+                message=(f"{target.rpartition('.')[2]} created "
+                         f"without daemon=True and never joined in "
+                         f"this scope: it will outlive shutdown — "
+                         f"daemonize it or join it"))
+
+
+def _calls_join(scope: ast.AST) -> bool:
+    return any(isinstance(node, ast.Call)
+               and isinstance(node.func, ast.Attribute)
+               and node.func.attr == "join"
+               and not isinstance(node.func.value, ast.Constant)
+               for node in ast.walk(scope))

@@ -1,0 +1,204 @@
+"""SCHEMA-LOCK: protocol dataclass fields are frozen under
+``schema_lock.json`` until ``SCHEMA_VERSION`` is bumped.
+
+The wire schema (:mod:`repro.core.protocol`) is consumed by clients
+that negotiate by version number (PRs 3-5): a field added to
+``Answer`` without bumping ``SCHEMA_VERSION`` ships payloads that a
+same-version peer decodes differently — the one bug class the
+version ladder exists to prevent, and one no test catches because
+both sides of the test suite share the mutated code.
+
+The committed ``schema_lock.json`` (repo root) records, per locked
+dataclass, the field names at the version it was generated for.  The
+rule compares the *parsed* protocol source against the lock:
+
+* fields changed, ``SCHEMA_VERSION`` unchanged → the violation this
+  rule exists for: bump the version, extend
+  ``SUPPORTED_SCHEMA_VERSIONS`` and the server's negotiation ladder,
+  then regenerate the lock;
+* fields changed *and* the version bumped → the lock is stale;
+  regenerate it (``wqrtq lint --update-lock``) so the next drift is
+  caught against the new baseline;
+* lock missing / unreadable → a project-level finding, because an
+  absent baseline silently disables the check.
+
+``wqrtq lint --update-lock`` writes the lock from the current
+source; CI regenerates and ``git diff --exit-code``\\ s it, so a
+schema change cannot merge without an explicit, reviewed lock
+update riding alongside.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from repro.analysis.framework import Finding, register_rule
+from repro.analysis.project import Project
+
+__all__ = ["LOCKED_CLASSES", "extract_schema", "update_lock"]
+
+#: Root-relative locations of the schema source and its lock.
+PROTOCOL_REL = "src/repro/core/protocol.py"
+LOCK_REL = "schema_lock.json"
+
+#: Wire dataclasses whose field sets the lock freezes.
+LOCKED_CLASSES = ("Question", "Answer", "Budget", "Quality",
+                  "ErrorInfo")
+
+_REGEN_HINT = "regenerate with: wqrtq lint --update-lock"
+
+
+def extract_schema(tree: ast.AST) -> dict:
+    """Parse the protocol module into the lock's shape:
+    ``{"schema_version": int | None, "classes": {name: [fields]}}``.
+
+    Fields are the annotated assignments in each locked class body —
+    exactly what ``@dataclass`` turns into wire fields; unannotated
+    class attributes (e.g. ``Question._FIELDS``) and underscored
+    names are not schema.
+    """
+    classes: dict[str, list[str]] = {}
+    version: int | None = None
+    lines: dict[str, int] = {}
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, ast.ClassDef) and \
+                node.name in LOCKED_CLASSES:
+            fields = [stmt.target.id for stmt in node.body
+                      if isinstance(stmt, ast.AnnAssign)
+                      and isinstance(stmt.target, ast.Name)
+                      and not stmt.target.id.startswith("_")]
+            classes[node.name] = fields
+            lines[node.name] = node.lineno
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and \
+                        target.id == "SCHEMA_VERSION" and \
+                        isinstance(node.value, ast.Constant) and \
+                        isinstance(node.value.value, int):
+                    version = node.value.value
+    return {"schema_version": version, "classes": classes,
+            "_lines": lines}
+
+
+def _current_schema(project: Project) -> tuple[dict | None, Finding | None]:
+    file = project.get(PROTOCOL_REL)
+    if file is None:
+        return None, Finding(
+            rule="SCHEMA-LOCK", path=PROTOCOL_REL, line=0, col=0,
+            message="protocol module not found — cannot check the "
+                    "schema lock")
+    schema = extract_schema(file.tree)
+    if schema["schema_version"] is None:
+        return None, Finding(
+            rule="SCHEMA-LOCK", path=PROTOCOL_REL, line=1, col=0,
+            message="no literal SCHEMA_VERSION assignment found in "
+                    "the protocol module")
+    missing = [name for name in LOCKED_CLASSES
+               if name not in schema["classes"]]
+    if missing:
+        return None, Finding(
+            rule="SCHEMA-LOCK", path=PROTOCOL_REL, line=1, col=0,
+            message=(f"locked dataclass(es) missing from the "
+                     f"protocol module: {', '.join(missing)}"))
+    return schema, None
+
+
+def _lock_payload(schema: dict) -> dict:
+    return {
+        "comment": f"Schema lock for {PROTOCOL_REL} — do not edit "
+                   f"by hand; {_REGEN_HINT}",
+        "schema_version": schema["schema_version"],
+        "classes": {name: list(schema["classes"][name])
+                    for name in sorted(schema["classes"])},
+    }
+
+
+def update_lock(project: Project) -> Path:
+    """Write ``schema_lock.json`` from the current protocol source.
+
+    Raises ``ValueError`` when the protocol module cannot be parsed
+    into a lock (the CLI reports it and exits 2).
+    """
+    schema, problem = _current_schema(project)
+    if schema is None:
+        raise ValueError(problem.message)
+    path = project.root / LOCK_REL
+    path.write_text(json.dumps(_lock_payload(schema), indent=2,
+                               sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+@register_rule(
+    "SCHEMA-LOCK",
+    summary="protocol dataclass fields match schema_lock.json at "
+            "the locked SCHEMA_VERSION",
+    contract="wire compatibility (PRs 3-5): a field change without "
+             "a version bump ships payloads same-version peers "
+             "decode differently")
+def check_schema_lock(project: Project):
+    schema, problem = _current_schema(project)
+    if schema is None:
+        yield problem
+        return
+    lock_path = project.root / LOCK_REL
+    if not lock_path.is_file():
+        yield Finding(
+            rule="SCHEMA-LOCK", path=LOCK_REL, line=0, col=0,
+            message=f"committed schema lock missing — {_REGEN_HINT}")
+        return
+    try:
+        lock = json.loads(lock_path.read_text(encoding="utf-8"))
+        locked_version = int(lock["schema_version"])
+        locked_classes = {str(k): [str(f) for f in v]
+                          for k, v in dict(lock["classes"]).items()}
+    except (ValueError, KeyError, TypeError) as exc:
+        yield Finding(
+            rule="SCHEMA-LOCK", path=LOCK_REL, line=0, col=0,
+            message=f"schema lock is unreadable ({exc}) — "
+                    f"{_REGEN_HINT}")
+        return
+
+    version = schema["schema_version"]
+    drifted = []
+    for name in LOCKED_CLASSES:
+        current = schema["classes"][name]
+        locked = locked_classes.get(name)
+        if locked is None or current != locked:
+            drifted.append((name, locked, current))
+
+    if drifted and version == locked_version:
+        for name, locked, current in drifted:
+            added = sorted(set(current) - set(locked or []))
+            removed = sorted(set(locked or []) - set(current))
+            detail = "; ".join(
+                part for part in (
+                    f"added: {', '.join(added)}" if added else "",
+                    f"removed: {', '.join(removed)}" if removed
+                    else "",
+                    "reordered" if not added and not removed else "",
+                ) if part)
+            yield Finding(
+                rule="SCHEMA-LOCK", path=PROTOCOL_REL,
+                line=schema["_lines"].get(name, 1), col=0,
+                message=(f"{name} fields changed ({detail}) without "
+                         f"a SCHEMA_VERSION bump (still "
+                         f"{version}): bump SCHEMA_VERSION, extend "
+                         f"SUPPORTED_SCHEMA_VERSIONS and the "
+                         f"server's negotiation ladder, then "
+                         f"{_REGEN_HINT}"))
+    elif drifted:
+        names = ", ".join(name for name, _, _ in drifted)
+        yield Finding(
+            rule="SCHEMA-LOCK", path=LOCK_REL, line=0, col=0,
+            message=(f"schema changed with a version bump "
+                     f"({locked_version} → {version}: {names}) but "
+                     f"the lock is stale — {_REGEN_HINT}"))
+    elif version != locked_version:
+        yield Finding(
+            rule="SCHEMA-LOCK", path=LOCK_REL, line=0, col=0,
+            message=(f"SCHEMA_VERSION is {version} but the lock "
+                     f"records {locked_version} with identical "
+                     f"fields — {_REGEN_HINT}"))

@@ -1,0 +1,120 @@
+"""CLI glue for ``wqrtq lint`` — argument handling, root discovery
+and rendering.
+
+Kept separate from :mod:`repro.analysis.framework` so the rule
+engine stays importable (and testable) without argparse in the
+frame; :mod:`repro.cli` delegates its ``lint`` subcommand here, and
+``python -m repro.analysis`` is a thin wrapper for environments that
+bypass the ``wqrtq`` entry point (the CI lint job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.framework import (
+    EXIT_CLEAN,
+    EXIT_USAGE,
+    get_rule,
+    render_human,
+    render_json,
+    rule_ids,
+    run_rules,
+)
+from repro.analysis.project import Project, discover_root
+from repro.analysis.rules_schema import update_lock
+
+__all__ = ["add_lint_arguments", "lint_command", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` options to an (sub)parser."""
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repo root to lint (default: auto-discover from the "
+             "working directory)")
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="ID",
+        help="run only this rule id (repeatable; default: all)")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable report instead of "
+             "path:line:col lines")
+    parser.add_argument(
+        "--update-lock", action="store_true",
+        help="regenerate schema_lock.json from the current protocol "
+             "module, then lint")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rule ids with the contract each "
+             "guards, then exit")
+
+
+def lint_command(args: argparse.Namespace,
+                 out=None, err=None) -> int:
+    """Execute a parsed ``lint`` invocation; returns the exit code.
+
+    ``out``/``err`` default to the *current* ``sys.stdout``/``stderr``
+    at call time (not import time), so stream redirection — pytest's
+    capsys, ``contextlib.redirect_stdout`` — is honoured.
+    """
+    out = sys.stdout if out is None else out
+    err = sys.stderr if err is None else err
+    if args.list_rules:
+        payload = [get_rule(rule_id).describe()
+                   for rule_id in rule_ids()]
+        if args.as_json:
+            print(json.dumps(payload, indent=2), file=out)
+        else:
+            for spec in payload:
+                print(f"{spec['id']}: {spec['summary']}", file=out)
+                if spec["contract"]:
+                    print(f"    guards: {spec['contract']}",
+                          file=out)
+        return EXIT_CLEAN
+
+    try:
+        root = discover_root(args.root)
+        project = Project(root)
+    except ValueError as exc:
+        print(f"wqrtq lint: {exc}", file=err)
+        return EXIT_USAGE
+
+    if args.update_lock:
+        try:
+            path = update_lock(project)
+        except ValueError as exc:
+            print(f"wqrtq lint: --update-lock failed: {exc}",
+                  file=err)
+            return EXIT_USAGE
+        print(f"wrote {path.relative_to(project.root).as_posix()}",
+              file=err)
+
+    try:
+        report = run_rules(project, rules=args.rule)
+    except ValueError as exc:           # unknown --rule id
+        print(f"wqrtq lint: {exc}", file=err)
+        return EXIT_USAGE
+
+    if args.as_json:
+        print(json.dumps(render_json(report), indent=2), file=out)
+    else:
+        print(render_human(report), file=out)
+    return report.exit_code
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="wqrtq lint",
+        description="reprolint: check the repo's architectural "
+                    "invariants (layering, schema lock, "
+                    "determinism, resource lifecycle, frozen-value "
+                    "discipline)")
+    add_lint_arguments(parser)
+    return lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,14 @@ Subcommands
 ``bench``
     Regenerate a figure of the paper (delegates to
     :mod:`repro.bench`).
+``lint``
+    Run *reprolint* (:mod:`repro.analysis`) — the AST-based checker
+    that enforces the repo's architectural invariants: the DESIGN.md
+    layer matrix, the ``schema_lock.json`` wire-schema freeze,
+    seeded determinism, resource lifecycles and frozen-value
+    discipline.  ``--json`` emits a machine-readable report,
+    ``--rule ID`` narrows to one rule, ``--update-lock`` regenerates
+    the schema lock, ``--list-rules`` documents every contract.
 
 Every subcommand builds one ``DatasetContext`` per catalogue and runs
 all its queries through it, so the R-tree and ``FindIncom`` partitions
@@ -60,6 +68,8 @@ Examples
     wqrtq catalogue add laptops --products '[[0.4, 0.1, 0.2]]'
     wqrtq catalogue remove laptops --ids 17,23
     wqrtq bench fig9
+    wqrtq lint --json
+    wqrtq lint --rule SCHEMA-LOCK --update-lock
 """
 
 from __future__ import annotations
@@ -522,6 +532,12 @@ def _cmd_bench(args) -> int:
     return bench_main(argv)
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.runner import lint_command
+
+    return lint_command(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="wqrtq",
@@ -688,6 +704,13 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("figure", choices=sorted(FIGURES) + ["all"])
     p_bench.add_argument("--paper-scale", action="store_true")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_lint = sub.add_parser(
+        "lint", help="check the repo's architectural invariants "
+                     "(reprolint)")
+    from repro.analysis.runner import add_lint_arguments
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

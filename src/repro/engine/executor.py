@@ -389,7 +389,7 @@ def _run_anytime(context: DatasetContext, question: Question, *,
 
 
 def answer_question(context: DatasetContext, question: Question, *,
-                    index: int = 0,
+                    index: int = 0, seed: int | None = None,
                     rng: np.random.Generator | None = None,
                     penalty_config: PenaltyConfig = DEFAULT_PENALTY,
                     precompute=None) -> Answer:
@@ -402,11 +402,22 @@ def answer_question(context: DatasetContext, question: Question, *,
     before.  ``precompute`` — a merged scatter-gather
     :class:`~repro.core.protocol.Precompute` — is forwarded to
     algorithms that declared ``shard_needs``.
+
+    Randomness comes from ``rng``, or from ``default_rng(seed)`` when
+    only ``seed`` is given — the seam that lets numpy-free callers
+    (the service worker tier) stay deterministic without constructing
+    a generator themselves.  Passing both is a contradiction and
+    raises.
     """
     if not isinstance(question, Question):
         raise TypeError(
             "answer_question expects a repro.Question; for raw "
             "(q, k, Wm) triples use the deprecated answer_one shim")
+    if seed is not None:
+        if rng is not None:
+            raise ValueError(
+                "pass either seed= or rng=, not both")
+        rng = np.random.default_rng(int(seed))
     if question.budget is not None:
         return _run_anytime(context, question, index=index, rng=rng,
                             penalty_config=penalty_config,

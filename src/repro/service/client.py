@@ -35,8 +35,6 @@ import urllib.error
 import urllib.parse
 import urllib.request
 
-import numpy as np
-
 from repro.core.protocol import (
     SCHEMA_VERSION,
     SUPPORTED_SCHEMA_VERSIONS,
@@ -44,6 +42,41 @@ from repro.core.protocol import (
     Budget,
     Question,
 )
+
+
+# The client is part of the stdlib-only service tier (see DESIGN.md
+# "Invariants & static analysis", SERVICE-PURITY): array-likes are
+# flattened to JSON lists with duck-typed helpers instead of numpy,
+# so callers may still hand in ndarrays but the client itself never
+# imports them.
+
+def _as_list(values):
+    """``values`` as a plain list; honours ``.tolist()`` so ndarrays
+    (and numpy scalars inside them) degrade to builtin types."""
+    tolist = getattr(values, "tolist", None)
+    return tolist() if callable(tolist) else list(values)
+
+
+def _float_list(values) -> list[float]:
+    return [float(v) for v in _as_list(values)]
+
+
+def _float_rows(values) -> list[list[float]]:
+    """``values`` as a list of float rows, promoting a single flat
+    vector to one row (the ``np.atleast_2d`` contract)."""
+    rows = _as_list(values)
+    if rows and not hasattr(rows[0], "__iter__"):
+        rows = [rows]
+    return [_float_list(row) for row in rows]
+
+
+def _int_list(ids) -> list[int]:
+    tolist = getattr(ids, "tolist", None)
+    if callable(tolist):
+        ids = tolist()
+    if not hasattr(ids, "__iter__"):
+        ids = [ids]
+    return [int(i) for i in ids]
 
 
 class ServiceError(RuntimeError):
@@ -161,10 +194,9 @@ class ServiceClient:
         ``/algorithms`` endpoint is how a client discovers it).
         """
         return {
-            "q": np.asarray(q, dtype=np.float64).tolist(),
+            "q": _float_list(q),
             "k": int(k),
-            "why_not": np.atleast_2d(
-                np.asarray(why_not, dtype=np.float64)).tolist(),
+            "why_not": _float_rows(why_not),
         }
 
     # -- plumbing endpoints --------------------------------------------
@@ -206,24 +238,22 @@ class ServiceClient:
         stable ``ids`` and the new ``catalogue_version``."""
         return self._mutate(name, {
             "op": "add",
-            "products": np.atleast_2d(
-                np.asarray(products, dtype=np.float64)).tolist(),
+            "products": _float_rows(products),
         })
 
     def update_products(self, name: str, ids, products) -> dict:
         """Replace the coordinates of existing products (by id)."""
         return self._mutate(name, {
             "op": "update",
-            "ids": [int(i) for i in np.asarray(ids).reshape(-1)],
-            "products": np.atleast_2d(
-                np.asarray(products, dtype=np.float64)).tolist(),
+            "ids": _int_list(ids),
+            "products": _float_rows(products),
         })
 
     def remove_products(self, name: str, ids) -> dict:
         """Delete products (by id)."""
         return self._mutate(name, {
             "op": "remove",
-            "ids": [int(i) for i in np.asarray(ids).reshape(-1)],
+            "ids": _int_list(ids),
         })
 
     def _mutate(self, name: str, payload: dict) -> dict:

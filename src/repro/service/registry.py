@@ -23,8 +23,6 @@ from __future__ import annotations
 import threading
 from pathlib import Path
 
-import numpy as np
-
 from repro.core.session import Session
 from repro.data.catalogue import Catalogue
 from repro.engine.context import DEFAULT_CACHE_CAP, DatasetContext
@@ -198,8 +196,13 @@ class CatalogueRegistry:
             "max_box_caches": context.max_box_caches,
             "cached_partitions": context.n_cached_partitions,
             "cached_box_caches": context.n_cached_box_caches,
+            # Allowlist JSON-safe scalars instead of excluding
+            # ndarray: describe() feeds json.dumps, and the service
+            # tier is numpy-free (SERVICE-PURITY), so it cannot name
+            # the array type to exclude it.
             "meta": {k: v for k, v in meta.items()
-                     if not isinstance(v, np.ndarray)},
+                     if isinstance(v, (str, int, float, bool))
+                     or v is None},
             "stats": {
                 "tree_builds": stats.tree_builds,
                 "tree_patches": stats.tree_patches,

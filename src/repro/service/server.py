@@ -99,8 +99,6 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import unquote
 
-import numpy as np
-
 from repro.core.protocol import (
     SCHEMA_VERSION,
     SUPPORTED_SCHEMA_VERSIONS,
@@ -166,6 +164,47 @@ class ServiceStats:
         }
 
 
+def _numeric_vector(values) -> list | None:
+    """``values`` as a list of floats, or ``None`` when it is not a
+    flat numeric sequence (the structural-400 condition).  Honours
+    ``.tolist()`` so in-process callers may still pass ndarrays; the
+    server itself is numpy-free (SERVICE-PURITY) — real validation
+    happens again inside the Question constructor, below the seam.
+    """
+    tolist = getattr(values, "tolist", None)
+    if callable(tolist):
+        values = tolist()
+    if not isinstance(values, (list, tuple)):
+        return None
+    out = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            return None
+        out.append(float(v))
+    return out
+
+
+def _weight_rows(values, d: int) -> list | None:
+    """``values`` as an ``(m, d)`` list of float rows, promoting a
+    flat vector to one row (the ``np.atleast_2d`` contract); ``None``
+    when any row is non-numeric or of the wrong width."""
+    tolist = getattr(values, "tolist", None)
+    if callable(tolist):
+        values = tolist()
+    if not isinstance(values, (list, tuple)):
+        return None
+    flat = _numeric_vector(values)
+    if flat is not None:
+        values = [flat]
+    rows = []
+    for row in values:
+        row = _numeric_vector(row)
+        if row is None or len(row) != d:
+            return None
+        rows.append(row)
+    return rows
+
+
 def _legacy_question_or_failure(raw_q, raw_k, raw_wm, *, spec,
                                 sample_size: int, index: int = 0,
                                 entry_id=None):
@@ -182,11 +221,11 @@ def _legacy_question_or_failure(raw_q, raw_k, raw_wm, *, spec,
     instead of failing the whole request: one poisoned entry must
     not lose its siblings' answers.
     """
-    q = np.asarray(raw_q, dtype=np.float64)
-    wm = np.atleast_2d(np.asarray(raw_wm, dtype=np.float64))
-    if q.ndim != 1:
+    q = _numeric_vector(raw_q)
+    if q is None:
         raise ValueError("q must be a flat coordinate list")
-    if wm.ndim != 2 or wm.shape[1] != q.shape[0]:
+    wm = _weight_rows(raw_wm, len(q))
+    if wm is None:
         raise ValueError("why_not must be a (m, d) weight list "
                          "matching q's dimensionality")
     k = int(raw_k)

@@ -117,9 +117,8 @@ def _worker_main(conn, worker_id: int) -> None:
     """Entry point of one spawned worker process."""
     # Imports happen here, in the child: spawn re-imports this module
     # by name, and the heavy engine modules should not load before
-    # the process actually exists.
-    import numpy as np
-
+    # the process actually exists.  No numpy even here: randomness
+    # goes through answer_question's seed= seam (SERVICE-PURITY).
     from repro.core.penalty import DEFAULT_PENALTY
     from repro.core.protocol import compute_shard_partial
     from repro.engine.context import DatasetContext
@@ -157,7 +156,7 @@ def _worker_main(conn, worker_id: int) -> None:
                 name, question, seed = payload
                 answer = answer_question(
                     current(name), question, index=0,
-                    rng=np.random.default_rng(int(seed)),
+                    seed=int(seed),
                     penalty_config=DEFAULT_PENALTY)
                 stats["questions"] += 1
                 ok, out = True, answer
@@ -171,7 +170,7 @@ def _worker_main(conn, worker_id: int) -> None:
                 name, question, seed, precompute = payload
                 answer = answer_question(
                     current(name), question, index=0,
-                    rng=np.random.default_rng(int(seed)),
+                    seed=int(seed),
                     penalty_config=DEFAULT_PENALTY,
                     precompute=precompute)
                 stats["questions"] += 1

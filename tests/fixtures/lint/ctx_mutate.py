@@ -1,0 +1,11 @@
+# fixture-rule: CTX-MUTATE
+# fixture-dest: src/repro/engine/bad_mutate.py
+"""Failing fixture: in-place writes to context-owned arrays, plus
+re-enabling writability on a read-only snapshot view."""
+
+
+def poison(context, row, coords):
+    context.points.setflags(write=True)
+    context.points[row] = coords
+    context.product_ids[row] += 1
+    return context

@@ -1,0 +1,10 @@
+# fixture-rule: DEPRECATED-API
+# fixture-dest: examples/bad_deprecated.py
+"""Failing fixture: a new call site importing a pre-schema entry
+point that only its deprecation shim may reference."""
+
+from repro.engine.executor import answer_one
+
+
+def ask(points, q, k, wm):
+    return answer_one(points, q, k, wm)

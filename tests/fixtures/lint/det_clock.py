@@ -1,0 +1,14 @@
+# fixture-rule: DET-CLOCK
+# fixture-dest: src/repro/topk/bad_clock.py
+"""Failing fixture: a wall-clock read inside the deterministic zone
+(``topk/``) — refinement below the executor must be a pure function
+of (question, seed, snapshot)."""
+
+import time
+
+
+def scan_until(deadline_s: float):
+    examined = 0
+    while time.perf_counter() < deadline_s:
+        examined += 1
+    return examined

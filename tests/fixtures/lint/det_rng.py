@@ -1,0 +1,15 @@
+# fixture-rule: DET-RNG
+# fixture-dest: src/repro/core/bad_rng.py
+"""Failing fixture: all three forbidden entropy sources — an
+unseeded generator, legacy numpy global state, and the stdlib
+``random`` module."""
+
+import random
+
+import numpy as np
+
+
+def sample(n: int):
+    rng = np.random.default_rng()
+    np.random.shuffle(list(range(n)))
+    return rng.random(n) + random.random()

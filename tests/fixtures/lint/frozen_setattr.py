@@ -1,0 +1,9 @@
+# fixture-rule: FROZEN-SETATTR
+# fixture-dest: src/repro/core/bad_setattr.py
+"""Failing fixture: ``object.__setattr__`` outside a constructor —
+mutating a frozen protocol value other code already hashed."""
+
+
+def discount_penalty(answer, factor: float):
+    object.__setattr__(answer, "penalty", answer.penalty * factor)
+    return answer

@@ -1,0 +1,10 @@
+# fixture-rule: LAYERING
+# fixture-dest: src/repro/topk/bad_layer.py
+"""Failing fixture: a substrate module (topk/) reaching up into the
+service tier — an edge outside the DESIGN.md layer matrix."""
+
+from repro.service.registry import CatalogueRegistry
+
+
+def shortlist(name: str):
+    return CatalogueRegistry().get(name)

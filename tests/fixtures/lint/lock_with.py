@@ -1,0 +1,17 @@
+# fixture-rule: LOCK-WITH
+# fixture-dest: src/repro/service/bad_lock.py
+"""Failing fixture: a bare acquire/release pair — an exception
+between the two orphans the lock."""
+
+import threading
+
+_LOCK = threading.Lock()
+_STATE: dict = {}
+
+
+def mutate(key, value):
+    _LOCK.acquire()
+    try:
+        _STATE[key] = value
+    finally:
+        _LOCK.release()

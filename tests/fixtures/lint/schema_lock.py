@@ -1,0 +1,31 @@
+# fixture-rule: SCHEMA-LOCK
+# fixture-dest: src/repro/core/protocol.py
+"""Failing fixture: a protocol module in a project with no committed
+``schema_lock.json`` — an absent baseline silently disables the
+schema freeze, so it is itself a finding."""
+
+SCHEMA_VERSION = 1
+
+
+class ErrorInfo:
+    type: str
+    message: str
+    category: str
+
+
+class Budget:
+    sample_budget: int
+
+
+class Quality:
+    samples_examined: int
+
+
+class Question:
+    q: list
+    k: int
+
+
+class Answer:
+    index: int
+    penalty: float

@@ -1,0 +1,10 @@
+# fixture-rule: SERVICE-PURITY
+# fixture-dest: src/repro/service/bad_purity.py
+"""Failing fixture: a service module importing numpy — the serving
+tier is stdlib-only by contract."""
+
+import numpy as np
+
+
+def flatten(values):
+    return np.asarray(values, dtype=np.float64).tolist()

@@ -1,0 +1,10 @@
+# fixture-rule: SHM-LIFECYCLE
+# fixture-dest: src/repro/engine/bad_shm.py
+"""Failing fixture: a shared-memory segment created outside
+``engine/shm.py`` — the exit sweep can never find (or unlink) it."""
+
+from multiprocessing import shared_memory
+
+
+def export(nbytes: int):
+    return shared_memory.SharedMemory(create=True, size=nbytes)

@@ -1,0 +1,12 @@
+# fixture-rule: THREAD-LIFECYCLE
+# fixture-dest: src/repro/service/bad_thread.py
+"""Failing fixture: a non-daemon thread that its creating scope
+never joins — it outlives graceful shutdown."""
+
+import threading
+
+
+def fire_and_forget(work):
+    thread = threading.Thread(target=work)
+    thread.start()
+    return thread

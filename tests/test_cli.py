@@ -67,6 +67,48 @@ class TestBench:
             main([])
 
 
+SUBCOMMANDS = ("query", "refine", "batch", "serve", "catalogue",
+               "bench", "lint")
+
+
+class TestHelp:
+    def test_top_level_help_lists_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in SUBCOMMANDS:
+            assert name in out
+
+    @pytest.mark.parametrize("name", SUBCOMMANDS)
+    def test_every_subcommand_parses_help(self, name, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([name, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_help_registry_is_exhaustive(self, capsys):
+        # A new subcommand must join SUBCOMMANDS (and so the smoke
+        # test): parse the usage line's {a,b,c} set and compare.
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        match = re.search(r"\{([a-z,]+)\}", out)
+        assert match, out
+        assert set(match.group(1).split(",")) == set(SUBCOMMANDS)
+
+
+class TestLint:
+    def test_lint_subcommand_is_clean_on_this_repo(self, capsys):
+        root = str(Path(__file__).resolve().parents[1])
+        assert main(["lint", "--root", root]) == 0
+        assert "reprolint: clean" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "SCHEMA-LOCK" in capsys.readouterr().out
+
+
 class TestServe:
     def test_load_spec_validated(self, capsys):
         assert main(["serve", "--load", "no-equals-sign"]) == 2

@@ -1,0 +1,488 @@
+"""reprolint: the rule engine, every committed failing fixture, the
+schema lock, suppressions, renderers and the CLI glue.
+
+The fixture convention: each file in ``tests/fixtures/lint/`` is one
+*failing* example for one rule, carrying two header comments —
+``# fixture-rule: ID`` (the rule it must trip) and
+``# fixture-dest: path`` (where in a scratch project it must live to
+trip it).  The parametrized test below installs each fixture in a
+throwaway project and proves its rule fires; a companion test proves
+the fixture set covers every registered rule.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    Finding,
+    Project,
+    discover_root,
+    get_rule,
+    register_rule,
+    render_human,
+    render_json,
+    rule_ids,
+    run_rules,
+    update_lock,
+)
+from repro.analysis.framework import suppressed_ids
+from repro.analysis.runner import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURE_DIR = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+_RULE_RE = re.compile(r"#\s*fixture-rule:\s*(\S+)")
+_DEST_RE = re.compile(r"#\s*fixture-dest:\s*(\S+)")
+
+
+def make_project(tmp_path: Path, files: dict[str, str]) -> Project:
+    """A scratch repo checkout: ``src/repro`` package plus ``files``
+    (root-relative path → source)."""
+    files = {"src/repro/__init__.py": "", **files}
+    for rel, content in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+    return Project(tmp_path)
+
+
+# ---------------------------------------------------------------------
+# Rule registry
+# ---------------------------------------------------------------------
+
+
+EXPECTED_RULES = (
+    "LAYERING", "SERVICE-PURITY", "DEPRECATED-API", "SCHEMA-LOCK",
+    "DET-RNG", "DET-CLOCK", "SHM-LIFECYCLE", "LOCK-WITH",
+    "THREAD-LIFECYCLE", "FROZEN-SETATTR", "CTX-MUTATE",
+)
+
+
+def test_registry_order_is_presentation_order():
+    assert rule_ids() == EXPECTED_RULES
+
+
+def test_every_rule_describes_its_contract():
+    for rule_id in rule_ids():
+        spec = get_rule(rule_id).describe()
+        assert spec["id"] == rule_id
+        assert spec["summary"]
+        assert spec["contract"]
+
+
+def test_unknown_rule_error_lists_the_registry():
+    with pytest.raises(ValueError, match="LAYERING"):
+        get_rule("NO-SUCH-RULE")
+
+
+def test_lookup_is_case_insensitive():
+    assert get_rule("det-rng").id == "DET-RNG"
+
+
+def test_duplicate_registration_is_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        @register_rule("LAYERING", summary="imposter")
+        def imposter(project):
+            return []
+
+
+def test_typoed_rule_fails_before_any_rule_runs(tmp_path):
+    project = make_project(tmp_path, {})
+    with pytest.raises(ValueError, match="unknown rule"):
+        run_rules(project, rules=["DET-RGN"])
+
+
+# ---------------------------------------------------------------------
+# Committed failing fixtures — one per rule
+# ---------------------------------------------------------------------
+
+
+FIXTURES = sorted(FIXTURE_DIR.glob("*.py"))
+
+
+def _fixture_header(path: Path) -> tuple[str, str]:
+    source = path.read_text(encoding="utf-8")
+    rule = _RULE_RE.search(source)
+    dest = _DEST_RE.search(source)
+    assert rule and dest, f"{path.name} lacks fixture headers"
+    return rule.group(1), dest.group(1)
+
+
+def test_fixture_set_covers_every_rule():
+    covered = {_fixture_header(path)[0] for path in FIXTURES}
+    assert covered == set(rule_ids())
+
+
+@pytest.mark.parametrize("fixture", FIXTURES,
+                         ids=lambda path: path.stem)
+def test_fixture_trips_its_rule(fixture, tmp_path):
+    rule, dest = _fixture_header(fixture)
+    project = make_project(
+        tmp_path, {dest: fixture.read_text(encoding="utf-8")})
+    report = run_rules(project, rules=[rule])
+    assert report.findings, f"{fixture.name} tripped nothing"
+    assert {f.rule for f in report.findings} == {rule}
+    # Every finding points into the installed fixture (or, for
+    # project-level schema findings, at the missing lock).
+    for finding in report.findings:
+        assert finding.path in (dest, "schema_lock.json")
+
+
+def test_fixtures_do_not_leak_into_other_rules(tmp_path):
+    # A fixture must fail *its* rule, not splatter across the board:
+    # install them all at once and check each rule's findings come
+    # from its own fixture files.
+    dests = {}
+    files = {}
+    for fixture in FIXTURES:
+        rule, dest = _fixture_header(fixture)
+        files[dest] = fixture.read_text(encoding="utf-8")
+        dests.setdefault(rule, set()).add(dest)
+    project = make_project(tmp_path, files)
+    report = run_rules(project)
+    assert report.findings
+    for finding in report.findings:
+        if finding.path == "schema_lock.json":
+            continue   # project-level: the scratch repo has no lock
+        expected = dests[finding.rule]
+        assert finding.path in expected, (
+            f"{finding.rule} fired on {finding.path}, expected one "
+            f"of {sorted(expected)}")
+
+
+# ---------------------------------------------------------------------
+# Import-graph semantics
+# ---------------------------------------------------------------------
+
+
+def test_service_importing_numpy_is_rejected(tmp_path):
+    project = make_project(tmp_path, {
+        "src/repro/service/mod.py": "import numpy as np\n",
+    })
+    report = run_rules(project, rules=["SERVICE-PURITY"])
+    assert len(report.findings) == 1
+    assert "numpy-free" in report.findings[0].message
+
+
+def test_engine_importing_numpy_is_allowed(tmp_path):
+    project = make_project(tmp_path, {
+        "src/repro/engine/mod.py": (
+            "import numpy as np\n\n\n"
+            "def scores(points, weights):\n"
+            "    return np.asarray(points) @ np.asarray(weights).T\n"),
+    })
+    report = run_rules(project,
+                       rules=["SERVICE-PURITY", "LAYERING"])
+    assert report.clean
+
+
+def test_deferred_imports_still_count(tmp_path):
+    # Layering binds the import *graph*, not import time: hiding the
+    # edge inside a function changes nothing.
+    project = make_project(tmp_path, {
+        "src/repro/topk/mod.py": (
+            "def reach_up():\n"
+            "    from repro.service.registry import "
+            "CatalogueRegistry\n"
+            "    return CatalogueRegistry\n"),
+    })
+    report = run_rules(project, rules=["LAYERING"])
+    assert len(report.findings) == 1
+    assert "topk/ must not import service/" in \
+        report.findings[0].message
+
+
+def test_unknown_package_segment_is_a_finding(tmp_path):
+    project = make_project(tmp_path, {
+        "src/repro/newthing/mod.py": "import json\n",
+    })
+    report = run_rules(project, rules=["LAYERING"])
+    assert len(report.findings) == 1
+    assert "not in the layer matrix" in report.findings[0].message
+
+
+def test_shm_creation_must_reach_the_sweep_registry(tmp_path):
+    # Even inside the owner module, a create that never records the
+    # segment in _OWNED is invisible to the exit sweep.
+    project = make_project(tmp_path, {
+        "src/repro/engine/shm.py": (
+            "from multiprocessing import shared_memory\n\n\n"
+            "def export(nbytes):\n"
+            "    return shared_memory.SharedMemory(create=True,\n"
+            "                                      size=nbytes)\n"),
+    })
+    report = run_rules(project, rules=["SHM-LIFECYCLE"])
+    assert len(report.findings) == 1
+    assert "_OWNED" in report.findings[0].message
+
+
+# ---------------------------------------------------------------------
+# Schema lock
+# ---------------------------------------------------------------------
+
+
+def _protocol_project(tmp_path: Path) -> Project:
+    """A scratch project carrying the *real* protocol module."""
+    source = (REPO_ROOT / "src/repro/core/protocol.py").read_text(
+        encoding="utf-8")
+    return make_project(tmp_path,
+                        {"src/repro/core/protocol.py": source})
+
+
+def _edit_protocol(tmp_path: Path, old: str, new: str) -> Project:
+    path = tmp_path / "src/repro/core/protocol.py"
+    source = path.read_text(encoding="utf-8")
+    assert old in source, f"edit anchor {old!r} not found"
+    path.write_text(source.replace(old, new), encoding="utf-8")
+    return Project(tmp_path)   # re-parse
+
+
+def test_update_lock_writes_the_committed_shape(tmp_path):
+    project = _protocol_project(tmp_path)
+    lock_path = update_lock(project)
+    lock = json.loads(lock_path.read_text(encoding="utf-8"))
+    assert lock["schema_version"] == 3
+    assert set(lock["classes"]) == {"Question", "Answer", "Budget",
+                                    "Quality", "ErrorInfo"}
+    assert lock["classes"]["Question"] == [
+        "q", "k", "why_not", "algorithm", "options", "budget", "id"]
+    assert run_rules(project, rules=["SCHEMA-LOCK"]).clean
+
+
+def test_adding_answer_field_without_bump_is_caught(tmp_path):
+    project = _protocol_project(tmp_path)
+    update_lock(project)
+    project = _edit_protocol(
+        tmp_path,
+        "    quality: Quality | None = None",
+        "    quality: Quality | None = None\n"
+        "    worker_id: int | None = None")
+    report = run_rules(project, rules=["SCHEMA-LOCK"])
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert finding.path == "src/repro/core/protocol.py"
+    assert "Answer" in finding.message
+    assert "worker_id" in finding.message
+    assert "SCHEMA_VERSION" in finding.message
+
+
+def test_field_change_with_bump_wants_lock_regen(tmp_path):
+    project = _protocol_project(tmp_path)
+    update_lock(project)
+    project = _edit_protocol(
+        tmp_path,
+        "    quality: Quality | None = None",
+        "    quality: Quality | None = None\n"
+        "    worker_id: int | None = None")
+    project = _edit_protocol(tmp_path, "SCHEMA_VERSION = 3",
+                             "SCHEMA_VERSION = 4")
+    report = run_rules(project, rules=["SCHEMA-LOCK"])
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert finding.path == "schema_lock.json"
+    assert "stale" in finding.message
+    # ...and regenerating clears it.
+    update_lock(project)
+    assert run_rules(project, rules=["SCHEMA-LOCK"]).clean
+
+
+def test_version_bump_without_field_change_is_flagged(tmp_path):
+    project = _protocol_project(tmp_path)
+    update_lock(project)
+    project = _edit_protocol(tmp_path, "SCHEMA_VERSION = 3",
+                             "SCHEMA_VERSION = 4")
+    report = run_rules(project, rules=["SCHEMA-LOCK"])
+    assert len(report.findings) == 1
+    assert "identical" in report.findings[0].message
+
+
+def test_unreadable_lock_is_a_finding(tmp_path):
+    project = _protocol_project(tmp_path)
+    (tmp_path / "schema_lock.json").write_text("not json",
+                                               encoding="utf-8")
+    report = run_rules(project, rules=["SCHEMA-LOCK"])
+    assert len(report.findings) == 1
+    assert "unreadable" in report.findings[0].message
+
+
+def test_committed_lock_matches_the_real_protocol():
+    # The actual repo guard: the checked-in schema_lock.json must be
+    # fresh against the checked-in protocol module.
+    project = Project(REPO_ROOT)
+    assert run_rules(project, rules=["SCHEMA-LOCK"]).clean
+
+
+# ---------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------
+
+
+def test_suppressed_ids_parsing():
+    assert suppressed_ids("x = 1") == frozenset()
+    assert suppressed_ids(
+        "import random  # reprolint: disable=DET-RNG") == {"DET-RNG"}
+    assert suppressed_ids(
+        "f()  # reprolint: disable=DET-RNG, LOCK-WITH") == \
+        {"DET-RNG", "LOCK-WITH"}
+    assert suppressed_ids("f()  # reprolint: disable=all") == {"ALL"}
+
+
+def test_matching_suppression_drops_and_counts(tmp_path):
+    project = make_project(tmp_path, {
+        "src/repro/core/noisy.py": (
+            "import random  # reprolint: disable=DET-RNG\n"),
+    })
+    report = run_rules(project, rules=["DET-RNG"])
+    assert report.clean
+    assert report.suppressed == 1
+
+
+def test_all_keyword_suppresses_any_rule(tmp_path):
+    project = make_project(tmp_path, {
+        "src/repro/core/noisy.py": (
+            "import random  # reprolint: disable=all\n"),
+    })
+    assert run_rules(project, rules=["DET-RNG"]).clean
+
+
+def test_wrong_id_suppresses_nothing(tmp_path):
+    project = make_project(tmp_path, {
+        "src/repro/core/noisy.py": (
+            "import random  # reprolint: disable=LOCK-WITH\n"),
+    })
+    report = run_rules(project, rules=["DET-RNG"])
+    assert len(report.findings) == 1
+    assert report.suppressed == 0
+
+
+def test_project_level_findings_cannot_be_suppressed(tmp_path):
+    # line 0 findings (missing lock) have no source line to carry a
+    # directive; _is_suppressed must not die or drop them.
+    fixture = FIXTURE_DIR / "schema_lock.py"
+    _, dest = _fixture_header(fixture)
+    project = make_project(
+        tmp_path, {dest: fixture.read_text(encoding="utf-8")})
+    report = run_rules(project, rules=["SCHEMA-LOCK"])
+    assert report.findings
+    assert report.findings[0].line == 0
+
+
+# ---------------------------------------------------------------------
+# Renderers and CLI
+# ---------------------------------------------------------------------
+
+
+def test_human_rendering_shape():
+    finding = Finding(rule="DET-RNG", path="src/x.py", line=3,
+                      col=4, message="boom")
+    assert finding.render() == "src/x.py:3:4: DET-RNG: boom"
+
+
+def test_json_report_shape(tmp_path, capsys):
+    make_project(tmp_path, {
+        "src/repro/core/noisy.py": "import random\n",
+    })
+    code = lint_main(["--root", str(tmp_path), "--json"])
+    assert code == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"clean", "counts", "rules", "findings"}
+    assert payload["clean"] is False
+    assert payload["counts"]["findings"] == len(payload["findings"])
+    assert payload["counts"]["files"] == 2
+    assert list(payload["rules"]) == list(EXPECTED_RULES)
+    (finding,) = [f for f in payload["findings"]
+                  if f["rule"] == "DET-RNG"]
+    assert set(finding) == {"rule", "path", "line", "col", "message"}
+    assert finding["path"] == "src/repro/core/noisy.py"
+    assert finding["line"] == 1
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    # A bare scratch project is only clean under rules that don't
+    # need the protocol module (SCHEMA-LOCK rightly fails on it).
+    make_project(tmp_path, {})
+    clean_root = str(tmp_path)
+    assert lint_main(["--root", clean_root,
+                      "--rule", "DET-RNG"]) == EXIT_CLEAN
+    assert lint_main(["--root", clean_root]) == EXIT_FINDINGS
+    assert lint_main(["--root", clean_root,
+                      "--rule", "NO-SUCH"]) == EXIT_USAGE
+    assert lint_main(["--root", str(tmp_path / "nowhere")]) == \
+        EXIT_USAGE
+    capsys.readouterr()
+
+
+def test_cli_single_rule_runs_only_that_rule(tmp_path, capsys):
+    make_project(tmp_path, {
+        "src/repro/core/noisy.py": "import random\n",
+    })
+    code = lint_main(["--root", str(tmp_path), "--json",
+                      "--rule", "LOCK-WITH"])
+    assert code == EXIT_CLEAN   # the DET-RNG violation is out of scope
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rules"] == ["LOCK-WITH"]
+
+
+def test_cli_update_lock_then_clean(tmp_path, capsys):
+    source = (REPO_ROOT / "src/repro/core/protocol.py").read_text(
+        encoding="utf-8")
+    make_project(tmp_path, {"src/repro/core/protocol.py": source})
+    root = str(tmp_path)
+    assert lint_main(["--root", root,
+                      "--rule", "SCHEMA-LOCK"]) == EXIT_FINDINGS
+    assert lint_main(["--root", root, "--rule", "SCHEMA-LOCK",
+                      "--update-lock"]) == EXIT_CLEAN
+    assert (tmp_path / "schema_lock.json").is_file()
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule_id in EXPECTED_RULES:
+        assert rule_id in out
+
+
+def test_render_human_tail_counts(tmp_path):
+    project = make_project(tmp_path, {})
+    report = run_rules(project, rules=["DET-RNG", "LOCK-WITH"])
+    text = render_human(report)
+    assert text == "reprolint: clean (1 files, 2 rules)"
+
+
+def test_render_json_matches_report(tmp_path):
+    project = make_project(tmp_path, {
+        "src/repro/core/noisy.py": "import random\n",
+    })
+    report = run_rules(project, rules=["DET-RNG"])
+    payload = render_json(report)
+    assert payload["counts"]["findings"] == len(report.findings)
+    assert payload["findings"][0]["rule"] == "DET-RNG"
+
+
+# ---------------------------------------------------------------------
+# Dogfood: the repo itself
+# ---------------------------------------------------------------------
+
+
+def test_repo_is_lint_clean():
+    project = Project(discover_root(REPO_ROOT))
+    report = run_rules(project)
+    assert report.clean, "\n" + render_human(report)
+
+
+def test_no_suppressions_in_core_or_engine():
+    # Deliberate exceptions are allowed in examples/benchmarks (shim
+    # demos) but core/ and engine/ hold the invariants themselves.
+    for sub in ("src/repro/core", "src/repro/engine"):
+        for path in (REPO_ROOT / sub).rglob("*.py"):
+            assert "reprolint: disable" not in \
+                path.read_text(encoding="utf-8"), path
