@@ -26,7 +26,7 @@ True
 >>> bool(answer.penalty < 0.35)   # ...a small nudge wins them over
 True
 >>> answer.to_dict()["schema_version"]   # wire-ready, versioned
-3
+4
 """
 
 from repro.core import (

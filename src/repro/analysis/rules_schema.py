@@ -45,7 +45,7 @@ LOCK_REL = "schema_lock.json"
 
 #: Wire dataclasses whose field sets the lock freezes.
 LOCKED_CLASSES = ("Question", "Answer", "Budget", "Quality",
-                  "ErrorInfo")
+                  "ErrorInfo", "WatchEvent")
 
 _REGEN_HINT = "regenerate with: wqrtq lint --update-lock"
 

@@ -29,6 +29,12 @@ Subcommands
     worker processes attached to zero-copy shared-memory snapshots;
     ``--shards M`` additionally scatter-gathers each shardable
     question over ``M`` catalogue row ranges.
+``watch``
+    Register a standing why-not question on a *running* daemon and
+    stream its refreshed answers: every catalogue mutation that can
+    affect the answer (see :mod:`repro.engine.delta`) re-answers it
+    and pushes the result; provably unaffected mutations are
+    skipped.
 ``catalogue``
     Inspect or mutate a catalogue on a *running* ``wqrtq serve``
     daemon: ``show`` (version, size, mutation counters), ``add`` /
@@ -64,6 +70,8 @@ Examples
     wqrtq serve --port 8977 -n 10000 --max-partitions 1024
     wqrtq serve --port 0 --load laptops=data/laptops.npz
     wqrtq serve --port 0 -n 100000 --workers 4 --shards 4
+    wqrtq watch laptops --q '[0.4, 0.1, 0.2]' -k 10 \\
+        --why-not '[[0.3, 0.3, 0.4]]' --port 8977
     wqrtq catalogue show laptops --port 8977
     wqrtq catalogue add laptops --products '[[0.4, 0.1, 0.2]]'
     wqrtq catalogue remove laptops --ids 17,23
@@ -523,6 +531,59 @@ def _cmd_catalogue(args) -> int:
     return 0
 
 
+def _cmd_watch(args) -> int:
+    """Register a watch on a running daemon and stream refreshed
+    answers until the terminal event (or ``--max-events``)."""
+    import json
+
+    from repro.core.protocol import Question
+    from repro.service import (
+        ServiceClient,
+        ServiceConnectionError,
+        ServiceError,
+    )
+
+    try:
+        q = json.loads(args.q)
+        why_not = json.loads(args.why_not)
+    except json.JSONDecodeError as exc:
+        print(f"--q/--why-not must be JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        question = Question.from_legacy(
+            q, args.k, why_not, algorithm=args.algorithm,
+            sample_size=args.sample_size)
+    except (ValueError, KeyError) as exc:
+        print(f"invalid question: {exc}", file=sys.stderr)
+        return 2
+
+    client = ServiceClient(host=args.host, port=args.port)
+    count = 0
+    try:
+        for answer in client.watch(args.name, question,
+                                   seed=args.seed,
+                                   timeout_ms=args.timeout_ms,
+                                   max_events=args.max_events):
+            label = "answer" if count == 0 else "refresh"
+            if answer.error is not None:
+                print(f"[{count}] {label} "
+                      f"v{answer.catalogue_version} "
+                      f"error: {answer.error.message}", flush=True)
+            else:
+                print(f"[{count}] {label} "
+                      f"v{answer.catalogue_version} "
+                      f"penalty={answer.penalty:.4f} "
+                      f"valid={answer.valid}", flush=True)
+            count += 1
+    except (ServiceError, ServiceConnectionError, ValueError) as exc:
+        print(f"watch failed: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:   # pragma: no cover - interactive
+        pass
+    print(f"watch ended after {count} event(s)", flush=True)
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -656,6 +717,33 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_watch = sub.add_parser(
+        "watch", help="stream live answers to a standing question "
+                      "from a running server")
+    p_watch.add_argument("name",
+                         help="registry name of the catalogue")
+    p_watch.add_argument("--q", required=True,
+                         help="JSON coordinate list of the missing "
+                              "product, e.g. '[0.4, 0.1, 0.2]'")
+    p_watch.add_argument("-k", type=int, default=10)
+    p_watch.add_argument("--why-not", required=True, dest="why_not",
+                         help="JSON weight rows, e.g. "
+                              "'[[0.3, 0.3, 0.4]]'")
+    p_watch.add_argument("--algorithm", default="mqp",
+                         choices=list(algorithm_names()))
+    p_watch.add_argument("--sample-size", type=int, default=200)
+    p_watch.add_argument("--seed", type=int, default=0)
+    p_watch.add_argument("--host", default="127.0.0.1")
+    p_watch.add_argument("--port", type=int, default=8977)
+    p_watch.add_argument("--max-events", type=int, default=None,
+                         help="stop after this many answers "
+                              "(default: until the server ends the "
+                              "watch)")
+    p_watch.add_argument("--timeout-ms", type=int, default=10_000,
+                         dest="timeout_ms",
+                         help="long-poll leg duration")
+    p_watch.set_defaults(func=_cmd_watch)
 
     p_cat = sub.add_parser(
         "catalogue",

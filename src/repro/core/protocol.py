@@ -66,14 +66,21 @@ from repro.geometry.vectors import is_valid_weight
 #:   target-penalty tolerance) and ``Answer`` payloads carry
 #:   ``quality`` (:class:`Quality` — samples examined, converged
 #:   flag, refinement round), ``null`` for run-to-completion answers.
-SCHEMA_VERSION = 3
+#: * **4** — live monitoring: the watch subscription surface pushes
+#:   :class:`WatchEvent` envelopes (watch id, monotone ``seq``
+#:   cursor, event ``kind``, the refreshed ``Answer`` payload).  No
+#:   existing payload changed shape — v4 is v3 plus one new
+#:   envelope type, so v3 peers interoperate on everything but
+#:   ``/watches``.
+SCHEMA_VERSION = 4
 
 #: Versions this side can still decode.  Version-1 payloads simply
 #: lack ``catalogue_version``; version-1/-2 payloads lack
 #: ``budget``/``quality``; decoding defaults them to 0 / ``None``,
 #: which is exactly what those producers meant (one immutable
-#: snapshot, run-to-completion execution).
-SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2, SCHEMA_VERSION})
+#: snapshot, run-to-completion execution).  Version-3 payloads are
+#: field-identical to version 4 for every pre-watch type.
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2, 3, SCHEMA_VERSION})
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -85,6 +92,7 @@ __all__ = [
     "Quality",
     "Question",
     "ShardPartial",
+    "WatchEvent",
     "check_schema_version",
     "compute_shard_partial",
     "merge_shard_partials",
@@ -620,6 +628,73 @@ class Answer:
         return self.to_dict() == other.to_dict()
 
     __hash__ = None
+
+
+#: Event kinds a watch stream may carry (schema version 4).
+WATCH_EVENT_KINDS = ("answer", "end")
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """One entry of a watch's event stream (schema version 4).
+
+    ``seq`` is the watch-local cursor: strictly monotone from 0 (the
+    registration answer), what long-poll ``cursor=`` and SSE
+    ``Last-Event-ID`` resume from.  ``kind`` is ``"answer"`` for a
+    refreshed :class:`Answer` (carried in ``answer``, byte-identical
+    to a fresh ``Session.ask`` at ``catalogue_version``) or
+    ``"end"`` — the terminal event a deleted watch or a draining
+    server pushes (``answer`` is ``None``); nothing follows an
+    ``end``.
+    """
+
+    watch_id: str
+    seq: int
+    kind: str
+    catalogue_version: int
+    answer: Answer | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in WATCH_EVENT_KINDS:
+            kinds = ", ".join(WATCH_EVENT_KINDS)
+            raise ValueError(f"watch event kind must be one of "
+                             f"{kinds}, got {self.kind!r}")
+        if int(self.seq) < 0:
+            raise ValueError(f"watch event seq must be >= 0, got "
+                             f"{self.seq!r}")
+        if (self.kind == "answer") != (self.answer is not None):
+            raise ValueError("'answer' events carry an Answer; "
+                             "'end' events carry none")
+        object.__setattr__(self, "seq", int(self.seq))
+        object.__setattr__(self, "catalogue_version",
+                           int(self.catalogue_version))
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "watch_id": self.watch_id,
+            "seq": self.seq,
+            "kind": self.kind,
+            "catalogue_version": self.catalogue_version,
+            "answer": (None if self.answer is None
+                       else self.answer.to_dict()),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "WatchEvent":
+        if not isinstance(payload, Mapping):
+            raise ValueError("watch event payload must be a JSON "
+                             "object")
+        check_schema_version(payload, where="watch event")
+        answer = payload.get("answer")
+        return cls(
+            watch_id=str(payload.get("watch_id", "")),
+            seq=int(payload.get("seq", 0)),
+            kind=str(payload.get("kind", "")),
+            catalogue_version=int(payload.get("catalogue_version",
+                                              0)),
+            answer=(None if answer is None
+                    else Answer.from_dict(answer)))
 
 
 def summarize_answers(answers, *, wall_seconds: float | None = None,

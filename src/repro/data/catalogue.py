@@ -37,13 +37,22 @@ mutations without restarting.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.engine.context import DEFAULT_CACHE_CAP, DatasetContext
+from repro.engine.delta import SnapshotDelta
 
-__all__ = ["Catalogue", "MutationRecord"]
+__all__ = ["Catalogue", "DEFAULT_DELTA_HISTORY", "MutationRecord"]
+
+#: Deltas retained for :meth:`Catalogue.deltas_since`.  Enough that a
+#: watch sweep lagging a burst of mutations still sees the full chain;
+#: a subscriber further behind simply re-answers (the conservative
+#: fallback), so the bound trades memory for skip opportunities, not
+#: correctness.
+DEFAULT_DELTA_HISTORY = 64
 
 
 @dataclass(frozen=True)
@@ -93,7 +102,8 @@ class Catalogue:
                  context: DatasetContext | None = None,
                  capacity: int | None = None,
                  max_partitions: int | None = DEFAULT_CACHE_CAP,
-                 max_box_caches: int | None = DEFAULT_CACHE_CAP):
+                 max_box_caches: int | None = DEFAULT_CACHE_CAP,
+                 delta_history: int = DEFAULT_DELTA_HISTORY):
         if context is None:
             if points is None:
                 raise ValueError("Catalogue needs points or a context")
@@ -113,6 +123,8 @@ class Catalogue:
                              "be strictly increasing")
         self._next_id = int(self._ids[-1]) + 1 if len(self._ids) else 0
         self._log: list[MutationRecord] = []
+        self._deltas: deque[SnapshotDelta] = deque(
+            maxlen=max(1, int(delta_history)))
         self._adds = 0
         self._updates = 0
         self._removes = 0
@@ -149,6 +161,27 @@ class Catalogue:
         """The append-log, oldest first."""
         with self._lock:
             return tuple(self._log)
+
+    def deltas_since(self, version: int) -> list[SnapshotDelta] | None:
+        """The delta chain from snapshot ``version`` to the current
+        one, oldest first — what a subscriber pinned to ``version``
+        must fold to catch up.
+
+        Returns ``[]`` when ``version`` is current (or newer — a
+        racing writer may have advanced past the caller's read), and
+        ``None`` when the bounded history no longer reaches back to
+        ``version``: the caller cannot prove anything about the
+        missing prefix and must treat the answer as affected.
+        """
+        version = int(version)
+        with self._lock:
+            if version >= self._snapshot.version:
+                return []
+            chain = [delta for delta in self._deltas
+                     if delta.version > version]
+            if not chain or chain[0].parent_version != version:
+                return None
+            return chain
 
     def describe(self, *, with_snapshot: bool = False):
         """JSON-safe lifecycle summary: version, size, mutation
@@ -220,11 +253,17 @@ class Catalogue:
         return rows
 
     def _commit(self, snapshot: DatasetContext, ids: np.ndarray,
-                op: str, count: int) -> None:
+                op: str, count: int, *, changed,
+                removed_rows=()) -> None:
+        parent = self._snapshot
         self._snapshot = snapshot
         self._ids = ids
         self._log.append(MutationRecord(
             version=snapshot.version, op=op, count=count,
+            n_after=snapshot.n))
+        self._deltas.append(SnapshotDelta.from_mutation(
+            parent_version=parent.version, version=snapshot.version,
+            op=op, changed=changed, removed_rows=removed_rows,
             n_after=snapshot.n))
 
     def add_products(self, products) -> np.ndarray:
@@ -245,7 +284,7 @@ class Catalogue:
                 version=parent.version + 1, product_ids=ids)
             self._next_id += len(pts)
             self._adds += len(pts)
-            self._commit(snapshot, ids, "add", len(pts))
+            self._commit(snapshot, ids, "add", len(pts), changed=pts)
             return new_ids.copy()
 
     def update_products(self, ids, products) -> int:
@@ -268,7 +307,10 @@ class Catalogue:
                 version=parent.version + 1,
                 product_ids=self._ids)
             self._updates += len(rows)
-            self._commit(snapshot, self._ids, "update", len(rows))
+            # Old and new coordinates both matter to relevance: the
+            # same pair the derive() epoch check compares against.
+            self._commit(snapshot, self._ids, "update", len(rows),
+                         changed=np.vstack([parent.points[rows], pts]))
             return snapshot.version
 
     def remove_products(self, ids) -> int:
@@ -291,7 +333,9 @@ class Catalogue:
                 parent.points[keep], removed_rows=rows,
                 version=parent.version + 1, product_ids=surviving)
             self._removes += len(rows)
-            self._commit(snapshot, surviving, "remove", len(rows))
+            self._commit(snapshot, surviving, "remove", len(rows),
+                         changed=parent.points[rows],
+                         removed_rows=rows)
             return snapshot.version
 
     def apply(self, op: str, *, ids=None, products=None) -> dict:

@@ -68,6 +68,13 @@ class ContextStats:
     and were carried over) and ``partition_invalidations`` /
     ``box_cache_invalidations`` (entries the mutation made stale —
     the *only* ones dropped; everything else is retained).
+
+    The delta-maintenance counters measure *answer*-level reuse (the
+    watch subsystem, :mod:`repro.engine.delta`): ``delta_checks``
+    relevance tests performed, ``watches_skipped`` standing answers
+    proven untouched by a delta chain, ``watches_reanswered``
+    answers actually recomputed.  A healthy low-churn workload shows
+    skips dominating re-answers.
     """
 
     tree_builds: int = 0
@@ -83,6 +90,9 @@ class ContextStats:
     partition_invalidations: int = 0
     box_caches_inherited: int = 0
     box_cache_invalidations: int = 0
+    delta_checks: int = 0
+    watches_skipped: int = 0
+    watches_reanswered: int = 0
 
     @property
     def index_work(self) -> int:

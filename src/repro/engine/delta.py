@@ -1,0 +1,171 @@
+"""Delta relevance: which cached Answers can a mutation affect?
+
+:meth:`DatasetContext.derive` already decides per *cache entry*
+whether a mutation invalidated it — a dominance test against the
+delta's changed coordinates.  This module lifts the same idea one
+level up, from cache entries to whole :class:`~repro.core.protocol.
+Answer`\\ s: given the coordinates a mutation touched and a standing
+question's cached answer, decide **cheaply** (a few vectorized
+dominance/score checks, no refinement) whether a fresh
+``Session.ask`` at the new version could return anything different.
+The watch subsystem (:mod:`repro.service.watch`) uses it to re-answer
+only the standing questions a delta can actually reach — DBToaster's
+higher-order delta processing, specialized to why-not maintenance.
+
+Soundness, per algorithm (smaller-is-better scores, ties within
+``RANK_EPS`` resolved in the query point's favour):
+
+* **mqp** — the refined point is a pure function of ``(q, why_not,
+  k)`` and the top-k boundary per why-not vector ``w`` (the k-th
+  ranked score/id, carried on the cached ``MQPResult``).  A changed
+  coordinate ``x`` with ``w·x > kth_score + RANK_EPS`` for every
+  why-not ``w`` scores strictly outside the boundary: it cannot
+  enter the top-k, cannot displace the k-th point, and cannot change
+  the rank predicates the audit checks (``rank(q) > k``,
+  ``rank(q_refined) <= k``) — the fresh answer is byte-identical.
+  Removals additionally must not renumber the serialized
+  ``kth_points`` row ids: every removed row must sit *above* the
+  largest cached id (rows below it never compact).  Checking each
+  delta's removals in its own frame suffices — as long as every
+  removal is above the boundary ids, those ids never renumber, so
+  the guard stays frame-independent across chained deltas.
+* **mwk / mqwk** — both read the catalogue only through the
+  ``FindIncom`` partition of ``q`` (dominating ``D`` + incomparable
+  ``I``; sampled hyperplanes, rank scans, ``k_max = max rank of q``)
+  and, for MQWK's endpoints, the top-k boundary under the why-not
+  vectors.  A coordinate strictly dominated by ``q`` is invisible to
+  the partition, and — because a *valid* cached answer certifies
+  ``q`` was missing, i.e. ``kth_score < w·q - RANK_EPS <= w·x -
+  RANK_EPS`` — it cannot perturb that boundary either.  This is
+  exactly the ``derive`` epoch test, applied to the answer's own
+  query point.
+
+Everything else — failed or invalid cached answers, unknown
+algorithms, a catalogue shrunk below ``k`` — is conservatively
+*affected*: a wrong "skip" would freeze a stale answer, a wrong
+"affected" only costs one re-answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.dominance import dominated_by_mask
+
+__all__ = ["SnapshotDelta", "answer_affected", "delta_affects"]
+
+
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """One catalogue mutation, reduced to what relevance checks need.
+
+    ``changed`` stacks every coordinate the mutation touched — old
+    coords of removed and updated rows, new coords of updated and
+    appended rows — exactly the array
+    :meth:`~repro.engine.context.DatasetContext.derive` builds for
+    its per-entry epoch check.  ``min_removed_row`` is the smallest
+    removed row index *in the parent snapshot's frame* (``None`` when
+    the mutation removed nothing); ``n_after`` the catalogue size the
+    mutation left behind.
+    """
+
+    parent_version: int
+    version: int
+    op: str
+    changed: np.ndarray
+    min_removed_row: int | None
+    n_after: int
+
+    @classmethod
+    def from_mutation(cls, *, parent_version: int, version: int,
+                      op: str, changed, removed_rows=(),
+                      n_after: int) -> "SnapshotDelta":
+        coords = np.asarray(changed, dtype=np.float64)
+        coords = (coords.reshape(0, 0) if coords.size == 0
+                  else np.atleast_2d(coords)).copy()
+        coords.setflags(write=False)
+        removed = np.asarray(removed_rows, dtype=np.int64).reshape(-1)
+        return cls(parent_version=int(parent_version),
+                   version=int(version), op=str(op), changed=coords,
+                   min_removed_row=(int(removed.min())
+                                    if removed.size else None),
+                   n_after=int(n_after))
+
+
+def _mqp_unaffected(delta: SnapshotDelta, question, answer) -> bool:
+    """True when the delta provably cannot touch an MQP answer."""
+    from repro.engine.kernels import RANK_EPS
+
+    kth_ids = getattr(answer.result, "kth_points", None)
+    kth_scores = getattr(answer.result, "kth_scores", None)
+    if kth_ids is None or kth_scores is None:
+        return False
+    kth_ids = np.asarray(kth_ids, dtype=np.int64).reshape(-1)
+    kth_scores = np.asarray(kth_scores,
+                            dtype=np.float64).reshape(-1)
+    if not kth_ids.size:
+        return False
+    if delta.min_removed_row is not None and \
+            delta.min_removed_row <= int(kth_ids.max()):
+        # A removal at or below the boundary ids renumbers (or
+        # deletes) rows the serialized kth_points refer to.
+        return False
+    if not delta.changed.size:
+        return True
+    why_not = np.asarray(question.why_not, dtype=np.float64)
+    # (c, m): score of every changed coordinate under every why-not
+    # vector, against that vector's k-th boundary score.
+    scores = delta.changed @ why_not.T
+    return bool(np.all(scores > kth_scores[None, :] + RANK_EPS))
+
+
+def _dominated_unaffected(delta: SnapshotDelta, question) -> bool:
+    """True when every changed coordinate is strictly dominated by
+    ``q`` — invisible to the FindIncom partition (the ``derive``
+    epoch test, applied to the question's query point)."""
+    if not delta.changed.size:
+        return True
+    q = np.asarray(question.q, dtype=np.float64)
+    return bool(dominated_by_mask(delta.changed, q).all())
+
+
+def delta_affects(delta: SnapshotDelta, question, answer, *,
+                  stats=None) -> bool:
+    """Can ``delta`` change what ``question`` would answer afresh?
+
+    ``question``/``answer`` are the typed protocol objects of one
+    standing watch (``answer`` the cached
+    :class:`~repro.core.protocol.Answer`, with its in-memory result
+    object attached).  ``stats`` — a
+    :class:`~repro.engine.context.ContextStats` — gets one
+    ``delta_checks`` tick per call.  Returns ``True`` whenever a skip
+    cannot be *proven* safe.
+    """
+    if stats is not None:
+        stats.delta_checks += 1
+    if answer is None or answer.error is not None or not answer.valid:
+        # Failed/invalid answers carry no certificate to check the
+        # delta against — and a mutation may well be what un-fails
+        # them (e.g. the missing vector becomes answerable).
+        return True
+    if delta.n_after < int(question.k):
+        return True
+    algorithm = answer.algorithm
+    if algorithm == "mqp":
+        return not _mqp_unaffected(delta, question, answer)
+    if algorithm in ("mwk", "mqwk"):
+        return not _dominated_unaffected(delta, question)
+    return True
+
+
+def answer_affected(question, answer, deltas, *, stats=None) -> bool:
+    """Fold :func:`delta_affects` over a chain of deltas.
+
+    The chain is the catalogue's history since the version the
+    answer is pinned to (see ``Catalogue.deltas_since``); the fold
+    short-circuits on the first delta that reaches the answer.
+    """
+    return any(delta_affects(delta, question, answer, stats=stats)
+               for delta in deltas)

@@ -21,7 +21,12 @@ package turns the repro into a long-running service:
   M``): spawned workers attach zero-copy shared-memory snapshots
   (:mod:`repro.engine.shm`) and answer questions whole or
   scatter-gathered over catalogue row ranges, byte-identically to
-  the in-process path.
+  the in-process path;
+* :mod:`repro.service.watch` — :class:`WatchManager`, standing
+  questions kept fresh by delta-driven maintenance
+  (:mod:`repro.engine.delta`) and streamed to clients over
+  long-poll or SSE (``POST /watches``, ``GET /watches/<id>/events``,
+  ``wqrtq watch``).
 
 ``wqrtq serve`` (see :mod:`repro.cli`) is the command-line entry
 point.  DESIGN.md's "service layer" section has the architecture
@@ -36,6 +41,7 @@ from repro.service.client import (
 from repro.service.jobs import Job, JobManager
 from repro.service.registry import CatalogueRegistry
 from repro.service.server import WhyNotServer, create_server
+from repro.service.watch import Watch, WatchManager
 from repro.service.workers import WorkerPool, WorkerPoolError
 
 __all__ = [
@@ -45,6 +51,8 @@ __all__ = [
     "ServiceClient",
     "ServiceConnectionError",
     "ServiceError",
+    "Watch",
+    "WatchManager",
     "WhyNotServer",
     "WorkerPool",
     "WorkerPoolError",

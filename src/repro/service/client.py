@@ -28,6 +28,7 @@ server processed the request before the connection died.
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
 import time
@@ -41,7 +42,32 @@ from repro.core.protocol import (
     Answer,
     Budget,
     Question,
+    WatchEvent,
 )
+
+
+def backoff_delays(*, initial: float = 0.05, cap: float = 2.0,
+                   factor: float = 2.0, salt: str = ""):
+    """Jittered exponential backoff delays, forever.
+
+    Yields ``min(cap, initial * factor**attempt)`` scaled by a
+    deterministic jitter in ``[0.5, 1.0]`` — full-jitter's collision
+    avoidance without its worst-case zero wait.  The jitter is a
+    ``blake2b`` hash over ``(salt, attempt)``, not a PRNG draw: the
+    service tier bans nondeterministic randomness (DET-RNG), and a
+    per-caller ``salt`` (a job or watch id) still de-synchronizes
+    concurrent pollers the way random jitter would.
+    """
+    initial = max(1e-6, float(initial))
+    cap = max(initial, float(cap))
+    attempt = 0
+    while True:
+        digest = hashlib.blake2b(f"{salt}:{attempt}".encode("utf-8"),
+                                 digest_size=8).digest()
+        fraction = 0.5 + 0.5 * (int.from_bytes(digest, "big")
+                                / 2.0 ** 64)
+        yield min(cap, initial * factor ** attempt) * fraction
+        attempt += 1
 
 
 # The client is part of the stdlib-only service tier (see DESIGN.md
@@ -374,9 +400,17 @@ class ServiceClient:
 
         ``on_progress`` (if given) receives every snapshot — the
         hook behind ``wqrtq batch --watch``'s progress lines.
+
+        Polls with jittered exponential backoff starting at
+        ``poll_interval`` (see :func:`backoff_delays`): a short job
+        is noticed almost immediately, a long one is not hammered
+        at a fixed rate, and concurrent waiters drift apart.
         """
         deadline = time.monotonic() + timeout
-        while True:
+        delays = backoff_delays(initial=poll_interval,
+                                cap=max(poll_interval, 2.0),
+                                salt=str(job_id))
+        for delay in delays:
             progress = self.poll(job_id)
             if on_progress is not None:
                 on_progress(progress)
@@ -386,7 +420,107 @@ class ServiceClient:
                 raise TimeoutError(
                     f"job {job_id!r} still {progress['status']} "
                     f"after {timeout}s")
-            time.sleep(poll_interval)
+            time.sleep(min(delay, max(0.0, deadline
+                                      - time.monotonic())))
+
+    # -- watches -------------------------------------------------------
+
+    @staticmethod
+    def _watch_path(watch_id: str, *parts: str) -> str:
+        if not watch_id:
+            raise ValueError("watch id must be non-empty")
+        quoted = urllib.parse.quote(str(watch_id), safe="")
+        return "/".join(["/watches", quoted, *parts])
+
+    def create_watch(self, catalogue: str, question: Question, *,
+                     seed: int = 0) -> tuple[dict, WatchEvent]:
+        """Register a standing question (``POST /watches``).
+
+        Returns ``(descriptor, event)`` — the watch descriptor
+        (``["id"]`` is the handle) and its ``seq`` 0 event carrying
+        the immediate answer.
+        """
+        response = self._request("/watches", {
+            "schema_version": SCHEMA_VERSION,
+            "catalogue": catalogue,
+            "question": question.to_dict(),
+            "seed": int(seed),
+        })
+        self._check_version(response)
+        return (response["watch"],
+                WatchEvent.from_dict(response["event"]))
+
+    def watch_events(self, watch_id: str, *, cursor: int = -1,
+                     timeout_ms: int = 0) -> list[WatchEvent]:
+        """One long-poll leg (``GET /watches/<id>/events``).
+
+        Blocks server-side up to ``timeout_ms`` for an event past
+        ``cursor``; a lapse returns an empty list, never an error.
+        """
+        query = urllib.parse.urlencode({
+            "cursor": int(cursor),
+            "timeout_ms": int(timeout_ms),
+        })
+        response = self._request(
+            self._watch_path(watch_id, f"events?{query}"))
+        self._check_version(response)
+        return [WatchEvent.from_dict(event)
+                for event in response["events"]]
+
+    def delete_watch(self, watch_id: str) -> dict:
+        """Unregister (``DELETE /watches/<id>``); server-side
+        consumers receive the terminal ``end`` event."""
+        response = self._request(self._watch_path(watch_id),
+                                 method="DELETE")
+        self._check_version(response)
+        return response
+
+    def watch(self, catalogue: str, question: Question, *,
+              seed: int = 0, timeout_ms: int = 10_000,
+              max_events: int | None = None):
+        """Register a watch and iterate its refreshed Answers.
+
+        Yields the immediate answer first, then every re-answer the
+        server pushes, via repeated long-poll legs; transport
+        failures between legs reconnect with jittered backoff (the
+        cursor makes resumption lossless).  Stops at the server's
+        terminal ``end`` event or after ``max_events`` yields; the
+        watch is unregistered on the way out either way.
+        """
+        descriptor, event = self.create_watch(catalogue, question,
+                                              seed=seed)
+        watch_id = descriptor["id"]
+        cursor = event.seq
+        yielded = 0
+        try:
+            yield event.answer
+            yielded += 1
+            delays = backoff_delays(initial=0.05, cap=2.0,
+                                    salt=watch_id)
+            while max_events is None or yielded < max_events:
+                try:
+                    events = self.watch_events(
+                        watch_id, cursor=cursor,
+                        timeout_ms=timeout_ms)
+                except ServiceConnectionError:
+                    time.sleep(next(delays))
+                    continue
+                delays = backoff_delays(initial=0.05, cap=2.0,
+                                        salt=watch_id)
+                for event in events:
+                    cursor = event.seq
+                    if event.kind == "end":
+                        return
+                    yield event.answer
+                    yielded += 1
+                    if (max_events is not None
+                            and yielded >= max_events):
+                        return
+        finally:
+            try:
+                self.delete_watch(watch_id)
+            except (ServiceError, ServiceConnectionError):
+                pass   # server gone or already unregistered
 
     # -- dict-level convenience (the pre-schema call shapes) -----------
     #

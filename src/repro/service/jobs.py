@@ -262,6 +262,23 @@ class JobManager:
         job.request_cancel()
         return job
 
+    # -- deferred work -------------------------------------------------
+
+    def defer(self, fn) -> bool:
+        """Run ``fn()`` on the pool, after everything already queued.
+
+        The watch subsystem rides the job pool for its re-answers:
+        deferred callables share the FIFO with jobs, so watch
+        refreshes and batch refinement compete for the same worker
+        budget instead of spawning unbounded threads.  Returns False
+        (and drops ``fn``) once the manager is shut down.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            self._queue.put(fn)
+        return True
+
     # -- the pool ------------------------------------------------------
 
     def _worker(self) -> None:
@@ -269,6 +286,12 @@ class JobManager:
             job_id = self._queue.get()
             if job_id is None:   # shutdown sentinel
                 return
+            if callable(job_id):
+                try:
+                    job_id()
+                except Exception:   # pragma: no cover - defensive
+                    pass
+                continue
             job = self._jobs.get(job_id)
             if job is None or not job.mark_running():
                 continue

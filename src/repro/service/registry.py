@@ -219,6 +219,9 @@ class CatalogueRegistry:
                 "box_cache_invalidations":
                     stats.box_cache_invalidations,
                 "buffer_reuses": stats.buffer_reuses,
+                "delta_checks": stats.delta_checks,
+                "watches_skipped": stats.watches_skipped,
+                "watches_reanswered": stats.watches_reanswered,
                 "cache_hits": stats.cache_hits,
                 "evictions": stats.evictions,
                 "index_work": stats.index_work,

@@ -69,6 +69,26 @@ Endpoints
     Cooperative cancellation: sets a flag the refinement loop polls
     between chunks — a running kernel is never interrupted and no
     partial state persists.
+``POST /watches``
+    Register a standing question: ``{"catalogue", "question":
+    Question.to_dict(), "seed"}`` (or the pre-schema flat fields) →
+    ``201`` with the watch descriptor and its ``seq`` 0 event — the
+    immediate answer.  Subsequent catalogue mutations re-answer the
+    watch *only* when the delta can reach it (see
+    :mod:`repro.engine.delta`); refreshed answers append to the
+    watch's event stream.
+``GET /watches`` / ``GET /watches/<id>``
+    All watch descriptors / one descriptor.  Unknown ids are ``404``.
+``GET /watches/<id>/events?cursor=&timeout_ms=``
+    The watch's events past ``cursor`` (default ``-1``: from the
+    start of the retained buffer).  Long-poll: blocks up to
+    ``timeout_ms`` (capped) for the first event; a lapse returns an
+    *empty* batch, not an error.  With ``Accept: text/event-stream``
+    the same path streams SSE frames (``id:`` = cursor, ``event:`` =
+    kind, ``data:`` = the event payload) until the terminal ``end``
+    event; ``Last-Event-ID`` resumes a dropped stream.
+``DELETE /watches/<id>``
+    Unregister: consumers receive a terminal ``end`` event.
 
 Both POST endpoints also accept the pre-schema flat form
 (``{"q", "k", "why_not", "algorithm", "sample_size"}`` fields, or
@@ -97,7 +117,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import unquote
+from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.core.protocol import (
     SCHEMA_VERSION,
@@ -112,6 +132,12 @@ from repro.core.protocol import (
 from repro.core.registry import algorithm_names, get_algorithm
 from repro.service.jobs import JobManager
 from repro.service.registry import CatalogueRegistry
+from repro.service.watch import WatchManager
+
+#: Upper bound on one long-poll / SSE wait leg.  Long-poll requests
+#: asking for more are clamped; SSE waits this long between
+#: keep-alive comments, so a dead peer is noticed within a leg.
+MAX_POLL_TIMEOUT_MS = 30_000
 
 
 @dataclass
@@ -381,10 +407,28 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
             return None
         return unquote(job_id)
 
+    @staticmethod
+    def _watch_path(path: str, *, suffix: str = "") -> str | None:
+        """The watch id in ``/watches/<id>[/suffix]``, or ``None``.
+
+        ``path`` must already be query-stripped — the events route
+        is the one endpoint family that takes query parameters.
+        """
+        prefix = "/watches/"
+        if not path.startswith(prefix) or not path.endswith(suffix):
+            return None
+        watch_id = path[len(prefix):len(path) - len(suffix)]
+        if not watch_id or "/" in watch_id:
+            return None
+        return unquote(watch_id)
+
     def do_GET(self) -> None:   # noqa: N802 (http.server API)
         name = self._catalogue_path(self.path)
         job_id = self._job_path(self.path)
         result_id = self._job_path(self.path, suffix="/result")
+        plain = urlsplit(self.path).path
+        events_id = self._watch_path(plain, suffix="/events")
+        watch_id = self._watch_path(plain)
         if self.path == "/health":
             self._handle("GET /health",
                          lambda: (200, {"status": "ok"}))
@@ -407,6 +451,13 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
         elif job_id is not None:
             self._handle("GET /jobs/<id>",
                          lambda: self._get_job(job_id))
+        elif self.path == "/watches":
+            self._handle("GET /watches", self._get_watches)
+        elif events_id is not None:
+            self._get_watch_events(events_id)
+        elif watch_id is not None:
+            self._handle("GET /watches/<id>",
+                         lambda: self._get_watch(watch_id))
         else:
             self._not_found()
 
@@ -418,6 +469,8 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
             self._handle("POST /batch", self._post_batch)
         elif self.path == "/jobs":
             self._handle("POST /jobs", self._post_jobs)
+        elif self.path == "/watches":
+            self._handle("POST /watches", self._post_watches)
         elif name is not None:
             self._handle("POST /catalogues/<name>/products",
                          lambda: self._post_products(name))
@@ -426,9 +479,13 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:   # noqa: N802 (http.server API)
         job_id = self._job_path(self.path)
+        watch_id = self._watch_path(self.path)
         if job_id is not None:
             self._handle("DELETE /jobs/<id>",
                          lambda: self._delete_job(job_id))
+        elif watch_id is not None:
+            self._handle("DELETE /watches/<id>",
+                         lambda: self._delete_watch(watch_id))
         else:
             self._not_found()
 
@@ -469,6 +526,10 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
             # Publish before responding: the next request must answer
             # against (and be stamped with) the committed version.
             self.server.pool.publish(name)
+        # Watch maintenance is asynchronous by design: the sweep is
+        # deferred to the job pool, so the mutation response never
+        # waits on re-answers.
+        self.server.watches.publish(name)
         return 200, {
             "schema_version": SCHEMA_VERSION,
             "catalogue": name,
@@ -488,6 +549,7 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
     def _get_stats(self) -> tuple[int, dict]:
         payload = self.server.service_stats.snapshot()
         payload["catalogues"] = self.server.registry.describe()
+        payload["watches"] = self.server.watches.describe()
         if self.server.pool is not None:
             payload["workers"] = self.server.pool.stats()
         return 200, payload
@@ -520,10 +582,14 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
 
         Each downgrade step drops exactly the fields the older
         schema never had: version 2 lacked ``quality``, version 1
-        additionally lacked ``catalogue_version``."""
+        additionally lacked ``catalogue_version``.  Version 3 is
+        field-identical to 4 for Answer payloads (4 only *added* the
+        watch event envelope), so re-stamping is the whole
+        downgrade."""
         item = answer.to_dict()
         if version < SCHEMA_VERSION:
             item["schema_version"] = version
+        if version < 3:
             item.pop("quality", None)
         if version < 2:
             item.pop("catalogue_version", None)
@@ -664,6 +730,165 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
         payload["schema_version"] = SCHEMA_VERSION
         return 200, payload
 
+    # -- watches -------------------------------------------------------
+
+    def _post_watches(self) -> tuple[int, dict]:
+        body = self._read_json()
+        catalogue = self._required(body, "catalogue")
+        if "question" in body:
+            question = Question.from_dict(body["question"])
+        else:
+            # The flat pre-schema shape, accepted for symmetry with
+            # /answer — but watches are a schema-4 surface, so a
+            # content-invalid question is a 400, not a failed item.
+            missing = [key for key in ("q", "k", "why_not")
+                       if key not in body]
+            if missing:
+                raise ValueError(f"request is missing "
+                                 f"{', '.join(map(repr, missing))}")
+            q = _numeric_vector(body["q"])
+            if q is None:
+                raise ValueError("q must be a flat coordinate list")
+            wm = _weight_rows(body["why_not"], len(q))
+            if wm is None:
+                raise ValueError("why_not must be a (m, d) weight "
+                                 "list matching q's dimensionality")
+            entry_id = body.get("id")
+            question = Question.from_legacy(
+                q, int(body["k"]), wm,
+                algorithm=get_algorithm(
+                    body.get("algorithm", "mqp")).name,
+                sample_size=int(body.get("sample_size", 200)),
+                id=entry_id if isinstance(entry_id, str) else None)
+        watch, event = self.server.watches.create(
+            catalogue, question, seed=int(body.get("seed", 0)))
+        return 201, {
+            "schema_version": SCHEMA_VERSION,
+            "watch": watch.describe(),
+            "event": event.to_dict(),
+        }
+
+    def _watch_or_404(self, watch_id: str):
+        try:
+            return self.server.watches.get(watch_id), None
+        except KeyError as exc:
+            return None, (404, {"error": str(exc.args[0])})
+
+    def _get_watches(self) -> tuple[int, dict]:
+        return 200, {
+            "schema_version": SCHEMA_VERSION,
+            "watches": [watch.describe() for watch
+                        in self.server.watches.watches()],
+        }
+
+    def _get_watch(self, watch_id: str) -> tuple[int, dict]:
+        watch, missing = self._watch_or_404(watch_id)
+        if missing:
+            return missing
+        payload = watch.describe()
+        payload["schema_version"] = SCHEMA_VERSION
+        return 200, payload
+
+    def _delete_watch(self, watch_id: str) -> tuple[int, dict]:
+        self._drain_body()
+        try:
+            watch = self.server.watches.delete(watch_id)
+        except KeyError as exc:
+            return 404, {"error": str(exc.args[0])}
+        payload = watch.describe()
+        payload["schema_version"] = SCHEMA_VERSION
+        return 200, payload
+
+    def _get_watch_events(self, watch_id: str) -> None:
+        """Dispatch the events route by transport: SSE when the
+        client accepts ``text/event-stream``, long-poll JSON
+        otherwise."""
+        query = parse_qs(urlsplit(self.path).query)
+        accept = self.headers.get("Accept", "")
+        if "text/event-stream" in accept:
+            self._stream_watch_events(watch_id, query)
+        else:
+            self._handle(
+                "GET /watches/<id>/events",
+                lambda: self._poll_watch_events(watch_id, query))
+
+    @staticmethod
+    def _query_int(query: dict, key: str, default: int) -> int:
+        values = query.get(key)
+        if not values:
+            return default
+        return int(values[-1])
+
+    def _poll_watch_events(self, watch_id: str,
+                           query: dict) -> tuple[int, dict]:
+        watch, missing = self._watch_or_404(watch_id)
+        if missing:
+            return missing
+        cursor = self._query_int(query, "cursor", -1)
+        timeout_ms = min(max(0, self._query_int(query, "timeout_ms",
+                                                0)),
+                         MAX_POLL_TIMEOUT_MS)
+        events = watch.events_after(cursor,
+                                    timeout=timeout_ms / 1000.0)
+        return 200, {
+            "schema_version": SCHEMA_VERSION,
+            "watch_id": watch.id,
+            "cursor": events[-1].seq if events else cursor,
+            "events": [event.to_dict() for event in events],
+        }
+
+    def _stream_watch_events(self, watch_id: str,
+                             query: dict) -> None:
+        """SSE transport: stream frames until the terminal event.
+
+        Handled outside ``_handle`` — the response is not one JSON
+        document.  ``Last-Event-ID`` (the standard SSE resume
+        header) wins over the ``cursor`` query parameter.
+        """
+        watch, missing = self._watch_or_404(watch_id)
+        if missing:
+            self._handle("GET /watches/<id>/events",
+                         lambda: missing)
+            return
+        last_id = self.headers.get("Last-Event-ID")
+        if last_id not in (None, ""):
+            cursor = int(last_id)
+        else:
+            cursor = self._query_int(query, "cursor", -1)
+        start = time.perf_counter()
+        self.close_connection = True   # stream ends by closing
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            while True:
+                batch = watch.events_after(
+                    cursor, timeout=MAX_POLL_TIMEOUT_MS / 1000.0)
+                for event in batch:
+                    cursor = event.seq
+                    frame = (f"id: {event.seq}\n"
+                             f"event: {event.kind}\n"
+                             f"data: {json.dumps(event.to_dict())}"
+                             f"\n\n")
+                    self.wfile.write(frame.encode("utf-8"))
+                if not batch:
+                    if watch.closed:
+                        return
+                    # Keep-alive comment: flushes through proxies and
+                    # surfaces a dead peer as a write error.
+                    self.wfile.write(b": keep-alive\n\n")
+                self.wfile.flush()
+                if any(event.kind == "end" for event in batch):
+                    return
+        except (BrokenPipeError, ConnectionResetError):
+            return   # client went away; nothing to report
+        finally:
+            self.server.service_stats.record(
+                "GET /watches/<id>/events (sse)",
+                time.perf_counter() - start)
+
     @staticmethod
     def _required(body: dict, key: str):
         try:
@@ -701,6 +926,7 @@ class WhyNotServer(ThreadingHTTPServer):
         self.service_stats = ServiceStats()
         self.verbose = verbose
         self.jobs = JobManager(registry, workers=job_workers)
+        self.watches = WatchManager(registry, self.jobs)
         self.pool = None
         if workers > 0:
             from repro.service.workers import WorkerPool
@@ -714,11 +940,17 @@ class WhyNotServer(ThreadingHTTPServer):
                 raise
 
     def server_close(self) -> None:
-        # Stop accepting + join handler threads first, then drain the
-        # job pool (a handler blocked on /jobs submission must not
-        # race a closing manager), then the process pool, then sweep
-        # any shm segment still owned (belt and braces: shutdown()
-        # already unlinked the published ones).
+        # Drain the watches FIRST: long-poll and SSE handlers block
+        # on watch condition variables, and super().server_close()
+        # joins every in-flight handler thread — the terminal events
+        # must be pushed before the join, or the drain stalls a full
+        # poll timeout.  Then stop accepting + join handler threads,
+        # then drain the job pool (a handler blocked on /jobs
+        # submission must not race a closing manager), then the
+        # process pool, then sweep any shm segment still owned (belt
+        # and braces: shutdown() already unlinked the published
+        # ones).
+        self.watches.shutdown()
         super().server_close()
         self.jobs.shutdown()
         if self.pool is not None:

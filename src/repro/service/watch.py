@@ -1,0 +1,356 @@
+"""Standing questions, kept fresh by delta-driven maintenance.
+
+A *watch* is a registered :class:`~repro.core.protocol.Question`
+whose last :class:`~repro.core.protocol.Answer` the server keeps
+pinned to the catalogue version it was computed at.  Catalogue
+mutations publish their deltas here; the manager dominance-checks
+each delta against every standing answer (:mod:`repro.engine.delta`)
+and re-answers **only the watches a delta can actually reach** —
+the rest are *skipped*, their cached answer provably still what a
+fresh ``Session.ask`` would return.  Re-answers ride the existing
+:class:`~repro.service.jobs.JobManager` worker pool (via
+:meth:`~repro.service.jobs.JobManager.defer`), so watch maintenance
+and batch refinement compete for one bounded worker budget.
+
+Each watch carries an append-only event stream: ``seq`` 0 is the
+registration answer, every re-answer appends an ``"answer"`` event,
+and deletion or server drain appends a terminal ``"end"`` event
+after which nothing follows.  Consumers resume from a cursor —
+``GET /watches/<id>/events?cursor=`` for long-poll,
+``Last-Event-ID`` for SSE — and :meth:`Watch.events_after` blocks on
+a condition variable until an event past the cursor exists, the
+timeout lapses (empty batch, not an error) or the watch ends.  The
+buffer is bounded (:data:`EVENT_BUFFER`): a consumer that falls more
+than a buffer behind resumes from the oldest retained event — late
+answers supersede earlier ones, so nothing correctness-bearing is
+lost.
+
+Correctness contract: every event's ``answer`` is byte-identical to
+a fresh ``Session.ask`` at the event's ``catalogue_version`` —
+re-answers because they *are* fresh asks, skips because the skip is
+only taken when the delta provably cannot change the answer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from collections import deque
+
+from repro.core.protocol import Answer, Question, WatchEvent
+from repro.engine.context import ContextStats
+from repro.engine.delta import answer_affected
+
+__all__ = ["EVENT_BUFFER", "Watch", "WatchManager"]
+
+#: Events retained per watch.  Bounds memory for slow consumers; a
+#: resume from further back replays from the oldest retained event.
+EVENT_BUFFER = 256
+
+
+class Watch:
+    """One standing question and its event stream.
+
+    All mutable state — the cached answer, the version it is known
+    fresh for, the event deque and the sequence counter — sits
+    behind one condition variable; :meth:`events_after` waits on it,
+    :meth:`record` and :meth:`end` notify it.
+    """
+
+    def __init__(self, watch_id: str, catalogue: str,
+                 question: Question, *, seed: int = 0):
+        self.id = watch_id
+        self.catalogue = catalogue
+        self.question = question
+        self.seed = int(seed)
+        self.created = time.time()
+        self._cond = threading.Condition()
+        # Serializes re-answers: concurrent sweeps collapse into one
+        # fresh ask instead of racing duplicate refreshes.
+        self.refresh_lock = threading.Lock()
+        self._events: deque[WatchEvent] = deque(maxlen=EVENT_BUFFER)
+        self._seq = itertools.count()
+        self._answer: Answer | None = None
+        self._checked_version = -1
+        self._closed = False
+
+    # -- producer side -------------------------------------------------
+
+    def record(self, answer: Answer) -> WatchEvent | None:
+        """Adopt a fresh answer; appends an ``"answer"`` event.
+
+        Returns ``None`` (and drops the answer) once the watch has
+        ended — nothing may follow the terminal event.
+        """
+        with self._cond:
+            if self._closed:
+                return None
+            self._answer = answer
+            self._checked_version = max(self._checked_version,
+                                        answer.catalogue_version)
+            event = WatchEvent(
+                watch_id=self.id, seq=next(self._seq), kind="answer",
+                catalogue_version=answer.catalogue_version,
+                answer=answer)
+            self._events.append(event)
+            self._cond.notify_all()
+            return event
+
+    def mark_checked(self, version: int, *,
+                     expected: int) -> bool:
+        """Advance the known-fresh version after a proven skip.
+
+        Compare-and-swap against ``expected`` (the version the
+        relevance check read): a refresh that landed in between
+        already advanced further, and must not be rolled back.
+        """
+        with self._cond:
+            if self._closed or self._checked_version != expected:
+                return False
+            self._checked_version = int(version)
+            return True
+
+    def end(self) -> None:
+        """Append the terminal ``"end"`` event and close the stream."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._events.append(WatchEvent(
+                watch_id=self.id, seq=next(self._seq), kind="end",
+                catalogue_version=max(self._checked_version, 0)))
+            self._cond.notify_all()
+
+    # -- consumer side -------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def state(self) -> tuple[Answer | None, int]:
+        """``(cached answer, known-fresh version)`` as one snapshot."""
+        with self._cond:
+            return self._answer, self._checked_version
+
+    def events_after(self, cursor: int, *,
+                     timeout: float = 0.0) -> list[WatchEvent]:
+        """Events with ``seq > cursor``, blocking up to ``timeout``
+        seconds for the first one.  An empty list means the timeout
+        lapsed (or the stream ended at or before ``cursor``) — never
+        an error."""
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        with self._cond:
+            while True:
+                batch = [event for event in self._events
+                         if event.seq > cursor]
+                if batch or self._closed:
+                    return batch
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._cond.wait(remaining)
+
+    def describe(self) -> dict:
+        """JSON-safe descriptor (the ``POST /watches`` /
+        ``GET /watches`` payload)."""
+        with self._cond:
+            last_seq = (self._events[-1].seq if self._events
+                        else None)
+            return {
+                "id": self.id,
+                "catalogue": self.catalogue,
+                "question_id": self.question.id,
+                "algorithm": self.question.algorithm,
+                "seed": self.seed,
+                "seq": last_seq,
+                "catalogue_version": (
+                    self._answer.catalogue_version
+                    if self._answer is not None else None),
+                "checked_version": self._checked_version,
+                "events_buffered": len(self._events),
+                "closed": self._closed,
+            }
+
+
+class WatchManager:
+    """All standing watches of one server, plus the maintenance loop.
+
+    ``publish(name)`` — called by the mutation endpoint after each
+    commit — defers one *sweep* per catalogue onto the job pool
+    (coalesced: a sweep already queued absorbs further publishes).
+    The sweep reads each watch's delta chain since its known-fresh
+    version (``Catalogue.deltas_since``), runs the cheap relevance
+    fold (:func:`~repro.engine.delta.answer_affected`) and either
+    advances the watch's checked version (skip) or defers a
+    re-answer.  A truncated delta history (``deltas_since`` →
+    ``None``) conservatively re-answers.
+    """
+
+    def __init__(self, registry, jobs):
+        self.registry = registry
+        self.jobs = jobs
+        self.stats = ContextStats()
+        self._lock = threading.Lock()
+        self._watches: dict[str, Watch] = {}
+        self._order: list[str] = []
+        self._counter = itertools.count(1)
+        self._created = 0
+        self._deltas_seen = 0
+        self._pending_sweeps: set[str] = set()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def create(self, catalogue: str, question: Question, *,
+               seed: int = 0) -> tuple[Watch, WatchEvent]:
+        """Register a watch; answers immediately (event ``seq`` 0).
+
+        Raises ``KeyError`` for an unknown catalogue and
+        ``ValueError`` once the manager is shut down.
+        """
+        session = self.registry.session(catalogue)   # raises KeyError
+        answer = session.ask(question, seed=seed)
+        with self._lock:
+            if self._closed:
+                raise ValueError("watch manager is shut down")
+            watch_id = (f"watch-{next(self._counter):04d}-"
+                        f"{uuid.uuid4().hex[:8]}")
+            watch = Watch(watch_id, catalogue, question, seed=seed)
+            self._watches[watch_id] = watch
+            self._order.append(watch_id)
+            self._created += 1
+        event = watch.record(answer)
+        # Close the registration race: a mutation swept between the
+        # ask above and the registration never saw this watch — if
+        # the catalogue moved on, refresh rather than serve stale.
+        if (self.registry.catalogue(catalogue).version
+                > answer.catalogue_version):
+            self.jobs.defer(lambda: self._refresh(watch))
+        return watch, event
+
+    def get(self, watch_id: str) -> Watch:
+        with self._lock:
+            try:
+                return self._watches[watch_id]
+            except KeyError:
+                raise KeyError(
+                    f"unknown watch {watch_id!r}") from None
+
+    def watches(self) -> list[Watch]:
+        with self._lock:
+            return [self._watches[watch_id]
+                    for watch_id in self._order]
+
+    def delete(self, watch_id: str) -> Watch:
+        """End the stream (terminal event) and forget the watch."""
+        with self._lock:
+            try:
+                watch = self._watches.pop(watch_id)
+            except KeyError:
+                raise KeyError(
+                    f"unknown watch {watch_id!r}") from None
+            self._order.remove(watch_id)
+        watch.end()
+        return watch
+
+    def shutdown(self) -> None:
+        """Drain: every consumer gets the terminal event, every
+        blocked ``events_after`` wakes.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            watches = [self._watches[watch_id]
+                       for watch_id in self._order]
+        for watch in watches:
+            watch.end()
+
+    # -- maintenance ---------------------------------------------------
+
+    def publish(self, catalogue: str) -> None:
+        """One committed mutation on ``catalogue``; defers a
+        coalesced sweep onto the job pool."""
+        with self._lock:
+            if self._closed:
+                return
+            self._deltas_seen += 1
+            if catalogue in self._pending_sweeps:
+                return
+            self._pending_sweeps.add(catalogue)
+        self.jobs.defer(lambda: self._sweep(catalogue))
+
+    def _sweep(self, catalogue: str) -> None:
+        with self._lock:
+            # Un-mark first: a mutation landing mid-sweep queues a
+            # fresh sweep instead of being silently absorbed.
+            self._pending_sweeps.discard(catalogue)
+            watches = [self._watches[watch_id]
+                       for watch_id in self._order
+                       if self._watches[watch_id].catalogue
+                       == catalogue]
+        try:
+            handle = self.registry.catalogue(catalogue)
+        except KeyError:   # pragma: no cover - unregister race
+            return
+        for watch in watches:
+            if watch.closed:
+                continue
+            answer, checked = watch.state()
+            deltas = handle.deltas_since(checked)
+            if deltas == []:
+                continue   # already current
+            if deltas is None:
+                affected = True   # history truncated: must re-answer
+            else:
+                affected = answer_affected(
+                    watch.question, answer, deltas,
+                    stats=self.stats)
+            if affected:
+                self.jobs.defer(lambda w=watch: self._refresh(w))
+            elif watch.mark_checked(deltas[-1].version,
+                                    expected=checked):
+                with self._lock:
+                    self.stats.watches_skipped += 1
+
+    def _refresh(self, watch: Watch) -> None:
+        """Re-answer one watch at the current version and push the
+        refreshed answer.  Serialized per watch; a refresh that
+        arrives already-fresh (a coalesced duplicate) is a no-op."""
+        with watch.refresh_lock:
+            if watch.closed:
+                return
+            try:
+                handle = self.registry.catalogue(watch.catalogue)
+                session = self.registry.session(watch.catalogue)
+            except KeyError:   # pragma: no cover - unregister race
+                return
+            _, checked = watch.state()
+            if checked >= handle.version:
+                return
+            answer = session.ask(watch.question, seed=watch.seed)
+            if watch.record(answer) is not None:
+                with self._lock:
+                    self.stats.watches_reanswered += 1
+
+    # -- observability -------------------------------------------------
+
+    def describe(self) -> dict:
+        """The ``watches`` section of ``GET /stats``."""
+        with self._lock:
+            registered = len(self._watches)
+            created = self._created
+            deltas_seen = self._deltas_seen
+            delta_checks = self.stats.delta_checks
+            skipped = self.stats.watches_skipped
+            reanswered = self.stats.watches_reanswered
+        return {
+            "registered": registered,
+            "created": created,
+            "deltas_seen": deltas_seen,
+            "delta_checks": delta_checks,
+            "reanswers_skipped": skipped,
+            "reanswers_performed": reanswered,
+        }

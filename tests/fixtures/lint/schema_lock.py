@@ -29,3 +29,8 @@ class Question:
 class Answer:
     index: int
     penalty: float
+
+
+class WatchEvent:
+    watch_id: str
+    seq: int

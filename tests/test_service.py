@@ -851,11 +851,11 @@ class TestWireSchema:
 
 
 class TestSchemaNegotiationMatrix:
-    """Client stamps × server renders, across v1/v2/v3.
+    """Client stamps × server renders, across v1/v2/v3/v4.
 
     The server negotiates *down*: a request stamped with an older
     supported version receives payloads rendered at that version —
-    ``quality`` exists only in v3, ``catalogue_version`` only in
+    ``quality`` exists only in v3+, ``catalogue_version`` only in
     v2+ — while unstamped and current-version requests get the full
     current schema.
     """
@@ -863,6 +863,9 @@ class TestSchemaNegotiationMatrix:
     EXPECTATIONS = {
         1: {"quality": False, "catalogue_version": False},
         2: {"quality": False, "catalogue_version": True},
+        # v3 and v4 are field-identical for Answer payloads (v4 only
+        # added the watch event envelope).
+        3: {"quality": True, "catalogue_version": True},
         SCHEMA_VERSION: {"quality": True, "catalogue_version": True},
     }
 

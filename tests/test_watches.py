@@ -1,0 +1,784 @@
+"""Watch subsystem: delta relevance, event streams, both transports.
+
+The delta-relevance tests pin the soundness contract of
+:mod:`repro.engine.delta` — most importantly the *skip-correctness
+oracle*: whenever a delta is judged unable to affect a cached
+answer, a fresh ``Session.ask`` at the new version must produce a
+byte-identical answer (timing and version stamp normalized).  The
+HTTP tests drive a real server through both push transports
+(long-poll with cursor resume, SSE with ``Last-Event-ID``) and
+assert that pushed answers equal fresh asks at the same catalogue
+version.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import SCHEMA_VERSION, Answer, Question, WatchEvent
+from repro.core.session import Session
+from repro.data import independent, preference_set, query_point_with_rank
+from repro.data.catalogue import Catalogue
+from repro.engine.context import ContextStats
+from repro.engine.delta import SnapshotDelta, answer_affected, delta_affects
+from repro.service import (
+    CatalogueRegistry,
+    ServiceClient,
+    create_server,
+)
+from repro.service.client import backoff_delays
+from repro.service.watch import Watch, WatchManager
+
+N = 400
+D = 3
+K = 10
+RANK = 41
+
+
+def make_typed(points, j, *, rank=RANK, algorithm="mqp",
+               options=None):
+    w = preference_set(1, D, seed=7000 + j)
+    q = query_point_with_rank(points, w[0], rank)
+    return Question(q=q, k=K, why_not=w, algorithm=algorithm,
+                    options=options or {})
+
+
+def normalized(answer) -> dict:
+    """An Answer payload minus run-dependent timing and the version
+    stamp — the byte-identity comparison for skipped watches, whose
+    cached answer was computed at an older (but provably equivalent)
+    version."""
+    payload = answer.to_dict() if isinstance(answer, Answer) \
+        else dict(answer)
+    payload.pop("elapsed", None)
+    payload.pop("catalogue_version", None)
+    return payload
+
+
+def strip_elapsed(answer) -> dict:
+    payload = answer.to_dict() if isinstance(answer, Answer) \
+        else dict(answer)
+    payload.pop("elapsed", None)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Delta recording on the catalogue
+# ---------------------------------------------------------------------------
+
+
+class TestDeltaRecording:
+    def test_mutations_record_chainable_deltas(self):
+        catalogue = Catalogue(independent(50, D, seed=1))
+        catalogue.add_products(np.full((2, D), 0.5))
+        catalogue.update_products([0], np.full((1, D), 0.4))
+        deltas = catalogue.deltas_since(0)
+        assert [d.op for d in deltas] == ["add", "update"]
+        assert [(d.parent_version, d.version) for d in deltas] == \
+            [(0, 1), (1, 2)]
+        assert deltas[0].changed.shape == (2, D)
+        # Update deltas stack old AND new coordinates.
+        assert deltas[1].changed.shape == (2, D)
+        assert deltas[1].min_removed_row is None
+        assert deltas[0].n_after == 52
+
+    def test_remove_records_min_row(self):
+        catalogue = Catalogue(independent(50, D, seed=1))
+        catalogue.remove_products([10, 4, 30])
+        (delta,) = catalogue.deltas_since(0)
+        assert delta.min_removed_row == 4
+        assert delta.changed.shape == (3, D)
+        assert delta.n_after == 47
+
+    def test_deltas_since_current_is_empty(self):
+        catalogue = Catalogue(independent(20, D, seed=1))
+        assert catalogue.deltas_since(0) == []
+        catalogue.add_products(np.full((1, D), 0.5))
+        assert catalogue.deltas_since(1) == []
+
+    def test_deltas_since_truncated_history_is_none(self):
+        catalogue = Catalogue(independent(20, D, seed=1),
+                              delta_history=2)
+        for _ in range(4):
+            catalogue.add_products(np.full((1, D), 0.5))
+        assert catalogue.deltas_since(0) is None      # truncated
+        assert catalogue.deltas_since(1) is None      # gap at head
+        chain = catalogue.deltas_since(2)
+        assert [d.version for d in chain] == [3, 4]
+
+    def test_delta_coords_are_immutable(self):
+        delta = SnapshotDelta.from_mutation(
+            parent_version=0, version=1, op="add",
+            changed=[[0.1, 0.2, 0.3]], n_after=5)
+        with pytest.raises(ValueError):
+            delta.changed[0, 0] = 9.0
+
+
+# ---------------------------------------------------------------------------
+# Relevance rules
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def oracle_points():
+    return independent(N, D, seed=17)
+
+
+@pytest.fixture(scope="module")
+def oracle_session(oracle_points):
+    return Session(oracle_points)
+
+
+class TestDeltaRelevance:
+    def _delta(self, coords, *, n_after=N, removed=()):
+        return SnapshotDelta.from_mutation(
+            parent_version=0, version=1, op="add", changed=coords,
+            removed_rows=removed, n_after=n_after)
+
+    def test_mqp_far_point_is_skipped(self, oracle_session,
+                                      oracle_points):
+        question = make_typed(oracle_points, 0, algorithm="mqp")
+        answer = oracle_session.ask(question)
+        assert answer.valid
+        stats = ContextStats()
+        far = self._delta(np.full((1, D), 0.99))
+        assert not delta_affects(far, question, answer, stats=stats)
+        assert stats.delta_checks == 1
+
+    def test_mqp_boundary_point_is_affected(self, oracle_session,
+                                            oracle_points):
+        question = make_typed(oracle_points, 0, algorithm="mqp")
+        answer = oracle_session.ask(question)
+        near = self._delta(np.full((1, D), 0.001))
+        assert delta_affects(near, question, answer)
+
+    def test_mqp_low_removal_is_affected(self, oracle_session,
+                                         oracle_points):
+        # Removing row 0 renumbers every row the kth_points ids may
+        # refer to — always conservative, regardless of coordinates.
+        question = make_typed(oracle_points, 0, algorithm="mqp")
+        answer = oracle_session.ask(question)
+        removal = self._delta(np.full((1, D), 0.99), removed=[0],
+                              n_after=N - 1)
+        assert delta_affects(removal, question, answer)
+
+    @pytest.mark.parametrize("algorithm", ["mwk", "mqwk"])
+    def test_dominated_point_is_skipped(self, oracle_session,
+                                        oracle_points, algorithm):
+        question = make_typed(oracle_points, 1, algorithm=algorithm)
+        answer = oracle_session.ask(question)
+        assert answer.valid
+        dominated = self._delta(
+            np.asarray(question.q)[None, :] * 1.5)
+        undominated = self._delta(
+            np.asarray(question.q)[None, :] * 0.5)
+        assert not delta_affects(dominated, question, answer)
+        assert delta_affects(undominated, question, answer)
+
+    def test_shrunk_catalogue_is_affected(self, oracle_session,
+                                          oracle_points):
+        question = make_typed(oracle_points, 0, algorithm="mqp")
+        answer = oracle_session.ask(question)
+        tiny = self._delta(np.full((1, D), 0.99), n_after=K - 1)
+        assert delta_affects(tiny, question, answer)
+
+    def test_failed_answer_is_affected(self, oracle_points):
+        question = make_typed(oracle_points, 0, algorithm="mqp")
+        failed = Answer(index=0, algorithm="mqp", result=None,
+                        penalty=float("nan"), valid=False,
+                        error=None, elapsed=0.0)
+        far = self._delta(np.full((1, D), 0.99))
+        assert delta_affects(far, question, failed)
+        assert delta_affects(far, question, None)
+
+    def test_unknown_algorithm_is_affected(self, oracle_session,
+                                           oracle_points):
+        import dataclasses
+
+        question = make_typed(oracle_points, 0, algorithm="mqp")
+        answer = oracle_session.ask(question)
+        exotic = dataclasses.replace(answer, algorithm="exotic")
+        far = self._delta(np.full((1, D), 0.99))
+        assert delta_affects(far, question, exotic)
+
+    def test_chain_short_circuits(self, oracle_session,
+                                  oracle_points):
+        question = make_typed(oracle_points, 0, algorithm="mqp")
+        answer = oracle_session.ask(question)
+        stats = ContextStats()
+        chain = [self._delta(np.full((1, D), 0.001)),
+                 self._delta(np.full((1, D), 0.99))]
+        assert answer_affected(question, answer, chain, stats=stats)
+        assert stats.delta_checks == 1   # first delta decides
+
+
+class TestSkipCorrectnessOracle:
+    """The acceptance-criteria oracle: every *skipped* decision must
+    leave the cached answer byte-identical to a fresh ask at the new
+    version, across a randomized churn of adds, updates and
+    removals, for every algorithm."""
+
+    ALGORITHMS = ("mqp", "mwk", "mqwk")
+
+    def test_skips_are_byte_identical_under_churn(self):
+        points = independent(N, D, seed=23)
+        catalogue = Catalogue(points)
+        session = Session(catalogue=catalogue)
+        questions = [make_typed(points, j, algorithm=algorithm,
+                                rank=rank)
+                     for j, (algorithm, rank) in enumerate(
+                         (a, r) for a in self.ALGORITHMS
+                         for r in (31, 61))]
+        cached = [session.ask(q) for q in questions]
+        checked = [a.catalogue_version for a in cached]
+        assert all(a.valid for a in cached)
+
+        rng = np.random.default_rng(5)
+        skips = reanswers = 0
+        for round_no in range(8):
+            op = ("add", "update", "remove")[round_no % 3]
+            if op == "add":
+                catalogue.add_products(
+                    rng.random((3, D)) * 0.5 + 0.5)
+            elif op == "update":
+                pool = catalogue.product_ids()
+                ids = np.unique(pool[rng.integers(0, len(pool),
+                                                  size=2)])
+                catalogue.update_products(ids, rng.random(
+                    (len(ids), D)))
+            else:
+                pool = catalogue.product_ids()
+                ids = np.unique(pool[rng.integers(0, len(pool),
+                                                  size=2)])
+                catalogue.remove_products(ids)
+            for i, question in enumerate(questions):
+                deltas = catalogue.deltas_since(checked[i])
+                assert deltas, "every round must produce a delta"
+                affected = answer_affected(question, cached[i],
+                                           deltas)
+                fresh = session.ask(question,
+                                    seed=0)   # same seed as cache
+                if affected:
+                    cached[i] = fresh
+                    reanswers += 1
+                else:
+                    # THE oracle: a skip must be provably invisible.
+                    assert normalized(cached[i]) == normalized(fresh)
+                    skips += 1
+                checked[i] = fresh.catalogue_version
+        # The churn must actually exercise both branches or the
+        # oracle proves nothing.
+        assert skips > 0 and reanswers > 0
+
+
+# ---------------------------------------------------------------------------
+# Watch event-stream mechanics (no HTTP)
+# ---------------------------------------------------------------------------
+
+
+def _answer(version: int) -> Answer:
+    return Answer(index=0, algorithm="mqp", result=None, penalty=0.5,
+                  valid=True, error=None, elapsed=0.0,
+                  catalogue_version=version)
+
+
+class TestWatchStream:
+    def _watch(self):
+        question = Question(q=[0.5, 0.5], k=2,
+                            why_not=[[0.5, 0.5]], algorithm="mqp")
+        return Watch("w-1", "demo", question)
+
+    def test_cursor_monotonicity(self):
+        watch = self._watch()
+        seqs = [watch.record(_answer(v)).seq for v in range(5)]
+        assert seqs == sorted(seqs) == list(range(5))
+        events = watch.events_after(1)
+        assert [e.seq for e in events] == [2, 3, 4]
+        assert watch.events_after(99, timeout=0.0) == []
+
+    def test_timeout_returns_empty_not_error(self):
+        watch = self._watch()
+        start = time.monotonic()
+        assert watch.events_after(-1, timeout=0.05) == []
+        assert time.monotonic() - start >= 0.04
+
+    def test_blocked_consumer_wakes_on_record(self):
+        watch = self._watch()
+        got = []
+
+        def consume():
+            got.extend(watch.events_after(-1, timeout=5.0))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.05)
+        watch.record(_answer(1))
+        thread.join(timeout=5)
+        assert [e.seq for e in got] == [0]
+
+    def test_end_is_terminal(self):
+        watch = self._watch()
+        watch.record(_answer(1))
+        watch.end()
+        watch.end()   # idempotent
+        events = watch.events_after(-1)
+        assert [e.kind for e in events] == ["answer", "end"]
+        assert watch.record(_answer(2)) is None   # nothing follows
+        assert [e.kind for e in watch.events_after(-1)] == \
+            ["answer", "end"]
+        # A consumer past the end returns immediately, empty.
+        start = time.monotonic()
+        assert watch.events_after(99, timeout=5.0) == []
+        assert time.monotonic() - start < 1.0
+
+    def test_mark_checked_is_a_cas(self):
+        watch = self._watch()
+        watch.record(_answer(3))
+        assert not watch.mark_checked(5, expected=0)   # stale read
+        assert watch.mark_checked(5, expected=3)
+        _, checked = watch.state()
+        assert checked == 5
+
+
+class TestWatchEventSchema:
+    def test_round_trip(self):
+        event = WatchEvent(watch_id="w", seq=2, kind="answer",
+                           catalogue_version=3, answer=_answer(3))
+        again = WatchEvent.from_dict(
+            json.loads(json.dumps(event.to_dict())))
+        assert again == event
+        assert event.to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_kind_and_payload_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            WatchEvent(watch_id="w", seq=0, kind="nope",
+                       catalogue_version=0)
+        with pytest.raises(ValueError, match="carry"):
+            WatchEvent(watch_id="w", seq=0, kind="answer",
+                       catalogue_version=0)
+        with pytest.raises(ValueError, match="carry"):
+            WatchEvent(watch_id="w", seq=0, kind="end",
+                       catalogue_version=0, answer=_answer(0))
+
+
+class TestBackoff:
+    def test_deterministic_jittered_growth(self):
+        a = list(zip(range(6), backoff_delays(initial=0.1, cap=2.0,
+                                              salt="x")))
+        b = list(zip(range(6), backoff_delays(initial=0.1, cap=2.0,
+                                              salt="x")))
+        assert a == b   # deterministic for one salt
+        delays = [d for _, d in a]
+        base = [min(2.0, 0.1 * 2 ** i) for i in range(6)]
+        for delay, cap in zip(delays, base):
+            assert 0.5 * cap <= delay <= cap
+        assert delays[-1] != delays[-2]   # jitter varies per attempt
+
+    def test_salts_desynchronize(self):
+        a = next(backoff_delays(salt="watch-1"))
+        b = next(backoff_delays(salt="watch-2"))
+        assert a != b
+
+
+# ---------------------------------------------------------------------------
+# The HTTP surface
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def points():
+    return independent(N, D, seed=17)
+
+
+@pytest.fixture()
+def server(points):
+    # Function-scoped: watch tests mutate their catalogue, so each
+    # test gets a pristine version history.
+    registry = CatalogueRegistry()
+    registry.register("demo", points, meta={"kind": "independent"})
+    srv = create_server(registry)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(port=server.port)
+
+
+FAR = [[0.99, 0.99, 0.99]]      # scores above any top-K boundary
+NEAR = [[0.001, 0.001, 0.001]]  # dominates everything: must affect
+
+
+def wait_for(predicate, *, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestWatchHTTP:
+    def test_registration_answers_immediately(self, client, points):
+        question = make_typed(points, 0)
+        descriptor, event = client.create_watch("demo", question,
+                                                seed=3)
+        assert event.seq == 0 and event.kind == "answer"
+        fresh = client.ask("demo", question, seed=3)
+        assert strip_elapsed(event.answer) == strip_elapsed(fresh)
+        assert descriptor["catalogue"] == "demo"
+        assert descriptor["id"].startswith("watch-")
+
+    def test_unknown_catalogue_is_client_error(self, client, points):
+        from repro.service import ServiceError
+
+        with pytest.raises(ServiceError) as excinfo:
+            client.create_watch("nope", make_typed(points, 0))
+        assert excinfo.value.status == 400
+
+    def test_long_poll_timeout_is_empty_batch(self, client, points):
+        descriptor, event = client.create_watch(
+            "demo", make_typed(points, 0))
+        start = time.monotonic()
+        events = client.watch_events(descriptor["id"],
+                                     cursor=event.seq,
+                                     timeout_ms=150)
+        assert events == []
+        assert time.monotonic() - start >= 0.1
+
+    def test_relevant_mutation_pushes_identical_answer(
+            self, client, points):
+        question = make_typed(points, 0)
+        descriptor, event = client.create_watch("demo", question,
+                                                seed=1)
+        response = client.add_products("demo", NEAR)
+        events = client.watch_events(descriptor["id"],
+                                     cursor=event.seq,
+                                     timeout_ms=10_000)
+        assert [e.kind for e in events] == ["answer"]
+        refreshed = events[0].answer
+        assert refreshed.catalogue_version == \
+            response["catalogue_version"]
+        fresh = client.ask("demo", question, seed=1)
+        assert strip_elapsed(refreshed) == strip_elapsed(fresh)
+
+    def test_irrelevant_mutation_is_skipped(self, client, server,
+                                            points):
+        descriptor, event = client.create_watch(
+            "demo", make_typed(points, 0))
+        client.add_products("demo", FAR)
+        assert wait_for(lambda: server.watches.describe()
+                        ["reanswers_skipped"] >= 1)
+        assert client.watch_events(descriptor["id"],
+                                   cursor=event.seq,
+                                   timeout_ms=100) == []
+        stats = client.stats()["watches"]
+        assert stats["reanswers_performed"] == 0
+        assert stats["deltas_seen"] == 1
+        assert stats["delta_checks"] >= 1
+
+    def test_cursor_resume_across_polls(self, client, points):
+        descriptor, event = client.create_watch(
+            "demo", make_typed(points, 0))
+        cursor = event.seq
+        seen = []
+        for _ in range(3):
+            client.add_products("demo", NEAR)
+            events = client.watch_events(descriptor["id"],
+                                         cursor=cursor,
+                                         timeout_ms=10_000)
+            assert events, "refresh must arrive within the poll leg"
+            seen.extend(e.seq for e in events)
+            cursor = events[-1].seq
+        assert seen == sorted(seen) == list(range(1, len(seen) + 1))
+        # Replays from an old cursor cover the same events.
+        replay = client.watch_events(descriptor["id"], cursor=-1,
+                                     timeout_ms=0)
+        assert [e.seq for e in replay] == [0, *seen]
+
+    def test_delete_pushes_terminal_event(self, client, points):
+        descriptor, event = client.create_watch(
+            "demo", make_typed(points, 0))
+        got = []
+
+        # The poll must be in flight when the delete lands: deletion
+        # removes the descriptor, so only already-attached consumers
+        # receive the terminal event.
+        def poll():
+            got.extend(client.watch_events(descriptor["id"],
+                                           cursor=event.seq,
+                                           timeout_ms=10_000))
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        time.sleep(0.1)
+        client.delete_watch(descriptor["id"])
+        poller.join(timeout=10)
+        assert [e.kind for e in got] == ["end"]
+        from repro.service import ServiceError
+
+        with pytest.raises(ServiceError) as excinfo:
+            client.delete_watch(descriptor["id"])
+        assert excinfo.value.status == 404
+        assert all(w["id"] != descriptor["id"]
+                   for w in client._request("/watches")["watches"])
+
+    def test_stats_section_shape(self, client, points):
+        client.create_watch("demo", make_typed(points, 0))
+        stats = client.stats()["watches"]
+        assert stats["registered"] == 1 and stats["created"] == 1
+        assert set(stats) == {"registered", "created", "deltas_seen",
+                              "delta_checks", "reanswers_skipped",
+                              "reanswers_performed"}
+        entry = client.catalogue("demo")["stats"]
+        assert {"delta_checks", "watches_skipped",
+                "watches_reanswered"} <= set(entry)
+
+    def test_concurrent_mutate_while_watching(self, client, server,
+                                              points):
+        question = make_typed(points, 0)
+        descriptor, event = client.create_watch("demo", question,
+                                                seed=2)
+        rounds = 4
+        versions = []
+
+        def mutate():
+            for _ in range(rounds):
+                versions.append(client.add_products(
+                    "demo", NEAR)["catalogue_version"])
+                time.sleep(0.01)
+
+        mutator = threading.Thread(target=mutate)
+        mutator.start()
+        collected = []
+        cursor = event.seq
+        deadline = time.monotonic() + 30
+        # Coalescing is legal (a refresh may cover several versions),
+        # but the final event must reach the final version.
+        while time.monotonic() < deadline:
+            for e in client.watch_events(descriptor["id"],
+                                         cursor=cursor,
+                                         timeout_ms=2000):
+                cursor = e.seq
+                collected.append(e)
+            mutator.join(timeout=0)
+            if collected and not mutator.is_alive() and \
+                    collected[-1].answer.catalogue_version >= \
+                    max(versions):
+                break
+        mutator.join(timeout=5)
+        seqs = [e.seq for e in collected]
+        assert seqs == sorted(seqs)
+        assert collected[-1].answer.catalogue_version == max(versions)
+        fresh = client.ask("demo", question, seed=2)
+        assert strip_elapsed(collected[-1].answer) == \
+            strip_elapsed(fresh)
+
+    def test_watch_iterator_end_to_end(self, client, points):
+        question = make_typed(points, 1)
+        answers = []
+
+        def mutate_soon():
+            time.sleep(0.2)
+            client.add_products("demo", NEAR)
+
+        thread = threading.Thread(target=mutate_soon)
+        thread.start()
+        for answer in client.watch("demo", question, seed=0,
+                                   timeout_ms=2000, max_events=2):
+            answers.append(answer)
+        thread.join(timeout=5)
+        assert len(answers) == 2
+        assert answers[1].catalogue_version > \
+            answers[0].catalogue_version
+        # The iterator cleans up after itself.
+        assert client._request("/watches")["watches"] == []
+
+
+class TestSSE:
+    def _open(self, server, watch_id, *, last_event_id=None,
+              cursor=None):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=30)
+        path = f"/watches/{watch_id}/events"
+        if cursor is not None:
+            path += f"?cursor={cursor}"
+        headers = {"Accept": "text/event-stream"}
+        if last_event_id is not None:
+            headers["Last-Event-ID"] = str(last_event_id)
+        conn.request("GET", path, headers=headers)
+        return conn, conn.getresponse()
+
+    @staticmethod
+    def _frames(raw: str) -> list[dict]:
+        """Parse SSE frames into {id, event, data} dicts, ignoring
+        comment keep-alives."""
+        frames = []
+        for block in raw.split("\n\n"):
+            fields = {}
+            for line in block.splitlines():
+                if line.startswith(":"):
+                    continue
+                key, _, value = line.partition(": ")
+                fields[key] = value
+            if fields.get("event"):
+                frames.append(fields)
+        return frames
+
+    @staticmethod
+    def _read_until_end(response) -> str:
+        data = b""
+        while b"event: end" not in data:
+            chunk = response.read(64)
+            if not chunk:
+                break
+            data += chunk
+        return data.decode("utf-8")
+
+    def test_framing_and_terminal_event(self, client, server,
+                                        points):
+        descriptor, _ = client.create_watch("demo",
+                                            make_typed(points, 0))
+        client.add_products("demo", NEAR)
+        conn, response = self._open(server, descriptor["id"],
+                                    cursor=-1)
+        assert response.status == 200
+        assert response.getheader("Content-Type") == \
+            "text/event-stream"
+
+        def end_soon():
+            time.sleep(0.2)
+            client.delete_watch(descriptor["id"])
+
+        threading.Thread(target=end_soon).start()
+        frames = self._frames(self._read_until_end(response))
+        conn.close()
+        kinds = [frame["event"] for frame in frames]
+        assert kinds[0] == "answer" and kinds[-1] == "end"
+        assert [int(frame["id"]) for frame in frames] == \
+            list(range(len(frames)))
+        payload = json.loads(frames[0]["data"])
+        event = WatchEvent.from_dict(payload)
+        assert event.seq == 0 and event.answer is not None
+
+    def test_last_event_id_resume(self, client, server, points):
+        descriptor, _ = client.create_watch("demo",
+                                            make_typed(points, 0))
+        client.add_products("demo", NEAR)
+        # Wait until seq 1 exists, then resume past seq 0.
+        assert client.watch_events(descriptor["id"], cursor=0,
+                                   timeout_ms=10_000)
+        conn, response = self._open(server, descriptor["id"],
+                                    last_event_id=0)
+
+        def end_soon():
+            time.sleep(0.2)
+            client.delete_watch(descriptor["id"])
+
+        threading.Thread(target=end_soon).start()
+        frames = self._frames(self._read_until_end(response))
+        conn.close()
+        assert [int(frame["id"]) for frame in frames] == [1, 2]
+        assert frames[0]["event"] == "answer"
+        assert frames[-1]["event"] == "end"
+
+    def test_unknown_watch_is_json_404(self, server):
+        conn, response = self._open(server, "nope")
+        assert response.status == 404
+        body = json.loads(response.read().decode("utf-8"))
+        assert "unknown watch" in body["error"]
+        conn.close()
+
+
+class TestDrain:
+    def test_server_close_pushes_end_to_blocked_pollers(self,
+                                                        points):
+        registry = CatalogueRegistry()
+        registry.register("demo", points)
+        server = create_server(registry)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        client = ServiceClient(port=server.port)
+        descriptor, event = client.create_watch(
+            "demo", make_typed(points, 0))
+        got = []
+
+        def poll():
+            got.extend(client.watch_events(descriptor["id"],
+                                           cursor=event.seq,
+                                           timeout_ms=20_000))
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        time.sleep(0.2)
+        start = time.monotonic()
+        server.shutdown()
+        server.server_close()
+        poller.join(timeout=10)
+        assert not poller.is_alive()
+        # Drain must beat the poll timeout by a wide margin.
+        assert time.monotonic() - start < 10
+        assert [e.kind for e in got] == ["end"]
+        thread.join(timeout=5)
+
+
+class TestManagerUnit:
+    def test_create_after_shutdown_rejected(self, points):
+        registry = CatalogueRegistry()
+        registry.register("demo", points)
+
+        class NoJobs:
+            def defer(self, fn):
+                return False
+
+        manager = WatchManager(registry, NoJobs())
+        manager.shutdown()
+        with pytest.raises(ValueError, match="shut down"):
+            manager.create("demo", make_typed(points, 0))
+
+    def test_registration_race_defers_refresh(self, points):
+        registry = CatalogueRegistry()
+        registry.register("demo", points)
+        deferred = []
+
+        class RecordingJobs:
+            def defer(self, fn):
+                deferred.append(fn)
+                return True
+
+        manager = WatchManager(registry, RecordingJobs())
+        question = make_typed(points, 0)
+        real_ask = registry.session("demo").ask
+
+        # Simulate a mutation landing between the initial ask and
+        # the registration: the manager must notice the version gap
+        # and defer a refresh instead of serving stale.
+        def racing_ask(q, seed=0):
+            answer = real_ask(q, seed=seed)
+            if not deferred:
+                registry.catalogue("demo").add_products(
+                    np.asarray(NEAR))
+            return answer
+
+        registry.session("demo").ask = racing_ask
+        try:
+            watch, event = manager.create("demo", question)
+        finally:
+            registry.session("demo").ask = real_ask
+        assert len(deferred) == 1
+        deferred[0]()   # run the deferred refresh inline
+        events = watch.events_after(event.seq)
+        assert [e.kind for e in events] == ["answer"]
+        assert events[0].answer.catalogue_version == 1
