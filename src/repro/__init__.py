@@ -26,15 +26,18 @@ True
 >>> bool(answer.penalty < 0.35)   # ...a small nudge wins them over
 True
 >>> answer.to_dict()["schema_version"]   # wire-ready, versioned
-4
+5
 """
 
 from repro.core import (
     SCHEMA_VERSION,
+    AdmissionDecision,
     Answer,
     BatchReport,
     Budget,
+    CostEstimate,
     ErrorInfo,
+    Plan,
     MQPResult,
     MQWKResult,
     MWKResult,
@@ -64,13 +67,16 @@ from repro.topk import BRSEngine, topk_scan
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionDecision",
     "Answer",
     "BRSEngine",
     "BatchReport",
     "Budget",
     "Catalogue",
+    "CostEstimate",
     "DatasetContext",
     "ErrorInfo",
+    "Plan",
     "MutationRecord",
     "MQPResult",
     "MQWKResult",

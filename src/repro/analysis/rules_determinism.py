@@ -43,6 +43,8 @@ DETERMINISTIC_MODULES = frozenset({
     "repro.core.penalty",
     "repro.core.safe_region",
     "repro.engine.kernels",
+    "repro.planner.model",
+    "repro.planner.plan",
 })
 
 #: ``numpy.random`` attributes that are *not* hidden global state.

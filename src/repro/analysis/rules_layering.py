@@ -32,12 +32,13 @@ __all__ = ["LAYER_MATRIX"]
 LAYER_MATRIX: dict[str, frozenset[str]] = {
     "__main__": frozenset({"cli"}),
     "cli": frozenset({"analysis", "bench", "core", "data", "engine",
-                      "rtopk", "service", "viz"}),
+                      "planner", "rtopk", "service", "viz"}),
     "bench": frozenset({"core", "data", "engine", "geometry",
                         "topk"}),
-    "service": frozenset({"core", "data", "engine"}),
-    "core": frozenset({"data", "engine", "geometry", "index", "qp",
-                       "rtopk", "topk"}),
+    "service": frozenset({"core", "data", "engine", "planner"}),
+    "core": frozenset({"data", "engine", "geometry", "index",
+                       "planner", "qp", "rtopk", "topk"}),
+    "planner": frozenset({"core"}),
     "data": frozenset({"core", "engine", "geometry"}),
     "engine": frozenset({"core", "geometry", "index"}),
     "geometry": frozenset({"engine"}),

@@ -45,7 +45,8 @@ LOCK_REL = "schema_lock.json"
 
 #: Wire dataclasses whose field sets the lock freezes.
 LOCKED_CLASSES = ("Question", "Answer", "Budget", "Quality",
-                  "ErrorInfo", "WatchEvent")
+                  "ErrorInfo", "WatchEvent", "CostEstimate", "Plan",
+                  "AdmissionDecision")
 
 _REGEN_HINT = "regenerate with: wqrtq lint --update-lock"
 

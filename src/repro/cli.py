@@ -29,6 +29,13 @@ Subcommands
     worker processes attached to zero-copy shared-memory snapshots;
     ``--shards M`` additionally scatter-gathers each shardable
     question over ``M`` catalogue row ranges.
+``explain``
+    Ask a *running* daemon for the cost-based execution plan of a
+    why-not question — without executing it.  Prints the
+    Impala-style plan tree (:mod:`repro.planner`): execution path
+    (session / worker pool / scatter-gather), chunk schedule,
+    estimated latency and peak memory, and whether the estimate is
+    backed by calibrated timings or the analytic prior.
 ``watch``
     Register a standing why-not question on a *running* daemon and
     stream its refreshed answers: every catalogue mutation that can
@@ -70,6 +77,9 @@ Examples
     wqrtq serve --port 8977 -n 10000 --max-partitions 1024
     wqrtq serve --port 0 --load laptops=data/laptops.npz
     wqrtq serve --port 0 -n 100000 --workers 4 --shards 4
+    wqrtq serve --port 0 --max-concurrent 4 --tenant-rate 20
+    wqrtq explain laptops --q '[0.4, 0.1, 0.2]' -k 10 \\
+        --why-not '[[0.3, 0.3, 0.4]]' --port 8977
     wqrtq watch laptops --q '[0.4, 0.1, 0.2]' -k 10 \\
         --why-not '[[0.3, 0.3, 0.4]]' --port 8977
     wqrtq catalogue show laptops --port 8977
@@ -417,7 +427,13 @@ def _cmd_serve(args) -> int:
     server = create_server(registry, host=args.host, port=args.port,
                            verbose=args.verbose,
                            job_workers=args.job_workers,
-                           workers=args.workers, shards=args.shards)
+                           workers=args.workers, shards=args.shards,
+                           max_concurrent=args.max_concurrent,
+                           max_queue=args.max_queue,
+                           tenant_rate=args.tenant_rate,
+                           tenant_burst=args.tenant_burst,
+                           enforce_deadlines=args.enforce_deadlines,
+                           calibration_path=args.calibration)
     from repro.core.registry import algorithm_names
     print(f"algorithms: {', '.join(algorithm_names())}", flush=True)
     if args.workers > 0:
@@ -528,6 +544,44 @@ def _cmd_catalogue(args) -> int:
         print(f"catalogue {args.action} failed: {exc}",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    """Print a running daemon's execution plan for one question."""
+    import json
+
+    from repro.core.protocol import Question
+    from repro.service import (
+        ServiceClient,
+        ServiceConnectionError,
+        ServiceError,
+    )
+
+    try:
+        q = json.loads(args.q)
+        why_not = json.loads(args.why_not)
+    except json.JSONDecodeError as exc:
+        print(f"--q/--why-not must be JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        question = Question.from_legacy(
+            q, args.k, why_not, algorithm=args.algorithm,
+            sample_size=args.sample_size)
+    except (ValueError, KeyError) as exc:
+        print(f"invalid question: {exc}", file=sys.stderr)
+        return 2
+
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        plan, rendered = client.explain(args.name, question,
+                                        seed=args.seed)
+    except (ServiceError, ServiceConnectionError, ValueError) as exc:
+        print(f"explain failed: {exc}", file=sys.stderr)
+        return 1
+    print(rendered, flush=True)
+    if args.json:
+        print(json.dumps(plan.to_dict(), sort_keys=True), flush=True)
     return 0
 
 
@@ -714,9 +768,56 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--job-workers", type=int, default=2,
                          help="async job worker threads "
                               "(POST /jobs)")
+    p_serve.add_argument("--max-concurrent", type=int, default=None,
+                         help="admission: cap on concurrently "
+                              "executing requests (default: "
+                              "unlimited)")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="admission: waiters allowed behind a "
+                              "full --max-concurrent before "
+                              "load-shedding with 429")
+    p_serve.add_argument("--tenant-rate", type=float, default=None,
+                         help="admission: per-tenant token-bucket "
+                              "refill rate in requests/second "
+                              "(default: no quota)")
+    p_serve.add_argument("--tenant-burst", type=float, default=None,
+                         help="admission: per-tenant bucket "
+                              "capacity (default: the rate)")
+    p_serve.add_argument("--enforce-deadlines", action="store_true",
+                         help="admission: reject questions whose "
+                              "calibrated latency estimate exceeds "
+                              "their budget's deadline_ms")
+    p_serve.add_argument("--calibration", default=None,
+                         metavar="PATH",
+                         help="load/persist cost-model calibration "
+                              "at this JSON path (saved on drain)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_explain = sub.add_parser(
+        "explain", help="show a running daemon's cost-based "
+                        "execution plan for a question")
+    p_explain.add_argument("name",
+                           help="registry name of the catalogue")
+    p_explain.add_argument("--q", required=True,
+                           help="JSON coordinate list of the missing "
+                                "product, e.g. '[0.4, 0.1, 0.2]'")
+    p_explain.add_argument("-k", type=int, default=10)
+    p_explain.add_argument("--why-not", required=True,
+                           dest="why_not",
+                           help="JSON weight rows, e.g. "
+                                "'[[0.3, 0.3, 0.4]]'")
+    p_explain.add_argument("--algorithm", default="mqp",
+                           choices=list(algorithm_names()))
+    p_explain.add_argument("--sample-size", type=int, default=200)
+    p_explain.add_argument("--seed", type=int, default=0)
+    p_explain.add_argument("--host", default="127.0.0.1")
+    p_explain.add_argument("--port", type=int, default=8977)
+    p_explain.add_argument("--json", action="store_true",
+                           help="also print the Plan payload as "
+                                "JSON after the rendering")
+    p_explain.set_defaults(func=_cmd_explain)
 
     p_watch = sub.add_parser(
         "watch", help="stream live answers to a standing question "

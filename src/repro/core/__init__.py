@@ -47,9 +47,12 @@ from repro.core.penalty import (
 )
 from repro.core.protocol import (
     SCHEMA_VERSION,
+    AdmissionDecision,
     Answer,
     Budget,
+    CostEstimate,
     ErrorInfo,
+    Plan,
     Quality,
     Question,
     summarize_answers,
@@ -70,11 +73,14 @@ from repro.core.session import Session
 from repro.core.types import MQPResult, MQWKResult, MWKResult, WhyNotQuery
 
 __all__ = [
+    "AdmissionDecision",
     "AlgorithmSpec",
     "Answer",
     "BatchReport",
     "Budget",
+    "CostEstimate",
     "ErrorInfo",
+    "Plan",
     "Quality",
     "Question",
     "SCHEMA_VERSION",

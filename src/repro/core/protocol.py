@@ -72,22 +72,38 @@ from repro.geometry.vectors import is_valid_weight
 #:   existing payload changed shape — v4 is v3 plus one new
 #:   envelope type, so v3 peers interoperate on everything but
 #:   ``/watches``.
-SCHEMA_VERSION = 4
+#: * **5** — cost-based planning and admission control:
+#:   ``Question`` payloads may carry ``priority`` (weighted
+#:   admission ordering, default 0) and ``tenant`` (quota
+#:   accounting key, default ``null``), and three new envelope
+#:   types exist — :class:`CostEstimate` (the analytic cost-model
+#:   prediction), :class:`Plan` (the chosen execution path with its
+#:   estimate, rendered by ``EXPLAIN``) and
+#:   :class:`AdmissionDecision` (the typed body of a 429
+#:   rejection).  ``Answer`` payloads are field-identical to v4, so
+#:   v4 peers interoperate on everything but ``/explain`` and the
+#:   admission metadata.
+SCHEMA_VERSION = 5
 
 #: Versions this side can still decode.  Version-1 payloads simply
 #: lack ``catalogue_version``; version-1/-2 payloads lack
-#: ``budget``/``quality``; decoding defaults them to 0 / ``None``,
+#: ``budget``/``quality``; version-<5 payloads lack
+#: ``priority``/``tenant``; decoding defaults them to 0 / ``None``,
 #: which is exactly what those producers meant (one immutable
-#: snapshot, run-to-completion execution).  Version-3 payloads are
-#: field-identical to version 4 for every pre-watch type.
-SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2, 3, SCHEMA_VERSION})
+#: snapshot, run-to-completion execution, neutral priority).
+#: Version-3/-4 payloads are field-identical to version 5 for every
+#: pre-planner type.
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2, 3, 4, SCHEMA_VERSION})
 
 __all__ = [
     "SCHEMA_VERSION",
     "SUPPORTED_SCHEMA_VERSIONS",
+    "AdmissionDecision",
     "Answer",
     "Budget",
+    "CostEstimate",
     "ErrorInfo",
+    "Plan",
     "Precompute",
     "Quality",
     "Question",
@@ -358,6 +374,14 @@ class Question:
     id:
         Optional caller-chosen correlation id, echoed on the
         :class:`Answer`.
+    priority:
+        Admission priority (schema v5): higher values are scheduled
+        first by the service admission controller.  Neutral default
+        0; has no effect on library execution or on the Answer.
+    tenant:
+        Optional tenant key (schema v5) for per-tenant quota
+        accounting at the service tier; ``None`` means the shared
+        anonymous bucket.
     """
 
     q: np.ndarray
@@ -367,6 +391,8 @@ class Question:
     options: Mapping[str, object] = field(default_factory=dict)
     budget: Budget | None = None
     id: str | None = None
+    priority: int = 0
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         try:
@@ -443,6 +469,20 @@ class Question:
             raise ValueError(f"id must be a string or None, got "
                              f"{self.id!r}")
 
+        try:
+            priority = int(self.priority)
+            if isinstance(self.priority, bool) or \
+                    float(self.priority) != priority:
+                raise ValueError
+        except (TypeError, ValueError):
+            raise ValueError(f"priority must be an integer, got "
+                             f"{self.priority!r}") from None
+
+        if self.tenant is not None and not isinstance(self.tenant, str):
+            raise ValueError(f"tenant must be a string or None, got "
+                             f"{self.tenant!r}")
+
+        object.__setattr__(self, "priority", priority)
         object.__setattr__(self, "budget", budget)
         object.__setattr__(self, "q", _readonly(q))
         object.__setattr__(self, "k", k)
@@ -477,13 +517,16 @@ class Question:
             "options": dict(self.options),
             "budget": (None if self.budget is None
                        else self.budget.to_dict()),
+            "priority": self.priority,
+            "tenant": self.tenant,
         }
 
     #: The exact key set ``to_dict`` writes; ``from_dict`` rejects
     #: anything else so a misspelled field (e.g. ``"optons"``) cannot
     #: silently decode into a different question.
     _FIELDS = frozenset({"schema_version", "id", "algorithm", "q",
-                         "k", "why_not", "options", "budget"})
+                         "k", "why_not", "options", "budget",
+                         "priority", "tenant"})
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "Question":
@@ -504,7 +547,9 @@ class Question:
                    algorithm=payload.get("algorithm", "mqp"),
                    options=payload.get("options") or {},
                    budget=payload.get("budget"),
-                   id=payload.get("id"))
+                   id=payload.get("id"),
+                   priority=payload.get("priority", 0),
+                   tenant=payload.get("tenant"))
 
     @classmethod
     def from_legacy(cls, q, k, why_not, *, algorithm: str = "mqp",
@@ -533,7 +578,7 @@ class Question:
     def __hash__(self) -> int:
         return hash((self.q.tobytes(), self.k, self.why_not.tobytes(),
                      self.algorithm, tuple(sorted(self.options.items())),
-                     self.budget, self.id))
+                     self.budget, self.id, self.priority, self.tenant))
 
     def __reduce__(self):
         # ``options`` is a mappingproxy (see ``__post_init__``), which
@@ -541,7 +586,8 @@ class Question:
         # constructor so worker IPC re-validates exactly once.
         return (Question, (np.asarray(self.q), self.k,
                            np.asarray(self.why_not), self.algorithm,
-                           dict(self.options), self.budget, self.id))
+                           dict(self.options), self.budget, self.id,
+                           self.priority, self.tenant))
 
 
 @dataclass(frozen=True, eq=False)
@@ -695,6 +741,231 @@ class WatchEvent:
                                               0)),
             answer=(None if answer is None
                     else Answer.from_dict(answer)))
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """The cost model's prediction for one Question (schema v5).
+
+    Produced by :class:`repro.planner.model.CostModel` before
+    execution: the expected sample count, refinement chunk count,
+    wall latency and peak working memory for running ``algorithm``
+    against an ``n`` x ``d`` catalogue with the question's ``k`` and
+    ``m`` why-not rows.  ``calibrated`` says whether the latency
+    coefficient has been fit from at least
+    ``CALIBRATION_MIN_OBSERVATIONS`` real executions
+    (``observations`` of them) or is still the analytic prior.
+    """
+
+    algorithm: str
+    n: int
+    d: int
+    k: int
+    m: int
+    est_samples: int
+    est_chunks: int
+    est_latency_ms: float
+    est_peak_memory_bytes: int
+    calibrated: bool = False
+    observations: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("n", "d", "k", "m", "est_samples", "est_chunks",
+                     "est_peak_memory_bytes", "observations"):
+            object.__setattr__(self, name, int(getattr(self, name)))
+        latency = float(self.est_latency_ms)
+        if not math.isfinite(latency) or latency < 0:
+            raise ValueError(f"est_latency_ms must be finite and "
+                             f">= 0, got {self.est_latency_ms!r}")
+        object.__setattr__(self, "est_latency_ms", latency)
+        object.__setattr__(self, "calibrated", bool(self.calibrated))
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "d": self.d,
+            "k": self.k,
+            "m": self.m,
+            "est_samples": self.est_samples,
+            "est_chunks": self.est_chunks,
+            "est_latency_ms": self.est_latency_ms,
+            "est_peak_memory_bytes": self.est_peak_memory_bytes,
+            "calibrated": self.calibrated,
+            "observations": self.observations,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CostEstimate":
+        if not isinstance(payload, Mapping):
+            raise ValueError("cost estimate payload must be a JSON "
+                             "object")
+        return cls(
+            algorithm=str(payload.get("algorithm", "")),
+            n=int(payload.get("n", 0)),
+            d=int(payload.get("d", 0)),
+            k=int(payload.get("k", 0)),
+            m=int(payload.get("m", 0)),
+            est_samples=int(payload.get("est_samples", 0)),
+            est_chunks=int(payload.get("est_chunks", 0)),
+            est_latency_ms=float(payload.get("est_latency_ms", 0.0)),
+            est_peak_memory_bytes=int(
+                payload.get("est_peak_memory_bytes", 0)),
+            calibrated=bool(payload.get("calibrated", False)),
+            observations=int(payload.get("observations", 0)))
+
+
+#: Execution paths a :class:`Plan` can choose: in-process session
+#: execution, whole questions fanned out to pool workers, or
+#: scatter-gather of one question across catalogue shards.
+PLAN_PATHS = ("session", "worker", "scatter-gather")
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The chosen execution path for one Question (schema v5).
+
+    What ``EXPLAIN`` (``POST /explain`` / ``wqrtq explain`` /
+    ``Session.explain_plan``) returns: the path the service would
+    take (``session`` in-process, ``worker`` on the pool, or
+    ``scatter-gather`` across shards), the anytime ``chunk_schedule``
+    the executor is expected to run, the :class:`CostEstimate` and
+    the :class:`Quality` the answer is expected to report.  Rendered
+    to Impala-style text by
+    :func:`repro.planner.plan.render_plan`.
+    """
+
+    catalogue: str
+    catalogue_version: int
+    algorithm: str
+    path: str
+    workers: int
+    shards: int
+    chunk_schedule: tuple
+    cost: CostEstimate
+    expected_quality: Quality
+    question_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.path not in PLAN_PATHS:
+            paths = ", ".join(PLAN_PATHS)
+            raise ValueError(f"plan path must be one of {paths}, "
+                             f"got {self.path!r}")
+        object.__setattr__(self, "catalogue_version",
+                           int(self.catalogue_version))
+        object.__setattr__(self, "workers", int(self.workers))
+        object.__setattr__(self, "shards", int(self.shards))
+        object.__setattr__(self, "chunk_schedule",
+                           tuple(int(c) for c in self.chunk_schedule))
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "catalogue": self.catalogue,
+            "catalogue_version": self.catalogue_version,
+            "algorithm": self.algorithm,
+            "path": self.path,
+            "workers": self.workers,
+            "shards": self.shards,
+            "chunk_schedule": list(self.chunk_schedule),
+            "cost": self.cost.to_dict(),
+            "expected_quality": self.expected_quality.to_dict(),
+            "question_id": self.question_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Plan":
+        if not isinstance(payload, Mapping):
+            raise ValueError("plan payload must be a JSON object")
+        check_schema_version(payload, where="plan")
+        question_id = payload.get("question_id")
+        return cls(
+            catalogue=str(payload.get("catalogue", "")),
+            catalogue_version=int(payload.get("catalogue_version", 0)),
+            algorithm=str(payload.get("algorithm", "")),
+            path=str(payload.get("path", "session")),
+            workers=int(payload.get("workers", 0)),
+            shards=int(payload.get("shards", 1)),
+            chunk_schedule=tuple(payload.get("chunk_schedule") or ()),
+            cost=CostEstimate.from_dict(payload.get("cost") or {}),
+            expected_quality=Quality.from_dict(
+                payload.get("expected_quality") or {}),
+            question_id=(None if question_id is None
+                         else str(question_id)))
+
+
+#: Reasons an :class:`AdmissionDecision` can carry.  ``ok`` admits;
+#: ``deadline`` rejects a question whose estimated latency exceeds
+#: its own ``deadline_ms``; ``quota`` sheds past a tenant's token
+#: bucket; ``queue-full`` sheds past the bounded priority queue.
+ADMISSION_REASONS = ("ok", "deadline", "quota", "queue-full")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The admission controller's verdict for one request (schema v5).
+
+    Admitted requests proceed to execution unchanged; rejected ones
+    become typed 429 responses carrying this payload — ``reason``
+    says which policy fired, ``estimated_ms``/``deadline_ms`` the
+    deadline math that failed (when ``reason`` is ``deadline``), and
+    ``retry_after_ms`` the shed-side hint mirrored into the
+    ``Retry-After`` header (``None`` when retrying cannot help, e.g.
+    an unmeetable deadline).
+    """
+
+    admitted: bool
+    reason: str
+    detail: str = ""
+    estimated_ms: float | None = None
+    deadline_ms: float | None = None
+    retry_after_ms: float | None = None
+    priority: int = 0
+    tenant: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.reason not in ADMISSION_REASONS:
+            reasons = ", ".join(ADMISSION_REASONS)
+            raise ValueError(f"admission reason must be one of "
+                             f"{reasons}, got {self.reason!r}")
+        if self.admitted != (self.reason == "ok"):
+            raise ValueError("admitted decisions carry reason 'ok'; "
+                             "rejections carry the policy that fired")
+        for name in ("estimated_ms", "deadline_ms", "retry_after_ms"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, float(value))
+        object.__setattr__(self, "admitted", bool(self.admitted))
+        object.__setattr__(self, "priority", int(self.priority))
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "admitted": self.admitted,
+            "reason": self.reason,
+            "detail": self.detail,
+            "estimated_ms": self.estimated_ms,
+            "deadline_ms": self.deadline_ms,
+            "retry_after_ms": self.retry_after_ms,
+            "priority": self.priority,
+            "tenant": self.tenant,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "AdmissionDecision":
+        if not isinstance(payload, Mapping):
+            raise ValueError("admission payload must be a JSON object")
+        check_schema_version(payload, where="admission decision")
+        tenant = payload.get("tenant")
+        return cls(
+            admitted=bool(payload.get("admitted", False)),
+            reason=str(payload.get("reason", "")),
+            detail=str(payload.get("detail", "")),
+            estimated_ms=payload.get("estimated_ms"),
+            deadline_ms=payload.get("deadline_ms"),
+            retry_after_ms=payload.get("retry_after_ms"),
+            priority=int(payload.get("priority", 0)),
+            tenant=(None if tenant is None else str(tenant)))
 
 
 def summarize_answers(answers, *, wall_seconds: float | None = None,

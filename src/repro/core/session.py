@@ -81,6 +81,7 @@ class Session:
         self._catalogue = catalogue
         self._context = context
         self.penalty_config = penalty_config
+        self._cost_model = None   # lazy; see ``cost_model``
         if warm:
             self.context.tree
 
@@ -148,10 +149,13 @@ class Session:
         """
         from repro.engine.executor import answer_question
 
+        context = self.context
         return answer_question(
-            self.context, question, index=0,
+            context, question, index=0,
             rng=np.random.default_rng(int(seed)),
-            penalty_config=self.penalty_config)
+            penalty_config=self.penalty_config,
+            observer=lambda item, answer:
+                self._record_timing(context, item, answer))
 
     def ask_stream(self, question: Question, *, seed: int = 0,
                    chunk: int | None = None):
@@ -190,15 +194,68 @@ class Session:
         """
         from repro.engine.executor import execute_questions
 
+        context = self.context
         return execute_questions(
-            self.context, questions, seed=int(seed),
+            context, questions, seed=int(seed),
             workers=int(workers), penalty_config=self.penalty_config,
-            deadline_ms=deadline_ms, interleave=interleave)
+            deadline_ms=deadline_ms, interleave=interleave,
+            observer=lambda item, answer:
+                self._record_timing(context, item, answer))
 
     @staticmethod
     def summarize(answers, *, wall_seconds: float | None = None) -> dict:
         """Aggregate report over :meth:`ask_batch` output."""
         return summarize_answers(answers, wall_seconds=wall_seconds)
+
+    # -- planning ------------------------------------------------------
+
+    @property
+    def cost_model(self):
+        """This session's :class:`~repro.planner.model.CostModel`.
+
+        Created lazily and calibrated automatically: every
+        :meth:`ask` / :meth:`ask_batch` feeds its executor-recorded
+        timings back through the engine's observer seam, so
+        :meth:`explain_plan` estimates tighten as the session runs.
+        """
+        if self._cost_model is None:
+            from repro.planner.model import CostModel
+
+            self._cost_model = CostModel()
+        return self._cost_model
+
+    def _record_timing(self, context, question: Question,
+                       answer: Answer) -> None:
+        from repro.planner.model import sample_target
+
+        quality = answer.quality
+        samples = (quality.samples_examined if quality is not None
+                   else sample_target(question.algorithm,
+                                      budget=question.budget,
+                                      options=question.options))
+        self.cost_model.observe(
+            algorithm=question.algorithm, n=context.n, d=context.dim,
+            k=question.k, m=question.n_why_not, samples=samples,
+            elapsed=answer.elapsed, options=question.options)
+
+    def explain_plan(self, question: Question, *, workers: int = 0,
+                     shards: int = 1, pooled: bool = False):
+        """The cost-based :class:`~repro.core.protocol.Plan` for one
+        question, *without executing it*.
+
+        In-library sessions always plan the ``session`` path unless
+        told about a serving topology (``pooled``/``workers``/
+        ``shards`` — the HTTP daemon passes its own).  Render the
+        result with :func:`repro.planner.render_plan`.
+        """
+        from repro.planner import build_plan
+
+        context = self.context
+        return build_plan(
+            question, n=context.n, d=context.dim,
+            model=self.cost_model,
+            catalogue_version=context.version,
+            workers=int(workers), shards=int(shards), pooled=pooled)
 
     # -- aspect (i): explanation and the original query ----------------
 

@@ -392,7 +392,7 @@ def answer_question(context: DatasetContext, question: Question, *,
                     index: int = 0, seed: int | None = None,
                     rng: np.random.Generator | None = None,
                     penalty_config: PenaltyConfig = DEFAULT_PENALTY,
-                    precompute=None) -> Answer:
+                    precompute=None, observer=None) -> Answer:
     """Answer a single typed :class:`Question` against a context.
 
     Questions carrying a :class:`~repro.core.protocol.Budget` take
@@ -408,6 +408,13 @@ def answer_question(context: DatasetContext, question: Question, *,
     (the service worker tier) stay deterministic without constructing
     a generator themselves.  Passing both is a contradiction and
     raises.
+
+    ``observer`` is the timing-capture seam for cost-model
+    calibration: ``observer(question, answer)`` fires once per
+    successful answer, *after* execution, carrying the
+    executor-recorded ``elapsed`` and ``quality`` — the only
+    wall-clock readings the (clock-free) planner ever sees.
+    Observer failures never fail the answer.
     """
     if not isinstance(question, Question):
         raise TypeError(
@@ -419,13 +426,27 @@ def answer_question(context: DatasetContext, question: Question, *,
                 "pass either seed= or rng=, not both")
         rng = np.random.default_rng(int(seed))
     if question.budget is not None:
-        return _run_anytime(context, question, index=index, rng=rng,
+        answer = _run_anytime(context, question, index=index, rng=rng,
+                              penalty_config=penalty_config,
+                              precompute=precompute)
+    else:
+        answer, _ = _answer(context, question, index=index, rng=rng,
                             penalty_config=penalty_config,
                             precompute=precompute)
-    answer, _ = _answer(context, question, index=index, rng=rng,
-                        penalty_config=penalty_config,
-                        precompute=precompute)
+    _observe_answer(observer, question, answer)
     return answer
+
+
+def _observe_answer(observer, question, answer) -> None:
+    """Invoke a calibration observer for one successful answer."""
+    if observer is None or answer is None:
+        return
+    if not isinstance(question, Question) or not answer.ok:
+        return
+    try:
+        observer(question, answer)
+    except Exception:   # pragma: no cover - observers never fail asks
+        pass
 
 
 def _pooled(run, n_items: int, *, workers: int,
@@ -444,7 +465,8 @@ def execute_questions(context: DatasetContext, questions, *,
                       seed: int = 0, workers: int = 1,
                       penalty_config: PenaltyConfig = DEFAULT_PENALTY,
                       deadline_ms: float | None = None,
-                      interleave: bool = True) -> list[Answer]:
+                      interleave: bool = True,
+                      observer=None) -> list[Answer]:
     """Answer every typed :class:`Question` in order.
 
     Parameters
@@ -480,6 +502,10 @@ def execute_questions(context: DatasetContext, questions, *,
         identical either way (refinement is chunk-invariant), so the
         flag only exists to measure the difference.  Ignored when
         ``workers > 1`` (the pool already overlaps questions).
+    observer:
+        Optional ``observer(question, answer)`` timing-capture
+        callback, fired once per successful answer after the batch
+        completes (see :func:`answer_question`).
 
     Returns
     -------
@@ -525,10 +551,16 @@ def execute_questions(context: DatasetContext, questions, *,
 
     n_anytime = sum(1 for item in items if is_anytime(item))
     if workers <= 1 and interleave and n_anytime >= 2:
-        return _interleaved(context, items, is_anytime, seed=seed,
-                            penalty_config=penalty_config,
-                            shared_deadline=shared_deadline)
-    return _pooled(run, len(items), workers=workers, context=context)
+        answers = _interleaved(context, items, is_anytime, seed=seed,
+                               penalty_config=penalty_config,
+                               shared_deadline=shared_deadline)
+    else:
+        answers = _pooled(run, len(items), workers=workers,
+                          context=context)
+    if observer is not None:
+        for item, answer in zip(items, answers):
+            _observe_answer(observer, item, answer)
+    return answers
 
 
 def refine_questions(context: DatasetContext, questions, *,

@@ -1,0 +1,39 @@
+"""Cost-based planning — estimate before executing.
+
+The planner is the service's crystal ball, modeled on Impala's
+cost-annotated query plans: given a :class:`~repro.core.protocol.Question`
+and the catalogue's dimensions it predicts samples, refinement
+chunks, wall latency and peak memory **before** running anything.
+
+* :mod:`repro.planner.model` — the analytic per-algorithm
+  :class:`CostModel`, whose latency coefficient is calibrated online
+  from the per-execution timings the engine records (the planner
+  itself never reads a clock — it sits in the deterministic zone and
+  receives ``Answer.elapsed`` observations from the service tier).
+* :mod:`repro.planner.plan` — :func:`build_plan` chooses the
+  execution path (in-process session, worker pool, or scatter-gather
+  across shards) and :func:`render_plan` prints the Impala-style
+  ``EXPLAIN`` text.
+
+The estimates power two surfaces: ``EXPLAIN`` (``POST /explain``,
+``wqrtq explain``, ``Session.explain_plan``) and the service
+admission controller's deadline-aware rejection
+(:mod:`repro.service.admission`).
+"""
+
+from repro.planner.model import (
+    CALIBRATION_MIN_OBSERVATIONS,
+    CostModel,
+    chunk_schedule,
+    work_units,
+)
+from repro.planner.plan import build_plan, render_plan
+
+__all__ = [
+    "CALIBRATION_MIN_OBSERVATIONS",
+    "CostModel",
+    "build_plan",
+    "chunk_schedule",
+    "render_plan",
+    "work_units",
+]

@@ -1,0 +1,347 @@
+"""Analytic, online-calibrated per-algorithm cost model.
+
+The model predicts what executing one Question will cost as a
+function of the catalogue size ``n``, dimensionality ``d``, the
+question's ``k`` and why-not count ``m``, the algorithm, and the
+Budget.  It has two halves:
+
+* an **analytic shape** — :func:`work_units` counts abstract work
+  units with a fixed per-algorithm structure (setup cost per why-not
+  vector over the catalogue, plus a per-sample refinement cost).
+  The shape is monotone in ``n`` and ``k`` by construction, so
+  estimates order sanely even before any calibration;
+* a **calibrated scale** — one coefficient (seconds per work unit)
+  per ``(catalogue, algorithm)`` pair, fit as an exponential moving
+  average of ``elapsed / work_units`` over real executions.  The
+  service tier feeds every completed Answer's ``elapsed`` and
+  ``Quality.samples_examined`` back through :meth:`CostModel.observe`.
+
+This module sits in the DET-CLOCK deterministic zone: it never reads
+a wall clock — timings flow *in* from the executor (the only tier
+allowed to time things) and the model only does arithmetic on them.
+Calibration state is process-local, thread-safe, and serializable
+(:meth:`CostModel.state_dict` / :meth:`CostModel.save`) so a daemon
+can persist per-catalogue coefficients across restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.protocol import Budget, CostEstimate
+
+__all__ = [
+    "CALIBRATION_MIN_OBSERVATIONS",
+    "CostModel",
+    "chunk_schedule",
+    "work_units",
+]
+
+#: Observations of a ``(catalogue, algorithm)`` pair before its
+#: estimates are marked ``calibrated`` (and trusted for admission).
+CALIBRATION_MIN_OBSERVATIONS = 3
+
+#: EWMA half-life of the calibrated coefficient, in observations:
+#: after this many, an old regime's coefficient has half its weight.
+DEFAULT_HALF_LIFE = 8.0
+
+#: Analytic prior for the seconds-per-work-unit coefficient — the
+#: scale used before any observation arrives.  Deliberately rough;
+#: only calibrated estimates gate admission.
+PRIOR_UNIT_SECONDS = 2.5e-8
+
+#: Fraction of a deadline the executor actually spends refining
+#: (mirrors ``repro.engine.executor.DEADLINE_SAFETY``).
+DEADLINE_SAFETY = 0.8
+
+#: Per-algorithm structure constants:
+#: ``(sample_target, min_chunk, round_chunk, setup_factor,
+#: sample_factor)``.  The first three mirror the steppers' defaults
+#: (``MQPStepper`` is exact — one "sample"; ``MWKStepper`` streams
+#: weight samples in 256-chunks after a 64 probe; ``MQWKStepper``
+#: streams q'-candidates in 4-chunks, each running an inner MWK).
+#: ``setup_factor`` scales the per-why-not catalogue precompute
+#: (kth / FindIncom partitions); ``sample_factor`` scales the
+#: per-sample refinement work relative to MWK's.
+_ALGORITHM_SHAPE = {
+    "mqp": (1, 1, 1, 4.0, 600.0),
+    "mwk": (800, 64, 256, 1.0, 1.0),
+    "mqwk": (800, 1, 4, 2.0, 1.0),
+}
+_DEFAULT_SHAPE = (800, 64, 256, 1.0, 1.0)
+
+#: Rough R-tree + cache overhead over the raw point array.
+_MEMORY_TREE_FACTOR = 1.25
+
+
+def _shape(algorithm: str):
+    return _ALGORITHM_SHAPE.get(algorithm, _DEFAULT_SHAPE)
+
+
+def _per_sample_units(algorithm: str, *, n: int, d: int, k: int,
+                      options: Mapping | None) -> float:
+    """Work units consumed by one sample-stream element."""
+    _, _, _, _, sample_factor = _shape(algorithm)
+    base = sample_factor * (k + d + math.log2(n + 2.0))
+    if algorithm == "mqwk":
+        # One mqwk "sample" is a q' candidate whose inner MWK
+        # examines ``sample_size`` weight samples.
+        inner = int((options or {}).get("sample_size", 800))
+        base *= max(inner, 1)
+    return base
+
+
+def _setup_units(algorithm: str, *, n: int, d: int, m: int) -> float:
+    """Work units of per-why-not catalogue precompute."""
+    _, _, _, setup_factor, _ = _shape(algorithm)
+    return setup_factor * m * n * d
+
+
+def sample_target(algorithm: str, *, budget: Budget | None = None,
+                  options: Mapping | None = None) -> int:
+    """The sample count a run aims for before budgets truncate it."""
+    default_target, _, _, _, _ = _shape(algorithm)
+    options = options or {}
+    if algorithm == "mqwk":
+        target = options.get("q_sample_size",
+                             options.get("sample_size",
+                                         default_target))
+    else:
+        target = options.get("sample_size", default_target)
+    target = max(int(target), 1)
+    if budget is not None and budget.sample_budget is not None:
+        target = min(target, max(int(budget.sample_budget), 1))
+    return target
+
+
+def work_units(algorithm: str, *, n: int, d: int, k: int, m: int,
+               samples: int, options: Mapping | None = None) -> float:
+    """Abstract work units for one execution.
+
+    ``setup + samples * per_sample``, with every term non-decreasing
+    in ``n`` and ``k`` — the calibrated coefficient only scales this,
+    so estimate ordering is monotone by construction.
+    """
+    n, d, k, m = max(int(n), 1), max(int(d), 1), max(int(k), 1), \
+        max(int(m), 1)
+    setup = _setup_units(algorithm, n=n, d=d, m=m)
+    per_sample = _per_sample_units(algorithm, n=n, d=d, k=k,
+                                   options=options)
+    return setup + max(int(samples), 0) * per_sample
+
+
+def chunk_schedule(algorithm: str, *, samples: int,
+                   budget: Budget | None = None) -> tuple:
+    """The executor's expected refinement chunk sizes.
+
+    Mirrors the anytime chunk policy: unbudgeted questions run in a
+    single chunk; a deadline budget probes ``min_chunk`` first and
+    then streams ``round_chunk``-sized refinements; other budgets
+    stream ``round_chunk``-sized chunks from the start.  Long
+    schedules are summarized by the renderer, not truncated here.
+    """
+    samples = max(int(samples), 1)
+    if budget is None or budget.is_unbounded:
+        return (samples,)
+    _, min_chunk, round_chunk, _, _ = _shape(algorithm)
+    schedule = []
+    if budget.deadline_ms is not None:
+        schedule.append(min(min_chunk, samples))
+    remaining = samples - sum(schedule)
+    while remaining > 0:
+        chunk = min(round_chunk, remaining)
+        schedule.append(chunk)
+        remaining -= chunk
+    return tuple(schedule)
+
+
+class _State:
+    """EWMA coefficient for one ``(catalogue, algorithm)`` pair."""
+
+    __slots__ = ("coeff", "observations")
+
+    def __init__(self, coeff: float = 0.0, observations: int = 0):
+        self.coeff = float(coeff)
+        self.observations = int(observations)
+
+    def update(self, observed: float, *, alpha: float) -> None:
+        if self.observations == 0:
+            self.coeff = observed
+        else:
+            self.coeff += alpha * (observed - self.coeff)
+        self.observations += 1
+
+    def to_dict(self) -> dict:
+        return {"coeff": self.coeff,
+                "observations": self.observations}
+
+
+class CostModel:
+    """Per-algorithm cost estimates, calibrated online per catalogue.
+
+    Thread-safe: the HTTP server observes answers from handler and
+    job-worker threads concurrently.  Estimates fall back from the
+    catalogue-specific coefficient to a cross-catalogue aggregate to
+    the analytic prior, so a fresh catalogue benefits from timings
+    gathered on others (flagged ``calibrated`` only once *some*
+    observations back the coefficient).
+    """
+
+    def __init__(self, *, half_life: float = DEFAULT_HALF_LIFE,
+                 prior_unit_seconds: float = PRIOR_UNIT_SECONDS):
+        if half_life <= 0:
+            raise ValueError(f"half_life must be > 0, got {half_life}")
+        self._alpha = 1.0 - 0.5 ** (1.0 / float(half_life))
+        self._half_life = float(half_life)
+        self._prior = float(prior_unit_seconds)
+        self._states: dict[tuple[str, str], _State] = {}
+        self._lock = threading.Lock()
+
+    # -- calibration ---------------------------------------------------
+
+    def observe(self, *, algorithm: str, n: int, d: int, k: int,
+                m: int, samples: int, elapsed: float,
+                options: Mapping | None = None,
+                catalogue: str | None = None) -> None:
+        """Fold one finished execution's timing into the coefficient.
+
+        ``elapsed`` is the executor-recorded wall time in seconds
+        (``Answer.elapsed``); ``samples`` the examined count from
+        ``Answer.quality``.  Non-positive timings are ignored — they
+        carry no scale information.
+        """
+        elapsed = float(elapsed)
+        if not math.isfinite(elapsed) or elapsed <= 0.0:
+            return
+        units = work_units(algorithm, n=n, d=d, k=k, m=m,
+                           samples=max(int(samples), 1),
+                           options=options)
+        observed = elapsed / units
+        with self._lock:
+            for key in self._keys(catalogue, algorithm):
+                state = self._states.get(key)
+                if state is None:
+                    state = self._states[key] = _State()
+                state.update(observed, alpha=self._alpha)
+
+    @staticmethod
+    def _keys(catalogue: str | None, algorithm: str):
+        keys = [("", algorithm)]
+        if catalogue:
+            keys.insert(0, (str(catalogue), algorithm))
+        return keys
+
+    def _coefficient(self, catalogue: str | None,
+                     algorithm: str) -> tuple[float, int]:
+        with self._lock:
+            for key in self._keys(catalogue, algorithm):
+                state = self._states.get(key)
+                if state is not None and state.observations > 0:
+                    return state.coeff, state.observations
+        return self._prior, 0
+
+    def observations(self, algorithm: str,
+                     catalogue: str | None = None) -> int:
+        return self._coefficient(catalogue, algorithm)[1]
+
+    # -- estimation ----------------------------------------------------
+
+    def estimate(self, *, algorithm: str, n: int, d: int, k: int,
+                 m: int, budget: Budget | None = None,
+                 options: Mapping | None = None,
+                 catalogue: str | None = None) -> CostEstimate:
+        """Predict the cost of one execution before running it."""
+        n, d = max(int(n), 1), max(int(d), 1)
+        k, m = max(int(k), 1), max(int(m), 1)
+        coeff, observed = self._coefficient(catalogue, algorithm)
+        calibrated = observed >= CALIBRATION_MIN_OBSERVATIONS
+
+        target = sample_target(algorithm, budget=budget,
+                               options=options)
+        setup_s = coeff * _setup_units(algorithm, n=n, d=d, m=m)
+        per_sample_s = coeff * _per_sample_units(
+            algorithm, n=n, d=d, k=k, options=options)
+        full_s = setup_s + target * per_sample_s
+
+        est_samples = target
+        est_seconds = full_s
+        deadline = None if budget is None else budget.deadline_ms
+        if deadline is not None and calibrated:
+            _, min_chunk, _, _, _ = _shape(algorithm)
+            refine_s = max(deadline / 1000.0 * DEADLINE_SAFETY,
+                           min_chunk * per_sample_s)
+            # min() of two n-/k-monotone curves stays monotone.
+            est_seconds = min(full_s, setup_s + refine_s)
+            affordable = int(refine_s / max(per_sample_s, 1e-12))
+            est_samples = max(min(target, affordable),
+                              min(min_chunk, target))
+
+        schedule = chunk_schedule(algorithm, samples=est_samples,
+                                  budget=budget)
+        est_bytes = 8 * (n * d * (1 + _MEMORY_TREE_FACTOR) + n
+                         + est_samples * d + m * (k + d))
+        return CostEstimate(
+            algorithm=algorithm, n=n, d=d, k=k, m=m,
+            est_samples=est_samples, est_chunks=len(schedule),
+            est_latency_ms=est_seconds * 1000.0,
+            est_peak_memory_bytes=int(est_bytes),
+            calibrated=calibrated, observations=observed)
+
+    # -- introspection / persistence -----------------------------------
+
+    def describe(self) -> dict:
+        """JSON-safe calibration summary for ``/stats``."""
+        with self._lock:
+            entries = [
+                {"catalogue": catalogue or None,
+                 "algorithm": algorithm,
+                 "coeff": state.coeff,
+                 "observations": state.observations}
+                for (catalogue, algorithm), state
+                in sorted(self._states.items())]
+        return {
+            "half_life": self._half_life,
+            "prior_unit_seconds": self._prior,
+            "min_observations": CALIBRATION_MIN_OBSERVATIONS,
+            "observations": sum(e["observations"] for e in entries
+                                if e["catalogue"] is None),
+            "states": entries,
+        }
+
+    def state_dict(self) -> dict:
+        with self._lock:
+            states = {f"{catalogue}::{algorithm}": state.to_dict()
+                      for (catalogue, algorithm), state
+                      in self._states.items()}
+        return {"version": 1, "half_life": self._half_life,
+                "prior_unit_seconds": self._prior, "states": states}
+
+    def load_state(self, payload: Mapping) -> None:
+        states = payload.get("states") or {}
+        with self._lock:
+            for key, entry in states.items():
+                catalogue, _, algorithm = str(key).partition("::")
+                self._states[(catalogue, algorithm)] = _State(
+                    coeff=float(entry.get("coeff", 0.0)),
+                    observations=int(entry.get("observations", 0)))
+
+    def save(self, path) -> None:
+        Path(path).write_text(
+            json.dumps(self.state_dict(), indent=2, sort_keys=True),
+            encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "CostModel":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        model = cls(
+            half_life=float(payload.get("half_life",
+                                        DEFAULT_HALF_LIFE)),
+            prior_unit_seconds=float(
+                payload.get("prior_unit_seconds",
+                            PRIOR_UNIT_SECONDS)))
+        model.load_state(payload)
+        return model

@@ -1,0 +1,166 @@
+"""Plan construction and the Impala-style ``EXPLAIN`` renderer.
+
+:func:`build_plan` turns a Question plus the serving topology into a
+frozen :class:`~repro.core.protocol.Plan`: which path executes it
+(in-process session, whole-question fan-out to a pool worker, or
+scatter-gather across catalogue shards), the anytime chunk schedule,
+the :class:`~repro.core.protocol.CostEstimate` from the calibrated
+:class:`~repro.planner.model.CostModel`, and the expected
+:class:`~repro.core.protocol.Quality`.
+
+:func:`render_plan` prints the plan the way Impala's ``EXPLAIN``
+prints operator trees — a sink at the top, numbered operators below,
+each annotated with its cost lines — because a one-glance text plan
+is the difference between a tuning session and a guessing session.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.protocol import (
+    Budget,
+    CostEstimate,
+    Plan,
+    Quality,
+    Question,
+    shard_plan,
+)
+from repro.planner.model import CostModel, chunk_schedule, \
+    sample_target
+
+__all__ = ["build_plan", "render_plan"]
+
+
+def build_plan(question: Question, *, n: int, d: int,
+               model: CostModel, catalogue: str = "",
+               catalogue_version: int = 0, workers: int = 0,
+               shards: int = 1, pooled: bool = False) -> Plan:
+    """Choose the execution path and cost it.
+
+    ``pooled`` says whether a worker pool serves this catalogue (the
+    session path is the only choice without one).  Within the pool,
+    a question whose algorithm publishes a shard plan scatter-gathers
+    across ``shards``; otherwise it runs whole on one worker.
+    """
+    estimate = model.estimate(
+        algorithm=question.algorithm, n=n, d=d, k=question.k,
+        m=question.n_why_not, budget=question.budget,
+        options=question.options, catalogue=catalogue or None)
+
+    path = "session"
+    if pooled and workers > 0:
+        path = ("scatter-gather"
+                if shards > 1 and shard_plan(question) is not None
+                else "worker")
+
+    schedule = chunk_schedule(question.algorithm,
+                              samples=estimate.est_samples,
+                              budget=question.budget)
+    target = sample_target(question.algorithm, budget=question.budget,
+                           options=question.options)
+    expected_quality = Quality(
+        samples_examined=estimate.est_samples,
+        converged=estimate.est_samples >= target,
+        rounds=len(schedule))
+
+    return Plan(
+        catalogue=catalogue,
+        catalogue_version=int(catalogue_version),
+        algorithm=question.algorithm,
+        path=path,
+        workers=int(workers),
+        shards=int(shards if path == "scatter-gather" else 1),
+        chunk_schedule=schedule,
+        cost=estimate,
+        expected_quality=expected_quality,
+        question_id=question.id)
+
+
+def _format_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024.0 or unit == "GB":
+            return (f"{value:.0f}{unit}" if unit == "B"
+                    else f"{value:.2f}{unit}")
+        value /= 1024.0
+    return f"{value:.2f}GB"
+
+
+def _format_schedule(schedule: tuple) -> str:
+    if not schedule:
+        return "none"
+    parts = []
+    index = 0
+    while index < len(schedule):
+        size = schedule[index]
+        run = 1
+        while index + run < len(schedule) and \
+                schedule[index + run] == size:
+            run += 1
+        parts.append(f"{run} x {size}" if run > 1 else f"{size}")
+        index += run
+    return " + ".join(parts)
+
+
+def _budget_line(budget: Budget | None) -> str:
+    if budget is None:
+        return "run-to-completion"
+    parts = []
+    if budget.sample_budget is not None:
+        parts.append(f"samples<={budget.sample_budget}")
+    if budget.deadline_ms is not None:
+        parts.append(f"deadline={budget.deadline_ms:g}ms")
+    if budget.target_penalty_tolerance is not None:
+        parts.append(f"tol={budget.target_penalty_tolerance:g}")
+    return ", ".join(parts) or "run-to-completion"
+
+
+def _scan_label(plan: Plan) -> str:
+    if plan.path == "scatter-gather":
+        return (f"SCAN [scatter-gather, {plan.shards} shard(s) on "
+                f"{plan.workers} worker(s)]")
+    if plan.path == "worker":
+        return f"SCAN [worker pool, {plan.workers} worker(s)]"
+    return "SCAN [in-process session]"
+
+
+def render_plan(plan: Plan, *, budget: Budget | None = None) -> str:
+    """Render a :class:`Plan` as Impala-style ``EXPLAIN`` text."""
+    cost: CostEstimate = plan.cost
+    catalogue = plan.catalogue or "<anonymous>"
+    calibration = (f"calibrated ({cost.observations} observation(s))"
+                   if cost.calibrated else
+                   f"analytic prior ({cost.observations} "
+                   f"observation(s))")
+    quality = plan.expected_quality
+    latency = cost.est_latency_ms
+    latency_line = (f"{latency:.2f}ms" if latency < 1000.0
+                    else f"{latency / 1000.0:.2f}s")
+    lines = [
+        f"Query Plan — {plan.algorithm.upper()} on catalogue "
+        f"'{catalogue}' v{plan.catalogue_version}",
+        "",
+        "PLAN-ROOT SINK",
+        "|",
+        "02:AUDIT [penalty, validity]",
+        f"|  expected quality: {quality.samples_examined} sample(s), "
+        f"{'converged' if quality.converged else 'truncated'} after "
+        f"{quality.rounds} round(s)",
+        "|",
+        f"01:REFINE [{plan.algorithm.upper()}, "
+        f"{_budget_line(budget)}]",
+        f"|  chunk schedule: {_format_schedule(plan.chunk_schedule)}",
+        f"|  est. samples: {cost.est_samples}  "
+        f"est. latency: {latency_line}",
+        f"|  est. peak memory: "
+        f"{_format_bytes(cost.est_peak_memory_bytes)}",
+        f"|  cost model: {calibration}",
+        "|",
+        f"00:{_scan_label(plan)}",
+        f"   catalogue: {cost.n} row(s) x {cost.d} col(s), "
+        f"k={cost.k}, {cost.m} why-not vector(s)",
+    ]
+    if not math.isfinite(latency):   # defensive: to_dict rejects it
+        lines.append("   (non-finite latency estimate)")
+    return "\n".join(lines)

@@ -1,0 +1,298 @@
+"""Admission control — traffic shaping in front of the executors.
+
+The :class:`AdmissionController` sits between the HTTP handlers and
+execution for ``/answer``, ``/batch`` and ``POST /jobs``.  It makes
+a fast, non-blocking :meth:`decide` per request — rejected requests
+fail in microseconds instead of queueing — and then meters admitted
+work through a bounded, priority-aware :meth:`slot` gate:
+
+* **deadline-aware admission** — a Question whose *calibrated* cost
+  estimate already exceeds its own ``deadline_ms`` is rejected up
+  front (``reason="deadline"``, no ``Retry-After`` — retrying an
+  unmeetable deadline cannot help).  Uncalibrated estimates never
+  reject: the model must earn the right to say no.
+* **per-tenant token buckets** — when a rate is configured, each
+  ``Question.tenant`` refills at ``tenant_rate`` questions/second up
+  to ``tenant_burst``; a batch consumes its question count.  Over
+  quota → ``reason="quota"`` with the exact refill wait as
+  ``Retry-After``.
+* **bounded weighted-priority queue** — at most ``max_concurrent``
+  requests execute; at most ``max_queue`` wait.  Waiters are granted
+  highest-``priority``-first, but every ``fairness_window``-th grant
+  goes to the longest-waiting request regardless of priority, so
+  sustained high-priority load cannot starve the background tier.
+  A full queue sheds (``reason="queue-full"``) with a drain-time
+  ``Retry-After`` hint.
+
+Every verdict is a typed
+:class:`~repro.core.protocol.AdmissionDecision`; the server turns
+rejections into 429 responses carrying it.  This module is service
+tier: it may read the wall clock (token buckets need one), unlike
+the planner that feeds it estimates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.core.protocol import AdmissionDecision, Budget, CostEstimate
+
+__all__ = ["AdmissionController"]
+
+#: Priority grants between two aging (oldest-first) grants.
+DEFAULT_FAIRNESS_WINDOW = 4
+
+
+class _TokenBucket:
+    """A classic leaky-ish token bucket with exact refill waits."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = float(now)
+
+    def consume(self, weight: float, now: float) -> tuple[bool, float]:
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= weight:
+            self.tokens -= weight
+            return True, 0.0
+        return False, (weight - self.tokens) / self.rate
+
+
+class _Waiter:
+    __slots__ = ("priority", "seq", "granted")
+
+    def __init__(self, priority: int, seq: int):
+        self.priority = int(priority)
+        self.seq = int(seq)
+        self.granted = False
+
+
+class AdmissionController:
+    """Deadline-, quota- and priority-aware request admission.
+
+    With the default configuration (no concurrency bound, no tenant
+    rate) every request is admitted immediately — the controller
+    only observes — so wiring it in changes nothing until the
+    operator turns a knob.
+    """
+
+    def __init__(self, *, max_concurrent: int | None = None,
+                 max_queue: int = 64,
+                 tenant_rate: float | None = None,
+                 tenant_burst: float | None = None,
+                 enforce_deadlines: bool = False,
+                 fairness_window: int = DEFAULT_FAIRNESS_WINDOW,
+                 clock=time.monotonic):
+        if max_concurrent is not None and max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1 or None, "
+                             f"got {max_concurrent}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if tenant_rate is not None and tenant_rate <= 0:
+            raise ValueError(f"tenant_rate must be > 0 or None, "
+                             f"got {tenant_rate}")
+        self._max_concurrent = max_concurrent
+        self._max_queue = int(max_queue)
+        self._tenant_rate = tenant_rate
+        self._tenant_burst = float(
+            tenant_burst if tenant_burst is not None
+            else (tenant_rate or 0.0))
+        self._enforce_deadlines = bool(enforce_deadlines)
+        self._fairness_window = max(int(fairness_window), 0)
+        self._clock = clock
+
+        self._cond = threading.Condition()
+        self._buckets: dict[str, _TokenBucket] = {}
+        self._waiters: list[_Waiter] = []
+        self._executing = 0
+        self._seq = 0
+        self._since_fair = 0
+        self._grants = 0
+        self._aging_grants = 0
+        self._admitted = 0
+        self._rejected = {"deadline": 0, "quota": 0, "queue-full": 0}
+
+    @property
+    def enforces_deadlines(self) -> bool:
+        """Whether deadline admission is on (the server skips
+        computing estimates for the guard when it is not)."""
+        return self._enforce_deadlines
+
+    # -- the fast, non-blocking verdict --------------------------------
+
+    def decide(self, *, estimate: CostEstimate | None = None,
+               budget: Budget | None = None, priority: int = 0,
+               tenant: str | None = None,
+               weight: int = 1) -> AdmissionDecision:
+        """Admit or shed one request without blocking.
+
+        ``weight`` is the quota cost (a batch's question count).
+        The checks run cheapest-refusal-first: deadline math, then
+        the tenant bucket, then queue headroom — a shed request
+        never waits on the execution gate.
+        """
+        rejection = self._check_deadline(estimate, budget, priority,
+                                         tenant)
+        if rejection is None:
+            rejection = self._check_quota(priority, tenant, weight)
+        if rejection is None:
+            rejection = self._check_queue(priority, tenant)
+        if rejection is not None:
+            with self._cond:
+                self._rejected[rejection.reason] += 1
+            return rejection
+        with self._cond:
+            self._admitted += 1
+        return AdmissionDecision(admitted=True, reason="ok",
+                                 priority=priority, tenant=tenant)
+
+    def _check_deadline(self, estimate, budget, priority, tenant):
+        if not self._enforce_deadlines or estimate is None or \
+                budget is None or budget.deadline_ms is None or \
+                not estimate.calibrated:
+            return None
+        deadline_ms = float(budget.deadline_ms)
+        if estimate.est_latency_ms <= deadline_ms:
+            return None
+        return AdmissionDecision(
+            admitted=False, reason="deadline",
+            detail=(f"estimated {estimate.est_latency_ms:.1f}ms "
+                    f"exceeds deadline {deadline_ms:g}ms"),
+            estimated_ms=estimate.est_latency_ms,
+            deadline_ms=deadline_ms, priority=priority, tenant=tenant)
+
+    def _check_quota(self, priority, tenant, weight):
+        if self._tenant_rate is None:
+            return None
+        key = tenant or ""
+        now = self._clock()
+        with self._cond:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = _TokenBucket(
+                    self._tenant_rate, self._tenant_burst, now)
+            ok, wait = bucket.consume(weight, now)
+        if ok:
+            return None
+        return AdmissionDecision(
+            admitted=False, reason="quota",
+            detail=(f"tenant {key or '<anonymous>'!r} over quota "
+                    f"({self._tenant_rate:g}/s, "
+                    f"burst {self._tenant_burst:g})"),
+            retry_after_ms=wait * 1000.0,
+            priority=priority, tenant=tenant)
+
+    def _check_queue(self, priority, tenant):
+        if self._max_concurrent is None:
+            return None
+        with self._cond:
+            if self._executing < self._max_concurrent or \
+                    len(self._waiters) < self._max_queue:
+                return None
+            depth = len(self._waiters)
+        retry_after = 1000.0 * (depth + 1) / self._max_concurrent
+        return AdmissionDecision(
+            admitted=False, reason="queue-full",
+            detail=(f"{depth} request(s) already queued "
+                    f"(max_queue={self._max_queue})"),
+            retry_after_ms=retry_after,
+            priority=priority, tenant=tenant)
+
+    # -- the execution gate --------------------------------------------
+
+    @contextmanager
+    def slot(self, *, priority: int = 0, tenant: str | None = None):
+        """Hold one of the ``max_concurrent`` execution slots.
+
+        Waiting is priority-ordered with anti-starvation aging (see
+        the module docstring); unbounded controllers only count.
+        """
+        self._acquire(priority)
+        try:
+            yield
+        finally:
+            self._release()
+
+    def _acquire(self, priority: int) -> None:
+        with self._cond:
+            if self._max_concurrent is None:
+                self._executing += 1
+                return
+            if self._executing < self._max_concurrent and \
+                    not self._waiters:
+                self._executing += 1
+                self._grants += 1
+                return
+            waiter = _Waiter(priority, self._seq)
+            self._seq += 1
+            self._waiters.append(waiter)
+            self._grant_waiters()
+            while not waiter.granted:
+                self._cond.wait()
+
+    def _release(self) -> None:
+        with self._cond:
+            self._executing -= 1
+            self._grant_waiters()
+
+    def _grant_waiters(self) -> None:
+        # Caller holds the condition.
+        granted = False
+        while self._waiters and (
+                self._max_concurrent is None or
+                self._executing < self._max_concurrent):
+            waiter = self._pick_waiter()
+            self._waiters.remove(waiter)
+            waiter.granted = True
+            self._executing += 1
+            self._grants += 1
+            granted = True
+        if granted:
+            self._cond.notify_all()
+
+    def _pick_waiter(self) -> _Waiter:
+        if self._fairness_window and \
+                self._since_fair >= self._fairness_window:
+            self._since_fair = 0
+            self._aging_grants += 1
+            return min(self._waiters, key=lambda w: w.seq)
+        self._since_fair += 1
+        return min(self._waiters,
+                   key=lambda w: (-w.priority, w.seq))
+
+    # -- introspection -------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-safe counters and configuration for ``/stats``."""
+        with self._cond:
+            waiting = sorted(w.priority for w in self._waiters)
+            tenants = {key or None: round(bucket.tokens, 3)
+                       for key, bucket in sorted(self._buckets.items())}
+            return {
+                "config": {
+                    "max_concurrent": self._max_concurrent,
+                    "max_queue": self._max_queue,
+                    "tenant_rate": self._tenant_rate,
+                    "tenant_burst": (self._tenant_burst
+                                     if self._tenant_rate is not None
+                                     else None),
+                    "enforce_deadlines": self._enforce_deadlines,
+                    "fairness_window": self._fairness_window,
+                },
+                "admitted": self._admitted,
+                "rejected": dict(self._rejected),
+                "executing": self._executing,
+                "queued": len(waiting),
+                "queued_priorities": waiting,
+                "grants": self._grants,
+                "aging_grants": self._aging_grants,
+                "tenants": tenants,
+            }

@@ -21,9 +21,20 @@ exceptions: they are wrapped in :class:`ServiceConnectionError`, and
 **GET** requests — idempotent by construction — are retried once
 first, so a connection reset mid-read (a server restart between
 keep-alive requests, say) does not fail a health probe.  POSTs are
-never retried: ``/answer`` is safe to repeat but a ``/catalogues/…/
-products`` mutation is not, and the client cannot tell whether the
-server processed the request before the connection died.
+never retried on *transport* failures: ``/answer`` is safe to repeat
+but a ``/catalogues/…/products`` mutation is not, and the client
+cannot tell whether the server processed the request before the
+connection died.
+
+Admission rejections are different: a 429 is a *typed* refusal — the
+server guarantees it executed nothing — so retrying is always safe,
+for POSTs included.  With ``retry_429 > 0`` the client sleeps the
+server's ``Retry-After`` hint when one is present (the token-bucket
+refill time, exact) and falls back to the jittered
+:func:`backoff_delays` schedule when it is not, then re-sends.  The
+final rejection surfaces as :class:`ServiceError` with
+``status == 429`` and the parsed ``retry_after`` / ``admission``
+payload attached.
 """
 
 from __future__ import annotations
@@ -41,6 +52,7 @@ from repro.core.protocol import (
     SUPPORTED_SCHEMA_VERSIONS,
     Answer,
     Budget,
+    Plan,
     Question,
     WatchEvent,
 )
@@ -106,12 +118,21 @@ def _int_list(ids) -> list[int]:
 
 
 class ServiceError(RuntimeError):
-    """An HTTP-level failure reported by the service."""
+    """An HTTP-level failure reported by the service.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` is the parsed ``Retry-After`` header in seconds
+    (``None`` when the server sent none); ``admission`` the decoded
+    ``AdmissionDecision`` payload of a typed 429, when present.
+    """
+
+    def __init__(self, status: int, message: str, *,
+                 retry_after: float | None = None,
+                 admission: dict | None = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
+        self.admission = admission
 
 
 class ServiceConnectionError(ServiceError):
@@ -138,12 +159,18 @@ class ServiceClient:
         a ``wqrtq serve`` process).
     timeout:
         Per-request socket timeout in seconds.
+    retry_429:
+        How many times to re-send a request the server shed with a
+        typed 429 (default 0: surface the rejection).  Each retry
+        sleeps the response's ``Retry-After`` hint when present,
+        else the next jittered :func:`backoff_delays` delay.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8977, *,
-                 timeout: float = 60.0):
+                 timeout: float = 60.0, retry_429: int = 0):
         self.base_url = f"http://{host}:{int(port)}"
         self.timeout = timeout
+        self.retry_429 = max(int(retry_429), 0)
 
     # -- transport -----------------------------------------------------
 
@@ -156,23 +183,41 @@ class ServiceClient:
         # one attempt keeps the rule simple and a retry buys nothing
         # (the caller polls progress anyway).
         attempts = 2 if payload is None and method is None else 1
-        for attempt in range(1, attempts + 1):
-            try:
-                # HTTP-status failures leave _request_once as
-                # ServiceError (a RuntimeError) and propagate — only
-                # transport-level trouble is caught below.
-                return self._request_once(path, payload,
-                                          method=method)
-            except (OSError, http.client.HTTPException) as exc:
-                # URLError, ConnectionResetError, timeouts and
-                # IncompleteRead all land here.
-                if attempt < attempts:
-                    continue
-                raise ServiceConnectionError(
-                    f"{type(exc).__name__} talking to "
-                    f"{self.base_url}{path} "
-                    f"(after {attempts} attempt(s)): {exc}",
-                    attempts=attempts) from exc
+        sheds = 0
+        backoff = None
+        while True:
+            for attempt in range(1, attempts + 1):
+                try:
+                    # HTTP-status failures leave _request_once as
+                    # ServiceError (a RuntimeError) and propagate —
+                    # only transport-level trouble is caught below.
+                    return self._request_once(path, payload,
+                                              method=method)
+                except ServiceError as exc:
+                    # A typed 429 means the server refused *before*
+                    # executing anything, so re-sending is safe even
+                    # for POSTs: honor Retry-After, else jitter.
+                    if exc.status != 429 or sheds >= self.retry_429:
+                        raise
+                    sheds += 1
+                    if backoff is None:
+                        backoff = backoff_delays(salt=path)
+                    delay = (exc.retry_after
+                             if exc.retry_after is not None
+                             else next(backoff))
+                    time.sleep(delay)
+                    break   # back to the while loop: re-send
+                except (OSError,
+                        http.client.HTTPException) as exc:
+                    # URLError, ConnectionResetError, timeouts and
+                    # IncompleteRead all land here.
+                    if attempt < attempts:
+                        continue
+                    raise ServiceConnectionError(
+                        f"{type(exc).__name__} talking to "
+                        f"{self.base_url}{path} "
+                        f"(after {attempts} attempt(s)): {exc}",
+                        attempts=attempts) from exc
 
     def _request_once(self, path: str,
                       payload: dict | None = None, *,
@@ -193,12 +238,24 @@ class ServiceClient:
                     request, timeout=self.timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
+            admission = None
             try:
-                message = json.loads(
-                    exc.read().decode("utf-8")).get("error", "")
+                body = json.loads(exc.read().decode("utf-8"))
+                message = body.get("error", "")
+                admission = body.get("admission")
             except Exception:
                 message = exc.reason
-            raise ServiceError(exc.code, message) from None
+            retry_after = None
+            header = exc.headers.get("Retry-After") \
+                if exc.headers is not None else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass   # HTTP-date form: treat as absent
+            raise ServiceError(exc.code, message,
+                               retry_after=retry_after,
+                               admission=admission) from None
 
     @staticmethod
     def _check_version(response: dict) -> None:
@@ -322,6 +379,27 @@ class ServiceClient:
         answers = [Answer.from_dict(item)
                    for item in response["items"]]
         return answers, response["summary"]
+
+    def explain(self, catalogue: str, question: Question, *,
+                seed: int = 0) -> tuple[Plan, str]:
+        """The server's cost-based execution plan for one question,
+        without executing it (``POST /explain``).
+
+        Returns ``(plan, rendered)`` — the typed
+        :class:`~repro.core.protocol.Plan` and the server's
+        Impala-style text rendering of it.  Estimates come from the
+        daemon's own calibrated cost model, so they reflect the
+        serving topology (worker pool, shards) and the traffic the
+        daemon has actually seen.
+        """
+        response = self._request("/explain", {
+            "schema_version": SCHEMA_VERSION,
+            "catalogue": catalogue,
+            "question": question.to_dict(),
+            "seed": int(seed),
+        })
+        self._check_version(response)
+        return Plan.from_dict(response["plan"]), response["rendered"]
 
     # -- async jobs ----------------------------------------------------
 

@@ -185,12 +185,19 @@ class JobManager:
         Finished jobs retained for ``result`` collection; the oldest
         finished jobs are evicted beyond this bound so a long-lived
         daemon cannot leak completed batches.
+    observer:
+        Optional ``observer(catalogue, context, question, answer)``
+        callback invoked for every successfully refined answer when
+        its job finishes — the server feeds these timings to the
+        cost model's calibration.  Observer failures never fail the
+        job.
     """
 
     def __init__(self, registry, *, workers: int = 2,
-                 keep: int = 256):
+                 keep: int = 256, observer=None):
         self.registry = registry
         self.keep = int(keep)
+        self._observer = observer
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []        # submission order
         self._lock = threading.Lock()
@@ -305,8 +312,21 @@ class JobManager:
                     should_stop=job.cancel_requested,
                     on_answer=job.record)
                 job.mark_finished(answers, stopped)
+                self._notify_observer(job, context, answers)
             except Exception as exc:   # pragma: no cover - defensive
                 job.mark_failed(exc)
+
+    def _notify_observer(self, job, context, answers) -> None:
+        if self._observer is None:
+            return
+        for question, answer in zip(job.questions, answers):
+            if answer is None or not getattr(answer, "ok", False):
+                continue
+            try:
+                self._observer(job.catalogue, context, question,
+                               answer)
+            except Exception:   # pragma: no cover - defensive
+                return
 
     def shutdown(self, *, timeout: float = 10.0) -> None:
         """Drain gracefully: stop accepting, cancel everything still

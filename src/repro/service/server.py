@@ -48,6 +48,13 @@ Endpoints
     Many questions: ``{"catalogue", "questions": [...], "seed",
     "workers"}`` → ``{"schema_version", "items": [...],
     "summary": {...}}``.
+``POST /explain``
+    The cost-based plan for one question *without executing it*:
+    the same body as ``/answer`` → ``{"schema_version", "plan":
+    Plan.to_dict(), "rendered": <Impala-style text>}``.  The latency
+    estimate comes from the server's online-calibrated
+    :class:`~repro.planner.model.CostModel`; ``/answer``, ``/batch``
+    and job executions feed it.
 ``POST /jobs``
     Submit a batch *asynchronously*: ``{"catalogue", "questions":
     [...], "seed", "budget"}`` → ``202`` with the queued job's
@@ -107,6 +114,13 @@ paths are ``404``.  Per-question failures at answer time —
 catalogue-dependent validation or an algorithm error — are not HTTP
 errors: they come back as answers with ``error`` set, exactly like
 the library-level executor.
+
+``/answer``, ``/batch`` and ``POST /jobs`` additionally pass through
+the :class:`~repro.service.admission.AdmissionController` when one
+is configured: shed requests are ``429`` with ``{"error", "admission":
+AdmissionDecision.to_dict()}`` and — when retrying can help — a
+``Retry-After`` header.  Admitted requests execute unchanged, so
+admission never alters an Answer payload.
 """
 
 from __future__ import annotations
@@ -130,6 +144,9 @@ from repro.core.protocol import (
     summarize_answers,
 )
 from repro.core.registry import algorithm_names, get_algorithm
+from repro.planner import CostModel, build_plan, render_plan
+from repro.planner.model import sample_target as planner_sample_target
+from repro.service.admission import AdmissionController
 from repro.service.jobs import JobManager
 from repro.service.registry import CatalogueRegistry
 from repro.service.watch import WatchManager
@@ -327,11 +344,14 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -361,8 +381,13 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
     def _handle(self, endpoint: str, fn) -> None:
         start = time.perf_counter()
         error = False
+        headers = None
         try:
-            status, payload = fn()
+            result = fn()
+            if len(result) == 3:   # (status, payload, headers)
+                status, payload, headers = result
+            else:
+                status, payload = result
         except (ValueError, TypeError, KeyError) as exc:
             # TypeError covers malformed scalar payload fields, e.g.
             # ``"seed": null`` hitting int() — a client error, not
@@ -376,7 +401,7 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
             status, payload = 500, {
                 "error": f"{type(exc).__name__}: {exc}"}
         try:
-            self._send_json(status, payload)
+            self._send_json(status, payload, headers)
         finally:
             self.server.service_stats.record(
                 endpoint, time.perf_counter() - start,
@@ -467,6 +492,8 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
             self._handle("POST /answer", self._post_answer)
         elif self.path == "/batch":
             self._handle("POST /batch", self._post_batch)
+        elif self.path == "/explain":
+            self._handle("POST /explain", self._post_explain)
         elif self.path == "/jobs":
             self._handle("POST /jobs", self._post_jobs)
         elif self.path == "/watches":
@@ -550,6 +577,8 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
         payload = self.server.service_stats.snapshot()
         payload["catalogues"] = self.server.registry.describe()
         payload["watches"] = self.server.watches.describe()
+        payload["admission"] = self.server.admission.describe()
+        payload["planner"] = self.server.cost_model.describe()
         if self.server.pool is not None:
             payload["workers"] = self.server.pool.stats()
         return 200, payload
@@ -595,6 +624,120 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
             item.pop("catalogue_version", None)
         return item
 
+    # -- planning & admission ------------------------------------------
+
+    def _estimate(self, name: str, session, question: Question):
+        """The cost model's prediction for one typed question."""
+        context = session.context
+        return self.server.cost_model.estimate(
+            algorithm=question.algorithm, n=context.n, d=context.dim,
+            k=question.k, m=question.n_why_not,
+            budget=question.budget, options=question.options,
+            catalogue=name)
+
+    def _admission_guard(self, name: str, session, questions,
+                         version: int):
+        """Run the admission controller over a request's questions.
+
+        Returns ``(decision, None)`` when admitted, or ``(decision,
+        (429, payload, headers))`` ready to send when shed.  The
+        deadline check uses the worst estimate-vs-deadline offender;
+        quota consumption is the typed-question count.
+        """
+        typed = [q for q in questions if isinstance(q, Question)]
+        controller = self.server.admission
+        priority = max((q.priority for q in typed), default=0)
+        tenant = next((q.tenant for q in typed
+                       if q.tenant is not None), None)
+        estimate = budget = worst = None
+        if controller.enforces_deadlines:
+            for question in typed:
+                if question.budget is None or \
+                        question.budget.deadline_ms is None:
+                    continue
+                candidate = self._estimate(name, session, question)
+                over = candidate.est_latency_ms \
+                    - float(question.budget.deadline_ms)
+                if worst is None or over > worst:
+                    worst = over
+                    estimate = candidate
+                    budget = question.budget
+        decision = controller.decide(
+            estimate=estimate, budget=budget, priority=priority,
+            tenant=tenant, weight=max(len(typed), 1))
+        if decision.admitted:
+            return decision, None
+        payload = {
+            "schema_version": version,
+            "error": (f"admission rejected ({decision.reason}): "
+                      f"{decision.detail}"),
+            "admission": decision.to_dict(),
+        }
+        headers = None
+        if decision.retry_after_ms is not None:
+            seconds = max(-(-int(decision.retry_after_ms) // 1000), 1)
+            headers = {"Retry-After": seconds}
+        return decision, (429, payload, headers)
+
+    def _observe_answers(self, name: str, session, questions,
+                         answers) -> None:
+        """Feed executed answers' timings back into the cost model."""
+        model = self.server.cost_model
+        context = session.context
+        for question, answer in zip(questions, answers):
+            if not isinstance(question, Question) or answer is None \
+                    or not answer.ok:
+                continue
+            quality = answer.quality
+            samples = (quality.samples_examined
+                       if quality is not None else
+                       planner_sample_target(
+                           question.algorithm, budget=question.budget,
+                           options=question.options))
+            model.observe(
+                algorithm=question.algorithm, n=context.n,
+                d=context.dim, k=question.k, m=question.n_why_not,
+                samples=samples, elapsed=answer.elapsed,
+                options=question.options, catalogue=name)
+
+    def _post_explain(self) -> tuple[int, dict]:
+        body = self._read_json()
+        version = self._response_version(body)
+        name, session, pool = self._executor(body)
+        if "question" in body:
+            question = Question.from_dict(body["question"])
+        else:
+            missing = [key for key in ("q", "k", "why_not")
+                       if key not in body]
+            if missing:
+                raise ValueError(f"request is missing "
+                                 f"{', '.join(map(repr, missing))}")
+            # EXPLAIN has no legacy error contract to honor: a
+            # content-invalid question cannot be planned, so the
+            # ValueError surfaces as a 400.
+            question = Question.from_legacy(
+                body["q"], body["k"], body["why_not"],
+                algorithm=body.get("algorithm", "mqp"),
+                sample_size=body.get("sample_size"),
+                id=body.get("id"))
+        context = session.context
+        pool_workers = 0
+        shards = 1
+        pooled = pool is not None
+        if pooled:
+            pool_workers = pool.workers
+            shards = pool.shards
+        plan = build_plan(
+            question, n=context.n, d=context.dim,
+            model=self.server.cost_model, catalogue=name,
+            catalogue_version=session.catalogue_version,
+            workers=pool_workers, shards=shards, pooled=pooled)
+        return 200, {
+            "schema_version": version,
+            "plan": plan.to_dict(),
+            "rendered": render_plan(plan, budget=question.budget),
+        }
+
     def _post_answer(self) -> tuple[int, dict]:
         body = self._read_json()
         version = self._response_version(body)
@@ -621,11 +764,18 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
                 catalogue_version=session.catalogue_version)
             return 200, {"schema_version": version,
                          "item": self._render_item(question, version)}
+        decision, shed = self._admission_guard(name, session,
+                                               [question], version)
+        if shed is not None:
+            return shed
         seed = int(body.get("seed", 0))
-        if pool is not None:
-            answer = pool.ask(name, question, seed=seed)
-        else:
-            answer = session.ask(question, seed=seed)
+        with self.server.admission.slot(priority=question.priority,
+                                        tenant=question.tenant):
+            if pool is not None:
+                answer = pool.ask(name, question, seed=seed)
+            else:
+                answer = session.ask(question, seed=seed)
+        self._observe_answers(name, session, [question], [answer])
         return 200, {"schema_version": version,
                      "item": self._render_item(answer, version)}
 
@@ -637,16 +787,24 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
         if not isinstance(entries, list) or not entries:
             raise ValueError("questions must be a non-empty list")
         questions = _parse_questions(body, entries)
+        decision, shed = self._admission_guard(name, session,
+                                               questions, version)
+        if shed is not None:
+            return shed
         start = time.perf_counter()
-        if pool is not None:
-            # The process pool supersedes the request's thread-pool
-            # hint: the batch splits into per-worker slices instead.
-            answers = pool.ask_batch(
-                name, questions, seed=int(body.get("seed", 0)))
-        else:
-            answers = session.ask_batch(
-                questions, seed=int(body.get("seed", 0)),
-                workers=int(body.get("workers", 1)))
+        with self.server.admission.slot(priority=decision.priority,
+                                        tenant=decision.tenant):
+            if pool is not None:
+                # The process pool supersedes the request's
+                # thread-pool hint: the batch splits into per-worker
+                # slices instead.
+                answers = pool.ask_batch(
+                    name, questions, seed=int(body.get("seed", 0)))
+            else:
+                answers = session.ask_batch(
+                    questions, seed=int(body.get("seed", 0)),
+                    workers=int(body.get("workers", 1)))
+        self._observe_answers(name, session, questions, answers)
         summary = summarize_answers(
             answers, wall_seconds=time.perf_counter() - start)
         return 200, {
@@ -673,6 +831,14 @@ class WhyNotRequestHandler(BaseHTTPRequestHandler):
                 if isinstance(question, Question)
                 and question.budget is None else question
                 for question in questions]
+        # Jobs are asynchronous: the deadline/quota verdict applies
+        # at submission, but execution is metered by the job pool
+        # itself rather than an admission slot.
+        session = self.server.registry.session(catalogue)
+        _, shed = self._admission_guard(
+            catalogue, session, questions, SCHEMA_VERSION)
+        if shed is not None:
+            return shed
         try:
             job = self.server.jobs.submit(
                 catalogue, questions, seed=int(body.get("seed", 0)))
@@ -920,12 +1086,25 @@ class WhyNotServer(ThreadingHTTPServer):
 
     def __init__(self, address, registry: CatalogueRegistry, *,
                  verbose: bool = False, job_workers: int = 2,
-                 workers: int = 0, shards: int = 1):
+                 workers: int = 0, shards: int = 1,
+                 max_concurrent: int | None = None,
+                 max_queue: int = 64,
+                 tenant_rate: float | None = None,
+                 tenant_burst: float | None = None,
+                 enforce_deadlines: bool = False,
+                 calibration_path: str | None = None):
         super().__init__(address, WhyNotRequestHandler)
         self.registry = registry
         self.service_stats = ServiceStats()
         self.verbose = verbose
-        self.jobs = JobManager(registry, workers=job_workers)
+        self.cost_model = self._load_cost_model(calibration_path)
+        self._calibration_path = calibration_path
+        self.admission = AdmissionController(
+            max_concurrent=max_concurrent, max_queue=max_queue,
+            tenant_rate=tenant_rate, tenant_burst=tenant_burst,
+            enforce_deadlines=enforce_deadlines)
+        self.jobs = JobManager(registry, workers=job_workers,
+                               observer=self._observe_job_answer)
         self.watches = WatchManager(registry, self.jobs)
         self.pool = None
         if workers > 0:
@@ -958,6 +1137,36 @@ class WhyNotServer(ThreadingHTTPServer):
         from repro.engine.shm import sweep_owned_segments
 
         sweep_owned_segments()
+        if self._calibration_path is not None:
+            try:
+                self.cost_model.save(self._calibration_path)
+            except OSError:   # pragma: no cover - best-effort persist
+                pass
+
+    @staticmethod
+    def _load_cost_model(path: str | None) -> CostModel:
+        if path is not None:
+            try:
+                return CostModel.load(path)
+            except (OSError, ValueError):
+                pass   # first boot, or an unreadable state file
+        return CostModel()
+
+    def _observe_job_answer(self, catalogue: str, context,
+                            question: Question,
+                            answer: Answer) -> None:
+        """Job-pool completions feed the same calibration stream as
+        the synchronous endpoints."""
+        quality = answer.quality
+        samples = (quality.samples_examined if quality is not None
+                   else planner_sample_target(
+                       question.algorithm, budget=question.budget,
+                       options=question.options))
+        self.cost_model.observe(
+            algorithm=question.algorithm, n=context.n, d=context.dim,
+            k=question.k, m=question.n_why_not, samples=samples,
+            elapsed=answer.elapsed, options=question.options,
+            catalogue=catalogue)
 
     @property
     def port(self) -> int:
@@ -972,7 +1181,14 @@ class WhyNotServer(ThreadingHTTPServer):
 def create_server(registry: CatalogueRegistry, *,
                   host: str = "127.0.0.1", port: int = 0,
                   verbose: bool = False, job_workers: int = 2,
-                  workers: int = 0, shards: int = 1) -> WhyNotServer:
+                  workers: int = 0, shards: int = 1,
+                  max_concurrent: int | None = None,
+                  max_queue: int = 64,
+                  tenant_rate: float | None = None,
+                  tenant_burst: float | None = None,
+                  enforce_deadlines: bool = False,
+                  calibration_path: str | None = None
+                  ) -> WhyNotServer:
     """Bind a :class:`WhyNotServer` (``port=0`` → ephemeral port).
 
     ``workers > 0`` starts a multi-process
@@ -998,7 +1214,18 @@ def create_server(registry: CatalogueRegistry, *,
     >>> server.port > 0
     True
     >>> server.shutdown(); server.server_close()
+
+    The admission knobs (``max_concurrent``/``max_queue`` execution
+    gating, per-tenant ``tenant_rate``/``tenant_burst`` token
+    buckets, ``enforce_deadlines``) default to off: an unconfigured
+    server admits everything, exactly as before the controller
+    existed.  ``calibration_path`` persists the cost model's
+    coefficients across restarts (loaded at boot, saved on drain).
     """
     return WhyNotServer((host, port), registry, verbose=verbose,
                         job_workers=job_workers, workers=workers,
-                        shards=shards)
+                        shards=shards, max_concurrent=max_concurrent,
+                        max_queue=max_queue, tenant_rate=tenant_rate,
+                        tenant_burst=tenant_burst,
+                        enforce_deadlines=enforce_deadlines,
+                        calibration_path=calibration_path)

@@ -361,6 +361,11 @@ class WorkerPool:
     def __len__(self) -> int:
         return len(self._workers)
 
+    @property
+    def workers(self) -> int:
+        """Number of worker processes (the planner reads this)."""
+        return len(self._workers)
+
     def serves(self, name: str) -> bool:
         """Whether ``name`` has a published snapshot."""
         with self._gate:

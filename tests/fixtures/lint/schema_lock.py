@@ -34,3 +34,18 @@ class Answer:
 class WatchEvent:
     watch_id: str
     seq: int
+
+
+class CostEstimate:
+    algorithm: str
+    est_latency_ms: float
+
+
+class Plan:
+    catalogue: str
+    path: str
+
+
+class AdmissionDecision:
+    admitted: bool
+    reason: str

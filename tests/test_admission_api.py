@@ -1,0 +1,519 @@
+"""Admission control: deadline/quota/queue policies and the typed 429.
+
+Half of this module drives the :class:`AdmissionController` directly
+(with a fake clock, so token-bucket math is exact and instant); the
+other half goes through a real HTTP server to pin the wire contract:
+a shed request gets a typed 429 carrying the
+:class:`~repro.core.protocol.AdmissionDecision` and — for quota and
+queue sheds — a ``Retry-After`` header, while every *admitted*
+request's Answer payload is byte-identical to an unthrottled
+server's.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.protocol import (
+    SCHEMA_VERSION,
+    AdmissionDecision,
+    Budget,
+    Question,
+)
+from repro.data import independent, preference_set, query_point_with_rank
+from repro.planner import CALIBRATION_MIN_OBSERVATIONS, CostModel
+from repro.service import (
+    CatalogueRegistry,
+    ServiceClient,
+    ServiceError,
+    create_server,
+)
+from repro.service.admission import AdmissionController
+
+N = 400
+D = 3
+K = 10
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds: float):
+        self.now += seconds
+
+
+def make_typed(points, j, *, rank=41, algorithm="mqp", budget=None,
+               priority=0, tenant=None):
+    w = preference_set(1, D, seed=9200 + j)
+    q = query_point_with_rank(points, w[0], rank)
+    return Question(q=q, k=K, why_not=w, algorithm=algorithm,
+                    budget=budget, priority=priority, tenant=tenant)
+
+
+def calibrated_estimate(latency_ms: float):
+    """A calibrated CostEstimate predicting ``latency_ms``."""
+    model = CostModel()
+    from repro.planner import work_units
+
+    units = work_units("mqp", n=N, d=D, k=K, m=1, samples=1)
+    coeff = latency_ms / 1000.0 / units
+    for _ in range(CALIBRATION_MIN_OBSERVATIONS):
+        model.observe(algorithm="mqp", n=N, d=D, k=K, m=1,
+                      samples=1, elapsed=coeff * units)
+    estimate = model.estimate(algorithm="mqp", n=N, d=D, k=K, m=1)
+    assert estimate.calibrated
+    return estimate
+
+
+class TestControllerDefaults:
+    def test_unconfigured_controller_admits_everything(self):
+        controller = AdmissionController()
+        for _ in range(100):
+            decision = controller.decide()
+            assert decision.admitted and decision.reason == "ok"
+        stats = controller.describe()
+        assert stats["admitted"] == 100
+        assert stats["rejected"] == {"deadline": 0, "quota": 0,
+                                     "queue-full": 0}
+
+    def test_decision_round_trips(self):
+        decision = AdmissionDecision(
+            admitted=False, reason="quota", detail="over",
+            retry_after_ms=1500.0, priority=3, tenant="team-a")
+        again = AdmissionDecision.from_dict(decision.to_dict())
+        assert again.to_dict() == decision.to_dict()
+        assert decision.to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError, match="max_concurrent"):
+            AdmissionController(max_concurrent=0)
+        with pytest.raises(ValueError, match="tenant_rate"):
+            AdmissionController(tenant_rate=-1.0)
+
+
+class TestQuota:
+    def test_bucket_empties_and_refills_exactly(self):
+        clock = FakeClock()
+        controller = AdmissionController(tenant_rate=2.0,
+                                         tenant_burst=3.0,
+                                         clock=clock)
+        for _ in range(3):
+            assert controller.decide(tenant="a").admitted
+        shed = controller.decide(tenant="a")
+        assert not shed.admitted and shed.reason == "quota"
+        # One token refills in 1/rate = 0.5s — the hint is exact.
+        assert shed.retry_after_ms == pytest.approx(500.0)
+        clock.advance(0.5)
+        assert controller.decide(tenant="a").admitted
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        controller = AdmissionController(tenant_rate=1.0,
+                                         tenant_burst=1.0,
+                                         clock=clock)
+        assert controller.decide(tenant="a").admitted
+        assert not controller.decide(tenant="a").admitted
+        assert controller.decide(tenant="b").admitted
+        assert controller.decide(tenant=None).admitted  # own bucket
+
+    def test_batch_weight_drains_its_question_count(self):
+        clock = FakeClock()
+        controller = AdmissionController(tenant_rate=1.0,
+                                         tenant_burst=10.0,
+                                         clock=clock)
+        assert controller.decide(tenant="a", weight=8).admitted
+        shed = controller.decide(tenant="a", weight=8)
+        assert shed.reason == "quota"
+        # 6 missing tokens at 1/s.
+        assert shed.retry_after_ms == pytest.approx(6000.0)
+
+
+class TestDeadline:
+    def test_rejects_only_calibrated_overruns(self):
+        estimate = calibrated_estimate(50.0)
+        budget = Budget(deadline_ms=10.0)
+        off = AdmissionController()
+        assert off.decide(estimate=estimate, budget=budget).admitted
+        on = AdmissionController(enforce_deadlines=True)
+        shed = on.decide(estimate=estimate, budget=budget)
+        assert not shed.admitted and shed.reason == "deadline"
+        assert shed.estimated_ms == pytest.approx(
+            estimate.est_latency_ms)
+        assert shed.deadline_ms == 10.0
+        # Retrying an unmeetable deadline cannot help.
+        assert shed.retry_after_ms is None
+
+    def test_uncalibrated_estimates_never_reject(self):
+        model = CostModel()
+        estimate = model.estimate(algorithm="mqp", n=10**7, d=8,
+                                  k=100, m=4)
+        assert not estimate.calibrated
+        controller = AdmissionController(enforce_deadlines=True)
+        decision = controller.decide(estimate=estimate,
+                                     budget=Budget(deadline_ms=0.001))
+        assert decision.admitted
+
+    def test_meetable_deadline_admitted(self):
+        estimate = calibrated_estimate(5.0)
+        controller = AdmissionController(enforce_deadlines=True)
+        assert controller.decide(estimate=estimate,
+                                 budget=Budget(deadline_ms=50.0)
+                                 ).admitted
+
+
+class TestQueue:
+    def test_sheds_when_queue_full(self):
+        controller = AdmissionController(max_concurrent=1,
+                                         max_queue=0)
+        with controller.slot():
+            shed = controller.decide()
+            assert not shed.admitted and shed.reason == "queue-full"
+            assert shed.retry_after_ms is not None
+        assert controller.decide().admitted
+
+    def test_admits_while_headroom(self):
+        controller = AdmissionController(max_concurrent=2,
+                                         max_queue=5)
+        with controller.slot():
+            assert controller.decide().admitted
+
+    def test_priority_order_with_periodic_aging(self):
+        """Waiters drain highest-priority-first, but every
+        ``fairness_window``-th grant goes to the oldest waiter, so
+        the low-priority request is served mid-stream, not last."""
+        controller = AdmissionController(max_concurrent=1,
+                                         fairness_window=2)
+        order = []
+        lock = threading.Lock()
+        release_first = threading.Event()
+
+        def hold():
+            with controller.slot():
+                release_first.wait(timeout=10)
+
+        def run(priority):
+            with controller.slot(priority=priority):
+                with lock:
+                    order.append(priority)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        while controller.describe()["executing"] != 1:
+            time.sleep(0.005)
+        threads = []
+        # The low-priority waiter arrives FIRST (oldest), then four
+        # high-priority ones pile in behind it.
+        for priority in (0, 10, 10, 10, 10):
+            thread = threading.Thread(target=run, args=(priority,))
+            thread.start()
+            threads.append(thread)
+            while controller.describe()["queued"] != len(threads):
+                time.sleep(0.005)
+        release_first.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        holder.join(timeout=10)
+        # Two priority grants, then the aging grant rescues the
+        # oldest (priority-0) waiter, then the remaining two.
+        assert order == [10, 10, 0, 10, 10]
+        assert controller.describe()["aging_grants"] == 1
+
+    def test_low_priority_never_starves(self):
+        """Sustained high-priority arrivals cannot hold the slot
+        forever: the aging grant bounds the low-priority wait."""
+        controller = AdmissionController(max_concurrent=1,
+                                         fairness_window=4)
+        done = threading.Event()
+        grants_before_low = []
+
+        def low():
+            with controller.slot(priority=0):
+                grants_before_low.append(
+                    controller.describe()["grants"])
+            done.set()
+
+        stop = threading.Event()
+
+        def high_pressure():
+            while not stop.is_set():
+                with controller.slot(priority=100):
+                    pass
+
+        with controller.slot():   # force the low waiter to queue
+            low_thread = threading.Thread(target=low)
+            low_thread.start()
+            while controller.describe()["queued"] != 1:
+                time.sleep(0.005)
+            pressure = [threading.Thread(target=high_pressure)
+                        for _ in range(4)]
+            for thread in pressure:
+                thread.start()
+        assert done.wait(timeout=30), \
+            "low-priority waiter starved behind high-priority load"
+        stop.set()
+        low_thread.join(timeout=10)
+        for thread in pressure:
+            thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return independent(N, D, seed=17)
+
+
+@pytest.fixture(scope="module")
+def registry(points):
+    reg = CatalogueRegistry()
+    reg.register("demo", points, meta={"kind": "independent"})
+    return reg
+
+
+def serve(registry, **kwargs):
+    server = create_server(registry, **kwargs)
+    thread = threading.Thread(target=server.serve_forever,
+                              daemon=True)
+    thread.start()
+    return server, thread
+
+
+@pytest.fixture()
+def quota_server(registry):
+    server, thread = serve(registry, tenant_rate=0.5, tenant_burst=3)
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestHTTPAdmission:
+    def test_quota_flood_gets_typed_429(self, quota_server, points):
+        client = ServiceClient(port=quota_server.port)
+        question = make_typed(points, 0, tenant="flood")
+        for _ in range(3):
+            assert client.ask("demo", question).ok
+        start = time.perf_counter()
+        with pytest.raises(ServiceError) as excinfo:
+            client.ask("demo", question)
+        shed_seconds = time.perf_counter() - start
+        error = excinfo.value
+        assert error.status == 429
+        assert "quota" in error.message
+        assert error.retry_after is not None \
+            and error.retry_after >= 1
+        decision = AdmissionDecision.from_dict(error.admission)
+        assert decision.reason == "quota"
+        assert decision.tenant == "flood"
+        # Shed requests fail fast — no execution happened.
+        assert shed_seconds < 1.0
+
+    def test_batch_weight_counts_questions(self, quota_server,
+                                           points):
+        client = ServiceClient(port=quota_server.port)
+        questions = [make_typed(points, 1 + j, tenant="bulk")
+                     for j in range(4)]
+        with pytest.raises(ServiceError) as excinfo:
+            client.ask_batch("demo", questions)
+        assert excinfo.value.status == 429
+        assert excinfo.value.admission["reason"] == "quota"
+
+    def test_jobs_are_guarded_too(self, quota_server, points):
+        client = ServiceClient(port=quota_server.port)
+        questions = [make_typed(points, 5 + j, tenant="jobs")
+                     for j in range(4)]
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("demo", questions)
+        assert excinfo.value.status == 429
+
+    def test_429_body_rides_the_request_schema_version(
+            self, quota_server, points):
+        client = ServiceClient(port=quota_server.port)
+        question = make_typed(points, 9, tenant="versioned")
+        payload = {"schema_version": 4, "catalogue": "demo",
+                   "question": question.to_dict()}
+        for _ in range(3):
+            client._request("/answer", payload)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/answer", payload)
+        assert excinfo.value.status == 429
+        assert excinfo.value.admission is not None
+
+    def test_stats_expose_admission_and_planner(self, quota_server,
+                                                points):
+        client = ServiceClient(port=quota_server.port)
+        stats = client.stats()
+        assert stats["admission"]["config"]["tenant_rate"] == 0.5
+        assert "rejected" in stats["admission"]
+        assert stats["planner"]["min_observations"] \
+            == CALIBRATION_MIN_OBSERVATIONS
+
+    def test_admitted_answers_are_byte_identical(self, registry,
+                                                 points):
+        """Admission shaping must not change what an admitted
+        request computes: same payload as an unthrottled server."""
+        from repro.core.session import Session
+
+        throttled, thread = serve(registry, max_concurrent=2,
+                                  tenant_rate=1000.0,
+                                  tenant_burst=1000.0)
+        try:
+            client = ServiceClient(port=throttled.port)
+            question = make_typed(points, 20, priority=7,
+                                  tenant="team-a")
+            served = client.ask("demo", question, seed=3)
+            local = Session(points).ask(question, seed=3)
+            strip = lambda payload: {k: v for k, v in payload.items()
+                                     if k != "elapsed"}
+            assert strip(served.to_dict()) == strip(local.to_dict())
+        finally:
+            throttled.shutdown()
+            throttled.server_close()
+            thread.join(timeout=5)
+
+    def test_deadline_enforcement_end_to_end(self, registry, points):
+        server, thread = serve(registry, enforce_deadlines=True)
+        try:
+            client = ServiceClient(port=server.port)
+            warm = make_typed(points, 30)
+            for seed in range(CALIBRATION_MIN_OBSERVATIONS):
+                assert client.ask("demo", warm, seed=seed).ok
+            hopeless = make_typed(
+                points, 30, budget=Budget(deadline_ms=0.0001))
+            with pytest.raises(ServiceError) as excinfo:
+                client.ask("demo", hopeless)
+            error = excinfo.value
+            assert error.status == 429
+            assert error.admission["reason"] == "deadline"
+            # No Retry-After for an unmeetable deadline.
+            assert error.retry_after is None
+            # A generous deadline still sails through.
+            relaxed = make_typed(points, 30,
+                                 budget=Budget(deadline_ms=60_000.0))
+            assert client.ask("demo", relaxed).ok
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestHTTPExplain:
+    def test_explain_over_the_wire(self, quota_server, points):
+        client = ServiceClient(port=quota_server.port)
+        plan, rendered = client.explain(
+            "demo", make_typed(points, 40, algorithm="mwk"))
+        assert plan.path == "session"
+        assert plan.catalogue == "demo"
+        assert plan.algorithm == "mwk"
+        assert "PLAN-ROOT SINK" in rendered
+        assert "00:SCAN [in-process session]" in rendered
+
+    def test_explain_accepts_legacy_flat_body(self, quota_server,
+                                              points):
+        client = ServiceClient(port=quota_server.port)
+        question = make_typed(points, 41)
+        response = client._request("/explain", {
+            "catalogue": "demo", "q": question.q.tolist(),
+            "k": question.k, "why_not": question.why_not.tolist()})
+        assert response["plan"]["path"] == "session"
+        assert "rendered" in response
+
+    def test_explain_does_not_consume_quota(self, quota_server,
+                                            points):
+        client = ServiceClient(port=quota_server.port)
+        before = client.stats()["admission"]["admitted"]
+        client.explain("demo", make_typed(points, 42))
+        assert client.stats()["admission"]["admitted"] == before
+
+    def test_explain_unknown_catalogue_is_400(self, quota_server,
+                                              points):
+        client = ServiceClient(port=quota_server.port)
+        with pytest.raises(ServiceError) as excinfo:
+            client.explain("nope", make_typed(points, 43))
+        assert excinfo.value.status == 400
+
+
+class _Flaky429Handler(http.server.BaseHTTPRequestHandler):
+    """Sheds the first ``shed_count`` POSTs with a typed 429, then
+    answers 200 — the shape of a server whose bucket refilled."""
+
+    def do_POST(self):
+        self.rfile.read(int(self.headers.get("Content-Length", 0)))
+        server = self.server
+        if server.seen < server.shed_count:
+            server.seen += 1
+            body = json.dumps({
+                "schema_version": SCHEMA_VERSION,
+                "error": "admission rejected (quota): test",
+                "admission": AdmissionDecision(
+                    admitted=False, reason="quota",
+                    retry_after_ms=10.0).to_dict(),
+            }).encode("utf-8")
+            self.send_response(429)
+            self.send_header("Retry-After", "0")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Content-Type", "application/json")
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        body = json.dumps({"schema_version": SCHEMA_VERSION,
+                           "echo": True}).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Content-Type", "application/json")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):   # pragma: no cover - silence
+        pass
+
+
+@pytest.fixture()
+def flaky_server():
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0),
+                                             _Flaky429Handler)
+    server.shed_count = 1
+    server.seen = 0
+    thread = threading.Thread(target=server.serve_forever,
+                              daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestClientRetry429:
+    def test_default_client_surfaces_the_429(self, flaky_server):
+        client = ServiceClient(port=flaky_server.server_port)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/answer", {"any": "thing"})
+        error = excinfo.value
+        assert error.status == 429
+        assert error.retry_after == 0.0   # parsed from the header
+        assert error.admission["reason"] == "quota"
+
+    def test_retry_429_honors_retry_after_then_succeeds(
+            self, flaky_server):
+        client = ServiceClient(port=flaky_server.server_port,
+                               retry_429=2)
+        response = client._request("/answer", {"any": "thing"})
+        assert response == {"schema_version": SCHEMA_VERSION,
+                            "echo": True}
+        assert flaky_server.seen == 1   # shed once, retried once
+
+    def test_retries_exhausted_reraises(self, flaky_server):
+        flaky_server.shed_count = 10
+        client = ServiceClient(port=flaky_server.server_port,
+                               retry_429=2)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/answer", {"any": "thing"})
+        assert excinfo.value.status == 429
+        assert flaky_server.seen == 3   # initial + 2 retries

@@ -67,8 +67,8 @@ class TestBench:
             main([])
 
 
-SUBCOMMANDS = ("query", "refine", "batch", "serve", "watch",
-               "catalogue", "bench", "lint")
+SUBCOMMANDS = ("query", "refine", "batch", "serve", "explain",
+               "watch", "catalogue", "bench", "lint")
 
 
 class TestHelp:

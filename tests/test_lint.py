@@ -249,12 +249,14 @@ def test_update_lock_writes_the_committed_shape(tmp_path):
     project = _protocol_project(tmp_path)
     lock_path = update_lock(project)
     lock = json.loads(lock_path.read_text(encoding="utf-8"))
-    assert lock["schema_version"] == 4
+    assert lock["schema_version"] == 5
     assert set(lock["classes"]) == {"Question", "Answer", "Budget",
                                     "Quality", "ErrorInfo",
-                                    "WatchEvent"}
+                                    "WatchEvent", "CostEstimate",
+                                    "Plan", "AdmissionDecision"}
     assert lock["classes"]["Question"] == [
-        "q", "k", "why_not", "algorithm", "options", "budget", "id"]
+        "q", "k", "why_not", "algorithm", "options", "budget", "id",
+        "priority", "tenant"]
     assert run_rules(project, rules=["SCHEMA-LOCK"]).clean
 
 
@@ -283,8 +285,8 @@ def test_field_change_with_bump_wants_lock_regen(tmp_path):
         "    quality: Quality | None = None",
         "    quality: Quality | None = None\n"
         "    worker_id: int | None = None")
-    project = _edit_protocol(tmp_path, "SCHEMA_VERSION = 4",
-                             "SCHEMA_VERSION = 5")
+    project = _edit_protocol(tmp_path, "SCHEMA_VERSION = 5",
+                             "SCHEMA_VERSION = 6")
     report = run_rules(project, rules=["SCHEMA-LOCK"])
     assert len(report.findings) == 1
     finding = report.findings[0]
@@ -298,8 +300,8 @@ def test_field_change_with_bump_wants_lock_regen(tmp_path):
 def test_version_bump_without_field_change_is_flagged(tmp_path):
     project = _protocol_project(tmp_path)
     update_lock(project)
-    project = _edit_protocol(tmp_path, "SCHEMA_VERSION = 4",
-                             "SCHEMA_VERSION = 5")
+    project = _edit_protocol(tmp_path, "SCHEMA_VERSION = 5",
+                             "SCHEMA_VERSION = 6")
     report = run_rules(project, rules=["SCHEMA-LOCK"])
     assert len(report.findings) == 1
     assert "identical" in report.findings[0].message

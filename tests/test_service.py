@@ -851,7 +851,7 @@ class TestWireSchema:
 
 
 class TestSchemaNegotiationMatrix:
-    """Client stamps × server renders, across v1/v2/v3/v4.
+    """Client stamps × server renders, across v1/v2/v3/v4/v5.
 
     The server negotiates *down*: a request stamped with an older
     supported version receives payloads rendered at that version —
@@ -863,9 +863,11 @@ class TestSchemaNegotiationMatrix:
     EXPECTATIONS = {
         1: {"quality": False, "catalogue_version": False},
         2: {"quality": False, "catalogue_version": True},
-        # v3 and v4 are field-identical for Answer payloads (v4 only
-        # added the watch event envelope).
+        # v3, v4 and v5 are field-identical for Answer payloads (v4
+        # added the watch event envelope, v5 the planner/admission
+        # types — neither touched Answer).
         3: {"quality": True, "catalogue_version": True},
+        4: {"quality": True, "catalogue_version": True},
         SCHEMA_VERSION: {"quality": True, "catalogue_version": True},
     }
 
